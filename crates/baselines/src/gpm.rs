@@ -1,0 +1,202 @@
+//! GPM-style checkpointing: GPU kernels write straight to mapped
+//! persistent memory.
+//!
+//! GPM extends unified virtual memory to cover a PMEM region and copies
+//! checkpoint data with GPU *kernels* instead of DMA copy engines. Two
+//! consequences the experiments depend on:
+//!
+//! * no DRAM staging (Table 1: `DRAM = 0`) — the bytes go GPU → device,
+//! * training stalls for the whole checkpoint, since the copy kernels
+//!   occupy the SMs and the subsequent sync + `msync`/fence runs before
+//!   training resumes (§2.2: "it stalls training while persisting state").
+//!
+//! The SSD adaptation (the one the paper evaluates alongside PMEM) keeps
+//! kernel copies into an mmapped, `cudaHostRegister`ed file and persists
+//! with `cudaDeviceSynchronize` + `msync`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pccheck::store::CheckpointStore;
+use pccheck::PccheckError;
+use pccheck_device::PersistentDevice;
+use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
+use pccheck_util::ByteSize;
+
+/// Chunk size for the GPU-kernel copy loop (kernel grids move data in
+/// bounded tiles).
+const KERNEL_COPY_CHUNK: usize = 4 * 1024 * 1024;
+
+/// The stall-and-persist baseline.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pccheck_baselines::GpmCheckpointer;
+/// use pccheck_device::{DeviceConfig, PersistentDevice, PmemDevice, PmemWriteMode};
+/// use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+/// use pccheck_util::ByteSize;
+///
+/// # fn main() -> Result<(), pccheck::PccheckError> {
+/// let gpu = Gpu::new(
+///     GpuConfig::fast_for_tests(),
+///     TrainingState::synthetic(ByteSize::from_kb(4), 1),
+/// );
+/// let device: Arc<dyn PersistentDevice> = Arc::new(PmemDevice::new(
+///     DeviceConfig::fast_for_tests(ByteSize::from_kb(64)),
+///     PmemWriteMode::NtStore,
+/// ));
+/// let ckpt = GpmCheckpointer::new(device, gpu.state_size())?;
+/// gpu.update();
+/// ckpt.checkpoint(&gpu, 1); // stalls until durable
+/// assert_eq!(ckpt.last_committed().unwrap().iteration, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GpmCheckpointer {
+    store: Arc<CheckpointStore>,
+    last: Mutex<Option<CheckpointOutcome>>,
+}
+
+impl GpmCheckpointer {
+    /// Creates the checkpointer with a two-slot store on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if the device cannot hold two
+    /// checkpoints.
+    pub fn new(
+        device: Arc<dyn PersistentDevice>,
+        checkpoint_size: ByteSize,
+    ) -> Result<Self, PccheckError> {
+        let store = CheckpointStore::format(device, checkpoint_size, 2)?;
+        Ok(GpmCheckpointer {
+            store: Arc::new(store),
+            last: Mutex::new(None),
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+}
+
+impl Checkpointer for GpmCheckpointer {
+    fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        // Inline on the training thread: the copy kernels occupy the GPU,
+        // so training stalls for the duration by construction.
+        let guard = gpu.lock_weights_shared();
+        let total = guard.size();
+        let digest = guard.digest();
+        let lease = self.store.begin_checkpoint();
+        // Kernel-copy loop: GPU → device directly, no DRAM staging. A small
+        // bounce tile stands in for the kernel's register/shared-memory
+        // tile; it never holds the checkpoint (Table 1: DRAM = 0).
+        let mut tile = vec![0u8; KERNEL_COPY_CHUNK.min(total.as_usize().max(1))];
+        let mut off = 0u64;
+        while off < total.as_u64() {
+            let n = (tile.len() as u64).min(total.as_u64() - off) as usize;
+            guard.copy_range_to_host(off, &mut tile[..n]);
+            self.store
+                .write_payload(&lease, off, &tile[..n])
+                .expect("payload fits the formatted slot");
+            off += n as u64;
+        }
+        // cudaDeviceSynchronize + msync/fence: one persist over the payload
+        // issued by this same (training) thread — correct on both SSD and
+        // PMEM because the same thread performed every store.
+        self.store
+            .persist_payload(&lease, 0, total.as_u64())
+            .expect("persist cannot exceed bounds");
+        let outcome = self
+            .store
+            .commit(lease, iteration, total.as_u64(), digest.0)
+            .expect("commit I/O on healthy device");
+        drop(guard);
+        if matches!(outcome, pccheck::CommitOutcome::Committed) {
+            *self.last.lock() = Some(CheckpointOutcome { iteration, digest });
+        }
+    }
+
+    fn drain(&self) {
+        // Synchronous: nothing outstanding.
+    }
+
+    fn last_committed(&self) -> Option<CheckpointOutcome> {
+        *self.last.lock()
+    }
+
+    fn name(&self) -> &str {
+        "gpm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck::recovery::{recover, verify_against_state};
+    use pccheck_device::{DeviceConfig, PmemDevice, PmemWriteMode, SsdDevice};
+    use pccheck_gpu::{GpuConfig, TrainingState};
+
+    fn gpu(state: u64) -> Gpu {
+        Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(state), 9),
+        )
+    }
+
+    #[test]
+    fn works_on_pmem_with_per_thread_fence() {
+        let g = gpu(300);
+        let cap = CheckpointStore::required_capacity(g.state_size(), 2) + ByteSize::from_kb(1);
+        let pmem = Arc::new(PmemDevice::new(
+            DeviceConfig::fast_for_tests(cap),
+            PmemWriteMode::NtStore,
+        ));
+        let dev: Arc<dyn PersistentDevice> = pmem.clone();
+        let ckpt = GpmCheckpointer::new(dev, g.state_size()).unwrap();
+        g.update();
+        ckpt.checkpoint(&g, 1);
+        pmem.crash_now();
+        pmem.recover();
+        let rec = recover(pmem).unwrap();
+        assert_eq!(rec.iteration, 1);
+        let layout = g.with_weights(|s| s.layout());
+        verify_against_state(&rec, &layout).unwrap();
+    }
+
+    #[test]
+    fn works_on_ssd_adaptation() {
+        let g = gpu(500);
+        let cap = CheckpointStore::required_capacity(g.state_size(), 2) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let dev: Arc<dyn PersistentDevice> = ssd.clone();
+        let ckpt = GpmCheckpointer::new(dev, g.state_size()).unwrap();
+        for iter in 1..=3 {
+            g.update();
+            ckpt.checkpoint(&g, iter);
+        }
+        assert_eq!(ckpt.last_committed().unwrap().iteration, 3);
+        assert_eq!(ckpt.name(), "gpm");
+        ssd.crash_now();
+        ssd.recover();
+        assert_eq!(recover(ssd).unwrap().iteration, 3);
+    }
+
+    #[test]
+    fn checkpoint_is_synchronous_no_drain_needed() {
+        let g = gpu(200);
+        let cap = CheckpointStore::required_capacity(g.state_size(), 2) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let ckpt = GpmCheckpointer::new(dev, g.state_size()).unwrap();
+        g.update();
+        ckpt.checkpoint(&g, 1);
+        ckpt.drain();
+        assert_eq!(ckpt.store().latest_committed().unwrap().iteration, 1);
+    }
+}

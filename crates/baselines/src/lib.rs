@@ -1,0 +1,31 @@
+//! Baseline checkpointing strategies the PCcheck paper compares against.
+//!
+//! All four baselines implement [`pccheck_gpu::Checkpointer`], so the same
+//! training loop, recovery path, and experiment harness drive them
+//! interchangeably with PCcheck:
+//!
+//! * [`TraditionalCheckpointer`] — the PyTorch/TensorFlow default
+//!   (Figure 3): training stalls through snapshot *and* persist.
+//! * [`CheckFreqCheckpointer`] — CheckFreq (Figure 4): the snapshot and
+//!   persist run in the background, but only one checkpoint may be in
+//!   flight; the next request stalls until the previous one is durable.
+//! * [`GpmCheckpointer`] — GPM: copy kernels write straight from GPU memory
+//!   to the mapped persistent device, stalling training for the whole
+//!   checkpoint (no DRAM staging, Table 1's `DRAM = 0`).
+//! * [`GeminiCheckpointer`] — Gemini: checkpoints go to a peer machine's
+//!   DRAM over the network instead of persistent storage; one at a time.
+//!
+//! The storage-backed baselines reuse PCcheck's [`pccheck::CheckpointStore`]
+//! with two slots (their `2·m` footprint in Table 1), which gives them the
+//! same crash-consistent commit record and recovery path — the comparison
+//! is then purely about *scheduling*: who stalls, when, and for how long.
+
+pub mod checkfreq;
+pub mod gemini;
+pub mod gpm;
+pub mod traditional;
+
+pub use checkfreq::CheckFreqCheckpointer;
+pub use gemini::GeminiCheckpointer;
+pub use gpm::GpmCheckpointer;
+pub use traditional::TraditionalCheckpointer;

@@ -1,0 +1,167 @@
+//! Traditional synchronous checkpointing (Figure 3).
+//!
+//! The default in PyTorch/TensorFlow/MXNet: at a checkpoint boundary the
+//! training thread copies the weights to DRAM (`C`), writes them to
+//! persistent storage, and syncs (`P`) — all inline, so the GPU idles for
+//! the entire duration. The storage layout is the shared two-slot
+//! [`CheckpointStore`], so crashes at any point leave the previous
+//! checkpoint recoverable.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pccheck::store::CheckpointStore;
+use pccheck::PccheckError;
+use pccheck_device::PersistentDevice;
+use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
+use pccheck_util::ByteSize;
+
+/// The fully synchronous baseline.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use pccheck_baselines::TraditionalCheckpointer;
+/// use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+/// use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+/// use pccheck_util::ByteSize;
+///
+/// # fn main() -> Result<(), pccheck::PccheckError> {
+/// let gpu = Gpu::new(
+///     GpuConfig::fast_for_tests(),
+///     TrainingState::synthetic(ByteSize::from_kb(4), 1),
+/// );
+/// let device: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(
+///     DeviceConfig::fast_for_tests(ByteSize::from_kb(64)),
+/// ));
+/// let ckpt = TraditionalCheckpointer::new(device, gpu.state_size())?;
+/// gpu.update();
+/// ckpt.checkpoint(&gpu, 1); // blocks until durable
+/// assert_eq!(ckpt.last_committed().unwrap().iteration, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraditionalCheckpointer {
+    store: Arc<CheckpointStore>,
+    last: Mutex<Option<CheckpointOutcome>>,
+}
+
+impl TraditionalCheckpointer {
+    /// Creates the checkpointer, formatting a two-slot store on `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if the device cannot hold two
+    /// checkpoints.
+    pub fn new(
+        device: Arc<dyn PersistentDevice>,
+        checkpoint_size: ByteSize,
+    ) -> Result<Self, PccheckError> {
+        let store = CheckpointStore::format(device, checkpoint_size, 2)?;
+        Ok(TraditionalCheckpointer {
+            store: Arc::new(store),
+            last: Mutex::new(None),
+        })
+    }
+
+    /// The underlying store (for recovery in tests/benches).
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+}
+
+impl Checkpointer for TraditionalCheckpointer {
+    fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        // C: copy weights to DRAM — inline, training thread blocked.
+        let guard = gpu.lock_weights_shared();
+        let total = guard.size();
+        let digest = guard.digest();
+        let mut host = vec![0u8; total.as_usize()];
+        guard.copy_range_to_host(0, &mut host);
+        drop(guard);
+        // P: write + sync to storage — still inline.
+        let lease = self.store.begin_checkpoint();
+        self.store
+            .write_payload(&lease, 0, &host)
+            .expect("payload fits the formatted slot");
+        self.store
+            .persist_payload(&lease, 0, total.as_u64())
+            .expect("persist cannot exceed bounds");
+        let outcome = self
+            .store
+            .commit(lease, iteration, total.as_u64(), digest.0)
+            .expect("commit I/O on healthy device");
+        if matches!(outcome, pccheck::CommitOutcome::Committed) {
+            *self.last.lock() = Some(CheckpointOutcome { iteration, digest });
+        }
+    }
+
+    fn drain(&self) {
+        // Everything is synchronous; nothing outstanding.
+    }
+
+    fn last_committed(&self) -> Option<CheckpointOutcome> {
+        *self.last.lock()
+    }
+
+    fn name(&self) -> &str {
+        "traditional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck::recovery::{recover, verify_against_state};
+    use pccheck_device::{DeviceConfig, SsdDevice};
+    use pccheck_gpu::{GpuConfig, TrainingState};
+
+    fn setup(state: u64) -> (TraditionalCheckpointer, Gpu, Arc<SsdDevice>) {
+        let gpu = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(state), 3),
+        );
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 2) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let dev: Arc<dyn PersistentDevice> = ssd.clone();
+        let ckpt = TraditionalCheckpointer::new(dev, gpu.state_size()).unwrap();
+        (ckpt, gpu, ssd)
+    }
+
+    #[test]
+    fn checkpoint_is_immediately_durable() {
+        let (ckpt, gpu, ssd) = setup(300);
+        gpu.update();
+        ckpt.checkpoint(&gpu, 1);
+        // No drain needed: crash right away and recover.
+        ssd.crash_now();
+        ssd.recover();
+        let rec = recover(ssd).unwrap();
+        assert_eq!(rec.iteration, 1);
+        let layout = gpu.with_weights(|s| s.layout());
+        verify_against_state(&rec, &layout).unwrap();
+    }
+
+    #[test]
+    fn alternating_slots_keep_previous_valid() {
+        let (ckpt, gpu, _ssd) = setup(200);
+        for iter in 1..=6 {
+            gpu.update();
+            ckpt.checkpoint(&gpu, iter);
+            assert_eq!(ckpt.last_committed().unwrap().iteration, iter);
+        }
+        assert_eq!(ckpt.store().latest_committed().unwrap().iteration, 6);
+        assert_eq!(ckpt.store().free_slot_count(), 1);
+    }
+
+    #[test]
+    fn name_and_drain_are_trivial() {
+        let (ckpt, _gpu, _ssd) = setup(100);
+        assert_eq!(ckpt.name(), "traditional");
+        ckpt.drain();
+        assert!(ckpt.last_committed().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 10 and benchmarks the PMEM simulation point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_gpu::ModelZoo;
+use pccheck_harness::fig10_pmem as fig10;
+use pccheck_sim::{SimConfig, StrategyCfg};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig10::run();
+    println!("\n[Figure 10] BERT on Optane PMEM (TitanRTX): slowdown vs interval");
+    for r in &rows {
+        println!(
+            "  {:<16} interval={:<4} tput={:.4} slowdown={:.3}",
+            r.strategy, r.interval, r.throughput, r.slowdown
+        );
+    }
+    c.bench_function("fig10/bert_pmem_pccheck_interval10", |b| {
+        b.iter(|| {
+            SimConfig::pmem_rtx(&ModelZoo::bert(), 10, 200)
+                .with_strategy(StrategyCfg::pccheck(2, 3))
+                .run()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 12 and benchmarks an N=4 simulation point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_gpu::ModelZoo;
+use pccheck_harness::fig12_concurrency as fig12;
+use pccheck_sim::StrategyCfg;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig12::run();
+    println!("\n[Figure 12] VGG-16 slowdown, varying concurrent checkpoints N");
+    for r in &rows {
+        println!("  interval={:<4} N={} slowdown={:.3}", r.interval, r.n, r.slowdown);
+    }
+    c.bench_function("fig12/vgg16_n4_interval1", |b| {
+        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::vgg16(), StrategyCfg::pccheck(4, 3), 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

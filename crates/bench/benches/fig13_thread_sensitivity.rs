@@ -1,0 +1,23 @@
+//! Regenerates Figure 13 and benchmarks a p-sweep point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_gpu::ModelZoo;
+use pccheck_harness::fig13_threads as fig13;
+use pccheck_sim::StrategyCfg;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig13::run();
+    println!("\n[Figure 13] OPT-350M slowdown at interval 10, varying N x p");
+    for r in &rows {
+        println!("  N={} p={} slowdown={:.3}", r.n, r.p, r.slowdown);
+    }
+    c.bench_function("fig13/opt350m_n1_p3", |b| {
+        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::opt_350m(), StrategyCfg::pccheck(1, 3), 10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

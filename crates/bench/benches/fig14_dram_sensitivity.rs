@@ -1,0 +1,19 @@
+//! Regenerates Figure 14 and benchmarks a pipelined-vs-staged point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_harness::fig14_dram as fig14;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig14::run();
+    println!("\n[Figure 14] OPT-1.3B throughput at interval 15, DRAM x chunking");
+    for r in &rows {
+        println!("  dram={}m variant={:<7} tput={:.4}", r.dram_factor, r.variant, r.throughput);
+    }
+    c.bench_function("fig14/full_grid", |b| b.iter(fig14::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

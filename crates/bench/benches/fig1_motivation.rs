@@ -1,0 +1,26 @@
+//! Regenerates Figure 1 and benchmarks the underlying simulation point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_gpu::ModelZoo;
+use pccheck_harness::fig1_motivation;
+use pccheck_sim::StrategyCfg;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig1_motivation::run();
+    println!("\n[Figure 1] BLOOM-7B slowdown vs interval (CheckFreq / Gemini) + recovery");
+    for r in &rows {
+        println!(
+            "  interval={:<4} checkfreq={:.3}x gemini={:.3}x recovery={:.1}s",
+            r.interval, r.checkfreq_slowdown, r.gemini_slowdown, r.recovery_secs
+        );
+    }
+    c.bench_function("fig1/bloom7b_checkfreq_interval10", |b| {
+        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::bloom_7b(), StrategyCfg::CheckFreq, 10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Figure 2 and benchmarks one goodput replay.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_harness::fig2_goodput_motivation as fig2;
+use pccheck_trace::{GoodputReplay, PreemptionTrace};
+use pccheck_util::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig2::run(42);
+    println!("\n[Figure 2] BLOOM-7B goodput vs interval on the spot trace");
+    for r in &rows {
+        println!("  {:<12} interval={:<4} goodput={:.5}", r.strategy, r.interval, r.goodput);
+    }
+    println!(
+        "  peak/ideal: checkfreq={:.2} gemini={:.2} pccheck={:.2}",
+        fig2::peak_fraction_of_ideal(&rows, "checkfreq"),
+        fig2::peak_fraction_of_ideal(&rows, "gemini"),
+        fig2::peak_fraction_of_ideal(&rows, "pccheck")
+    );
+    let report = pccheck_harness::sweep::run_point(
+        &pccheck_gpu::ModelZoo::bloom_7b(),
+        pccheck_sim::StrategyCfg::pccheck(2, 3),
+        10,
+    );
+    let trace = PreemptionTrace::synthetic_gcp_a100(1);
+    c.bench_function("fig2/goodput_replay", |b| {
+        b.iter(|| GoodputReplay::new(SimDuration::from_secs(40)).replay(&report, &trace))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figure 8 (a-f) and benchmarks one simulation point.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_gpu::ModelZoo;
+use pccheck_harness::fig8_throughput as fig8;
+use pccheck_sim::StrategyCfg;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig8::run();
+    println!("\n[Figure 8] throughput (iters/s) with checkpointing, SSD/A100");
+    let mut current = String::new();
+    for r in &rows {
+        if r.model != current {
+            current = r.model.clone();
+            println!("  -- {} --", current);
+        }
+        println!(
+            "  {:<16} interval={:<4} tput={:.4} slowdown={:.3}",
+            r.strategy, r.interval, r.throughput, r.slowdown
+        );
+    }
+    c.bench_function("fig8/bert_pccheck_interval10", |b| {
+        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::bert(), StrategyCfg::pccheck(2, 3), 10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

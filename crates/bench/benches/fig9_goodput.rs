@@ -1,0 +1,30 @@
+//! Regenerates Figure 9 (a-f) and benchmarks a trace generation + replay.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_harness::fig9_goodput as fig9;
+use pccheck_trace::PreemptionTrace;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig9::run(42);
+    println!("\n[Figure 9] goodput (iters/s) on the GCP A100 spot trace");
+    let mut current = String::new();
+    for r in &rows {
+        if r.model != current {
+            current = r.model.clone();
+            println!("  -- {} --", current);
+        }
+        println!(
+            "  {:<16} interval={:<4} goodput={:.5} rollbacks={}",
+            r.strategy, r.interval, r.goodput, r.rollbacks
+        );
+    }
+    c.bench_function("fig9/trace_generation", |b| {
+        b.iter(|| PreemptionTrace::synthetic_gcp_a100(criterion::black_box(7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Table 1 and benchmarks the footprint formulas.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck::footprint;
+use pccheck_harness::tables;
+use pccheck_util::ByteSize;
+
+fn bench(c: &mut Criterion) {
+    let m = ByteSize::from_gb(4.0);
+    println!("\n[Table 1] memory footprint (m = {m}, N = 3)");
+    for r in tables::table1(m, 3) {
+        println!(
+            "  {:<10} gpu={} dram={}..{} storage={}",
+            r.algorithm, r.footprint.gpu, r.footprint.dram_min, r.footprint.dram_max, r.footprint.storage
+        );
+    }
+    c.bench_function("table1/footprint_formulas", |b| {
+        b.iter(|| {
+            let m = criterion::black_box(ByteSize::from_gb(4.0));
+            (footprint::checkfreq(m), footprint::gpm(m), footprint::gemini(m), footprint::pccheck(m, 3))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

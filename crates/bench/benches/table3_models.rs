@@ -1,0 +1,24 @@
+//! Regenerates Table 3 and benchmarks model-zoo lookups.
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccheck_gpu::ModelZoo;
+use pccheck_harness::tables;
+
+fn bench(c: &mut Criterion) {
+    println!("\n[Table 3] evaluated models");
+    for m in tables::table3() {
+        println!(
+            "  {:<14} {:<9} batch_a100={:<3} ckpt={:>6.1} GB nodes={}",
+            m.name, m.dataset, m.batch_a100, m.checkpoint_size.as_gb(), m.nodes
+        );
+    }
+    c.bench_function("table3/zoo_lookup", |b| {
+        b.iter(|| ModelZoo::by_name(criterion::black_box("bloom-7b")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate: see `benches/`. Each bench target prints the paper figure/table rows it regenerates, then measures a representative code path.

@@ -1,0 +1,670 @@
+//! The PCcheck engine: orchestrator + persistent manager.
+//!
+//! This is the concrete (real-thread) implementation of the system in
+//! Figure 5. On each checkpoint request the engine:
+//!
+//! 1. takes one of `N` concurrency tickets (if all are taken, the request
+//!    blocks — the only stall PCcheck admits beyond the `U`-phase weight
+//!    lock),
+//! 2. snapshots the GPU state chunk by chunk into pinned DRAM buffers from
+//!    the staging pool, holding the weights shared-lock only for the copy,
+//! 3. hands chunks to `p` writer threads that write them to the device at
+//!    the leased slot's offsets (pipelined mode overlaps 2 and 3;
+//!    non-pipelined mode stages the full checkpoint first),
+//! 4. persists the payload (per-writer fences on PMEM, or one deferred
+//!    `msync` on SSD when `single_sync` is set),
+//! 5. runs the store's CAS commit protocol and recycles the displaced slot.
+//!
+//! All of this happens on background threads; the training loop's
+//! `checkpoint()` call returns as soon as the ticket and the weights lock
+//! are handed over, exactly like Figure 6's overlap of `C`/`P` with `T`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use pccheck_device::{HostBufferPool, PersistentDevice};
+use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu, OwnedWeightsGuard};
+use pccheck_util::ByteSize;
+
+use crate::config::PcCheckConfig;
+use crate::error::PccheckError;
+use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
+
+/// Cumulative engine statistics.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    committed: AtomicU64,
+    superseded: AtomicU64,
+    requested: AtomicU64,
+}
+
+impl EngineStats {
+    /// Checkpoints that became the latest committed state.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints that lost the commit race to a newer one.
+    pub fn superseded(&self) -> u64 {
+        self.superseded.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint requests accepted.
+    pub fn requested(&self) -> u64 {
+        self.requested.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct InFlight {
+    count: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl InFlight {
+    fn acquire(&self, limit: usize) {
+        let mut count = self.count.lock();
+        while *count >= limit {
+            self.cond.wait(&mut count);
+        }
+        *count += 1;
+    }
+
+    fn release(&self) {
+        let mut count = self.count.lock();
+        *count -= 1;
+        drop(count);
+        self.cond.notify_one();
+    }
+
+    fn wait_zero(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            self.cond.wait(&mut count);
+        }
+    }
+}
+
+/// The PCcheck checkpointing engine.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+#[derive(Debug)]
+pub struct PcCheckEngine {
+    config: PcCheckConfig,
+    store: Arc<CheckpointStore>,
+    pool: HostBufferPool,
+    in_flight: Arc<InFlight>,
+    stats: Arc<EngineStats>,
+    last_committed: Arc<Mutex<Option<CheckpointOutcome>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PcCheckEngine {
+    /// Creates an engine over `device` for checkpoints of `checkpoint_size`
+    /// bytes, formatting a fresh store with `N+1` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if the configuration is
+    /// inconsistent or the device is too small for `N+1` slots.
+    pub fn new(
+        config: PcCheckConfig,
+        device: Arc<dyn PersistentDevice>,
+        checkpoint_size: ByteSize,
+    ) -> Result<Self, PccheckError> {
+        config.validate()?;
+        let slots = (config.max_concurrent + 1) as u32;
+        let store = CheckpointStore::format(device, checkpoint_size, slots)?;
+        Self::with_store(config, Arc::new(store))
+    }
+
+    /// Creates an engine over an existing (e.g., recovered) store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if the configuration is
+    /// invalid or the store has fewer than `N+1` slots.
+    pub fn with_store(
+        config: PcCheckConfig,
+        store: Arc<CheckpointStore>,
+    ) -> Result<Self, PccheckError> {
+        config.validate()?;
+        if (store.num_slots() as usize) < config.max_concurrent + 1 {
+            return Err(PccheckError::InvalidConfig(format!(
+                "store has {} slots but N={} needs {}",
+                store.num_slots(),
+                config.max_concurrent,
+                config.max_concurrent + 1
+            )));
+        }
+        if !config.pipelined && config.dram_bytes() < store.slot_size() {
+            // The staged (Figure 6) path holds every chunk of a checkpoint
+            // in DRAM before persisting; a smaller pool would deadlock on
+            // `HostBufferPool::acquire`.
+            return Err(PccheckError::InvalidConfig(format!(
+                "non-pipelined mode needs DRAM >= checkpoint size: pool {} < {}",
+                config.dram_bytes(),
+                store.slot_size()
+            )));
+        }
+        let pool = HostBufferPool::new(config.chunk_size, config.dram_chunks);
+        let last = store.latest_committed().map(|m| CheckpointOutcome {
+            iteration: m.iteration,
+            digest: m.state_digest(),
+        });
+        Ok(PcCheckEngine {
+            config,
+            store,
+            pool,
+            in_flight: Arc::new(InFlight::default()),
+            stats: Arc::new(EngineStats::default()),
+            last_committed: Arc::new(Mutex::new(last)),
+            workers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PcCheckConfig {
+        &self.config
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The DRAM staging pool (for footprint inspection).
+    pub fn dram_pool(&self) -> &HostBufferPool {
+        &self.pool
+    }
+
+    fn reap_finished_workers(&self) {
+        let mut workers = self.workers.lock();
+        let mut still_running = Vec::with_capacity(workers.len());
+        for handle in workers.drain(..) {
+            if handle.is_finished() {
+                handle.join().expect("checkpoint worker panicked");
+            } else {
+                still_running.push(handle);
+            }
+        }
+        *workers = still_running;
+    }
+
+    /// Body of one checkpoint, run on a background worker thread.
+    fn run_checkpoint(
+        store: &CheckpointStore,
+        pool: &HostBufferPool,
+        config: &PcCheckConfig,
+        guard: OwnedWeightsGuard,
+        iteration: u64,
+        digest: pccheck_gpu::StateDigest,
+    ) -> Result<CommitOutcome, PccheckError> {
+        let total = guard.size();
+        let lease = store.begin_checkpoint();
+        if config.pipelined {
+            Self::copy_and_persist_pipelined(store, pool, config, &guard, &lease, total)?;
+        } else {
+            Self::copy_then_persist(store, pool, config, &guard, &lease, total)?;
+        }
+        drop(guard); // weights released (if not already) before the commit CAS
+        if config.single_sync {
+            // §4.1 SSD path: one msync covering the whole payload.
+            store.persist_payload(&lease, 0, total.as_u64())?;
+        }
+        store.commit(lease, iteration, total.as_u64(), digest.0)
+    }
+
+    /// Non-pipelined path (Figure 6): stage the entire checkpoint in DRAM,
+    /// release the weights, then persist with `p` parallel writers.
+    fn copy_then_persist(
+        store: &CheckpointStore,
+        pool: &HostBufferPool,
+        config: &PcCheckConfig,
+        guard: &OwnedWeightsGuard,
+        lease: &SlotLease,
+        total: ByteSize,
+    ) -> Result<(), PccheckError> {
+        // Stage all chunks (blocks on the pool if DRAM is scarce).
+        let chunk = pool.chunk_size();
+        let mut staged = Vec::new();
+        let mut off = 0u64;
+        while off < total.as_u64() {
+            let n = chunk.as_u64().min(total.as_u64() - off) as usize;
+            let mut buf = pool.acquire();
+            guard.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+            staged.push((off, n, buf));
+            off += n as u64;
+        }
+        // Persist with p writers, chunks distributed round-robin.
+        let p = config.writer_threads;
+        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for w in 0..p {
+                let staged = &staged;
+                let results = &results;
+                s.spawn(move |_| {
+                    for (off, n, buf) in staged.iter().skip(w).step_by(p) {
+                        let r = store
+                            .write_payload(lease, *off, &buf.as_slice()[..*n])
+                            .and_then(|()| {
+                                if config.single_sync {
+                                    Ok(()) // deferred to the coordinator's msync
+                                } else {
+                                    store.persist_payload(lease, *off, *n as u64)
+                                }
+                            });
+                        if let Err(e) = r {
+                            results.lock().push(e);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("writer thread panicked");
+        drop(staged); // chunks return to the pool
+        if let Some(e) = results.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Pipelined path (Figure 7): a producer copies chunks from the GPU
+    /// while `p` writer threads persist already-copied chunks; each DRAM
+    /// buffer returns to the pool the moment its chunk is durable.
+    fn copy_and_persist_pipelined(
+        store: &CheckpointStore,
+        pool: &HostBufferPool,
+        config: &PcCheckConfig,
+        guard: &OwnedWeightsGuard,
+        lease: &SlotLease,
+        total: ByteSize,
+    ) -> Result<(), PccheckError> {
+        type Job = (u64, usize, pccheck_device::HostBuffer);
+        let p = config.writer_threads;
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(config.dram_chunks);
+        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..p {
+                let rx = rx.clone();
+                let results = &results;
+                s.spawn(move |_| {
+                    while let Ok((off, n, buf)) = rx.recv() {
+                        let r = store
+                            .write_payload(lease, off, &buf.as_slice()[..n])
+                            .and_then(|()| {
+                                if config.single_sync {
+                                    Ok(())
+                                } else {
+                                    store.persist_payload(lease, off, n as u64)
+                                }
+                            });
+                        if let Err(e) = r {
+                            results.lock().push(e);
+                        }
+                        drop(buf); // free the DRAM chunk for the producer
+                    }
+                });
+            }
+            drop(rx);
+            // Producer: GPU→DRAM chunk copies.
+            let chunk = pool.chunk_size();
+            let mut off = 0u64;
+            while off < total.as_u64() {
+                let n = chunk.as_u64().min(total.as_u64() - off) as usize;
+                let mut buf = pool.acquire();
+                guard.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+                tx.send((off, n, buf)).expect("writers outlive producer");
+                off += n as u64;
+            }
+            drop(tx); // writers drain and exit
+        })
+        .expect("pipelined checkpoint thread panicked");
+        if let Some(e) = results.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+impl Checkpointer for PcCheckEngine {
+    /// Accepts a checkpoint of the current GPU state. Blocks only while all
+    /// `N` concurrency tickets are taken; otherwise the copy/persist/commit
+    /// runs on a background worker.
+    fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        self.reap_finished_workers();
+        self.in_flight.acquire(self.config.max_concurrent);
+        self.stats.requested.fetch_add(1, Ordering::Relaxed);
+        let guard = gpu.lock_weights_shared_owned();
+
+        let store = Arc::clone(&self.store);
+        let pool = self.pool.clone();
+        let config = self.config.clone();
+        let in_flight = Arc::clone(&self.in_flight);
+        let stats = Arc::clone(&self.stats);
+        let last = Arc::clone(&self.last_committed);
+        let handle = std::thread::spawn(move || {
+            let digest = guard.digest();
+            let result =
+                Self::run_checkpoint(&store, &pool, &config, guard, iteration, digest);
+            match result {
+                Ok(CommitOutcome::Committed) => {
+                    stats.committed.fetch_add(1, Ordering::Relaxed);
+                    let mut l = last.lock();
+                    if l.map_or(true, |o| o.iteration < iteration) {
+                        *l = Some(CheckpointOutcome { iteration, digest });
+                    }
+                }
+                Ok(CommitOutcome::SupersededBy { .. }) => {
+                    stats.superseded.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // Device failed mid-checkpoint (e.g., crash injection).
+                    // The previous committed checkpoint remains valid; the
+                    // error is recorded implicitly by the missing commit.
+                    let _ = e;
+                }
+            }
+            in_flight.release();
+        });
+        self.workers.lock().push(handle);
+    }
+
+    fn drain(&self) {
+        self.in_flight.wait_zero();
+        let mut workers = self.workers.lock();
+        for handle in workers.drain(..) {
+            handle.join().expect("checkpoint worker panicked");
+        }
+    }
+
+    fn last_committed(&self) -> Option<CheckpointOutcome> {
+        *self.last_committed.lock()
+    }
+
+    fn name(&self) -> &str {
+        "pccheck"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck_device::{DeviceConfig, PmemDevice, PmemWriteMode, SsdDevice};
+    use pccheck_gpu::{GpuConfig, TrainingState};
+
+    fn tiny_gpu(size: u64, seed: u64) -> Gpu {
+        Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(size), seed),
+        )
+    }
+
+    fn ssd_engine(state: u64, n: usize, p: usize, pipelined: bool) -> (PcCheckEngine, Gpu) {
+        let gpu = tiny_gpu(state, 7);
+        let slots = (n + 1) as u32;
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), slots)
+            + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(n)
+            .writer_threads(p)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(8)
+            .pipelined(pipelined)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size()).unwrap();
+        (engine, gpu)
+    }
+
+    #[test]
+    fn checkpoint_and_commit_round_trip() {
+        let (engine, gpu) = ssd_engine(300, 2, 2, true);
+        gpu.update();
+        let expected = gpu.digest();
+        engine.checkpoint(&gpu, 1);
+        engine.drain();
+        let out = engine.last_committed().unwrap();
+        assert_eq!(out.iteration, 1);
+        assert_eq!(out.digest, expected);
+        assert_eq!(engine.stats().committed(), 1);
+        assert_eq!(engine.stats().requested(), 1);
+    }
+
+    #[test]
+    fn many_checkpoints_latest_wins() {
+        let (engine, gpu) = ssd_engine(300, 3, 2, true);
+        for iter in 1..=10 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+        }
+        engine.drain();
+        let out = engine.last_committed().unwrap();
+        assert_eq!(out.iteration, 10);
+        let total = engine.stats().committed() + engine.stats().superseded();
+        assert_eq!(total, 10);
+        // Recovered metadata agrees.
+        let meta = engine.store().latest_committed().unwrap();
+        assert_eq!(meta.iteration, 10);
+    }
+
+    #[test]
+    fn non_pipelined_mode_works() {
+        let (engine, gpu) = ssd_engine(500, 2, 3, false);
+        for iter in 1..=5 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+        }
+        engine.drain();
+        assert_eq!(engine.last_committed().unwrap().iteration, 5);
+    }
+
+    #[test]
+    fn recovered_payload_matches_gpu_state() {
+        let (engine, gpu) = ssd_engine(300, 2, 2, true);
+        for iter in 1..=4 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        let meta = engine.store().latest_committed().unwrap();
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        let store = engine.store();
+        store
+            .device()
+            .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)
+            .unwrap();
+        // Reconstruct and compare digests.
+        let layout = gpu.with_weights(|s| s.layout());
+        let restored = TrainingState::restore(&layout, &payload, meta.iteration);
+        assert_eq!(restored.digest().0, meta.digest);
+        assert_eq!(restored.digest(), gpu.digest());
+    }
+
+    #[test]
+    fn single_sync_mode_is_correct_on_ssd() {
+        let gpu = tiny_gpu(300, 3);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let device: Arc<dyn PersistentDevice> = ssd.clone();
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(8)
+            .single_sync(true)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size()).unwrap();
+        gpu.update();
+        engine.checkpoint(&gpu, 1);
+        engine.drain();
+        // Crash: the committed checkpoint must survive the msync-deferred path.
+        ssd.crash_now();
+        ssd.recover();
+        let store = CheckpointStore::open(ssd).unwrap();
+        let meta = store.latest_committed().unwrap();
+        assert_eq!(meta.iteration, 1);
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        store
+            .device()
+            .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)
+            .unwrap();
+        let layout = gpu.with_weights(|s| s.layout());
+        let restored = TrainingState::restore(&layout, &payload, meta.iteration);
+        assert_eq!(restored.digest().0, meta.digest, "payload survived msync");
+    }
+
+    #[test]
+    fn per_thread_fences_required_on_pmem() {
+        // On PMEM, writer threads fence their own stores (single_sync=false)
+        // and the data survives a crash.
+        let gpu = tiny_gpu(300, 4);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(1);
+        let pmem = Arc::new(PmemDevice::new(
+            DeviceConfig::fast_for_tests(cap),
+            PmemWriteMode::NtStore,
+        ));
+        let device: Arc<dyn PersistentDevice> = pmem.clone();
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(3)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(8)
+            .single_sync(false)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size()).unwrap();
+        gpu.update();
+        engine.checkpoint(&gpu, 1);
+        engine.drain();
+        pmem.crash_now();
+        pmem.recover();
+        let store = CheckpointStore::open(pmem).unwrap();
+        let meta = store.latest_committed().unwrap();
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        store
+            .device()
+            .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)
+            .unwrap();
+        let layout = gpu.with_weights(|s| s.layout());
+        let restored = TrainingState::restore(&layout, &payload, meta.iteration);
+        assert_eq!(restored.digest().0, meta.digest);
+    }
+
+    #[test]
+    fn single_sync_on_pmem_loses_data_as_the_paper_warns() {
+        // §4.1: the main thread's fence cannot cover worker stores on PMEM.
+        // Configuring single_sync on PMEM is a bug our substrate catches:
+        // after a crash, the payload does not verify.
+        let gpu = tiny_gpu(300, 5);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(1);
+        let pmem = Arc::new(PmemDevice::new(
+            DeviceConfig::fast_for_tests(cap),
+            PmemWriteMode::NtStore,
+        ));
+        let device: Arc<dyn PersistentDevice> = pmem.clone();
+        let config = PcCheckConfig::builder()
+            .max_concurrent(1)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(8)
+            .single_sync(true) // WRONG on PMEM
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size()).unwrap();
+        gpu.update();
+        engine.checkpoint(&gpu, 1);
+        engine.drain();
+        pmem.crash_now();
+        pmem.recover();
+        let store = CheckpointStore::open(pmem).unwrap();
+        // The commit record may exist (the committer fenced its own meta
+        // write), but the payload written by *other* threads was never
+        // fenced, so verification must fail.
+        if let Some(meta) = store.latest_committed() {
+            let mut payload = vec![0u8; meta.payload_len as usize];
+            store
+                .device()
+                .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)
+                .unwrap();
+            let layout = gpu.with_weights(|s| s.layout());
+            let restored = TrainingState::restore(&layout, &payload, meta.iteration);
+            assert_ne!(
+                restored.digest().0,
+                meta.digest,
+                "unfenced worker stores must not survive the crash"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_is_limited_to_n() {
+        let (engine, gpu) = ssd_engine(300, 2, 1, true);
+        for iter in 1..=6 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+        }
+        engine.drain();
+        assert_eq!(engine.stats().requested(), 6);
+        // DRAM pool never exceeded its chunk budget.
+        assert!(engine.dram_pool().peak_outstanding() <= 8);
+    }
+
+    #[test]
+    fn update_proceeds_while_checkpoint_persists() {
+        let (engine, gpu) = ssd_engine(300, 2, 2, true);
+        gpu.update();
+        engine.checkpoint(&gpu, 1);
+        // The next update may briefly wait for the snapshot copy but must
+        // not wait for the persist: with a fast device this returns quickly.
+        gpu.update();
+        assert_eq!(gpu.step_count(), 2);
+        engine.drain();
+    }
+
+    #[test]
+    fn non_pipelined_requires_dram_for_a_full_checkpoint() {
+        let gpu = tiny_gpu(4096, 9);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(2) // 128 bytes of DRAM for a 4 KB checkpoint
+            .pipelined(false)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            PcCheckEngine::new(config, device, gpu.state_size()),
+            Err(PccheckError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn with_store_rejects_too_few_slots() {
+        let gpu = tiny_gpu(300, 8);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 2) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(CheckpointStore::format(device, gpu.state_size(), 2).unwrap());
+        let config = PcCheckConfig::builder().max_concurrent(3).build().unwrap();
+        assert!(matches!(
+            PcCheckEngine::with_store(config, store),
+            Err(PccheckError::InvalidConfig(_))
+        ));
+    }
+}

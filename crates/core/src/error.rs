@@ -1,0 +1,87 @@
+//! Error type for PCcheck operations.
+
+use std::error::Error;
+use std::fmt;
+
+use pccheck_device::DeviceError;
+
+/// Errors returned by PCcheck's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PccheckError {
+    /// An underlying device operation failed.
+    Device(DeviceError),
+    /// The configuration is inconsistent (e.g., zero writer threads, or the
+    /// store cannot hold N+1 checkpoints).
+    InvalidConfig(String),
+    /// Recovery found no committed checkpoint on the device.
+    NoCheckpoint,
+    /// Recovery found a committed record whose payload failed verification
+    /// (digest mismatch — data loss or a commit-protocol bug).
+    CorruptCheckpoint {
+        /// The checkpoint counter whose payload was invalid.
+        counter: u64,
+    },
+    /// A distributed peer reported a checkpoint ordering that conflicts
+    /// with the coordinator's view.
+    CoordinationConflict(String),
+}
+
+impl fmt::Display for PccheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PccheckError::Device(e) => write!(f, "device error: {e}"),
+            PccheckError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PccheckError::NoCheckpoint => write!(f, "no committed checkpoint on device"),
+            PccheckError::CorruptCheckpoint { counter } => {
+                write!(f, "checkpoint {counter} failed payload verification")
+            }
+            PccheckError::CoordinationConflict(msg) => {
+                write!(f, "distributed coordination conflict: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for PccheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PccheckError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for PccheckError {
+    fn from(e: DeviceError) -> Self {
+        PccheckError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PccheckError::from(DeviceError::Crashed);
+        assert!(e.to_string().contains("device error"));
+        assert!(e.source().is_some());
+        assert!(PccheckError::NoCheckpoint.source().is_none());
+        assert!(PccheckError::CorruptCheckpoint { counter: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(PccheckError::InvalidConfig("p=0".into())
+            .to_string()
+            .contains("p=0"));
+        assert!(PccheckError::CoordinationConflict("rank 2".into())
+            .to_string()
+            .contains("rank 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<PccheckError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Checkpoint metadata records (`Check_meta` in Listing 1).
+//!
+//! A [`CheckMeta`] describes one checkpoint: its global counter (the total
+//! order among checkpoints), the slot holding its payload, the training
+//! iteration it captured, the payload length and digest. Records serialize
+//! to a fixed 64-byte cell — one cache line — with an internal checksum so
+//! recovery can detect torn or stale records after a crash.
+
+use pccheck_gpu::StateDigest;
+
+/// Serialized size of a metadata record: one cache line.
+pub const META_RECORD_SIZE: u64 = 64;
+
+const META_MAGIC: u32 = 0x5043_4B31; // "PCK1"
+
+/// Metadata of a single checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckMeta {
+    /// Global order among checkpoints (Listing 1's `curr_counter`).
+    pub counter: u64,
+    /// Index of the storage slot holding the payload
+    /// (Listing 1's `data_location`).
+    pub slot: u32,
+    /// Training iteration the checkpoint captured.
+    pub iteration: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// Digest of the captured training state.
+    pub digest: u64,
+}
+
+impl CheckMeta {
+    /// Serializes to a 64-byte record with magic and checksum.
+    pub fn encode(&self) -> [u8; META_RECORD_SIZE as usize] {
+        let mut buf = [0u8; META_RECORD_SIZE as usize];
+        buf[0..4].copy_from_slice(&META_MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.slot.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.counter.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.iteration.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.payload_len.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.digest.to_le_bytes());
+        let crc = checksum(&buf[0..40]);
+        buf[40..48].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a record, returning `None` if the magic or checksum is wrong
+    /// (torn write, never-written cell, or corruption).
+    pub fn decode(buf: &[u8]) -> Option<CheckMeta> {
+        if buf.len() < META_RECORD_SIZE as usize {
+            return None;
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        if magic != META_MAGIC {
+            return None;
+        }
+        let stored_crc = u64::from_le_bytes(buf[40..48].try_into().ok()?);
+        if checksum(&buf[0..40]) != stored_crc {
+            return None;
+        }
+        Some(CheckMeta {
+            slot: u32::from_le_bytes(buf[4..8].try_into().ok()?),
+            counter: u64::from_le_bytes(buf[8..16].try_into().ok()?),
+            iteration: u64::from_le_bytes(buf[16..24].try_into().ok()?),
+            payload_len: u64::from_le_bytes(buf[24..32].try_into().ok()?),
+            digest: u64::from_le_bytes(buf[32..40].try_into().ok()?),
+        })
+    }
+
+    /// The state digest as the GPU crate's type.
+    pub fn state_digest(&self) -> StateDigest {
+        StateDigest(self.digest)
+    }
+}
+
+/// The in-memory `CHECK_ADDR` word: (counter, slot) packed into a `u64` so a
+/// single CAS can swing the "latest committed checkpoint" pointer
+/// (Listing 1, line 20).
+///
+/// Counter occupies the high 48 bits, slot the low 16. The packing keeps
+/// the total order: comparing packed words compares counters first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PackedCheckAddr(pub u64);
+
+/// Sentinel for "no checkpoint committed yet" (counter 0 is never issued —
+/// the global counter starts at 1).
+pub const CHECK_ADDR_NONE: PackedCheckAddr = PackedCheckAddr(0);
+
+impl PackedCheckAddr {
+    /// Packs a counter and slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter exceeds 48 bits or the slot exceeds 16 bits.
+    pub fn pack(counter: u64, slot: u32) -> Self {
+        assert!(counter < (1 << 48), "checkpoint counter overflow");
+        assert!(slot < (1 << 16), "slot index overflow");
+        PackedCheckAddr((counter << 16) | u64::from(slot))
+    }
+
+    /// The checkpoint counter.
+    pub fn counter(self) -> u64 {
+        self.0 >> 16
+    }
+
+    /// The slot index.
+    pub fn slot(self) -> u32 {
+        (self.0 & 0xFFFF) as u32
+    }
+
+    /// Whether this is the "no checkpoint yet" sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// FNV-1a over `data` (the record checksum).
+pub(crate) fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CheckMeta {
+        CheckMeta {
+            counter: 42,
+            slot: 3,
+            iteration: 1000,
+            payload_len: 123_456,
+            digest: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        let buf = m.encode();
+        assert_eq!(CheckMeta::decode(&buf), Some(m));
+        assert_eq!(m.state_digest(), StateDigest(0xdead_beef_cafe_f00d));
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut buf = sample().encode();
+        buf[0] ^= 0xFF;
+        assert_eq!(CheckMeta::decode(&buf), None);
+    }
+
+    #[test]
+    fn decode_rejects_torn_record() {
+        let mut buf = sample().encode();
+        buf[20] ^= 0x01; // flip a bit inside the payload fields
+        assert_eq!(CheckMeta::decode(&buf), None);
+    }
+
+    #[test]
+    fn decode_rejects_zeroed_cell() {
+        assert_eq!(CheckMeta::decode(&[0u8; 64]), None);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert_eq!(CheckMeta::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn packed_addr_round_trip() {
+        let p = PackedCheckAddr::pack(99, 7);
+        assert_eq!(p.counter(), 99);
+        assert_eq!(p.slot(), 7);
+        assert!(!p.is_none());
+        assert!(CHECK_ADDR_NONE.is_none());
+    }
+
+    #[test]
+    fn packed_addr_orders_by_counter() {
+        let older = PackedCheckAddr::pack(5, 9);
+        let newer = PackedCheckAddr::pack(6, 0);
+        assert!(newer > older, "counter dominates slot in the ordering");
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn counter_overflow_panics() {
+        PackedCheckAddr::pack(1 << 48, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index overflow")]
+    fn slot_overflow_panics() {
+        PackedCheckAddr::pack(0, 1 << 16);
+    }
+
+    proptest! {
+        #[test]
+        fn any_meta_round_trips(counter in 0u64..(1<<48), slot in 0u32..(1<<16),
+                                iteration in any::<u64>(), payload_len in any::<u64>(),
+                                digest in any::<u64>()) {
+            let m = CheckMeta { counter, slot, iteration, payload_len, digest };
+            prop_assert_eq!(CheckMeta::decode(&m.encode()), Some(m));
+            let p = PackedCheckAddr::pack(counter, slot);
+            prop_assert_eq!(p.counter(), counter);
+            prop_assert_eq!(p.slot(), slot);
+        }
+
+        #[test]
+        fn single_bitflip_is_detected(pos in 0usize..48, bit in 0u8..8) {
+            let mut buf = sample().encode();
+            buf[pos] ^= 1 << bit;
+            prop_assert_eq!(CheckMeta::decode(&buf), None);
+        }
+    }
+}

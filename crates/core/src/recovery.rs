@@ -1,0 +1,305 @@
+//! Recovery: loading the latest committed checkpoint after a failure, and
+//! the analytical recovery-time models of §4.2.
+
+use std::sync::Arc;
+
+use pccheck_device::PersistentDevice;
+use pccheck_gpu::Gpu;
+use pccheck_util::SimDuration;
+
+use crate::error::PccheckError;
+use crate::meta::checksum;
+use crate::store::CheckpointStore;
+
+/// A checkpoint loaded back from persistent storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredCheckpoint {
+    /// The iteration the checkpoint captured.
+    pub iteration: u64,
+    /// The checkpoint's global counter.
+    pub counter: u64,
+    /// The raw payload (serialized training state).
+    pub payload: Vec<u8>,
+    /// The digest recorded at commit time.
+    pub digest: u64,
+}
+
+impl RecoveredCheckpoint {
+    /// Restores a GPU's training state from this checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload size does not match the GPU's state layout.
+    pub fn restore_into(&self, gpu: &Gpu) {
+        gpu.restore(&self.payload, self.iteration);
+    }
+}
+
+/// Loads and verifies the latest committed checkpoint from `device`.
+///
+/// The persistent iterator of §4.2: reads `CHECK_ADDR`, follows it to the
+/// slot, and verifies the payload against the recorded digest (using the
+/// training-state digest when available, falling back to a raw checksum
+/// comparison for non-state payloads).
+///
+/// # Errors
+///
+/// * [`PccheckError::NoCheckpoint`] if the device holds no committed
+///   checkpoint.
+/// * [`PccheckError::CorruptCheckpoint`] if the committed payload fails
+///   verification.
+/// * [`PccheckError::InvalidConfig`] if the device holds no PCcheck store.
+pub fn recover(device: Arc<dyn PersistentDevice>) -> Result<RecoveredCheckpoint, PccheckError> {
+    let store = CheckpointStore::open(device)?;
+    let meta = store.latest_committed().ok_or(PccheckError::NoCheckpoint)?;
+    let mut payload = vec![0u8; meta.payload_len as usize];
+    store
+        .device()
+        .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)?;
+    Ok(RecoveredCheckpoint {
+        iteration: meta.iteration,
+        counter: meta.counter,
+        payload,
+        digest: meta.digest,
+    })
+}
+
+/// Verifies a recovered payload against a digest computed by
+/// [`pccheck_gpu::TrainingState::digest`] over the reconstructed state.
+///
+/// # Errors
+///
+/// Returns [`PccheckError::CorruptCheckpoint`] on mismatch.
+pub fn verify_against_state(
+    recovered: &RecoveredCheckpoint,
+    layout: &pccheck_gpu::tensor::StateLayout,
+) -> Result<(), PccheckError> {
+    let restored =
+        pccheck_gpu::TrainingState::restore(layout, &recovered.payload, recovered.iteration);
+    if restored.digest().0 != recovered.digest {
+        return Err(PccheckError::CorruptCheckpoint {
+            counter: recovered.counter,
+        });
+    }
+    Ok(())
+}
+
+/// Verifies a raw payload (not a training state) against an FNV digest.
+///
+/// # Errors
+///
+/// Returns [`PccheckError::CorruptCheckpoint`] on mismatch.
+pub fn verify_raw(recovered: &RecoveredCheckpoint) -> Result<(), PccheckError> {
+    if checksum(&recovered.payload) != recovered.digest {
+        return Err(PccheckError::CorruptCheckpoint {
+            counter: recovered.counter,
+        });
+    }
+    Ok(())
+}
+
+/// The checkpointing strategies whose recovery behavior §4.2 models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// PCcheck with `N` concurrent checkpoints.
+    PcCheck {
+        /// Number of concurrent checkpoints.
+        n: usize,
+    },
+    /// CheckFreq: one asynchronous checkpoint at a time.
+    CheckFreq,
+    /// Gemini: one asynchronous (remote-DRAM) checkpoint at a time.
+    Gemini,
+    /// GPM: training stalls while each checkpoint persists.
+    Gpm,
+}
+
+/// Analytical recovery-time model (§4.2, equation (4) and the baselines'
+/// bounds).
+///
+/// Inputs: iteration time `t`, checkpoint interval `f`, checkpoint write
+/// time `Tw`, and checkpoint load time `l`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Per-iteration training time `t`.
+    pub iter_time: SimDuration,
+    /// Checkpoint interval in iterations `f`.
+    pub interval: u64,
+    /// Time to write one checkpoint end-to-end, `Tw`.
+    pub write_time: SimDuration,
+    /// Time to load a checkpoint back to the GPU, `l`.
+    pub load_time: SimDuration,
+}
+
+impl RecoveryModel {
+    /// Worst-case recovery time for `strategy`.
+    ///
+    /// * PCcheck: `l + f·t + t·min(N·f, Tw/t)` (eq. 4),
+    /// * CheckFreq / Gemini: `l + 2·f·t`,
+    /// * GPM: `l + f·t`.
+    pub fn worst_case(&self, strategy: Strategy) -> SimDuration {
+        let ft = self.iter_time * self.interval;
+        match strategy {
+            Strategy::PcCheck { n } => {
+                let nf_iters = (n as u64) * self.interval;
+                let tw_iters = self.write_time.as_secs_f64() / self.iter_time.as_secs_f64();
+                let lost_iters = (nf_iters as f64).min(tw_iters);
+                self.load_time + ft + self.iter_time.mul_f64(lost_iters)
+            }
+            Strategy::CheckFreq | Strategy::Gemini => self.load_time + ft * 2,
+            Strategy::Gpm => self.load_time + ft,
+        }
+    }
+
+    /// Expected (average) recovery time: uniform failure arrival within the
+    /// worst-case window means half the lost work on average, plus the full
+    /// load time.
+    pub fn average(&self, strategy: Strategy) -> SimDuration {
+        let worst = self.worst_case(strategy);
+        let lost = worst - self.load_time;
+        self.load_time + lost / 2
+    }
+
+    /// Upper bound on iterations to re-execute after a failure.
+    pub fn lost_iterations(&self, strategy: Strategy) -> f64 {
+        let worst = self.worst_case(strategy);
+        (worst - self.load_time).as_secs_f64() / self.iter_time.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck_device::{DeviceConfig, SsdDevice};
+    use pccheck_gpu::{GpuConfig, TrainingState};
+    use pccheck_util::ByteSize;
+
+    use crate::config::PcCheckConfig;
+    use crate::engine::PcCheckEngine;
+    use pccheck_gpu::Checkpointer;
+
+    #[test]
+    fn end_to_end_checkpoint_recover_resume() {
+        let state = TrainingState::synthetic(ByteSize::from_bytes(300), 11);
+        let gpu = Gpu::new(GpuConfig::fast_for_tests(), state);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let device: Arc<dyn PersistentDevice> = ssd.clone();
+        let engine = PcCheckEngine::new(
+            PcCheckConfig::builder()
+                .max_concurrent(2)
+                .writer_threads(2)
+                .chunk_size(ByteSize::from_bytes(64))
+                .dram_chunks(6)
+                .build()
+                .unwrap(),
+            device,
+            gpu.state_size(),
+        )
+        .unwrap();
+
+        for iter in 1..=5 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+        }
+        engine.drain();
+        let digest_at_5 = gpu.digest();
+
+        // Failure: GPU state lost, device crashes and is re-attached.
+        ssd.crash_now();
+        ssd.recover();
+        let recovered = recover(ssd).unwrap();
+        assert_eq!(recovered.iteration, 5);
+        let layout = gpu.with_weights(|s| s.layout());
+        verify_against_state(&recovered, &layout).unwrap();
+
+        // Resume on a fresh GPU.
+        let fresh = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(300), 999),
+        );
+        recovered.restore_into(&fresh);
+        assert_eq!(fresh.digest(), digest_at_5);
+        assert_eq!(fresh.step_count(), 5);
+    }
+
+    #[test]
+    fn recover_without_any_commit_errors() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 2);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 2).unwrap();
+        assert_eq!(recover(dev), Err(PccheckError::NoCheckpoint));
+    }
+
+    #[test]
+    fn verify_raw_detects_corruption() {
+        let good = RecoveredCheckpoint {
+            iteration: 1,
+            counter: 1,
+            payload: b"abc".to_vec(),
+            digest: checksum(b"abc"),
+        };
+        verify_raw(&good).unwrap();
+        let bad = RecoveredCheckpoint {
+            digest: checksum(b"abd"),
+            ..good
+        };
+        assert_eq!(
+            verify_raw(&bad),
+            Err(PccheckError::CorruptCheckpoint { counter: 1 })
+        );
+    }
+
+    fn model() -> RecoveryModel {
+        RecoveryModel {
+            iter_time: SimDuration::from_secs(2),   // OPT-1.3B
+            interval: 10,
+            write_time: SimDuration::from_secs(37), // 16.2 GB on pd-ssd
+            load_time: SimDuration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn recovery_bounds_match_section_4_2() {
+        let m = model();
+        // GPM: l + f·t = 10 + 20 = 30.
+        assert_eq!(m.worst_case(Strategy::Gpm), SimDuration::from_secs(30));
+        // CheckFreq/Gemini: l + 2·f·t = 10 + 40 = 50.
+        assert_eq!(m.worst_case(Strategy::CheckFreq), SimDuration::from_secs(50));
+        assert_eq!(m.worst_case(Strategy::Gemini), SimDuration::from_secs(50));
+        // PCcheck N=2: min(N·f, Tw/t) = min(20, 18.5) = 18.5 iterations.
+        let pc = m.worst_case(Strategy::PcCheck { n: 2 });
+        assert!((pc.as_secs_f64() - (10.0 + 20.0 + 37.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pccheck_lost_work_is_bounded_by_tw_when_small() {
+        // When Tw < N·f·t, lost iterations are bounded by Tw/t, not N·f.
+        let m = RecoveryModel {
+            iter_time: SimDuration::from_secs(1),
+            interval: 100,
+            write_time: SimDuration::from_secs(5),
+            load_time: SimDuration::ZERO,
+        };
+        let lost = m.lost_iterations(Strategy::PcCheck { n: 4 });
+        assert!((lost - 105.0).abs() < 1e-9, "f + Tw/t = 100 + 5");
+    }
+
+    #[test]
+    fn average_is_half_of_lost_work_plus_load() {
+        let m = model();
+        let avg = m.average(Strategy::CheckFreq);
+        // (50 - 10)/2 + 10 = 30.
+        assert_eq!(avg, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn more_frequent_checkpoints_recover_faster() {
+        let mut m = model();
+        let slow = m.worst_case(Strategy::PcCheck { n: 2 });
+        m.interval = 2;
+        let fast = m.worst_case(Strategy::PcCheck { n: 2 });
+        assert!(fast < slow);
+    }
+}

@@ -1,0 +1,762 @@
+//! The persistent checkpoint store: device layout and the concurrent
+//! commit protocol of Listing 1.
+//!
+//! # Device layout
+//!
+//! ```text
+//! +--------------------+  offset 0
+//! | store header (64B) |  magic, slot count, slot size
+//! +--------------------+  offset 64
+//! | CHECK_ADDR record  |  CheckMeta of the latest committed checkpoint
+//! |        (64B)       |  (one cache line: atomically persistable)
+//! +--------------------+  offset 128
+//! | slot 0 meta (64B)  |
+//! | slot 0 payload     |
+//! +--------------------+
+//! | slot 1 meta ...    |
+//! +--------------------+
+//! ```
+//!
+//! With `N` allowed concurrent checkpoints the store holds `N+1` slots —
+//! the `(N+1)·m` storage footprint of Table 1 — guaranteeing one fully
+//! persisted checkpoint exists at all times once the first commit lands.
+//!
+//! # Commit protocol (Listing 1)
+//!
+//! 1. read the current `CHECK_ADDR` (`last_check`),
+//! 2. `atomic_add` the global counter → `curr_counter`,
+//! 3. dequeue a free slot from the lock-free queue (spinning if none),
+//! 4. write + persist the payload (the engine does this with `p` writer
+//!    threads),
+//! 5. write + persist the slot's meta record (`BARRIER(cur_check)`),
+//! 6. CAS the in-memory `CHECK_ADDR` from `last_check` to
+//!    `(curr_counter, slot)`:
+//!    * success → persist `CHECK_ADDR`, enqueue the displaced slot,
+//!    * failure with a newer counter installed → persist `CHECK_ADDR`
+//!      (helping), enqueue *our own* slot (our checkpoint is obsolete),
+//!    * failure with an older counter → reload and retry the CAS.
+//!
+//! The invariant maintained: the slot referenced by the durable
+//! `CHECK_ADDR` is never in the free queue, so no concurrent checkpoint
+//! can overwrite the latest committed state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pccheck_device::PersistentDevice;
+use pccheck_util::ByteSize;
+
+use crate::error::PccheckError;
+use crate::meta::{CheckMeta, PackedCheckAddr, META_RECORD_SIZE};
+use crate::queue::SlotQueue;
+
+const STORE_MAGIC: u64 = 0x5043_6368_6543_6B31; // "PCcheCk1"
+const HEADER_SIZE: u64 = 64;
+const CHECK_ADDR_OFFSET: u64 = HEADER_SIZE;
+const SLOTS_OFFSET: u64 = HEADER_SIZE + META_RECORD_SIZE;
+
+/// Outcome of a commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// This checkpoint became the latest committed one.
+    Committed,
+    /// A newer checkpoint won the race; this one was discarded (its slot
+    /// returned to the free queue). Still a success: a *newer* state is
+    /// durable.
+    SupersededBy {
+        /// Counter of the newer committed checkpoint.
+        counter: u64,
+    },
+}
+
+/// A checkpoint slot leased from the store for writing.
+///
+/// Obtained from [`CheckpointStore::begin_checkpoint`]; the holder writes
+/// the payload at [`payload_offset`](SlotLease::payload_offset) and then
+/// calls [`CheckpointStore::commit`].
+#[derive(Debug)]
+pub struct SlotLease {
+    /// The global counter assigned to this checkpoint.
+    pub counter: u64,
+    /// The slot index leased.
+    pub slot: u32,
+    /// The `CHECK_ADDR` observed before the counter was taken (Listing 1
+    /// line 3) — the CAS baseline.
+    last_check: PackedCheckAddr,
+}
+
+/// The persistent checkpoint store.
+///
+/// Thread-safe: any number of checkpoints proceed concurrently; the commit
+/// protocol is lock-free when at most `slots` checkpoints are in flight.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    device: Arc<dyn PersistentDevice>,
+    slot_size: ByteSize,
+    num_slots: u32,
+    global_counter: AtomicU64,
+    /// In-memory CHECK_ADDR (packed counter+slot).
+    check_addr: AtomicU64,
+    free_slots: SlotQueue,
+    /// Serializes write+persist of the durable CHECK_ADDR record so a stale
+    /// value can never overwrite a newer persisted one (the hardware analog:
+    /// a cache-line write-back persists the line's *current* content).
+    check_addr_io: Mutex<u64>, // last persisted counter
+}
+
+impl CheckpointStore {
+    /// Bytes of device space needed for `slots` slots of `slot_size` each.
+    pub fn required_capacity(slot_size: ByteSize, slots: u32) -> ByteSize {
+        ByteSize::from_bytes(SLOTS_OFFSET)
+            + (ByteSize::from_bytes(META_RECORD_SIZE) + slot_size) * u64::from(slots)
+    }
+
+    /// Formats a store on `device` with `slots` slots of `slot_size` bytes
+    /// (use `N+1` slots for `N` concurrent checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if geometry is invalid or the
+    /// device is too small, or a device error if formatting I/O fails.
+    pub fn format(
+        device: Arc<dyn PersistentDevice>,
+        slot_size: ByteSize,
+        slots: u32,
+    ) -> Result<Self, PccheckError> {
+        if slots < 2 {
+            return Err(PccheckError::InvalidConfig(
+                "store needs at least 2 slots (N>=1 concurrent + 1 committed)".into(),
+            ));
+        }
+        if slot_size.is_zero() {
+            return Err(PccheckError::InvalidConfig("slot size must be nonzero".into()));
+        }
+        let needed = Self::required_capacity(slot_size, slots);
+        if needed > device.capacity() {
+            return Err(PccheckError::InvalidConfig(format!(
+                "device capacity {} < required {}",
+                device.capacity(),
+                needed
+            )));
+        }
+        // Write the store header.
+        let mut header = [0u8; HEADER_SIZE as usize];
+        header[0..8].copy_from_slice(&STORE_MAGIC.to_le_bytes());
+        header[8..12].copy_from_slice(&slots.to_le_bytes());
+        header[12..20].copy_from_slice(&slot_size.as_u64().to_le_bytes());
+        device.write_at(0, &header)?;
+        // Zero the CHECK_ADDR record (no committed checkpoint).
+        device.write_at(CHECK_ADDR_OFFSET, &[0u8; META_RECORD_SIZE as usize])?;
+        device.persist(0, SLOTS_OFFSET)?;
+
+        Ok(CheckpointStore {
+            device,
+            slot_size,
+            num_slots: slots,
+            global_counter: AtomicU64::new(1),
+            check_addr: AtomicU64::new(0),
+            free_slots: (0..slots).collect(),
+            check_addr_io: Mutex::new(0),
+        })
+    }
+
+    /// Reopens a store previously formatted on `device` (the recovery
+    /// path). Rebuilds the in-memory state: the committed checkpoint stays
+    /// leased; all other slots go back to the free queue; the global
+    /// counter resumes above the highest counter found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if no valid store header is
+    /// found, or a device error if reads fail.
+    pub fn open(device: Arc<dyn PersistentDevice>) -> Result<Self, PccheckError> {
+        let mut header = [0u8; HEADER_SIZE as usize];
+        device.read_durable_at(0, &mut header)?;
+        let magic = u64::from_le_bytes(header[0..8].try_into().expect("slice len"));
+        if magic != STORE_MAGIC {
+            return Err(PccheckError::InvalidConfig(
+                "device holds no PCcheck store (bad magic)".into(),
+            ));
+        }
+        let slots = u32::from_le_bytes(header[8..12].try_into().expect("slice len"));
+        let slot_size =
+            ByteSize::from_bytes(u64::from_le_bytes(header[12..20].try_into().expect("len")));
+
+        // Find the committed checkpoint: trust CHECK_ADDR, fall back to a
+        // slot scan if the record is torn or its payload fails validation.
+        let committed = Self::find_committed(device.as_ref(), slots, slot_size)?;
+
+        let mut max_counter = 0;
+        let mut free: Vec<u32> = Vec::new();
+        let committed_slot = committed.as_ref().map(|m| m.slot);
+        for s in 0..slots {
+            if Some(s) != committed_slot {
+                free.push(s);
+            }
+        }
+        if let Some(m) = &committed {
+            max_counter = m.counter;
+        }
+
+        let check_addr = committed
+            .as_ref()
+            .map(|m| PackedCheckAddr::pack(m.counter, m.slot))
+            .unwrap_or(crate::meta::CHECK_ADDR_NONE);
+
+        Ok(CheckpointStore {
+            device,
+            slot_size,
+            num_slots: slots,
+            global_counter: AtomicU64::new(max_counter + 1),
+            check_addr: AtomicU64::new(check_addr.0),
+            free_slots: free.into_iter().collect(),
+            check_addr_io: Mutex::new(max_counter),
+        })
+    }
+
+    fn find_committed(
+        device: &dyn PersistentDevice,
+        slots: u32,
+        slot_size: ByteSize,
+    ) -> Result<Option<CheckMeta>, PccheckError> {
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        device.read_durable_at(CHECK_ADDR_OFFSET, &mut rec)?;
+        let mut best: Option<CheckMeta> = None;
+        if let Some(meta) = CheckMeta::decode(&rec) {
+            if Self::validate_slot(device, &meta, slots, slot_size)? {
+                best = Some(meta);
+            }
+        }
+        // Scan the slots too: the durable CHECK_ADDR may lag a fully
+        // persisted checkpoint whose commit raced the crash. A valid slot
+        // record implies its payload persisted first (the engine orders
+        // payload persist before the meta barrier), and a *recycled* slot
+        // mid-overwrite always carries a counter below the durable
+        // CHECK_ADDR (commit persists CHECK_ADDR before freeing the
+        // displaced slot), so taking the max counter is safe.
+        for s in 0..slots {
+            let off = Self::slot_meta_offset_static(s, slot_size);
+            device.read_durable_at(off, &mut rec)?;
+            if let Some(meta) = CheckMeta::decode(&rec) {
+                if meta.slot == s
+                    && Self::validate_slot(device, &meta, slots, slot_size)?
+                    && best.map_or(true, |b| meta.counter > b.counter)
+                {
+                    best = Some(meta);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    fn validate_slot(
+        device: &dyn PersistentDevice,
+        meta: &CheckMeta,
+        slots: u32,
+        slot_size: ByteSize,
+    ) -> Result<bool, PccheckError> {
+        if meta.slot >= slots || ByteSize::from_bytes(meta.payload_len) > slot_size {
+            return Ok(false);
+        }
+        // Check the slot's own meta record matches the commit record.
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        device.read_durable_at(Self::slot_meta_offset_static(meta.slot, slot_size), &mut rec)?;
+        Ok(CheckMeta::decode(&rec).as_ref() == Some(meta))
+    }
+
+    fn slot_meta_offset_static(slot: u32, slot_size: ByteSize) -> u64 {
+        SLOTS_OFFSET + u64::from(slot) * (META_RECORD_SIZE + slot_size.as_u64())
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn PersistentDevice> {
+        &self.device
+    }
+
+    /// Per-slot payload capacity.
+    pub fn slot_size(&self) -> ByteSize {
+        self.slot_size
+    }
+
+    /// Number of slots (`N+1`).
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Device offset of `slot`'s meta record.
+    pub fn slot_meta_offset(&self, slot: u32) -> u64 {
+        Self::slot_meta_offset_static(slot, self.slot_size)
+    }
+
+    /// Device offset of `slot`'s payload.
+    pub fn slot_payload_offset(&self, slot: u32) -> u64 {
+        self.slot_meta_offset(slot) + META_RECORD_SIZE
+    }
+
+    /// The in-memory view of the latest committed checkpoint.
+    pub fn latest_committed(&self) -> Option<CheckMeta> {
+        let packed = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
+        if packed.is_none() {
+            return None;
+        }
+        // The slot's meta record is authoritative; it was persisted before
+        // CHECK_ADDR swung to it.
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        self.device
+            .read_durable_at(self.slot_meta_offset(packed.slot()), &mut rec)
+            .ok()?;
+        CheckMeta::decode(&rec).filter(|m| m.counter == packed.counter())
+    }
+
+    /// Begins a checkpoint: samples `CHECK_ADDR`, takes a counter, and
+    /// dequeues a free slot (Listing 1, lines 3–11). Spins while all slots
+    /// are occupied by in-flight checkpoints.
+    pub fn begin_checkpoint(&self) -> SlotLease {
+        // Line 3: sample the last committed checkpoint *before* taking the
+        // counter — this makes our eventual CAS legal (§4.1).
+        let last_check = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
+        // Line 5: order ourselves among all checkpoints.
+        let counter = self.global_counter.fetch_add(1, Ordering::AcqRel);
+        // Lines 8-11: find space.
+        let slot = self.free_slots.dequeue_blocking();
+        SlotLease {
+            counter,
+            slot,
+            last_check,
+        }
+    }
+
+    /// Writes a payload chunk into the leased slot at `chunk_offset` within
+    /// the payload area. Does **not** persist — the caller persists via the
+    /// device (per writer thread on PMEM, or one `msync` on SSD).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; rejects writes beyond the slot capacity.
+    pub fn write_payload(
+        &self,
+        lease: &SlotLease,
+        chunk_offset: u64,
+        data: &[u8],
+    ) -> Result<(), PccheckError> {
+        if chunk_offset + data.len() as u64 > self.slot_size.as_u64() {
+            return Err(PccheckError::InvalidConfig(format!(
+                "payload write at {chunk_offset}+{} exceeds slot size {}",
+                data.len(),
+                self.slot_size
+            )));
+        }
+        let base = self.slot_payload_offset(lease.slot);
+        self.device.write_at(base + chunk_offset, data)?;
+        Ok(())
+    }
+
+    /// Persists a payload range of the leased slot (msync/fence granularity
+    /// chosen by the engine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn persist_payload(
+        &self,
+        lease: &SlotLease,
+        chunk_offset: u64,
+        len: u64,
+    ) -> Result<(), PccheckError> {
+        let base = self.slot_payload_offset(lease.slot);
+        self.device.persist(base + chunk_offset, len)?;
+        Ok(())
+    }
+
+    /// Completes the checkpoint: persists the slot's meta record and runs
+    /// the CAS commit loop (Listing 1, lines 16–34). Consumes the lease.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn commit(
+        &self,
+        lease: SlotLease,
+        iteration: u64,
+        payload_len: u64,
+        digest: u64,
+    ) -> Result<CommitOutcome, PccheckError> {
+        let meta = CheckMeta {
+            counter: lease.counter,
+            slot: lease.slot,
+            iteration,
+            payload_len,
+            digest,
+        };
+        // Lines 16-18: persist the checkpoint's own record before
+        // publishing it (BARRIER(cur_check)).
+        let rec = meta.encode();
+        let meta_off = self.slot_meta_offset(lease.slot);
+        self.device.write_at(meta_off, &rec)?;
+        self.device.persist(meta_off, META_RECORD_SIZE)?;
+
+        let ours = PackedCheckAddr::pack(lease.counter, lease.slot);
+        let mut last = lease.last_check;
+        // Lines 19-34: the CAS loop.
+        loop {
+            match self.check_addr.compare_exchange(
+                last.0,
+                ours.0,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // Success: persist CHECK_ADDR, free the displaced slot.
+                    self.persist_check_addr()?;
+                    if !last.is_none() {
+                        // Spin through transient fulls: a concurrent
+                        // dequeuer may be mid-recycle on the target cell.
+                        self.free_slots.enqueue_blocking(last.slot());
+                    }
+                    return Ok(CommitOutcome::Committed);
+                }
+                Err(current) => {
+                    let current = PackedCheckAddr(current);
+                    if current.counter() < lease.counter {
+                        // An older checkpoint is installed: retry against it.
+                        last = current;
+                        continue;
+                    }
+                    // A newer checkpoint won. Help persist CHECK_ADDR, then
+                    // recycle our own slot — our data is obsolete.
+                    self.persist_check_addr()?;
+                    self.free_slots.enqueue_blocking(lease.slot);
+                    return Ok(CommitOutcome::SupersededBy {
+                        counter: current.counter(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Write-back of the shared `CHECK_ADDR` location (the BARRIER on
+    /// CHECK_ADDR): persists the *current* value of the pointer, skipping
+    /// the write if an equal-or-newer value was already persisted.
+    fn persist_check_addr(&self) -> Result<(), PccheckError> {
+        let mut last_persisted = self.check_addr_io.lock();
+        let current = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
+        if current.counter() <= *last_persisted {
+            return Ok(()); // a newer record is already durable
+        }
+        // Re-encode the full meta record for the committed checkpoint from
+        // its slot record (authoritative, already durable).
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        self.device
+            .read_durable_at(self.slot_meta_offset(current.slot()), &mut rec)?;
+        self.device.write_at(CHECK_ADDR_OFFSET, &rec)?;
+        self.device.persist(CHECK_ADDR_OFFSET, META_RECORD_SIZE)?;
+        *last_persisted = current.counter();
+        Ok(())
+    }
+
+    /// Number of slots currently in the free queue (diagnostics).
+    pub fn free_slot_count(&self) -> usize {
+        self.free_slots.len()
+    }
+
+    /// Every slot currently holding a *complete* checkpoint (valid durable
+    /// meta record), sorted by counter ascending. Beyond the latest
+    /// committed checkpoint this may include superseded-but-intact older
+    /// ones — PCcheck's N+1 slots double as a short checkpoint history,
+    /// which the monitoring tooling (§2.1 of the paper) exploits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device read errors.
+    pub fn history(&self) -> Result<Vec<CheckMeta>, PccheckError> {
+        let mut found = Vec::new();
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        for slot in 0..self.num_slots {
+            self.device
+                .read_durable_at(self.slot_meta_offset(slot), &mut rec)?;
+            if let Some(meta) = CheckMeta::decode(&rec) {
+                if meta.slot == slot {
+                    found.push(meta);
+                }
+            }
+        }
+        found.sort_by_key(|m| m.counter);
+        Ok(found)
+    }
+
+    /// Reads the payload of a historical checkpoint identified by `meta`
+    /// (as returned by [`history`](Self::history)), verifying the meta
+    /// record still matches (the slot may have been recycled since).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::CorruptCheckpoint`] if the slot has been
+    /// recycled or torn since `meta` was read; propagates device errors.
+    pub fn read_checkpoint(&self, meta: &CheckMeta) -> Result<Vec<u8>, PccheckError> {
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        self.device
+            .read_durable_at(self.slot_meta_offset(meta.slot), &mut rec)?;
+        if CheckMeta::decode(&rec).as_ref() != Some(meta) {
+            return Err(PccheckError::CorruptCheckpoint {
+                counter: meta.counter,
+            });
+        }
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        self.device
+            .read_durable_at(self.slot_payload_offset(meta.slot), &mut payload)?;
+        // Re-validate after the read: the payload is only trustworthy if
+        // the meta record is unchanged (recycling writes payload first).
+        self.device
+            .read_durable_at(self.slot_meta_offset(meta.slot), &mut rec)?;
+        if CheckMeta::decode(&rec).as_ref() != Some(meta) {
+            return Err(PccheckError::CorruptCheckpoint {
+                counter: meta.counter,
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck_device::{DeviceConfig, SsdDevice};
+
+    fn store(slot_size: u64, slots: u32) -> CheckpointStore {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(slot_size), slots);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        CheckpointStore::format(dev, ByteSize::from_bytes(slot_size), slots).unwrap()
+    }
+
+    fn full_checkpoint(st: &CheckpointStore, iter: u64, payload: &[u8]) -> CommitOutcome {
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let digest = crate::meta::checksum(payload);
+        st.commit(lease, iter, payload.len() as u64, digest).unwrap()
+    }
+
+    #[test]
+    fn format_then_no_committed_checkpoint() {
+        let st = store(256, 3);
+        assert_eq!(st.latest_committed(), None);
+        assert_eq!(st.free_slot_count(), 3);
+        assert_eq!(st.num_slots(), 3);
+        assert_eq!(st.slot_size().as_u64(), 256);
+    }
+
+    #[test]
+    fn commit_installs_latest() {
+        let st = store(256, 3);
+        let out = full_checkpoint(&st, 10, b"payload-at-iter-10");
+        assert_eq!(out, CommitOutcome::Committed);
+        let meta = st.latest_committed().unwrap();
+        assert_eq!(meta.iteration, 10);
+        assert_eq!(meta.payload_len, 18);
+        // Committed slot is held out of the queue.
+        assert_eq!(st.free_slot_count(), 2);
+    }
+
+    #[test]
+    fn successive_commits_recycle_slots() {
+        let st = store(64, 2); // N=1
+        for i in 1..=20u64 {
+            let out = full_checkpoint(&st, i, format!("it{i}").as_bytes());
+            assert_eq!(out, CommitOutcome::Committed);
+            assert_eq!(st.latest_committed().unwrap().iteration, i);
+            assert_eq!(st.free_slot_count(), 1);
+        }
+    }
+
+    #[test]
+    fn out_of_order_commit_is_superseded() {
+        let st = store(64, 3);
+        let lease_old = st.begin_checkpoint(); // counter 1
+        let lease_new = st.begin_checkpoint(); // counter 2
+        st.write_payload(&lease_new, 0, b"new").unwrap();
+        st.persist_payload(&lease_new, 0, 3).unwrap();
+        assert_eq!(
+            st.commit(lease_new, 2, 3, 0).unwrap(),
+            CommitOutcome::Committed
+        );
+        st.write_payload(&lease_old, 0, b"old").unwrap();
+        st.persist_payload(&lease_old, 0, 3).unwrap();
+        let out = st.commit(lease_old, 1, 3, 0).unwrap();
+        assert_eq!(out, CommitOutcome::SupersededBy { counter: 2 });
+        // The newer checkpoint remains installed.
+        assert_eq!(st.latest_committed().unwrap().iteration, 2);
+        // Both non-committed slots are free again.
+        assert_eq!(st.free_slot_count(), 2);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let st = store(8, 2);
+        let lease = st.begin_checkpoint();
+        assert!(st.write_payload(&lease, 4, &[0u8; 8]).is_err());
+        st.write_payload(&lease, 0, &[0u8; 8]).unwrap();
+        // Return the lease through a commit to avoid leaking the slot.
+        st.commit(lease, 1, 8, 0).unwrap();
+    }
+
+    #[test]
+    fn open_recovers_committed_checkpoint() {
+        let payload = b"durable-state".to_vec();
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        {
+            let st =
+                CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+            full_checkpoint(&st, 7, &payload);
+        }
+        dev.crash_now();
+        dev.recover();
+        let st = CheckpointStore::open(Arc::clone(&dev)).unwrap();
+        let meta = st.latest_committed().unwrap();
+        assert_eq!(meta.iteration, 7);
+        assert_eq!(meta.payload_len, payload.len() as u64);
+        // Counter resumes above the recovered one.
+        let lease = st.begin_checkpoint();
+        assert!(lease.counter > meta.counter);
+        assert_ne!(lease.slot, meta.slot, "committed slot is not leased out");
+    }
+
+    #[test]
+    fn open_rejects_unformatted_device() {
+        let dev: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(
+            DeviceConfig::fast_for_tests(ByteSize::from_kb(4)),
+        ));
+        assert!(matches!(
+            CheckpointStore::open(dev),
+            Err(PccheckError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn format_rejects_bad_geometry() {
+        let dev: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(
+            DeviceConfig::fast_for_tests(ByteSize::from_kb(4)),
+        ));
+        assert!(CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 1).is_err());
+        assert!(CheckpointStore::format(Arc::clone(&dev), ByteSize::ZERO, 2).is_err());
+        assert!(
+            CheckpointStore::format(dev, ByteSize::from_gb(1.0), 2).is_err(),
+            "device too small"
+        );
+    }
+
+    #[test]
+    fn crash_before_commit_preserves_previous() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 2);
+        let dev_concrete = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let dev: Arc<dyn PersistentDevice> = dev_concrete.clone();
+        let st = CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 2).unwrap();
+        full_checkpoint(&st, 1, b"first");
+        // Second checkpoint: payload written + persisted, meta written but
+        // CRASH before the meta record persists / CAS runs.
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, b"second").unwrap();
+        st.persist_payload(&lease, 0, 6).unwrap();
+        dev.crash_now();
+        dev.recover();
+        let st2 = CheckpointStore::open(dev).unwrap();
+        let meta = st2.latest_committed().unwrap();
+        assert_eq!(meta.iteration, 1, "first checkpoint survives the crash");
+    }
+
+    #[test]
+    fn fallback_scan_recovers_newer_fully_persisted_slot() {
+        // Commit #1 normally. For #2, persist payload + slot meta, then
+        // crash before CHECK_ADDR persists. The fallback scan must find #2.
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+        full_checkpoint(&st, 1, b"one");
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, b"two").unwrap();
+        st.persist_payload(&lease, 0, 3).unwrap();
+        // Persist the slot meta record manually (as commit() would), then
+        // crash before the CHECK_ADDR update.
+        let meta = CheckMeta {
+            counter: lease.counter,
+            slot: lease.slot,
+            iteration: 2,
+            payload_len: 3,
+            digest: 0,
+        };
+        let off = st.slot_meta_offset(lease.slot);
+        dev.write_at(off, &meta.encode()).unwrap();
+        dev.persist(off, META_RECORD_SIZE).unwrap();
+        dev.crash_now();
+        dev.recover();
+        let st2 = CheckpointStore::open(dev).unwrap();
+        assert_eq!(st2.latest_committed().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn history_lists_complete_checkpoints_in_counter_order() {
+        let st = store(64, 4); // N=3: up to 3 historical + 1 latest
+        for i in 1..=3u64 {
+            full_checkpoint(&st, i, format!("payload-{i}").as_bytes());
+        }
+        let hist = st.history().unwrap();
+        assert_eq!(hist.len(), 3);
+        assert!(hist.windows(2).all(|w| w[0].counter < w[1].counter));
+        assert_eq!(hist.last().unwrap().iteration, 3);
+        // Payloads read back intact.
+        for meta in &hist {
+            let payload = st.read_checkpoint(meta).unwrap();
+            assert_eq!(payload, format!("payload-{}", meta.iteration).into_bytes());
+        }
+    }
+
+    #[test]
+    fn read_checkpoint_detects_recycled_slot() {
+        let st = store(64, 2); // tight store: slots recycle fast
+        full_checkpoint(&st, 1, b"one");
+        let old = st.history().unwrap()[0];
+        full_checkpoint(&st, 2, b"two");
+        full_checkpoint(&st, 3, b"three");
+        // Slot of checkpoint 1 has been recycled by now.
+        assert!(matches!(
+            st.read_checkpoint(&old),
+            Err(PccheckError::CorruptCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_commits_maintain_invariants() {
+        let st = Arc::new(store(64, 4)); // N=3
+        crossbeam::thread::scope(|s| {
+            for t in 0..3u64 {
+                let st = Arc::clone(&st);
+                s.spawn(move |_| {
+                    for i in 0..50u64 {
+                        let iter = t * 1000 + i;
+                        let payload = iter.to_le_bytes();
+                        let lease = st.begin_checkpoint();
+                        st.write_payload(&lease, 0, &payload).unwrap();
+                        st.persist_payload(&lease, 0, 8).unwrap();
+                        st.commit(lease, iter, 8, 0).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // After the dust settles: one committed checkpoint, 3 free slots.
+        let meta = st.latest_committed().expect("something committed");
+        assert!(meta.counter >= 1);
+        assert_eq!(st.free_slot_count(), 3);
+        // The committed payload matches what that iteration wrote.
+        let mut buf = [0u8; 8];
+        st.device()
+            .read_durable_at(st.slot_payload_offset(meta.slot), &mut buf)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(buf), meta.iteration);
+    }
+}

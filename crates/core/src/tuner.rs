@@ -1,0 +1,506 @@
+//! The §3.4 configuration tool: pick `N*` and the minimum checkpoint
+//! interval `f*` that keeps checkpointing overhead under a budget `q`.
+//!
+//! The analysis models training runtime with checkpoints every `f`
+//! iterations and `N` concurrent checkpoints:
+//!
+//! ```text
+//! runtime_2 = f·t + max(Tw, N·f·t) · (A/(f·N) − 1) + Tw
+//! ```
+//!
+//! In the stalling regime (`Tw > N·f·t`), bounding `runtime_2 ≤ q·runtime_0`
+//! (with `runtime_0 = A·t`) and dropping the negligible `f·t` term yields
+//! equation (2): `f ≥ Tw / (N·q·t)`, and the recommended interval is
+//! equation (3): `f* = ceil(Tw / (N*·q·t))`.
+//!
+//! `N*` is found empirically: the tool measures (or accepts a model of)
+//! `Tw(N)` — the per-checkpoint write time under `N`-way contention — and
+//! picks the `N` minimizing `Tw(N)/N`, subject to `N ≤ S/m − 1`.
+
+use pccheck_util::{Bandwidth, ByteSize, SimDuration};
+
+use crate::error::PccheckError;
+
+/// Inputs to the tuner: the "System/Model Parameters" and "User
+/// Constraints" columns of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerInputs {
+    /// Checkpoint size `m`.
+    pub checkpoint_size: ByteSize,
+    /// Iteration time `t`.
+    pub iter_time: SimDuration,
+    /// Storage write bandwidth `T_S`.
+    pub storage_bandwidth: Bandwidth,
+    /// GPU→CPU PCIe bandwidth `T_G`.
+    pub pcie_bandwidth: Bandwidth,
+    /// Total storage budget `S` for checkpoints.
+    pub storage_budget: ByteSize,
+    /// Acceptable slowdown `q ≥ 1` (e.g., 1.03 for 3% overhead).
+    pub max_slowdown: f64,
+}
+
+/// The tuner's recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerRecommendation {
+    /// Chosen number of concurrent checkpoints `N*`.
+    pub concurrent: usize,
+    /// Minimum checkpoint interval `f*` (iterations).
+    pub interval: u64,
+    /// The modeled per-checkpoint write time at `N*`.
+    pub write_time: SimDuration,
+}
+
+/// The §3.4 configuration tool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuner {
+    inputs: TunerInputs,
+}
+
+impl Tuner {
+    /// Creates a tuner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if `q < 1`, the checkpoint
+    /// is empty, or the storage budget cannot hold two checkpoints.
+    pub fn new(inputs: TunerInputs) -> Result<Self, PccheckError> {
+        if inputs.max_slowdown < 1.0 || !inputs.max_slowdown.is_finite() {
+            return Err(PccheckError::InvalidConfig(format!(
+                "slowdown budget q must be >= 1, got {}",
+                inputs.max_slowdown
+            )));
+        }
+        if inputs.checkpoint_size.is_zero() {
+            return Err(PccheckError::InvalidConfig(
+                "checkpoint size must be nonzero".into(),
+            ));
+        }
+        if inputs.storage_budget < inputs.checkpoint_size * 2 {
+            return Err(PccheckError::InvalidConfig(
+                "storage budget must hold at least 2 checkpoints (N=1)".into(),
+            ));
+        }
+        if inputs.iter_time.is_zero() {
+            return Err(PccheckError::InvalidConfig(
+                "iteration time must be nonzero".into(),
+            ));
+        }
+        Ok(Tuner { inputs })
+    }
+
+    /// The inputs.
+    pub fn inputs(&self) -> &TunerInputs {
+        &self.inputs
+    }
+
+    /// Maximum `N` the storage budget allows: `N ≤ S/m − 1`.
+    pub fn max_concurrent(&self) -> usize {
+        let slots = self.inputs.storage_budget.as_u64() / self.inputs.checkpoint_size.as_u64();
+        (slots.saturating_sub(1)) as usize
+    }
+
+    /// Models the end-to-end write time of one checkpoint when `n`
+    /// checkpoints contend: the GPU→DRAM copy at full PCIe bandwidth plus
+    /// the DRAM→storage phase at `T_S / n` (processor sharing). This is the
+    /// analytic stand-in for the tool's empirical profiling round; the
+    /// concrete engine's measured times can be substituted via
+    /// [`recommend_with`](Self::recommend_with).
+    pub fn modeled_write_time(&self, n: usize) -> SimDuration {
+        let m = self.inputs.checkpoint_size;
+        let copy = self.inputs.pcie_bandwidth.transfer_time(m);
+        let persist = self.inputs.storage_bandwidth.shared_by(n).transfer_time(m);
+        // Pipelining overlaps copy and persist; the slower phase dominates,
+        // plus one chunk's worth of lead-in which we fold into the max.
+        copy.max(persist)
+    }
+
+    /// Recommends `N*` and `f*` using the analytic `Tw(N)` model.
+    pub fn recommend(&self) -> TunerRecommendation {
+        self.recommend_with(|n| self.modeled_write_time(n))
+    }
+
+    /// Recommends `N*` and `f*` given a measured `Tw(N)` (the empirical
+    /// profiling round of §3.4).
+    ///
+    /// Picks the `N` in `[1, S/m − 1]` minimizing `Tw(N)/N`, then applies
+    /// equation (3).
+    pub fn recommend_with(
+        &self,
+        mut write_time: impl FnMut(usize) -> SimDuration,
+    ) -> TunerRecommendation {
+        let max_n = self.max_concurrent().max(1);
+        let mut best_n = 1;
+        let mut best_tw = write_time(1);
+        let mut best_ratio = best_tw.as_secs_f64();
+        for n in 2..=max_n {
+            let tw = write_time(n);
+            let ratio = tw.as_secs_f64() / n as f64;
+            if ratio < best_ratio {
+                best_ratio = ratio;
+                best_n = n;
+                best_tw = tw;
+            }
+        }
+        TunerRecommendation {
+            concurrent: best_n,
+            interval: self.min_interval(best_n, best_tw),
+            write_time: best_tw,
+        }
+    }
+
+    /// Equation (3): `f* = ceil(Tw / (N·q·t))`, at least 1 — combined with
+    /// the sustainability floor `f ≥ m / (t·T_S)`: no matter how many
+    /// checkpoints run concurrently, the device must absorb `m` bytes per
+    /// interval, so demand beyond the storage bandwidth stalls training
+    /// regardless of `N`. (The paper's equation (2) presumes Tw was
+    /// measured at the final steady state; making the floor explicit keeps
+    /// the recommendation safe even with a noisy Tw estimate.)
+    pub fn min_interval(&self, n: usize, write_time: SimDuration) -> u64 {
+        let q = self.inputs.max_slowdown;
+        let t = self.inputs.iter_time.as_secs_f64();
+        let f = write_time.as_secs_f64() / (n as f64 * q * t);
+        let sustain = self.inputs.checkpoint_size.as_u64() as f64
+            / (t * self.inputs.storage_bandwidth.as_bytes_per_sec() * q);
+        (f.max(sustain).ceil() as u64).max(1)
+    }
+
+    /// The runtime model: `runtime_2` for `A` iterations with interval `f`
+    /// and `N` concurrent checkpoints (the pre-simplification formula).
+    pub fn modeled_runtime(
+        &self,
+        iterations: u64,
+        interval: u64,
+        n: usize,
+        write_time: SimDuration,
+    ) -> SimDuration {
+        let t = self.inputs.iter_time;
+        let ft = t * interval;
+        let nft = ft * n as u64;
+        let rounds = (iterations as f64 / (interval as f64 * n as f64) - 1.0).max(0.0);
+        ft + write_time.max(nft).mul_f64(rounds) + write_time
+    }
+
+    /// Overhead of the modeled runtime vs no checkpointing.
+    pub fn modeled_overhead(
+        &self,
+        iterations: u64,
+        interval: u64,
+        n: usize,
+        write_time: SimDuration,
+    ) -> f64 {
+        let with = self.modeled_runtime(iterations, interval, n, write_time);
+        let without = self.inputs.iter_time * iterations;
+        with.as_secs_f64() / without.as_secs_f64()
+    }
+}
+
+/// Online re-tuning of the checkpoint interval (§3.4's proposed extension:
+/// "monitor training throughput and traffic between GPU, CPU, and storage,
+/// and adapt (3) accordingly").
+///
+/// The optimal `f*` from equation (3) depends on the iteration time `t`
+/// and the contended write time `Tw`, both of which drift during training
+/// — vision workloads become input-bound, LLM training offloads
+/// activations over the same PCIe/storage paths. [`AdaptiveTuner`] keeps
+/// sliding windows of both measurements and recomputes `f*` whenever the
+/// estimate moves materially.
+///
+/// # Examples
+///
+/// ```
+/// use pccheck::tuner::AdaptiveTuner;
+/// use pccheck_util::SimDuration;
+///
+/// let mut tuner = AdaptiveTuner::new(2, 1.05, 10, SimDuration::from_secs(2), 4);
+/// assert_eq!(tuner.interval(), 10);
+/// // The disk got busier: write times doubled. The interval stretches.
+/// for _ in 0..8 {
+///     tuner.record_iteration(SimDuration::from_secs(2));
+///     tuner.record_write_time(SimDuration::from_secs(168));
+/// }
+/// assert!(tuner.interval() > 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveTuner {
+    n: usize,
+    max_slowdown: f64,
+    interval: u64,
+    window: usize,
+    iter_times: std::collections::VecDeque<f64>,
+    write_times: std::collections::VecDeque<f64>,
+    retunes: u64,
+}
+
+impl AdaptiveTuner {
+    /// Hysteresis: re-tune only when the recomputed interval differs from
+    /// the current one by more than this fraction.
+    const RETUNE_THRESHOLD: f64 = 0.25;
+
+    /// Creates an adaptive tuner starting from `initial_interval`, with a
+    /// sliding window of `window` measurements per signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `q < 1`, `initial_interval == 0`, the seed
+    /// iteration time is zero, or `window == 0`.
+    pub fn new(
+        n: usize,
+        max_slowdown: f64,
+        initial_interval: u64,
+        seed_iter_time: SimDuration,
+        window: usize,
+    ) -> Self {
+        assert!(n > 0, "N must be positive");
+        assert!(max_slowdown >= 1.0, "q must be >= 1");
+        assert!(initial_interval > 0, "interval must be positive");
+        assert!(!seed_iter_time.is_zero(), "iteration time must be nonzero");
+        assert!(window > 0, "window must be positive");
+        let mut iter_times = std::collections::VecDeque::with_capacity(window);
+        iter_times.push_back(seed_iter_time.as_secs_f64());
+        AdaptiveTuner {
+            n,
+            max_slowdown,
+            interval: initial_interval,
+            window,
+            iter_times,
+            write_times: std::collections::VecDeque::with_capacity(window),
+            retunes: 0,
+        }
+    }
+
+    /// The interval currently in force.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of times the interval has been adjusted.
+    pub fn retunes(&self) -> u64 {
+        self.retunes
+    }
+
+    /// Records a measured iteration time.
+    pub fn record_iteration(&mut self, t: SimDuration) {
+        Self::push(&mut self.iter_times, t.as_secs_f64(), self.window);
+        self.maybe_retune();
+    }
+
+    /// Records a measured end-to-end checkpoint write time (`Tw`).
+    pub fn record_write_time(&mut self, tw: SimDuration) {
+        Self::push(&mut self.write_times, tw.as_secs_f64(), self.window);
+        self.maybe_retune();
+    }
+
+    fn push(q: &mut std::collections::VecDeque<f64>, v: f64, cap: usize) {
+        if q.len() == cap {
+            q.pop_front();
+        }
+        q.push_back(v);
+    }
+
+    fn mean(q: &std::collections::VecDeque<f64>) -> Option<f64> {
+        if q.is_empty() {
+            None
+        } else {
+            Some(q.iter().sum::<f64>() / q.len() as f64)
+        }
+    }
+
+    fn maybe_retune(&mut self) {
+        let (Some(t), Some(tw)) = (Self::mean(&self.iter_times), Self::mean(&self.write_times))
+        else {
+            return;
+        };
+        if t <= 0.0 {
+            return;
+        }
+        // Equation (3) with the current estimates.
+        let target = ((tw / (self.n as f64 * self.max_slowdown * t)).ceil() as u64).max(1);
+        let drift =
+            (target as f64 - self.interval as f64).abs() / self.interval as f64;
+        if drift > Self::RETUNE_THRESHOLD {
+            self.interval = target;
+            self.retunes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// OPT-1.3B on the GCP SSD testbed.
+    fn opt13b_inputs() -> TunerInputs {
+        TunerInputs {
+            checkpoint_size: ByteSize::from_gb(16.2),
+            iter_time: SimDuration::from_secs(2),
+            storage_bandwidth: Bandwidth::from_gb_per_sec(16.0 / 37.0),
+            pcie_bandwidth: Bandwidth::from_gb_per_sec(12.0),
+            storage_budget: ByteSize::from_gb(100.0),
+            max_slowdown: 1.05,
+        }
+    }
+
+    #[test]
+    fn max_concurrent_respects_storage_budget() {
+        let t = Tuner::new(opt13b_inputs()).unwrap();
+        // floor(100/16.2) - 1 = 6 - 1 = 5.
+        assert_eq!(t.max_concurrent(), 5);
+    }
+
+    #[test]
+    fn write_time_grows_with_contention() {
+        let t = Tuner::new(opt13b_inputs()).unwrap();
+        let tw1 = t.modeled_write_time(1);
+        let tw4 = t.modeled_write_time(4);
+        assert!(tw4 > tw1, "shared storage bandwidth lengthens Tw");
+        // Single checkpoint: 16.2 GB at 0.4324 GB/s ≈ 37.5 s.
+        assert!((tw1.as_secs_f64() - 37.46).abs() < 0.5);
+    }
+
+    #[test]
+    fn equation_3_interval() {
+        let t = Tuner::new(opt13b_inputs()).unwrap();
+        // f* = ceil(Tw / (N q t)); N=2, Tw(2) ≈ 75 s, q=1.05, t=2:
+        // 75 / (2*1.05*2) ≈ 17.8 → 18.
+        let tw2 = t.modeled_write_time(2);
+        let f = t.min_interval(2, tw2);
+        assert!((17..=19).contains(&f), "f*={f}");
+    }
+
+    #[test]
+    fn recommendation_is_consistent() {
+        let t = Tuner::new(opt13b_inputs()).unwrap();
+        let rec = t.recommend();
+        assert!(rec.concurrent >= 1 && rec.concurrent <= t.max_concurrent());
+        assert!(rec.interval >= 1);
+        // At the recommended configuration, the modeled overhead over a
+        // long run stays within ~q (the dropped f·t term allows slack).
+        let over = t.modeled_overhead(100_000, rec.interval, rec.concurrent, rec.write_time);
+        assert!(
+            over <= 1.05 + 0.01,
+            "overhead {over} exceeds budget at f*={}, N*={}",
+            rec.interval,
+            rec.concurrent
+        );
+    }
+
+    #[test]
+    fn measured_tw_overrides_model() {
+        let t = Tuner::new(opt13b_inputs()).unwrap();
+        // Pretend measurements show Tw flat in N (infinitely parallel
+        // device): then the largest N wins.
+        let rec = t.recommend_with(|_| SimDuration::from_secs(10));
+        assert_eq!(rec.concurrent, t.max_concurrent());
+        // And with Tw growing superlinearly, N=1 wins.
+        let rec = t.recommend_with(|n| SimDuration::from_secs(10 * (n as u64).pow(2)));
+        assert_eq!(rec.concurrent, 1);
+    }
+
+    #[test]
+    fn tighter_budget_means_larger_interval() {
+        let mut inputs = opt13b_inputs();
+        inputs.max_slowdown = 1.01;
+        let strict = Tuner::new(inputs).unwrap().recommend();
+        let loose = Tuner::new(opt13b_inputs()).unwrap().recommend();
+        assert!(strict.interval >= loose.interval);
+    }
+
+    #[test]
+    fn runtime_model_reduces_to_ideal_without_stalls() {
+        let t = Tuner::new(opt13b_inputs()).unwrap();
+        // Tiny write time: runtime ≈ A·t plus edge terms.
+        let rt = t.modeled_runtime(1000, 10, 2, SimDuration::from_millis(1));
+        let ideal = (SimDuration::from_secs(2) * 1000).as_secs_f64();
+        assert!(rt.as_secs_f64() <= ideal * 1.01 + 25.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut i = opt13b_inputs();
+        i.max_slowdown = 0.9;
+        assert!(Tuner::new(i).is_err());
+        let mut i = opt13b_inputs();
+        i.checkpoint_size = ByteSize::ZERO;
+        assert!(Tuner::new(i).is_err());
+        let mut i = opt13b_inputs();
+        i.storage_budget = ByteSize::from_gb(20.0); // < 2m
+        assert!(Tuner::new(i).is_err());
+        let mut i = opt13b_inputs();
+        i.iter_time = SimDuration::ZERO;
+        assert!(Tuner::new(i).is_err());
+    }
+
+    #[test]
+    fn adaptive_tuner_tracks_slowing_storage() {
+        // Start at the static recommendation for OPT-1.3B (Tw ≈ 75 s at
+        // N=2 → f* ≈ 18); then the disk degrades 3x: f* should triple.
+        let mut t = AdaptiveTuner::new(2, 1.05, 18, SimDuration::from_secs(2), 5);
+        for _ in 0..5 {
+            t.record_iteration(SimDuration::from_secs(2));
+            t.record_write_time(SimDuration::from_secs(75));
+        }
+        assert_eq!(t.interval(), 18, "stable inputs keep the interval");
+        for _ in 0..5 {
+            t.record_write_time(SimDuration::from_secs(225));
+        }
+        assert!((40..=60).contains(&t.interval()), "got {}", t.interval()); // hysteresis may settle just below 54
+        assert!(t.retunes() >= 1);
+    }
+
+    #[test]
+    fn adaptive_tuner_tightens_when_iterations_slow() {
+        // Slower iterations absorb more write time per interval: f* drops.
+        let mut t = AdaptiveTuner::new(2, 1.05, 18, SimDuration::from_secs(2), 4);
+        for _ in 0..4 {
+            t.record_write_time(SimDuration::from_secs(75));
+        }
+        for _ in 0..4 {
+            t.record_iteration(SimDuration::from_secs(8)); // 4x slower
+        }
+        assert!(t.interval() < 10, "got {}", t.interval());
+    }
+
+    #[test]
+    fn adaptive_tuner_has_hysteresis() {
+        // Small drift (< 25%) never flaps the interval.
+        let mut t = AdaptiveTuner::new(2, 1.05, 18, SimDuration::from_secs(2), 4);
+        for i in 0..20u64 {
+            t.record_iteration(SimDuration::from_millis(2000 + (i % 3) * 50));
+            t.record_write_time(SimDuration::from_secs(75));
+        }
+        assert_eq!(t.retunes(), 0, "jitter must not retune");
+        assert_eq!(t.interval(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn adaptive_tuner_rejects_zero_window() {
+        AdaptiveTuner::new(1, 1.05, 10, SimDuration::from_secs(1), 0);
+    }
+
+    #[test]
+    fn paper_guidance_modest_n_for_vgg16() {
+        // §5.2.3 / §5.4.1: PCcheck picks a modest N (2–4) because storage
+        // saturates. Model Tw with a contention penalty and check the pick.
+        let inputs = TunerInputs {
+            checkpoint_size: ByteSize::from_gb(1.1),
+            iter_time: SimDuration::from_millis(60),
+            storage_bandwidth: Bandwidth::from_gb_per_sec(16.0 / 37.0),
+            pcie_bandwidth: Bandwidth::from_gb_per_sec(12.0),
+            storage_budget: ByteSize::from_gb(50.0),
+            max_slowdown: 1.05,
+        };
+        let t = Tuner::new(inputs).unwrap();
+        // Measured-style Tw: linear sharing plus 15% per-extra-checkpoint
+        // interference → diminishing returns beyond a few.
+        let rec = t.recommend_with(|n| {
+            let base = t.modeled_write_time(n).as_secs_f64();
+            SimDuration::from_secs_f64(base * (1.0 + 0.15 * (n as f64 - 1.0)))
+        });
+        assert!(
+            (1..=8).contains(&rec.concurrent),
+            "modest N expected, got {}",
+            rec.concurrent
+        );
+    }
+}

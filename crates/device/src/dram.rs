@@ -1,0 +1,289 @@
+//! Pinned host (DRAM) buffer pool.
+//!
+//! PCcheck stages GPU→storage transfers through pinned DRAM buffers managed
+//! in fixed-size chunks (§3.1/§3.2). The pool is the throughput–memory
+//! tradeoff knob: when every chunk is occupied (copied from GPU but not yet
+//! persisted), the next checkpoint's copy must wait for a chunk to free up.
+//!
+//! [`HostBufferPool`] provides blocking `acquire` / RAII release with a peak
+//! usage counter, so experiments can verify Table 1's DRAM footprint (m to
+//! 2·m for PCcheck).
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use pccheck_util::ByteSize;
+
+use crate::error::DeviceError;
+use crate::Result;
+
+#[derive(Debug)]
+struct PoolState {
+    free: Vec<Box<[u8]>>,
+    outstanding: usize,
+    peak_outstanding: usize,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    chunk_size: ByteSize,
+    total_chunks: usize,
+    state: Mutex<PoolState>,
+    cond: Condvar,
+}
+
+/// A pool of equally sized pinned DRAM chunks.
+///
+/// # Examples
+///
+/// ```
+/// use pccheck_device::HostBufferPool;
+/// use pccheck_util::ByteSize;
+///
+/// let pool = HostBufferPool::new(ByteSize::from_kb(4), 2);
+/// let a = pool.acquire();
+/// let b = pool.acquire();
+/// assert_eq!(pool.available(), 0);
+/// drop(a);
+/// assert_eq!(pool.available(), 1);
+/// # drop(b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostBufferPool {
+    shared: Arc<PoolShared>,
+}
+
+impl HostBufferPool {
+    /// Creates a pool of `chunks` buffers, each `chunk_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks == 0` or `chunk_size` is zero.
+    pub fn new(chunk_size: ByteSize, chunks: usize) -> Self {
+        assert!(chunks > 0, "pool needs at least one chunk");
+        assert!(!chunk_size.is_zero(), "chunk size must be nonzero");
+        let free = (0..chunks)
+            .map(|_| vec![0u8; chunk_size.as_usize()].into_boxed_slice())
+            .collect();
+        HostBufferPool {
+            shared: Arc::new(PoolShared {
+                chunk_size,
+                total_chunks: chunks,
+                state: Mutex::new(PoolState {
+                    free,
+                    outstanding: 0,
+                    peak_outstanding: 0,
+                }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Size of each chunk.
+    pub fn chunk_size(&self) -> ByteSize {
+        self.shared.chunk_size
+    }
+
+    /// Total number of chunks in the pool.
+    pub fn total_chunks(&self) -> usize {
+        self.shared.total_chunks
+    }
+
+    /// Total DRAM this pool represents.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.shared.chunk_size * self.shared.total_chunks as u64
+    }
+
+    /// Chunks currently free.
+    pub fn available(&self) -> usize {
+        self.shared.state.lock().free.len()
+    }
+
+    /// High-water mark of simultaneously outstanding chunks — used to verify
+    /// the Table 1 memory-footprint bounds.
+    pub fn peak_outstanding(&self) -> usize {
+        self.shared.state.lock().peak_outstanding
+    }
+
+    /// Blocks until a chunk is free and returns it.
+    ///
+    /// This is exactly the stall §3.2 describes: "when all CPU memory chunks
+    /// are occupied, upcoming checkpoints need to wait for free chunks".
+    pub fn acquire(&self) -> HostBuffer {
+        let mut state = self.shared.state.lock();
+        while state.free.is_empty() {
+            self.shared.cond.wait(&mut state);
+        }
+        let data = state.free.pop().expect("non-empty");
+        state.outstanding += 1;
+        state.peak_outstanding = state.peak_outstanding.max(state.outstanding);
+        HostBuffer {
+            data: Some(data),
+            pool: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Tries to acquire a chunk without blocking.
+    pub fn try_acquire(&self) -> Option<HostBuffer> {
+        let mut state = self.shared.state.lock();
+        let data = state.free.pop()?;
+        state.outstanding += 1;
+        state.peak_outstanding = state.peak_outstanding.max(state.outstanding);
+        Some(HostBuffer {
+            data: Some(data),
+            pool: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Validates that `len` bytes fit into one chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::BufferTooLarge`] if `len` exceeds the chunk
+    /// size.
+    pub fn check_fits(&self, len: ByteSize) -> Result<()> {
+        if len > self.shared.chunk_size {
+            return Err(DeviceError::BufferTooLarge {
+                requested: len.as_u64(),
+                chunk: self.shared.chunk_size.as_u64(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A DRAM chunk checked out of a [`HostBufferPool`]; returns to the pool on
+/// drop.
+#[derive(Debug)]
+pub struct HostBuffer {
+    data: Option<Box<[u8]>>,
+    pool: Arc<PoolShared>,
+}
+
+impl HostBuffer {
+    /// The chunk's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.data.as_deref().expect("present until drop")
+    }
+
+    /// The chunk's bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.data.as_deref_mut().expect("present until drop")
+    }
+
+    /// Chunk capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Always false — chunks are never zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Drop for HostBuffer {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            let mut state = self.pool.state.lock();
+            state.free.push(data);
+            state.outstanding -= 1;
+            drop(state);
+            self.pool.cond.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn pool_geometry() {
+        let pool = HostBufferPool::new(ByteSize::from_kb(4), 3);
+        assert_eq!(pool.chunk_size(), ByteSize::from_kb(4));
+        assert_eq!(pool.total_chunks(), 3);
+        assert_eq!(pool.total_bytes(), ByteSize::from_kb(12));
+        assert_eq!(pool.available(), 3);
+    }
+
+    #[test]
+    fn acquire_and_release_cycle() {
+        let pool = HostBufferPool::new(ByteSize::from_bytes(16), 2);
+        let mut a = pool.acquire();
+        a.as_mut_slice()[0] = 42;
+        assert_eq!(a.len(), 16);
+        assert!(!a.is_empty());
+        assert_eq!(pool.available(), 1);
+        drop(a);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_returns_none_when_exhausted() {
+        let pool = HostBufferPool::new(ByteSize::from_bytes(8), 1);
+        let held = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none());
+        drop(held);
+        assert!(pool.try_acquire().is_some());
+    }
+
+    #[test]
+    fn acquire_blocks_until_chunk_freed() {
+        let pool = HostBufferPool::new(ByteSize::from_bytes(8), 1);
+        let held = pool.acquire();
+        let pool2 = pool.clone();
+        let start = Instant::now();
+        let handle = std::thread::spawn(move || {
+            let _b = pool2.acquire();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        drop(held);
+        let waited = handle.join().unwrap();
+        assert!(
+            waited >= Duration::from_millis(80),
+            "acquirer must have blocked: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn peak_outstanding_tracks_high_water_mark() {
+        let pool = HostBufferPool::new(ByteSize::from_bytes(8), 4);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        let c = pool.acquire();
+        drop(b);
+        let d = pool.acquire();
+        assert_eq!(pool.peak_outstanding(), 3);
+        drop((a, c, d));
+        assert_eq!(pool.peak_outstanding(), 3, "peak is sticky");
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn check_fits_validates_against_chunk_size() {
+        let pool = HostBufferPool::new(ByteSize::from_bytes(100), 1);
+        assert!(pool.check_fits(ByteSize::from_bytes(100)).is_ok());
+        assert!(matches!(
+            pool.check_fits(ByteSize::from_bytes(101)),
+            Err(DeviceError::BufferTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_rejected() {
+        HostBufferPool::new(ByteSize::from_bytes(8), 0);
+    }
+
+    #[test]
+    fn clone_shares_the_same_pool() {
+        let pool = HostBufferPool::new(ByteSize::from_bytes(8), 2);
+        let clone = pool.clone();
+        let _a = pool.acquire();
+        assert_eq!(clone.available(), 1);
+    }
+}

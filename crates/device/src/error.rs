@@ -1,0 +1,84 @@
+//! Error type shared by all simulated devices.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A read or write touched addresses beyond the device capacity.
+    OutOfBounds {
+        /// First byte of the offending access.
+        offset: u64,
+        /// Length of the offending access.
+        len: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// The device is in the crashed state; I/O is rejected until
+    /// [`recover`](crate::PersistentDevice::recover) is called.
+    Crashed,
+    /// A buffer pool was asked for a buffer larger than its chunk size.
+    BufferTooLarge {
+        /// Requested byte count.
+        requested: u64,
+        /// Pool chunk size.
+        chunk: u64,
+    },
+    /// The network peer is unreachable (remote node failed).
+    PeerUnavailable,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds device capacity {capacity}"
+            ),
+            DeviceError::Crashed => write!(f, "device is crashed; recover() it first"),
+            DeviceError::BufferTooLarge { requested, chunk } => write!(
+                f,
+                "requested buffer of {requested} bytes exceeds pool chunk size {chunk}"
+            ),
+            DeviceError::PeerUnavailable => write!(f, "network peer is unavailable"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DeviceError::OutOfBounds {
+            offset: 10,
+            len: 20,
+            capacity: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains("20") && msg.contains("16"));
+        assert!(DeviceError::Crashed.to_string().contains("crashed"));
+        assert!(DeviceError::PeerUnavailable.to_string().contains("peer"));
+        assert!(DeviceError::BufferTooLarge {
+            requested: 5,
+            chunk: 4
+        }
+        .to_string()
+        .contains("chunk"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,117 @@
+//! The interface between training and checkpointing strategies.
+//!
+//! Every strategy the paper evaluates — traditional synchronous saving,
+//! CheckFreq, GPM, Gemini, and PCcheck itself — plugs into the training
+//! loop through [`Checkpointer`]. The trait is deliberately narrow: after
+//! the update phase of a checkpoint-boundary iteration, the loop hands the
+//! strategy a [`Gpu`] handle and the iteration number; the strategy decides
+//! how much of the work happens inline (stalling training) versus in
+//! background threads.
+
+use std::fmt;
+
+use crate::gpu::Gpu;
+use crate::tensor::StateDigest;
+
+/// What a completed (committed) checkpoint looks like to the outside world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// The training iteration the checkpoint captured.
+    pub iteration: u64,
+    /// Digest of the captured state, for end-to-end verification.
+    pub digest: StateDigest,
+}
+
+impl fmt::Display for CheckpointOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint@iter{} ({})", self.iteration, self.digest)
+    }
+}
+
+/// A checkpointing strategy driven by the training loop.
+///
+/// Implementations must be thread-safe: background persist threads run
+/// concurrently with the training thread calling these hooks.
+pub trait Checkpointer: Send + Sync {
+    /// Called after the update phase of iteration `iteration` (0-based)
+    /// when the checkpoint interval fires. May block — whatever blocking it
+    /// does is exactly the training stall the experiments measure.
+    fn checkpoint(&self, gpu: &Gpu, iteration: u64);
+
+    /// Blocks until every checkpoint accepted so far is durable. Called at
+    /// the end of training and by tests.
+    fn drain(&self);
+
+    /// The most recent *committed* (fully durable, recoverable) checkpoint,
+    /// if any.
+    fn last_committed(&self) -> Option<CheckpointOutcome>;
+
+    /// Human-readable strategy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A no-op checkpointer: the "ideal" baseline that saves checkpoints with
+/// zero overhead (used for the horizontal lines in Figures 8–10).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullCheckpointer;
+
+impl NullCheckpointer {
+    /// Creates the no-op checkpointer.
+    pub fn new() -> Self {
+        NullCheckpointer
+    }
+}
+
+impl Checkpointer for NullCheckpointer {
+    fn checkpoint(&self, _gpu: &Gpu, _iteration: u64) {}
+
+    fn drain(&self) {}
+
+    fn last_committed(&self) -> Option<CheckpointOutcome> {
+        None
+    }
+
+    fn name(&self) -> &str {
+        "ideal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuConfig;
+    use crate::tensor::TrainingState;
+    use pccheck_util::ByteSize;
+
+    #[test]
+    fn null_checkpointer_does_nothing() {
+        let gpu = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(64), 0),
+        );
+        let ckpt = NullCheckpointer::new();
+        let before = gpu.digest();
+        ckpt.checkpoint(&gpu, 0);
+        ckpt.drain();
+        assert_eq!(gpu.digest(), before);
+        assert_eq!(ckpt.last_committed(), None);
+        assert_eq!(ckpt.name(), "ideal");
+    }
+
+    #[test]
+    fn outcome_displays_iteration() {
+        let o = CheckpointOutcome {
+            iteration: 7,
+            digest: StateDigest(0xdead_beef),
+        };
+        let s = o.to_string();
+        assert!(s.contains("iter7"));
+        assert!(s.contains("00000000deadbeef"));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let b: Box<dyn Checkpointer> = Box::new(NullCheckpointer::new());
+        assert_eq!(b.name(), "ideal");
+    }
+}

@@ -1,0 +1,370 @@
+//! The simulated accelerator: device memory holding the training state,
+//! a copy engine, and the update/snapshot synchronization.
+//!
+//! Figure 6 of the paper shows the residual stall PCcheck accepts: the next
+//! iteration's *update* phase (`U`) must wait until the in-flight GPU→DRAM
+//! copy (`C`) of the previous checkpoint finishes, because both touch the
+//! model weights. (Keeping a second weight copy on the GPU would remove the
+//! stall but costs scarce GPU memory — §3.1 decides against it.)
+//!
+//! [`Gpu`] reproduces this with a readers–writer discipline: checkpoint
+//! copies hold read access ([`Gpu::lock_weights_shared`]) while
+//! [`Gpu::update`] takes exclusive access.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use pccheck_util::ByteSize;
+
+use crate::copy::{CopyEngine, CopyEngineConfig};
+use crate::tensor::{StateDigest, TrainingState};
+
+/// GPU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Device memory capacity (A100-40GB etc.). Informational; the
+    /// simulation does not enforce it beyond the state fitting at all.
+    pub memory: ByteSize,
+    /// Copy-engine configuration.
+    pub copy: CopyEngineConfig,
+}
+
+impl GpuConfig {
+    /// An unthrottled profile for logic tests.
+    pub fn fast_for_tests() -> Self {
+        GpuConfig {
+            memory: ByteSize::from_gb(40.0),
+            copy: CopyEngineConfig::fast_for_tests(),
+        }
+    }
+}
+
+/// A simulated GPU owning a [`TrainingState`].
+///
+/// Cloning the handle shares the same device (`Arc` semantics).
+///
+/// # Examples
+///
+/// ```
+/// use pccheck_gpu::{Gpu, GpuConfig, TrainingState};
+/// use pccheck_util::ByteSize;
+///
+/// let gpu = Gpu::new(
+///     GpuConfig::fast_for_tests(),
+///     TrainingState::synthetic(ByteSize::from_kb(4), 1),
+/// );
+/// // Snapshot while training would continue:
+/// let guard = gpu.lock_weights_shared();
+/// let mut host = vec![0u8; guard.size().as_usize()];
+/// guard.copy_range_to_host(0, &mut host);
+/// drop(guard);
+/// gpu.update();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    inner: Arc<GpuInner>,
+}
+
+#[derive(Debug)]
+struct GpuInner {
+    config: GpuConfig,
+    state: Arc<RwLock<TrainingState>>,
+    engine: CopyEngine,
+}
+
+impl Gpu {
+    /// Creates a GPU holding `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state does not fit in device memory.
+    pub fn new(config: GpuConfig, state: TrainingState) -> Self {
+        assert!(
+            state.size() <= config.memory,
+            "training state {} exceeds GPU memory {}",
+            state.size(),
+            config.memory
+        );
+        let engine = CopyEngine::new(config.copy.clone());
+        Gpu {
+            inner: Arc::new(GpuInner {
+                config,
+                state: Arc::new(RwLock::new(state)),
+                engine,
+            }),
+        }
+    }
+
+    /// The GPU configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.inner.config
+    }
+
+    /// The copy engine (shared by concurrent checkpoint copies).
+    pub fn copy_engine(&self) -> &CopyEngine {
+        &self.inner.engine
+    }
+
+    /// Size of the training state — the checkpoint size `m`.
+    pub fn state_size(&self) -> ByteSize {
+        self.inner.state.read().size()
+    }
+
+    /// Applies one update step (the `U` phase). Blocks while any snapshot
+    /// copy holds the weights, reproducing the Figure 6 stall.
+    pub fn update(&self) {
+        self.inner.state.write().step();
+    }
+
+    /// Runs `f` with read access to the weights.
+    pub fn with_weights<R>(&self, f: impl FnOnce(&TrainingState) -> R) -> R {
+        f(&self.inner.state.read())
+    }
+
+    /// Acquires shared (read) access to the weights for a checkpoint copy.
+    /// While any [`WeightsGuard`] is alive, [`update`](Self::update) blocks.
+    pub fn lock_weights_shared(&self) -> WeightsGuard<'_> {
+        WeightsGuard {
+            state: self.inner.state.read(),
+            engine: &self.inner.engine,
+        }
+    }
+
+    /// Like [`lock_weights_shared`](Self::lock_weights_shared), but the
+    /// returned guard owns its reference and is `Send`: a background
+    /// snapshot-copy thread can hold the weights while the training thread
+    /// proceeds with the next iteration's compute phase — exactly PCcheck's
+    /// overlap of `C` with `T` (Figure 6).
+    pub fn lock_weights_shared_owned(&self) -> OwnedWeightsGuard {
+        OwnedWeightsGuard {
+            state: RwLock::read_arc(&self.inner.state),
+            gpu: self.clone(),
+        }
+    }
+
+    /// Restores the training state from a recovered checkpoint payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload size does not match the current layout.
+    pub fn restore(&self, payload: &[u8], step: u64) {
+        let mut state = self.inner.state.write();
+        let layout = state.layout();
+        *state = TrainingState::restore(&layout, payload, step);
+    }
+
+    /// Digest of the current state (for verification).
+    pub fn digest(&self) -> StateDigest {
+        self.inner.state.read().digest()
+    }
+
+    /// Current update-step counter.
+    pub fn step_count(&self) -> u64 {
+        self.inner.state.read().step_count()
+    }
+}
+
+/// Shared access to the GPU weights for the duration of a snapshot copy.
+#[derive(Debug)]
+pub struct WeightsGuard<'a> {
+    state: parking_lot::RwLockReadGuard<'a, TrainingState>,
+    engine: &'a CopyEngine,
+}
+
+impl WeightsGuard<'_> {
+    /// Size of the guarded state.
+    pub fn size(&self) -> ByteSize {
+        self.state.size()
+    }
+
+    /// The step counter of the guarded state.
+    pub fn step_count(&self) -> u64 {
+        self.state.step_count()
+    }
+
+    /// Digest of the guarded state.
+    pub fn digest(&self) -> StateDigest {
+        self.state.digest()
+    }
+
+    /// Copies the serialized byte range `[offset, offset+dst.len())` of the
+    /// state into host memory through the GPU's copy engine (throttled at
+    /// PCIe bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the state size.
+    pub fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
+        self.state.serialize_range(offset, dst);
+        self.engine.meter(ByteSize::from_bytes(dst.len() as u64));
+    }
+}
+
+/// Owned, `Send` variant of [`WeightsGuard`] for background copier threads.
+///
+/// Training updates block until the guard drops; drop it as soon as the
+/// GPU→DRAM copy completes to release the `U` phase.
+#[derive(Debug)]
+pub struct OwnedWeightsGuard {
+    state: parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, TrainingState>,
+    gpu: Gpu,
+}
+
+impl OwnedWeightsGuard {
+    /// Size of the guarded state.
+    pub fn size(&self) -> ByteSize {
+        self.state.size()
+    }
+
+    /// The step counter of the guarded state.
+    pub fn step_count(&self) -> u64 {
+        self.state.step_count()
+    }
+
+    /// Digest of the guarded state.
+    pub fn digest(&self) -> StateDigest {
+        self.state.digest()
+    }
+
+    /// Copies the serialized byte range `[offset, offset+dst.len())` into
+    /// host memory through the GPU's copy engine (PCIe-throttled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the state size.
+    pub fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
+        self.state.serialize_range(offset, dst);
+        self.gpu
+            .copy_engine()
+            .meter(ByteSize::from_bytes(dst.len() as u64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    fn gpu(size: u64, seed: u64) -> Gpu {
+        Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(size), seed),
+        )
+    }
+
+    #[test]
+    fn update_advances_state() {
+        let g = gpu(300, 1);
+        assert_eq!(g.step_count(), 0);
+        let d0 = g.digest();
+        g.update();
+        assert_eq!(g.step_count(), 1);
+        assert_ne!(g.digest(), d0);
+    }
+
+    #[test]
+    fn snapshot_copy_matches_serialization() {
+        let g = gpu(300, 2);
+        g.update();
+        let guard = g.lock_weights_shared();
+        let mut host = vec![0u8; 300];
+        guard.copy_range_to_host(0, &mut host);
+        let expected = g.with_weights(|s| {
+            let mut buf = vec![0u8; 300];
+            s.serialize_into(&mut buf);
+            buf
+        });
+        assert_eq!(host, expected);
+    }
+
+    #[test]
+    fn update_blocks_while_snapshot_guard_held() {
+        let g = gpu(300, 3);
+        let guard = g.lock_weights_shared();
+        let updated = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let g = g.clone();
+            let updated = Arc::clone(&updated);
+            std::thread::spawn(move || {
+                g.update();
+                updated.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            !updated.load(Ordering::SeqCst),
+            "update must stall behind the snapshot copy (Figure 6)"
+        );
+        drop(guard);
+        handle.join().unwrap();
+        assert!(updated.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn concurrent_snapshots_share_read_access() {
+        let g = gpu(300, 4);
+        let g1 = g.lock_weights_shared();
+        let g2 = g.lock_weights_shared();
+        assert_eq!(g1.digest(), g2.digest());
+        assert_eq!(g1.step_count(), 0);
+        assert_eq!(g1.size().as_u64(), 300);
+    }
+
+    #[test]
+    fn restore_round_trip_through_gpu() {
+        let g = gpu(300, 5);
+        for _ in 0..4 {
+            g.update();
+        }
+        let digest = g.digest();
+        let payload = {
+            let guard = g.lock_weights_shared();
+            let mut buf = vec![0u8; 300];
+            guard.copy_range_to_host(0, &mut buf);
+            buf
+        };
+        let step = g.step_count();
+        // Training continues, state diverges...
+        g.update();
+        g.update();
+        assert_ne!(g.digest(), digest);
+        // ...then a failure: restore from the checkpoint payload.
+        g.restore(&payload, step);
+        assert_eq!(g.digest(), digest);
+        assert_eq!(g.step_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds GPU memory")]
+    fn oversized_state_rejected() {
+        let cfg = GpuConfig {
+            memory: ByteSize::from_bytes(100),
+            copy: CopyEngineConfig::fast_for_tests(),
+        };
+        Gpu::new(cfg, TrainingState::synthetic(ByteSize::from_bytes(200), 1));
+    }
+
+    #[test]
+    fn chunked_copies_reassemble_correctly() {
+        let g = gpu(1000, 6);
+        g.update();
+        let guard = g.lock_weights_shared();
+        let mut chunks = Vec::new();
+        let mut off = 0u64;
+        while off < 1000 {
+            let n = 128.min(1000 - off) as usize;
+            let mut piece = vec![0u8; n];
+            guard.copy_range_to_host(off, &mut piece);
+            chunks.extend_from_slice(&piece);
+            off += n as u64;
+        }
+        let expected = g.with_weights(|s| {
+            let mut buf = vec![0u8; 1000];
+            s.serialize_into(&mut buf);
+            buf
+        });
+        assert_eq!(chunks, expected);
+    }
+}

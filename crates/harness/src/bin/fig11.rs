@@ -1,0 +1,15 @@
+//! Regenerates Figure 11: time to persist one checkpoint, varying sizes.
+use pccheck_harness::{fig11_persist_micro as fig11, result_path};
+
+fn main() -> std::io::Result<()> {
+    let rows = fig11::run();
+    println!("Figure 11 — end-to-end time to persist one checkpoint (SSD/A100)");
+    println!("{:>9} {:>14} {:>14}", "size_gb", "strategy", "persist_secs");
+    for r in &rows {
+        println!("{:>9.1} {:>14} {:>14.3}", r.size.as_gb(), r.strategy, r.persist_secs);
+    }
+    let path = result_path("fig11_persist_micro.csv");
+    fig11::write_csv(&rows, std::fs::File::create(&path)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

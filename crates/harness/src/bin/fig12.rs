@@ -1,0 +1,15 @@
+//! Regenerates Figure 12: sensitivity to concurrent checkpoints (VGG-16).
+use pccheck_harness::{fig12_concurrency as fig12, result_path};
+
+fn main() -> std::io::Result<()> {
+    let rows = fig12::run();
+    println!("Figure 12 — VGG-16 slowdown, varying N and checkpoint interval");
+    println!("{:>9} {:>4} {:>10}", "interval", "N", "slowdown");
+    for r in &rows {
+        println!("{:>9} {:>4} {:>10.3}", r.interval, r.n, r.slowdown);
+    }
+    let path = result_path("fig12_concurrency.csv");
+    fig12::write_csv(&rows, std::fs::File::create(&path)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 13: sensitivity to writer threads (OPT-350M).
+use pccheck_harness::{fig13_threads as fig13, result_path};
+
+fn main() -> std::io::Result<()> {
+    let rows = fig13::run();
+    println!("Figure 13 — OPT-350M slowdown at interval 10, varying N x p");
+    println!("{:>4} {:>4} {:>10}", "N", "p", "slowdown");
+    for r in &rows {
+        println!("{:>4} {:>4} {:>10.3}", r.n, r.p, r.slowdown);
+    }
+    let path = result_path("fig13_threads.csv");
+    fig13::write_csv(&rows, std::fs::File::create(&path)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 8 (a-f): throughput vs checkpoint frequency, 6 models.
+use pccheck_harness::{fig8_throughput as fig8, result_path};
+
+fn main() -> std::io::Result<()> {
+    let rows = fig8::run();
+    println!("Figure 8 — training throughput (iters/s) with checkpointing on SSD/A100");
+    println!("{:>14} {:>14} {:>9} {:>12} {:>10}", "model", "strategy", "interval", "throughput", "slowdown");
+    for r in &rows {
+        println!("{:>14} {:>14} {:>9} {:>12.4} {:>10.3}", r.model, r.strategy, r.interval, r.throughput, r.slowdown);
+    }
+    let path = result_path("fig8_throughput.csv");
+    fig8::write_csv(&rows, std::fs::File::create(&path)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Figure 1: BLOOM-7B training-throughput impact of CheckFreq and Gemini
+//! at varying checkpoint intervals, plus the recovery time when a failure
+//! occurs (the secondary axis' grey line).
+
+use pccheck::{RecoveryModel, Strategy};
+use pccheck_gpu::ModelZoo;
+use pccheck_sim::StrategyCfg;
+use pccheck_util::CsvWriter;
+
+use crate::sweep::{self, load_time};
+use crate::PAPER_INTERVALS;
+
+/// One Figure 1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Checkpoint interval.
+    pub interval: u64,
+    /// CheckFreq slowdown vs no checkpointing.
+    pub checkfreq_slowdown: f64,
+    /// Gemini slowdown vs no checkpointing.
+    pub gemini_slowdown: f64,
+    /// Worst-case recovery time at this interval (seconds), CheckFreq model.
+    pub recovery_secs: f64,
+}
+
+/// Runs the experiment.
+pub fn run() -> Vec<Fig1Row> {
+    let model = ModelZoo::bloom_7b();
+    let iter_time = model.iter_time(pccheck_gpu::GpuKind::A100);
+    let load = load_time(&model);
+    PAPER_INTERVALS
+        .iter()
+        .map(|&interval| {
+            let cf = sweep::run_point(&model, StrategyCfg::CheckFreq, interval);
+            let gm = sweep::run_point(&model, StrategyCfg::Gemini, interval);
+            let ideal = sweep::run_point(&model, StrategyCfg::Ideal, interval);
+            let recovery = RecoveryModel {
+                iter_time,
+                interval,
+                write_time: cf.mean_write_time,
+                load_time: load,
+            };
+            Fig1Row {
+                interval,
+                checkfreq_slowdown: cf.slowdown_vs(&ideal),
+                gemini_slowdown: gm.slowdown_vs(&ideal),
+                recovery_secs: recovery.worst_case(Strategy::CheckFreq).as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Writes the rows as CSV.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_csv<W: std::io::Write>(rows: &[Fig1Row], out: W) -> std::io::Result<()> {
+    let mut w = CsvWriter::new(
+        out,
+        &[
+            "interval",
+            "checkfreq_slowdown",
+            "gemini_slowdown",
+            "recovery_secs",
+        ],
+    );
+    for r in rows {
+        w.row(&[
+            &r.interval,
+            &format_args!("{:.4}", r.checkfreq_slowdown),
+            &format_args!("{:.4}", r.gemini_slowdown),
+            &format_args!("{:.2}", r.recovery_secs),
+        ])?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shapes_hold() {
+        let rows = run();
+        assert_eq!(rows.len(), 5);
+        // Slowdown decreases with larger intervals.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].checkfreq_slowdown >= pair[1].checkfreq_slowdown * 0.98,
+                "CheckFreq slowdown must be non-increasing: {pair:?}"
+            );
+        }
+        // At interval 1 both baselines are far from ideal...
+        assert!(rows[0].checkfreq_slowdown > 2.0);
+        assert!(rows[0].gemini_slowdown > 2.0);
+        // ...and still clearly off at interval 10 (the paper reports >10%
+        // up to interval 50; our modeled Tw for an 18 GB shard is ~43 s, so
+        // the CheckFreq stall vanishes between intervals 15 and 50 — see
+        // EXPERIMENTS.md for the deviation note).
+        let at10 = rows.iter().find(|r| r.interval == 10).unwrap();
+        assert!(at10.checkfreq_slowdown > 1.15, "{}", at10.checkfreq_slowdown);
+        // Recovery time grows with the interval.
+        assert!(rows[4].recovery_secs > rows[0].recovery_secs);
+    }
+
+    #[test]
+    fn csv_is_well_formed() {
+        let rows = run();
+        let mut buf = Vec::new();
+        write_csv(&rows, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("interval,"));
+        assert_eq!(text.lines().count(), rows.len() + 1);
+    }
+}

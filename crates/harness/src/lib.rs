@@ -1,0 +1,38 @@
+//! Experiment drivers for the PCcheck reproduction.
+//!
+//! One module per paper figure/table. Every experiment returns plain row
+//! structs *and* can emit the CSV the original artifact's scripts produce,
+//! so `cargo run -p pccheck-harness --bin figN` regenerates the paper's
+//! plots' data. The `pccheck-bench` crate wraps the same entry points as
+//! `cargo bench` targets.
+
+pub mod ext_h100;
+pub mod ext_jit;
+pub mod fig1_motivation;
+pub mod fig2_goodput_motivation;
+pub mod fig8_throughput;
+pub mod fig9_goodput;
+pub mod fig10_pmem;
+pub mod fig11_persist_micro;
+pub mod fig12_concurrency;
+pub mod fig13_threads;
+pub mod fig14_dram;
+pub mod sweep;
+pub mod tables;
+
+/// The checkpoint intervals the paper sweeps in most figures.
+pub const PAPER_INTERVALS: [u64; 5] = [1, 10, 25, 50, 100];
+
+/// Default output directory for CSVs.
+pub const RESULTS_DIR: &str = "results";
+
+/// Ensures the results directory exists and returns the path for `name`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn result_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir).expect("create results dir");
+    dir.join(name)
+}

@@ -1,0 +1,163 @@
+//! Enumerating and loading checkpoints from a store.
+
+use std::sync::Arc;
+
+use pccheck::{CheckMeta, CheckpointStore, PccheckError};
+use pccheck_gpu::tensor::StateLayout;
+use pccheck_gpu::TrainingState;
+
+/// Read-only access to a store's checkpoint history.
+#[derive(Debug, Clone)]
+pub struct CheckpointInspector {
+    store: Arc<CheckpointStore>,
+}
+
+impl CheckpointInspector {
+    /// Creates an inspector over `store`.
+    pub fn new(store: Arc<CheckpointStore>) -> Self {
+        CheckpointInspector { store }
+    }
+
+    /// All complete checkpoints currently in the store, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn history(&self) -> Result<Vec<CheckMeta>, PccheckError> {
+        self.store.history()
+    }
+
+    /// The latest committed checkpoint.
+    pub fn latest(&self) -> Option<CheckMeta> {
+        self.store.latest_committed()
+    }
+
+    /// Loads a checkpoint's raw payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::CorruptCheckpoint`] if the slot was recycled
+    /// since `meta` was listed.
+    pub fn load_payload(&self, meta: &CheckMeta) -> Result<Vec<u8>, PccheckError> {
+        self.store.read_checkpoint(meta)
+    }
+
+    /// Loads and reconstructs a checkpoint as a [`TrainingState`],
+    /// verifying the payload against the recorded digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::CorruptCheckpoint`] on digest mismatch or a
+    /// recycled slot.
+    pub fn load_state(
+        &self,
+        meta: &CheckMeta,
+        layout: &StateLayout,
+    ) -> Result<TrainingState, PccheckError> {
+        let payload = self.load_payload(meta)?;
+        let state = TrainingState::restore(layout, &payload, meta.iteration);
+        if state.digest().0 != meta.digest {
+            return Err(PccheckError::CorruptCheckpoint {
+                counter: meta.counter,
+            });
+        }
+        Ok(state)
+    }
+
+    /// Loads the most recent `n` checkpoints (newest last), skipping any
+    /// whose slot was recycled between listing and reading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the history listing.
+    pub fn recent_payloads(&self, n: usize) -> Result<Vec<(CheckMeta, Vec<u8>)>, PccheckError> {
+        let history = self.history()?;
+        let mut out = Vec::new();
+        for meta in history.into_iter().rev().take(n) {
+            match self.load_payload(&meta) {
+                Ok(payload) => out.push((meta, payload)),
+                Err(PccheckError::CorruptCheckpoint { .. }) => continue, // recycled
+                Err(e) => return Err(e),
+            }
+        }
+        out.reverse();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck::{PcCheckConfig, PcCheckEngine};
+    use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+    use pccheck_gpu::{Checkpointer, Gpu, GpuConfig};
+    use pccheck_util::ByteSize;
+
+    fn training_run(n_slots: u32, checkpoints: u64) -> (CheckpointInspector, Gpu) {
+        let gpu = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(600), 5),
+        );
+        let cap =
+            CheckpointStore::required_capacity(gpu.state_size(), n_slots) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let engine = PcCheckEngine::new(
+            PcCheckConfig::builder()
+                .max_concurrent(n_slots as usize - 1)
+                .writer_threads(2)
+                .chunk_size(ByteSize::from_bytes(128))
+                .dram_chunks(8)
+                .build()
+                .expect("valid"),
+            device,
+            gpu.state_size(),
+        )
+        .expect("engine");
+        for iter in 1..=checkpoints {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        (
+            CheckpointInspector::new(Arc::clone(engine.store())),
+            gpu,
+        )
+    }
+
+    #[test]
+    fn history_reflects_recent_checkpoints() {
+        let (inspector, _gpu) = training_run(4, 3);
+        let hist = inspector.history().unwrap();
+        assert_eq!(hist.len(), 3);
+        assert_eq!(inspector.latest().unwrap().iteration, 3);
+    }
+
+    #[test]
+    fn load_state_verifies_digest() {
+        let (inspector, gpu) = training_run(4, 3);
+        let layout = gpu.with_weights(|s| s.layout());
+        let latest = inspector.latest().unwrap();
+        let state = inspector.load_state(&latest, &layout).unwrap();
+        assert_eq!(state.digest(), gpu.digest());
+        assert_eq!(state.step_count(), 3);
+    }
+
+    #[test]
+    fn recent_payloads_returns_newest_last() {
+        let (inspector, _gpu) = training_run(4, 3);
+        let recent = inspector.recent_payloads(2).unwrap();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].0.iteration, 2);
+        assert_eq!(recent[1].0.iteration, 3);
+    }
+
+    #[test]
+    fn history_is_bounded_by_slot_count() {
+        // A 3-slot store (N=2) can hold at most 3 complete checkpoints.
+        let (inspector, _gpu) = training_run(3, 10);
+        let hist = inspector.history().unwrap();
+        assert!(hist.len() <= 3, "got {}", hist.len());
+        assert_eq!(hist.last().unwrap().iteration, 10);
+    }
+}

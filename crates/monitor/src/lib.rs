@@ -1,0 +1,62 @@
+//! Checkpoint inspection and training-dynamics monitoring.
+//!
+//! §2.1 of the PCcheck paper motivates *frequent* checkpoints not only for
+//! fault tolerance but for monitoring and debugging: tools like SageMaker
+//! Debugger, Cockpit, and Pythia capture model state throughout training
+//! to catch accuracy "derailing" — data outliers, exploding/vanishing
+//! gradients, silent hardware corruption. PCcheck's cheap per-10-iteration
+//! checkpoints make the capture side practical; this crate provides the
+//! analysis side:
+//!
+//! * [`CheckpointInspector`] — enumerate the store's checkpoint history
+//!   (PCcheck's `N+1` slots double as a short history), load payloads, and
+//!   reconstruct training states.
+//! * [`diff`] — byte/tensor-level deltas between checkpoints: how much of
+//!   the state changed between two captured iterations.
+//! * [`detector`] — an update-magnitude anomaly detector: flags checkpoint
+//!   intervals whose per-iteration change rate deviates from the trailing
+//!   window, the signature of a silent corruption or divergence event.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pccheck::{PcCheckConfig, PcCheckEngine};
+//! use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+//! use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+//! use pccheck_monitor::CheckpointInspector;
+//! use pccheck_util::ByteSize;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gpu = Gpu::new(
+//!     GpuConfig::fast_for_tests(),
+//!     TrainingState::synthetic(ByteSize::from_kb(16), 1),
+//! );
+//! let cap = pccheck::CheckpointStore::required_capacity(gpu.state_size(), 4)
+//!     + ByteSize::from_kb(4);
+//! let device: Arc<dyn PersistentDevice> =
+//!     Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+//! let engine = PcCheckEngine::new(
+//!     PcCheckConfig::builder().max_concurrent(3).build()?,
+//!     device,
+//!     gpu.state_size(),
+//! )?;
+//! for iter in 1..=3 {
+//!     gpu.update();
+//!     engine.checkpoint(&gpu, iter);
+//!     engine.drain();
+//! }
+//! let inspector = CheckpointInspector::new(Arc::clone(engine.store()));
+//! let history = inspector.history()?;
+//! assert_eq!(history.last().unwrap().iteration, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod detector;
+pub mod diff;
+pub mod inspect;
+
+pub use detector::{AnomalyReport, UpdateMagnitudeDetector};
+pub use diff::{diff, DiffReport};
+pub use inspect::CheckpointInspector;

@@ -1,0 +1,797 @@
+//! The simulation world: training actor + checkpoint state machines over
+//! fluid resources.
+//!
+//! One [`World`] simulates one node training one model with one
+//! checkpointing strategy. Two fluid resources exist: the PCIe link
+//! (GPU→DRAM snapshot copies) and the persistence media (storage device or,
+//! for Gemini, the network). Training alternates compute (`T`) and update
+//! (`U`) phases; checkpoints hold the weights (blocking `U`) while their
+//! snapshot copy is in flight, and persist in the background according to
+//! each strategy's admission rules.
+
+use std::collections::{HashMap, VecDeque};
+
+use pccheck_util::{ByteSize, SimDuration, SimTime};
+
+use crate::config::{SimConfig, StrategyCfg};
+use crate::fluid::FluidResource;
+use crate::report::{CommitRecord, SimReport};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrainState {
+    /// T phase running; ends at `compute_ends`.
+    Computing,
+    /// T done; U waiting for in-flight snapshot copies to release the
+    /// weights.
+    WaitingUpdate,
+    /// U done at a checkpoint boundary; waiting for the strategy to admit
+    /// the checkpoint (CheckFreq/Gemini: previous persist; GPM/traditional:
+    /// this persist; PCcheck: a free ticket).
+    WaitingAdmission,
+    /// All iterations finished (checkpoints may still be draining).
+    Finished,
+}
+
+/// Which phase a fluid job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Copy,
+    Persist,
+}
+
+#[derive(Debug)]
+struct Ckpt {
+    iteration: u64,
+    started: SimTime,
+    /// Chunk sizes (all `b` except possibly the last).
+    chunks: Vec<ByteSize>,
+    /// Next chunk to start copying (needs a DRAM buffer).
+    stage_next: usize,
+    /// Chunks fully copied to DRAM.
+    copied: usize,
+    /// Copy in flight? (chunk copies are sequential per checkpoint — one
+    /// DMA stream each.)
+    copy_in_flight: bool,
+    /// Chunks copied and waiting for a writer slot.
+    persist_ready: VecDeque<usize>,
+    /// Persist jobs in flight (≤ p for PCcheck).
+    persists_in_flight: usize,
+    /// Chunks durable.
+    persisted: usize,
+    /// Whether this checkpoint still holds the weights read-lock.
+    holds_weights: bool,
+    /// Whether this checkpoint stages through the DRAM pool (PCcheck only).
+    uses_dram_pool: bool,
+    /// In non-pipelined mode, persists start only after all copies finish.
+    pipelined: bool,
+    /// Max concurrent persist jobs for this checkpoint.
+    writer_slots: usize,
+}
+
+impl Ckpt {
+    fn all_copied(&self) -> bool {
+        self.copied == self.chunks.len()
+    }
+
+    fn done(&self) -> bool {
+        self.persisted == self.chunks.len()
+    }
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct World {
+    cfg: SimConfig,
+    now: SimTime,
+    pcie: FluidResource,
+    media: FluidResource,
+    /// Maps fluid job ids to (checkpoint key, chunk index, phase).
+    jobs: HashMap<u64, (u64, usize, Phase)>,
+    next_job: u64,
+    ckpts: HashMap<u64, Ckpt>,
+    next_ckpt: u64,
+    /// PCcheck tickets in use.
+    tickets: usize,
+    /// Free DRAM chunks in the staging pool.
+    dram_free: usize,
+    /// Checkpoints waiting for a DRAM buffer, FIFO.
+    dram_waiters: VecDeque<u64>,
+    train: TrainState,
+    compute_ends: Option<SimTime>,
+    iter_done: u64,
+    stall_since: Option<SimTime>,
+    stall_total: SimDuration,
+    /// Checkpoint id the training actor is blocked on (GPM/traditional wait
+    /// for their own; CheckFreq/Gemini for the previous).
+    blocking_on: Option<u64>,
+    /// A checkpoint request deferred by admission (its iteration).
+    pending_request: Option<u64>,
+    training_finished_at: Option<SimTime>,
+    commits: Vec<CommitRecord>,
+    iteration_times: Vec<SimTime>,
+    write_times: Vec<SimDuration>,
+}
+
+impl World {
+    /// Builds the world for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-pipelined PCcheck configuration's DRAM pool cannot
+    /// stage a whole checkpoint (the concrete engine would deadlock the
+    /// same way; the config is invalid).
+    pub fn new(cfg: SimConfig) -> Self {
+        if let StrategyCfg::PcCheck {
+            pipelined: false, ..
+        } = cfg.strategy
+        {
+            assert!(
+                cfg.chunk_size * cfg.dram_chunks as u64 >= cfg.checkpoint_size,
+                "non-pipelined PCcheck must stage the full checkpoint in DRAM"
+            );
+        }
+        let pcie = FluidResource::new(cfg.pcie_bandwidth, None);
+        let media = FluidResource::new(cfg.storage_bandwidth, cfg.per_writer_cap());
+        let dram_free = cfg.dram_chunks;
+        World {
+            pcie,
+            media,
+            jobs: HashMap::new(),
+            next_job: 0,
+            ckpts: HashMap::new(),
+            next_ckpt: 0,
+            tickets: 0,
+            dram_free,
+            dram_waiters: VecDeque::new(),
+            train: TrainState::Computing,
+            compute_ends: None,
+            iter_done: 0,
+            stall_since: None,
+            stall_total: SimDuration::ZERO,
+            blocking_on: None,
+            pending_request: None,
+            training_finished_at: None,
+            commits: Vec::new(),
+            iteration_times: Vec::new(),
+            write_times: Vec::new(),
+            now: SimTime::ZERO,
+            cfg,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        self.start_compute();
+        loop {
+            let mut t_next = SimTime::MAX;
+            if let Some(ce) = self.compute_ends {
+                t_next = t_next.min(ce);
+            }
+            if let Some(t) = self.pcie.next_completion(self.now) {
+                t_next = t_next.min(t);
+            }
+            if let Some(t) = self.media.next_completion(self.now) {
+                t_next = t_next.min(t);
+            }
+            if t_next == SimTime::MAX {
+                assert!(
+                    self.train == TrainState::Finished && self.ckpts.is_empty(),
+                    "simulation deadlock at {} (state {:?}, {} ckpts in flight)",
+                    self.now,
+                    self.train,
+                    self.ckpts.len()
+                );
+                break;
+            }
+            self.now = t_next;
+            for job in self.pcie.take_completed(self.now) {
+                self.on_job_done(job);
+            }
+            for job in self.media.take_completed(self.now) {
+                self.on_job_done(job);
+            }
+            if self.compute_ends == Some(self.now) {
+                self.compute_ends = None;
+                self.on_compute_done();
+            }
+            if self.train == TrainState::Finished && self.ckpts.is_empty() {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    fn finalize(self) -> SimReport {
+        let train_end = self
+            .training_finished_at
+            .unwrap_or(self.now)
+            .saturating_since(SimTime::ZERO);
+        let elapsed = if train_end.is_zero() {
+            SimDuration::from_nanos(1)
+        } else {
+            train_end
+        };
+        let mean_write_time = if self.write_times.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(
+                self.write_times.iter().map(|w| w.as_secs_f64()).sum::<f64>()
+                    / self.write_times.len() as f64,
+            )
+        };
+        SimReport {
+            strategy: self.cfg.strategy.name(),
+            label: self.cfg.label.clone(),
+            iterations: self.iter_done,
+            elapsed,
+            throughput: self.iter_done as f64 / elapsed.as_secs_f64(),
+            stall_time: self.stall_total,
+            commits: self.commits,
+            mean_write_time,
+            iteration_times: self.iteration_times,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Training actor
+    // ------------------------------------------------------------------
+
+    fn start_compute(&mut self) {
+        self.train = TrainState::Computing;
+        self.compute_ends = Some(self.now + self.cfg.iter_time);
+    }
+
+    fn on_compute_done(&mut self) {
+        // U phase: needs the weights exclusively.
+        if self.any_weight_holder() {
+            self.enter_stall(TrainState::WaitingUpdate);
+        } else {
+            self.finish_update();
+        }
+    }
+
+    fn any_weight_holder(&self) -> bool {
+        self.ckpts.values().any(|c| c.holds_weights)
+    }
+
+    fn enter_stall(&mut self, state: TrainState) {
+        self.train = state;
+        if self.stall_since.is_none() {
+            self.stall_since = Some(self.now);
+        }
+    }
+
+    fn leave_stall(&mut self) {
+        if let Some(since) = self.stall_since.take() {
+            self.stall_total += self.now.saturating_since(since);
+        }
+    }
+
+    fn finish_update(&mut self) {
+        self.leave_stall();
+        self.iter_done += 1;
+        self.iteration_times.push(self.now);
+        let at_boundary = self.iter_done % self.cfg.interval == 0
+            && !matches!(self.cfg.strategy, StrategyCfg::Ideal);
+        if self.iter_done >= self.cfg.iterations {
+            // Training time ends at the last update; the final boundary's
+            // checkpoint still fires (the concrete loop checkpoints, then
+            // drains) but the drain is excluded from the throughput metric.
+            self.train = TrainState::Finished;
+            self.training_finished_at = Some(self.now);
+            if at_boundary {
+                if let StrategyCfg::PcCheck { .. } = self.cfg.strategy {
+                    self.tickets += 1; // paired with the completion decrement
+                }
+                self.spawn_checkpoint(self.iter_done);
+            }
+            return;
+        }
+        if at_boundary {
+            self.request_checkpoint(self.iter_done);
+        } else {
+            self.start_compute();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Strategy admission
+    // ------------------------------------------------------------------
+
+    fn request_checkpoint(&mut self, iteration: u64) {
+        match self.cfg.strategy {
+            StrategyCfg::Ideal => self.start_compute(),
+            StrategyCfg::Traditional | StrategyCfg::Gpm => {
+                // Fully synchronous: start and block on it.
+                let id = self.spawn_checkpoint(iteration);
+                self.blocking_on = Some(id);
+                self.enter_stall(TrainState::WaitingAdmission);
+            }
+            StrategyCfg::CheckFreq | StrategyCfg::Gemini => {
+                if let Some(&existing) = self.ckpts.keys().next() {
+                    // One at a time: wait for the previous persist.
+                    self.blocking_on = Some(existing);
+                    self.pending_request = Some(iteration);
+                    self.enter_stall(TrainState::WaitingAdmission);
+                } else {
+                    self.spawn_checkpoint(iteration);
+                    self.start_compute();
+                }
+            }
+            StrategyCfg::PcCheck { n, .. } => {
+                if self.tickets < n {
+                    self.tickets += 1;
+                    self.spawn_checkpoint(iteration);
+                    self.start_compute();
+                } else {
+                    self.pending_request = Some(iteration);
+                    self.enter_stall(TrainState::WaitingAdmission);
+                }
+            }
+        }
+    }
+
+    /// Called when a checkpoint completes, to unblock the training actor.
+    fn on_checkpoint_complete(&mut self, id: u64) {
+        if matches!(self.cfg.strategy, StrategyCfg::PcCheck { .. }) {
+            self.tickets -= 1;
+        }
+        if self.train != TrainState::WaitingAdmission {
+            return;
+        }
+        match self.cfg.strategy {
+            StrategyCfg::Traditional | StrategyCfg::Gpm => {
+                if self.blocking_on == Some(id) {
+                    self.blocking_on = None;
+                    self.leave_stall();
+                    self.start_compute();
+                }
+            }
+            StrategyCfg::CheckFreq | StrategyCfg::Gemini => {
+                if self.blocking_on == Some(id) {
+                    self.blocking_on = None;
+                    if let Some(iter) = self.pending_request.take() {
+                        self.spawn_checkpoint(iter);
+                    }
+                    self.leave_stall();
+                    self.start_compute();
+                }
+            }
+            StrategyCfg::PcCheck { n, .. } => {
+                if self.tickets < n {
+                    if let Some(iter) = self.pending_request.take() {
+                        self.tickets += 1;
+                        self.spawn_checkpoint(iter);
+                        self.leave_stall();
+                        self.start_compute();
+                    }
+                }
+            }
+            StrategyCfg::Ideal => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint state machine
+    // ------------------------------------------------------------------
+
+    fn spawn_checkpoint(&mut self, iteration: u64) -> u64 {
+        let id = self.next_ckpt;
+        self.next_ckpt += 1;
+
+        let (chunks, uses_pool, writer_slots, pipelined, direct) = match self.cfg.strategy {
+            StrategyCfg::PcCheck { p, pipelined, .. } => (
+                split_chunks(self.cfg.checkpoint_size, self.cfg.chunk_size),
+                true,
+                p,
+                pipelined,
+                false,
+            ),
+            StrategyCfg::Gpm => {
+                // Kernel copies go straight to the device; model the UVM
+                // inefficiency by inflating the transferred bytes.
+                let size = ByteSize::from_bytes(
+                    (self.cfg.checkpoint_size.as_u64() as f64 / self.cfg.gpm_efficiency()) as u64,
+                );
+                (vec![size], false, 1, true, true)
+            }
+            StrategyCfg::Gemini => (vec![self.cfg.checkpoint_size], false, 1, true, false),
+            _ => (vec![self.cfg.checkpoint_size], false, 1, true, false),
+        };
+
+        let mut ckpt = Ckpt {
+            iteration,
+            started: self.now,
+            chunks,
+            stage_next: 0,
+            copied: 0,
+            copy_in_flight: false,
+            persist_ready: VecDeque::new(),
+            persists_in_flight: 0,
+            persisted: 0,
+            holds_weights: !direct,
+            uses_dram_pool: uses_pool,
+            pipelined,
+            writer_slots,
+        };
+        if direct {
+            // GPM: the whole payload is immediately a persist job.
+            ckpt.persist_ready.push_back(0);
+            ckpt.copied = ckpt.chunks.len();
+            ckpt.stage_next = ckpt.chunks.len();
+        }
+        self.ckpts.insert(id, ckpt);
+        if direct {
+            self.start_persists(id);
+        } else {
+            self.try_stage(id);
+        }
+        id
+    }
+
+    /// Tries to start the next chunk copy for checkpoint `id` (needs a DRAM
+    /// buffer when pooled, and chunk copies are sequential per checkpoint).
+    fn try_stage(&mut self, id: u64) {
+        let Some(ckpt) = self.ckpts.get_mut(&id) else {
+            return;
+        };
+        if ckpt.copy_in_flight || ckpt.stage_next >= ckpt.chunks.len() {
+            return;
+        }
+        if ckpt.uses_dram_pool {
+            if self.dram_free == 0 {
+                if !self.dram_waiters.contains(&id) {
+                    self.dram_waiters.push_back(id);
+                }
+                return;
+            }
+            self.dram_free -= 1;
+        }
+        let chunk_idx = ckpt.stage_next;
+        ckpt.stage_next += 1;
+        ckpt.copy_in_flight = true;
+        let size = ckpt.chunks[chunk_idx];
+        let job = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(job, (id, chunk_idx, Phase::Copy));
+        self.pcie.add_job(job, size, self.now);
+    }
+
+    /// Starts as many persist jobs as writer slots allow for `id`.
+    fn start_persists(&mut self, id: u64) {
+        let Some(ckpt) = self.ckpts.get_mut(&id) else {
+            return;
+        };
+        if !ckpt.pipelined && !ckpt.all_copied() {
+            return; // staged mode: wait for the full snapshot
+        }
+        while ckpt.persists_in_flight < ckpt.writer_slots {
+            let Some(chunk_idx) = ckpt.persist_ready.pop_front() else {
+                break;
+            };
+            ckpt.persists_in_flight += 1;
+            let size = ckpt.chunks[chunk_idx];
+            let job = self.next_job;
+            self.next_job += 1;
+            self.jobs.insert(job, (id, chunk_idx, Phase::Persist));
+            self.media.add_job(job, size, self.now);
+        }
+    }
+
+    fn on_job_done(&mut self, job: u64) {
+        let (id, chunk_idx, phase) = self.jobs.remove(&job).expect("job registered");
+        match phase {
+            Phase::Copy => self.on_copy_done(id, chunk_idx),
+            Phase::Persist => self.on_persist_done(id, chunk_idx),
+        }
+    }
+
+    fn on_copy_done(&mut self, id: u64, chunk_idx: usize) {
+        let released_weights;
+        {
+            let ckpt = self.ckpts.get_mut(&id).expect("ckpt exists");
+            ckpt.copied += 1;
+            ckpt.copy_in_flight = false;
+            ckpt.persist_ready.push_back(chunk_idx);
+            released_weights = ckpt.all_copied() && ckpt.holds_weights;
+            if released_weights {
+                ckpt.holds_weights = false;
+            }
+        }
+        self.start_persists(id);
+        self.try_stage(id);
+        if released_weights && self.train == TrainState::WaitingUpdate && !self.any_weight_holder()
+        {
+            self.finish_update();
+        }
+    }
+
+    fn on_persist_done(&mut self, id: u64, _chunk_idx: usize) {
+        let done;
+        {
+            let ckpt = self.ckpts.get_mut(&id).expect("ckpt exists");
+            ckpt.persisted += 1;
+            ckpt.persists_in_flight -= 1;
+            if ckpt.uses_dram_pool {
+                self.dram_free += 1;
+            }
+            done = ckpt.done();
+        }
+        // A freed DRAM buffer may unblock a stage for any waiting ckpt.
+        while self.dram_free > 0 {
+            let Some(waiter) = self.dram_waiters.pop_front() else {
+                break;
+            };
+            self.try_stage(waiter);
+        }
+        self.start_persists(id);
+        if done {
+            let ckpt = self.ckpts.remove(&id).expect("ckpt exists");
+            self.write_times
+                .push(self.now.saturating_since(ckpt.started));
+            self.commits.push(CommitRecord {
+                time: self.now,
+                iteration: ckpt.iteration,
+            });
+            self.on_checkpoint_complete(id);
+        }
+    }
+}
+
+fn split_chunks(total: ByteSize, chunk: ByteSize) -> Vec<ByteSize> {
+    let mut chunks = Vec::new();
+    let mut remaining = total.as_u64();
+    let b = chunk.as_u64().max(1);
+    while remaining > 0 {
+        let n = b.min(remaining);
+        chunks.push(ByteSize::from_bytes(n));
+        remaining -= n;
+    }
+    if chunks.is_empty() {
+        chunks.push(ByteSize::from_bytes(1));
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck_gpu::ModelZoo;
+    use pccheck_util::Bandwidth;
+
+    fn base(interval: u64, iters: u64) -> SimConfig {
+        SimConfig::ssd_a100(&ModelZoo::vgg16(), interval, iters)
+    }
+
+    #[test]
+    fn ideal_throughput_is_one_over_t() {
+        let report = base(10, 100).with_strategy(StrategyCfg::Ideal).run();
+        // VGG16: 60 ms → 16.67 it/s.
+        assert!((report.throughput - 1000.0 / 60.0).abs() < 0.05);
+        assert_eq!(report.iterations, 100);
+        assert!(report.commits.is_empty());
+        assert_eq!(report.stall_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn traditional_pays_full_copy_and_persist() {
+        let report = base(10, 100).with_strategy(StrategyCfg::Traditional).run();
+        let ideal = base(10, 100).with_strategy(StrategyCfg::Ideal).run();
+        let slowdown = report.slowdown_vs(&ideal);
+        // Analytic: every 10 iterations (0.6 s of compute) training stalls
+        // for copy (1.1 GB / 12 GB/s ≈ 0.09 s) + single-writer persist
+        // (1.1 GB / 0.432 GB/s ≈ 2.54 s) → slowdown ≈ (0.6+2.64)/0.6 ≈ 5.4.
+        assert!(slowdown > 4.2, "slowdown {slowdown}");
+        assert!(slowdown < 6.8, "slowdown {slowdown}");
+        assert_eq!(report.commits.len(), 10);
+    }
+
+    #[test]
+    fn checkfreq_beats_traditional_but_stalls_at_high_frequency() {
+        let traditional = base(1, 60).with_strategy(StrategyCfg::Traditional).run();
+        let checkfreq = base(1, 60).with_strategy(StrategyCfg::CheckFreq).run();
+        assert!(
+            checkfreq.throughput > traditional.throughput,
+            "CheckFreq ({}) must beat traditional ({})",
+            checkfreq.throughput,
+            traditional.throughput
+        );
+        // But at interval 1 it still crawls: each boundary waits for the
+        // previous ~5 s persist.
+        let ideal = base(1, 60).with_strategy(StrategyCfg::Ideal).run();
+        assert!(checkfreq.slowdown_vs(&ideal) > 5.0);
+    }
+
+    #[test]
+    fn pccheck_beats_checkfreq_at_high_frequency() {
+        for interval in [1u64, 10, 25] {
+            let cf = base(interval, 200).with_strategy(StrategyCfg::CheckFreq).run();
+            let pc = base(interval, 200)
+                .with_strategy(StrategyCfg::pccheck(4, 3))
+                .run();
+            assert!(
+                pc.throughput > cf.throughput,
+                "interval {interval}: pccheck {} <= checkfreq {}",
+                pc.throughput,
+                cf.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn pccheck_overhead_small_at_moderate_frequency() {
+        // VGG16, interval 25: paper shows PCcheck close to ideal.
+        let ideal = base(25, 400).with_strategy(StrategyCfg::Ideal).run();
+        let pc = base(25, 400).with_strategy(StrategyCfg::pccheck(4, 3)).run();
+        let slowdown = pc.slowdown_vs(&ideal);
+        assert!(
+            slowdown < 1.35,
+            "PCcheck at interval 25 should be near-ideal, got {slowdown}"
+        );
+    }
+
+    #[test]
+    fn pipelined_strategies_converge_to_ideal_at_low_frequency() {
+        let ideal = base(200, 400).with_strategy(StrategyCfg::Ideal).run();
+        for strat in [StrategyCfg::CheckFreq, StrategyCfg::pccheck(2, 3)] {
+            let r = base(200, 400).with_strategy(strat).run();
+            let slowdown = r.slowdown_vs(&ideal);
+            assert!(
+                slowdown < 1.25,
+                "{}: slowdown {slowdown} at interval 200",
+                r.strategy
+            );
+        }
+        // GPM never converges on VGG16: its slow UVM copy stalls training
+        // for seconds per checkpoint ("GPM's overheads remain significant
+        // at these frequencies", §5.2.1).
+        let gpm = base(200, 400).with_strategy(StrategyCfg::Gpm).run();
+        let slowdown = gpm.slowdown_vs(&ideal);
+        assert!(
+            slowdown > 1.3,
+            "gpm should stay visibly slow on VGG16: {slowdown}"
+        );
+    }
+
+    #[test]
+    fn gpm_stalls_more_than_checkfreq_at_moderate_frequency() {
+        // §5.2.1: at lower checkpoint frequencies GPM's full stall hurts
+        // more than CheckFreq's pipelining.
+        let gpm = base(50, 300).with_strategy(StrategyCfg::Gpm).run();
+        let cf = base(50, 300).with_strategy(StrategyCfg::CheckFreq).run();
+        assert!(
+            gpm.throughput < cf.throughput,
+            "gpm {} should trail checkfreq {}",
+            gpm.throughput,
+            cf.throughput
+        );
+    }
+
+    #[test]
+    fn more_concurrent_checkpoints_help_at_interval_one() {
+        let one = base(1, 100).with_strategy(StrategyCfg::pccheck(1, 3)).run();
+        let four = base(1, 100).with_strategy(StrategyCfg::pccheck(4, 3)).run();
+        assert!(
+            four.throughput > one.throughput,
+            "N=4 ({}) must beat N=1 ({}) at interval 1",
+            four.throughput,
+            one.throughput
+        );
+    }
+
+    #[test]
+    fn more_writer_threads_shorten_write_time() {
+        let p1 = base(10, 200).with_strategy(StrategyCfg::pccheck(1, 1)).run();
+        let p3 = base(10, 200).with_strategy(StrategyCfg::pccheck(1, 3)).run();
+        assert!(
+            p3.mean_write_time < p1.mean_write_time,
+            "p=3 ({}) must persist faster than p=1 ({})",
+            p3.mean_write_time,
+            p1.mean_write_time
+        );
+    }
+
+    #[test]
+    fn gemini_is_limited_by_the_network() {
+        // BLOOM-7B shard (18 GB) over 15 Gbps ≈ 10.3 s per checkpoint; at
+        // interval 10 (12.5 s compute) the stall is mild, at interval 1 it
+        // dominates.
+        let model = ModelZoo::bloom_7b();
+        let ideal = SimConfig::ssd_a100(&model, 1, 50)
+            .with_strategy(StrategyCfg::Ideal)
+            .run();
+        let g1 = SimConfig::ssd_a100(&model, 1, 50)
+            .with_strategy(StrategyCfg::Gemini)
+            .run();
+        assert!(g1.slowdown_vs(&ideal) > 3.0, "got {}", g1.slowdown_vs(&ideal));
+        let g100 = SimConfig::ssd_a100(&model, 100, 300)
+            .with_strategy(StrategyCfg::Gemini)
+            .run();
+        let ideal100 = SimConfig::ssd_a100(&model, 100, 300)
+            .with_strategy(StrategyCfg::Ideal)
+            .run();
+        assert!(g100.slowdown_vs(&ideal100) < 1.15);
+    }
+
+    #[test]
+    fn commits_are_monotone_in_time_and_bounded_by_iterations() {
+        let r = base(5, 100).with_strategy(StrategyCfg::pccheck(3, 2)).run();
+        for pair in r.commits.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        assert!(r.commits.iter().all(|c| c.iteration <= 100));
+        assert_eq!(r.commits.len(), 100 / 5);
+        assert_eq!(r.iteration_times.len(), 100);
+    }
+
+    #[test]
+    fn write_time_under_contention_exceeds_solo_write_time() {
+        let solo = base(50, 200).with_strategy(StrategyCfg::pccheck(4, 3)).run();
+        let contended = base(1, 200).with_strategy(StrategyCfg::pccheck(4, 3)).run();
+        assert!(
+            contended.mean_write_time > solo.mean_write_time,
+            "contended Tw {} must exceed solo Tw {}",
+            contended.mean_write_time,
+            solo.mean_write_time
+        );
+    }
+
+    #[test]
+    fn dram_pool_limits_are_respected() {
+        // A tiny DRAM pool forces staging stalls but must not deadlock.
+        let mut cfg = base(5, 50).with_strategy(StrategyCfg::pccheck(4, 2));
+        cfg.dram_chunks = 2;
+        let r = cfg.run();
+        assert_eq!(r.iterations, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-pipelined PCcheck")]
+    fn non_pipelined_with_tiny_pool_is_rejected() {
+        let mut cfg = base(5, 50).with_strategy(StrategyCfg::PcCheck {
+            n: 2,
+            p: 2,
+            pipelined: false,
+        });
+        cfg.dram_chunks = 2; // 2 chunks of m/20 cannot stage m
+        cfg.run();
+    }
+
+    #[test]
+    fn non_pipelined_with_big_pool_works() {
+        let mut cfg = base(10, 100).with_strategy(StrategyCfg::PcCheck {
+            n: 2,
+            p: 2,
+            pipelined: false,
+        });
+        cfg.dram_chunks = 64; // > 20 chunks of m/20: full checkpoint fits
+        let pipe = base(10, 100).with_strategy(StrategyCfg::pccheck(2, 2)).run();
+        let staged = cfg.run();
+        assert_eq!(staged.iterations, 100);
+        // §5.4.3: pipelining is slightly better (or equal).
+        assert!(pipe.throughput >= staged.throughput * 0.99);
+    }
+
+    #[test]
+    fn faster_storage_reduces_overhead() {
+        let mut slow = base(10, 200).with_strategy(StrategyCfg::pccheck(2, 3));
+        let mut fast = slow.clone();
+        slow.storage_bandwidth = Bandwidth::from_gb_per_sec(0.2);
+        fast.storage_bandwidth = Bandwidth::from_gb_per_sec(4.0);
+        let slow_r = slow.run();
+        let fast_r = fast.run();
+        assert!(fast_r.throughput > slow_r.throughput);
+    }
+
+    #[test]
+    fn split_chunks_covers_exactly() {
+        let chunks = split_chunks(ByteSize::from_bytes(1000), ByteSize::from_bytes(300));
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks.iter().map(|c| c.as_u64()).sum::<u64>(), 1000);
+        assert_eq!(chunks[3].as_u64(), 100);
+        assert_eq!(
+            split_chunks(ByteSize::from_bytes(10), ByteSize::from_bytes(100)).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic RNG construction.
+//!
+//! Every stochastic component (synthetic preemption traces, workload
+//! payloads, property tests' fixtures) derives its generator from an explicit
+//! seed through this module, so any experiment can be replayed exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = pccheck_util::rng::seeded(42);
+/// let mut b = pccheck_util::rng::seeded(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label.
+///
+/// Components that need independent streams (e.g., each node in a distributed
+/// run) use the same parent seed with distinct labels, keeping the whole
+/// experiment reproducible from one number.
+///
+/// # Examples
+///
+/// ```
+/// let a = pccheck_util::rng::derive_seed(1, "node-0");
+/// let b = pccheck_util::rng::derive_seed(1, "node-1");
+/// assert_ne!(a, b);
+/// assert_eq!(a, pccheck_util::rng::derive_seed(1, "node-0"));
+/// ```
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, mixed with the parent via splitmix-style finalizer.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut z = parent ^ h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fills `buf` with deterministic pseudo-random bytes from `seed`.
+///
+/// Used to give checkpoint tensors verifiable content without storing a
+/// reference copy.
+pub fn fill_deterministic(buf: &mut [u8], seed: u64) {
+    let mut rng = seeded(seed);
+    rng.fill(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        let xs: Vec<u32> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let xs: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let s1 = derive_seed(99, "trace");
+        let s2 = derive_seed(99, "trace");
+        let s3 = derive_seed(99, "workload");
+        let s4 = derive_seed(100, "trace");
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(s1, s4);
+    }
+
+    #[test]
+    fn fill_deterministic_is_stable() {
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        fill_deterministic(&mut a, 5);
+        fill_deterministic(&mut b, 5);
+        assert_eq!(a, b);
+        let mut c = [0u8; 64];
+        fill_deterministic(&mut c, 6);
+        assert_ne!(a, c);
+    }
+}

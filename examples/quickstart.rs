@@ -1,0 +1,71 @@
+//! Quickstart: checkpoint a (simulated) training job with PCcheck, crash,
+//! and recover — the whole life cycle in ~60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use pccheck::{recovery, PcCheckConfig, PcCheckEngine};
+use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+use pccheck_util::ByteSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A model + optimizer state of 8 MB living on the (simulated) GPU.
+    let state = TrainingState::synthetic(ByteSize::from_mb_u64(8), 42);
+    let gpu = Gpu::new(GpuConfig::fast_for_tests(), state);
+    println!("training state: {} at step {}", gpu.state_size(), gpu.step_count());
+
+    // An SSD big enough for N+1 = 3 checkpoint slots.
+    let capacity =
+        pccheck::CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(4);
+    let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(capacity)));
+    let device: Arc<dyn PersistentDevice> = ssd.clone();
+
+    // PCcheck: up to 2 concurrent checkpoints, 3 writer threads each,
+    // pipelined 1 MB chunks.
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(3)
+            .chunk_size(ByteSize::from_mb_u64(1))
+            .dram_chunks(8)
+            .build()?,
+        device,
+        gpu.state_size(),
+    )?;
+
+    // Train 20 iterations, checkpointing every 5.
+    for iter in 1..=20u64 {
+        gpu.update(); // forward/backward/update, abridged
+        if iter % 5 == 0 {
+            engine.checkpoint(&gpu, iter);
+            println!("iteration {iter}: checkpoint requested");
+        }
+    }
+    engine.drain();
+    let committed = engine.last_committed().expect("checkpoints committed");
+    println!("latest committed: {committed}");
+
+    // Disaster strikes: the machine dies. Only durable bytes survive.
+    let digest_before = gpu.digest();
+    ssd.crash_now();
+    ssd.recover(); // the pd-ssd is re-attached to a fresh VM
+
+    // Recover onto a brand-new GPU.
+    let recovered = recovery::recover(ssd)?;
+    println!(
+        "recovered checkpoint: iteration {}, {} bytes",
+        recovered.iteration,
+        recovered.payload.len()
+    );
+    let fresh_gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_mb_u64(8), 0),
+    );
+    recovered.restore_into(&fresh_gpu);
+    assert_eq!(fresh_gpu.digest(), digest_before, "bit-for-bit recovery");
+    assert_eq!(fresh_gpu.step_count(), 20);
+    println!("resumed training from iteration {} — state verified", fresh_gpu.step_count());
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! `pccheckctl` — inspect and exercise PCcheck stores on real files.
+//!
+//! Stores created here live in ordinary files (via
+//! [`pccheck_device::FileDevice`]) and survive process restarts, so the
+//! full demo is:
+//!
+//! ```bash
+//! pccheckctl demo  /tmp/store.pcc     # train + checkpoint into the file
+//! pccheckctl info  /tmp/store.pcc     # list the checkpoint history
+//! pccheckctl recover /tmp/store.pcc   # load + verify the latest checkpoint
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pccheck::{recovery, CheckpointStore, PcCheckConfig, PcCheckEngine};
+use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice};
+use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+use pccheck_util::ByteSize;
+
+/// Demo geometry: a 1 MB training state, N=2 concurrent checkpoints.
+const STATE_BYTES: u64 = 1024 * 1024;
+const SLOTS: u32 = 3;
+const SEED: u64 = 2025;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pccheckctl <demo|info|recover> <store-file> [iterations]");
+    eprintln!("  demo     create the store and run a checkpointed training demo");
+    eprintln!("  info     print the store header and checkpoint history");
+    eprintln!("  recover  load the latest committed checkpoint and verify it");
+    ExitCode::from(2)
+}
+
+fn device_config() -> DeviceConfig {
+    let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(STATE_BYTES), SLOTS)
+        + ByteSize::from_kb(4);
+    DeviceConfig::fast_for_tests(cap)
+}
+
+fn cmd_demo(path: &str, iterations: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let device: Arc<dyn PersistentDevice> =
+        Arc::new(FileDevice::create(path, device_config())?);
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED),
+    );
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent((SLOTS - 1) as usize)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_kb(128))
+            .dram_chunks(8)
+            .build()?,
+        device,
+        gpu.state_size(),
+    )?;
+    let interval = 5u64;
+    println!("training {iterations} iterations, checkpointing every {interval} into {path}");
+    for iter in 1..=iterations {
+        gpu.update();
+        if iter % interval == 0 {
+            engine.checkpoint(&gpu, iter);
+        }
+    }
+    engine.drain();
+    match engine.last_committed() {
+        Some(out) => println!("done: latest committed {out}"),
+        None => println!("done: no checkpoint boundary reached (run more iterations)"),
+    }
+    Ok(())
+}
+
+fn open_store(path: &str) -> Result<CheckpointStore, Box<dyn std::error::Error>> {
+    let device: Arc<dyn PersistentDevice> = Arc::new(FileDevice::open(path, device_config())?);
+    Ok(CheckpointStore::open(device)?)
+}
+
+fn cmd_info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let store = open_store(path)?;
+    println!(
+        "store: {} slots x {} payload, {} free",
+        store.num_slots(),
+        store.slot_size(),
+        store.free_slot_count()
+    );
+    match store.latest_committed() {
+        Some(m) => println!(
+            "latest committed: counter {} iteration {} ({} bytes)",
+            m.counter, m.iteration, m.payload_len
+        ),
+        None => println!("latest committed: none"),
+    }
+    println!("history:");
+    for meta in store.history()? {
+        println!(
+            "  counter {:>4} iteration {:>6} {:>10} bytes digest {:016x}",
+            meta.counter, meta.iteration, meta.payload_len, meta.digest
+        );
+    }
+    Ok(())
+}
+
+fn cmd_recover(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let device: Arc<dyn PersistentDevice> = Arc::new(FileDevice::open(path, device_config())?);
+    let rec = recovery::recover(device)?;
+    // Rebuild the state and verify the digest end to end (the demo always
+    // uses the same layout, derived from the state size).
+    let layout = TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED).layout();
+    recovery::verify_against_state(&rec, &layout)?;
+    println!(
+        "recovered iteration {} ({} bytes), digest verified: {:016x}",
+        rec.iteration,
+        rec.payload.len(),
+        rec.digest
+    );
+    // Prove the state is usable: restore and advance one step.
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED),
+    );
+    rec.restore_into(&gpu);
+    gpu.update();
+    println!(
+        "resumed training: now at step {} (digest {})",
+        gpu.step_count(),
+        gpu.digest()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (cmd, path) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return usage(),
+    };
+    let iterations = args
+        .get(3)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(20);
+    let result = match cmd {
+        "demo" => cmd_demo(path, iterations),
+        "info" => cmd_info(path),
+        "recover" => cmd_recover(path),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pccheckctl {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

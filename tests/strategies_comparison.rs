@@ -1,0 +1,166 @@
+//! All five checkpointing strategies behind the same `Checkpointer` trait:
+//! every one produces recoverable, bit-exact checkpoints; their *scheduling*
+//! differences (who stalls) are what the experiments measure.
+
+use std::sync::Arc;
+
+use pccheck::{recovery, CheckpointStore, PcCheckConfig, PcCheckEngine};
+use pccheck_baselines::{
+    CheckFreqCheckpointer, GeminiCheckpointer, GpmCheckpointer, TraditionalCheckpointer,
+};
+use pccheck_device::{DeviceConfig, NetworkConfig, NetworkLink, PersistentDevice, SsdDevice};
+use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingLoop, TrainingState};
+use pccheck_util::{ByteSize, SimDuration};
+
+const SIZE: u64 = 96 * 1024;
+
+fn fresh_gpu(seed: u64) -> Gpu {
+    Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(SIZE), seed),
+    )
+}
+
+fn fresh_ssd(slots: u32) -> Arc<SsdDevice> {
+    let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(SIZE), slots)
+        + ByteSize::from_kb(4);
+    Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)))
+}
+
+fn run_training(gpu: &Gpu, ckpt: &dyn Checkpointer) {
+    let lp = TrainingLoop::new(gpu.clone(), SimDuration::ZERO).with_interval(3);
+    let report = lp.run(9, ckpt);
+    assert_eq!(report.checkpoints_requested, 3);
+}
+
+#[test]
+fn storage_backed_strategies_all_recover_identically() {
+    // Run the same deterministic workload under each strategy; all must
+    // recover iteration 9 with the same digest.
+    let reference = {
+        let gpu = fresh_gpu(11);
+        for _ in 0..9 {
+            gpu.update();
+        }
+        gpu.digest()
+    };
+
+    // Traditional.
+    {
+        let gpu = fresh_gpu(11);
+        let ssd = fresh_ssd(2);
+        let ckpt =
+            TraditionalCheckpointer::new(ssd.clone(), gpu.state_size()).expect("constructs");
+        run_training(&gpu, &ckpt);
+        ssd.crash_now();
+        ssd.recover();
+        let rec = recovery::recover(ssd).expect("recoverable");
+        assert_eq!(rec.iteration, 9);
+        let fresh = fresh_gpu(0);
+        rec.restore_into(&fresh);
+        assert_eq!(fresh.digest(), reference, "traditional");
+    }
+
+    // CheckFreq.
+    {
+        let gpu = fresh_gpu(11);
+        let ssd = fresh_ssd(2);
+        let ckpt = CheckFreqCheckpointer::new(ssd.clone(), gpu.state_size()).expect("constructs");
+        run_training(&gpu, &ckpt);
+        ssd.crash_now();
+        ssd.recover();
+        let rec = recovery::recover(ssd).expect("recoverable");
+        assert_eq!(rec.iteration, 9);
+        let fresh = fresh_gpu(0);
+        rec.restore_into(&fresh);
+        assert_eq!(fresh.digest(), reference, "checkfreq");
+    }
+
+    // GPM.
+    {
+        let gpu = fresh_gpu(11);
+        let ssd = fresh_ssd(2);
+        let ckpt = GpmCheckpointer::new(ssd.clone(), gpu.state_size()).expect("constructs");
+        run_training(&gpu, &ckpt);
+        ssd.crash_now();
+        ssd.recover();
+        let rec = recovery::recover(ssd).expect("recoverable");
+        assert_eq!(rec.iteration, 9);
+        let fresh = fresh_gpu(0);
+        rec.restore_into(&fresh);
+        assert_eq!(fresh.digest(), reference, "gpm");
+    }
+
+    // PCcheck.
+    {
+        let gpu = fresh_gpu(11);
+        let ssd = fresh_ssd(3);
+        let engine = PcCheckEngine::new(
+            PcCheckConfig::builder()
+                .max_concurrent(2)
+                .writer_threads(2)
+                .chunk_size(ByteSize::from_kb(16))
+                .dram_chunks(8)
+                .build()
+                .expect("valid"),
+            ssd.clone() as Arc<dyn PersistentDevice>,
+            gpu.state_size(),
+        )
+        .expect("engine");
+        run_training(&gpu, &engine);
+        ssd.crash_now();
+        ssd.recover();
+        let rec = recovery::recover(ssd).expect("recoverable");
+        assert_eq!(rec.iteration, 9);
+        let fresh = fresh_gpu(0);
+        rec.restore_into(&fresh);
+        assert_eq!(fresh.digest(), reference, "pccheck");
+    }
+
+    // Gemini (remote DRAM instead of storage).
+    {
+        let gpu = fresh_gpu(11);
+        let link = Arc::new(NetworkLink::new(
+            NetworkConfig::fast_for_tests(),
+            GeminiCheckpointer::required_remote_capacity(gpu.state_size()),
+        ));
+        let ckpt = GeminiCheckpointer::new(Arc::clone(&link), gpu.state_size()).expect("constructs");
+        run_training(&gpu, &ckpt);
+        let rec =
+            GeminiCheckpointer::recover_from_remote(&link, gpu.state_size()).expect("recoverable");
+        assert_eq!(rec.iteration, 9);
+        let fresh = fresh_gpu(0);
+        rec.restore_into(&fresh);
+        assert_eq!(fresh.digest(), reference, "gemini");
+    }
+}
+
+#[test]
+fn strategy_names_are_distinct() {
+    let gpu = fresh_gpu(1);
+    let ssd = fresh_ssd(3);
+    let names: Vec<String> = vec![
+        TraditionalCheckpointer::new(fresh_ssd(2), gpu.state_size())
+            .expect("traditional")
+            .name()
+            .into(),
+        CheckFreqCheckpointer::new(fresh_ssd(2), gpu.state_size())
+            .expect("checkfreq")
+            .name()
+            .into(),
+        GpmCheckpointer::new(fresh_ssd(2), gpu.state_size())
+            .expect("gpm")
+            .name()
+            .into(),
+        PcCheckEngine::new(
+            PcCheckConfig::default(),
+            ssd as Arc<dyn PersistentDevice>,
+            gpu.state_size(),
+        )
+        .expect("pccheck")
+        .name()
+        .into(),
+    ];
+    let unique: std::collections::HashSet<_> = names.iter().collect();
+    assert_eq!(unique.len(), names.len());
+}
