@@ -16,6 +16,7 @@ use pccheck::store::CheckpointStore;
 use pccheck::{CommitOutcome, PccheckError};
 use pccheck_device::PersistentDevice;
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
+use pccheck_telemetry::{Phase, Telemetry};
 use pccheck_util::ByteSize;
 
 /// The one-checkpoint-at-a-time asynchronous baseline.
@@ -51,6 +52,7 @@ pub struct CheckFreqCheckpointer {
     /// The single in-flight persist, if any. Next checkpoint joins it.
     in_flight: Mutex<Option<JoinHandle<()>>>,
     last: Arc<Mutex<Option<CheckpointOutcome>>>,
+    telemetry: Telemetry,
 }
 
 impl CheckFreqCheckpointer {
@@ -69,7 +71,15 @@ impl CheckFreqCheckpointer {
             store: Arc::new(store),
             in_flight: Mutex::new(None),
             last: Arc::new(Mutex::new(None)),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle so runs are traced with the same
+    /// instrumentation as [`pccheck::PcCheckEngine`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The underlying store.
@@ -80,12 +90,20 @@ impl CheckFreqCheckpointer {
 
 impl Checkpointer for CheckFreqCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        let stall_start = self.telemetry.now_nanos();
+        let span =
+            self.telemetry
+                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // THE CheckFreq bottleneck: wait for the previous checkpoint's
         // persist phase before starting the next snapshot.
         let mut slot = self.in_flight.lock();
         if let Some(prev) = slot.take() {
             prev.join().expect("persist thread panicked");
         }
+        self.telemetry.phase_done(span, Phase::TicketWait, stall_start);
+        self.telemetry
+            .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
+        self.telemetry.span_queued(span);
 
         // Snapshot phase: copy the weights to DRAM. CheckFreq performs this
         // asynchronously with the *next iteration's compute*, which our
@@ -93,14 +111,19 @@ impl Checkpointer for CheckFreqCheckpointer {
         let guard = gpu.lock_weights_shared_owned();
         let store = Arc::clone(&self.store);
         let last = Arc::clone(&self.last);
+        let telemetry = self.telemetry.clone();
         let handle = std::thread::spawn(move || {
+            let copy_start = telemetry.now_nanos();
             let total = guard.size();
             let digest = guard.digest();
             let mut host = vec![0u8; total.as_usize()];
             guard.copy_range_to_host(0, &mut host);
             drop(guard); // snapshot done: weight updates may resume
+            telemetry.chunk(span, Phase::GpuCopy, 0, total.as_u64());
+            telemetry.phase_done(span, Phase::GpuCopy, copy_start);
 
             // Persist phase.
+            let persist_start = telemetry.now_nanos();
             let lease = store.begin_checkpoint();
             store
                 .write_payload(&lease, 0, &host)
@@ -108,13 +131,23 @@ impl Checkpointer for CheckFreqCheckpointer {
             store
                 .persist_payload(&lease, 0, total.as_u64())
                 .expect("persist cannot exceed bounds");
+            telemetry.chunk(span, Phase::Persist, 0, total.as_u64());
+            telemetry.phase_done(span, Phase::Persist, persist_start);
+            let commit_start = telemetry.now_nanos();
             let outcome = store
                 .commit(lease, iteration, total.as_u64(), digest.0)
                 .expect("commit I/O on healthy device");
-            if matches!(outcome, CommitOutcome::Committed) {
-                let mut l = last.lock();
-                if l.map_or(true, |o| o.iteration < iteration) {
-                    *l = Some(CheckpointOutcome { iteration, digest });
+            telemetry.phase_done(span, Phase::Commit, commit_start);
+            match outcome {
+                CommitOutcome::Committed => {
+                    telemetry.committed(span, iteration, total.as_u64());
+                    let mut l = last.lock();
+                    if l.map_or(true, |o| o.iteration < iteration) {
+                        *l = Some(CheckpointOutcome { iteration, digest });
+                    }
+                }
+                CommitOutcome::SupersededBy { counter } => {
+                    telemetry.superseded(span, counter);
                 }
             }
         });

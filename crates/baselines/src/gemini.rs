@@ -22,6 +22,7 @@ use pccheck::meta::{CheckMeta, META_RECORD_SIZE};
 use pccheck::PccheckError;
 use pccheck_device::{DeviceError, NetworkLink};
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
+use pccheck_telemetry::{Phase, Telemetry};
 use pccheck_util::ByteSize;
 
 /// The remote-DRAM baseline.
@@ -59,6 +60,7 @@ pub struct GeminiCheckpointer {
     counter: Mutex<u64>,
     in_flight: Mutex<Option<JoinHandle<()>>>,
     last: Arc<Mutex<Option<CheckpointOutcome>>>,
+    telemetry: Telemetry,
 }
 
 impl GeminiCheckpointer {
@@ -84,7 +86,15 @@ impl GeminiCheckpointer {
             counter: Mutex::new(1),
             in_flight: Mutex::new(None),
             last: Arc::new(Mutex::new(None)),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle so runs are traced with the same
+    /// instrumentation as [`pccheck::PcCheckEngine`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Remote memory needed for two alternating slots.
@@ -147,12 +157,20 @@ impl GeminiCheckpointer {
 
 impl Checkpointer for GeminiCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        let stall_start = self.telemetry.now_nanos();
+        let span =
+            self.telemetry
+                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // Like CheckFreq: one checkpoint at a time. Wait out the previous
         // network transfer before snapshotting the next.
         let mut slot_guard = self.in_flight.lock();
         if let Some(prev) = slot_guard.take() {
             prev.join().expect("transfer thread panicked");
         }
+        self.telemetry.phase_done(span, Phase::TicketWait, stall_start);
+        self.telemetry
+            .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
+        self.telemetry.span_queued(span);
 
         let counter = {
             let mut c = self.counter.lock();
@@ -165,7 +183,9 @@ impl Checkpointer for GeminiCheckpointer {
         let link = Arc::clone(&self.link);
         let last = Arc::clone(&self.last);
         let checkpoint_size = self.checkpoint_size;
+        let telemetry = self.telemetry.clone();
         let handle = std::thread::spawn(move || {
+            let copy_start = telemetry.now_nanos();
             let total = guard.size();
             let digest = guard.digest();
             // Snapshot first (fast GPU-side copy), releasing the weights
@@ -174,8 +194,11 @@ impl Checkpointer for GeminiCheckpointer {
             let mut snapshot = vec![0u8; total.as_usize()];
             guard.copy_range_to_host(0, &mut snapshot);
             drop(guard);
+            telemetry.chunk(span, Phase::GpuCopy, 0, total.as_u64());
+            telemetry.phase_done(span, Phase::GpuCopy, copy_start);
             // Ship over the network in GPU-buffer-sized pieces (§3.2's
             // 32 MB staging buffer).
+            let persist_start = telemetry.now_nanos();
             let base = GeminiCheckpointer::slot_offset(checkpoint_size, slot);
             let piece = (32 * 1024 * 1024).min(snapshot.len().max(1));
             let mut off = 0usize;
@@ -189,8 +212,11 @@ impl Checkpointer for GeminiCheckpointer {
                     ok = false; // peer failed mid-transfer; slot stays torn
                     break;
                 }
+                telemetry.chunk(span, Phase::Persist, off as u64, n as u64);
                 off += n;
             }
+            telemetry.phase_done(span, Phase::Persist, persist_start);
+            let mut committed = false;
             if ok {
                 let meta = CheckMeta {
                     counter,
@@ -199,12 +225,20 @@ impl Checkpointer for GeminiCheckpointer {
                     payload_len: total.as_u64(),
                     digest: digest.0,
                 };
-                if link.send(base, &meta.encode()).is_ok() {
+                let commit_start = telemetry.now_nanos();
+                let sent = link.send(base, &meta.encode()).is_ok();
+                telemetry.phase_done(span, Phase::Commit, commit_start);
+                if sent {
+                    committed = true;
+                    telemetry.committed(span, iteration, total.as_u64());
                     let mut l = last.lock();
                     if l.map_or(true, |o| o.iteration < iteration) {
                         *l = Some(CheckpointOutcome { iteration, digest });
                     }
                 }
+            }
+            if !committed {
+                telemetry.failed(span, "peer unavailable mid-transfer");
             }
         });
         *slot_guard = Some(handle);
@@ -308,6 +342,30 @@ mod tests {
         // Sanity: slot for counter 2 currently holds no valid record.
         let rec = GeminiCheckpointer::recover_from_remote(ckpt.link(), gpu.state_size()).unwrap();
         assert_eq!(rec.iteration, 1);
+    }
+
+    #[test]
+    fn peer_failure_surfaces_as_failed_event() {
+        use pccheck_telemetry::{EventKind, Telemetry};
+
+        let (ckpt, gpu) = setup(300);
+        let telemetry = Telemetry::enabled();
+        let ckpt = ckpt.with_telemetry(telemetry.clone());
+        gpu.update();
+        ckpt.checkpoint(&gpu, 1);
+        ckpt.drain();
+        ckpt.link().remote().fail_peer();
+        gpu.update();
+        ckpt.checkpoint(&gpu, 2);
+        ckpt.drain();
+        let snap = telemetry.snapshot().expect("telemetry enabled");
+        assert_eq!(snap.counters.requested, 2);
+        assert_eq!(snap.counters.committed, 1);
+        assert_eq!(snap.counters.failed, 1);
+        assert!(telemetry
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Failed { .. })));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use pccheck::store::CheckpointStore;
 use pccheck::PccheckError;
 use pccheck_device::PersistentDevice;
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
+use pccheck_telemetry::{Phase, Telemetry};
 use pccheck_util::ByteSize;
 
 /// Chunk size for the GPU-kernel copy loop (kernel grids move data in
@@ -59,6 +60,7 @@ const KERNEL_COPY_CHUNK: usize = 4 * 1024 * 1024;
 pub struct GpmCheckpointer {
     store: Arc<CheckpointStore>,
     last: Mutex<Option<CheckpointOutcome>>,
+    telemetry: Telemetry,
 }
 
 impl GpmCheckpointer {
@@ -76,7 +78,15 @@ impl GpmCheckpointer {
         Ok(GpmCheckpointer {
             store: Arc::new(store),
             last: Mutex::new(None),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle so runs are traced with the same
+    /// instrumentation as [`pccheck::PcCheckEngine`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The underlying store.
@@ -87,6 +97,10 @@ impl GpmCheckpointer {
 
 impl Checkpointer for GpmCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        let stall_start = self.telemetry.now_nanos();
+        let span =
+            self.telemetry
+                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // Inline on the training thread: the copy kernels occupy the GPU,
         // so training stalls for the duration by construction.
         let guard = gpu.lock_weights_shared();
@@ -96,30 +110,47 @@ impl Checkpointer for GpmCheckpointer {
         // Kernel-copy loop: GPU → device directly, no DRAM staging. A small
         // bounce tile stands in for the kernel's register/shared-memory
         // tile; it never holds the checkpoint (Table 1: DRAM = 0).
+        // GPU-copy and persist overlap tile-by-tile, so both phases share
+        // the same start timestamp.
         let mut tile = vec![0u8; KERNEL_COPY_CHUNK.min(total.as_usize().max(1))];
         let mut off = 0u64;
         while off < total.as_u64() {
             let n = (tile.len() as u64).min(total.as_u64() - off) as usize;
             guard.copy_range_to_host(off, &mut tile[..n]);
+            self.telemetry.chunk(span, Phase::GpuCopy, off, n as u64);
             self.store
                 .write_payload(&lease, off, &tile[..n])
                 .expect("payload fits the formatted slot");
+            self.telemetry.chunk(span, Phase::Persist, off, n as u64);
             off += n as u64;
         }
+        self.telemetry.phase_done(span, Phase::GpuCopy, stall_start);
         // cudaDeviceSynchronize + msync/fence: one persist over the payload
         // issued by this same (training) thread — correct on both SSD and
         // PMEM because the same thread performed every store.
         self.store
             .persist_payload(&lease, 0, total.as_u64())
             .expect("persist cannot exceed bounds");
+        self.telemetry.phase_done(span, Phase::Persist, stall_start);
+        let commit_start = self.telemetry.now_nanos();
         let outcome = self
             .store
             .commit(lease, iteration, total.as_u64(), digest.0)
             .expect("commit I/O on healthy device");
+        self.telemetry.phase_done(span, Phase::Commit, commit_start);
         drop(guard);
-        if matches!(outcome, pccheck::CommitOutcome::Committed) {
-            *self.last.lock() = Some(CheckpointOutcome { iteration, digest });
+        match outcome {
+            pccheck::CommitOutcome::Committed => {
+                self.telemetry.committed(span, iteration, total.as_u64());
+                *self.last.lock() = Some(CheckpointOutcome { iteration, digest });
+            }
+            pccheck::CommitOutcome::SupersededBy { counter } => {
+                self.telemetry.superseded(span, counter);
+            }
         }
+        // Whole call ran on the training thread with the SMs occupied.
+        self.telemetry
+            .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
     }
 
     fn drain(&self) {

@@ -15,6 +15,7 @@ use pccheck::store::CheckpointStore;
 use pccheck::PccheckError;
 use pccheck_device::PersistentDevice;
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
+use pccheck_telemetry::{Phase, Telemetry};
 use pccheck_util::ByteSize;
 
 /// The fully synchronous baseline.
@@ -47,6 +48,7 @@ use pccheck_util::ByteSize;
 pub struct TraditionalCheckpointer {
     store: Arc<CheckpointStore>,
     last: Mutex<Option<CheckpointOutcome>>,
+    telemetry: Telemetry,
 }
 
 impl TraditionalCheckpointer {
@@ -64,7 +66,15 @@ impl TraditionalCheckpointer {
         Ok(TraditionalCheckpointer {
             store: Arc::new(store),
             last: Mutex::new(None),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle so runs are traced with the same
+    /// instrumentation as [`pccheck::PcCheckEngine`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The underlying store (for recovery in tests/benches).
@@ -75,6 +85,10 @@ impl TraditionalCheckpointer {
 
 impl Checkpointer for TraditionalCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
+        let stall_start = self.telemetry.now_nanos();
+        let span =
+            self.telemetry
+                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // C: copy weights to DRAM — inline, training thread blocked.
         let guard = gpu.lock_weights_shared();
         let total = guard.size();
@@ -82,7 +96,10 @@ impl Checkpointer for TraditionalCheckpointer {
         let mut host = vec![0u8; total.as_usize()];
         guard.copy_range_to_host(0, &mut host);
         drop(guard);
+        self.telemetry.chunk(span, Phase::GpuCopy, 0, total.as_u64());
+        self.telemetry.phase_done(span, Phase::GpuCopy, stall_start);
         // P: write + sync to storage — still inline.
+        let persist_start = self.telemetry.now_nanos();
         let lease = self.store.begin_checkpoint();
         self.store
             .write_payload(&lease, 0, &host)
@@ -90,13 +107,26 @@ impl Checkpointer for TraditionalCheckpointer {
         self.store
             .persist_payload(&lease, 0, total.as_u64())
             .expect("persist cannot exceed bounds");
+        self.telemetry.chunk(span, Phase::Persist, 0, total.as_u64());
+        self.telemetry.phase_done(span, Phase::Persist, persist_start);
+        let commit_start = self.telemetry.now_nanos();
         let outcome = self
             .store
             .commit(lease, iteration, total.as_u64(), digest.0)
             .expect("commit I/O on healthy device");
-        if matches!(outcome, pccheck::CommitOutcome::Committed) {
-            *self.last.lock() = Some(CheckpointOutcome { iteration, digest });
+        self.telemetry.phase_done(span, Phase::Commit, commit_start);
+        match outcome {
+            pccheck::CommitOutcome::Committed => {
+                self.telemetry.committed(span, iteration, total.as_u64());
+                *self.last.lock() = Some(CheckpointOutcome { iteration, digest });
+            }
+            pccheck::CommitOutcome::SupersededBy { counter } => {
+                self.telemetry.superseded(span, counter);
+            }
         }
+        // The entire call ran inline: all of it is training-thread stall.
+        self.telemetry
+            .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
     }
 
     fn drain(&self) {
@@ -155,6 +185,33 @@ mod tests {
         }
         assert_eq!(ckpt.store().latest_committed().unwrap().iteration, 6);
         assert_eq!(ckpt.store().free_slot_count(), 1);
+    }
+
+    #[test]
+    fn telemetry_traces_inline_lifecycle() {
+        use pccheck_telemetry::{EventKind, Phase};
+
+        let (ckpt, gpu, _ssd) = setup(300);
+        let telemetry = Telemetry::enabled();
+        let ckpt = ckpt.with_telemetry(telemetry.clone());
+        for iter in 1..=3 {
+            gpu.update();
+            ckpt.checkpoint(&gpu, iter);
+        }
+        let snap = telemetry.snapshot().expect("telemetry enabled");
+        assert_eq!(snap.counters.requested, 3);
+        assert_eq!(snap.counters.committed, 3);
+        for phase in [Phase::GpuCopy, Phase::Persist, Phase::Commit] {
+            assert_eq!(snap.phase(phase).count, 3, "{}", phase.name());
+        }
+        // Fully synchronous: every span emits a stall covering the call.
+        let stalls = telemetry
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Stall { .. }))
+            .count();
+        assert_eq!(stalls, 3);
+        assert_eq!(snap.stall.count, 3);
     }
 
     #[test]

@@ -19,7 +19,6 @@
 //! `checkpoint()` call returns as soon as the ticket and the weights lock
 //! are handed over, exactly like Figure 6's overlap of `C`/`P` with `T`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -28,6 +27,7 @@ use parking_lot::{Condvar, Mutex};
 
 use pccheck_device::{HostBufferPool, PersistentDevice};
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu, OwnedWeightsGuard};
+use pccheck_telemetry::{CheckpointCounters, CountersSnapshot, Phase, SpanId, Telemetry};
 use pccheck_util::ByteSize;
 
 use crate::config::PcCheckConfig;
@@ -35,28 +35,54 @@ use crate::error::PccheckError;
 use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
 
 /// Cumulative engine statistics.
+///
+/// A thin wrapper over [`pccheck_telemetry::CheckpointCounters`] — the
+/// same counter block the telemetry layer uses, kept engine-local so the
+/// accessors work with telemetry disabled. Prefer
+/// [`snapshot`](EngineStats::snapshot) when reading more than one counter:
+/// it returns one mutually consistent view instead of independent loads.
 #[derive(Debug, Default)]
 pub struct EngineStats {
-    committed: AtomicU64,
-    superseded: AtomicU64,
-    requested: AtomicU64,
+    counters: CheckpointCounters,
 }
 
 impl EngineStats {
     /// Checkpoints that became the latest committed state.
     pub fn committed(&self) -> u64 {
-        self.committed.load(Ordering::Relaxed)
+        self.counters.committed()
     }
 
     /// Checkpoints that lost the commit race to a newer one.
     pub fn superseded(&self) -> u64 {
-        self.superseded.load(Ordering::Relaxed)
+        self.counters.superseded()
     }
 
     /// Checkpoint requests accepted.
     pub fn requested(&self) -> u64 {
-        self.requested.load(Ordering::Relaxed)
+        self.counters.requested()
     }
+
+    /// Checkpoints that failed (device error, crash injection).
+    pub fn failed(&self) -> u64 {
+        self.counters.failed()
+    }
+
+    /// Payload bytes of committed checkpoints.
+    pub fn bytes_persisted(&self) -> u64 {
+        self.counters.bytes_persisted()
+    }
+
+    /// One mutually consistent view of all counters.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+/// Telemetry context threaded through one checkpoint's background work.
+#[derive(Clone, Copy)]
+struct TraceCtx<'a> {
+    telemetry: &'a Telemetry,
+    span: SpanId,
 }
 
 #[derive(Debug, Default)]
@@ -99,6 +125,8 @@ pub struct PcCheckEngine {
     pool: HostBufferPool,
     in_flight: Arc<InFlight>,
     stats: Arc<EngineStats>,
+    telemetry: Telemetry,
+    first_error: Arc<Mutex<Option<PccheckError>>>,
     last_committed: Arc<Mutex<Option<CheckpointOutcome>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -162,6 +190,8 @@ impl PcCheckEngine {
             pool,
             in_flight: Arc::new(InFlight::default()),
             stats: Arc::new(EngineStats::default()),
+            telemetry: Telemetry::disabled(),
+            first_error: Arc::new(Mutex::new(None)),
             last_committed: Arc::new(Mutex::new(last)),
             workers: Mutex::new(Vec::new()),
         })
@@ -180,6 +210,44 @@ impl PcCheckEngine {
     /// Engine statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Attaches a telemetry handle; every subsequent checkpoint records
+    /// its full lifecycle. With the default
+    /// [`Telemetry::disabled`] handle every hook is a no-op.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Waits for all in-flight checkpoints, then surfaces the first error
+    /// any background checkpoint hit since the last call (the error slot
+    /// is cleared once returned). The trait-level
+    /// [`drain`](Checkpointer::drain) keeps its infallible signature;
+    /// failures it observes stay visible through
+    /// [`stats().failed()`](EngineStats::failed), the telemetry `fail`
+    /// event, and the next `try_drain` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PccheckError`] recorded by a background
+    /// checkpoint worker.
+    pub fn try_drain(&self) -> Result<(), PccheckError> {
+        self.in_flight.wait_zero();
+        let mut workers = self.workers.lock();
+        for handle in workers.drain(..) {
+            handle.join().expect("checkpoint worker panicked");
+        }
+        drop(workers);
+        match self.first_error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// The DRAM staging pool (for footprint inspection).
@@ -205,36 +273,49 @@ impl PcCheckEngine {
         store: &CheckpointStore,
         pool: &HostBufferPool,
         config: &PcCheckConfig,
+        ctx: TraceCtx<'_>,
         guard: OwnedWeightsGuard,
         iteration: u64,
         digest: pccheck_gpu::StateDigest,
     ) -> Result<CommitOutcome, PccheckError> {
         let total = guard.size();
         let lease = store.begin_checkpoint();
-        if config.pipelined {
-            Self::copy_and_persist_pipelined(store, pool, config, &guard, &lease, total)?;
+        ctx.telemetry
+            .gauge_queue_depth(store.free_slot_count() as u64);
+        let persist_start = if config.pipelined {
+            Self::copy_and_persist_pipelined(store, pool, config, ctx, &guard, &lease, total)?
         } else {
-            Self::copy_then_persist(store, pool, config, &guard, &lease, total)?;
-        }
+            Self::copy_then_persist(store, pool, config, ctx, &guard, &lease, total)?
+        };
         drop(guard); // weights released (if not already) before the commit CAS
         if config.single_sync {
             // §4.1 SSD path: one msync covering the whole payload.
             store.persist_payload(&lease, 0, total.as_u64())?;
         }
-        store.commit(lease, iteration, total.as_u64(), digest.0)
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Persist, persist_start);
+        let commit_start = ctx.telemetry.now_nanos();
+        let outcome = store.commit(lease, iteration, total.as_u64(), digest.0);
+        ctx.telemetry.phase_done(ctx.span, Phase::Commit, commit_start);
+        outcome
     }
 
     /// Non-pipelined path (Figure 6): stage the entire checkpoint in DRAM,
     /// release the weights, then persist with `p` parallel writers.
+    ///
+    /// Returns the persist-phase start timestamp so the caller can close
+    /// the phase after the optional deferred `msync`.
     fn copy_then_persist(
         store: &CheckpointStore,
         pool: &HostBufferPool,
         config: &PcCheckConfig,
+        ctx: TraceCtx<'_>,
         guard: &OwnedWeightsGuard,
         lease: &SlotLease,
         total: ByteSize,
-    ) -> Result<(), PccheckError> {
+    ) -> Result<u64, PccheckError> {
         // Stage all chunks (blocks on the pool if DRAM is scarce).
+        let copy_start = ctx.telemetry.now_nanos();
         let chunk = pool.chunk_size();
         let mut staged = Vec::new();
         let mut off = 0u64;
@@ -242,10 +323,13 @@ impl PcCheckEngine {
             let n = chunk.as_u64().min(total.as_u64() - off) as usize;
             let mut buf = pool.acquire();
             guard.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+            ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
             staged.push((off, n, buf));
             off += n as u64;
         }
+        ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, copy_start);
         // Persist with p writers, chunks distributed round-robin.
+        let persist_start = ctx.telemetry.now_nanos();
         let p = config.writer_threads;
         let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
         crossbeam::thread::scope(|s| {
@@ -263,8 +347,11 @@ impl PcCheckEngine {
                                     store.persist_payload(lease, *off, *n as u64)
                                 }
                             });
-                        if let Err(e) = r {
-                            results.lock().push(e);
+                        match r {
+                            Ok(()) => {
+                                ctx.telemetry.chunk(ctx.span, Phase::Persist, *off, *n as u64)
+                            }
+                            Err(e) => results.lock().push(e),
                         }
                     }
                 });
@@ -275,21 +362,26 @@ impl PcCheckEngine {
         if let Some(e) = results.into_inner().into_iter().next() {
             return Err(e);
         }
-        Ok(())
+        Ok(persist_start)
     }
 
     /// Pipelined path (Figure 7): a producer copies chunks from the GPU
     /// while `p` writer threads persist already-copied chunks; each DRAM
     /// buffer returns to the pool the moment its chunk is durable.
+    ///
+    /// Returns the persist-phase start timestamp (the phases overlap, so
+    /// it coincides with the copy start).
     fn copy_and_persist_pipelined(
         store: &CheckpointStore,
         pool: &HostBufferPool,
         config: &PcCheckConfig,
+        ctx: TraceCtx<'_>,
         guard: &OwnedWeightsGuard,
         lease: &SlotLease,
         total: ByteSize,
-    ) -> Result<(), PccheckError> {
+    ) -> Result<u64, PccheckError> {
         type Job = (u64, usize, pccheck_device::HostBuffer);
+        let start = ctx.telemetry.now_nanos();
         let p = config.writer_threads;
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(config.dram_chunks);
         let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
@@ -308,8 +400,11 @@ impl PcCheckEngine {
                                     store.persist_payload(lease, off, n as u64)
                                 }
                             });
-                        if let Err(e) = r {
-                            results.lock().push(e);
+                        match r {
+                            Ok(()) => {
+                                ctx.telemetry.chunk(ctx.span, Phase::Persist, off, n as u64)
+                            }
+                            Err(e) => results.lock().push(e),
                         }
                         drop(buf); // free the DRAM chunk for the producer
                     }
@@ -323,16 +418,18 @@ impl PcCheckEngine {
                 let n = chunk.as_u64().min(total.as_u64() - off) as usize;
                 let mut buf = pool.acquire();
                 guard.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+                ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
                 tx.send((off, n, buf)).expect("writers outlive producer");
                 off += n as u64;
             }
+            ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, start);
             drop(tx); // writers drain and exit
         })
         .expect("pipelined checkpoint thread panicked");
         if let Some(e) = results.into_inner().into_iter().next() {
             return Err(e);
         }
-        Ok(())
+        Ok(start)
     }
 }
 
@@ -342,36 +439,61 @@ impl Checkpointer for PcCheckEngine {
     /// runs on a background worker.
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         self.reap_finished_workers();
+        let stall_start = self.telemetry.now_nanos();
+        let span =
+            self.telemetry
+                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         self.in_flight.acquire(self.config.max_concurrent);
-        self.stats.requested.fetch_add(1, Ordering::Relaxed);
+        self.stats.counters.incr_requested();
         let guard = gpu.lock_weights_shared_owned();
+        // The ticket + weights-lock wait is the only stall this call
+        // imposes on the training thread.
+        self.telemetry.phase_done(span, Phase::TicketWait, stall_start);
+        self.telemetry
+            .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
+        self.telemetry.span_queued(span);
 
         let store = Arc::clone(&self.store);
         let pool = self.pool.clone();
         let config = self.config.clone();
         let in_flight = Arc::clone(&self.in_flight);
         let stats = Arc::clone(&self.stats);
+        let telemetry = self.telemetry.clone();
+        let first_error = Arc::clone(&self.first_error);
         let last = Arc::clone(&self.last_committed);
+        let total_bytes = guard.size().as_u64();
         let handle = std::thread::spawn(move || {
             let digest = guard.digest();
+            let ctx = TraceCtx {
+                telemetry: &telemetry,
+                span,
+            };
             let result =
-                Self::run_checkpoint(&store, &pool, &config, guard, iteration, digest);
+                Self::run_checkpoint(&store, &pool, &config, ctx, guard, iteration, digest);
             match result {
                 Ok(CommitOutcome::Committed) => {
-                    stats.committed.fetch_add(1, Ordering::Relaxed);
+                    stats.counters.incr_committed(total_bytes);
+                    telemetry.committed(span, iteration, total_bytes);
                     let mut l = last.lock();
                     if l.map_or(true, |o| o.iteration < iteration) {
                         *l = Some(CheckpointOutcome { iteration, digest });
                     }
                 }
-                Ok(CommitOutcome::SupersededBy { .. }) => {
-                    stats.superseded.fetch_add(1, Ordering::Relaxed);
+                Ok(CommitOutcome::SupersededBy { counter }) => {
+                    stats.counters.incr_superseded();
+                    telemetry.superseded(span, counter);
                 }
                 Err(e) => {
                     // Device failed mid-checkpoint (e.g., crash injection).
                     // The previous committed checkpoint remains valid; the
-                    // error is recorded implicitly by the missing commit.
-                    let _ = e;
+                    // failure stays visible through the `failed` counter,
+                    // the telemetry `fail` event, and `try_drain`.
+                    stats.counters.incr_failed();
+                    telemetry.failed(span, &e.to_string());
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
                 }
             }
             in_flight.release();
@@ -380,11 +502,9 @@ impl Checkpointer for PcCheckEngine {
     }
 
     fn drain(&self) {
-        self.in_flight.wait_zero();
-        let mut workers = self.workers.lock();
-        for handle in workers.drain(..) {
-            handle.join().expect("checkpoint worker panicked");
-        }
+        // Infallible by signature; background errors remain visible via
+        // `stats().failed()`, telemetry, and `PcCheckEngine::try_drain`.
+        let _ = self.try_drain();
     }
 
     fn last_committed(&self) -> Option<CheckpointOutcome> {
@@ -652,6 +772,100 @@ mod tests {
             PcCheckEngine::new(config, device, gpu.state_size()),
             Err(PccheckError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn telemetry_records_full_lifecycle() {
+        use pccheck_telemetry::EventKind;
+
+        let (engine, gpu) = ssd_engine(300, 2, 2, true);
+        let telemetry = Telemetry::enabled();
+        let engine = engine.with_telemetry(telemetry.clone());
+        for iter in 1..=4 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+        }
+        engine.drain();
+
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.counters.requested, 4);
+        assert_eq!(snap.counters.terminated(), 4);
+        assert_eq!(snap.counters.failed, 0);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.phase(Phase::TicketWait).count, 4);
+        assert_eq!(snap.phase(Phase::GpuCopy).count, 4);
+        assert_eq!(snap.phase(Phase::Persist).count, 4);
+        assert_eq!(snap.phase(Phase::Commit).count, 4);
+        assert_eq!(snap.stall.count, 4);
+        // Every byte of every checkpoint passed through both phases.
+        assert_eq!(snap.gpu_copy_bytes, 4 * 300);
+        assert_eq!(snap.persist_chunk_bytes, 4 * 300);
+
+        // Engine stats and the telemetry counters tell the same story.
+        let stats = engine.stats().snapshot();
+        assert_eq!(stats.requested, snap.counters.requested);
+        assert_eq!(stats.committed, snap.counters.committed);
+        assert_eq!(stats.superseded, snap.counters.superseded);
+        assert_eq!(stats.bytes_persisted, snap.counters.committed * 300);
+
+        // Every span terminates exactly once.
+        let events = telemetry.events();
+        for e in &events {
+            if matches!(e.kind, EventKind::Requested { .. }) {
+                let terminals = events
+                    .iter()
+                    .filter(|t| t.span == e.span && t.kind.is_terminal())
+                    .count();
+                assert_eq!(terminals, 1, "{} must terminate once", e.span);
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let (engine, gpu) = ssd_engine(300, 2, 2, true);
+        assert!(!engine.telemetry().is_enabled());
+        gpu.update();
+        engine.checkpoint(&gpu, 1);
+        engine.drain();
+        assert!(engine.telemetry().events().is_empty());
+        assert!(engine.telemetry().snapshot().is_none());
+        // Engine-local stats still work without telemetry.
+        assert_eq!(engine.stats().snapshot().committed, 1);
+    }
+
+    #[test]
+    fn background_errors_propagate_through_try_drain() {
+        let gpu = tiny_gpu(300, 6);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 3) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let device: Arc<dyn PersistentDevice> = ssd.clone();
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(8)
+            .build()
+            .unwrap();
+        let telemetry = Telemetry::enabled();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size())
+            .unwrap()
+            .with_telemetry(telemetry.clone());
+        gpu.update();
+        ssd.crash_now();
+        engine.checkpoint(&gpu, 1);
+        let err = engine.try_drain().unwrap_err();
+        assert!(matches!(err, PccheckError::Device(_)), "{err}");
+        assert_eq!(engine.stats().failed(), 1);
+        assert_eq!(engine.stats().snapshot().terminated(), 1);
+        // The failure is also a terminal event in the trace.
+        assert_eq!(telemetry.snapshot().unwrap().counters.failed, 1);
+        assert!(telemetry
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, pccheck_telemetry::EventKind::Failed { .. })));
+        // The error slot is one-shot: a second drain is clean.
+        assert!(engine.try_drain().is_ok());
     }
 
     #[test]

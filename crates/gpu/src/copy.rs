@@ -8,6 +8,7 @@
 //! kernel path reports that it holds the compute engine so the training
 //! loop can account the stall.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pccheck_util::{Bandwidth, ByteSize, TokenBucket};
@@ -115,13 +116,18 @@ impl CopyEngineConfig {
 pub struct CopyEngine {
     config: CopyEngineConfig,
     bucket: Arc<TokenBucket>,
+    copied: AtomicU64,
 }
 
 impl CopyEngine {
     /// Creates a copy engine.
     pub fn new(config: CopyEngineConfig) -> Self {
         let bucket = Arc::new(TokenBucket::new(config.effective_bandwidth()));
-        CopyEngine { config, bucket }
+        CopyEngine {
+            config,
+            bucket,
+            copied: AtomicU64::new(0),
+        }
     }
 
     /// The engine configuration.
@@ -145,9 +151,18 @@ impl CopyEngine {
     /// the payload is materialized elsewhere (e.g., serialized straight out
     /// of tensor storage) but the transfer must still be metered.
     pub fn meter(&self, size: ByteSize) {
+        self.copied.fetch_add(size.as_u64(), Ordering::Relaxed);
         if self.config.throttled && !size.is_zero() {
             self.bucket.acquire(size);
         }
+    }
+
+    /// Total bytes metered through this engine (all concurrent copies).
+    /// Dividing by the run window and [`effective_bandwidth`]
+    /// (`CopyEngineConfig::effective_bandwidth`) gives the PCIe
+    /// utilization gauge telemetry reports.
+    pub fn bytes_copied(&self) -> u64 {
+        self.copied.load(Ordering::Relaxed)
     }
 
     /// Analytical transfer time for `size` bytes (used by the DES and
@@ -191,6 +206,17 @@ mod tests {
         let e = CopyEngine::new(CopyEngineConfig::fast_for_tests());
         let mut dst = vec![0u8; 1];
         e.copy_to_host(&[1, 2], &mut dst);
+    }
+
+    #[test]
+    fn metered_bytes_accumulate() {
+        let e = CopyEngine::new(CopyEngineConfig::fast_for_tests());
+        assert_eq!(e.bytes_copied(), 0);
+        let src = vec![0u8; 100];
+        let mut dst = vec![0u8; 100];
+        e.copy_to_host(&src, &mut dst);
+        e.meter(ByteSize::from_bytes(28));
+        assert_eq!(e.bytes_copied(), 128);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use pccheck_telemetry::Telemetry;
 use pccheck_util::SimDuration;
 
 use crate::checkpoint::Checkpointer;
@@ -23,6 +24,8 @@ pub struct TrainingLoop {
     iter_compute: SimDuration,
     /// Checkpoint every `interval` iterations; `None` disables.
     interval: Option<u64>,
+    /// Emits `iteration_end` events for goodput/rollback accounting.
+    telemetry: Telemetry,
 }
 
 /// Results of a training run.
@@ -53,6 +56,7 @@ impl TrainingLoop {
             gpu,
             iter_compute,
             interval: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -64,6 +68,14 @@ impl TrainingLoop {
     pub fn with_interval(mut self, interval: u64) -> Self {
         assert!(interval > 0, "checkpoint interval must be >= 1");
         self.interval = Some(interval);
+        self
+    }
+
+    /// Records an `iteration_end` event per iteration into `telemetry`,
+    /// feeding the stall/goodput accountant. Use the same handle the
+    /// checkpointer records into so both land on one timeline.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -88,6 +100,7 @@ impl TrainingLoop {
             }
             // U: weight update (blocks on in-flight snapshot copies).
             self.gpu.update();
+            self.telemetry.iteration_end(iter + 1);
             // C/P: checkpoint boundary.
             if let Some(f) = self.interval {
                 if (iter + 1) % f == 0 {
@@ -182,6 +195,26 @@ mod tests {
     #[should_panic(expected = "interval must be >= 1")]
     fn zero_interval_rejected() {
         TrainingLoop::new(tiny_gpu(5), SimDuration::ZERO).with_interval(0);
+    }
+
+    #[test]
+    fn telemetry_sees_every_iteration() {
+        use pccheck_telemetry::{EventKind, RunAccounting, Telemetry};
+
+        let telemetry = Telemetry::enabled();
+        let lp = TrainingLoop::new(tiny_gpu(7), SimDuration::ZERO)
+            .with_telemetry(telemetry.clone());
+        lp.run(6, &NullCheckpointer::new());
+        let events = telemetry.events();
+        let iters: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::IterationEnd { iteration } => Some(iteration),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(iters, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(RunAccounting::from_events(&events).iterations, 6);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod fig13_threads;
 pub mod fig14_dram;
 pub mod sweep;
 pub mod tables;
+pub mod telemetry_run;
 
 /// The checkpoint intervals the paper sweeps in most figures.
 pub const PAPER_INTERVALS: [u64; 5] = [1, 10, 25, 50, 100];

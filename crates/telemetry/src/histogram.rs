@@ -1,0 +1,277 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Concurrent checkpoint workers record nanosecond durations with one
+//! atomic increment — no locks, no allocation — into power-of-two buckets
+//! (bucket `i` covers `[2^i, 2^(i+1))` ns). Quantile queries walk the 64
+//! buckets and interpolate linearly inside the winning bucket, so the
+//! relative error is bounded by the bucket width (< 2×) and in practice far
+//! less; exact min/max/sum/count are tracked separately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram of nanosecond latencies.
+///
+/// # Examples
+///
+/// ```
+/// use pccheck_telemetry::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for ns in [100u64, 200, 300, 400, 1_000_000] {
+///     h.record(ns);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max_nanos(), 1_000_000);
+/// let p50 = h.quantile(0.5);
+/// assert!(p50 >= 128 && p50 < 512, "p50 within a bucket of 200-300: {p50}");
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time summary of one histogram (plain data for reports).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_nanos: u64,
+    /// Exact minimum sample (0 when empty).
+    pub min_nanos: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max_nanos: u64,
+    /// Estimated median.
+    pub p50_nanos: u64,
+    /// Estimated 95th percentile.
+    pub p95_nanos: u64,
+    /// Estimated 99th percentile.
+    pub p99_nanos: u64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_nanos / self.count
+        }
+    }
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    // 0 and 1 land in bucket 0; otherwise floor(log2).
+    (63 - nanos.max(1).leading_zeros()) as usize
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample of `nanos`.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min_nanos(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max_nanos(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`, clamped to the exact min/max.
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the sample we want, 1-based. The extreme ranks are the
+        // exact tracked min/max.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        if rank == 1 {
+            return self.min_nanos();
+        }
+        if rank == total {
+            return self.max_nanos();
+        }
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate within bucket [2^i, 2^(i+1)).
+                let lo = 1u64 << i;
+                let hi = if i + 1 >= 64 { u64::MAX } else { 1u64 << (i + 1) };
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min_nanos(), self.max_nanos());
+            }
+            seen += c;
+        }
+        self.max_nanos()
+    }
+
+    /// A point-in-time summary (count, min/max, p50/p95/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum_nanos: self.sum_nanos(),
+            min_nanos: self.min_nanos(),
+            max_nanos: self.max_nanos(),
+            p50_nanos: self.quantile(0.50),
+            p95_nanos: self.quantile(0.95),
+            p99_nanos: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_nanos(), 0);
+        assert_eq!(h.max_nanos(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let h = LatencyHistogram::new();
+        for ns in [5u64, 17, 1000, 250, 42] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_nanos(), 5 + 17 + 1000 + 250 + 42);
+        assert_eq!(h.min_nanos(), 5);
+        assert_eq!(h.max_nanos(), 1000);
+        assert_eq!(h.summary().mean_nanos(), (5 + 17 + 1000 + 250 + 42) / 5);
+    }
+
+    #[test]
+    fn percentiles_with_known_inputs() {
+        // 100 samples: 1..=100 microseconds.
+        let h = LatencyHistogram::new();
+        for us in 1..=100u64 {
+            h.record(us * 1000);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // True values: 50us, 95us, 99us. Log2 buckets guarantee < 2x error.
+        assert!(p50 >= 25_000 && p50 <= 100_000, "p50 = {p50}");
+        assert!(p95 >= 47_500 && p95 <= 190_000, "p95 = {p95}");
+        assert!(p99 >= 49_500 && p99 <= 198_000, "p99 = {p99}");
+        // Ordering and clamping hold.
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max_nanos());
+        assert_eq!(h.quantile(1.0), 100_000, "q=1.0 clamps to exact max");
+        assert_eq!(h.quantile(0.0), 1000, "q=0 clamps to exact min");
+    }
+
+    #[test]
+    fn identical_samples_give_exact_percentiles() {
+        let h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(4096);
+        }
+        // All in one bucket, clamped to exact min=max=4096.
+        assert_eq!(h.quantile(0.5), 4096);
+        assert_eq!(h.quantile(0.99), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_out_of_range_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record(t * 1_000_000 + i + 1);
+                }
+            }));
+        }
+        for hnd in handles {
+            hnd.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.min_nanos(), 1);
+        assert_eq!(h.max_nanos(), 3 * 1_000_000 + 1000);
+    }
+}

@@ -1,0 +1,74 @@
+//! # Checkpoint-lifecycle telemetry
+//!
+//! Observability for the PCcheck reproduction: every checkpoint opens a
+//! *span* that is traced through `requested → queued → gpu_copy →
+//! persist(chunk…) → commit/supersede/fail`, with monotonic timestamps so
+//! events from concurrent workers interleave into one timeline. On top of
+//! the raw stream sit per-phase latency histograms (p50/p95/p99/max),
+//! gauges (in-flight concurrency, free-slot queue depth, device-bandwidth
+//! utilization), and a stall/goodput accountant that reproduces the
+//! paper's Fig. 8/9 metrics online.
+//!
+//! The paper's entire evaluation is an observability exercise — checkpoint
+//! stall (Fig. 8), goodput under preemption (Fig. 9), the persist
+//! breakdown (Fig. 11) — and this crate makes those numbers fall out of
+//! any instrumented run instead of being re-derived ad hoc per binary.
+//!
+//! ## Design
+//!
+//! * [`Telemetry`] is a cheap cloneable handle. [`Telemetry::disabled`]
+//!   (also `Default`) turns every hook into a branch on `None` — zero
+//!   allocation, no atomics — so instrumented hot paths cost nothing when
+//!   telemetry is off. [`Telemetry::enabled`] shares one
+//!   [`MemoryRecorder`] among all clones.
+//! * The recorder is *lock-light*: counters/histograms/gauges are single
+//!   atomic operations; events append to per-thread-sharded buffers.
+//! * The crate is deliberately dependency-free (std only); exporters emit
+//!   JSON by hand.
+//!
+//! ## Modules
+//!
+//! * [`event`] — [`SpanId`], [`Phase`], [`EventKind`], [`Event`].
+//! * [`recorder`] — [`MemoryRecorder`], [`Telemetry`],
+//!   [`TelemetrySnapshot`].
+//! * [`histogram`] — [`LatencyHistogram`] (64 log2 buckets, lock-free).
+//! * [`counters`] — [`CheckpointCounters`] with a consistent
+//!   [`snapshot`](CheckpointCounters::snapshot).
+//! * [`accounting`] — [`RunAccounting`]: stall fraction, slowdown,
+//!   rollback depth, goodput.
+//! * [`export`] — [`render_summary`], [`json_lines`], [`chrome_trace`]
+//!   (Perfetto-loadable).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pccheck_telemetry::{Phase, RunAccounting, Telemetry};
+//!
+//! let telemetry = Telemetry::enabled();
+//! let span = telemetry.span_requested("pccheck", 1, 4096);
+//! let start = telemetry.now_nanos();
+//! // ... GPU→DRAM copy happens here ...
+//! telemetry.phase_done(span, Phase::GpuCopy, start);
+//! telemetry.committed(span, 1, 4096);
+//! telemetry.iteration_end(1);
+//!
+//! let snapshot = telemetry.snapshot().unwrap();
+//! assert_eq!(snapshot.counters.committed, 1);
+//! let accounting = RunAccounting::from_events(&telemetry.events());
+//! assert_eq!(accounting.iterations, 1);
+//! println!("{}", pccheck_telemetry::render_summary(&snapshot, &accounting));
+//! ```
+
+pub mod accounting;
+pub mod counters;
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod recorder;
+
+pub use accounting::{GoodputEstimate, RunAccounting};
+pub use counters::{CheckpointCounters, CountersSnapshot};
+pub use event::{Event, EventKind, Phase, SpanId};
+pub use export::{chrome_trace, json_lines, render_summary};
+pub use histogram::{HistogramSummary, LatencyHistogram};
+pub use recorder::{MemoryRecorder, Telemetry, TelemetrySnapshot};

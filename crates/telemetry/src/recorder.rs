@@ -1,0 +1,565 @@
+//! The event recorder and the cheap cloneable [`Telemetry`] handle.
+//!
+//! [`Telemetry`] is what every instrumented component holds. It is either
+//! *disabled* — every call is a branch on a `None` and compiles to nearly
+//! nothing, so the Fig. 8 hot paths are unchanged — or *enabled*, in which
+//! case it shares one [`MemoryRecorder`] with every other clone.
+//!
+//! The recorder is lock-light by construction:
+//!
+//! * counters, gauges and histograms are single atomic adds;
+//! * events append to one of a fixed set of sharded buffers, with each
+//!   thread pinned to a shard, so concurrent checkpoint workers almost
+//!   never contend on the same mutex;
+//! * timestamps come from one shared monotonic epoch so events from all
+//!   threads interleave into a single coherent timeline.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::counters::{CheckpointCounters, CountersSnapshot};
+use crate::event::{Event, EventKind, Phase, SpanId};
+use crate::histogram::{HistogramSummary, LatencyHistogram};
+
+const SHARDS: usize = 8;
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread sticks to one shard for its lifetime; round-robin
+    /// assignment spreads concurrent workers across shards.
+    static THREAD_SHARD: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// Monotonic gauge pair: current value plus high-water mark.
+#[derive(Debug, Default)]
+struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    fn incr(&self) -> u64 {
+        let now = self.current.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak.fetch_max(now, Ordering::AcqRel);
+        now
+    }
+
+    fn decr(&self) {
+        self.current.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn set(&self, value: u64) {
+        self.current.store(value, Ordering::Release);
+        self.peak.fetch_max(value, Ordering::AcqRel);
+    }
+
+    fn current(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+}
+
+/// In-memory recorder shared by all [`Telemetry`] clones of one run.
+#[derive(Debug)]
+pub struct MemoryRecorder {
+    epoch: Instant,
+    next_span: AtomicU64,
+    shards: [Mutex<Vec<Event>>; SHARDS],
+    phase_hist: [LatencyHistogram; Phase::ALL.len()],
+    stall_hist: LatencyHistogram,
+    counters: CheckpointCounters,
+    in_flight: Gauge,
+    queue_depth: Gauge,
+    gpu_copy_bytes: AtomicU64,
+    persist_chunk_bytes: AtomicU64,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder whose clock starts now.
+    pub fn new() -> Self {
+        MemoryRecorder {
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            phase_hist: std::array::from_fn(|_| LatencyHistogram::new()),
+            stall_hist: LatencyHistogram::new(),
+            counters: CheckpointCounters::new(),
+            in_flight: Gauge::default(),
+            queue_depth: Gauge::default(),
+            gpu_copy_bytes: AtomicU64::new(0),
+            persist_chunk_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn push(&self, event: Event) {
+        let shard = THREAD_SHARD.with(|s| *s);
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+
+    /// The shared lifecycle counters (also backs `EngineStats`).
+    pub fn counters(&self) -> &CheckpointCounters {
+        &self.counters
+    }
+
+    /// All recorded events merged into one timeline ordered by timestamp.
+    pub fn events(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend_from_slice(&shard.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        all.sort_by_key(|e| (e.at_nanos, e.span));
+        all
+    }
+
+    /// Point-in-time rollup of every histogram, counter and gauge.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters.snapshot(),
+            phases: std::array::from_fn(|i| self.phase_hist[i].summary()),
+            stall: self.stall_hist.summary(),
+            in_flight: self.in_flight.current(),
+            in_flight_peak: self.in_flight.peak(),
+            queue_depth: self.queue_depth.current(),
+            queue_depth_peak: self.queue_depth.peak(),
+            gpu_copy_bytes: self.gpu_copy_bytes.load(Ordering::Acquire),
+            persist_chunk_bytes: self.persist_chunk_bytes.load(Ordering::Acquire),
+            window_nanos: self.now_nanos(),
+        }
+    }
+}
+
+/// Rolled-up metrics at one instant; plain data for reports and assertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Lifecycle counters, mutually consistent.
+    pub counters: CountersSnapshot,
+    /// Per-phase latency summaries, indexed like [`Phase::ALL`].
+    pub phases: [HistogramSummary; Phase::ALL.len()],
+    /// Training-thread stall-time summary (one sample per `checkpoint()`).
+    pub stall: HistogramSummary,
+    /// Checkpoints currently between request and terminal event.
+    pub in_flight: u64,
+    /// High-water mark of concurrent in-flight checkpoints.
+    pub in_flight_peak: u64,
+    /// Last observed free-slot queue depth.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_peak: u64,
+    /// Bytes moved by the GPU→DRAM copy phase.
+    pub gpu_copy_bytes: u64,
+    /// Bytes moved by the DRAM→device persist phase.
+    pub persist_chunk_bytes: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub window_nanos: u64,
+}
+
+impl TelemetrySnapshot {
+    /// The latency summary for `phase`.
+    pub fn phase(&self, phase: Phase) -> &HistogramSummary {
+        &self.phases[phase.index()]
+    }
+
+    /// Fraction of `bandwidth_bytes_per_sec` the persist path sustained
+    /// over the whole window (the device-bandwidth utilization gauge).
+    pub fn device_utilization(&self, bandwidth_bytes_per_sec: f64) -> f64 {
+        let secs = self.window_nanos as f64 / 1e9;
+        if secs <= 0.0 || bandwidth_bytes_per_sec <= 0.0 {
+            return 0.0;
+        }
+        (self.persist_chunk_bytes as f64 / secs) / bandwidth_bytes_per_sec
+    }
+
+    /// Fraction of the window the training thread spent stalled in
+    /// `checkpoint()` (the Fig. 8 overhead, online).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.window_nanos == 0 {
+            return 0.0;
+        }
+        (self.stall.sum_nanos as f64 / self.window_nanos as f64).min(1.0)
+    }
+}
+
+/// Cheap cloneable handle to a shared recorder; `Telemetry::disabled()`
+/// (also `Default`) makes every recording call a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<MemoryRecorder>>,
+}
+
+impl Telemetry {
+    /// A handle that records into a fresh shared [`MemoryRecorder`].
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(MemoryRecorder::new())),
+        }
+    }
+
+    /// A no-op handle: every call returns immediately.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared recorder, when enabled.
+    pub fn recorder(&self) -> Option<&Arc<MemoryRecorder>> {
+        self.inner.as_ref()
+    }
+
+    /// Nanoseconds on the recorder clock (0 when disabled). Pair with
+    /// [`Telemetry::phase_done`] to time a phase.
+    pub fn now_nanos(&self) -> u64 {
+        match &self.inner {
+            Some(r) => r.now_nanos(),
+            None => 0,
+        }
+    }
+
+    /// Opens a span: records `Requested`, bumps the request counter and the
+    /// in-flight gauge. Returns [`SpanId::NONE`] when disabled.
+    pub fn span_requested(&self, strategy: &str, iteration: u64, bytes: u64) -> SpanId {
+        let Some(r) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let span = SpanId(r.next_span.fetch_add(1, Ordering::Relaxed));
+        r.counters.incr_requested();
+        r.in_flight.incr();
+        r.push(Event {
+            span,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Requested {
+                strategy: strategy.to_string(),
+                iteration,
+                bytes,
+            },
+        });
+        span
+    }
+
+    /// Records that `span` was handed to a background worker.
+    pub fn span_queued(&self, span: SpanId) {
+        if let Some(r) = &self.inner {
+            if span.is_some() {
+                r.push(Event {
+                    span,
+                    at_nanos: r.now_nanos(),
+                    kind: EventKind::Queued,
+                });
+            }
+        }
+    }
+
+    /// Records a completed phase that started at `start_nanos` (from
+    /// [`Telemetry::now_nanos`]) and feeds the phase histogram.
+    pub fn phase_done(&self, span: SpanId, phase: Phase, start_nanos: u64) {
+        let Some(r) = &self.inner else { return };
+        if !span.is_some() {
+            return;
+        }
+        let now = r.now_nanos();
+        let dur = now.saturating_sub(start_nanos);
+        r.phase_hist[phase.index()].record(dur);
+        r.push(Event {
+            span,
+            at_nanos: now,
+            kind: EventKind::PhaseDone {
+                phase,
+                start_nanos,
+                dur_nanos: dur,
+            },
+        });
+    }
+
+    /// Records one payload chunk moving through `phase` and feeds the
+    /// bandwidth gauges.
+    pub fn chunk(&self, span: SpanId, phase: Phase, offset: u64, len: u64) {
+        let Some(r) = &self.inner else { return };
+        if !span.is_some() {
+            return;
+        }
+        match phase {
+            Phase::GpuCopy => {
+                r.gpu_copy_bytes.fetch_add(len, Ordering::Release);
+            }
+            Phase::Persist => {
+                r.persist_chunk_bytes.fetch_add(len, Ordering::Release);
+            }
+            _ => {}
+        }
+        r.push(Event {
+            span,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Chunk { phase, offset, len },
+        });
+    }
+
+    /// Records `nanos` of training-thread blocking that ended now (the
+    /// Fig. 8 stall) and feeds the stall histogram.
+    pub fn stall(&self, span: SpanId, nanos: u64) {
+        let Some(r) = &self.inner else { return };
+        r.stall_hist.record(nanos);
+        r.push(Event {
+            span,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Stall { nanos },
+        });
+    }
+
+    /// Terminal: `span` committed `bytes` at `iteration`.
+    pub fn committed(&self, span: SpanId, iteration: u64, bytes: u64) {
+        let Some(r) = &self.inner else { return };
+        if !span.is_some() {
+            return;
+        }
+        r.counters.incr_committed(bytes);
+        r.in_flight.decr();
+        r.push(Event {
+            span,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Committed { iteration, bytes },
+        });
+    }
+
+    /// Terminal: `span` lost the commit race to counter `by_counter`.
+    pub fn superseded(&self, span: SpanId, by_counter: u64) {
+        let Some(r) = &self.inner else { return };
+        if !span.is_some() {
+            return;
+        }
+        r.counters.incr_superseded();
+        r.in_flight.decr();
+        r.push(Event {
+            span,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Superseded { by_counter },
+        });
+    }
+
+    /// Terminal: `span` failed with `error`.
+    pub fn failed(&self, span: SpanId, error: &str) {
+        let Some(r) = &self.inner else { return };
+        if !span.is_some() {
+            return;
+        }
+        r.counters.incr_failed();
+        r.in_flight.decr();
+        r.push(Event {
+            span,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Failed {
+                error: error.to_string(),
+            },
+        });
+    }
+
+    /// Merges a monitoring anomaly into the timeline (run-level event).
+    pub fn anomaly(&self, iteration: u64, magnitude: f64, expected: f64, ratio: f64) {
+        let Some(r) = &self.inner else { return };
+        r.push(Event {
+            span: SpanId::NONE,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::Anomaly {
+                iteration,
+                magnitude,
+                expected,
+                ratio,
+            },
+        });
+    }
+
+    /// Records completion of training `iteration` (run-level event; feeds
+    /// goodput/rollback accounting).
+    pub fn iteration_end(&self, iteration: u64) {
+        let Some(r) = &self.inner else { return };
+        r.push(Event {
+            span: SpanId::NONE,
+            at_nanos: r.now_nanos(),
+            kind: EventKind::IterationEnd { iteration },
+        });
+    }
+
+    /// Updates the free-slot queue-depth gauge.
+    pub fn gauge_queue_depth(&self, depth: u64) {
+        if let Some(r) = &self.inner {
+            r.queue_depth.set(depth);
+        }
+    }
+
+    /// All events merged into one timestamp-ordered timeline (empty when
+    /// disabled).
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(r) => r.events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Point-in-time metrics rollup (`None` when disabled).
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.inner.as_ref().map(|r| r.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.span_requested("pccheck", 1, 64), SpanId::NONE);
+        t.span_queued(SpanId::NONE);
+        t.phase_done(SpanId::NONE, Phase::GpuCopy, 0);
+        t.stall(SpanId::NONE, 5);
+        t.committed(SpanId::NONE, 1, 64);
+        t.iteration_end(1);
+        assert!(t.events().is_empty());
+        assert!(t.snapshot().is_none());
+        assert_eq!(t.now_nanos(), 0);
+    }
+
+    #[test]
+    fn full_lifecycle_is_recorded_in_order() {
+        let t = Telemetry::enabled();
+        let span = t.span_requested("pccheck", 7, 1024);
+        assert!(span.is_some());
+        t.span_queued(span);
+        let s = t.now_nanos();
+        t.chunk(span, Phase::GpuCopy, 0, 512);
+        t.chunk(span, Phase::GpuCopy, 512, 512);
+        t.phase_done(span, Phase::GpuCopy, s);
+        let s = t.now_nanos();
+        t.chunk(span, Phase::Persist, 0, 1024);
+        t.phase_done(span, Phase::Persist, s);
+        t.committed(span, 7, 1024);
+        t.stall(span, 300);
+
+        let events = t.events();
+        assert!(events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.span == span)
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "requested",
+                "queued",
+                "chunk",
+                "chunk",
+                "phase",
+                "chunk",
+                "phase",
+                "committed",
+                "stall",
+            ]
+        );
+
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters.requested, 1);
+        assert_eq!(snap.counters.committed, 1);
+        assert_eq!(snap.counters.bytes_persisted, 1024);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.in_flight_peak, 1);
+        assert_eq!(snap.gpu_copy_bytes, 1024);
+        assert_eq!(snap.persist_chunk_bytes, 1024);
+        assert_eq!(snap.phase(Phase::GpuCopy).count, 1);
+        assert_eq!(snap.phase(Phase::Persist).count, 1);
+        assert_eq!(snap.stall.count, 1);
+        assert_eq!(snap.stall.sum_nanos, 300);
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        let span = t.span_requested("pccheck", 1, 8);
+        u.committed(span, 1, 8);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(u.snapshot().unwrap().counters.committed, 1);
+    }
+
+    #[test]
+    fn gauges_track_peaks() {
+        let t = Telemetry::enabled();
+        let a = t.span_requested("pccheck", 1, 8);
+        let b = t.span_requested("pccheck", 2, 8);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.in_flight, 2);
+        assert_eq!(snap.in_flight_peak, 2);
+        t.superseded(a, 2);
+        t.committed(b, 2, 8);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.in_flight_peak, 2);
+        t.gauge_queue_depth(3);
+        t.gauge_queue_depth(1);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_depth_peak, 3);
+    }
+
+    #[test]
+    fn concurrent_spans_from_many_threads() {
+        let t = Telemetry::enabled();
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let span = t.span_requested("pccheck", w * 100 + i, 64);
+                    let s = t.now_nanos();
+                    t.phase_done(span, Phase::Persist, s);
+                    if i % 3 == 0 {
+                        t.superseded(span, i);
+                    } else {
+                        t.committed(span, w * 100 + i, 64);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters.requested, 200);
+        assert_eq!(snap.counters.terminated(), 200);
+        assert_eq!(snap.in_flight, 0);
+        let events = t.events();
+        // 200 spans x (requested + phase + terminal).
+        assert_eq!(events.len(), 600);
+        assert!(events.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+        // Span ids are unique.
+        let mut spans: Vec<u64> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Requested { .. }))
+            .map(|e| e.span.0)
+            .collect();
+        spans.sort_unstable();
+        spans.dedup();
+        assert_eq!(spans.len(), 200);
+    }
+}

@@ -1,0 +1,60 @@
+//! Telemetry report: trace a checkpointed training run end to end and
+//! print the phase-latency / stall / goodput summary, comparing PCcheck
+//! against the baselines on the same geometry.
+//!
+//! Run with: `cargo run --example telemetry_report`
+//!
+//! Each strategy gets its own [`Telemetry`] timeline: the training loop
+//! records `iteration_end` markers, the checkpointer records the span
+//! lifecycle (`requested → queued → gpu_copy → persist → commit`), and
+//! the accountant turns both into the Fig. 8 stall fraction and the
+//! Fig. 9 goodput estimate. The PCcheck run's raw events are also written
+//! to `telemetry_report.trace.json` — load it in Perfetto / `chrome://tracing`.
+
+use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig};
+use pccheck_telemetry::{chrome_trace, render_summary, Phase};
+use pccheck_util::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = InstrumentedRunConfig {
+        state_bytes: 512 * 1024,
+        iterations: 40,
+        interval: 4,
+        iter_compute: SimDuration::from_millis(1),
+        max_concurrent: 2,
+        seed: 42,
+    };
+
+    // Full summary for PCcheck, the paper's contribution.
+    let pccheck_run = run_instrumented("pccheck", &cfg)?;
+    println!("=== pccheck, instrumented ===");
+    print!(
+        "{}",
+        render_summary(&pccheck_run.snapshot, &pccheck_run.accounting)
+    );
+    let events = pccheck_run.telemetry.events();
+    std::fs::write("telemetry_report.trace.json", chrome_trace(&events))?;
+    println!(
+        "\nwrote telemetry_report.trace.json ({} events) — load in Perfetto\n",
+        events.len()
+    );
+
+    // One-line comparison across strategies: the stall fraction is the
+    // Fig. 8 story, persist p95 the Fig. 11 story.
+    println!(
+        "{:<12} {:>9} {:>12} {:>12} {:>10}",
+        "strategy", "committed", "stall_frac", "persist_p95", "slowdown"
+    );
+    for strategy in ["pccheck", "checkfreq", "gpm", "traditional"] {
+        let run = run_instrumented(strategy, &cfg)?;
+        println!(
+            "{:<12} {:>9} {:>11.2}% {:>10.2}ms {:>9.3}x",
+            run.strategy,
+            run.snapshot.counters.committed,
+            100.0 * run.accounting.stall_fraction(),
+            run.snapshot.phase(Phase::Persist).p95_nanos as f64 / 1e6,
+            run.accounting.slowdown(),
+        );
+    }
+    Ok(())
+}

@@ -9,6 +9,10 @@
 //! pccheckctl info  /tmp/store.pcc     # list the checkpoint history
 //! pccheckctl recover /tmp/store.pcc   # load + verify the latest checkpoint
 //! ```
+//!
+//! `pccheckctl telemetry <out-dir> [strategy]` runs an instrumented
+//! in-memory training run and writes the human summary, the JSONL event
+//! log, and a Perfetto-loadable Chrome trace into `out-dir`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -16,6 +20,8 @@ use std::sync::Arc;
 use pccheck::{recovery, CheckpointStore, PcCheckConfig, PcCheckEngine};
 use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig, STRATEGIES};
+use pccheck_telemetry::{chrome_trace, json_lines, render_summary};
 use pccheck_util::ByteSize;
 
 /// Demo geometry: a 1 MB training state, N=2 concurrent checkpoints.
@@ -25,9 +31,15 @@ const SEED: u64 = 2025;
 
 fn usage() -> ExitCode {
     eprintln!("usage: pccheckctl <demo|info|recover> <store-file> [iterations]");
-    eprintln!("  demo     create the store and run a checkpointed training demo");
-    eprintln!("  info     print the store header and checkpoint history");
-    eprintln!("  recover  load the latest committed checkpoint and verify it");
+    eprintln!("       pccheckctl telemetry <out-dir> [strategy]");
+    eprintln!("  demo       create the store and run a checkpointed training demo");
+    eprintln!("  info       print the store header and checkpoint history");
+    eprintln!("  recover    load the latest committed checkpoint and verify it");
+    eprintln!(
+        "  telemetry  run an instrumented training run ({}) and write",
+        STRATEGIES.join("|")
+    );
+    eprintln!("             summary.txt, events.jsonl, trace.json into <out-dir>");
     ExitCode::from(2)
 }
 
@@ -128,6 +140,33 @@ fn cmd_recover(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_telemetry(out_dir: &str, strategy: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = InstrumentedRunConfig {
+        iterations: 50,
+        interval: 5,
+        ..InstrumentedRunConfig::default()
+    };
+    println!(
+        "instrumented run: {strategy}, {} iterations, checkpoint every {}",
+        cfg.iterations, cfg.interval
+    );
+    let run = run_instrumented(strategy, &cfg)?;
+    std::fs::create_dir_all(out_dir)?;
+    let dir = std::path::Path::new(out_dir);
+    let summary = render_summary(&run.snapshot, &run.accounting);
+    let events = run.telemetry.events();
+    std::fs::write(dir.join("summary.txt"), &summary)?;
+    std::fs::write(dir.join("events.jsonl"), json_lines(&events))?;
+    std::fs::write(dir.join("trace.json"), chrome_trace(&events))?;
+    print!("{summary}");
+    println!(
+        "wrote {} events to {}/{{summary.txt,events.jsonl,trace.json}}",
+        events.len(),
+        out_dir
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (cmd, path) = match (args.get(1), args.get(2)) {
@@ -142,6 +181,7 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(path, iterations),
         "info" => cmd_info(path),
         "recover" => cmd_recover(path),
+        "telemetry" => cmd_telemetry(path, args.get(3).map_or("pccheck", |s| s.as_str())),
         _ => return usage(),
     };
     match result {

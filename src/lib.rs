@@ -16,6 +16,8 @@
 //! * [`pccheck_trace`] — preemption traces, goodput and JIT replays.
 //! * [`pccheck_monitor`] — checkpoint inspection and anomaly detection.
 //! * [`pccheck_harness`] — per-figure experiment drivers.
+//! * [`pccheck_telemetry`] — checkpoint-lifecycle tracing, latency
+//!   histograms, stall/goodput accounting, and trace exporters.
 
 pub use pccheck;
 pub use pccheck_baselines;
@@ -24,5 +26,6 @@ pub use pccheck_gpu;
 pub use pccheck_harness;
 pub use pccheck_monitor;
 pub use pccheck_sim;
+pub use pccheck_telemetry;
 pub use pccheck_trace;
 pub use pccheck_util;

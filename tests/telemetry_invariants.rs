@@ -1,0 +1,185 @@
+//! Event-stream invariants under concurrent checkpointing.
+//!
+//! With `max_concurrent > 1` several checkpoint spans are in flight at
+//! once, recorded from the training thread, the engine's worker threads,
+//! and the per-checkpoint writer threads. Whatever interleaving occurs,
+//! the merged event stream must satisfy the lifecycle contract: every
+//! `requested` span terminates exactly once, phase timestamps are
+//! monotone, and the aggregate counters agree with the events.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pccheck::{CheckpointStore, PcCheckConfig, PcCheckEngine};
+use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+use pccheck_telemetry::{EventKind, SpanId, Telemetry};
+use pccheck_util::ByteSize;
+
+fn engine_with_telemetry(
+    size: ByteSize,
+    max_concurrent: usize,
+) -> (PcCheckEngine, Telemetry) {
+    let cap = CheckpointStore::required_capacity(size, max_concurrent as u32 + 1)
+        + ByteSize::from_kb(4);
+    let device: Arc<dyn PersistentDevice> =
+        Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let telemetry = Telemetry::enabled();
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(max_concurrent)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_kb(16))
+            .dram_chunks(4)
+            .build()
+            .expect("valid config"),
+        device,
+        size,
+    )
+    .expect("engine constructs")
+    .with_telemetry(telemetry.clone());
+    (engine, telemetry)
+}
+
+#[test]
+fn concurrent_spans_terminate_exactly_once_with_monotone_phases() {
+    let size = ByteSize::from_kb(64);
+    let (engine, telemetry) = engine_with_telemetry(size, 3);
+    let engine = Arc::new(engine);
+
+    // Two driver threads issue interleaved checkpoints; with N=3 up to
+    // three spans overlap, each fanning out to two writer threads.
+    let drivers: Vec<_> = (0..2u64)
+        .map(|d| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(ByteSize::from_kb(64), d + 1),
+                );
+                for i in 0..10u64 {
+                    gpu.update();
+                    engine.checkpoint(&gpu, d * 1000 + i + 1);
+                }
+            })
+        })
+        .collect();
+    for d in drivers {
+        d.join().expect("driver thread");
+    }
+    engine.try_drain().expect("no background errors");
+
+    let events = telemetry.events();
+
+    // Requested spans each see exactly one terminal event, and no event
+    // references a span that was never requested.
+    let mut requested: HashMap<SpanId, u64> = HashMap::new();
+    let mut terminals: HashMap<SpanId, u64> = HashMap::new();
+    for e in &events {
+        match &e.kind {
+            EventKind::Requested { .. } => {
+                *requested.entry(e.span).or_default() += 1;
+            }
+            k if k.is_terminal() => {
+                *terminals.entry(e.span).or_default() += 1;
+            }
+            _ => {
+                assert!(
+                    e.span.is_some(),
+                    "span-scoped event without a span: {:?}",
+                    e.kind
+                );
+            }
+        }
+    }
+    assert_eq!(requested.len(), 20, "20 checkpoints requested");
+    for (span, count) in &requested {
+        assert_eq!(*count, 1, "span {span:?} requested once");
+        assert_eq!(
+            terminals.get(span),
+            Some(&1),
+            "span {span:?} must terminate exactly once"
+        );
+    }
+    for span in terminals.keys() {
+        assert!(
+            requested.contains_key(span),
+            "terminal for unknown span {span:?}"
+        );
+    }
+
+    // Per-span timestamps are monotone in lifecycle order, the first
+    // event of every span is its `requested`, and each phase's
+    // start/duration is consistent with its completion stamp.
+    let mut last_at: HashMap<SpanId, u64> = HashMap::new();
+    for e in &events {
+        if !e.span.is_some() {
+            continue;
+        }
+        if !last_at.contains_key(&e.span) {
+            assert!(
+                matches!(e.kind, EventKind::Requested { .. }),
+                "span {:?} starts with {:?}, not requested",
+                e.span,
+                e.kind
+            );
+        }
+        let prev = last_at.entry(e.span).or_insert(0);
+        assert!(
+            e.at_nanos >= *prev,
+            "span {:?} went back in time: {} < {}",
+            e.span,
+            e.at_nanos,
+            prev
+        );
+        *prev = e.at_nanos;
+        if let EventKind::PhaseDone {
+            start_nanos,
+            dur_nanos,
+            ..
+        } = e.kind
+        {
+            assert!(
+                start_nanos <= e.at_nanos,
+                "phase started after it completed"
+            );
+            assert!(
+                start_nanos + dur_nanos <= e.at_nanos + 1_000_000,
+                "phase duration extends past its completion stamp"
+            );
+        }
+    }
+
+    // Aggregates agree with the stream: all spans accounted for, and the
+    // engine's own stats match the telemetry counters.
+    let snap = telemetry.snapshot().expect("telemetry enabled");
+    assert_eq!(snap.counters.requested, 20);
+    assert_eq!(snap.counters.terminated(), 20);
+    assert_eq!(snap.counters.in_flight(), 0);
+    let stats = engine.stats().snapshot();
+    assert_eq!(stats.requested, snap.counters.requested);
+    assert_eq!(stats.committed, snap.counters.committed);
+    assert_eq!(stats.superseded, snap.counters.superseded);
+    assert_eq!(stats.failed, 0);
+    assert!(snap.counters.committed >= 1, "some checkpoint must commit");
+}
+
+#[test]
+fn sequential_run_with_drain_commits_every_span() {
+    let size = ByteSize::from_kb(32);
+    let (engine, telemetry) = engine_with_telemetry(size, 2);
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, 11),
+    );
+    for iter in 1..=5u64 {
+        gpu.update();
+        engine.checkpoint(&gpu, iter);
+        engine.try_drain().expect("healthy device");
+    }
+    let snap = telemetry.snapshot().expect("telemetry enabled");
+    // Draining between checkpoints removes supersession races entirely.
+    assert_eq!(snap.counters.committed, 5);
+    assert_eq!(snap.counters.superseded, 0);
+    assert_eq!(snap.counters.bytes_persisted, 5 * size.as_u64());
+}
