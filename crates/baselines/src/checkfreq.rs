@@ -91,16 +91,17 @@ impl CheckFreqCheckpointer {
 impl Checkpointer for CheckFreqCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         let stall_start = self.telemetry.now_nanos();
-        let span =
-            self.telemetry
-                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
+        let span = self
+            .telemetry
+            .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // THE CheckFreq bottleneck: wait for the previous checkpoint's
         // persist phase before starting the next snapshot.
         let mut slot = self.in_flight.lock();
         if let Some(prev) = slot.take() {
             prev.join().expect("persist thread panicked");
         }
-        self.telemetry.phase_done(span, Phase::TicketWait, stall_start);
+        self.telemetry
+            .phase_done(span, Phase::TicketWait, stall_start);
         self.telemetry
             .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
         self.telemetry.span_queued(span);
@@ -177,7 +178,10 @@ mod tests {
     use pccheck_gpu::{GpuConfig, TrainingState};
     use pccheck_util::Bandwidth;
 
-    fn setup(state: u64, throttled_mbps: Option<f64>) -> (CheckFreqCheckpointer, Gpu, Arc<SsdDevice>) {
+    fn setup(
+        state: u64,
+        throttled_mbps: Option<f64>,
+    ) -> (CheckFreqCheckpointer, Gpu, Arc<SsdDevice>) {
         let gpu = Gpu::new(
             GpuConfig::fast_for_tests(),
             TrainingState::synthetic(ByteSize::from_bytes(state), 5),

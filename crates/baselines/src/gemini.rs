@@ -158,16 +158,17 @@ impl GeminiCheckpointer {
 impl Checkpointer for GeminiCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         let stall_start = self.telemetry.now_nanos();
-        let span =
-            self.telemetry
-                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
+        let span = self
+            .telemetry
+            .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // Like CheckFreq: one checkpoint at a time. Wait out the previous
         // network transfer before snapshotting the next.
         let mut slot_guard = self.in_flight.lock();
         if let Some(prev) = slot_guard.take() {
             prev.join().expect("transfer thread panicked");
         }
-        self.telemetry.phase_done(span, Phase::TicketWait, stall_start);
+        self.telemetry
+            .phase_done(span, Phase::TicketWait, stall_start);
         self.telemetry
             .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
         self.telemetry.span_queued(span);
@@ -206,7 +207,10 @@ impl Checkpointer for GeminiCheckpointer {
             while off < snapshot.len() {
                 let n = piece.min(snapshot.len() - off);
                 if link
-                    .send(base + META_RECORD_SIZE + off as u64, &snapshot[off..off + n])
+                    .send(
+                        base + META_RECORD_SIZE + off as u64,
+                        &snapshot[off..off + n],
+                    )
                     .is_err()
                 {
                     ok = false; // peer failed mid-transfer; slot stays torn

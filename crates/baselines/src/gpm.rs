@@ -98,9 +98,9 @@ impl GpmCheckpointer {
 impl Checkpointer for GpmCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         let stall_start = self.telemetry.now_nanos();
-        let span =
-            self.telemetry
-                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
+        let span = self
+            .telemetry
+            .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // Inline on the training thread: the copy kernels occupy the GPU,
         // so training stalls for the duration by construction.
         let guard = gpu.lock_weights_shared();

@@ -86,9 +86,9 @@ impl TraditionalCheckpointer {
 impl Checkpointer for TraditionalCheckpointer {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         let stall_start = self.telemetry.now_nanos();
-        let span =
-            self.telemetry
-                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
+        let span = self
+            .telemetry
+            .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         // C: copy weights to DRAM — inline, training thread blocked.
         let guard = gpu.lock_weights_shared();
         let total = guard.size();
@@ -96,7 +96,8 @@ impl Checkpointer for TraditionalCheckpointer {
         let mut host = vec![0u8; total.as_usize()];
         guard.copy_range_to_host(0, &mut host);
         drop(guard);
-        self.telemetry.chunk(span, Phase::GpuCopy, 0, total.as_u64());
+        self.telemetry
+            .chunk(span, Phase::GpuCopy, 0, total.as_u64());
         self.telemetry.phase_done(span, Phase::GpuCopy, stall_start);
         // P: write + sync to storage — still inline.
         let persist_start = self.telemetry.now_nanos();
@@ -107,8 +108,10 @@ impl Checkpointer for TraditionalCheckpointer {
         self.store
             .persist_payload(&lease, 0, total.as_u64())
             .expect("persist cannot exceed bounds");
-        self.telemetry.chunk(span, Phase::Persist, 0, total.as_u64());
-        self.telemetry.phase_done(span, Phase::Persist, persist_start);
+        self.telemetry
+            .chunk(span, Phase::Persist, 0, total.as_u64());
+        self.telemetry
+            .phase_done(span, Phase::Persist, persist_start);
         let commit_start = self.telemetry.now_nanos();
         let outcome = self
             .store

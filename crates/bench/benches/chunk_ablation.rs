@@ -18,7 +18,8 @@ fn chunk_size_sweep(c: &mut Criterion) {
     println!("\n[Ablation] OPT-1.3B @ interval 10: throughput vs chunk count (m/b)");
     for chunks_per_ckpt in [1u64, 4, 20, 100] {
         let mut cfg = SimConfig::ssd_a100(&model, 10, 300);
-        cfg.chunk_size = ByteSize::from_bytes(cfg.checkpoint_size.as_u64().div_ceil(chunks_per_ckpt));
+        cfg.chunk_size =
+            ByteSize::from_bytes(cfg.checkpoint_size.as_u64().div_ceil(chunks_per_ckpt));
         cfg.dram_chunks = (2 * chunks_per_ckpt as usize).max(2);
         cfg.strategy = StrategyCfg::pccheck(2, 3);
         let report = cfg.run();
@@ -34,9 +35,8 @@ fn chunk_size_sweep(c: &mut Criterion) {
         group.bench_function(format!("m_over_{chunks_per_ckpt}"), |b| {
             b.iter(|| {
                 let mut cfg = SimConfig::ssd_a100(&ModelZoo::opt_1_3b(), 10, 200);
-                cfg.chunk_size = ByteSize::from_bytes(
-                    cfg.checkpoint_size.as_u64().div_ceil(chunks_per_ckpt),
-                );
+                cfg.chunk_size =
+                    ByteSize::from_bytes(cfg.checkpoint_size.as_u64().div_ceil(chunks_per_ckpt));
                 cfg.dram_chunks = (2 * chunks_per_ckpt as usize).max(2);
                 cfg.run()
             })
@@ -51,8 +51,15 @@ fn ddio_ablation(c: &mut Criterion) {
     let mut no_ddio = base.clone();
     no_ddio.ddio = false;
     let kernel = base.clone().with_path(CopyPath::Kernel);
-    for (name, cfg) in [("pinned+ddio", &base), ("pinned-no-ddio", &no_ddio), ("kernel", &kernel)] {
-        println!("  {name:<16} {:.2} GB/s", cfg.effective_bandwidth().as_gb_per_sec());
+    for (name, cfg) in [
+        ("pinned+ddio", &base),
+        ("pinned-no-ddio", &no_ddio),
+        ("kernel", &kernel),
+    ] {
+        println!(
+            "  {name:<16} {:.2} GB/s",
+            cfg.effective_bandwidth().as_gb_per_sec()
+        );
     }
     c.bench_function("ablation/effective_bandwidth_model", |b| {
         b.iter(|| {

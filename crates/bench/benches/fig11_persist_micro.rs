@@ -21,7 +21,10 @@ fn concrete_persist(c: &mut Criterion) {
     group.bench_function("pccheck", |b| {
         b.iter_with_setup(
             || {
-                let gpu = Gpu::new(GpuConfig::fast_for_tests(), TrainingState::synthetic(size, 1));
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(size, 1),
+                );
                 let cap = CheckpointStore::required_capacity(size, 3) + ByteSize::from_kb(4);
                 let dev: Arc<dyn PersistentDevice> =
                     Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
@@ -50,7 +53,10 @@ fn concrete_persist(c: &mut Criterion) {
     group.bench_function("checkfreq", |b| {
         b.iter_with_setup(
             || {
-                let gpu = Gpu::new(GpuConfig::fast_for_tests(), TrainingState::synthetic(size, 1));
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(size, 1),
+                );
                 let cap = CheckpointStore::required_capacity(size, 2) + ByteSize::from_kb(4);
                 let dev: Arc<dyn PersistentDevice> =
                     Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
@@ -68,7 +74,10 @@ fn concrete_persist(c: &mut Criterion) {
     group.bench_function("gpm", |b| {
         b.iter_with_setup(
             || {
-                let gpu = Gpu::new(GpuConfig::fast_for_tests(), TrainingState::synthetic(size, 1));
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(size, 1),
+                );
                 let cap = CheckpointStore::required_capacity(size, 2) + ByteSize::from_kb(4);
                 let dev: Arc<dyn PersistentDevice> =
                     Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
@@ -86,10 +95,20 @@ fn figure_rows(c: &mut Criterion) {
     let rows = fig11::run();
     println!("\n[Figure 11] end-to-end time to persist one checkpoint (modeled, full scale)");
     for r in &rows {
-        println!("  {:>5.1} GB {:<16} {:>8.3} s", r.size.as_gb(), r.strategy, r.persist_secs);
+        println!(
+            "  {:>5.1} GB {:<16} {:>8.3} s",
+            r.size.as_gb(),
+            r.strategy,
+            r.persist_secs
+        );
     }
     c.bench_function("fig11/modeled_16gb_pccheck", |b| {
-        b.iter(|| fig11::measure(pccheck_sim::StrategyCfg::pccheck(1, 3), ByteSize::from_gb(16.2)))
+        b.iter(|| {
+            fig11::measure(
+                pccheck_sim::StrategyCfg::pccheck(1, 3),
+                ByteSize::from_gb(16.2),
+            )
+        })
     });
 }
 

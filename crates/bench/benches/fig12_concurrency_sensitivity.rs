@@ -8,10 +8,15 @@ fn bench(c: &mut Criterion) {
     let rows = fig12::run();
     println!("\n[Figure 12] VGG-16 slowdown, varying concurrent checkpoints N");
     for r in &rows {
-        println!("  interval={:<4} N={} slowdown={:.3}", r.interval, r.n, r.slowdown);
+        println!(
+            "  interval={:<4} N={} slowdown={:.3}",
+            r.interval, r.n, r.slowdown
+        );
     }
     c.bench_function("fig12/vgg16_n4_interval1", |b| {
-        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::vgg16(), StrategyCfg::pccheck(4, 3), 1))
+        b.iter(|| {
+            pccheck_harness::sweep::run_point(&ModelZoo::vgg16(), StrategyCfg::pccheck(4, 3), 1)
+        })
     });
 }
 

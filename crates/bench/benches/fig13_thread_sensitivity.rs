@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
         println!("  N={} p={} slowdown={:.3}", r.n, r.p, r.slowdown);
     }
     c.bench_function("fig13/opt350m_n1_p3", |b| {
-        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::opt_350m(), StrategyCfg::pccheck(1, 3), 10))
+        b.iter(|| {
+            pccheck_harness::sweep::run_point(&ModelZoo::opt_350m(), StrategyCfg::pccheck(1, 3), 10)
+        })
     });
 }
 

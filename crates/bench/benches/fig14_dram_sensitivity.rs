@@ -6,7 +6,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig14::run();
     println!("\n[Figure 14] OPT-1.3B throughput at interval 15, DRAM x chunking");
     for r in &rows {
-        println!("  dram={}m variant={:<7} tput={:.4}", r.dram_factor, r.variant, r.throughput);
+        println!(
+            "  dram={}m variant={:<7} tput={:.4}",
+            r.dram_factor, r.variant, r.throughput
+        );
     }
     c.bench_function("fig14/full_grid", |b| b.iter(fig14::run));
 }

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
         );
     }
     c.bench_function("fig1/bloom7b_checkfreq_interval10", |b| {
-        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::bloom_7b(), StrategyCfg::CheckFreq, 10))
+        b.iter(|| {
+            pccheck_harness::sweep::run_point(&ModelZoo::bloom_7b(), StrategyCfg::CheckFreq, 10)
+        })
     });
 }
 

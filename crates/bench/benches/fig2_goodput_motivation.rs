@@ -8,7 +8,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig2::run(42);
     println!("\n[Figure 2] BLOOM-7B goodput vs interval on the spot trace");
     for r in &rows {
-        println!("  {:<12} interval={:<4} goodput={:.5}", r.strategy, r.interval, r.goodput);
+        println!(
+            "  {:<12} interval={:<4} goodput={:.5}",
+            r.strategy, r.interval, r.goodput
+        );
     }
     println!(
         "  peak/ideal: checkfreq={:.2} gemini={:.2} pccheck={:.2}",

@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
         );
     }
     c.bench_function("fig8/bert_pccheck_interval10", |b| {
-        b.iter(|| pccheck_harness::sweep::run_point(&ModelZoo::bert(), StrategyCfg::pccheck(2, 3), 10))
+        b.iter(|| {
+            pccheck_harness::sweep::run_point(&ModelZoo::bert(), StrategyCfg::pccheck(2, 3), 10)
+        })
     });
 }
 

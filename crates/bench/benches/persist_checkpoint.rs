@@ -4,9 +4,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pccheck::CheckpointStore;
-use pccheck_device::{
-    DeviceConfig, PersistentDevice, PmemDevice, PmemWriteMode, SsdDevice,
-};
+use pccheck_device::{DeviceConfig, PersistentDevice, PmemDevice, PmemWriteMode, SsdDevice};
 use pccheck_util::ByteSize;
 
 fn pmem_write_paths(c: &mut Criterion) {
@@ -18,10 +16,7 @@ fn pmem_write_paths(c: &mut Criterion) {
     for mode in [PmemWriteMode::NtStore, PmemWriteMode::ClwbWriteBack] {
         let name = format!("{mode:?}");
         group.bench_function(&name, |b| {
-            let dev = PmemDevice::new(
-                DeviceConfig::fast_for_tests(ByteSize::from_mb_u64(2)),
-                mode,
-            );
+            let dev = PmemDevice::new(DeviceConfig::fast_for_tests(ByteSize::from_mb_u64(2)), mode);
             b.iter(|| {
                 dev.write_at(0, &payload).expect("write");
                 dev.sfence().expect("fence");

@@ -10,13 +10,22 @@ fn bench(c: &mut Criterion) {
     for r in tables::table1(m, 3) {
         println!(
             "  {:<10} gpu={} dram={}..{} storage={}",
-            r.algorithm, r.footprint.gpu, r.footprint.dram_min, r.footprint.dram_max, r.footprint.storage
+            r.algorithm,
+            r.footprint.gpu,
+            r.footprint.dram_min,
+            r.footprint.dram_max,
+            r.footprint.storage
         );
     }
     c.bench_function("table1/footprint_formulas", |b| {
         b.iter(|| {
             let m = criterion::black_box(ByteSize::from_gb(4.0));
-            (footprint::checkfreq(m), footprint::gpm(m), footprint::gemini(m), footprint::pccheck(m, 3))
+            (
+                footprint::checkfreq(m),
+                footprint::gpm(m),
+                footprint::gemini(m),
+                footprint::pccheck(m, 3),
+            )
         })
     });
 }

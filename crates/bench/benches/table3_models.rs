@@ -8,7 +8,11 @@ fn bench(c: &mut Criterion) {
     for m in tables::table3() {
         println!(
             "  {:<14} {:<9} batch_a100={:<3} ckpt={:>6.1} GB nodes={}",
-            m.name, m.dataset, m.batch_a100, m.checkpoint_size.as_gb(), m.nodes
+            m.name,
+            m.dataset,
+            m.batch_a100,
+            m.checkpoint_size.as_gb(),
+            m.nodes
         );
     }
     c.bench_function("table3/zoo_lookup", |b| {

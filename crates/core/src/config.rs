@@ -45,6 +45,12 @@ pub struct PcCheckConfig {
     /// thread issues one `msync` covering the whole checkpoint. Must be
     /// `false` on PMEM, where fences are per-thread.
     pub single_sync: bool,
+    /// Capacity (in 64-byte records) of the persistent flight-recorder
+    /// ring reserved on the checkpoint device after the slots. `0`
+    /// (the default) disables the flight recorder entirely and reserves
+    /// no space, so existing capacity-sized stores are unaffected.
+    #[serde(default)]
+    pub flight_records: u32,
 }
 
 impl PcCheckConfig {
@@ -97,6 +103,7 @@ impl Default for PcCheckConfig {
             dram_chunks: 8,
             pipelined: true,
             single_sync: false,
+            flight_records: 0,
         }
     }
 }
@@ -144,6 +151,13 @@ impl PcCheckConfigBuilder {
         self
     }
 
+    /// Sets the persistent flight-recorder ring capacity in records
+    /// (`0` disables the flight recorder).
+    pub fn flight_records(mut self, records: u32) -> Self {
+        self.config.flight_records = records;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -179,6 +193,7 @@ mod tests {
             .dram_chunks(4)
             .pipelined(false)
             .single_sync(true)
+            .flight_records(256)
             .build()
             .unwrap();
         assert_eq!(cfg.max_concurrent, 4);
@@ -187,6 +202,7 @@ mod tests {
         assert_eq!(cfg.dram_chunks, 4);
         assert!(!cfg.pipelined);
         assert!(cfg.single_sync);
+        assert_eq!(cfg.flight_records, 256);
         assert_eq!(cfg.dram_bytes(), ByteSize::from_mb_u64(1000));
     }
 

@@ -27,7 +27,9 @@ use parking_lot::{Condvar, Mutex};
 
 use pccheck_device::{HostBufferPool, PersistentDevice};
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu, OwnedWeightsGuard};
-use pccheck_telemetry::{CheckpointCounters, CountersSnapshot, Phase, SpanId, Telemetry};
+use pccheck_telemetry::{
+    CheckpointCounters, CountersSnapshot, FlightEventKind, Phase, SpanId, Telemetry,
+};
 use pccheck_util::ByteSize;
 
 use crate::config::PcCheckConfig;
@@ -146,7 +148,12 @@ impl PcCheckEngine {
     ) -> Result<Self, PccheckError> {
         config.validate()?;
         let slots = (config.max_concurrent + 1) as u32;
-        let store = CheckpointStore::format(device, checkpoint_size, slots)?;
+        let store = CheckpointStore::format_with_flight(
+            device,
+            checkpoint_size,
+            slots,
+            config.flight_records,
+        )?;
         Self::with_store(config, Arc::new(store))
     }
 
@@ -280,8 +287,38 @@ impl PcCheckEngine {
     ) -> Result<CommitOutcome, PccheckError> {
         let total = guard.size();
         let lease = store.begin_checkpoint();
+        let (counter, slot) = (lease.counter, lease.slot);
         ctx.telemetry
             .gauge_queue_depth(store.free_slot_count() as u64);
+        let result = Self::run_leased(
+            store, pool, config, ctx, guard, lease, iteration, digest, total,
+        );
+        if result.is_err() {
+            // A failed checkpoint leaves its Begin record unterminated on
+            // the flight ring without this — record the failure so the
+            // forensic auditor can tell "died mid-flight at the crash"
+            // from "failed and the run continued".
+            store
+                .flight()
+                .record(FlightEventKind::Failed, counter, slot, iteration, 0, 0);
+        }
+        result
+    }
+
+    /// The leased portion of [`run_checkpoint`](Self::run_checkpoint):
+    /// copy, persist, and commit.
+    #[allow(clippy::too_many_arguments)]
+    fn run_leased(
+        store: &CheckpointStore,
+        pool: &HostBufferPool,
+        config: &PcCheckConfig,
+        ctx: TraceCtx<'_>,
+        guard: OwnedWeightsGuard,
+        lease: SlotLease,
+        iteration: u64,
+        digest: pccheck_gpu::StateDigest,
+        total: ByteSize,
+    ) -> Result<CommitOutcome, PccheckError> {
         let persist_start = if config.pipelined {
             Self::copy_and_persist_pipelined(store, pool, config, ctx, &guard, &lease, total)?
         } else {
@@ -292,11 +329,20 @@ impl PcCheckEngine {
             // §4.1 SSD path: one msync covering the whole payload.
             store.persist_payload(&lease, 0, total.as_u64())?;
         }
+        store.flight().record(
+            FlightEventKind::PayloadPersisted,
+            lease.counter,
+            lease.slot,
+            iteration,
+            total.as_u64(),
+            0,
+        );
         ctx.telemetry
             .phase_done(ctx.span, Phase::Persist, persist_start);
         let commit_start = ctx.telemetry.now_nanos();
         let outcome = store.commit(lease, iteration, total.as_u64(), digest.0);
-        ctx.telemetry.phase_done(ctx.span, Phase::Commit, commit_start);
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Commit, commit_start);
         outcome
     }
 
@@ -327,7 +373,16 @@ impl PcCheckEngine {
             staged.push((off, n, buf));
             off += n as u64;
         }
-        ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, copy_start);
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::GpuCopy, copy_start);
+        store.flight().record(
+            FlightEventKind::CopyDone,
+            lease.counter,
+            lease.slot,
+            0,
+            total.as_u64(),
+            0,
+        );
         // Persist with p writers, chunks distributed round-robin.
         let persist_start = ctx.telemetry.now_nanos();
         let p = config.writer_threads;
@@ -349,7 +404,8 @@ impl PcCheckEngine {
                             });
                         match r {
                             Ok(()) => {
-                                ctx.telemetry.chunk(ctx.span, Phase::Persist, *off, *n as u64)
+                                ctx.telemetry
+                                    .chunk(ctx.span, Phase::Persist, *off, *n as u64)
                             }
                             Err(e) => results.lock().push(e),
                         }
@@ -401,9 +457,7 @@ impl PcCheckEngine {
                                 }
                             });
                         match r {
-                            Ok(()) => {
-                                ctx.telemetry.chunk(ctx.span, Phase::Persist, off, n as u64)
-                            }
+                            Ok(()) => ctx.telemetry.chunk(ctx.span, Phase::Persist, off, n as u64),
                             Err(e) => results.lock().push(e),
                         }
                         drop(buf); // free the DRAM chunk for the producer
@@ -423,6 +477,14 @@ impl PcCheckEngine {
                 off += n as u64;
             }
             ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, start);
+            store.flight().record(
+                FlightEventKind::CopyDone,
+                lease.counter,
+                lease.slot,
+                0,
+                total.as_u64(),
+                0,
+            );
             drop(tx); // writers drain and exit
         })
         .expect("pipelined checkpoint thread panicked");
@@ -440,15 +502,16 @@ impl Checkpointer for PcCheckEngine {
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         self.reap_finished_workers();
         let stall_start = self.telemetry.now_nanos();
-        let span =
-            self.telemetry
-                .span_requested(self.name(), iteration, gpu.state_size().as_u64());
+        let span = self
+            .telemetry
+            .span_requested(self.name(), iteration, gpu.state_size().as_u64());
         self.in_flight.acquire(self.config.max_concurrent);
         self.stats.counters.incr_requested();
         let guard = gpu.lock_weights_shared_owned();
         // The ticket + weights-lock wait is the only stall this call
         // imposes on the training thread.
-        self.telemetry.phase_done(span, Phase::TicketWait, stall_start);
+        self.telemetry
+            .phase_done(span, Phase::TicketWait, stall_start);
         self.telemetry
             .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
         self.telemetry.span_queued(span);
@@ -532,8 +595,8 @@ mod tests {
     fn ssd_engine(state: u64, n: usize, p: usize, pipelined: bool) -> (PcCheckEngine, Gpu) {
         let gpu = tiny_gpu(state, 7);
         let slots = (n + 1) as u32;
-        let cap = CheckpointStore::required_capacity(gpu.state_size(), slots)
-            + ByteSize::from_kb(1);
+        let cap =
+            CheckpointStore::required_capacity(gpu.state_size(), slots) + ByteSize::from_kb(1);
         let device: Arc<dyn PersistentDevice> =
             Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
         let config = PcCheckConfig::builder()

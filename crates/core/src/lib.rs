@@ -73,6 +73,8 @@ pub use config::{PcCheckConfig, PcCheckConfigBuilder};
 pub use engine::{EngineStats, PcCheckEngine};
 pub use error::PccheckError;
 pub use meta::CheckMeta;
-pub use recovery::{recover, RecoveredCheckpoint, RecoveryModel, Strategy};
-pub use store::{CheckpointStore, CommitOutcome};
+pub use recovery::{
+    recover, recover_instrumented, RecoveredCheckpoint, RecoveryModel, RecoveryTrace, Strategy,
+};
+pub use store::{CheckpointStore, CommitOutcome, RawStoreView};
 pub use tuner::{AdaptiveTuner, Tuner, TunerInputs, TunerRecommendation};

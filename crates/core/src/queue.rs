@@ -163,8 +163,7 @@ impl SlotQueue {
                             // this thread the unique reader of this cell
                             // until it recycles it via `seq`.
                             let value = unsafe { *cell.value.get() };
-                            cell.seq
-                                .store(pos + self.mask + 1, Ordering::Release);
+                            cell.seq.store(pos + self.mask + 1, Ordering::Release);
                             return Some(value);
                         }
                         Err(actual) => pos = actual,

@@ -1,10 +1,18 @@
 //! Recovery: loading the latest committed checkpoint after a failure, and
 //! the analytical recovery-time models of §4.2.
+//!
+//! The recovery path itself is instrumented ([`recover_instrumented`]):
+//! the store-open/slot-scan, payload-load, and digest-verify steps each
+//! land as [`Phase`] spans on the telemetry timeline and as a
+//! [`RecoveryTrace`] of wall-clock nanoseconds, so recovery time is a
+//! measured first-class figure rather than only a model.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use pccheck_device::PersistentDevice;
-use pccheck_gpu::Gpu;
+use pccheck_gpu::{Gpu, StateDigest};
+use pccheck_telemetry::{FlightEventKind, Phase, Telemetry};
 use pccheck_util::SimDuration;
 
 use crate::error::PccheckError;
@@ -35,32 +43,139 @@ impl RecoveredCheckpoint {
     }
 }
 
+/// Wall-clock timing of one recovery, broken down by recovery phase.
+///
+/// Produced by [`recover_instrumented`]; the same durations are recorded
+/// as [`Phase::RecoveryScan`] / [`Phase::RecoveryLoad`] /
+/// [`Phase::RecoveryVerify`] spans when telemetry is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryTrace {
+    /// Store open + `CHECK_ADDR`/slot-meta scan time, nanoseconds.
+    pub scan_nanos: u64,
+    /// Payload read time across all candidates tried, nanoseconds.
+    pub load_nanos: u64,
+    /// Digest verification time across all candidates tried, nanoseconds.
+    pub verify_nanos: u64,
+    /// Total recovery time, nanoseconds.
+    pub total_nanos: u64,
+    /// Committed candidates considered (newest first).
+    pub candidates_scanned: u64,
+    /// Candidates rejected before one verified (0 = the newest committed
+    /// checkpoint verified on the first try).
+    pub fallbacks: u64,
+    /// The recovered checkpoint's global counter.
+    pub counter: u64,
+    /// The recovered checkpoint's iteration.
+    pub iteration: u64,
+}
+
 /// Loads and verifies the latest committed checkpoint from `device`.
 ///
 /// The persistent iterator of §4.2: reads `CHECK_ADDR`, follows it to the
 /// slot, and verifies the payload against the recorded digest (using the
 /// training-state digest when available, falling back to a raw checksum
-/// comparison for non-state payloads).
+/// comparison for non-state payloads). If the newest committed slot fails
+/// verification, older intact committed slots are tried newest-first —
+/// the paper keeps `N+1` slots precisely so a torn newest checkpoint
+/// degrades to the previous one instead of to data loss.
 ///
 /// # Errors
 ///
 /// * [`PccheckError::NoCheckpoint`] if the device holds no committed
 ///   checkpoint.
-/// * [`PccheckError::CorruptCheckpoint`] if the committed payload fails
-///   verification.
+/// * [`PccheckError::CorruptCheckpoint`] if **no** slot verifies.
 /// * [`PccheckError::InvalidConfig`] if the device holds no PCcheck store.
 pub fn recover(device: Arc<dyn PersistentDevice>) -> Result<RecoveredCheckpoint, PccheckError> {
+    recover_instrumented(device, &Telemetry::disabled()).map(|(r, _)| r)
+}
+
+/// [`recover`] with recovery-path instrumentation: phase spans on
+/// `telemetry` (scan / load / verify), a [`RecoveryTrace`] of measured
+/// nanoseconds, and `RecoveryStart`/`RecoveryDone` records on the store's
+/// persistent flight ring when one is present.
+///
+/// # Errors
+///
+/// Same as [`recover`].
+pub fn recover_instrumented(
+    device: Arc<dyn PersistentDevice>,
+    telemetry: &Telemetry,
+) -> Result<(RecoveredCheckpoint, RecoveryTrace), PccheckError> {
+    let t0 = Instant::now();
+    let span = telemetry.span_requested("recovery", 0, 0);
+    let scan_start = telemetry.now_nanos();
+
     let store = CheckpointStore::open(device)?;
-    let meta = store.latest_committed().ok_or(PccheckError::NoCheckpoint)?;
-    let mut payload = vec![0u8; meta.payload_len as usize];
-    store
-        .device()
-        .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)?;
-    Ok(RecoveredCheckpoint {
-        iteration: meta.iteration,
-        counter: meta.counter,
-        payload,
-        digest: meta.digest,
+    store.flight().record_run(FlightEventKind::RecoveryStart, 0);
+    // Candidates: every slot holding a complete checkpoint, newest first.
+    // `latest_committed` is always the last history entry when present.
+    let mut candidates = store.history()?;
+    candidates.reverse();
+
+    let mut trace = RecoveryTrace {
+        scan_nanos: t0.elapsed().as_nanos() as u64,
+        ..RecoveryTrace::default()
+    };
+    telemetry.phase_done(span, Phase::RecoveryScan, scan_start);
+
+    if candidates.is_empty() {
+        telemetry.failed(span, "no committed checkpoint");
+        return Err(PccheckError::NoCheckpoint);
+    }
+    let newest_counter = candidates[0].counter;
+
+    for meta in &candidates {
+        trace.candidates_scanned += 1;
+
+        let load_t0 = Instant::now();
+        let load_start = telemetry.now_nanos();
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        store
+            .device()
+            .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)?;
+        trace.load_nanos += load_t0.elapsed().as_nanos() as u64;
+        telemetry.phase_done(span, Phase::RecoveryLoad, load_start);
+
+        let verify_t0 = Instant::now();
+        let verify_start = telemetry.now_nanos();
+        // A payload is acceptable under either digest discipline: the
+        // training-state digest (payload bytes seeded with the iteration)
+        // or the raw FNV checksum used for opaque payloads.
+        let ok = StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
+            || checksum(&payload) == meta.digest;
+        trace.verify_nanos += verify_t0.elapsed().as_nanos() as u64;
+        telemetry.phase_done(span, Phase::RecoveryVerify, verify_start);
+
+        if !ok {
+            continue;
+        }
+        trace.fallbacks = trace.candidates_scanned - 1;
+        trace.counter = meta.counter;
+        trace.iteration = meta.iteration;
+        trace.total_nanos = t0.elapsed().as_nanos() as u64;
+        telemetry.committed(span, meta.iteration, meta.payload_len);
+        store.flight().record(
+            FlightEventKind::RecoveryDone,
+            meta.counter,
+            meta.slot,
+            meta.iteration,
+            meta.payload_len,
+            trace.fallbacks,
+        );
+        return Ok((
+            RecoveredCheckpoint {
+                iteration: meta.iteration,
+                counter: meta.counter,
+                payload,
+                digest: meta.digest,
+            },
+            trace,
+        ));
+    }
+
+    telemetry.failed(span, "no slot passed digest verification");
+    Err(PccheckError::CorruptCheckpoint {
+        counter: newest_counter,
     })
 }
 
@@ -232,6 +347,87 @@ mod tests {
         assert_eq!(recover(dev), Err(PccheckError::NoCheckpoint));
     }
 
+    /// Commits `n` checkpoints of distinct raw payloads (digest = raw
+    /// checksum) and returns the store.
+    fn committed_store(dev: Arc<dyn PersistentDevice>, n: u64) -> CheckpointStore {
+        let st = CheckpointStore::format(dev, ByteSize::from_bytes(64), 3).unwrap();
+        for i in 1..=n {
+            let payload = format!("payload-{i}");
+            let lease = st.begin_checkpoint();
+            st.write_payload(&lease, 0, payload.as_bytes()).unwrap();
+            st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+            st.commit(lease, i, payload.len() as u64, checksum(payload.as_bytes()))
+                .unwrap();
+        }
+        st
+    }
+
+    #[test]
+    fn corrupt_newest_slot_falls_back_to_older_committed_slot() {
+        let cap =
+            CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = committed_store(Arc::clone(&dev), 2);
+        // Corrupt the newest checkpoint's *payload* (its meta record stays
+        // valid), as a misdirected write or media error would.
+        let newest = st.latest_committed().unwrap();
+        assert_eq!(newest.iteration, 2);
+        let off = st.slot_payload_offset(newest.slot);
+        dev.write_at(off, b"XX").unwrap();
+        dev.persist(off, 2).unwrap();
+        drop(st);
+        dev.crash_now();
+        dev.recover();
+
+        let telemetry = Telemetry::enabled();
+        let (rec, trace) = recover_instrumented(Arc::clone(&dev), &telemetry).unwrap();
+        assert_eq!(rec.iteration, 1, "fell back to the intact older slot");
+        assert_eq!(rec.payload, b"payload-1");
+        assert_eq!(trace.fallbacks, 1);
+        assert_eq!(trace.candidates_scanned, 2);
+        assert_eq!(trace.counter, rec.counter);
+        assert!(trace.total_nanos >= trace.load_nanos + trace.verify_nanos);
+        // The recovery phases landed on the telemetry timeline.
+        let snap = telemetry.snapshot().unwrap();
+        assert!(snap.phase(Phase::RecoveryScan).count >= 1);
+        assert!(snap.phase(Phase::RecoveryLoad).count >= 2);
+        assert!(snap.phase(Phase::RecoveryVerify).count >= 2);
+    }
+
+    #[test]
+    fn all_slots_corrupt_errors_with_newest_counter() {
+        let cap =
+            CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = committed_store(Arc::clone(&dev), 2);
+        for meta in st.history().unwrap() {
+            let off = st.slot_payload_offset(meta.slot);
+            dev.write_at(off, b"XX").unwrap();
+            dev.persist(off, 2).unwrap();
+        }
+        drop(st);
+        assert!(matches!(
+            recover(dev),
+            Err(PccheckError::CorruptCheckpoint { counter: 2 })
+        ));
+    }
+
+    #[test]
+    fn instrumented_recovery_reports_zero_fallbacks_on_clean_store() {
+        let cap =
+            CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        committed_store(Arc::clone(&dev), 3);
+        let (rec, trace) = recover_instrumented(dev, &Telemetry::disabled()).unwrap();
+        assert_eq!(rec.iteration, 3);
+        assert_eq!(trace.fallbacks, 0);
+        assert_eq!(trace.candidates_scanned, 1);
+        assert_eq!(trace.iteration, 3);
+    }
+
     #[test]
     fn verify_raw_detects_corruption() {
         let good = RecoveredCheckpoint {
@@ -253,7 +449,7 @@ mod tests {
 
     fn model() -> RecoveryModel {
         RecoveryModel {
-            iter_time: SimDuration::from_secs(2),   // OPT-1.3B
+            iter_time: SimDuration::from_secs(2), // OPT-1.3B
             interval: 10,
             write_time: SimDuration::from_secs(37), // 16.2 GB on pd-ssd
             load_time: SimDuration::from_secs(10),
@@ -266,7 +462,10 @@ mod tests {
         // GPM: l + f·t = 10 + 20 = 30.
         assert_eq!(m.worst_case(Strategy::Gpm), SimDuration::from_secs(30));
         // CheckFreq/Gemini: l + 2·f·t = 10 + 40 = 50.
-        assert_eq!(m.worst_case(Strategy::CheckFreq), SimDuration::from_secs(50));
+        assert_eq!(
+            m.worst_case(Strategy::CheckFreq),
+            SimDuration::from_secs(50)
+        );
         assert_eq!(m.worst_case(Strategy::Gemini), SimDuration::from_secs(50));
         // PCcheck N=2: min(N·f, Tw/t) = min(20, 18.5) = 18.5 iterations.
         let pc = m.worst_case(Strategy::PcCheck { n: 2 });

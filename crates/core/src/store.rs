@@ -14,6 +14,9 @@
 //! | slot 0 payload     |
 //! +--------------------+
 //! | slot 1 meta ...    |
+//! +--------------------+  offset 128 + slots·(64 + slot_size)
+//! | flight ring        |  optional crash-safe telemetry ring
+//! | (header + records) |  (`flight_records` > 0)
 //! +--------------------+
 //! ```
 //!
@@ -46,6 +49,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use pccheck_device::PersistentDevice;
+use pccheck_telemetry::{FlightEventKind, FlightRecorder, FlightRing};
 use pccheck_util::ByteSize;
 
 use crate::error::PccheckError;
@@ -104,17 +108,45 @@ pub struct CheckpointStore {
     /// value can never overwrite a newer persisted one (the hardware analog:
     /// a cache-line write-back persists the line's *current* content).
     check_addr_io: Mutex<u64>, // last persisted counter
+    /// Persistent flight recorder appending lifecycle milestones to the
+    /// ring after the slots (disabled when the store was formatted with
+    /// `flight_records = 0`).
+    flight: FlightRecorder,
 }
 
 impl CheckpointStore {
-    /// Bytes of device space needed for `slots` slots of `slot_size` each.
+    /// Bytes of device space needed for `slots` slots of `slot_size` each
+    /// (no flight-recorder ring).
     pub fn required_capacity(slot_size: ByteSize, slots: u32) -> ByteSize {
-        ByteSize::from_bytes(SLOTS_OFFSET)
-            + (ByteSize::from_bytes(META_RECORD_SIZE) + slot_size) * u64::from(slots)
+        Self::required_capacity_with_flight(slot_size, slots, 0)
+    }
+
+    /// Bytes of device space needed for `slots` slots of `slot_size` each
+    /// plus a flight-recorder ring of `flight_records` records (0 = none).
+    pub fn required_capacity_with_flight(
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+    ) -> ByteSize {
+        let slots_end = ByteSize::from_bytes(SLOTS_OFFSET)
+            + (ByteSize::from_bytes(META_RECORD_SIZE) + slot_size) * u64::from(slots);
+        if flight_records == 0 {
+            slots_end
+        } else {
+            slots_end + ByteSize::from_bytes(FlightRing::required_capacity(flight_records))
+        }
+    }
+
+    /// Device offset where the flight ring starts for this geometry — right
+    /// after the last slot, so slot offsets are identical with and without
+    /// a ring.
+    fn flight_base_static(slot_size: ByteSize, slots: u32) -> u64 {
+        SLOTS_OFFSET + u64::from(slots) * (META_RECORD_SIZE + slot_size.as_u64())
     }
 
     /// Formats a store on `device` with `slots` slots of `slot_size` bytes
-    /// (use `N+1` slots for `N` concurrent checkpoints).
+    /// (use `N+1` slots for `N` concurrent checkpoints), without a flight
+    /// recorder.
     ///
     /// # Errors
     ///
@@ -125,15 +157,34 @@ impl CheckpointStore {
         slot_size: ByteSize,
         slots: u32,
     ) -> Result<Self, PccheckError> {
+        Self::format_with_flight(device, slot_size, slots, 0)
+    }
+
+    /// Formats a store on `device` with `slots` slots of `slot_size` bytes
+    /// and, when `flight_records > 0`, a persistent flight-recorder ring of
+    /// that many 64-byte records after the slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if geometry is invalid or the
+    /// device is too small, or a device error if formatting I/O fails.
+    pub fn format_with_flight(
+        device: Arc<dyn PersistentDevice>,
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+    ) -> Result<Self, PccheckError> {
         if slots < 2 {
             return Err(PccheckError::InvalidConfig(
                 "store needs at least 2 slots (N>=1 concurrent + 1 committed)".into(),
             ));
         }
         if slot_size.is_zero() {
-            return Err(PccheckError::InvalidConfig("slot size must be nonzero".into()));
+            return Err(PccheckError::InvalidConfig(
+                "slot size must be nonzero".into(),
+            ));
         }
-        let needed = Self::required_capacity(slot_size, slots);
+        let needed = Self::required_capacity_with_flight(slot_size, slots, flight_records);
         if needed > device.capacity() {
             return Err(PccheckError::InvalidConfig(format!(
                 "device capacity {} < required {}",
@@ -146,10 +197,21 @@ impl CheckpointStore {
         header[0..8].copy_from_slice(&STORE_MAGIC.to_le_bytes());
         header[8..12].copy_from_slice(&slots.to_le_bytes());
         header[12..20].copy_from_slice(&slot_size.as_u64().to_le_bytes());
+        header[20..24].copy_from_slice(&flight_records.to_le_bytes());
         device.write_at(0, &header)?;
         // Zero the CHECK_ADDR record (no committed checkpoint).
         device.write_at(CHECK_ADDR_OFFSET, &[0u8; META_RECORD_SIZE as usize])?;
         device.persist(0, SLOTS_OFFSET)?;
+
+        let flight = if flight_records > 0 {
+            let base = Self::flight_base_static(slot_size, slots);
+            let ring = FlightRing::create(Arc::clone(&device), base, flight_records)
+                .map_err(PccheckError::InvalidConfig)?;
+            FlightRecorder::new(Arc::new(ring))
+        } else {
+            FlightRecorder::disabled()
+        };
+        flight.record_run(FlightEventKind::RunStart, 0);
 
         Ok(CheckpointStore {
             device,
@@ -159,6 +221,7 @@ impl CheckpointStore {
             check_addr: AtomicU64::new(0),
             free_slots: (0..slots).collect(),
             check_addr_io: Mutex::new(0),
+            flight,
         })
     }
 
@@ -183,6 +246,7 @@ impl CheckpointStore {
         let slots = u32::from_le_bytes(header[8..12].try_into().expect("slice len"));
         let slot_size =
             ByteSize::from_bytes(u64::from_le_bytes(header[12..20].try_into().expect("len")));
+        let flight_records = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
 
         // Find the committed checkpoint: trust CHECK_ADDR, fall back to a
         // slot scan if the record is torn or its payload fails validation.
@@ -205,6 +269,20 @@ impl CheckpointStore {
             .map(|m| PackedCheckAddr::pack(m.counter, m.slot))
             .unwrap_or(crate::meta::CHECK_ADDR_NONE);
 
+        // Reattach the flight ring, resuming sequence numbers past the
+        // crash survivors. A torn ring header downgrades to a disabled
+        // recorder rather than failing recovery: forensics are
+        // best-effort, the checkpoints are not.
+        let flight = if flight_records > 0 {
+            let base = Self::flight_base_static(slot_size, slots);
+            match FlightRing::open(Arc::clone(&device), base) {
+                Ok(ring) => FlightRecorder::new(Arc::new(ring)),
+                Err(_) => FlightRecorder::disabled(),
+            }
+        } else {
+            FlightRecorder::disabled()
+        };
+
         Ok(CheckpointStore {
             device,
             slot_size,
@@ -213,6 +291,7 @@ impl CheckpointStore {
             check_addr: AtomicU64::new(check_addr.0),
             free_slots: free.into_iter().collect(),
             check_addr_io: Mutex::new(max_counter),
+            flight,
         })
     }
 
@@ -262,7 +341,10 @@ impl CheckpointStore {
         }
         // Check the slot's own meta record matches the commit record.
         let mut rec = [0u8; META_RECORD_SIZE as usize];
-        device.read_durable_at(Self::slot_meta_offset_static(meta.slot, slot_size), &mut rec)?;
+        device.read_durable_at(
+            Self::slot_meta_offset_static(meta.slot, slot_size),
+            &mut rec,
+        )?;
         Ok(CheckMeta::decode(&rec).as_ref() == Some(meta))
     }
 
@@ -273,6 +355,14 @@ impl CheckpointStore {
     /// The underlying device.
     pub fn device(&self) -> &Arc<dyn PersistentDevice> {
         &self.device
+    }
+
+    /// The persistent flight recorder (disabled when the store was
+    /// formatted without a ring). The engine and harnesses use this handle
+    /// to append lifecycle milestones the store itself cannot see (GPU
+    /// copy completion, payload persist, failures).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Per-slot payload capacity.
@@ -321,6 +411,8 @@ impl CheckpointStore {
         let counter = self.global_counter.fetch_add(1, Ordering::AcqRel);
         // Lines 8-11: find space.
         let slot = self.free_slots.dequeue_blocking();
+        self.flight
+            .record(FlightEventKind::Begin, counter, slot, 0, 0, last_check.0);
         SlotLease {
             counter,
             slot,
@@ -396,6 +488,14 @@ impl CheckpointStore {
         let meta_off = self.slot_meta_offset(lease.slot);
         self.device.write_at(meta_off, &rec)?;
         self.device.persist(meta_off, META_RECORD_SIZE)?;
+        self.flight.record(
+            FlightEventKind::MetaPersisted,
+            lease.counter,
+            lease.slot,
+            iteration,
+            payload_len,
+            digest,
+        );
 
         let ours = PackedCheckAddr::pack(lease.counter, lease.slot);
         let mut last = lease.last_check;
@@ -427,6 +527,14 @@ impl CheckpointStore {
                     // A newer checkpoint won. Help persist CHECK_ADDR, then
                     // recycle our own slot — our data is obsolete.
                     self.persist_check_addr()?;
+                    self.flight.record(
+                        FlightEventKind::Superseded,
+                        lease.counter,
+                        lease.slot,
+                        iteration,
+                        payload_len,
+                        current.counter(),
+                    );
                     self.free_slots.enqueue_blocking(lease.slot);
                     return Ok(CommitOutcome::SupersededBy {
                         counter: current.counter(),
@@ -453,6 +561,21 @@ impl CheckpointStore {
         self.device.write_at(CHECK_ADDR_OFFSET, &rec)?;
         self.device.persist(CHECK_ADDR_OFFSET, META_RECORD_SIZE)?;
         *last_persisted = current.counter();
+        // Witness the durable publication while still holding the I/O
+        // lock: Commit flight records are therefore appended in exactly
+        // the order counters became durable — strictly monotone,
+        // deduplicated even under helping.
+        let (iteration, payload_len) = CheckMeta::decode(&rec)
+            .map(|m| (m.iteration, m.payload_len))
+            .unwrap_or((0, 0));
+        self.flight.record(
+            FlightEventKind::Commit,
+            current.counter(),
+            current.slot(),
+            iteration,
+            payload_len,
+            0,
+        );
         Ok(())
     }
 
@@ -519,6 +642,123 @@ impl CheckpointStore {
     }
 }
 
+/// A read-only, durable-bytes-only view of a store's on-device state,
+/// loadable **while the device is still crashed** (it never touches the
+/// volatile overlay and never mutates anything). This is what the
+/// post-crash forensic auditor replays the flight ring against.
+#[derive(Debug, Clone)]
+pub struct RawStoreView {
+    /// Number of slots in the store.
+    pub slots: u32,
+    /// Per-slot payload capacity.
+    pub slot_size: ByteSize,
+    /// Flight-ring capacity in records (0 = no ring).
+    pub flight_records: u32,
+    /// The durable `CHECK_ADDR` record, if it decodes.
+    pub check_addr: Option<CheckMeta>,
+    /// Each slot's durable meta record, if it decodes and names its own
+    /// slot (`slot_meta[s]` is `None` for empty/torn/mis-slotted records).
+    pub slot_meta: Vec<Option<CheckMeta>>,
+}
+
+impl RawStoreView {
+    /// Loads the view from durable bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if no valid store header is
+    /// found; propagates device read errors.
+    pub fn load(device: &dyn PersistentDevice) -> Result<RawStoreView, PccheckError> {
+        let mut header = [0u8; HEADER_SIZE as usize];
+        device.read_durable_at(0, &mut header)?;
+        let magic = u64::from_le_bytes(header[0..8].try_into().expect("slice len"));
+        if magic != STORE_MAGIC {
+            return Err(PccheckError::InvalidConfig(
+                "device holds no PCcheck store (bad magic)".into(),
+            ));
+        }
+        let slots = u32::from_le_bytes(header[8..12].try_into().expect("slice len"));
+        let slot_size =
+            ByteSize::from_bytes(u64::from_le_bytes(header[12..20].try_into().expect("len")));
+        let flight_records = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
+
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        device.read_durable_at(CHECK_ADDR_OFFSET, &mut rec)?;
+        let check_addr = CheckMeta::decode(&rec).filter(|m| m.slot < slots);
+
+        let mut slot_meta = Vec::with_capacity(slots as usize);
+        for s in 0..slots {
+            device.read_durable_at(
+                CheckpointStore::slot_meta_offset_static(s, slot_size),
+                &mut rec,
+            )?;
+            slot_meta.push(
+                CheckMeta::decode(&rec)
+                    .filter(|m| m.slot == s && ByteSize::from_bytes(m.payload_len) <= slot_size),
+            );
+        }
+
+        Ok(RawStoreView {
+            slots,
+            slot_size,
+            flight_records,
+            check_addr,
+            slot_meta,
+        })
+    }
+
+    /// Device offset of `slot`'s payload.
+    pub fn slot_payload_offset(&self, slot: u32) -> u64 {
+        CheckpointStore::slot_meta_offset_static(slot, self.slot_size) + META_RECORD_SIZE
+    }
+
+    /// Device offset of the flight ring header (meaningful only when
+    /// [`flight_records`](Self::flight_records) > 0).
+    pub fn flight_base(&self) -> u64 {
+        CheckpointStore::flight_base_static(self.slot_size, self.slots)
+    }
+
+    /// The checkpoint recovery would restore, replicating
+    /// `CheckpointStore::open`'s scan over durable bytes: the max-counter
+    /// checkpoint among a slot-consistent `CHECK_ADDR` and the valid slot
+    /// records.
+    pub fn expected_recovery(&self) -> Option<CheckMeta> {
+        let mut best: Option<CheckMeta> = None;
+        if let Some(ca) = &self.check_addr {
+            if self.slot_meta.get(ca.slot as usize) == Some(&Some(*ca)) {
+                best = Some(*ca);
+            }
+        }
+        for meta in self.slot_meta.iter().flatten() {
+            if best.map_or(true, |b| meta.counter > b.counter) {
+                best = Some(*meta);
+            }
+        }
+        best
+    }
+
+    /// Reads a slot's durable payload bytes, sized by its meta record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device read errors; errors if the slot has no valid meta.
+    pub fn read_slot_payload(
+        &self,
+        device: &dyn PersistentDevice,
+        slot: u32,
+    ) -> Result<Vec<u8>, PccheckError> {
+        let meta = self
+            .slot_meta
+            .get(slot as usize)
+            .copied()
+            .flatten()
+            .ok_or(PccheckError::CorruptCheckpoint { counter: 0 })?;
+        let mut payload = vec![0u8; meta.payload_len as usize];
+        device.read_durable_at(self.slot_payload_offset(slot), &mut payload)?;
+        Ok(payload)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,7 +776,8 @@ mod tests {
         st.write_payload(&lease, 0, payload).unwrap();
         st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
         let digest = crate::meta::checksum(payload);
-        st.commit(lease, iter, payload.len() as u64, digest).unwrap()
+        st.commit(lease, iter, payload.len() as u64, digest)
+            .unwrap()
     }
 
     #[test]
@@ -727,6 +968,89 @@ mod tests {
             st.read_checkpoint(&old),
             Err(PccheckError::CorruptCheckpoint { .. })
         ));
+    }
+
+    #[test]
+    fn flight_ring_witnesses_lifecycle_and_survives_crash() {
+        use pccheck_telemetry::FlightEventKind as K;
+        let cap = CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(64), 3, 32);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st =
+            CheckpointStore::format_with_flight(Arc::clone(&dev), ByteSize::from_bytes(64), 3, 32)
+                .unwrap();
+        assert!(st.flight().is_enabled());
+        full_checkpoint(&st, 5, b"five");
+        full_checkpoint(&st, 6, b"six");
+        dev.crash_now();
+        // The ring is readable from durable bytes while crashed.
+        let base = CheckpointStore::flight_base_static(ByteSize::from_bytes(64), 3);
+        let scan = FlightRing::scan(dev.as_ref(), base).unwrap();
+        let kinds: Vec<K> = scan.records.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                K::RunStart,
+                K::Begin,
+                K::MetaPersisted,
+                K::Commit,
+                K::Begin,
+                K::MetaPersisted,
+                K::Commit,
+            ]
+        );
+        // Commit counters are strictly monotone and match the metadata.
+        let commits: Vec<u64> = scan
+            .records
+            .iter()
+            .filter(|r| r.kind == K::Commit)
+            .map(|r| r.counter)
+            .collect();
+        assert_eq!(commits, [1, 2]);
+        // Reopening resumes the ring.
+        dev.recover();
+        let st2 = CheckpointStore::open(Arc::clone(&dev)).unwrap();
+        assert!(st2.flight().is_enabled());
+        full_checkpoint(&st2, 7, b"seven");
+        let scan2 = st2.flight().ring().unwrap().read_all().unwrap();
+        assert_eq!(scan2.records.len(), scan.records.len() + 3);
+    }
+
+    #[test]
+    fn format_without_flight_is_backward_compatible() {
+        let st = store(256, 3);
+        assert!(!st.flight().is_enabled());
+        full_checkpoint(&st, 1, b"x");
+        // Geometry identical to the pre-flight layout.
+        assert_eq!(
+            CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(256), 3, 0),
+            CheckpointStore::required_capacity(ByteSize::from_bytes(256), 3)
+        );
+    }
+
+    #[test]
+    fn raw_view_matches_store_state_while_crashed() {
+        let cap = CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(64), 3, 16);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st =
+            CheckpointStore::format_with_flight(Arc::clone(&dev), ByteSize::from_bytes(64), 3, 16)
+                .unwrap();
+        full_checkpoint(&st, 3, b"abc");
+        let committed = st.latest_committed().unwrap();
+        dev.crash_now();
+        let view = RawStoreView::load(dev.as_ref()).unwrap();
+        assert_eq!(view.slots, 3);
+        assert_eq!(view.slot_size.as_u64(), 64);
+        assert_eq!(view.flight_records, 16);
+        assert_eq!(view.check_addr, Some(committed));
+        assert_eq!(view.expected_recovery(), Some(committed));
+        assert_eq!(
+            view.read_slot_payload(dev.as_ref(), committed.slot)
+                .unwrap(),
+            b"abc"
+        );
+        assert_eq!(view.flight_base(), st.slot_meta_offset(2) + 64 + 64);
     }
 
     #[test]

@@ -315,8 +315,7 @@ impl AdaptiveTuner {
         }
         // Equation (3) with the current estimates.
         let target = ((tw / (self.n as f64 * self.max_slowdown * t)).ceil() as u64).max(1);
-        let drift =
-            (target as f64 - self.interval as f64).abs() / self.interval as f64;
+        let drift = (target as f64 - self.interval as f64).abs() / self.interval as f64;
         if drift > Self::RETUNE_THRESHOLD {
             self.interval = target;
             self.retunes += 1;

@@ -193,9 +193,7 @@ impl MemRegion {
 
     fn mark_dirty(&mut self, start: u64, end: u64) {
         // Insert keeping ranges sorted and coalesced.
-        let idx = self
-            .dirty
-            .partition_point(|&(s, _)| s < start);
+        let idx = self.dirty.partition_point(|&(s, _)| s < start);
         self.dirty.insert(idx, (start, end));
         self.coalesce();
     }
@@ -303,7 +301,10 @@ mod tests {
                 survived += 1;
             }
         }
-        assert!(survived > 0 && survived < 8, "seed 3 gives a mix: {survived}");
+        assert!(
+            survived > 0 && survived < 8,
+            "seed 3 gives a mix: {survived}"
+        );
     }
 
     #[test]

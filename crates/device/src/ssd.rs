@@ -6,6 +6,7 @@
 //! dirties the page-cache (volatile) view at media bandwidth, and `persist`
 //! is the msync that makes a range durable.
 
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -50,6 +51,10 @@ pub struct SsdDevice {
     bucket: Arc<TokenBucket>,
     stats: DeviceStats,
     crash_policy: CrashPolicy,
+    /// Crash-injection fuse: `-1` is disarmed; `n >= 0` means `n` more
+    /// `persist` calls succeed and the one after that crashes the device
+    /// *before* taking effect (its range is lost like any unsynced data).
+    armed_persists: AtomicI64,
 }
 
 impl SsdDevice {
@@ -70,8 +75,24 @@ impl SsdDevice {
             bucket,
             stats: DeviceStats::default(),
             crash_policy,
+            armed_persists: AtomicI64::new(-1),
             config,
         }
+    }
+
+    /// Arms a deterministic crash fuse: the next `n` calls to
+    /// [`PersistentDevice::persist`] succeed, and the call after that
+    /// crashes the device mid-`msync` — before the range becomes durable.
+    /// The fuse disarms itself after firing. This pins crash points to
+    /// exact protocol steps (during persist, between persist and commit)
+    /// for forensic and crash-consistency tests.
+    pub fn arm_crash_after_persists(&self, n: u64) {
+        self.armed_persists.store(n as i64, Ordering::Relaxed);
+    }
+
+    /// Disarms a previously armed persist-crash fuse.
+    pub fn disarm_crash(&self) {
+        self.armed_persists.store(-1, Ordering::Relaxed);
     }
 
     /// The device configuration.
@@ -118,6 +139,18 @@ impl PersistentDevice for SsdDevice {
     fn persist(&self, offset: u64, len: u64) -> Result<()> {
         let mut state = self.state.write();
         Self::check_alive(state.crashed)?;
+        // The fuse is read and updated under the exclusive state lock, so
+        // the atomic only provides interior mutability, not synchronization.
+        let fuse = self.armed_persists.load(Ordering::Relaxed);
+        if fuse == 0 {
+            self.armed_persists.store(-1, Ordering::Relaxed);
+            state.crashed = true;
+            state.region.crash(self.crash_policy);
+            self.stats.record_crash();
+            return Err(DeviceError::Crashed);
+        } else if fuse > 0 {
+            self.armed_persists.store(fuse - 1, Ordering::Relaxed);
+        }
         state.region.persist(offset, len)?;
         self.stats.record_persist(len);
         Ok(())
@@ -213,6 +246,39 @@ mod tests {
         let mut b = [0u8; 100];
         ssd.read_at(200, &mut b).unwrap();
         assert!(b.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn armed_fuse_crashes_the_fatal_persist_before_it_lands() {
+        let ssd = fast(4096);
+        ssd.arm_crash_after_persists(2);
+        ssd.write_at(0, &[0x11; 8]).unwrap();
+        ssd.persist(0, 8).unwrap();
+        ssd.write_at(8, &[0x22; 8]).unwrap();
+        ssd.persist(8, 8).unwrap();
+        ssd.write_at(16, &[0x33; 8]).unwrap();
+        assert_eq!(ssd.persist(16, 8), Err(DeviceError::Crashed));
+        assert!(ssd.is_crashed());
+        // The first two persists are durable; the fatal one never landed.
+        let mut buf = [0u8; 24];
+        ssd.read_durable_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[0..8], &[0x11; 8]);
+        assert_eq!(&buf[8..16], &[0x22; 8]);
+        assert_eq!(&buf[16..24], &[0u8; 8]);
+        // Fuse disarmed itself: recovery resumes normal persistence.
+        ssd.recover();
+        ssd.write_at(16, &[0x44; 8]).unwrap();
+        ssd.persist(16, 8).unwrap();
+    }
+
+    #[test]
+    fn disarm_cancels_the_fuse() {
+        let ssd = fast(64);
+        ssd.arm_crash_after_persists(0);
+        ssd.disarm_crash();
+        ssd.write_at(0, &[1]).unwrap();
+        ssd.persist(0, 1).unwrap();
+        assert!(!ssd.is_crashed());
     }
 
     #[test]

@@ -273,15 +273,24 @@ mod tests {
         assert_eq!(opt.nodes, 2);
         assert!((opt.shard_size().as_gb() - 22.5).abs() < 1e-9);
         assert!(!ModelZoo::vgg16().is_distributed());
-        assert_eq!(ModelZoo::vgg16().shard_size(), ModelZoo::vgg16().checkpoint_size);
+        assert_eq!(
+            ModelZoo::vgg16().shard_size(),
+            ModelZoo::vgg16().checkpoint_size
+        );
     }
 
     #[test]
     fn iteration_times_match_calibration_anchors() {
         // §5.2.3: VGG16 iteration time is 60 ms.
-        assert_eq!(ModelZoo::vgg16().iter_time_a100, SimDuration::from_millis(60));
+        assert_eq!(
+            ModelZoo::vgg16().iter_time_a100,
+            SimDuration::from_millis(60)
+        );
         // Fig 8d: OPT-1.3B runs at ~0.5 iters/s without checkpointing.
-        assert_eq!(ModelZoo::opt_1_3b().iter_time_a100, SimDuration::from_secs(2));
+        assert_eq!(
+            ModelZoo::opt_1_3b().iter_time_a100,
+            SimDuration::from_secs(2)
+        );
     }
 
     #[test]

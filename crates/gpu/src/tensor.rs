@@ -17,6 +17,24 @@ use pccheck_util::ByteSize;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StateDigest(pub u64);
 
+impl StateDigest {
+    /// Recomputes the digest of a serialized checkpoint payload captured at
+    /// `step`, without needing the tensor layout: [`TrainingState::digest`]
+    /// folds FNV-1a (seeded with `basis ^ step`) over the tensors' bytes in
+    /// order, which is exactly the byte stream
+    /// [`TrainingState::serialize_into`] produces. Recovery paths use this
+    /// to verify a candidate payload against its stored digest when only
+    /// the flat bytes survive the crash.
+    pub fn of_payload(payload: &[u8], step: u64) -> StateDigest {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ step;
+        for b in payload {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StateDigest(h)
+    }
+}
+
 impl fmt::Display for StateDigest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}", self.0)
@@ -287,6 +305,24 @@ mod tests {
         assert_eq!(r.digest(), s.digest());
         assert_eq!(r.step_count(), 5);
         assert_eq!(r, s);
+    }
+
+    #[test]
+    fn payload_digest_matches_state_digest() {
+        let mut s = small_state(9);
+        for _ in 0..3 {
+            s.step();
+        }
+        let mut buf = vec![0u8; s.size().as_usize()];
+        s.serialize_into(&mut buf);
+        assert_eq!(StateDigest::of_payload(&buf, s.step_count()), s.digest());
+        // Wrong step or corrupted payload must not verify.
+        assert_ne!(
+            StateDigest::of_payload(&buf, s.step_count() + 1),
+            s.digest()
+        );
+        buf[0] ^= 0xff;
+        assert_ne!(StateDigest::of_payload(&buf, s.step_count()), s.digest());
     }
 
     #[test]

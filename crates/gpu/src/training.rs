@@ -202,8 +202,8 @@ mod tests {
         use pccheck_telemetry::{EventKind, RunAccounting, Telemetry};
 
         let telemetry = Telemetry::enabled();
-        let lp = TrainingLoop::new(tiny_gpu(7), SimDuration::ZERO)
-            .with_telemetry(telemetry.clone());
+        let lp =
+            TrainingLoop::new(tiny_gpu(7), SimDuration::ZERO).with_telemetry(telemetry.clone());
         lp.run(6, &NullCheckpointer::new());
         let events = telemetry.events();
         let iters: Vec<u64> = events

@@ -1,23 +1,97 @@
 //! Runs every figure/table experiment and writes all CSVs under results/.
 fn main() -> std::io::Result<()> {
     use pccheck_harness::*;
-    macro_rules! step { ($name:expr, $body:expr) => {{ println!("== {} ==", $name); $body; }} }
+    macro_rules! step {
+        ($name:expr, $body:expr) => {{
+            println!("== {} ==", $name);
+            $body;
+        }};
+    }
     step!("table1+3", {
         let t1 = tables::table1(pccheck_util::ByteSize::from_gb(4.0), 3);
-        tables::write_table1_csv(&t1, std::fs::File::create(result_path("table1_footprint.csv"))?)?;
+        tables::write_table1_csv(
+            &t1,
+            std::fs::File::create(result_path("table1_footprint.csv"))?,
+        )?;
         tables::write_table3_csv(std::fs::File::create(result_path("table3_models.csv"))?)?;
     });
-    step!("fig1", fig1_motivation::write_csv(&fig1_motivation::run(), std::fs::File::create(result_path("fig1_motivation.csv"))?)?);
-    step!("fig2", fig2_goodput_motivation::write_csv(&fig2_goodput_motivation::run(42), std::fs::File::create(result_path("fig2_goodput_motivation.csv"))?)?);
-    step!("fig8", fig8_throughput::write_csv(&fig8_throughput::run(), std::fs::File::create(result_path("fig8_throughput.csv"))?)?);
-    step!("fig9", fig9_goodput::write_csv(&fig9_goodput::run(42), std::fs::File::create(result_path("fig9_goodput.csv"))?)?);
-    step!("fig10", fig10_pmem::write_csv(&fig10_pmem::run(), std::fs::File::create(result_path("fig10_pmem.csv"))?)?);
-    step!("fig11", fig11_persist_micro::write_csv(&fig11_persist_micro::run(), std::fs::File::create(result_path("fig11_persist_micro.csv"))?)?);
-    step!("fig12", fig12_concurrency::write_csv(&fig12_concurrency::run(), std::fs::File::create(result_path("fig12_concurrency.csv"))?)?);
-    step!("fig13", fig13_threads::write_csv(&fig13_threads::run(), std::fs::File::create(result_path("fig13_threads.csv"))?)?);
-    step!("fig14", fig14_dram::write_csv(&fig14_dram::run(), std::fs::File::create(result_path("fig14_dram.csv"))?)?);
-    step!("ext_h100", ext_h100::write_csv(&ext_h100::run(), std::fs::File::create(result_path("ext_h100.csv"))?)?);
-    step!("ext_jit", ext_jit::write_csv(&ext_jit::run(42), std::fs::File::create(result_path("ext_jit.csv"))?)?);
+    step!(
+        "fig1",
+        fig1_motivation::write_csv(
+            &fig1_motivation::run(),
+            std::fs::File::create(result_path("fig1_motivation.csv"))?
+        )?
+    );
+    step!(
+        "fig2",
+        fig2_goodput_motivation::write_csv(
+            &fig2_goodput_motivation::run(42),
+            std::fs::File::create(result_path("fig2_goodput_motivation.csv"))?
+        )?
+    );
+    step!(
+        "fig8",
+        fig8_throughput::write_csv(
+            &fig8_throughput::run(),
+            std::fs::File::create(result_path("fig8_throughput.csv"))?
+        )?
+    );
+    step!(
+        "fig9",
+        fig9_goodput::write_csv(
+            &fig9_goodput::run(42),
+            std::fs::File::create(result_path("fig9_goodput.csv"))?
+        )?
+    );
+    step!(
+        "fig10",
+        fig10_pmem::write_csv(
+            &fig10_pmem::run(),
+            std::fs::File::create(result_path("fig10_pmem.csv"))?
+        )?
+    );
+    step!(
+        "fig11",
+        fig11_persist_micro::write_csv(
+            &fig11_persist_micro::run(),
+            std::fs::File::create(result_path("fig11_persist_micro.csv"))?
+        )?
+    );
+    step!(
+        "fig12",
+        fig12_concurrency::write_csv(
+            &fig12_concurrency::run(),
+            std::fs::File::create(result_path("fig12_concurrency.csv"))?
+        )?
+    );
+    step!(
+        "fig13",
+        fig13_threads::write_csv(
+            &fig13_threads::run(),
+            std::fs::File::create(result_path("fig13_threads.csv"))?
+        )?
+    );
+    step!(
+        "fig14",
+        fig14_dram::write_csv(
+            &fig14_dram::run(),
+            std::fs::File::create(result_path("fig14_dram.csv"))?
+        )?
+    );
+    step!(
+        "ext_h100",
+        ext_h100::write_csv(
+            &ext_h100::run(),
+            std::fs::File::create(result_path("ext_h100.csv"))?
+        )?
+    );
+    step!(
+        "ext_jit",
+        ext_jit::write_csv(
+            &ext_jit::run(42),
+            std::fs::File::create(result_path("ext_jit.csv"))?
+        )?
+    );
     println!("all experiments written to results/");
     Ok(())
 }

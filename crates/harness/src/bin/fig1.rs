@@ -4,9 +4,15 @@ use pccheck_harness::{fig1_motivation, result_path};
 fn main() -> std::io::Result<()> {
     let rows = fig1_motivation::run();
     println!("Figure 1 — BLOOM-7B slowdown vs checkpoint interval (SSD/A100)");
-    println!("{:>8} {:>18} {:>16} {:>14}", "interval", "checkfreq_slowdn", "gemini_slowdn", "recovery_s");
+    println!(
+        "{:>8} {:>18} {:>16} {:>14}",
+        "interval", "checkfreq_slowdn", "gemini_slowdn", "recovery_s"
+    );
     for r in &rows {
-        println!("{:>8} {:>18.3} {:>16.3} {:>14.1}", r.interval, r.checkfreq_slowdown, r.gemini_slowdown, r.recovery_secs);
+        println!(
+            "{:>8} {:>18.3} {:>16.3} {:>14.1}",
+            r.interval, r.checkfreq_slowdown, r.gemini_slowdown, r.recovery_secs
+        );
     }
     let path = result_path("fig1_motivation.csv");
     fig1_motivation::write_csv(&rows, std::fs::File::create(&path)?)?;

@@ -4,9 +4,15 @@ use pccheck_harness::{fig10_pmem as fig10, result_path};
 fn main() -> std::io::Result<()> {
     let rows = fig10::run();
     println!("Figure 10 — BERT on PMEM (TitanRTX): slowdown vs interval");
-    println!("{:>14} {:>9} {:>12} {:>10}", "strategy", "interval", "throughput", "slowdown");
+    println!(
+        "{:>14} {:>9} {:>12} {:>10}",
+        "strategy", "interval", "throughput", "slowdown"
+    );
     for r in &rows {
-        println!("{:>14} {:>9} {:>12.4} {:>10.3}", r.strategy, r.interval, r.throughput, r.slowdown);
+        println!(
+            "{:>14} {:>9} {:>12.4} {:>10.3}",
+            r.strategy, r.interval, r.throughput, r.slowdown
+        );
     }
     let path = result_path("fig10_pmem.csv");
     fig10::write_csv(&rows, std::fs::File::create(&path)?)?;

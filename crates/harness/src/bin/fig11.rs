@@ -6,7 +6,12 @@ fn main() -> std::io::Result<()> {
     println!("Figure 11 — end-to-end time to persist one checkpoint (SSD/A100)");
     println!("{:>9} {:>14} {:>14}", "size_gb", "strategy", "persist_secs");
     for r in &rows {
-        println!("{:>9.1} {:>14} {:>14.3}", r.size.as_gb(), r.strategy, r.persist_secs);
+        println!(
+            "{:>9.1} {:>14} {:>14.3}",
+            r.size.as_gb(),
+            r.strategy,
+            r.persist_secs
+        );
     }
     let path = result_path("fig11_persist_micro.csv");
     fig11::write_csv(&rows, std::fs::File::create(&path)?)?;

@@ -4,9 +4,15 @@ use pccheck_harness::{fig14_dram as fig14, result_path};
 fn main() -> std::io::Result<()> {
     let rows = fig14::run();
     println!("Figure 14 — OPT-1.3B throughput at interval 15, varying DRAM and chunking");
-    println!("{:>12} {:>9} {:>12}", "dram_factor", "variant", "throughput");
+    println!(
+        "{:>12} {:>9} {:>12}",
+        "dram_factor", "variant", "throughput"
+    );
     for r in &rows {
-        println!("{:>12.1} {:>9} {:>12.4}", r.dram_factor, r.variant, r.throughput);
+        println!(
+            "{:>12.1} {:>9} {:>12.4}",
+            r.dram_factor, r.variant, r.throughput
+        );
     }
     let path = result_path("fig14_dram.csv");
     fig14::write_csv(&rows, std::fs::File::create(&path)?)?;

@@ -4,14 +4,22 @@ use pccheck_harness::{fig2_goodput_motivation as fig2, result_path};
 fn main() -> std::io::Result<()> {
     let rows = fig2::run(42);
     println!("Figure 2 — BLOOM-7B goodput vs checkpoint interval (spot trace)");
-    println!("{:>10} {:>14} {:>12} {:>10}", "strategy", "interval", "goodput", "rollbacks");
+    println!(
+        "{:>10} {:>14} {:>12} {:>10}",
+        "strategy", "interval", "goodput", "rollbacks"
+    );
     for r in &rows {
-        println!("{:>10} {:>14} {:>12.5} {:>10}", r.strategy, r.interval, r.goodput, r.rollbacks);
+        println!(
+            "{:>10} {:>14} {:>12.5} {:>10}",
+            r.strategy, r.interval, r.goodput, r.rollbacks
+        );
     }
-    println!("peak/ideal: checkfreq={:.2} gemini={:.2} pccheck={:.2}",
+    println!(
+        "peak/ideal: checkfreq={:.2} gemini={:.2} pccheck={:.2}",
         fig2::peak_fraction_of_ideal(&rows, "checkfreq"),
         fig2::peak_fraction_of_ideal(&rows, "gemini"),
-        fig2::peak_fraction_of_ideal(&rows, "pccheck"));
+        fig2::peak_fraction_of_ideal(&rows, "pccheck")
+    );
     let path = result_path("fig2_goodput_motivation.csv");
     fig2::write_csv(&rows, std::fs::File::create(&path)?)?;
     println!("wrote {}", path.display());

@@ -4,9 +4,15 @@ use pccheck_harness::{fig8_throughput as fig8, result_path};
 fn main() -> std::io::Result<()> {
     let rows = fig8::run();
     println!("Figure 8 — training throughput (iters/s) with checkpointing on SSD/A100");
-    println!("{:>14} {:>14} {:>9} {:>12} {:>10}", "model", "strategy", "interval", "throughput", "slowdown");
+    println!(
+        "{:>14} {:>14} {:>9} {:>12} {:>10}",
+        "model", "strategy", "interval", "throughput", "slowdown"
+    );
     for r in &rows {
-        println!("{:>14} {:>14} {:>9} {:>12.4} {:>10.3}", r.model, r.strategy, r.interval, r.throughput, r.slowdown);
+        println!(
+            "{:>14} {:>14} {:>9} {:>12.4} {:>10.3}",
+            r.model, r.strategy, r.interval, r.throughput, r.slowdown
+        );
     }
     let path = result_path("fig8_throughput.csv");
     fig8::write_csv(&rows, std::fs::File::create(&path)?)?;

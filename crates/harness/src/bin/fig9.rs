@@ -4,9 +4,15 @@ use pccheck_harness::{fig9_goodput as fig9, result_path};
 fn main() -> std::io::Result<()> {
     let rows = fig9::run(42);
     println!("Figure 9 — goodput (iters/s) on the spot preemption trace");
-    println!("{:>14} {:>14} {:>9} {:>12} {:>10}", "model", "strategy", "interval", "goodput", "rollbacks");
+    println!(
+        "{:>14} {:>14} {:>9} {:>12} {:>10}",
+        "model", "strategy", "interval", "goodput", "rollbacks"
+    );
     for r in &rows {
-        println!("{:>14} {:>14} {:>9} {:>12.5} {:>10}", r.model, r.strategy, r.interval, r.goodput, r.rollbacks);
+        println!(
+            "{:>14} {:>14} {:>9} {:>12.5} {:>10}",
+            r.model, r.strategy, r.interval, r.goodput, r.rollbacks
+        );
     }
     let path = result_path("fig9_goodput.csv");
     fig9::write_csv(&rows, std::fs::File::create(&path)?)?;

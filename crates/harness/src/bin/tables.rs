@@ -6,17 +6,34 @@ fn main() -> std::io::Result<()> {
     let m = ByteSize::from_gb(4.0);
     let t1 = tables::table1(m, 3);
     println!("Table 1 — memory footprint for m = {m}, N = 3");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "algorithm", "gpu", "dram_min", "dram_max", "storage");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "algorithm", "gpu", "dram_min", "dram_max", "storage"
+    );
     for r in &t1 {
-        println!("{:>10} {:>12} {:>12} {:>12} {:>12}",
-            r.algorithm, r.footprint.gpu.to_string(), r.footprint.dram_min.to_string(),
-            r.footprint.dram_max.to_string(), r.footprint.storage.to_string());
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12}",
+            r.algorithm,
+            r.footprint.gpu.to_string(),
+            r.footprint.dram_min.to_string(),
+            r.footprint.dram_max.to_string(),
+            r.footprint.storage.to_string()
+        );
     }
-    tables::write_table1_csv(&t1, std::fs::File::create(result_path("table1_footprint.csv"))?)?;
+    tables::write_table1_csv(
+        &t1,
+        std::fs::File::create(result_path("table1_footprint.csv"))?,
+    )?;
     println!("\nTable 3 — evaluated models");
     for mspec in tables::table3() {
-        println!("{:>14} {:>10} batch_a100={:<3} ckpt={:>6.1} GB nodes={}",
-            mspec.name, mspec.dataset, mspec.batch_a100, mspec.checkpoint_size.as_gb(), mspec.nodes);
+        println!(
+            "{:>14} {:>10} batch_a100={:<3} ckpt={:>6.1} GB nodes={}",
+            mspec.name,
+            mspec.dataset,
+            mspec.batch_a100,
+            mspec.checkpoint_size.as_gb(),
+            mspec.nodes
+        );
     }
     tables::write_table3_csv(std::fs::File::create(result_path("table3_models.csv"))?)?;
     println!("wrote results/table1_footprint.csv, results/table3_models.csv");

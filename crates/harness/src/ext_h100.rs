@@ -27,7 +27,10 @@ pub fn run() -> Vec<SweepRow> {
         let iters = iterations_for(interval);
         for (testbed, make) in [
             ("A100-ssd", SimConfig::ssd_a100 as fn(_, _, _) -> SimConfig),
-            ("H100-nvme", SimConfig::nvme_h100 as fn(_, _, _) -> SimConfig),
+            (
+                "H100-nvme",
+                SimConfig::nvme_h100 as fn(_, _, _) -> SimConfig,
+            ),
         ] {
             let ideal = make(&model, interval, iters)
                 .with_strategy(StrategyCfg::Ideal)
@@ -56,7 +59,14 @@ pub fn run() -> Vec<SweepRow> {
 pub fn write_csv<W: std::io::Write>(rows: &[SweepRow], out: W) -> std::io::Result<()> {
     let mut w = CsvWriter::new(
         out,
-        &["testbed", "strategy", "interval", "throughput", "slowdown", "write_time_secs"],
+        &[
+            "testbed",
+            "strategy",
+            "interval",
+            "throughput",
+            "slowdown",
+            "write_time_secs",
+        ],
     );
     for r in rows {
         w.row(&[
@@ -75,7 +85,12 @@ pub fn write_csv<W: std::io::Write>(rows: &[SweepRow], out: W) -> std::io::Resul
 mod tests {
     use super::*;
 
-    fn pick<'a>(rows: &'a [SweepRow], testbed: &str, strategy: &str, interval: u64) -> &'a SweepRow {
+    fn pick<'a>(
+        rows: &'a [SweepRow],
+        testbed: &str,
+        strategy: &str,
+        interval: u64,
+    ) -> &'a SweepRow {
         rows.iter()
             .find(|r| {
                 r.model.ends_with(testbed)

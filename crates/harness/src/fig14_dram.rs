@@ -125,10 +125,7 @@ mod tests {
         let at_m = throughput(&rows, 1.0, "p4");
         let at_2m = throughput(&rows, 2.0, "p4");
         let overhead = at_2m / at_m;
-        assert!(
-            overhead < 1.12,
-            "m vs 2m should cost <~10%, got {overhead}"
-        );
+        assert!(overhead < 1.12, "m vs 2m should cost <~10%, got {overhead}");
         assert!(overhead >= 0.99, "more DRAM should not hurt: {overhead}");
     }
 

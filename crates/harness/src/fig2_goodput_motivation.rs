@@ -33,7 +33,14 @@ pub fn run(seed: u64) -> Vec<GoodputRow> {
 pub fn write_csv<W: std::io::Write>(rows: &[GoodputRow], out: W) -> std::io::Result<()> {
     let mut w = CsvWriter::new(
         out,
-        &["model", "strategy", "interval", "goodput", "rollbacks", "avg_lost_iters"],
+        &[
+            "model",
+            "strategy",
+            "interval",
+            "goodput",
+            "rollbacks",
+            "avg_lost_iters",
+        ],
     );
     for r in rows {
         w.row(&[

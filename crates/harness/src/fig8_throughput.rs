@@ -47,7 +47,14 @@ pub fn run_model(name: &str) -> Vec<SweepRow> {
 pub fn write_csv<W: std::io::Write>(rows: &[SweepRow], out: W) -> std::io::Result<()> {
     let mut w = CsvWriter::new(
         out,
-        &["model", "strategy", "interval", "throughput", "slowdown", "write_time_secs"],
+        &[
+            "model",
+            "strategy",
+            "interval",
+            "throughput",
+            "slowdown",
+            "write_time_secs",
+        ],
     );
     for r in rows {
         w.row(&[
@@ -99,7 +106,10 @@ mod tests {
         let cf = slowdown(&rows, "checkfreq", 10);
         let gpm = slowdown(&rows, "gpm", 10);
         assert!(pc < 1.15, "pccheck@10 {pc}");
-        assert!((1.5..=2.5).contains(&cf), "checkfreq@10 {cf} (paper ~1.95x)");
+        assert!(
+            (1.5..=2.5).contains(&cf),
+            "checkfreq@10 {cf} (paper ~1.95x)"
+        );
         assert!(gpm > cf, "gpm@10 {gpm} should exceed checkfreq {cf}");
         // And everyone converges by interval 50+ except GPM's stall.
         let pc50 = slowdown(&rows, "pccheck", 50);

@@ -32,7 +32,14 @@ pub fn run_model(model: &ModelSpec, trace: &PreemptionTrace) -> Vec<GoodputRow> 
 pub fn write_csv<W: std::io::Write>(rows: &[GoodputRow], out: W) -> std::io::Result<()> {
     let mut w = CsvWriter::new(
         out,
-        &["model", "strategy", "interval", "goodput", "rollbacks", "avg_lost_iters"],
+        &[
+            "model",
+            "strategy",
+            "interval",
+            "goodput",
+            "rollbacks",
+            "avg_lost_iters",
+        ],
     );
     for r in rows {
         w.row(&[
@@ -93,10 +100,7 @@ mod tests {
         // CheckFreq on VGG16 lies strictly inside the sweep.
         let trace = PreemptionTrace::synthetic_gcp_a100(2);
         let rows = run_model(&ModelZoo::vgg16(), &trace);
-        let cf: Vec<_> = rows
-            .iter()
-            .filter(|r| r.strategy == "checkfreq")
-            .collect();
+        let cf: Vec<_> = rows.iter().filter(|r| r.strategy == "checkfreq").collect();
         let best = cf
             .iter()
             .max_by(|a, b| a.goodput.partial_cmp(&b.goodput).expect("finite"))

@@ -8,15 +8,16 @@
 
 pub mod ext_h100;
 pub mod ext_jit;
-pub mod fig1_motivation;
-pub mod fig2_goodput_motivation;
-pub mod fig8_throughput;
-pub mod fig9_goodput;
 pub mod fig10_pmem;
 pub mod fig11_persist_micro;
 pub mod fig12_concurrency;
 pub mod fig13_threads;
 pub mod fig14_dram;
+pub mod fig1_motivation;
+pub mod fig2_goodput_motivation;
+pub mod fig8_throughput;
+pub mod fig9_goodput;
+pub mod forensics_run;
 pub mod sweep;
 pub mod tables;
 pub mod telemetry_run;

@@ -172,6 +172,10 @@ mod tests {
     fn load_time_is_checkpoint_over_bandwidth() {
         // 16.2 GB read back at the raw device rate (1.5 GB/s) ≈ 10.8 s.
         let lt = load_time(&ModelZoo::opt_1_3b());
-        assert!((lt.as_secs_f64() - 10.8).abs() < 0.2, "got {}", lt.as_secs_f64());
+        assert!(
+            (lt.as_secs_f64() - 10.8).abs() < 0.2,
+            "got {}",
+            lt.as_secs_f64()
+        );
     }
 }

@@ -65,7 +65,14 @@ pub fn write_table1_csv<W: std::io::Write>(rows: &[Table1Row], out: W) -> std::i
 pub fn write_table3_csv<W: std::io::Write>(out: W) -> std::io::Result<()> {
     let mut w = CsvWriter::new(
         out,
-        &["model", "dataset", "batch_a100", "batch_rtx", "checkpoint_gb", "nodes"],
+        &[
+            "model",
+            "dataset",
+            "batch_a100",
+            "batch_rtx",
+            "checkpoint_gb",
+            "nodes",
+        ],
     );
     for m in table3() {
         let rtx = m
@@ -114,7 +121,14 @@ mod tests {
         let mut buf = Vec::new();
         write_table3_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        for name in ["VGG16", "BERT", "TransformerXL", "OPT-1.3B", "OPT-2.7B", "BLOOM-7B"] {
+        for name in [
+            "VGG16",
+            "BERT",
+            "TransformerXL",
+            "OPT-1.3B",
+            "OPT-2.7B",
+            "BLOOM-7B",
+        ] {
             assert!(text.contains(name), "missing {name}");
         }
         assert!(text.contains("108.0"), "BLOOM checkpoint size present");

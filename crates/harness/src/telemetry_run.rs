@@ -14,9 +14,7 @@ use pccheck::{CheckpointStore, PcCheckConfig, PcCheckEngine, PccheckError};
 use pccheck_baselines::{
     CheckFreqCheckpointer, GeminiCheckpointer, GpmCheckpointer, TraditionalCheckpointer,
 };
-use pccheck_device::{
-    DeviceConfig, NetworkConfig, NetworkLink, PersistentDevice, SsdDevice,
-};
+use pccheck_device::{DeviceConfig, NetworkConfig, NetworkLink, PersistentDevice, SsdDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingLoop, TrainingReport, TrainingState};
 use pccheck_telemetry::{RunAccounting, Telemetry, TelemetrySnapshot};
 use pccheck_util::{ByteSize, SimDuration};
@@ -96,8 +94,7 @@ fn build_checkpointer(
                 .with_telemetry(telemetry.clone()),
         )),
         "checkfreq" => Ok(Box::new(
-            CheckFreqCheckpointer::new(ssd_for(state, 2), state)?
-                .with_telemetry(telemetry.clone()),
+            CheckFreqCheckpointer::new(ssd_for(state, 2), state)?.with_telemetry(telemetry.clone()),
         )),
         "gpm" => Ok(Box::new(
             GpmCheckpointer::new(ssd_for(state, 2), state)?.with_telemetry(telemetry.clone()),

@@ -96,7 +96,10 @@ impl UpdateMagnitudeDetector {
                 return None;
             }
             Some(prev) => {
-                assert!(iteration > prev, "iterations must increase: {prev} -> {iteration}");
+                assert!(
+                    iteration > prev,
+                    "iterations must increase: {prev} -> {iteration}"
+                );
                 iteration - prev
             }
         };
@@ -105,8 +108,7 @@ impl UpdateMagnitudeDetector {
 
         let report = if self.history.len() >= self.window {
             let start = self.history.len() - self.window;
-            let mean: f64 =
-                self.history[start..].iter().sum::<f64>() / self.window as f64;
+            let mean: f64 = self.history[start..].iter().sum::<f64>() / self.window as f64;
             let anomalous = if mean == 0.0 {
                 magnitude > 0.0
             } else {

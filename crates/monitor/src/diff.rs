@@ -49,7 +49,11 @@ impl DiffReport {
 pub fn diff(a: &[u8], b: &[u8], layout: &StateLayout) -> DiffReport {
     assert_eq!(a.len(), b.len(), "payloads must be the same size");
     let layout_total: u64 = layout.iter().map(|(_, s)| s.as_u64()).sum();
-    assert_eq!(a.len() as u64, layout_total, "layout must cover the payload");
+    assert_eq!(
+        a.len() as u64,
+        layout_total,
+        "layout must cover the payload"
+    );
 
     let mut per_tensor = Vec::with_capacity(layout.len());
     let mut changed_total = 0u64;
@@ -62,7 +66,11 @@ pub fn diff(a: &[u8], b: &[u8], layout: &StateLayout) -> DiffReport {
             .filter(|(x, y)| x != y)
             .count() as u64;
         changed_total += changed;
-        let fraction = if n == 0 { 0.0 } else { changed as f64 / n as f64 };
+        let fraction = if n == 0 {
+            0.0
+        } else {
+            changed as f64 / n as f64
+        };
         per_tensor.push((name.clone(), fraction));
         off += n;
     }

@@ -1,0 +1,650 @@
+//! Post-crash forensic auditor: replay the flight ring against the
+//! on-device checkpoint metadata and reconstruct the commit state machine.
+//!
+//! After a crash the durable bytes hold two independent narratives of the
+//! same run: the slot/`CHECK_ADDR` metadata (what the store *is*) and the
+//! flight ring (what the protocol was *doing*). [`audit`] cross-examines
+//! them. Per checkpoint counter it assigns a [`CheckpointVerdict`] —
+//! committed, in flight at some phase, superseded, failed — and it checks
+//! the invariants the commit protocol of Listing 1 promises:
+//!
+//! 1. **Commit counters strictly monotone** — the durable `CHECK_ADDR`
+//!    only ever advances.
+//! 2. **Bounded concurrency** — never more than `slots − 1` checkpoints
+//!    between `Begin` and a terminal event (one slot always holds the
+//!    latest committed state).
+//! 3. **Commit preceded by persist** — a `Commit` record requires the
+//!    checkpoint's `MetaPersisted` barrier earlier in the ring.
+//! 4. **Recovery restores the newest commit** — the checkpoint the store
+//!    would recover has a counter ≥ every `Commit` the ring witnessed
+//!    (`CHECK_ADDR` persists *before* the ring's `Commit` record, so the
+//!    ring can never be ahead of the durable pointer).
+//! 5. **Committed slots are intact** — the payload of every slot holding
+//!    a complete checkpoint verifies against its recorded digest.
+//!
+//! A report that violates any invariant means either real corruption or a
+//! bug in the checkpointing protocol — `pccheckctl forensics` exits
+//! nonzero on it, and CI runs it on a crash-injected store.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use pccheck::{PccheckError, RawStoreView};
+use pccheck_device::PersistentDevice;
+use pccheck_gpu::StateDigest;
+use pccheck_telemetry::{FlightEventKind, FlightRecord, FlightRing};
+
+/// How far an in-flight (never terminated) checkpoint got before the
+/// crash, per the flight ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InFlightPhase {
+    /// `Begin` only: slot leased, payload not yet copied off the GPU.
+    Begun,
+    /// GPU→DRAM copy finished, payload not yet durable.
+    Copied,
+    /// Payload durable, metadata barrier not yet taken.
+    Persisted,
+    /// Metadata barrier durable — one CAS away from commitment.
+    MetaPersisted,
+}
+
+impl InFlightPhase {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            InFlightPhase::Begun => "begun",
+            InFlightPhase::Copied => "copied",
+            InFlightPhase::Persisted => "persisted",
+            InFlightPhase::MetaPersisted => "meta_persisted",
+        }
+    }
+}
+
+/// The auditor's classification of one checkpoint counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointVerdict {
+    /// The checkpoint became the durably published state at some point.
+    Committed {
+        /// Training iteration it captured.
+        iteration: u64,
+        /// Slot it occupied.
+        slot: u32,
+        /// Whether its slot still holds this checkpoint with a payload
+        /// that verifies (older commits are legitimately recycled —
+        /// `payload_valid: false` alone is not a violation unless this is
+        /// the expected recovery target).
+        payload_valid: bool,
+    },
+    /// The crash caught this checkpoint mid-protocol.
+    InFlight {
+        /// The furthest phase the ring witnessed.
+        phase: InFlightPhase,
+        /// Slot it was writing into.
+        slot: u32,
+    },
+    /// A newer checkpoint won the commit race.
+    Superseded {
+        /// Counter of the winner.
+        by: u64,
+    },
+    /// The checkpoint failed (device error / crash injection) and the run
+    /// knew it.
+    Failed,
+}
+
+/// An invariant broken by the reconstructed history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Commit records were not strictly increasing in counter.
+    CommitNotMonotone {
+        /// The earlier committed counter.
+        prev: u64,
+        /// The offending later commit.
+        next: u64,
+    },
+    /// More concurrent in-protocol checkpoints than slots allow.
+    ConcurrencyExceeded {
+        /// Peak concurrent checkpoints observed.
+        observed: usize,
+        /// Allowed maximum (`slots − 1`).
+        limit: usize,
+    },
+    /// A `Commit` record with no earlier `MetaPersisted` barrier for the
+    /// same counter (only flagged when the ring still holds the
+    /// checkpoint's `Begin`, i.e. the window wasn't lost to wrap).
+    CommitWithoutPersist {
+        /// The offending counter.
+        counter: u64,
+    },
+    /// The checkpoint recovery would restore is older than a commit the
+    /// ring witnessed as durable.
+    RecoveredNotNewest {
+        /// Counter recovery would restore (0 = nothing recoverable).
+        recovered: u64,
+        /// Newest committed counter per the ring.
+        newest: u64,
+    },
+    /// The expected recovery target's payload fails digest verification.
+    TornCommittedSlot {
+        /// Slot of the torn checkpoint.
+        slot: u32,
+        /// Its counter.
+        counter: u64,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::CommitNotMonotone { prev, next } => {
+                write!(
+                    f,
+                    "commit counters not monotone: {next} committed after {prev}"
+                )
+            }
+            InvariantViolation::ConcurrencyExceeded { observed, limit } => {
+                write!(
+                    f,
+                    "{observed} concurrent checkpoints exceed the limit of {limit}"
+                )
+            }
+            InvariantViolation::CommitWithoutPersist { counter } => {
+                write!(
+                    f,
+                    "checkpoint {counter} committed without a persisted metadata barrier"
+                )
+            }
+            InvariantViolation::RecoveredNotNewest { recovered, newest } => {
+                write!(
+                    f,
+                    "recovery restores counter {recovered} but the ring saw counter {newest} commit"
+                )
+            }
+            InvariantViolation::TornCommittedSlot { slot, counter } => {
+                write!(
+                    f,
+                    "committed checkpoint {counter} in slot {slot} fails digest verification"
+                )
+            }
+        }
+    }
+}
+
+/// The auditor's full report.
+#[derive(Debug, Clone)]
+pub struct ForensicReport {
+    /// Verdict per checkpoint counter the ring still holds evidence for.
+    pub checkpoints: BTreeMap<u64, CheckpointVerdict>,
+    /// Invariant violations (empty = the crash is clean).
+    pub violations: Vec<InvariantViolation>,
+    /// The checkpoint recovery would restore from the durable metadata.
+    pub expected_recovery: Option<pccheck::CheckMeta>,
+    /// Flight records replayed (seq-ordered survivors).
+    pub ring_records: usize,
+    /// Ring cells that held data but failed checksum validation (at most
+    /// the torn tail under normal operation).
+    pub torn_ring_cells: u32,
+    /// Whether the ring wrapped (history is a suffix of the run).
+    pub ring_wrapped: bool,
+    /// Peak concurrent in-protocol checkpoints observed in the ring.
+    pub peak_concurrency: usize,
+    /// `slots − 1`: the store's concurrency bound.
+    pub concurrency_limit: usize,
+}
+
+impl ForensicReport {
+    /// `true` when no invariant is violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Counters the crash caught mid-protocol.
+    pub fn in_flight(&self) -> Vec<u64> {
+        self.checkpoints
+            .iter()
+            .filter(|(_, v)| matches!(v, CheckpointVerdict::InFlight { .. }))
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Human-readable rendering (the `pccheckctl forensics` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "forensic audit");
+        let _ = writeln!(
+            out,
+            "  flight ring: {} records ({} torn cell(s){})",
+            self.ring_records,
+            self.torn_ring_cells,
+            if self.ring_wrapped { ", wrapped" } else { "" }
+        );
+        match &self.expected_recovery {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "  expected recovery: counter {} (iteration {}, slot {}, {} B)",
+                    m.counter, m.iteration, m.slot, m.payload_len
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  expected recovery: none (no committed checkpoint)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  peak concurrency: {} (limit {})",
+            self.peak_concurrency, self.concurrency_limit
+        );
+        let _ = writeln!(out, "  checkpoints:");
+        for (counter, verdict) in &self.checkpoints {
+            let line = match verdict {
+                CheckpointVerdict::Committed {
+                    iteration,
+                    slot,
+                    payload_valid,
+                } => format!(
+                    "committed   iter {iteration:<6} slot {slot} payload {}",
+                    if *payload_valid {
+                        "valid"
+                    } else {
+                        "recycled/torn"
+                    }
+                ),
+                CheckpointVerdict::InFlight { phase, slot } => {
+                    format!("IN-FLIGHT   phase {:<14} slot {slot}", phase.name())
+                }
+                CheckpointVerdict::Superseded { by } => format!("superseded  by counter {by}"),
+                CheckpointVerdict::Failed => "failed".to_string(),
+            };
+            let _ = writeln!(out, "    #{counter:<5} {line}");
+        }
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "  verdict: CLEAN — all invariants hold");
+        } else {
+            let _ = writeln!(out, "  verdict: {} VIOLATION(S)", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "    ! {v}");
+            }
+        }
+        out
+    }
+}
+
+/// Audits a crashed (or live) store on `device`: loads the durable
+/// metadata view, scans the flight ring (when the store has one), and
+/// cross-checks the two. Works while the device is crashed — only durable
+/// reads are issued, nothing is mutated.
+///
+/// Stores formatted without a flight ring still get the metadata-only
+/// checks (payload digest verification of the recovery target).
+///
+/// # Errors
+///
+/// Returns [`PccheckError::InvalidConfig`] if the device holds no PCcheck
+/// store; propagates device read errors.
+pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, PccheckError> {
+    let view = RawStoreView::load(device.as_ref())?;
+    let expected_recovery = view.expected_recovery();
+    let concurrency_limit = (view.slots as usize).saturating_sub(1);
+
+    let (records, torn, wrapped) = if view.flight_records > 0 {
+        match FlightRing::scan(device.as_ref(), view.flight_base()) {
+            Ok(scan) => {
+                let wrapped = scan.wrapped();
+                (scan.records, scan.torn_cells, wrapped)
+            }
+            // A torn ring header: report it as one torn cell and fall back
+            // to metadata-only auditing rather than failing the audit.
+            Err(_) => (Vec::new(), 1, false),
+        }
+    } else {
+        (Vec::new(), 0, false)
+    };
+
+    let mut checkpoints: BTreeMap<u64, CheckpointVerdict> = BTreeMap::new();
+    let mut violations: Vec<InvariantViolation> = Vec::new();
+
+    // --- Replay the ring in sequence order. ---------------------------
+    // Track per-counter progress and the set of checkpoints currently
+    // between Begin and a terminal event.
+    let mut last_commit: Option<u64> = None;
+    let mut newest_ring_commit: u64 = 0;
+    let mut active: BTreeMap<u64, (InFlightPhase, u32)> = BTreeMap::new();
+    let mut peak = 0usize;
+    let mut meta_persisted: Vec<u64> = Vec::new();
+
+    for rec in &records {
+        match rec.kind {
+            FlightEventKind::RunStart
+            | FlightEventKind::RecoveryStart
+            | FlightEventKind::RecoveryDone => {}
+            FlightEventKind::Begin => {
+                active.insert(rec.counter, (InFlightPhase::Begun, rec.slot));
+                peak = peak.max(active.len());
+            }
+            FlightEventKind::CopyDone => {
+                bump_phase(&mut active, rec, InFlightPhase::Copied);
+            }
+            FlightEventKind::PayloadPersisted => {
+                bump_phase(&mut active, rec, InFlightPhase::Persisted);
+            }
+            FlightEventKind::MetaPersisted => {
+                bump_phase(&mut active, rec, InFlightPhase::MetaPersisted);
+                meta_persisted.push(rec.counter);
+            }
+            FlightEventKind::Commit => {
+                if let Some(prev) = last_commit {
+                    if rec.counter <= prev {
+                        violations.push(InvariantViolation::CommitNotMonotone {
+                            prev,
+                            next: rec.counter,
+                        });
+                    }
+                }
+                last_commit = Some(rec.counter);
+                newest_ring_commit = newest_ring_commit.max(rec.counter);
+                // Invariant 3: the barrier must precede the commit. Only
+                // judgeable when the ring still holds the checkpoint's
+                // window (its Begin wasn't lost to wrap).
+                let window_complete = active.contains_key(&rec.counter);
+                if window_complete && !meta_persisted.contains(&rec.counter) {
+                    violations.push(InvariantViolation::CommitWithoutPersist {
+                        counter: rec.counter,
+                    });
+                }
+                let slot = active
+                    .remove(&rec.counter)
+                    .map(|(_, s)| s)
+                    .unwrap_or(rec.slot);
+                checkpoints.insert(
+                    rec.counter,
+                    CheckpointVerdict::Committed {
+                        iteration: rec.iteration,
+                        slot,
+                        payload_valid: false, // filled in below
+                    },
+                );
+            }
+            FlightEventKind::Superseded => {
+                active.remove(&rec.counter);
+                checkpoints.insert(rec.counter, CheckpointVerdict::Superseded { by: rec.aux });
+            }
+            FlightEventKind::Failed => {
+                active.remove(&rec.counter);
+                checkpoints.insert(rec.counter, CheckpointVerdict::Failed);
+            }
+        }
+    }
+
+    // Whatever is still active was in flight at the crash.
+    for (counter, (phase, slot)) in &active {
+        checkpoints.insert(
+            *counter,
+            CheckpointVerdict::InFlight {
+                phase: *phase,
+                slot: *slot,
+            },
+        );
+    }
+
+    if peak > concurrency_limit && concurrency_limit > 0 {
+        violations.push(InvariantViolation::ConcurrencyExceeded {
+            observed: peak,
+            limit: concurrency_limit,
+        });
+    }
+
+    // --- Cross-check the ring against the durable metadata. -----------
+    // Invariant 4: CHECK_ADDR persists before the ring's Commit record,
+    // so recovery can never restore something older than a ring commit.
+    if newest_ring_commit > 0 {
+        let recovered = expected_recovery.map_or(0, |m| m.counter);
+        if recovered < newest_ring_commit {
+            violations.push(InvariantViolation::RecoveredNotNewest {
+                recovered,
+                newest: newest_ring_commit,
+            });
+        }
+    }
+
+    // Invariant 5 + payload_valid: verify slot payloads against digests.
+    for slot in 0..view.slots {
+        let Some(meta) = view.slot_meta[slot as usize] else {
+            continue;
+        };
+        let payload = view.read_slot_payload(device.as_ref(), slot)?;
+        let valid = StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
+            || pccheck_raw_checksum(&payload) == meta.digest;
+        if let Some(CheckpointVerdict::Committed { payload_valid, .. }) =
+            checkpoints.get_mut(&meta.counter)
+        {
+            *payload_valid = valid;
+        } else if !checkpoints.contains_key(&meta.counter) && view.flight_records == 0 {
+            // Ring-less store: synthesize verdicts from metadata alone.
+            checkpoints.insert(
+                meta.counter,
+                CheckpointVerdict::Committed {
+                    iteration: meta.iteration,
+                    slot,
+                    payload_valid: valid,
+                },
+            );
+        }
+        if !valid && expected_recovery.map_or(false, |m| m.counter == meta.counter) {
+            violations.push(InvariantViolation::TornCommittedSlot {
+                slot,
+                counter: meta.counter,
+            });
+        }
+    }
+
+    Ok(ForensicReport {
+        checkpoints,
+        violations,
+        expected_recovery,
+        ring_records: records.len(),
+        torn_ring_cells: torn,
+        ring_wrapped: wrapped,
+        peak_concurrency: peak,
+        concurrency_limit,
+    })
+}
+
+/// Advances a counter's in-flight phase monotonically (records can only
+/// move a checkpoint forward).
+fn bump_phase(
+    active: &mut BTreeMap<u64, (InFlightPhase, u32)>,
+    rec: &FlightRecord,
+    to: InFlightPhase,
+) {
+    if let Some((phase, _)) = active.get_mut(&rec.counter) {
+        if to > *phase {
+            *phase = to;
+        }
+    }
+}
+
+/// FNV-1a over raw payload bytes — the same checksum `pccheck::meta` uses
+/// for opaque (non-training-state) payload digests.
+fn pccheck_raw_checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck::{CheckpointStore, CommitOutcome};
+    use pccheck_device::{DeviceConfig, SsdDevice};
+    use pccheck_telemetry::FlightEventKind as K;
+    use pccheck_util::ByteSize;
+
+    fn flight_store(slots: u32, ring: u32) -> (Arc<dyn PersistentDevice>, CheckpointStore) {
+        let cap =
+            CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(64), slots, ring);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format_with_flight(
+            Arc::clone(&dev),
+            ByteSize::from_bytes(64),
+            slots,
+            ring,
+        )
+        .unwrap();
+        (dev, st)
+    }
+
+    fn commit_one(st: &CheckpointStore, iter: u64, payload: &[u8]) {
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let digest = pccheck_raw_checksum(payload);
+        assert_eq!(
+            st.commit(lease, iter, payload.len() as u64, digest)
+                .unwrap(),
+            CommitOutcome::Committed
+        );
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let (dev, st) = flight_store(3, 64);
+        for i in 1..=4 {
+            commit_one(&st, i, format!("p{i}").as_bytes());
+        }
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.expected_recovery.unwrap().iteration, 4);
+        assert!(report.in_flight().is_empty());
+        assert_eq!(report.checkpoints.len(), 4);
+        assert!(matches!(
+            report.checkpoints[&4],
+            CheckpointVerdict::Committed {
+                payload_valid: true,
+                ..
+            }
+        ));
+        assert!(report.render().contains("CLEAN"));
+    }
+
+    #[test]
+    fn in_flight_checkpoint_classified_by_phase() {
+        let (dev, st) = flight_store(3, 64);
+        commit_one(&st, 1, b"one");
+        // Crash between persist and commit: payload + flight records up to
+        // PayloadPersisted, no metadata barrier.
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, b"two").unwrap();
+        st.persist_payload(&lease, 0, 3).unwrap();
+        st.flight()
+            .record(K::CopyDone, lease.counter, lease.slot, 0, 3, 0);
+        st.flight()
+            .record(K::PayloadPersisted, lease.counter, lease.slot, 2, 3, 0);
+        let counter = lease.counter;
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.in_flight(), vec![counter]);
+        assert_eq!(
+            report.checkpoints[&counter],
+            CheckpointVerdict::InFlight {
+                phase: InFlightPhase::Persisted,
+                slot: 1,
+            }
+        );
+        // Recovery still lands on checkpoint 1.
+        assert_eq!(report.expected_recovery.unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn fabricated_commit_without_barrier_is_flagged() {
+        let (dev, st) = flight_store(3, 64);
+        commit_one(&st, 1, b"one");
+        // Fabricate a protocol bug: a Commit record for a checkpoint that
+        // never took the metadata barrier.
+        let lease = st.begin_checkpoint();
+        st.flight()
+            .record(K::Commit, lease.counter, lease.slot, 9, 3, 0);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::CommitWithoutPersist { .. })));
+        // And the durable CHECK_ADDR never advanced to it:
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::RecoveredNotNewest { .. })));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn torn_recovery_target_is_flagged() {
+        let (dev, st) = flight_store(3, 64);
+        commit_one(&st, 1, b"one");
+        // Corrupt the committed payload behind the store's back.
+        let meta = st.latest_committed().unwrap();
+        let off = st.slot_payload_offset(meta.slot);
+        dev.write_at(off, b"WRONG").unwrap();
+        dev.persist(off, 5).unwrap();
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::TornCommittedSlot { counter: 1, .. })));
+    }
+
+    #[test]
+    fn ringless_store_still_audits_metadata() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+        commit_one(&st, 1, b"one");
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.ring_records, 0);
+        assert_eq!(report.checkpoints.len(), 1);
+        assert!(matches!(
+            report.checkpoints[&1],
+            CheckpointVerdict::Committed {
+                payload_valid: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_monotone_commits_flagged() {
+        let (dev, st) = flight_store(4, 64);
+        commit_one(&st, 1, b"a");
+        commit_one(&st, 2, b"b");
+        // Fabricate an out-of-order Commit record (protocol would never
+        // write this thanks to the check_addr_io lock).
+        st.flight().record(K::MetaPersisted, 1, 0, 1, 1, 0);
+        st.flight().record(K::Commit, 1, 0, 1, 1, 0);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            InvariantViolation::CommitNotMonotone { prev: 2, next: 1 }
+        )));
+    }
+
+    #[test]
+    fn audit_rejects_unformatted_device() {
+        let dev: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(
+            DeviceConfig::fast_for_tests(ByteSize::from_kb(4)),
+        ));
+        assert!(audit(dev).is_err());
+    }
+}

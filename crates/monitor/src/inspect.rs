@@ -119,10 +119,7 @@ mod tests {
             engine.checkpoint(&gpu, iter);
             engine.drain();
         }
-        (
-            CheckpointInspector::new(Arc::clone(engine.store())),
-            gpu,
-        )
+        (CheckpointInspector::new(Arc::clone(engine.store())), gpu)
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`detector`] — an update-magnitude anomaly detector: flags checkpoint
 //!   intervals whose per-iteration change rate deviates from the trailing
 //!   window, the signature of a silent corruption or divergence event.
+//! * [`forensics`] — the post-crash auditor: replays the store's
+//!   persistent flight ring against the on-device slot metadata,
+//!   classifies every checkpoint (committed / in-flight / superseded /
+//!   failed / torn), and verifies the commit protocol's invariants.
 //!
 //! # Examples
 //!
@@ -55,8 +59,10 @@
 
 pub mod detector;
 pub mod diff;
+pub mod forensics;
 pub mod inspect;
 
 pub use detector::{AnomalyReport, UpdateMagnitudeDetector};
 pub use diff::{diff, DiffReport};
+pub use forensics::{audit, CheckpointVerdict, ForensicReport, InFlightPhase, InvariantViolation};
 pub use inspect::CheckpointInspector;

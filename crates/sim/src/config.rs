@@ -177,8 +177,7 @@ impl SimConfig {
     /// discounted by the share training traffic leaves for checkpoints.
     pub fn gemini_network(model: &ModelSpec, interval: u64, iterations: u64) -> Self {
         let mut cfg = Self::ssd_a100(model, interval, iterations);
-        cfg.storage_bandwidth =
-            Bandwidth::from_gbit_per_sec(15.0).scaled(GEMINI_NETWORK_SHARE);
+        cfg.storage_bandwidth = Bandwidth::from_gbit_per_sec(15.0).scaled(GEMINI_NETWORK_SHARE);
         cfg.media = MediaKind::Network;
         cfg.strategy = StrategyCfg::Gemini;
         cfg
@@ -262,8 +261,8 @@ mod tests {
 
     #[test]
     fn gemini_switches_media() {
-        let cfg = SimConfig::ssd_a100(&ModelZoo::bloom_7b(), 10, 100)
-            .with_strategy(StrategyCfg::Gemini);
+        let cfg =
+            SimConfig::ssd_a100(&ModelZoo::bloom_7b(), 10, 100).with_strategy(StrategyCfg::Gemini);
         assert_eq!(cfg.media, MediaKind::Network);
         assert!(cfg.per_writer_cap().is_none());
         // 40% of 15 Gbps.

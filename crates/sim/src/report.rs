@@ -108,11 +108,15 @@ mod tests {
         let r = report();
         assert_eq!(r.latest_commit_at(SimTime::from_secs_f64(1.0)), None);
         assert_eq!(
-            r.latest_commit_at(SimTime::from_secs_f64(2.0)).unwrap().iteration,
+            r.latest_commit_at(SimTime::from_secs_f64(2.0))
+                .unwrap()
+                .iteration,
             1
         );
         assert_eq!(
-            r.latest_commit_at(SimTime::from_secs_f64(10.0)).unwrap().iteration,
+            r.latest_commit_at(SimTime::from_secs_f64(10.0))
+                .unwrap()
+                .iteration,
             3
         );
     }

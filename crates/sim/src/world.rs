@@ -215,7 +215,10 @@ impl World {
             SimDuration::ZERO
         } else {
             SimDuration::from_secs_f64(
-                self.write_times.iter().map(|w| w.as_secs_f64()).sum::<f64>()
+                self.write_times
+                    .iter()
+                    .map(|w| w.as_secs_f64())
+                    .sum::<f64>()
                     / self.write_times.len() as f64,
             )
         };
@@ -605,7 +608,9 @@ mod tests {
     #[test]
     fn pccheck_beats_checkfreq_at_high_frequency() {
         for interval in [1u64, 10, 25] {
-            let cf = base(interval, 200).with_strategy(StrategyCfg::CheckFreq).run();
+            let cf = base(interval, 200)
+                .with_strategy(StrategyCfg::CheckFreq)
+                .run();
             let pc = base(interval, 200)
                 .with_strategy(StrategyCfg::pccheck(4, 3))
                 .run();
@@ -622,7 +627,9 @@ mod tests {
     fn pccheck_overhead_small_at_moderate_frequency() {
         // VGG16, interval 25: paper shows PCcheck close to ideal.
         let ideal = base(25, 400).with_strategy(StrategyCfg::Ideal).run();
-        let pc = base(25, 400).with_strategy(StrategyCfg::pccheck(4, 3)).run();
+        let pc = base(25, 400)
+            .with_strategy(StrategyCfg::pccheck(4, 3))
+            .run();
         let slowdown = pc.slowdown_vs(&ideal);
         assert!(
             slowdown < 1.35,
@@ -681,8 +688,12 @@ mod tests {
 
     #[test]
     fn more_writer_threads_shorten_write_time() {
-        let p1 = base(10, 200).with_strategy(StrategyCfg::pccheck(1, 1)).run();
-        let p3 = base(10, 200).with_strategy(StrategyCfg::pccheck(1, 3)).run();
+        let p1 = base(10, 200)
+            .with_strategy(StrategyCfg::pccheck(1, 1))
+            .run();
+        let p3 = base(10, 200)
+            .with_strategy(StrategyCfg::pccheck(1, 3))
+            .run();
         assert!(
             p3.mean_write_time < p1.mean_write_time,
             "p=3 ({}) must persist faster than p=1 ({})",
@@ -703,7 +714,11 @@ mod tests {
         let g1 = SimConfig::ssd_a100(&model, 1, 50)
             .with_strategy(StrategyCfg::Gemini)
             .run();
-        assert!(g1.slowdown_vs(&ideal) > 3.0, "got {}", g1.slowdown_vs(&ideal));
+        assert!(
+            g1.slowdown_vs(&ideal) > 3.0,
+            "got {}",
+            g1.slowdown_vs(&ideal)
+        );
         let g100 = SimConfig::ssd_a100(&model, 100, 300)
             .with_strategy(StrategyCfg::Gemini)
             .run();
@@ -726,7 +741,9 @@ mod tests {
 
     #[test]
     fn write_time_under_contention_exceeds_solo_write_time() {
-        let solo = base(50, 200).with_strategy(StrategyCfg::pccheck(4, 3)).run();
+        let solo = base(50, 200)
+            .with_strategy(StrategyCfg::pccheck(4, 3))
+            .run();
         let contended = base(1, 200).with_strategy(StrategyCfg::pccheck(4, 3)).run();
         assert!(
             contended.mean_write_time > solo.mean_write_time,
@@ -765,7 +782,9 @@ mod tests {
             pipelined: false,
         });
         cfg.dram_chunks = 64; // > 20 chunks of m/20: full checkpoint fits
-        let pipe = base(10, 100).with_strategy(StrategyCfg::pccheck(2, 2)).run();
+        let pipe = base(10, 100)
+            .with_strategy(StrategyCfg::pccheck(2, 2))
+            .run();
         let staged = cfg.run();
         assert_eq!(staged.iterations, 100);
         // §5.4.3: pipelining is slightly better (or equal).

@@ -237,12 +237,7 @@ mod tests {
                 },
             ),
             at(2.0, EventKind::Superseded { by_counter: 2 }),
-            at(
-                3.0,
-                EventKind::Failed {
-                    error: "io".into(),
-                },
-            ),
+            at(3.0, EventKind::Failed { error: "io".into() }),
         ];
         let acc = RunAccounting::from_events(&events);
         assert_eq!((acc.committed, acc.superseded, acc.failed), (1, 1, 1));

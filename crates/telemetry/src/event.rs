@@ -44,15 +44,27 @@ pub enum Phase {
     Persist,
     /// The commit protocol: slot meta barrier + `CHECK_ADDR` CAS.
     Commit,
+    /// Recovery: store header read + `CHECK_ADDR`/slot-meta scan
+    /// (`CheckpointStore::open` after a crash, §4.2).
+    RecoveryScan,
+    /// Recovery: reading a candidate checkpoint payload back from the
+    /// device.
+    RecoveryLoad,
+    /// Recovery: digest verification of a candidate payload.
+    RecoveryVerify,
 }
 
 impl Phase {
-    /// All phases, in lifecycle order.
-    pub const ALL: [Phase; 4] = [
+    /// All phases, in lifecycle order (checkpoint phases first, then the
+    /// post-crash recovery-path phases).
+    pub const ALL: [Phase; 7] = [
         Phase::TicketWait,
         Phase::GpuCopy,
         Phase::Persist,
         Phase::Commit,
+        Phase::RecoveryScan,
+        Phase::RecoveryLoad,
+        Phase::RecoveryVerify,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -62,6 +74,9 @@ impl Phase {
             Phase::GpuCopy => "gpu_copy",
             Phase::Persist => "persist",
             Phase::Commit => "commit",
+            Phase::RecoveryScan => "recovery_scan",
+            Phase::RecoveryLoad => "recovery_load",
+            Phase::RecoveryVerify => "recovery_verify",
         }
     }
 
@@ -72,6 +87,9 @@ impl Phase {
             Phase::GpuCopy => 1,
             Phase::Persist => 2,
             Phase::Commit => 3,
+            Phase::RecoveryScan => 4,
+            Phase::RecoveryLoad => 5,
+            Phase::RecoveryVerify => 6,
         }
     }
 }
@@ -213,7 +231,18 @@ mod tests {
     #[test]
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names, ["ticket_wait", "gpu_copy", "persist", "commit"]);
+        assert_eq!(
+            names,
+            [
+                "ticket_wait",
+                "gpu_copy",
+                "persist",
+                "commit",
+                "recovery_scan",
+                "recovery_load",
+                "recovery_verify",
+            ]
+        );
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
@@ -227,10 +256,7 @@ mod tests {
         }
         .is_terminal());
         assert!(EventKind::Superseded { by_counter: 2 }.is_terminal());
-        assert!(EventKind::Failed {
-            error: "x".into()
-        }
-        .is_terminal());
+        assert!(EventKind::Failed { error: "x".into() }.is_terminal());
         assert!(!EventKind::Queued.is_terminal());
         assert!(!EventKind::Stall { nanos: 1 }.is_terminal());
     }

@@ -84,7 +84,12 @@ pub fn render_summary(snapshot: &TelemetrySnapshot, accounting: &RunAccounting) 
     let _ = writeln!(
         out,
         "  requested {}  committed {}  superseded {}  failed {}  in-flight {} (peak {})",
-        c.requested, c.committed, c.superseded, c.failed, snapshot.in_flight, snapshot.in_flight_peak
+        c.requested,
+        c.committed,
+        c.superseded,
+        c.failed,
+        snapshot.in_flight,
+        snapshot.in_flight_peak
     );
     let _ = writeln!(
         out,
@@ -177,7 +182,10 @@ fn kind_fields(kind: &EventKind) -> String {
             phase.name()
         ),
         EventKind::Chunk { phase, offset, len } => {
-            format!(",\"phase\":\"{}\",\"offset\":{offset},\"len\":{len}", phase.name())
+            format!(
+                ",\"phase\":\"{}\",\"offset\":{offset},\"len\":{len}",
+                phase.name()
+            )
         }
         EventKind::Stall { nanos } => format!(",\"nanos\":{nanos}"),
         EventKind::Committed { iteration, bytes } => {

@@ -154,7 +154,11 @@ impl LatencyHistogram {
             if seen + c >= rank {
                 // Interpolate within bucket [2^i, 2^(i+1)).
                 let lo = 1u64 << i;
-                let hi = if i + 1 >= 64 { u64::MAX } else { 1u64 << (i + 1) };
+                let hi = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
                 let frac = (rank - seen) as f64 / c as f64;
                 let est = lo as f64 + frac * (hi - lo) as f64;
                 return (est as u64).clamp(self.min_nanos(), self.max_nanos());

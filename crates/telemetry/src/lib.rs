@@ -23,12 +23,21 @@
 //!   [`MemoryRecorder`] among all clones.
 //! * The recorder is *lock-light*: counters/histograms/gauges are single
 //!   atomic operations; events append to per-thread-sharded buffers.
-//! * The crate is deliberately dependency-free (std only); exporters emit
-//!   JSON by hand.
+//! * The crate is nearly dependency-free; exporters emit JSON by hand. The
+//!   one exception is the device crate, through which the persistent
+//!   [`flight`] recorder appends its crash-safe event ring.
+//! * The in-memory recorder vanishes at a crash — which is exactly the
+//!   moment the paper's recovery protocol (§4.2) cares about. The
+//!   [`flight`] module therefore persists 64-byte checksummed lifecycle
+//!   records to a reserved ring on the *same* device that holds the
+//!   checkpoints, so a post-crash auditor can replay what the commit
+//!   protocol was doing when the process died.
 //!
 //! ## Modules
 //!
 //! * [`event`] — [`SpanId`], [`Phase`], [`EventKind`], [`Event`].
+//! * [`flight`] — [`FlightRing`], [`FlightRecorder`], [`FlightRecord`]:
+//!   the persistent crash-safe event ring.
 //! * [`recorder`] — [`MemoryRecorder`], [`Telemetry`],
 //!   [`TelemetrySnapshot`].
 //! * [`histogram`] — [`LatencyHistogram`] (64 log2 buckets, lock-free).
@@ -63,6 +72,7 @@ pub mod accounting;
 pub mod counters;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod recorder;
 
@@ -70,5 +80,9 @@ pub use accounting::{GoodputEstimate, RunAccounting};
 pub use counters::{CheckpointCounters, CountersSnapshot};
 pub use event::{Event, EventKind, Phase, SpanId};
 pub use export::{chrome_trace, json_lines, render_summary};
+pub use flight::{
+    FlightEventKind, FlightRecord, FlightRecorder, FlightRing, RingScan, FLIGHT_HEADER_SIZE,
+    FLIGHT_RECORD_SIZE,
+};
 pub use histogram::{HistogramSummary, LatencyHistogram};
 pub use recorder::{MemoryRecorder, Telemetry, TelemetrySnapshot};

@@ -57,8 +57,7 @@ impl GoodputReplay {
         let t_eff = 1.0 / report.throughput; // seconds per iteration
         let avg_lost = Self::average_rollback_depth(report);
         let rollbacks = trace.coalesced(BULK_COALESCE_GAP).len();
-        let recovery_per_failure =
-            self.load_time.as_secs_f64() + avg_lost * t_eff;
+        let recovery_per_failure = self.load_time.as_secs_f64() + avg_lost * t_eff;
         let window = trace.window().as_secs_f64();
         let total_recovery = (rollbacks as f64 * recovery_per_failure).min(window);
         let progress = window - total_recovery;
@@ -122,17 +121,14 @@ impl GoodputReplay {
 
 /// Convenience: the latest durable iteration at time `t` in a report.
 pub fn committed_iteration_at(report: &SimReport, t: SimTime) -> u64 {
-    report
-        .latest_commit_at(t)
-        .map(|c| c.iteration)
-        .unwrap_or(0)
+    report.latest_commit_at(t).map(|c| c.iteration).unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pccheck_sim::{SimConfig, StrategyCfg};
     use pccheck_gpu::ModelZoo;
+    use pccheck_sim::{SimConfig, StrategyCfg};
 
     fn trace() -> PreemptionTrace {
         PreemptionTrace::synthetic_gcp_a100(1)
@@ -183,10 +179,7 @@ mod tests {
     #[test]
     fn ideal_dominates_real_strategies() {
         let cfg = SimConfig::ssd_a100(&ModelZoo::vgg16(), 10, 300);
-        let pc = cfg
-            .clone()
-            .with_strategy(StrategyCfg::pccheck(2, 3))
-            .run();
+        let pc = cfg.clone().with_strategy(StrategyCfg::pccheck(2, 3)).run();
         let g_pc = replay().replay(&pc, &trace());
         let g_ideal = replay().ideal(
             ModelZoo::vgg16().iter_time(pccheck_gpu::GpuKind::A100),

@@ -59,12 +59,7 @@ impl PreemptionTrace {
     /// (bulk preemptions — the trace's "bulky" revocations; a burst still
     /// causes a single rollback, but we keep the events for fidelity).
     pub fn synthetic_gcp_a100(seed: u64) -> Self {
-        Self::synthetic(
-            seed,
-            DEFAULT_WINDOW,
-            GCP_A100_PREEMPTIONS_PER_HOUR,
-            0.2,
-        )
+        Self::synthetic(seed, DEFAULT_WINDOW, GCP_A100_PREEMPTIONS_PER_HOUR, 0.2)
     }
 
     /// Generates a seeded synthetic trace with `rate_per_hour` exponential
@@ -75,12 +70,7 @@ impl PreemptionTrace {
     ///
     /// Panics if `rate_per_hour` is not positive or `burst_prob` is outside
     /// `[0, 1]`.
-    pub fn synthetic(
-        seed: u64,
-        window: SimDuration,
-        rate_per_hour: f64,
-        burst_prob: f64,
-    ) -> Self {
+    pub fn synthetic(seed: u64, window: SimDuration, rate_per_hour: f64, burst_prob: f64) -> Self {
         assert!(rate_per_hour > 0.0, "rate must be positive");
         assert!((0.0..=1.0).contains(&burst_prob), "burst_prob in [0,1]");
         let mut r = rng::seeded(rng::derive_seed(seed, "preemption-trace"));
@@ -188,10 +178,7 @@ mod tests {
         let t = PreemptionTrace::synthetic_gcp_a100(1);
         assert!(t.events().windows(2).all(|w| w[0] <= w[1]));
         let horizon = t.window().as_secs_f64();
-        assert!(t
-            .events()
-            .iter()
-            .all(|e| e.as_secs_f64() < horizon));
+        assert!(t.events().iter().all(|e| e.as_secs_f64() < horizon));
     }
 
     #[test]
@@ -230,7 +217,7 @@ mod tests {
             w,
             vec![
                 SimTime::from_secs_f64(10.0),
-                SimTime::from_secs_f64(15.0),  // burst twin
+                SimTime::from_secs_f64(15.0), // burst twin
                 SimTime::from_secs_f64(500.0),
             ],
         );

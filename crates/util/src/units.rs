@@ -354,7 +354,7 @@ mod tests {
 
     #[test]
     fn split_even_covers_all_bytes() {
-        for total in [0u64, 1, 7, 100, 1023, 1024, 1<<20] {
+        for total in [0u64, 1, 7, 100, 1023, 1024, 1 << 20] {
             for n in 1..=9usize {
                 let shards = ByteSize::from_bytes(total).split_even(n);
                 assert_eq!(shards.len(), n);

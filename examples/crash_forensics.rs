@@ -1,0 +1,48 @@
+//! Crash forensics: kill a checkpoint at every step of the commit
+//! protocol, then let the post-crash auditor reconstruct what happened
+//! from the store's persistent flight ring.
+//!
+//! For each injected crash point this prints the full forensic report —
+//! every checkpoint classified as committed / in-flight (with the exact
+//! phase the crash caught it in) / superseded — followed by what recovery
+//! actually restored, demonstrating that the audit's prediction and the
+//! recovery path agree.
+//!
+//! Run with: `cargo run --release --example crash_forensics`
+
+use pccheck_harness::forensics_run::{run_crash_scenario, CrashPoint, ForensicsRunConfig};
+
+fn main() {
+    let cfg = ForensicsRunConfig::default();
+    println!(
+        "store: {} slots, {} KiB payloads, {}-record flight ring",
+        cfg.slots,
+        cfg.state_bytes / 1024,
+        cfg.flight_records
+    );
+    for point in CrashPoint::ALL {
+        println!("\n=== crash injected: {point} ===");
+        let run = run_crash_scenario(point, &cfg).expect("scenario runs");
+        print!("{}", run.report.render());
+        println!(
+            "recovery restored checkpoint #{} (iteration {}) in {:.1} us \
+             ({} candidate(s) scanned, {} fallback(s))",
+            run.recovered.counter,
+            run.recovered.iteration,
+            run.trace.total_nanos as f64 / 1e3,
+            run.trace.candidates_scanned,
+            run.trace.fallbacks,
+        );
+        let predicted = run.report.expected_recovery.map(|m| m.counter);
+        assert_eq!(
+            predicted,
+            Some(run.recovered.counter),
+            "audit prediction must match recovery"
+        );
+        println!("audit predicted the same target: agreement ✓");
+    }
+    println!("\nEvery crash left the store invariant-clean: the interrupted");
+    println!("checkpoint is precisely classified and never mistaken for the");
+    println!("recovery target. Try the same flow on a real file with");
+    println!("`pccheckctl crashdemo` + `pccheckctl forensics`.");
+}

@@ -31,34 +31,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
         ssds.push(Arc::clone(&ssd));
         let hub = Arc::clone(&hub);
-        handles.push(std::thread::spawn(move || -> Result<u64, pccheck::PccheckError> {
-            let gpu = Gpu::new(
-                GpuConfig::fast_for_tests(),
-                TrainingState::synthetic(shard, rank as u64),
-            );
-            let device: Arc<dyn PersistentDevice> = ssd;
-            let engine = PcCheckEngine::new(
-                PcCheckConfig::builder()
-                    .max_concurrent(2)
-                    .writer_threads(2)
-                    .chunk_size(ByteSize::from_kb(256))
-                    .dram_chunks(8)
-                    .build()?,
-                device,
-                shard,
-            )?;
-            let mut agreed = 0;
-            for iter in 1..=ITERATIONS {
-                gpu.update(); // this node's pipeline stage
-                if iter % INTERVAL == 0 {
-                    engine.checkpoint(&gpu, iter);
-                    engine.drain(); // this example syncs per boundary
-                    // Rank-0 agreement on the globally consistent id.
-                    agreed = hub.report_and_wait(rank, iter)?;
+        handles.push(std::thread::spawn(
+            move || -> Result<u64, pccheck::PccheckError> {
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(shard, rank as u64),
+                );
+                let device: Arc<dyn PersistentDevice> = ssd;
+                let engine = PcCheckEngine::new(
+                    PcCheckConfig::builder()
+                        .max_concurrent(2)
+                        .writer_threads(2)
+                        .chunk_size(ByteSize::from_kb(256))
+                        .dram_chunks(8)
+                        .build()?,
+                    device,
+                    shard,
+                )?;
+                let mut agreed = 0;
+                for iter in 1..=ITERATIONS {
+                    gpu.update(); // this node's pipeline stage
+                    if iter % INTERVAL == 0 {
+                        engine.checkpoint(&gpu, iter);
+                        engine.drain(); // this example syncs per boundary
+                                        // Rank-0 agreement on the globally consistent id.
+                        agreed = hub.report_and_wait(rank, iter)?;
+                    }
                 }
-            }
-            Ok(agreed)
-        }));
+                Ok(agreed)
+            },
+        ));
     }
 
     let mut agreed_ids = Vec::new();
@@ -75,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ssd.crash_now();
         ssd.recover();
         let rec = recovery::recover(ssd)?;
-        println!("node {rank}: recovered shard from iteration {}", rec.iteration);
+        println!(
+            "node {rank}: recovered shard from iteration {}",
+            rec.iteration
+        );
         iterations.push(rec.iteration);
     }
     assert!(

@@ -18,8 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TrainingState::synthetic(ByteSize::from_mb_u64(2), 7),
     );
     // A roomy store: N=3 concurrent means 4 slots of history to inspect.
-    let cap = pccheck::CheckpointStore::required_capacity(gpu.state_size(), 4)
-        + ByteSize::from_kb(4);
+    let cap =
+        pccheck::CheckpointStore::required_capacity(gpu.state_size(), 4) + ByteSize::from_kb(4);
     let device: Arc<dyn PersistentDevice> =
         Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
     let engine = PcCheckEngine::new(
@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if let Some((prev_iter, prev_payload)) = &previous {
                 let report = diff(prev_payload, &payload, &layout);
                 let flagged = detector.observe(latest.iteration, report.changed_fraction());
-                let marker = if flagged.is_some() { "  <-- ANOMALY" } else { "" };
+                let marker = if flagged.is_some() {
+                    "  <-- ANOMALY"
+                } else {
+                    ""
+                };
                 println!(
                     "ckpt@{:>3}: {:>5.1}% changed since @{prev_iter}{marker}",
                     latest.iteration,

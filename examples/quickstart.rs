@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A model + optimizer state of 8 MB living on the (simulated) GPU.
     let state = TrainingState::synthetic(ByteSize::from_mb_u64(8), 42);
     let gpu = Gpu::new(GpuConfig::fast_for_tests(), state);
-    println!("training state: {} at step {}", gpu.state_size(), gpu.step_count());
+    println!(
+        "training state: {} at step {}",
+        gpu.state_size(),
+        gpu.step_count()
+    );
 
     // An SSD big enough for N+1 = 3 checkpoint slots.
     let capacity =
@@ -66,6 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     recovered.restore_into(&fresh_gpu);
     assert_eq!(fresh_gpu.digest(), digest_before, "bit-for-bit recovery");
     assert_eq!(fresh_gpu.step_count(), 20);
-    println!("resumed training from iteration {} — state verified", fresh_gpu.step_count());
+    println!(
+        "resumed training from iteration {} — state verified",
+        fresh_gpu.step_count()
+    );
     Ok(())
 }

@@ -13,6 +13,20 @@
 //! `pccheckctl telemetry <out-dir> [strategy]` runs an instrumented
 //! in-memory training run and writes the human summary, the JSONL event
 //! log, and a Perfetto-loadable Chrome trace into `out-dir`.
+//!
+//! The crash-forensics pair exercises the flight recorder end to end:
+//!
+//! ```bash
+//! pccheckctl crashdemo /tmp/crashed.pcc during-persist  # die mid-checkpoint
+//! pccheckctl forensics /tmp/crashed.pcc                 # audit the wreck
+//! ```
+//!
+//! `crashdemo` formats a flight-recorder-enabled store, commits a baseline
+//! checkpoint, drives a second one exactly to the chosen protocol step, and
+//! exits without persisting — the page-cache overlay dies with the process,
+//! leaving the file as a power failure would. `forensics` replays the
+//! flight ring against the slot metadata and exits nonzero if any commit-
+//! protocol invariant is violated.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -20,6 +34,9 @@ use std::sync::Arc;
 use pccheck::{recovery, CheckpointStore, PcCheckConfig, PcCheckEngine};
 use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+use pccheck_harness::forensics_run::{
+    commit_checkpoint, drive_to_crash_point, synthetic_payload, CrashPoint,
+};
 use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig, STRATEGIES};
 use pccheck_telemetry::{chrome_trace, json_lines, render_summary};
 use pccheck_util::ByteSize;
@@ -29,9 +46,15 @@ const STATE_BYTES: u64 = 1024 * 1024;
 const SLOTS: u32 = 3;
 const SEED: u64 = 2025;
 
+/// Crashdemo geometry: small enough to audit instantly, flight ring on.
+const CRASH_STATE_BYTES: u64 = 64 * 1024;
+const CRASH_FLIGHT_RECORDS: u32 = 128;
+
 fn usage() -> ExitCode {
     eprintln!("usage: pccheckctl <demo|info|recover> <store-file> [iterations]");
     eprintln!("       pccheckctl telemetry <out-dir> [strategy]");
+    eprintln!("       pccheckctl crashdemo <store-file> [crash-point]");
+    eprintln!("       pccheckctl forensics <store-file>");
     eprintln!("  demo       create the store and run a checkpointed training demo");
     eprintln!("  info       print the store header and checkpoint history");
     eprintln!("  recover    load the latest committed checkpoint and verify it");
@@ -40,6 +63,13 @@ fn usage() -> ExitCode {
         STRATEGIES.join("|")
     );
     eprintln!("             summary.txt, events.jsonl, trace.json into <out-dir>");
+    eprintln!("  crashdemo  die mid-checkpoint at a chosen protocol step:");
+    eprintln!(
+        "             {}",
+        CrashPoint::ALL.map(|p| p.name()).join("|")
+    );
+    eprintln!("  forensics  audit a (crashed) store's flight ring + metadata;");
+    eprintln!("             exits nonzero on any invariant violation");
     ExitCode::from(2)
 }
 
@@ -50,8 +80,7 @@ fn device_config() -> DeviceConfig {
 }
 
 fn cmd_demo(path: &str, iterations: u64) -> Result<(), Box<dyn std::error::Error>> {
-    let device: Arc<dyn PersistentDevice> =
-        Arc::new(FileDevice::create(path, device_config())?);
+    let device: Arc<dyn PersistentDevice> = Arc::new(FileDevice::create(path, device_config())?);
     let gpu = Gpu::new(
         GpuConfig::fast_for_tests(),
         TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED),
@@ -167,6 +196,52 @@ fn cmd_telemetry(out_dir: &str, strategy: &str) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
+fn cmd_crashdemo(path: &str, point_name: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let point = CrashPoint::from_name(point_name)
+        .ok_or_else(|| format!("unknown crash point {point_name:?} (see usage)"))?;
+    let state = ByteSize::from_bytes(CRASH_STATE_BYTES);
+    let cap = CheckpointStore::required_capacity_with_flight(state, SLOTS, CRASH_FLIGHT_RECORDS)
+        + ByteSize::from_kb(4);
+    let device: Arc<dyn PersistentDevice> =
+        Arc::new(FileDevice::create(path, DeviceConfig::fast_for_tests(cap))?);
+    let store = CheckpointStore::format_with_flight(
+        Arc::clone(&device),
+        state,
+        SLOTS,
+        CRASH_FLIGHT_RECORDS,
+    )?;
+    let baseline = commit_checkpoint(&store, 100, &synthetic_payload(100, CRASH_STATE_BYTES))?;
+    println!("committed baseline checkpoint #{baseline} (iteration 100)");
+    let (counter, slot) = drive_to_crash_point(
+        &store,
+        point,
+        200,
+        &synthetic_payload(200, CRASH_STATE_BYTES),
+    )?;
+    println!("drove checkpoint #{counter} (slot {slot}) to `{point}` and crashed there");
+    println!("unpersisted page-cache state dies with this process; the file keeps");
+    println!("only what was persisted — audit it with: pccheckctl forensics {path}");
+    // Deliberately no drain/persist: dropping the device discards the
+    // overlay, exactly like a power failure at `point`.
+    Ok(())
+}
+
+fn cmd_forensics(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let file_len = std::fs::metadata(path)?.len();
+    let device: Arc<dyn PersistentDevice> = Arc::new(FileDevice::open(
+        path,
+        DeviceConfig::fast_for_tests(ByteSize::from_bytes(file_len)),
+    )?);
+    let report = pccheck_monitor::audit(device)?;
+    print!("{}", report.render());
+    if report.is_clean() {
+        println!("verdict: clean — the commit protocol's invariants hold");
+        Ok(())
+    } else {
+        Err(format!("{} invariant violation(s) found", report.violations.len()).into())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (cmd, path) = match (args.get(1), args.get(2)) {
@@ -182,6 +257,12 @@ fn main() -> ExitCode {
         "info" => cmd_info(path),
         "recover" => cmd_recover(path),
         "telemetry" => cmd_telemetry(path, args.get(3).map_or("pccheck", |s| s.as_str())),
+        "crashdemo" => cmd_crashdemo(
+            path,
+            args.get(3)
+                .map_or("between-persist-and-commit", |s| s.as_str()),
+        ),
+        "forensics" => cmd_forensics(path),
         _ => return usage(),
     };
     match result {

@@ -22,7 +22,10 @@ fn run_with_crash(
     seed: u64,
 ) -> Result<u64, PccheckError> {
     let size = ByteSize::from_bytes(STATE);
-    let gpu = Gpu::new(GpuConfig::fast_for_tests(), TrainingState::synthetic(size, seed));
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, seed),
+    );
     let cap = CheckpointStore::required_capacity(size, 3) + ByteSize::from_kb(4);
     let ssd = Arc::new(SsdDevice::with_crash_policy(
         DeviceConfig::fast_for_tests(cap),
@@ -115,7 +118,10 @@ fn repeated_crash_recover_cycles_never_regress() {
     let size = ByteSize::from_bytes(STATE);
     let cap = CheckpointStore::required_capacity(size, 3) + ByteSize::from_kb(4);
     let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
-    let gpu = Gpu::new(GpuConfig::fast_for_tests(), TrainingState::synthetic(size, 7));
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, 7),
+    );
 
     let mut last_recovered = 0u64;
     let mut iter = 0u64;
@@ -154,4 +160,131 @@ fn repeated_crash_recover_cycles_never_regress() {
         last_recovered = rec.iteration;
     }
     assert_eq!(last_recovered, 15);
+}
+
+/// Pinned-crash-point forensics: at every protocol step the auditor's
+/// verdict — taken from the frozen device *before* power-on — must agree
+/// with what recovery then actually restores, and must classify the
+/// interrupted checkpoint by the exact phase the crash caught it in.
+#[test]
+fn forensic_verdicts_match_actual_recovery_at_every_crash_point() {
+    use pccheck_harness::forensics_run::{run_crash_scenario, CrashPoint, ForensicsRunConfig};
+    use pccheck_monitor::{CheckpointVerdict, InFlightPhase};
+
+    let cfg = ForensicsRunConfig::default();
+    for point in CrashPoint::ALL {
+        let run = run_crash_scenario(point, &cfg).expect("scenario runs");
+        assert!(
+            run.report.is_clean(),
+            "{point}: protocol invariants must hold:\n{}",
+            run.report.render()
+        );
+        // The audit's predicted recovery target is what recovery restored.
+        assert_eq!(
+            run.report.expected_recovery.map(|m| m.counter),
+            Some(run.recovered.counter),
+            "{point}: audit and recovery disagree"
+        );
+        let verdict = run
+            .report
+            .checkpoints
+            .get(&run.crashed_counter)
+            .expect("interrupted checkpoint is in the report");
+        match point {
+            CrashPoint::DuringCopy => assert!(
+                matches!(
+                    verdict,
+                    CheckpointVerdict::InFlight {
+                        phase: InFlightPhase::Begun,
+                        ..
+                    }
+                ),
+                "{point}: {verdict:?}"
+            ),
+            CrashPoint::DuringPersist => assert!(
+                matches!(
+                    verdict,
+                    CheckpointVerdict::InFlight {
+                        phase: InFlightPhase::Copied,
+                        ..
+                    }
+                ),
+                "{point}: {verdict:?}"
+            ),
+            CrashPoint::BetweenPersistAndCommit => assert!(
+                matches!(
+                    verdict,
+                    CheckpointVerdict::InFlight {
+                        phase: InFlightPhase::Persisted,
+                        ..
+                    }
+                ),
+                "{point}: {verdict:?}"
+            ),
+            CrashPoint::AfterCommit => {
+                assert!(
+                    matches!(
+                        verdict,
+                        CheckpointVerdict::Committed {
+                            payload_valid: true,
+                            ..
+                        }
+                    ),
+                    "{point}: {verdict:?}"
+                );
+                assert_eq!(run.recovered.counter, run.crashed_counter);
+            }
+        }
+    }
+}
+
+/// The auditor also understands stores the *engine* wrote: run a real
+/// concurrent engine on a flight-enabled store, crash it mid-flight, and
+/// the audit must stay invariant-clean with its expected-recovery target
+/// matching actual recovery.
+#[test]
+fn engine_crash_with_flight_ring_audits_clean() {
+    let size = ByteSize::from_bytes(STATE);
+    let cap = CheckpointStore::required_capacity_with_flight(size, 3, 128) + ByteSize::from_kb(4);
+    let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let dev: Arc<dyn PersistentDevice> = ssd.clone();
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, 11),
+    );
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(512))
+            .dram_chunks(6)
+            .flight_records(128)
+            .build()
+            .expect("valid"),
+        dev,
+        size,
+    )
+    .expect("engine");
+    for iter in 1..=6u64 {
+        gpu.update();
+        engine.checkpoint(&gpu, iter);
+    }
+    ssd.crash_now();
+    engine.drain();
+
+    let report = pccheck_monitor::audit(ssd.clone()).expect("audit");
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.ring_records > 0, "engine wrote flight records");
+
+    ssd.recover();
+    match recovery::recover(ssd) {
+        Ok(rec) => assert_eq!(
+            report.expected_recovery.map(|m| m.iteration),
+            Some(rec.iteration)
+        ),
+        Err(PccheckError::NoCheckpoint) => {
+            assert!(report.expected_recovery.is_none());
+        }
+        Err(e) => panic!("unexpected recovery failure: {e}"),
+    }
 }

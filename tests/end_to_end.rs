@@ -9,14 +9,13 @@ use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingLoop, TrainingState};
 use pccheck_util::{Bandwidth, ByteSize, SimDuration};
 
 fn gpu_with_state(size: ByteSize, seed: u64) -> Gpu {
-    Gpu::new(GpuConfig::fast_for_tests(), TrainingState::synthetic(size, seed))
+    Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, seed),
+    )
 }
 
-fn pccheck_engine(
-    device: Arc<dyn PersistentDevice>,
-    size: ByteSize,
-    n: usize,
-) -> PcCheckEngine {
+fn pccheck_engine(device: Arc<dyn PersistentDevice>, size: ByteSize, n: usize) -> PcCheckEngine {
     PcCheckEngine::new(
         PcCheckConfig::builder()
             .max_concurrent(n)

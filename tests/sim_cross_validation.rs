@@ -44,7 +44,10 @@ fn scaled_gpu(seed: u64) -> Gpu {
         memory: ByteSize::from_gb(1.0),
         copy,
     };
-    Gpu::new(config, TrainingState::synthetic(ByteSize::from_bytes(CKPT), seed))
+    Gpu::new(
+        config,
+        TrainingState::synthetic(ByteSize::from_bytes(CKPT), seed),
+    )
 }
 
 fn scaled_ssd(slots: u32) -> Arc<SsdDevice> {
@@ -76,8 +79,8 @@ fn sim_config(strategy: StrategyCfg) -> SimConfig {
 }
 
 fn concrete_throughput(ckpt: &dyn Checkpointer, gpu: &Gpu) -> f64 {
-    let lp = TrainingLoop::new(gpu.clone(), SimDuration::from_millis(ITER_MS))
-        .with_interval(INTERVAL);
+    let lp =
+        TrainingLoop::new(gpu.clone(), SimDuration::from_millis(ITER_MS)).with_interval(INTERVAL);
     lp.run(ITERS, ckpt).throughput
 }
 
@@ -146,8 +149,7 @@ fn ordering_agrees_between_models() {
     assert!(sim_pc > sim_cf, "sim: {sim_pc} vs {sim_cf}");
 
     let run_concrete_at_1 = |ckpt: &dyn Checkpointer, gpu: &Gpu| {
-        let lp = TrainingLoop::new(gpu.clone(), SimDuration::from_millis(ITER_MS))
-            .with_interval(1);
+        let lp = TrainingLoop::new(gpu.clone(), SimDuration::from_millis(ITER_MS)).with_interval(1);
         lp.run(40, ckpt).throughput
     };
     let gpu_pc = scaled_gpu(3);

@@ -49,8 +49,7 @@ fn storage_backed_strategies_all_recover_identically() {
     {
         let gpu = fresh_gpu(11);
         let ssd = fresh_ssd(2);
-        let ckpt =
-            TraditionalCheckpointer::new(ssd.clone(), gpu.state_size()).expect("constructs");
+        let ckpt = TraditionalCheckpointer::new(ssd.clone(), gpu.state_size()).expect("constructs");
         run_training(&gpu, &ckpt);
         ssd.crash_now();
         ssd.recover();
@@ -124,7 +123,8 @@ fn storage_backed_strategies_all_recover_identically() {
             NetworkConfig::fast_for_tests(),
             GeminiCheckpointer::required_remote_capacity(gpu.state_size()),
         ));
-        let ckpt = GeminiCheckpointer::new(Arc::clone(&link), gpu.state_size()).expect("constructs");
+        let ckpt =
+            GeminiCheckpointer::new(Arc::clone(&link), gpu.state_size()).expect("constructs");
         run_training(&gpu, &ckpt);
         let rec =
             GeminiCheckpointer::recover_from_remote(&link, gpu.state_size()).expect("recoverable");

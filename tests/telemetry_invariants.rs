@@ -16,12 +16,9 @@ use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_telemetry::{EventKind, SpanId, Telemetry};
 use pccheck_util::ByteSize;
 
-fn engine_with_telemetry(
-    size: ByteSize,
-    max_concurrent: usize,
-) -> (PcCheckEngine, Telemetry) {
-    let cap = CheckpointStore::required_capacity(size, max_concurrent as u32 + 1)
-        + ByteSize::from_kb(4);
+fn engine_with_telemetry(size: ByteSize, max_concurrent: usize) -> (PcCheckEngine, Telemetry) {
+    let cap =
+        CheckpointStore::required_capacity(size, max_concurrent as u32 + 1) + ByteSize::from_kb(4);
     let device: Arc<dyn PersistentDevice> =
         Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
     let telemetry = Telemetry::enabled();
