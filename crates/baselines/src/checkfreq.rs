@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 use parking_lot::Mutex;
 
 use pccheck::store::CheckpointStore;
-use pccheck::{CommitOutcome, PccheckError};
+use pccheck::{CommitOutcome, PccheckError, PersistPipeline, PipelineCtx};
 use pccheck_device::PersistentDevice;
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
 use pccheck_telemetry::{Phase, Telemetry};
@@ -48,7 +48,7 @@ use pccheck_util::ByteSize;
 /// ```
 #[derive(Debug)]
 pub struct CheckFreqCheckpointer {
-    store: Arc<CheckpointStore>,
+    pipeline: PersistPipeline,
     /// The single in-flight persist, if any. Next checkpoint joins it.
     in_flight: Mutex<Option<JoinHandle<()>>>,
     last: Arc<Mutex<Option<CheckpointOutcome>>>,
@@ -68,7 +68,7 @@ impl CheckFreqCheckpointer {
     ) -> Result<Self, PccheckError> {
         let store = CheckpointStore::format(device, checkpoint_size, 2)?;
         Ok(CheckFreqCheckpointer {
-            store: Arc::new(store),
+            pipeline: PersistPipeline::new(Arc::new(store)),
             in_flight: Mutex::new(None),
             last: Arc::new(Mutex::new(None)),
             telemetry: Telemetry::disabled(),
@@ -84,7 +84,7 @@ impl CheckFreqCheckpointer {
 
     /// The underlying store.
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.pipeline.store()
     }
 }
 
@@ -110,35 +110,27 @@ impl Checkpointer for CheckFreqCheckpointer {
         // asynchronously with the *next iteration's compute*, which our
         // owned guard provides: training's T phase proceeds, U waits.
         let guard = gpu.lock_weights_shared_owned();
-        let store = Arc::clone(&self.store);
+        let pipeline = self.pipeline.clone();
         let last = Arc::clone(&self.last);
         let telemetry = self.telemetry.clone();
         let handle = std::thread::spawn(move || {
+            let ctx = PipelineCtx {
+                telemetry: &telemetry,
+                span,
+            };
             let copy_start = telemetry.now_nanos();
             let total = guard.size();
             let digest = guard.digest();
-            let mut host = vec![0u8; total.as_usize()];
-            guard.copy_range_to_host(0, &mut host);
+            let host = pipeline.snapshot_whole(ctx, &guard, copy_start);
             drop(guard); // snapshot done: weight updates may resume
-            telemetry.chunk(span, Phase::GpuCopy, 0, total.as_u64());
-            telemetry.phase_done(span, Phase::GpuCopy, copy_start);
 
             // Persist phase.
-            let persist_start = telemetry.now_nanos();
-            let lease = store.begin_checkpoint();
-            store
-                .write_payload(&lease, 0, &host)
-                .expect("payload fits the formatted slot");
-            store
-                .persist_payload(&lease, 0, total.as_u64())
-                .expect("persist cannot exceed bounds");
-            telemetry.chunk(span, Phase::Persist, 0, total.as_u64());
-            telemetry.phase_done(span, Phase::Persist, persist_start);
-            let commit_start = telemetry.now_nanos();
-            let outcome = store
-                .commit(lease, iteration, total.as_u64(), digest.0)
+            let lease = pipeline
+                .persist_whole(ctx, &host, iteration)
+                .expect("whole-payload persist on healthy device");
+            let outcome = pipeline
+                .commit(ctx, lease, iteration, total.as_u64(), digest.0)
                 .expect("commit I/O on healthy device");
-            telemetry.phase_done(span, Phase::Commit, commit_start);
             match outcome {
                 CommitOutcome::Committed => {
                     telemetry.committed(span, iteration, total.as_u64());

@@ -19,15 +19,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use pccheck::store::CheckpointStore;
-use pccheck::PccheckError;
+use pccheck::{PccheckError, PersistPipeline, PipelineCtx};
 use pccheck_device::PersistentDevice;
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
-use pccheck_telemetry::{Phase, Telemetry};
+use pccheck_telemetry::Telemetry;
 use pccheck_util::ByteSize;
-
-/// Chunk size for the GPU-kernel copy loop (kernel grids move data in
-/// bounded tiles).
-const KERNEL_COPY_CHUNK: usize = 4 * 1024 * 1024;
 
 /// The stall-and-persist baseline.
 ///
@@ -58,7 +54,7 @@ const KERNEL_COPY_CHUNK: usize = 4 * 1024 * 1024;
 /// ```
 #[derive(Debug)]
 pub struct GpmCheckpointer {
-    store: Arc<CheckpointStore>,
+    pipeline: PersistPipeline,
     last: Mutex<Option<CheckpointOutcome>>,
     telemetry: Telemetry,
 }
@@ -76,7 +72,7 @@ impl GpmCheckpointer {
     ) -> Result<Self, PccheckError> {
         let store = CheckpointStore::format(device, checkpoint_size, 2)?;
         Ok(GpmCheckpointer {
-            store: Arc::new(store),
+            pipeline: PersistPipeline::new(Arc::new(store)),
             last: Mutex::new(None),
             telemetry: Telemetry::disabled(),
         })
@@ -91,7 +87,7 @@ impl GpmCheckpointer {
 
     /// The underlying store.
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.pipeline.store()
     }
 }
 
@@ -106,38 +102,22 @@ impl Checkpointer for GpmCheckpointer {
         let guard = gpu.lock_weights_shared();
         let total = guard.size();
         let digest = guard.digest();
-        let lease = self.store.begin_checkpoint();
-        // Kernel-copy loop: GPU → device directly, no DRAM staging. A small
-        // bounce tile stands in for the kernel's register/shared-memory
-        // tile; it never holds the checkpoint (Table 1: DRAM = 0).
-        // GPU-copy and persist overlap tile-by-tile, so both phases share
-        // the same start timestamp.
-        let mut tile = vec![0u8; KERNEL_COPY_CHUNK.min(total.as_usize().max(1))];
-        let mut off = 0u64;
-        while off < total.as_u64() {
-            let n = (tile.len() as u64).min(total.as_u64() - off) as usize;
-            guard.copy_range_to_host(off, &mut tile[..n]);
-            self.telemetry.chunk(span, Phase::GpuCopy, off, n as u64);
-            self.store
-                .write_payload(&lease, off, &tile[..n])
-                .expect("payload fits the formatted slot");
-            self.telemetry.chunk(span, Phase::Persist, off, n as u64);
-            off += n as u64;
-        }
-        self.telemetry.phase_done(span, Phase::GpuCopy, stall_start);
-        // cudaDeviceSynchronize + msync/fence: one persist over the payload
-        // issued by this same (training) thread — correct on both SSD and
-        // PMEM because the same thread performed every store.
-        self.store
-            .persist_payload(&lease, 0, total.as_u64())
-            .expect("persist cannot exceed bounds");
-        self.telemetry.phase_done(span, Phase::Persist, stall_start);
-        let commit_start = self.telemetry.now_nanos();
+        let ctx = PipelineCtx {
+            telemetry: &self.telemetry,
+            span,
+        };
+        // Lease *before* the copy (the kernels target the mapped slot),
+        // then kernel write-through: GPU → device directly, no DRAM
+        // staging; GPU-copy and persist overlap tile-by-tile, so both
+        // phases share the same start timestamp.
+        let lease = self.pipeline.lease(ctx);
+        self.pipeline
+            .write_through(ctx, &guard, &lease, iteration, stall_start)
+            .expect("kernel write-through on healthy device");
         let outcome = self
-            .store
-            .commit(lease, iteration, total.as_u64(), digest.0)
+            .pipeline
+            .commit(ctx, lease, iteration, total.as_u64(), digest.0)
             .expect("commit I/O on healthy device");
-        self.telemetry.phase_done(span, Phase::Commit, commit_start);
         drop(guard);
         match outcome {
             pccheck::CommitOutcome::Committed => {

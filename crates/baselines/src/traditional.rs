@@ -12,10 +12,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use pccheck::store::CheckpointStore;
-use pccheck::PccheckError;
+use pccheck::{PccheckError, PersistPipeline, PipelineCtx};
 use pccheck_device::PersistentDevice;
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu};
-use pccheck_telemetry::{Phase, Telemetry};
+use pccheck_telemetry::Telemetry;
 use pccheck_util::ByteSize;
 
 /// The fully synchronous baseline.
@@ -46,7 +46,7 @@ use pccheck_util::ByteSize;
 /// ```
 #[derive(Debug)]
 pub struct TraditionalCheckpointer {
-    store: Arc<CheckpointStore>,
+    pipeline: PersistPipeline,
     last: Mutex<Option<CheckpointOutcome>>,
     telemetry: Telemetry,
 }
@@ -64,7 +64,7 @@ impl TraditionalCheckpointer {
     ) -> Result<Self, PccheckError> {
         let store = CheckpointStore::format(device, checkpoint_size, 2)?;
         Ok(TraditionalCheckpointer {
-            store: Arc::new(store),
+            pipeline: PersistPipeline::new(Arc::new(store)),
             last: Mutex::new(None),
             telemetry: Telemetry::disabled(),
         })
@@ -79,7 +79,7 @@ impl TraditionalCheckpointer {
 
     /// The underlying store (for recovery in tests/benches).
     pub fn store(&self) -> &Arc<CheckpointStore> {
-        &self.store
+        self.pipeline.store()
     }
 }
 
@@ -89,35 +89,26 @@ impl Checkpointer for TraditionalCheckpointer {
         let span = self
             .telemetry
             .span_requested(self.name(), iteration, gpu.state_size().as_u64());
+        let ctx = PipelineCtx {
+            telemetry: &self.telemetry,
+            span,
+        };
         // C: copy weights to DRAM — inline, training thread blocked.
         let guard = gpu.lock_weights_shared();
         let total = guard.size();
         let digest = guard.digest();
-        let mut host = vec![0u8; total.as_usize()];
-        guard.copy_range_to_host(0, &mut host);
+        let host = self.pipeline.snapshot_whole(ctx, &guard, stall_start);
         drop(guard);
-        self.telemetry
-            .chunk(span, Phase::GpuCopy, 0, total.as_u64());
-        self.telemetry.phase_done(span, Phase::GpuCopy, stall_start);
-        // P: write + sync to storage — still inline.
-        let persist_start = self.telemetry.now_nanos();
-        let lease = self.store.begin_checkpoint();
-        self.store
-            .write_payload(&lease, 0, &host)
-            .expect("payload fits the formatted slot");
-        self.store
-            .persist_payload(&lease, 0, total.as_u64())
-            .expect("persist cannot exceed bounds");
-        self.telemetry
-            .chunk(span, Phase::Persist, 0, total.as_u64());
-        self.telemetry
-            .phase_done(span, Phase::Persist, persist_start);
-        let commit_start = self.telemetry.now_nanos();
+        // P: write + sync to storage — still inline, slot leased after the
+        // copy (the lease straddles only the persist, as before).
+        let lease = self
+            .pipeline
+            .persist_whole(ctx, &host, iteration)
+            .expect("whole-payload persist on healthy device");
         let outcome = self
-            .store
-            .commit(lease, iteration, total.as_u64(), digest.0)
+            .pipeline
+            .commit(ctx, lease, iteration, total.as_u64(), digest.0)
             .expect("commit I/O on healthy device");
-        self.telemetry.phase_done(span, Phase::Commit, commit_start);
         match outcome {
             pccheck::CommitOutcome::Committed => {
                 self.telemetry.committed(span, iteration, total.as_u64());

@@ -18,22 +18,27 @@
 //! All of this happens on background threads; the training loop's
 //! `checkpoint()` call returns as soon as the ticket and the weights lock
 //! are handed over, exactly like Figure 6's overlap of `C`/`P` with `T`.
+//!
+//! The chunk → write → fence → commit mechanics live in the shared
+//! [`PersistPipeline`]; this module is the *scheduling policy* around it:
+//! `N` concurrency tickets, background workers, and the staged-vs-streamed
+//! copy choice.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use pccheck_device::{HostBufferPool, PersistentDevice};
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu, OwnedWeightsGuard};
 use pccheck_telemetry::{
-    CheckpointCounters, CountersSnapshot, FlightEventKind, Phase, SpanId, Telemetry,
+    CheckpointCounters, CountersSnapshot, FlightEventKind, Phase, Telemetry,
 };
 use pccheck_util::ByteSize;
 
 use crate::config::PcCheckConfig;
 use crate::error::PccheckError;
+use crate::pipeline::{FenceMode, PersistPipeline, PipelineCtx};
 use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
 
 /// Cumulative engine statistics.
@@ -80,13 +85,6 @@ impl EngineStats {
     }
 }
 
-/// Telemetry context threaded through one checkpoint's background work.
-#[derive(Clone, Copy)]
-struct TraceCtx<'a> {
-    telemetry: &'a Telemetry,
-    span: SpanId,
-}
-
 #[derive(Debug, Default)]
 struct InFlight {
     count: Mutex<usize>,
@@ -106,7 +104,11 @@ impl InFlight {
         let mut count = self.count.lock();
         *count -= 1;
         drop(count);
-        self.cond.notify_one();
+        // Both acquirers and `wait_zero` drainers share this condvar. A
+        // `notify_one` could hand the sole wakeup to a drainer (which
+        // re-checks `count == 0` and exits without re-notifying) while an
+        // acquirer sleeps forever — the classic lost wakeup.
+        self.cond.notify_all();
     }
 
     fn wait_zero(&self) {
@@ -123,6 +125,7 @@ impl InFlight {
 #[derive(Debug)]
 pub struct PcCheckEngine {
     config: PcCheckConfig,
+    pipeline: Arc<PersistPipeline>,
     store: Arc<CheckpointStore>,
     pool: HostBufferPool,
     in_flight: Arc<InFlight>,
@@ -187,12 +190,22 @@ impl PcCheckEngine {
             )));
         }
         let pool = HostBufferPool::new(config.chunk_size, config.dram_chunks);
+        let fence = if config.single_sync {
+            FenceMode::Deferred
+        } else {
+            FenceMode::PerWriter
+        };
+        let pipeline = PersistPipeline::new(Arc::clone(&store))
+            .with_writers(config.writer_threads)
+            .with_fence(fence)
+            .with_staging(pool.clone());
         let last = store.latest_committed().map(|m| CheckpointOutcome {
             iteration: m.iteration,
             digest: m.state_digest(),
         });
         Ok(PcCheckEngine {
             config,
+            pipeline: Arc::new(pipeline),
             store,
             pool,
             in_flight: Arc::new(InFlight::default()),
@@ -275,30 +288,31 @@ impl PcCheckEngine {
         *workers = still_running;
     }
 
+    /// The shared persist pipeline this engine schedules over.
+    pub fn pipeline(&self) -> &Arc<PersistPipeline> {
+        &self.pipeline
+    }
+
     /// Body of one checkpoint, run on a background worker thread.
     fn run_checkpoint(
-        store: &CheckpointStore,
-        pool: &HostBufferPool,
+        pipeline: &PersistPipeline,
         config: &PcCheckConfig,
-        ctx: TraceCtx<'_>,
+        ctx: PipelineCtx<'_>,
         guard: OwnedWeightsGuard,
         iteration: u64,
         digest: pccheck_gpu::StateDigest,
     ) -> Result<CommitOutcome, PccheckError> {
         let total = guard.size();
-        let lease = store.begin_checkpoint();
+        let lease = pipeline.lease(ctx);
         let (counter, slot) = (lease.counter, lease.slot);
-        ctx.telemetry
-            .gauge_queue_depth(store.free_slot_count() as u64);
-        let result = Self::run_leased(
-            store, pool, config, ctx, guard, lease, iteration, digest, total,
-        );
+        let result = Self::run_leased(pipeline, config, ctx, guard, lease, iteration, digest, total);
         if result.is_err() {
             // A failed checkpoint leaves its Begin record unterminated on
             // the flight ring without this — record the failure so the
             // forensic auditor can tell "died mid-flight at the crash"
             // from "failed and the run continued".
-            store
+            pipeline
+                .store()
                 .flight()
                 .record(FlightEventKind::Failed, counter, slot, iteration, 0, 0);
         }
@@ -306,13 +320,13 @@ impl PcCheckEngine {
     }
 
     /// The leased portion of [`run_checkpoint`](Self::run_checkpoint):
-    /// copy, persist, and commit.
+    /// copy, persist, and commit — all through the shared pipeline; the
+    /// staged-vs-streamed choice is this engine's scheduling policy.
     #[allow(clippy::too_many_arguments)]
     fn run_leased(
-        store: &CheckpointStore,
-        pool: &HostBufferPool,
+        pipeline: &PersistPipeline,
         config: &PcCheckConfig,
-        ctx: TraceCtx<'_>,
+        ctx: PipelineCtx<'_>,
         guard: OwnedWeightsGuard,
         lease: SlotLease,
         iteration: u64,
@@ -320,178 +334,13 @@ impl PcCheckEngine {
         total: ByteSize,
     ) -> Result<CommitOutcome, PccheckError> {
         let persist_start = if config.pipelined {
-            Self::copy_and_persist_pipelined(store, pool, config, ctx, &guard, &lease, total)?
+            pipeline.copy_streamed(ctx, &guard, &lease, total)?
         } else {
-            Self::copy_then_persist(store, pool, config, ctx, &guard, &lease, total)?
+            pipeline.copy_staged(ctx, &guard, &lease, total)?
         };
         drop(guard); // weights released (if not already) before the commit CAS
-        if config.single_sync {
-            // §4.1 SSD path: one msync covering the whole payload.
-            store.persist_payload(&lease, 0, total.as_u64())?;
-        }
-        store.flight().record(
-            FlightEventKind::PayloadPersisted,
-            lease.counter,
-            lease.slot,
-            iteration,
-            total.as_u64(),
-            0,
-        );
-        ctx.telemetry
-            .phase_done(ctx.span, Phase::Persist, persist_start);
-        let commit_start = ctx.telemetry.now_nanos();
-        let outcome = store.commit(lease, iteration, total.as_u64(), digest.0);
-        ctx.telemetry
-            .phase_done(ctx.span, Phase::Commit, commit_start);
-        outcome
-    }
-
-    /// Non-pipelined path (Figure 6): stage the entire checkpoint in DRAM,
-    /// release the weights, then persist with `p` parallel writers.
-    ///
-    /// Returns the persist-phase start timestamp so the caller can close
-    /// the phase after the optional deferred `msync`.
-    fn copy_then_persist(
-        store: &CheckpointStore,
-        pool: &HostBufferPool,
-        config: &PcCheckConfig,
-        ctx: TraceCtx<'_>,
-        guard: &OwnedWeightsGuard,
-        lease: &SlotLease,
-        total: ByteSize,
-    ) -> Result<u64, PccheckError> {
-        // Stage all chunks (blocks on the pool if DRAM is scarce).
-        let copy_start = ctx.telemetry.now_nanos();
-        let chunk = pool.chunk_size();
-        let mut staged = Vec::new();
-        let mut off = 0u64;
-        while off < total.as_u64() {
-            let n = chunk.as_u64().min(total.as_u64() - off) as usize;
-            let mut buf = pool.acquire();
-            guard.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
-            ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
-            staged.push((off, n, buf));
-            off += n as u64;
-        }
-        ctx.telemetry
-            .phase_done(ctx.span, Phase::GpuCopy, copy_start);
-        store.flight().record(
-            FlightEventKind::CopyDone,
-            lease.counter,
-            lease.slot,
-            0,
-            total.as_u64(),
-            0,
-        );
-        // Persist with p writers, chunks distributed round-robin.
-        let persist_start = ctx.telemetry.now_nanos();
-        let p = config.writer_threads;
-        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|s| {
-            for w in 0..p {
-                let staged = &staged;
-                let results = &results;
-                s.spawn(move |_| {
-                    for (off, n, buf) in staged.iter().skip(w).step_by(p) {
-                        let r = store
-                            .write_payload(lease, *off, &buf.as_slice()[..*n])
-                            .and_then(|()| {
-                                if config.single_sync {
-                                    Ok(()) // deferred to the coordinator's msync
-                                } else {
-                                    store.persist_payload(lease, *off, *n as u64)
-                                }
-                            });
-                        match r {
-                            Ok(()) => {
-                                ctx.telemetry
-                                    .chunk(ctx.span, Phase::Persist, *off, *n as u64)
-                            }
-                            Err(e) => results.lock().push(e),
-                        }
-                    }
-                });
-            }
-        })
-        .expect("writer thread panicked");
-        drop(staged); // chunks return to the pool
-        if let Some(e) = results.into_inner().into_iter().next() {
-            return Err(e);
-        }
-        Ok(persist_start)
-    }
-
-    /// Pipelined path (Figure 7): a producer copies chunks from the GPU
-    /// while `p` writer threads persist already-copied chunks; each DRAM
-    /// buffer returns to the pool the moment its chunk is durable.
-    ///
-    /// Returns the persist-phase start timestamp (the phases overlap, so
-    /// it coincides with the copy start).
-    fn copy_and_persist_pipelined(
-        store: &CheckpointStore,
-        pool: &HostBufferPool,
-        config: &PcCheckConfig,
-        ctx: TraceCtx<'_>,
-        guard: &OwnedWeightsGuard,
-        lease: &SlotLease,
-        total: ByteSize,
-    ) -> Result<u64, PccheckError> {
-        type Job = (u64, usize, pccheck_device::HostBuffer);
-        let start = ctx.telemetry.now_nanos();
-        let p = config.writer_threads;
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(config.dram_chunks);
-        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|s| {
-            for _ in 0..p {
-                let rx = rx.clone();
-                let results = &results;
-                s.spawn(move |_| {
-                    while let Ok((off, n, buf)) = rx.recv() {
-                        let r = store
-                            .write_payload(lease, off, &buf.as_slice()[..n])
-                            .and_then(|()| {
-                                if config.single_sync {
-                                    Ok(())
-                                } else {
-                                    store.persist_payload(lease, off, n as u64)
-                                }
-                            });
-                        match r {
-                            Ok(()) => ctx.telemetry.chunk(ctx.span, Phase::Persist, off, n as u64),
-                            Err(e) => results.lock().push(e),
-                        }
-                        drop(buf); // free the DRAM chunk for the producer
-                    }
-                });
-            }
-            drop(rx);
-            // Producer: GPU→DRAM chunk copies.
-            let chunk = pool.chunk_size();
-            let mut off = 0u64;
-            while off < total.as_u64() {
-                let n = chunk.as_u64().min(total.as_u64() - off) as usize;
-                let mut buf = pool.acquire();
-                guard.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
-                ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
-                tx.send((off, n, buf)).expect("writers outlive producer");
-                off += n as u64;
-            }
-            ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, start);
-            store.flight().record(
-                FlightEventKind::CopyDone,
-                lease.counter,
-                lease.slot,
-                0,
-                total.as_u64(),
-                0,
-            );
-            drop(tx); // writers drain and exit
-        })
-        .expect("pipelined checkpoint thread panicked");
-        if let Some(e) = results.into_inner().into_iter().next() {
-            return Err(e);
-        }
-        Ok(start)
+        pipeline.seal(ctx, &lease, iteration, total, persist_start)?;
+        pipeline.commit(ctx, lease, iteration, total.as_u64(), digest.0)
     }
 }
 
@@ -516,8 +365,7 @@ impl Checkpointer for PcCheckEngine {
             .stall(span, self.telemetry.now_nanos().saturating_sub(stall_start));
         self.telemetry.span_queued(span);
 
-        let store = Arc::clone(&self.store);
-        let pool = self.pool.clone();
+        let pipeline = Arc::clone(&self.pipeline);
         let config = self.config.clone();
         let in_flight = Arc::clone(&self.in_flight);
         let stats = Arc::clone(&self.stats);
@@ -527,12 +375,11 @@ impl Checkpointer for PcCheckEngine {
         let total_bytes = guard.size().as_u64();
         let handle = std::thread::spawn(move || {
             let digest = guard.digest();
-            let ctx = TraceCtx {
+            let ctx = PipelineCtx {
                 telemetry: &telemetry,
                 span,
             };
-            let result =
-                Self::run_checkpoint(&store, &pool, &config, ctx, guard, iteration, digest);
+            let result = Self::run_checkpoint(&pipeline, &config, ctx, guard, iteration, digest);
             match result {
                 Ok(CommitOutcome::Committed) => {
                     stats.counters.incr_committed(total_bytes);
@@ -929,6 +776,46 @@ mod tests {
             .any(|e| matches!(e.kind, pccheck_telemetry::EventKind::Failed { .. })));
         // The error slot is one-shot: a second drain is clean.
         assert!(engine.try_drain().is_ok());
+    }
+
+    #[test]
+    fn release_wakes_drainers_and_queued_acquirers() {
+        // Regression: `release` used `notify_one` on the condvar shared by
+        // `acquire` waiters and `wait_zero` drainers. With a drainer and an
+        // acquirer both queued, the single wakeup could go to the drainer —
+        // which exits without re-notifying — leaving the acquirer asleep
+        // forever. The drill deadlocks under the old code, so it runs on a
+        // watchdog thread and must finish well within the timeout.
+        use std::sync::mpsc;
+
+        let (done_tx, done_rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let gate = Arc::new(InFlight::default());
+            gate.acquire(1); // hold the only ticket so everyone queues
+            let mut threads = Vec::new();
+            for _ in 0..3 {
+                let gate = Arc::clone(&gate);
+                threads.push(std::thread::spawn(move || {
+                    gate.acquire(1);
+                    gate.release();
+                }));
+            }
+            let drainer = {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || gate.wait_zero())
+            };
+            // Let the acquirers and the drainer all block on the condvar.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            gate.release();
+            for t in threads {
+                t.join().unwrap();
+            }
+            drainer.join().unwrap();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("lost wakeup: an acquirer or drainer never woke");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`queue`] — the bounded lock-free MPMC free-slot queue of Listing 1.
 //! * [`meta`] — checkpoint metadata records and the packed `CHECK_ADDR`.
 //! * [`store`] — the persistent slot layout and the CAS commit protocol.
+//! * [`pipeline`] — [`PersistPipeline`]: the shared chunk-scheduled
+//!   chunk → write → fence → commit I/O layer every storage-backed
+//!   strategy schedules over.
 //! * [`engine`] — [`PcCheckEngine`]: the orchestrator + persistent manager
 //!   implementing [`pccheck_gpu::Checkpointer`].
 //! * [`recovery`] — post-crash recovery and the §4.2 recovery-time models.
@@ -64,6 +67,7 @@ pub mod engine;
 pub mod error;
 pub mod footprint;
 pub mod meta;
+pub mod pipeline;
 pub mod queue;
 pub mod recovery;
 pub mod store;
@@ -73,6 +77,7 @@ pub use config::{PcCheckConfig, PcCheckConfigBuilder};
 pub use engine::{EngineStats, PcCheckEngine};
 pub use error::PccheckError;
 pub use meta::CheckMeta;
+pub use pipeline::{FenceMode, PersistPipeline, PipelineCtx, KERNEL_COPY_CHUNK};
 pub use recovery::{
     recover, recover_instrumented, RecoveredCheckpoint, RecoveryModel, RecoveryTrace, Strategy,
 };

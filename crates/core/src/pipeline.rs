@@ -1,0 +1,673 @@
+//! The shared persist pipeline: chunk → write → fence → commit.
+//!
+//! Every storage-backed strategy in this repository — the PCcheck engine
+//! and the traditional/CheckFreq/GPM baselines — moves checkpoint bytes
+//! through the same four mechanical stages: slice the snapshot into
+//! chunks, write each chunk into a leased slot, fence it durable, and run
+//! the store's CAS commit. What *differs* between strategies is pure
+//! scheduling policy: when the training thread stalls, how many
+//! concurrency tickets exist, whether the copier runs inline or on a
+//! background thread, and whether fences are issued per writer (PMEM) or
+//! deferred into one `msync` (SSD).
+//!
+//! [`PersistPipeline`] owns the mechanism so the strategies reduce to
+//! policy. It also owns the pipeline's telemetry: per-chunk write/persist
+//! stage latencies ([`Telemetry::stage_write`] /
+//! [`Telemetry::stage_persist`]) and the per-device submission-queue
+//! gauges sampled from [`PersistentDevice::queue_depths`] — including
+//! every member of a striped or tiered composite device.
+//!
+//! [`PersistentDevice::queue_depths`]: pccheck_device::PersistentDevice::queue_depths
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use pccheck_device::{HostBuffer, HostBufferPool};
+use pccheck_gpu::SnapshotSource;
+use pccheck_telemetry::{FlightEventKind, Phase, SpanId, Telemetry};
+use pccheck_util::ByteSize;
+
+use crate::error::PccheckError;
+use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
+
+/// Tile size for the GPU-kernel write-through loop (kernel grids move data
+/// in bounded tiles; GPM's SSD/PMEM adaptation).
+pub const KERNEL_COPY_CHUNK: usize = 4 * 1024 * 1024;
+
+/// How payload fences are issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceMode {
+    /// Each writer persists the chunks it wrote (required on PMEM, where
+    /// fences are per-thread — §4.1).
+    PerWriter,
+    /// Writers only write; the coordinator issues one deferred fence over
+    /// the whole payload in [`PersistPipeline::seal`] (the SSD `msync`
+    /// optimization).
+    Deferred,
+}
+
+/// Telemetry context for one checkpoint's trip through the pipeline.
+#[derive(Clone, Copy)]
+pub struct PipelineCtx<'a> {
+    /// The recording handle (may be disabled: every hook no-ops).
+    pub telemetry: &'a Telemetry,
+    /// The checkpoint's span.
+    pub span: SpanId,
+}
+
+/// The shared chunk-scheduled I/O layer over a [`CheckpointStore`].
+///
+/// Cloning is cheap: clones share the store and the DRAM staging pool, so
+/// a strategy may hand a clone to a background persist thread.
+#[derive(Debug, Clone)]
+pub struct PersistPipeline {
+    store: Arc<CheckpointStore>,
+    pool: Option<HostBufferPool>,
+    writers: usize,
+    fence: FenceMode,
+}
+
+impl PersistPipeline {
+    /// A single-writer, per-writer-fence pipeline over `store` with no
+    /// DRAM staging pool (whole-buffer strategies).
+    pub fn new(store: Arc<CheckpointStore>) -> Self {
+        PersistPipeline {
+            store,
+            pool: None,
+            writers: 1,
+            fence: FenceMode::PerWriter,
+        }
+    }
+
+    /// Sets the number of parallel writer threads (`p` in the paper).
+    pub fn with_writers(mut self, writers: usize) -> Self {
+        self.writers = writers;
+        self
+    }
+
+    /// Sets the fence mode.
+    pub fn with_fence(mut self, fence: FenceMode) -> Self {
+        self.fence = fence;
+        self
+    }
+
+    /// Attaches the DRAM staging pool used by the chunk-scheduled copy
+    /// paths ([`copy_staged`](Self::copy_staged) /
+    /// [`copy_streamed`](Self::copy_streamed)).
+    pub fn with_staging(mut self, pool: HostBufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// The fence mode this pipeline issues.
+    pub fn fence(&self) -> FenceMode {
+        self.fence
+    }
+
+    /// The staging pool, when one is attached.
+    pub fn staging_pool(&self) -> Option<&HostBufferPool> {
+        self.pool.as_ref()
+    }
+
+    fn pool(&self) -> &HostBufferPool {
+        self.pool
+            .as_ref()
+            .expect("chunk-scheduled copy paths need a staging pool")
+    }
+
+    /// Leases a free slot and refreshes the queue-depth gauges.
+    pub fn lease(&self, ctx: PipelineCtx<'_>) -> SlotLease {
+        let lease = self.store.begin_checkpoint();
+        ctx.telemetry
+            .gauge_queue_depth(self.store.free_slot_count() as u64);
+        self.sample_device_queues(ctx);
+        lease
+    }
+
+    /// Writes one payload chunk, feeding the write-stage histogram and the
+    /// per-device submission-queue gauges.
+    fn write_chunk(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: &SlotLease,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), PccheckError> {
+        let start = ctx.telemetry.now_nanos();
+        self.store.write_payload(lease, offset, data)?;
+        if ctx.telemetry.is_enabled() {
+            ctx.telemetry
+                .stage_write(ctx.telemetry.now_nanos().saturating_sub(start));
+            self.sample_device_queues(ctx);
+        }
+        Ok(())
+    }
+
+    /// Fences one payload range, feeding the persist-stage histogram.
+    fn persist_chunk(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: &SlotLease,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), PccheckError> {
+        let start = ctx.telemetry.now_nanos();
+        self.store.persist_payload(lease, offset, len)?;
+        if ctx.telemetry.is_enabled() {
+            ctx.telemetry
+                .stage_persist(ctx.telemetry.now_nanos().saturating_sub(start));
+        }
+        Ok(())
+    }
+
+    /// Samples the device's submission queues into the per-device gauges.
+    /// Composite devices report the controller at index 0 and each member
+    /// after it.
+    fn sample_device_queues(&self, ctx: PipelineCtx<'_>) {
+        if !ctx.telemetry.is_enabled() {
+            return;
+        }
+        for (i, depth) in self.store.device().queue_depths().iter().enumerate() {
+            ctx.telemetry.gauge_device_queue(i, *depth);
+        }
+    }
+
+    /// Writes one chunk and, in [`FenceMode::PerWriter`], fences it; emits
+    /// the per-chunk `Persist` telemetry either way (in deferred mode the
+    /// fence follows in [`seal`](Self::seal)).
+    fn write_and_fence_chunk(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: &SlotLease,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), PccheckError> {
+        self.write_chunk(ctx, lease, offset, data)?;
+        if self.fence == FenceMode::PerWriter {
+            self.persist_chunk(ctx, lease, offset, data.len() as u64)?;
+        }
+        ctx.telemetry
+            .chunk(ctx.span, Phase::Persist, offset, data.len() as u64);
+        Ok(())
+    }
+
+    /// Non-pipelined copy (Figure 6): stage the entire snapshot in DRAM
+    /// chunks, then persist with `p` parallel writers distributing chunks
+    /// round-robin.
+    ///
+    /// Returns the persist-phase start timestamp so the caller can close
+    /// the phase after [`seal`](Self::seal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any writer hit.
+    pub fn copy_staged(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        lease: &SlotLease,
+        total: ByteSize,
+    ) -> Result<u64, PccheckError> {
+        let pool = self.pool();
+        // Stage all chunks (blocks on the pool if DRAM is scarce).
+        let copy_start = ctx.telemetry.now_nanos();
+        let chunk = pool.chunk_size();
+        let mut staged = Vec::new();
+        let mut off = 0u64;
+        while off < total.as_u64() {
+            let n = chunk.as_u64().min(total.as_u64() - off) as usize;
+            let mut buf = pool.acquire();
+            src.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+            ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
+            staged.push((off, n, buf));
+            off += n as u64;
+        }
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::GpuCopy, copy_start);
+        self.store.flight().record(
+            FlightEventKind::CopyDone,
+            lease.counter,
+            lease.slot,
+            0,
+            total.as_u64(),
+            0,
+        );
+        // Persist with p writers, chunks distributed round-robin.
+        let persist_start = ctx.telemetry.now_nanos();
+        let p = self.writers;
+        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for w in 0..p {
+                let staged = &staged;
+                let results = &results;
+                s.spawn(move |_| {
+                    for (off, n, buf) in staged.iter().skip(w).step_by(p) {
+                        if let Err(e) =
+                            self.write_and_fence_chunk(ctx, lease, *off, &buf.as_slice()[..*n])
+                        {
+                            results.lock().push(e);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("writer thread panicked");
+        drop(staged); // chunks return to the pool
+        if let Some(e) = results.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok(persist_start)
+    }
+
+    /// Pipelined copy (Figure 7): a producer copies chunks from the GPU
+    /// while `p` writer threads persist already-copied chunks; each DRAM
+    /// buffer returns to the pool the moment its chunk is durable.
+    ///
+    /// Returns the persist-phase start timestamp (the phases overlap, so
+    /// it coincides with the copy start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any writer hit.
+    pub fn copy_streamed(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        lease: &SlotLease,
+        total: ByteSize,
+    ) -> Result<u64, PccheckError> {
+        type Job = (u64, usize, HostBuffer);
+        let pool = self.pool();
+        let start = ctx.telemetry.now_nanos();
+        let p = self.writers;
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(pool.total_chunks());
+        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..p {
+                let rx = rx.clone();
+                let results = &results;
+                s.spawn(move |_| {
+                    while let Ok((off, n, buf)) = rx.recv() {
+                        if let Err(e) =
+                            self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
+                        {
+                            results.lock().push(e);
+                        }
+                        drop(buf); // free the DRAM chunk for the producer
+                    }
+                });
+            }
+            drop(rx);
+            // Producer: GPU→DRAM chunk copies.
+            let chunk = pool.chunk_size();
+            let mut off = 0u64;
+            while off < total.as_u64() {
+                let n = chunk.as_u64().min(total.as_u64() - off) as usize;
+                let mut buf = pool.acquire();
+                src.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+                ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
+                tx.send((off, n, buf)).expect("writers outlive producer");
+                off += n as u64;
+            }
+            ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, start);
+            self.store.flight().record(
+                FlightEventKind::CopyDone,
+                lease.counter,
+                lease.slot,
+                0,
+                total.as_u64(),
+                0,
+            );
+            drop(tx); // writers drain and exit
+        })
+        .expect("pipelined checkpoint thread panicked");
+        if let Some(e) = results.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok(start)
+    }
+
+    /// Whole-buffer snapshot: copies the entire source into one host
+    /// allocation and closes the `GpuCopy` phase that started at
+    /// `phase_start` (the traditional/CheckFreq `C` step).
+    pub fn snapshot_whole(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        phase_start: u64,
+    ) -> Vec<u8> {
+        let total = src.size();
+        let mut host = vec![0u8; total.as_usize()];
+        src.copy_range_to_host(0, &mut host);
+        ctx.telemetry
+            .chunk(ctx.span, Phase::GpuCopy, 0, total.as_u64());
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::GpuCopy, phase_start);
+        host
+    }
+
+    /// Whole-buffer persist: leases a slot *after* the copy, writes the
+    /// payload in one piece, fences it, and closes the `Persist` phase
+    /// (the traditional/CheckFreq `P` step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn persist_whole(
+        &self,
+        ctx: PipelineCtx<'_>,
+        payload: &[u8],
+        iteration: u64,
+    ) -> Result<SlotLease, PccheckError> {
+        let total = payload.len() as u64;
+        let persist_start = ctx.telemetry.now_nanos();
+        let lease = self.lease(ctx);
+        self.write_chunk(ctx, &lease, 0, payload)?;
+        self.persist_chunk(ctx, &lease, 0, total)?;
+        ctx.telemetry.chunk(ctx.span, Phase::Persist, 0, total);
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Persist, persist_start);
+        self.store.flight().record(
+            FlightEventKind::PayloadPersisted,
+            lease.counter,
+            lease.slot,
+            iteration,
+            total,
+            0,
+        );
+        Ok(lease)
+    }
+
+    /// Kernel write-through (GPM): copies the snapshot tile by tile
+    /// straight into the leased slot with no DRAM staging, then issues one
+    /// same-thread fence over the payload. `GpuCopy` and `Persist` overlap
+    /// tile-by-tile, so both phases close against the shared `phase_start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn write_through(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        lease: &SlotLease,
+        iteration: u64,
+        phase_start: u64,
+    ) -> Result<(), PccheckError> {
+        let total = src.size();
+        // A small bounce tile stands in for the kernel's register/shared-
+        // memory tile; it never holds the checkpoint (Table 1: DRAM = 0).
+        let mut tile = vec![0u8; KERNEL_COPY_CHUNK.min(total.as_usize().max(1))];
+        let mut off = 0u64;
+        while off < total.as_u64() {
+            let n = (tile.len() as u64).min(total.as_u64() - off) as usize;
+            src.copy_range_to_host(off, &mut tile[..n]);
+            ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
+            self.write_chunk(ctx, lease, off, &tile[..n])?;
+            ctx.telemetry.chunk(ctx.span, Phase::Persist, off, n as u64);
+            off += n as u64;
+        }
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::GpuCopy, phase_start);
+        // cudaDeviceSynchronize + msync/fence: one persist over the payload
+        // issued by this same (training) thread — correct on both SSD and
+        // PMEM because the same thread performed every store.
+        self.persist_chunk(ctx, lease, 0, total.as_u64())?;
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Persist, phase_start);
+        self.store.flight().record(
+            FlightEventKind::PayloadPersisted,
+            lease.counter,
+            lease.slot,
+            iteration,
+            total.as_u64(),
+            0,
+        );
+        Ok(())
+    }
+
+    /// Makes a chunk-copied payload durable: in [`FenceMode::Deferred`]
+    /// issues the one coordinator fence over the whole payload, records the
+    /// flight milestone, and closes the `Persist` phase that started at
+    /// `persist_start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the deferred fence.
+    pub fn seal(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: &SlotLease,
+        iteration: u64,
+        total: ByteSize,
+        persist_start: u64,
+    ) -> Result<(), PccheckError> {
+        if self.fence == FenceMode::Deferred {
+            // §4.1 SSD path: one msync covering the whole payload.
+            self.persist_chunk(ctx, lease, 0, total.as_u64())?;
+        }
+        self.store.flight().record(
+            FlightEventKind::PayloadPersisted,
+            lease.counter,
+            lease.slot,
+            iteration,
+            total.as_u64(),
+            0,
+        );
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Persist, persist_start);
+        Ok(())
+    }
+
+    /// Runs the store's CAS commit and closes the `Commit` phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn commit(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: SlotLease,
+        iteration: u64,
+        payload_len: u64,
+        digest: u64,
+    ) -> Result<CommitOutcome, PccheckError> {
+        let commit_start = ctx.telemetry.now_nanos();
+        let outcome = self.store.commit(lease, iteration, payload_len, digest);
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Commit, commit_start);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice, StripedDevice};
+    use pccheck_gpu::{Gpu, GpuConfig, TrainingState};
+    use pccheck_telemetry::Telemetry;
+
+    fn gpu(size: u64, seed: u64) -> Gpu {
+        Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(size), seed),
+        )
+    }
+
+    fn ssd_store(state: ByteSize, slots: u32) -> Arc<CheckpointStore> {
+        let cap = CheckpointStore::required_capacity(state, slots) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        Arc::new(CheckpointStore::format(device, state, slots).unwrap())
+    }
+
+    #[test]
+    fn whole_buffer_path_commits_a_recoverable_checkpoint() {
+        let g = gpu(300, 11);
+        g.update();
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 2));
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("test", 1, 300);
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span,
+        };
+        let guard = g.lock_weights_shared();
+        let digest = guard.digest();
+        let start = telemetry.now_nanos();
+        let host = pipeline.snapshot_whole(ctx, &guard, start);
+        drop(guard);
+        let lease = pipeline.persist_whole(ctx, &host, 1).unwrap();
+        let outcome = pipeline.commit(ctx, lease, 1, 300, digest.0).unwrap();
+        assert_eq!(outcome, CommitOutcome::Committed);
+        let meta = pipeline.store().latest_committed().unwrap();
+        assert_eq!(meta.iteration, 1);
+        assert_eq!(meta.digest, digest.0);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.phase(Phase::GpuCopy).count, 1);
+        assert_eq!(snap.phase(Phase::Persist).count, 1);
+        assert_eq!(snap.phase(Phase::Commit).count, 1);
+        // The pipeline fed the per-stage histograms and the device gauge.
+        assert_eq!(snap.write_stage.count, 1);
+        assert_eq!(snap.persist_stage.count, 1);
+    }
+
+    #[test]
+    fn staged_and_streamed_paths_agree() {
+        for streamed in [false, true] {
+            let g = gpu(900, 13);
+            g.update();
+            let pool = HostBufferPool::new(ByteSize::from_bytes(128), 8);
+            let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 3))
+                .with_writers(2)
+                .with_staging(pool);
+            let telemetry = Telemetry::enabled();
+            let span = telemetry.span_requested("test", 1, 900);
+            let ctx = PipelineCtx {
+                telemetry: &telemetry,
+                span,
+            };
+            let guard = g.lock_weights_shared_owned();
+            let digest = guard.digest();
+            let total = guard.size();
+            let lease = pipeline.lease(ctx);
+            let persist_start = if streamed {
+                pipeline.copy_streamed(ctx, &guard, &lease, total).unwrap()
+            } else {
+                pipeline.copy_staged(ctx, &guard, &lease, total).unwrap()
+            };
+            drop(guard);
+            pipeline.seal(ctx, &lease, 1, total, persist_start).unwrap();
+            let outcome = pipeline
+                .commit(ctx, lease, 1, total.as_u64(), digest.0)
+                .unwrap();
+            assert_eq!(outcome, CommitOutcome::Committed, "streamed={streamed}");
+            let snap = telemetry.snapshot().unwrap();
+            // 900 bytes in 128-byte chunks: 8 chunks through both stages.
+            assert_eq!(snap.gpu_copy_bytes, 900);
+            assert_eq!(snap.persist_chunk_bytes, 900);
+            assert_eq!(snap.write_stage.count, 8);
+            assert_eq!(snap.persist_stage.count, 8);
+        }
+    }
+
+    #[test]
+    fn deferred_fence_skips_per_chunk_persists_until_seal() {
+        let g = gpu(512, 17);
+        g.update();
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 4);
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 2))
+            .with_writers(2)
+            .with_fence(FenceMode::Deferred)
+            .with_staging(pool);
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("test", 1, 512);
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span,
+        };
+        let guard = g.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let total = guard.size();
+        let lease = pipeline.lease(ctx);
+        let start = pipeline.copy_staged(ctx, &guard, &lease, total).unwrap();
+        drop(guard);
+        pipeline.seal(ctx, &lease, 1, total, start).unwrap();
+        pipeline
+            .commit(ctx, lease, 1, total.as_u64(), digest.0)
+            .unwrap();
+        let snap = telemetry.snapshot().unwrap();
+        // 4 chunk writes but exactly one (deferred) fence.
+        assert_eq!(snap.write_stage.count, 4);
+        assert_eq!(snap.persist_stage.count, 1);
+    }
+
+    #[test]
+    fn device_queue_gauges_cover_striped_members() {
+        let g = gpu(600, 19);
+        g.update();
+        let members: Vec<Arc<dyn PersistentDevice>> = (0..2)
+            .map(|_| {
+                Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(
+                    ByteSize::from_kb(64),
+                ))) as Arc<dyn PersistentDevice>
+            })
+            .collect();
+        let striped: Arc<dyn PersistentDevice> =
+            Arc::new(StripedDevice::new(members, ByteSize::from_bytes(256)));
+        let store = Arc::new(CheckpointStore::format(striped, g.state_size(), 2).unwrap());
+        let pipeline = PersistPipeline::new(store);
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("test", 1, 600);
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span,
+        };
+        let guard = g.lock_weights_shared();
+        let digest = guard.digest();
+        let host = pipeline.snapshot_whole(ctx, &guard, 0);
+        drop(guard);
+        let lease = pipeline.persist_whole(ctx, &host, 1).unwrap();
+        pipeline.commit(ctx, lease, 1, 600, digest.0).unwrap();
+        // Controller + two members were sampled (values may be zero since
+        // sampling happens after each op completes, but the gauge slots
+        // exist and the store's own stats saw the traffic).
+        let report = pipeline.store().device().stats_report();
+        assert_eq!(report.len(), 3);
+        assert!(report[0].bytes_persisted >= 600);
+    }
+
+    #[test]
+    fn write_through_needs_no_staging_pool() {
+        let g = gpu(300, 23);
+        g.update();
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 2));
+        assert!(pipeline.staging_pool().is_none());
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("test", 1, 300);
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span,
+        };
+        let guard = g.lock_weights_shared();
+        let digest = guard.digest();
+        let start = telemetry.now_nanos();
+        let lease = pipeline.lease(ctx);
+        pipeline.write_through(ctx, &guard, &lease, 1, start).unwrap();
+        let outcome = pipeline.commit(ctx, lease, 1, 300, digest.0).unwrap();
+        drop(guard);
+        assert_eq!(outcome, CommitOutcome::Committed);
+        let snap = telemetry.snapshot().unwrap();
+        // One tile (300 bytes < 4 MiB), one same-thread fence.
+        assert_eq!(snap.gpu_copy_bytes, 300);
+        assert_eq!(snap.persist_chunk_bytes, 300);
+        assert_eq!(snap.persist_stage.count, 1);
+    }
+}

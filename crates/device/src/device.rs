@@ -80,6 +80,8 @@ pub struct DeviceStats {
     bytes_persisted: AtomicU64,
     persist_ops: AtomicU64,
     crashes: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
 }
 
 impl DeviceStats {
@@ -94,6 +96,16 @@ impl DeviceStats {
 
     pub(crate) fn record_crash(&self) {
         self.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn submit_begin(&self) -> u64 {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        depth
+    }
+
+    pub(crate) fn submit_end(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Total bytes accepted by `write_at`.
@@ -114,6 +126,78 @@ impl DeviceStats {
     /// Number of injected crashes.
     pub fn crashes(&self) -> u64 {
         self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Submissions currently in flight on the device's queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the submission queue.
+    pub fn peak_queue_depth(&self) -> u64 {
+        self.peak_queue_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// One entry (a device or a composite member) in a
+/// [`stats_report`](PersistentDevice::stats_report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceStatsReport {
+    /// Role of this entry: `"device"` for the target itself, or a member
+    /// label like `"stripe-0"` / `"pmem-tier"` inside a composite.
+    pub name: String,
+    /// Total bytes accepted by `write_at`.
+    pub bytes_written: u64,
+    /// Total bytes covered by persist operations.
+    pub bytes_persisted: u64,
+    /// Number of persist (msync/fence) operations.
+    pub persist_ops: u64,
+    /// High-water mark of the submission queue.
+    pub peak_queue_depth: u64,
+}
+
+impl DeviceStatsReport {
+    /// Snapshots `stats` under `name`.
+    pub fn from_stats(name: impl Into<String>, stats: &DeviceStats) -> Self {
+        DeviceStatsReport {
+            name: name.into(),
+            bytes_written: stats.bytes_written().as_u64(),
+            bytes_persisted: stats.bytes_persisted().as_u64(),
+            persist_ops: stats.persist_ops(),
+            peak_queue_depth: stats.peak_queue_depth(),
+        }
+    }
+}
+
+/// RAII handle for one entry on a device's submission queue: the depth
+/// gauge is bumped on creation and released on drop (I/O completion).
+///
+/// Devices take a ticket internally around every `write_at`/`persist`, so
+/// [`DeviceStats::queue_depth`] reflects the I/O concurrently in flight and
+/// [`DeviceStats::peak_queue_depth`] its high-water mark. Composites use
+/// the same mechanism per member to apply queue-depth-aware backpressure.
+#[derive(Debug)]
+pub struct SubmissionTicket<'a> {
+    stats: &'a DeviceStats,
+    depth: u64,
+}
+
+impl<'a> SubmissionTicket<'a> {
+    /// Enters the submission queue tracked by `stats`.
+    pub fn enter(stats: &'a DeviceStats) -> Self {
+        let depth = stats.submit_begin();
+        SubmissionTicket { stats, depth }
+    }
+
+    /// Queue depth observed when this submission entered (including it).
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+}
+
+impl Drop for SubmissionTicket<'_> {
+    fn drop(&mut self) {
+        self.stats.submit_end();
     }
 }
 
@@ -177,6 +261,26 @@ pub trait PersistentDevice: std::fmt::Debug + Send + Sync {
 
     /// Cumulative I/O statistics.
     fn stats(&self) -> &DeviceStats;
+
+    /// Enqueues one submission on the device's queue; the returned ticket
+    /// releases the depth slot when dropped. Device implementations call
+    /// this at the top of `write_at`/`persist`, so external callers rarely
+    /// need it directly.
+    fn submit(&self) -> SubmissionTicket<'_> {
+        SubmissionTicket::enter(self.stats())
+    }
+
+    /// Current submission-queue depth of this device and, for composites,
+    /// of each member (element 0 is always the device itself).
+    fn queue_depths(&self) -> Vec<u64> {
+        vec![self.stats().queue_depth()]
+    }
+
+    /// Per-device statistics snapshot; composites append one entry per
+    /// member after their own.
+    fn stats_report(&self) -> Vec<DeviceStatsReport> {
+        vec![DeviceStatsReport::from_stats("device", self.stats())]
+    }
 }
 
 #[cfg(test)]

@@ -286,4 +286,40 @@ mod tests {
         let _a = pool.acquire();
         assert_eq!(clone.available(), 1);
     }
+
+    #[test]
+    fn exhausted_pool_blocks_acquirers_until_buffers_recycle() {
+        // More concurrent consumers than staging buffers: every acquire
+        // must block (never panic, never hand out a duplicate) and make
+        // progress as soon as a buffer recycles.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let pool = HostBufferPool::new(ByteSize::from_bytes(64), 2);
+        let holders = Arc::new(AtomicUsize::new(0));
+        let completed = Arc::new(AtomicUsize::new(0));
+        crossbeam::thread::scope(|s| {
+            for w in 0..6u8 {
+                let pool = pool.clone();
+                let holders = Arc::clone(&holders);
+                let completed = Arc::clone(&completed);
+                s.spawn(move |_| {
+                    for i in 0..20 {
+                        let mut buf = pool.acquire();
+                        let live = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                        assert!(live <= 2, "more buffers live than the pool owns");
+                        buf.as_mut_slice()[0] = w.wrapping_mul(31).wrapping_add(i);
+                        std::thread::yield_now();
+                        holders.fetch_sub(1, Ordering::SeqCst);
+                        drop(buf); // recycle: unblocks a waiting acquirer
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(completed.load(Ordering::SeqCst), 6 * 20);
+        assert_eq!(pool.available(), 2);
+        assert_eq!(pool.peak_outstanding(), 2, "never exceeded the pool size");
+    }
 }

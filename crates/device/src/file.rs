@@ -165,6 +165,7 @@ impl PersistentDevice for FileDevice {
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let _ticket = self.submit();
         self.check_bounds(offset, data.len() as u64)?;
         if self.config.throttled {
             self.bucket.acquire(ByteSize::from_bytes(data.len() as u64));
@@ -179,6 +180,7 @@ impl PersistentDevice for FileDevice {
     }
 
     fn persist(&self, offset: u64, len: u64) -> Result<()> {
+        let _ticket = self.submit();
         self.check_bounds(offset, len)?;
         let mut state = self.state.write();
         if state.crashed {

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+pub mod composite;
 pub mod device;
 pub mod dram;
 pub mod error;
@@ -51,7 +52,10 @@ pub mod pmem;
 pub mod region;
 pub mod ssd;
 
-pub use device::{DeviceConfig, DeviceStats, PersistentDevice};
+pub use composite::{StripedDevice, TieredDevice, DEFAULT_MEMBER_QUEUE_DEPTH};
+pub use device::{
+    DeviceConfig, DeviceStats, DeviceStatsReport, PersistentDevice, SubmissionTicket,
+};
 pub use dram::{HostBuffer, HostBufferPool};
 pub use error::DeviceError;
 pub use file::FileDevice;

@@ -179,6 +179,7 @@ impl PersistentDevice for PmemDevice {
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let _ticket = self.submit();
         if self.config.throttled {
             self.bucket.acquire(ByteSize::from_bytes(data.len() as u64));
         }
@@ -205,6 +206,7 @@ impl PersistentDevice for PmemDevice {
     /// are validated but the fence covers all of the caller's pending
     /// stores, which is the actual hardware behavior.
     fn persist(&self, offset: u64, len: u64) -> Result<()> {
+        let _ticket = self.submit();
         // Bounds-validate so misuse is caught symmetrically with SSD.
         {
             let state = self.state.read();

@@ -124,6 +124,7 @@ impl PersistentDevice for SsdDevice {
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let _ticket = self.submit();
         if self.config.throttled {
             // Block outside the lock so other writers and readers proceed
             // while we wait for bandwidth tokens.
@@ -137,6 +138,7 @@ impl PersistentDevice for SsdDevice {
     }
 
     fn persist(&self, offset: u64, len: u64) -> Result<()> {
+        let _ticket = self.submit();
         let mut state = self.state.write();
         Self::check_alive(state.crashed)?;
         // The fuse is read and updated under the exclusive state lock, so
@@ -329,6 +331,26 @@ mod tests {
         assert_eq!(ssd.stats().bytes_written().as_u64(), 100);
         assert_eq!(ssd.stats().bytes_persisted().as_u64(), 100);
         assert_eq!(ssd.stats().persist_ops(), 1);
+    }
+
+    #[test]
+    fn submission_queue_tracks_depth_and_peak() {
+        let ssd = fast(1024);
+        assert_eq!(ssd.stats().queue_depth(), 0);
+        {
+            let t1 = ssd.submit();
+            assert_eq!(t1.depth(), 1);
+            let t2 = ssd.submit();
+            assert_eq!(t2.depth(), 2);
+            assert_eq!(ssd.stats().queue_depth(), 2);
+        }
+        assert_eq!(ssd.stats().queue_depth(), 0, "tickets release on drop");
+        assert_eq!(ssd.stats().peak_queue_depth(), 2, "peak is sticky");
+        // Every write/persist passes through the queue.
+        ssd.write_at(0, &[1; 8]).unwrap();
+        ssd.persist(0, 8).unwrap();
+        assert_eq!(ssd.stats().queue_depth(), 0);
+        assert_eq!(ssd.queue_depths(), vec![0]);
     }
 
     #[test]

@@ -241,6 +241,64 @@ impl OwnedWeightsGuard {
     }
 }
 
+/// A read-locked snapshot of GPU state that a persist pipeline can drain in
+/// chunks, agnostic to whether the copier runs inline (borrowed
+/// [`WeightsGuard`]) or on a background thread (owned
+/// [`OwnedWeightsGuard`]).
+///
+/// `Sync` is required so chunk-scheduled copiers may share one source across
+/// scoped worker threads.
+pub trait SnapshotSource: Sync {
+    /// Size of the serialized snapshot.
+    fn size(&self) -> ByteSize;
+
+    /// The step counter captured by the snapshot.
+    fn step_count(&self) -> u64;
+
+    /// Digest of the snapshot (for verification).
+    fn digest(&self) -> StateDigest;
+
+    /// Copies the serialized byte range `[offset, offset+dst.len())` into
+    /// host memory through the GPU's copy engine (PCIe-throttled).
+    fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]);
+}
+
+impl SnapshotSource for WeightsGuard<'_> {
+    fn size(&self) -> ByteSize {
+        WeightsGuard::size(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        WeightsGuard::step_count(self)
+    }
+
+    fn digest(&self) -> StateDigest {
+        WeightsGuard::digest(self)
+    }
+
+    fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
+        WeightsGuard::copy_range_to_host(self, offset, dst)
+    }
+}
+
+impl SnapshotSource for OwnedWeightsGuard {
+    fn size(&self) -> ByteSize {
+        OwnedWeightsGuard::size(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        OwnedWeightsGuard::step_count(self)
+    }
+
+    fn digest(&self) -> StateDigest {
+        OwnedWeightsGuard::digest(self)
+    }
+
+    fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
+        OwnedWeightsGuard::copy_range_to_host(self, offset, dst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

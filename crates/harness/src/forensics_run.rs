@@ -22,7 +22,7 @@ use std::sync::Arc;
 use pccheck::{
     recover_instrumented, CheckpointStore, PccheckError, RecoveredCheckpoint, RecoveryTrace,
 };
-use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice, StripedDevice};
 use pccheck_gpu::StateDigest;
 use pccheck_monitor::ForensicReport;
 use pccheck_telemetry::{FlightEventKind, Telemetry};
@@ -72,6 +72,19 @@ impl std::fmt::Display for CrashPoint {
     }
 }
 
+/// Device topology a crash scenario runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceTopology {
+    /// One simulated SSD.
+    Single,
+    /// A RAID-0 [`StripedDevice`] over `ways` simulated SSDs. The crash
+    /// fires the *controller* fuse, powering off every member at once.
+    Striped {
+        /// Number of stripe members.
+        ways: u32,
+    },
+}
+
 /// Geometry of a crash scenario.
 #[derive(Debug, Clone)]
 pub struct ForensicsRunConfig {
@@ -85,6 +98,8 @@ pub struct ForensicsRunConfig {
     pub baseline_iteration: u64,
     /// Iteration captured by the checkpoint the crash interrupts.
     pub crash_iteration: u64,
+    /// Device topology backing the store.
+    pub topology: DeviceTopology,
 }
 
 impl Default for ForensicsRunConfig {
@@ -95,6 +110,17 @@ impl Default for ForensicsRunConfig {
             flight_records: 64,
             baseline_iteration: 100,
             crash_iteration: 200,
+            topology: DeviceTopology::Single,
+        }
+    }
+}
+
+impl ForensicsRunConfig {
+    /// The default geometry on a `ways`-wide stripe set.
+    pub fn striped(ways: u32) -> Self {
+        ForensicsRunConfig {
+            topology: DeviceTopology::Striped { ways },
+            ..Self::default()
         }
     }
 }
@@ -247,8 +273,26 @@ pub fn run_crash_scenario(
     let state = ByteSize::from_bytes(cfg.state_bytes);
     let cap = CheckpointStore::required_capacity_with_flight(state, cfg.slots, cfg.flight_records)
         + ByteSize::from_kb(4);
-    let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
-    let device: Arc<dyn PersistentDevice> = ssd.clone();
+    // `arm_fuse` abstracts over the SSD's persist fuse and the striped
+    // controller's — both crash the whole store's power domain.
+    let (device, arm_fuse): (Arc<dyn PersistentDevice>, Box<dyn Fn(u64)>) = match cfg.topology {
+        DeviceTopology::Single => {
+            let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+            let fuse = Arc::clone(&ssd);
+            (ssd, Box::new(move |n| fuse.arm_crash_after_persists(n)))
+        }
+        DeviceTopology::Striped { ways } => {
+            let members: Vec<Arc<dyn PersistentDevice>> = (0..ways.max(1))
+                .map(|_| {
+                    Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)))
+                        as Arc<dyn PersistentDevice>
+                })
+                .collect();
+            let array = Arc::new(StripedDevice::new(members, ByteSize::from_kb(1)));
+            let fuse = Arc::clone(&array);
+            (array, Box::new(move |n| fuse.arm_crash_after_persists(n)))
+        }
+    };
     let store = CheckpointStore::format_with_flight(
         Arc::clone(&device),
         state,
@@ -267,7 +311,7 @@ pub fn run_crash_scenario(
     match point {
         CrashPoint::DuringPersist => {
             // The fuse fires inside this msync: the range never persists.
-            ssd.arm_crash_after_persists(0);
+            arm_fuse(0);
             let err = device.persist(store.slot_payload_offset(slot), payload.len() as u64);
             debug_assert!(err.is_err(), "armed persist must crash");
         }
@@ -374,6 +418,27 @@ mod tests {
         assert!(run.trace.candidates_scanned >= 1);
         assert_eq!(run.trace.fallbacks, 0);
         assert_eq!(run.trace.counter, run.recovered.counter);
+    }
+
+    #[test]
+    fn striped_store_survives_every_crash_point() {
+        for point in CrashPoint::ALL {
+            let run = run_crash_scenario(point, &ForensicsRunConfig::striped(2)).unwrap();
+            assert!(run.report.is_clean(), "{point}: {}", run.report.render());
+            if point == CrashPoint::AfterCommit {
+                assert_eq!(run.recovered.counter, 2, "{point}");
+                assert_eq!(run.recovered.iteration, 200, "{point}");
+                assert_eq!(run.recovered.payload, synthetic_payload(200, 4 * 1024));
+            } else {
+                assert_eq!(run.recovered.counter, 1, "{point}: baseline survives");
+                assert_eq!(run.recovered.iteration, 100, "{point}");
+            }
+            assert_eq!(
+                run.report.expected_recovery.map(|m| m.counter),
+                Some(run.recovered.counter),
+                "{point}: forensic prediction matches recovery"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 pub mod ext_h100;
 pub mod ext_jit;
+pub mod ext_striping;
 pub mod fig10_pmem;
 pub mod fig11_persist_micro;
 pub mod fig12_concurrency;

@@ -647,4 +647,44 @@ mod tests {
         ));
         assert!(audit(dev).is_err());
     }
+
+    #[test]
+    fn striped_store_audits_clean_through_the_durable_view() {
+        use pccheck_device::StripedDevice;
+        // A small stripe forces the header, CHECK_ADDR, slot metadata, and
+        // flight ring to interleave across both members, so RawStoreView's
+        // durable reads must reassemble every structure from extents.
+        let cap =
+            CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(64), 3, 64);
+        let members: Vec<Arc<dyn PersistentDevice>> = (0..2)
+            .map(|_| {
+                Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)))
+                    as Arc<dyn PersistentDevice>
+            })
+            .collect();
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(StripedDevice::new(members, ByteSize::from_bytes(256)));
+        let st = CheckpointStore::format_with_flight(
+            Arc::clone(&dev),
+            ByteSize::from_bytes(64),
+            3,
+            64,
+        )
+        .unwrap();
+        for i in 1..=3 {
+            commit_one(&st, i, format!("s{i}").as_bytes());
+        }
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.expected_recovery.unwrap().iteration, 3);
+        assert_eq!(report.checkpoints.len(), 3);
+        assert!(matches!(
+            report.checkpoints[&3],
+            CheckpointVerdict::Committed {
+                payload_valid: true,
+                ..
+            }
+        ));
+    }
 }

@@ -127,6 +127,15 @@ pub struct SimConfig {
     pub chunk_size: ByteSize,
     /// PCcheck DRAM pool size in chunks `c`.
     pub dram_chunks: usize,
+    /// Device topology: number of RAID-0 stripe members. 1 = a single
+    /// device; N > 1 aggregates N devices of `storage_bandwidth` each
+    /// (the concrete counterpart is `pccheck_device::StripedDevice`).
+    #[serde(default = "default_stripe_ways")]
+    pub stripe_ways: u32,
+}
+
+fn default_stripe_ways() -> u32 {
+    1
 }
 
 impl SimConfig {
@@ -149,6 +158,7 @@ impl SimConfig {
             media: MediaKind::Ssd,
             chunk_size: chunk,
             dram_chunks: 40, // 2·m worth of chunks at m/20 per chunk
+            stripe_ways: 1,
         }
     }
 
@@ -199,6 +209,19 @@ impl SimConfig {
     pub fn with_interval(mut self, interval: u64) -> Self {
         self.interval = interval;
         self
+    }
+
+    /// Stripes the storage across `ways` identical devices (RAID-0).
+    pub fn with_stripe_ways(mut self, ways: u32) -> Self {
+        self.stripe_ways = ways.max(1);
+        self
+    }
+
+    /// Aggregate media bandwidth across all stripe members.
+    /// `storage_bandwidth` stays per-member so hardware profiles keep
+    /// their calibrated single-device numbers.
+    pub fn effective_storage_bandwidth(&self) -> Bandwidth {
+        self.storage_bandwidth.scaled(self.stripe_ways.max(1) as f64)
     }
 
     /// The per-writer-thread bandwidth cap for this media (none for the
@@ -294,6 +317,33 @@ mod tests {
             .name(),
             "pccheck-1-1-nopipe"
         );
+    }
+
+    #[test]
+    fn stripe_ways_scales_aggregate_not_per_member() {
+        let cfg = SimConfig::ssd_a100(&ModelZoo::opt_1_3b(), 10, 100);
+        assert_eq!(cfg.stripe_ways, 1);
+        assert!(
+            (cfg.effective_storage_bandwidth().as_gb_per_sec()
+                - cfg.storage_bandwidth.as_gb_per_sec())
+            .abs()
+                < 1e-12
+        );
+        let striped = cfg.clone().with_stripe_ways(4);
+        // Per-member profile number untouched; aggregate ×4.
+        assert!((striped.storage_bandwidth.as_gb_per_sec() - 1.5).abs() < 1e-9);
+        assert!((striped.effective_storage_bandwidth().as_gb_per_sec() - 6.0).abs() < 1e-9);
+        // Per-writer cap derives from the member, not the aggregate.
+        assert_eq!(striped.per_writer_cap(), cfg.per_writer_cap());
+        // Zero clamps to a single device rather than dividing by zero.
+        assert_eq!(cfg.with_stripe_ways(0).stripe_ways, 1);
+    }
+
+    #[test]
+    fn stripe_ways_serde_default_is_single_device() {
+        // Configs serialized before the knob existed deserialize with the
+        // `#[serde(default)]` below; pin the default it resolves to.
+        assert_eq!(super::default_stripe_ways(), 1);
     }
 
     #[test]

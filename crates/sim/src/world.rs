@@ -131,7 +131,9 @@ impl World {
             );
         }
         let pcie = FluidResource::new(cfg.pcie_bandwidth, None);
-        let media = FluidResource::new(cfg.storage_bandwidth, cfg.per_writer_cap());
+        // The media resource models the whole topology: striping multiplies
+        // the aggregate ceiling while the per-writer syscall cap stays put.
+        let media = FluidResource::new(cfg.effective_storage_bandwidth(), cfg.per_writer_cap());
         let dram_free = cfg.dram_chunks;
         World {
             pcie,
@@ -789,6 +791,30 @@ mod tests {
         assert_eq!(staged.iterations, 100);
         // §5.4.3: pipelining is slightly better (or equal).
         assert!(pipe.throughput >= staged.throughput * 0.99);
+    }
+
+    #[test]
+    fn striping_shortens_write_time_and_raises_throughput() {
+        // Figure-11 flavor: same per-member device, wider stripe → higher
+        // aggregate persist bandwidth. Multiple writers are needed to use
+        // it (the per-writer cap is per-member and does not scale).
+        let single = base(1, 100).with_strategy(StrategyCfg::pccheck(2, 4)).run();
+        let striped = base(1, 100)
+            .with_strategy(StrategyCfg::pccheck(2, 4))
+            .with_stripe_ways(4)
+            .run();
+        assert!(
+            striped.mean_write_time < single.mean_write_time,
+            "4-way stripe Tw {} must beat single-device Tw {}",
+            striped.mean_write_time,
+            single.mean_write_time
+        );
+        assert!(
+            striped.throughput >= single.throughput,
+            "striping must not lose throughput: {} < {}",
+            striped.throughput,
+            single.throughput
+        );
     }
 
     #[test]

@@ -122,6 +122,35 @@ pub fn render_summary(snapshot: &TelemetrySnapshot, accounting: &RunAccounting) 
             human_nanos(s.max_nanos),
         );
     }
+    for (name, s) in [
+        ("dev-write", &snapshot.write_stage),
+        ("dev-persist", &snapshot.persist_stage),
+    ] {
+        if s.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            s.count,
+            human_nanos(s.mean_nanos()),
+            human_nanos(s.p50_nanos),
+            human_nanos(s.p95_nanos),
+            human_nanos(s.p99_nanos),
+            human_nanos(s.max_nanos),
+        );
+    }
+    if snapshot.device_queue_peak.iter().any(|&p| p > 0) {
+        let peaks: Vec<String> = snapshot
+            .device_queue_peak
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0)
+            .map(|(i, p)| format!("dev{i}={p}"))
+            .collect();
+        let _ = writeln!(out, "  submission-queue peaks: {}", peaks.join("  "));
+    }
     let _ = writeln!(out, "\n== stall / goodput (Fig. 8/9) ==");
     let _ = writeln!(
         out,

@@ -85,4 +85,4 @@ pub use flight::{
     FLIGHT_RECORD_SIZE,
 };
 pub use histogram::{HistogramSummary, LatencyHistogram};
-pub use recorder::{MemoryRecorder, Telemetry, TelemetrySnapshot};
+pub use recorder::{MemoryRecorder, Telemetry, TelemetrySnapshot, MAX_TRACKED_DEVICES};

@@ -24,6 +24,11 @@ use crate::histogram::{HistogramSummary, LatencyHistogram};
 
 const SHARDS: usize = 8;
 
+/// How many devices the per-device queue-depth gauges can track. Composite
+/// devices report the controller at index 0 and members after it; indices
+/// beyond this limit are silently dropped.
+pub const MAX_TRACKED_DEVICES: usize = 4;
+
 static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
@@ -72,9 +77,12 @@ pub struct MemoryRecorder {
     shards: [Mutex<Vec<Event>>; SHARDS],
     phase_hist: [LatencyHistogram; Phase::ALL.len()],
     stall_hist: LatencyHistogram,
+    write_stage_hist: LatencyHistogram,
+    persist_stage_hist: LatencyHistogram,
     counters: CheckpointCounters,
     in_flight: Gauge,
     queue_depth: Gauge,
+    device_queues: [Gauge; MAX_TRACKED_DEVICES],
     gpu_copy_bytes: AtomicU64,
     persist_chunk_bytes: AtomicU64,
 }
@@ -94,9 +102,12 @@ impl MemoryRecorder {
             shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
             phase_hist: std::array::from_fn(|_| LatencyHistogram::new()),
             stall_hist: LatencyHistogram::new(),
+            write_stage_hist: LatencyHistogram::new(),
+            persist_stage_hist: LatencyHistogram::new(),
             counters: CheckpointCounters::new(),
             in_flight: Gauge::default(),
             queue_depth: Gauge::default(),
+            device_queues: std::array::from_fn(|_| Gauge::default()),
             gpu_copy_bytes: AtomicU64::new(0),
             persist_chunk_bytes: AtomicU64::new(0),
         }
@@ -135,6 +146,10 @@ impl MemoryRecorder {
             counters: self.counters.snapshot(),
             phases: std::array::from_fn(|i| self.phase_hist[i].summary()),
             stall: self.stall_hist.summary(),
+            write_stage: self.write_stage_hist.summary(),
+            persist_stage: self.persist_stage_hist.summary(),
+            device_queue_depth: std::array::from_fn(|i| self.device_queues[i].current()),
+            device_queue_peak: std::array::from_fn(|i| self.device_queues[i].peak()),
             in_flight: self.in_flight.current(),
             in_flight_peak: self.in_flight.peak(),
             queue_depth: self.queue_depth.current(),
@@ -155,6 +170,14 @@ pub struct TelemetrySnapshot {
     pub phases: [HistogramSummary; Phase::ALL.len()],
     /// Training-thread stall-time summary (one sample per `checkpoint()`).
     pub stall: HistogramSummary,
+    /// Per-chunk device-write latency (the `write_at` leg of the pipeline).
+    pub write_stage: HistogramSummary,
+    /// Per-chunk device-persist latency (the fence leg of the pipeline).
+    pub persist_stage: HistogramSummary,
+    /// Last observed submission-queue depth per tracked device.
+    pub device_queue_depth: [u64; MAX_TRACKED_DEVICES],
+    /// High-water mark of the submission-queue depth per tracked device.
+    pub device_queue_peak: [u64; MAX_TRACKED_DEVICES],
     /// Checkpoints currently between request and terminal event.
     pub in_flight: u64,
     /// High-water mark of concurrent in-flight checkpoints.
@@ -406,6 +429,32 @@ impl Telemetry {
         }
     }
 
+    /// Updates the submission-queue-depth gauge for tracked device `index`.
+    /// Indices at or beyond [`MAX_TRACKED_DEVICES`] are ignored.
+    pub fn gauge_device_queue(&self, index: usize, depth: u64) {
+        if let Some(r) = &self.inner {
+            if index < MAX_TRACKED_DEVICES {
+                r.device_queues[index].set(depth);
+            }
+        }
+    }
+
+    /// Feeds one per-chunk device-write latency sample into the pipeline's
+    /// write-stage histogram.
+    pub fn stage_write(&self, nanos: u64) {
+        if let Some(r) = &self.inner {
+            r.write_stage_hist.record(nanos);
+        }
+    }
+
+    /// Feeds one per-chunk device-persist (fence) latency sample into the
+    /// pipeline's persist-stage histogram.
+    pub fn stage_persist(&self, nanos: u64) {
+        if let Some(r) = &self.inner {
+            r.persist_stage_hist.record(nanos);
+        }
+    }
+
     /// All events merged into one timestamp-ordered timeline (empty when
     /// disabled).
     pub fn events(&self) -> Vec<Event> {
@@ -520,6 +569,31 @@ mod tests {
         let snap = t.snapshot().unwrap();
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.queue_depth_peak, 3);
+    }
+
+    #[test]
+    fn pipeline_stage_metrics_roll_up() {
+        let t = Telemetry::enabled();
+        t.stage_write(100);
+        t.stage_write(300);
+        t.stage_persist(50);
+        t.gauge_device_queue(0, 3);
+        t.gauge_device_queue(0, 1);
+        t.gauge_device_queue(2, 7);
+        t.gauge_device_queue(MAX_TRACKED_DEVICES, 99); // out of range: dropped
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.write_stage.count, 2);
+        assert_eq!(snap.write_stage.sum_nanos, 400);
+        assert_eq!(snap.persist_stage.count, 1);
+        assert_eq!(snap.device_queue_depth, [1, 0, 7, 0]);
+        assert_eq!(snap.device_queue_peak, [3, 0, 7, 0]);
+
+        // Disabled handles stay inert.
+        let d = Telemetry::disabled();
+        d.stage_write(1);
+        d.stage_persist(1);
+        d.gauge_device_queue(0, 1);
+        assert!(d.snapshot().is_none());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use pccheck::{recovery, CheckpointStore, PcCheckConfig, PcCheckEngine};
-use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice};
+use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice, StripedDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_harness::forensics_run::{
     commit_checkpoint, drive_to_crash_point, synthetic_payload, CrashPoint,
@@ -55,6 +55,7 @@ fn usage() -> ExitCode {
     eprintln!("       pccheckctl telemetry <out-dir> [strategy]");
     eprintln!("       pccheckctl crashdemo <store-file> [crash-point]");
     eprintln!("       pccheckctl forensics <store-file>");
+    eprintln!("       pccheckctl device <store-file> [stripe-ways]");
     eprintln!("  demo       create the store and run a checkpointed training demo");
     eprintln!("  info       print the store header and checkpoint history");
     eprintln!("  recover    load the latest committed checkpoint and verify it");
@@ -70,6 +71,9 @@ fn usage() -> ExitCode {
     );
     eprintln!("  forensics  audit a (crashed) store's flight ring + metadata;");
     eprintln!("             exits nonzero on any invariant violation");
+    eprintln!("  device     run a short checkpointed demo against a single file");
+    eprintln!("             or a <stripe-ways>-wide RAID-0 of files, then print");
+    eprintln!("             per-device I/O stats (each stripe member separately)");
     ExitCode::from(2)
 }
 
@@ -242,6 +246,56 @@ fn cmd_forensics(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+fn cmd_device(path: &str, ways: u32) -> Result<(), Box<dyn std::error::Error>> {
+    let device: Arc<dyn PersistentDevice> = if ways <= 1 {
+        Arc::new(FileDevice::create(path, device_config())?)
+    } else {
+        // One backing file per member: `<path>.m0`, `<path>.m1`, ...
+        let mut members: Vec<Arc<dyn PersistentDevice>> = Vec::new();
+        for i in 0..ways {
+            members.push(Arc::new(FileDevice::create(
+                &format!("{path}.m{i}"),
+                device_config(),
+            )?));
+        }
+        Arc::new(StripedDevice::new(members, ByteSize::from_kb(64)))
+    };
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED),
+    );
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent((SLOTS - 1) as usize)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_kb(128))
+            .dram_chunks(8)
+            .build()?,
+        Arc::clone(&device),
+        gpu.state_size(),
+    )?;
+    let (iterations, interval) = (20u64, 5u64);
+    println!("exercising {ways}-way store at {path}: {iterations} iterations, checkpoint every {interval}");
+    for iter in 1..=iterations {
+        gpu.update();
+        if iter % interval == 0 {
+            engine.checkpoint(&gpu, iter);
+        }
+    }
+    engine.drain();
+    println!(
+        "{:<10} {:>14} {:>16} {:>12} {:>8}",
+        "device", "bytes_written", "bytes_persisted", "persist_ops", "peak_qd"
+    );
+    for r in device.stats_report() {
+        println!(
+            "{:<10} {:>14} {:>16} {:>12} {:>8}",
+            r.name, r.bytes_written, r.bytes_persisted, r.persist_ops, r.peak_queue_depth
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (cmd, path) = match (args.get(1), args.get(2)) {
@@ -263,6 +317,10 @@ fn main() -> ExitCode {
                 .map_or("between-persist-and-commit", |s| s.as_str()),
         ),
         "forensics" => cmd_forensics(path),
+        "device" => cmd_device(
+            path,
+            args.get(3).and_then(|s| s.parse::<u32>().ok()).unwrap_or(1),
+        ),
         _ => return usage(),
     };
     match result {

@@ -75,6 +75,7 @@ fn sim_config(strategy: StrategyCfg) -> SimConfig {
         media: MediaKind::Network,
         chunk_size: ByteSize::from_bytes(CKPT / 8),
         dram_chunks: 16,
+        stripe_ways: 1,
     }
 }
 
