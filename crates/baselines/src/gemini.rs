@@ -228,6 +228,7 @@ impl Checkpointer for GeminiCheckpointer {
                     iteration,
                     payload_len: total.as_u64(),
                     digest: digest.0,
+                    delta: None,
                 };
                 let commit_start = telemetry.now_nanos();
                 let sent = link.send(base, &meta.encode()).is_ok();

@@ -15,9 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pccheck::{CheckpointStore, PersistPipeline, PipelineCtx};
-use pccheck_device::{
-    DeviceConfig, HostBufferPool, PersistentDevice, SsdDevice, StripedDevice,
-};
+use pccheck_device::{DeviceConfig, HostBufferPool, PersistentDevice, SsdDevice, StripedDevice};
 use pccheck_gpu::{SnapshotSource, StateDigest};
 use pccheck_telemetry::Telemetry;
 use pccheck_util::{Bandwidth, ByteSize};
@@ -100,7 +98,10 @@ fn measure(ways: u32) -> WaysResult {
     let chunks = (STATE_BYTES / CHUNK_BYTES) as usize;
     let pipeline = PersistPipeline::new(Arc::clone(&store))
         .with_writers(WRITERS)
-        .with_staging(HostBufferPool::new(ByteSize::from_bytes(CHUNK_BYTES), chunks));
+        .with_staging(HostBufferPool::new(
+            ByteSize::from_bytes(CHUNK_BYTES),
+            chunks,
+        ));
 
     let telemetry = Telemetry::disabled();
     let run_pass = |iteration: u64| {

@@ -31,9 +31,7 @@ use parking_lot::{Condvar, Mutex};
 
 use pccheck_device::{HostBufferPool, PersistentDevice};
 use pccheck_gpu::{CheckpointOutcome, Checkpointer, Gpu, OwnedWeightsGuard};
-use pccheck_telemetry::{
-    CheckpointCounters, CountersSnapshot, FlightEventKind, Phase, Telemetry,
-};
+use pccheck_telemetry::{CheckpointCounters, CountersSnapshot, FlightEventKind, Phase, Telemetry};
 use pccheck_util::ByteSize;
 
 use crate::config::PcCheckConfig;
@@ -305,16 +303,22 @@ impl PcCheckEngine {
         let total = guard.size();
         let lease = pipeline.lease(ctx);
         let (counter, slot) = (lease.counter, lease.slot);
-        let result = Self::run_leased(pipeline, config, ctx, guard, lease, iteration, digest, total);
+        let result = Self::run_leased(
+            pipeline, config, ctx, guard, lease, iteration, digest, total,
+        );
         if result.is_err() {
             // A failed checkpoint leaves its Begin record unterminated on
             // the flight ring without this — record the failure so the
             // forensic auditor can tell "died mid-flight at the crash"
             // from "failed and the run continued".
-            pipeline
-                .store()
-                .flight()
-                .record(FlightEventKind::Failed, counter, slot, iteration, 0, 0);
+            pipeline.store().flight().record(
+                FlightEventKind::Failed,
+                counter,
+                slot,
+                iteration,
+                0,
+                0,
+            );
         }
         result
     }

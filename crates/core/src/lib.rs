@@ -76,8 +76,11 @@ pub mod tuner;
 pub use config::{PcCheckConfig, PcCheckConfigBuilder};
 pub use engine::{EngineStats, PcCheckEngine};
 pub use error::PccheckError;
-pub use meta::CheckMeta;
-pub use pipeline::{FenceMode, PersistPipeline, PipelineCtx, KERNEL_COPY_CHUNK};
+pub use meta::{CheckMeta, DeltaLink};
+pub use pipeline::{
+    DeltaOutcome, DeltaPlan, DeltaPolicy, FenceMode, PersistPipeline, PipelineCtx,
+    KERNEL_COPY_CHUNK,
+};
 pub use recovery::{
     recover, recover_instrumented, RecoveredCheckpoint, RecoveryModel, RecoveryTrace, Strategy,
 };

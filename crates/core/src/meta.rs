@@ -13,6 +13,24 @@ pub const META_RECORD_SIZE: u64 = 64;
 
 const META_MAGIC: u32 = 0x5043_4B31; // "PCK1"
 
+/// Back-pointer from a delta checkpoint to the checkpoint it patches.
+///
+/// A delta slot stores only the bytes that changed since its base; this
+/// link lets recovery walk from a delta back to the full checkpoint at the
+/// root of the chain. `base_counter` is never 0 (the global counter starts
+/// at 1), which is how the serialized record distinguishes delta metas
+/// from full ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaLink {
+    /// Counter of the checkpoint this delta patches.
+    pub base_counter: u64,
+    /// Slot holding the base checkpoint's payload.
+    pub base_slot: u32,
+    /// Links between this checkpoint and the chain's full root (the root
+    /// has depth 0, the first delta 1, and so on).
+    pub chain_depth: u32,
+}
+
 /// Metadata of a single checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckMeta {
@@ -25,8 +43,11 @@ pub struct CheckMeta {
     pub iteration: u64,
     /// Payload length in bytes.
     pub payload_len: u64,
-    /// Digest of the captured training state.
+    /// Digest of the captured training state (for a delta checkpoint: of
+    /// the serialized extent table at the head of the payload).
     pub digest: u64,
+    /// `Some` when the payload is a delta over an earlier checkpoint.
+    pub delta: Option<DeltaLink>,
 }
 
 impl CheckMeta {
@@ -39,7 +60,12 @@ impl CheckMeta {
         buf[16..24].copy_from_slice(&self.iteration.to_le_bytes());
         buf[24..32].copy_from_slice(&self.payload_len.to_le_bytes());
         buf[32..40].copy_from_slice(&self.digest.to_le_bytes());
-        let crc = checksum(&buf[0..40]);
+        if let Some(link) = self.delta {
+            buf[48..56].copy_from_slice(&link.base_counter.to_le_bytes());
+            buf[56..60].copy_from_slice(&link.base_slot.to_le_bytes());
+            buf[60..64].copy_from_slice(&link.chain_depth.to_le_bytes());
+        }
+        let crc = checksum_fold(checksum(&buf[0..40]), &buf[48..64]);
         buf[40..48].copy_from_slice(&crc.to_le_bytes());
         buf
     }
@@ -55,16 +81,28 @@ impl CheckMeta {
             return None;
         }
         let stored_crc = u64::from_le_bytes(buf[40..48].try_into().ok()?);
-        if checksum(&buf[0..40]) != stored_crc {
+        if checksum_fold(checksum(&buf[0..40]), &buf[48..64]) != stored_crc {
             return None;
         }
+        let base_counter = u64::from_le_bytes(buf[48..56].try_into().ok()?);
+        let delta = (base_counter != 0).then(|| DeltaLink {
+            base_counter,
+            base_slot: u32::from_le_bytes(buf[56..60].try_into().unwrap()),
+            chain_depth: u32::from_le_bytes(buf[60..64].try_into().unwrap()),
+        });
         Some(CheckMeta {
             slot: u32::from_le_bytes(buf[4..8].try_into().ok()?),
             counter: u64::from_le_bytes(buf[8..16].try_into().ok()?),
             iteration: u64::from_le_bytes(buf[16..24].try_into().ok()?),
             payload_len: u64::from_le_bytes(buf[24..32].try_into().ok()?),
             digest: u64::from_le_bytes(buf[32..40].try_into().ok()?),
+            delta,
         })
+    }
+
+    /// Whether the payload is a delta over an earlier checkpoint.
+    pub fn is_delta(&self) -> bool {
+        self.delta.is_some()
     }
 
     /// The state digest as the GPU crate's type.
@@ -116,7 +154,12 @@ impl PackedCheckAddr {
 
 /// FNV-1a over `data` (the record checksum).
 pub(crate) fn checksum(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    checksum_fold(0xcbf2_9ce4_8422_2325, data)
+}
+
+/// Continues an FNV-1a checksum from hash state `h` over `data`, so a
+/// record checksum can skip over its own CRC field.
+pub(crate) fn checksum_fold(mut h: u64, data: &[u8]) -> u64 {
     for b in data {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x1000_0000_01b3);
@@ -136,6 +179,19 @@ mod tests {
             iteration: 1000,
             payload_len: 123_456,
             digest: 0xdead_beef_cafe_f00d,
+            delta: None,
+        }
+    }
+
+    fn sample_delta() -> CheckMeta {
+        CheckMeta {
+            delta: Some(DeltaLink {
+                base_counter: 41,
+                base_slot: 2,
+                chain_depth: 1,
+            }),
+            counter: 43,
+            ..sample()
         }
     }
 
@@ -145,6 +201,19 @@ mod tests {
         let buf = m.encode();
         assert_eq!(CheckMeta::decode(&buf), Some(m));
         assert_eq!(m.state_digest(), StateDigest(0xdead_beef_cafe_f00d));
+        assert!(!m.is_delta());
+    }
+
+    #[test]
+    fn delta_meta_round_trips() {
+        let m = sample_delta();
+        let decoded = CheckMeta::decode(&m.encode()).expect("delta record decodes");
+        assert_eq!(decoded, m);
+        assert!(decoded.is_delta());
+        let link = decoded.delta.unwrap();
+        assert_eq!(link.base_counter, 41);
+        assert_eq!(link.base_slot, 2);
+        assert_eq!(link.chain_depth, 1);
     }
 
     #[test]
@@ -203,8 +272,13 @@ mod tests {
         #[test]
         fn any_meta_round_trips(counter in 0u64..(1<<48), slot in 0u32..(1<<16),
                                 iteration in any::<u64>(), payload_len in any::<u64>(),
-                                digest in any::<u64>()) {
-            let m = CheckMeta { counter, slot, iteration, payload_len, digest };
+                                digest in any::<u64>(),
+                                base_counter in 0u64..u64::MAX, base_slot in any::<u32>(),
+                                chain_depth in any::<u32>()) {
+            let delta = (base_counter != 0).then_some(DeltaLink {
+                base_counter, base_slot, chain_depth,
+            });
+            let m = CheckMeta { counter, slot, iteration, payload_len, digest, delta };
             prop_assert_eq!(CheckMeta::decode(&m.encode()), Some(m));
             let p = PackedCheckAddr::pack(counter, slot);
             prop_assert_eq!(p.counter(), counter);
@@ -212,8 +286,8 @@ mod tests {
         }
 
         #[test]
-        fn single_bitflip_is_detected(pos in 0usize..48, bit in 0u8..8) {
-            let mut buf = sample().encode();
+        fn single_bitflip_is_detected(pos in 0usize..64, bit in 0u8..8) {
+            let mut buf = sample_delta().encode();
             buf[pos] ^= 1 << bit;
             prop_assert_eq!(CheckMeta::decode(&buf), None);
         }

@@ -19,17 +19,19 @@
 //!
 //! [`PersistentDevice::queue_depths`]: pccheck_device::PersistentDevice::queue_depths
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use pccheck_device::{HostBuffer, HostBufferPool};
-use pccheck_gpu::SnapshotSource;
+use pccheck_device::{fnv1a_fold, ExtentRecord, ExtentTable, HostBuffer, HostBufferPool, FNV_SEED};
+use pccheck_gpu::{merge_ranges, SnapshotSource};
 use pccheck_telemetry::{FlightEventKind, Phase, SpanId, Telemetry};
 use pccheck_util::ByteSize;
 
 use crate::error::PccheckError;
+use crate::meta::DeltaLink;
 use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
 
 /// Tile size for the GPU-kernel write-through loop (kernel grids move data
@@ -46,6 +48,71 @@ pub enum FenceMode {
     /// the whole payload in [`PersistPipeline::seal`] (the SSD `msync`
     /// optimization).
     Deferred,
+}
+
+/// When the delta path gives up and streams a full checkpoint instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaPolicy {
+    /// Fall back to a full checkpoint when dirty bytes exceed this fraction
+    /// of the full state (a dense update saves nothing and costs a table).
+    pub max_dirty_ratio: f64,
+    /// Longest allowed base chain. Every `max_chain`-th checkpoint is
+    /// forced full, bounding how many slots a chain pins and how many
+    /// payloads recovery must replay.
+    pub max_chain: u32,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        DeltaPolicy {
+            max_dirty_ratio: 0.5,
+            max_chain: 7,
+        }
+    }
+}
+
+/// What [`PersistPipeline::copy_delta`] actually persisted, and what the
+/// caller must pass to `seal`/commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaPlan {
+    /// The policy forced a full checkpoint; the payload was streamed by
+    /// [`PersistPipeline::copy_streamed`]. Commit with the full-state
+    /// digest via [`PersistPipeline::commit`].
+    Full {
+        /// Persist-phase start timestamp for the caller's `seal`.
+        persist_start: u64,
+    },
+    /// A delta payload (extent table + packed dirty bytes) was streamed.
+    /// Commit with `payload_digest` via [`PersistPipeline::commit_delta`].
+    Delta {
+        /// Persist-phase start timestamp for the caller's `seal`.
+        persist_start: u64,
+        /// Bytes of payload in the slot (table + packed extents).
+        payload_len: u64,
+        /// Checksum of the serialized extent table (the delta slot's meta
+        /// digest).
+        payload_digest: u64,
+        /// Back-pointer to commit with.
+        link: DeltaLink,
+        /// Packed dirty bytes persisted (excludes the table).
+        dirty_bytes: u64,
+    },
+}
+
+/// Rolled-up outcome of [`PersistPipeline::checkpoint_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// Only dirty extents were persisted, chained onto the base.
+    Delta {
+        /// Bytes of payload in the slot (table + packed extents).
+        payload_len: u64,
+        /// Packed dirty bytes persisted.
+        dirty_bytes: u64,
+        /// Depth of the committed checkpoint in its chain.
+        chain_depth: u32,
+    },
+    /// The policy fell back to a full streamed checkpoint.
+    Full,
 }
 
 /// Telemetry context for one checkpoint's trip through the pipeline.
@@ -289,16 +356,24 @@ impl PersistPipeline {
         let p = self.writers;
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(pool.total_chunks());
         let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        // First device error aborts the stream: writers stop issuing I/O
+        // (they keep draining the channel so the producer never deadlocks
+        // on a full pool) and the producer stops copying and enqueueing.
+        let abort = AtomicBool::new(false);
         crossbeam::thread::scope(|s| {
             for _ in 0..p {
                 let rx = rx.clone();
                 let results = &results;
+                let abort = &abort;
                 s.spawn(move |_| {
                     while let Ok((off, n, buf)) = rx.recv() {
-                        if let Err(e) =
-                            self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
-                        {
-                            results.lock().push(e);
+                        if !abort.load(Ordering::Acquire) {
+                            if let Err(e) =
+                                self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
+                            {
+                                results.lock().push(e);
+                                abort.store(true, Ordering::Release);
+                            }
                         }
                         drop(buf); // free the DRAM chunk for the producer
                     }
@@ -308,7 +383,7 @@ impl PersistPipeline {
             // Producer: GPU→DRAM chunk copies.
             let chunk = pool.chunk_size();
             let mut off = 0u64;
-            while off < total.as_u64() {
+            while off < total.as_u64() && !abort.load(Ordering::Acquire) {
                 let n = chunk.as_u64().min(total.as_u64() - off) as usize;
                 let mut buf = pool.acquire();
                 src.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
@@ -317,14 +392,16 @@ impl PersistPipeline {
                 off += n as u64;
             }
             ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, start);
-            self.store.flight().record(
-                FlightEventKind::CopyDone,
-                lease.counter,
-                lease.slot,
-                0,
-                total.as_u64(),
-                0,
-            );
+            if off >= total.as_u64() {
+                self.store.flight().record(
+                    FlightEventKind::CopyDone,
+                    lease.counter,
+                    lease.slot,
+                    0,
+                    total.as_u64(),
+                    0,
+                );
+            }
             drop(tx); // writers drain and exit
         })
         .expect("pipelined checkpoint thread panicked");
@@ -332,6 +409,271 @@ impl PersistPipeline {
             return Err(e);
         }
         Ok(start)
+    }
+
+    /// Reads and authenticates the extent table at the head of a delta
+    /// slot's payload.
+    fn read_extent_table(&self, slot: u32, payload_len: u64) -> Result<ExtentTable, PccheckError> {
+        let base_off = self.store.slot_payload_offset(slot);
+        let mut head = [0u8; pccheck_device::extent::EXTENT_TABLE_HEADER + 8];
+        self.store.device().read_durable_at(base_off, &mut head)?;
+        let count = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) as usize;
+        let table_len = ExtentTable::encoded_len_for(count).min(payload_len);
+        let mut buf = vec![0u8; table_len as usize];
+        self.store.device().read_durable_at(base_off, &mut buf)?;
+        Ok(ExtentTable::decode(&buf)?)
+    }
+
+    /// Incremental copy: persists only the snapshot's dirty extents
+    /// (`[extent table][packed dirty bytes]`) into the leased slot,
+    /// streaming the packed bytes through the same overlapped
+    /// producer/writer machinery as [`copy_streamed`](Self::copy_streamed).
+    ///
+    /// Falls back to a full `copy_streamed` — returning
+    /// [`DeltaPlan::Full`] — when there is no committed base, the base
+    /// chain would exceed `policy.max_chain`, the dirty ratio exceeds
+    /// `policy.max_dirty_ratio`, the delta payload would not actually be
+    /// smaller than the full state, or the base describes a different
+    /// state size. Periodic falls back bound recovery cost: a chain is
+    /// never longer than `max_chain` links.
+    ///
+    /// `full_digest` is the digest of the complete state *after* this
+    /// update (what [`commit`](Self::commit) would be given on the full
+    /// path); recovery verifies the chain-reconstructed state against it.
+    ///
+    /// Delta checkpoints require the serial checkpoint discipline: one
+    /// in-flight checkpoint at a time, each based on the latest committed
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any writer hit.
+    pub fn copy_delta(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        lease: &SlotLease,
+        total: ByteSize,
+        full_digest: u64,
+        policy: DeltaPolicy,
+    ) -> Result<DeltaPlan, PccheckError> {
+        let dirty = merge_ranges(src.dirty_ranges());
+        let dirty_bytes: u64 = dirty.iter().map(|(_, len)| len).sum();
+        let ratio = if total.as_u64() == 0 {
+            1.0
+        } else {
+            dirty_bytes as f64 / total.as_u64() as f64
+        };
+        ctx.telemetry.gauge_dirty_ratio((ratio * 1000.0) as u64);
+
+        let base = self.store.latest_committed();
+        let plan_delta = match &base {
+            None => None,
+            Some(base) => {
+                let base_depth = base.delta.map_or(0, |l| l.chain_depth);
+                let base_full_len = if let Some(link) = base.delta {
+                    debug_assert!(link.base_counter != 0);
+                    self.read_extent_table(base.slot, base.payload_len)
+                        .map(|t| t.full_len)
+                        .unwrap_or(0)
+                } else {
+                    base.payload_len
+                };
+                let table_len = ExtentTable::encoded_len_for(dirty.len());
+                let fits = table_len + dirty_bytes < total.as_u64()
+                    && table_len + dirty_bytes <= self.store.slot_size().as_u64();
+                (base_depth + 1 <= policy.max_chain
+                    && ratio <= policy.max_dirty_ratio
+                    && base_full_len == total.as_u64()
+                    && fits)
+                    .then_some((*base, base_depth, table_len))
+            }
+        };
+        let Some((base, base_depth, table_len)) = plan_delta else {
+            let persist_start = self.copy_streamed(ctx, src, lease, total)?;
+            return Ok(DeltaPlan::Full { persist_start });
+        };
+
+        let pool = self.pool();
+        let start = ctx.telemetry.now_nanos();
+        let p = self.writers;
+        type Job = (u64, usize, HostBuffer);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(pool.total_chunks());
+        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        let abort = AtomicBool::new(false);
+        let mut extent_digests: Vec<u64> = Vec::with_capacity(dirty.len());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..p {
+                let rx = rx.clone();
+                let results = &results;
+                let abort = &abort;
+                s.spawn(move |_| {
+                    while let Ok((off, n, buf)) = rx.recv() {
+                        if !abort.load(Ordering::Acquire) {
+                            if let Err(e) =
+                                self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
+                            {
+                                results.lock().push(e);
+                                abort.store(true, Ordering::Release);
+                            }
+                        }
+                        drop(buf);
+                    }
+                });
+            }
+            drop(rx);
+            // Producer: copy each dirty extent from the snapshot, packing
+            // them back to back after the table and folding the per-extent
+            // digest as the chunks stream by.
+            let chunk = pool.chunk_size();
+            let mut dst = table_len;
+            'extents: for &(ext_off, ext_len) in &dirty {
+                let mut h = FNV_SEED;
+                let mut done = 0u64;
+                while done < ext_len {
+                    if abort.load(Ordering::Acquire) {
+                        break 'extents;
+                    }
+                    let n = chunk.as_u64().min(ext_len - done) as usize;
+                    let mut buf = pool.acquire();
+                    src.copy_range_to_host(ext_off + done, &mut buf.as_mut_slice()[..n]);
+                    h = fnv1a_fold(h, &buf.as_slice()[..n]);
+                    ctx.telemetry
+                        .chunk(ctx.span, Phase::GpuCopy, ext_off + done, n as u64);
+                    tx.send((dst, n, buf)).expect("writers outlive producer");
+                    done += n as u64;
+                    dst += n as u64;
+                }
+                extent_digests.push(h);
+            }
+            ctx.telemetry.phase_done(ctx.span, Phase::GpuCopy, start);
+            if extent_digests.len() == dirty.len() {
+                self.store.flight().record(
+                    FlightEventKind::CopyDone,
+                    lease.counter,
+                    lease.slot,
+                    0,
+                    dirty_bytes,
+                    0,
+                );
+            }
+            drop(tx);
+        })
+        .expect("delta checkpoint thread panicked");
+        if let Some(e) = results.into_inner().into_iter().next() {
+            return Err(e);
+        }
+
+        // Build and persist the extent table at the head of the slot.
+        let map_start = ctx.telemetry.now_nanos();
+        let table = ExtentTable {
+            full_len: total.as_u64(),
+            full_digest,
+            extents: dirty
+                .iter()
+                .zip(&extent_digests)
+                .map(|(&(offset, len), &digest)| ExtentRecord {
+                    offset,
+                    len,
+                    digest,
+                })
+                .collect(),
+        };
+        let table_bytes = table.encode();
+        debug_assert_eq!(table_bytes.len() as u64, table_len);
+        self.write_and_fence_chunk(ctx, lease, 0, &table_bytes)?;
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::DeltaMap, map_start);
+        let payload_len = table_len + dirty_bytes;
+        ctx.telemetry
+            .add_delta_bytes_saved(total.as_u64().saturating_sub(payload_len));
+        Ok(DeltaPlan::Delta {
+            persist_start: start,
+            payload_len,
+            payload_digest: crate::meta::checksum(&table_bytes),
+            link: DeltaLink {
+                base_counter: base.counter,
+                base_slot: base.slot,
+                chain_depth: base_depth + 1,
+            },
+            dirty_bytes,
+        })
+    }
+
+    /// Runs the store's delta-aware CAS commit and closes the `Commit`
+    /// phase. Pairs with [`DeltaPlan::Delta`] from
+    /// [`copy_delta`](Self::copy_delta).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn commit_delta(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: SlotLease,
+        iteration: u64,
+        payload_len: u64,
+        payload_digest: u64,
+        link: DeltaLink,
+    ) -> Result<CommitOutcome, PccheckError> {
+        let commit_start = ctx.telemetry.now_nanos();
+        let outcome =
+            self.store
+                .commit_with_delta(lease, iteration, payload_len, payload_digest, Some(link));
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Commit, commit_start);
+        outcome
+    }
+
+    /// One-call incremental checkpoint: lease →
+    /// [`copy_delta`](Self::copy_delta) → `seal` → commit, routing to the
+    /// delta or full commit as the plan dictates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn checkpoint_delta(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        iteration: u64,
+        full_digest: u64,
+        policy: DeltaPolicy,
+    ) -> Result<(CommitOutcome, DeltaOutcome), PccheckError> {
+        let total = src.size();
+        let lease = self.lease(ctx);
+        match self.copy_delta(ctx, src, &lease, total, full_digest, policy)? {
+            DeltaPlan::Full { persist_start } => {
+                self.seal(ctx, &lease, iteration, total, persist_start)?;
+                let out = self.commit(ctx, lease, iteration, total.as_u64(), full_digest)?;
+                Ok((out, DeltaOutcome::Full))
+            }
+            DeltaPlan::Delta {
+                persist_start,
+                payload_len,
+                payload_digest,
+                link,
+                dirty_bytes,
+            } => {
+                self.seal(
+                    ctx,
+                    &lease,
+                    iteration,
+                    ByteSize::from_bytes(payload_len),
+                    persist_start,
+                )?;
+                let out =
+                    self.commit_delta(ctx, lease, iteration, payload_len, payload_digest, link)?;
+                Ok((
+                    out,
+                    DeltaOutcome::Delta {
+                        payload_len,
+                        dirty_bytes,
+                        chain_depth: link.chain_depth,
+                    },
+                ))
+            }
+        }
     }
 
     /// Whole-buffer snapshot: copies the entire source into one host
@@ -645,6 +987,147 @@ mod tests {
     }
 
     #[test]
+    fn streamed_copy_aborts_after_first_writer_error() {
+        let g = gpu(4096, 31);
+        g.update();
+        let state = g.state_size();
+        let cap = CheckpointStore::required_capacity(state, 2) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(
+            CheckpointStore::format(Arc::clone(&ssd) as Arc<dyn PersistentDevice>, state, 2)
+                .unwrap(),
+        );
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 2);
+        let pipeline = PersistPipeline::new(store)
+            .with_writers(2)
+            .with_staging(pool);
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("test", 1, 4096);
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span,
+        };
+        let guard = g.lock_weights_shared_owned();
+        let lease = pipeline.lease(ctx);
+        // The very next persist crashes the device: every later write (and
+        // the per-writer fence) fails.
+        ssd.arm_crash_after_persists(0);
+        let err = pipeline.copy_streamed(ctx, &guard, &lease, guard.size());
+        assert!(err.is_err(), "the first writer error must propagate");
+        // Without the abort flag the producer would copy and enqueue all 32
+        // chunks after the device was already dead.
+        let snap = telemetry.snapshot().unwrap();
+        assert!(
+            snap.gpu_copy_bytes < 4096,
+            "producer kept copying after a writer failed ({} bytes)",
+            snap.gpu_copy_bytes
+        );
+    }
+
+    #[test]
+    fn delta_path_persists_only_dirty_extents_and_chains() {
+        let g = gpu(1024, 29);
+        g.update();
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 4);
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 4))
+            .with_writers(2)
+            .with_staging(pool);
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("test", 1, 1024);
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span,
+        };
+        let policy = DeltaPolicy::default();
+
+        // First checkpoint: no committed base → falls back to full.
+        let guard = g.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let (out, kind) = pipeline
+            .checkpoint_delta(ctx, &guard, 1, digest.0, policy)
+            .unwrap();
+        drop(guard);
+        assert_eq!(out, CommitOutcome::Committed);
+        assert_eq!(kind, DeltaOutcome::Full);
+        assert!(!pipeline.store().latest_committed().unwrap().is_delta());
+
+        // Sparse update → a delta chained on the full base.
+        g.update_sparse(0.1);
+        let guard = g.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let (out, kind) = pipeline
+            .checkpoint_delta(ctx, &guard, 2, digest.0, policy)
+            .unwrap();
+        drop(guard);
+        assert_eq!(out, CommitOutcome::Committed);
+        let DeltaOutcome::Delta {
+            payload_len,
+            dirty_bytes,
+            chain_depth,
+        } = kind
+        else {
+            panic!("sparse update must take the delta path, got {kind:?}");
+        };
+        assert_eq!(chain_depth, 1);
+        assert!(dirty_bytes < 1024, "only dirty bytes persisted");
+        assert!(payload_len < 1024, "delta payload smaller than the state");
+        let head = pipeline.store().latest_committed().unwrap();
+        assert_eq!(head.iteration, 2);
+        assert_eq!(head.delta.unwrap().chain_depth, 1);
+        // Base + delta pinned out of the 4-slot store.
+        assert_eq!(pipeline.store().free_slot_count(), 2);
+        let snap = telemetry.snapshot().unwrap();
+        assert!(snap.dirty_ratio_permille >= 100 && snap.dirty_ratio_permille < 500);
+        assert!(snap.delta_bytes_saved > 0);
+        assert_eq!(snap.phase(Phase::DeltaMap).count, 1);
+
+        // Dense update → dirty ratio 100% → full fallback frees the chain.
+        g.update();
+        let guard = g.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let (out, kind) = pipeline
+            .checkpoint_delta(ctx, &guard, 3, digest.0, policy)
+            .unwrap();
+        drop(guard);
+        assert_eq!(out, CommitOutcome::Committed);
+        assert_eq!(kind, DeltaOutcome::Full);
+        assert_eq!(pipeline.store().free_slot_count(), 3);
+    }
+
+    #[test]
+    fn chain_length_cap_forces_a_periodic_full_checkpoint() {
+        let g = gpu(1024, 37);
+        g.update();
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 4);
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 6))
+            .with_writers(2)
+            .with_staging(pool);
+        let telemetry = Telemetry::disabled();
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span: SpanId::NONE,
+        };
+        let policy = DeltaPolicy {
+            max_dirty_ratio: 0.5,
+            max_chain: 2,
+        };
+        let mut kinds = Vec::new();
+        for iter in 1..=7u64 {
+            let guard = g.lock_weights_shared_owned();
+            let digest = guard.digest();
+            let (out, kind) = pipeline
+                .checkpoint_delta(ctx, &guard, iter, digest.0, policy)
+                .unwrap();
+            drop(guard);
+            assert_eq!(out, CommitOutcome::Committed);
+            kinds.push(matches!(kind, DeltaOutcome::Full));
+            g.update_sparse(0.05);
+        }
+        // full, delta, delta, full, delta, delta, full.
+        assert_eq!(kinds, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
     fn write_through_needs_no_staging_pool() {
         let g = gpu(300, 23);
         g.update();
@@ -660,7 +1143,9 @@ mod tests {
         let digest = guard.digest();
         let start = telemetry.now_nanos();
         let lease = pipeline.lease(ctx);
-        pipeline.write_through(ctx, &guard, &lease, 1, start).unwrap();
+        pipeline
+            .write_through(ctx, &guard, &lease, 1, start)
+            .unwrap();
         let outcome = pipeline.commit(ctx, lease, 1, 300, digest.0).unwrap();
         drop(guard);
         assert_eq!(outcome, CommitOutcome::Committed);

@@ -10,13 +10,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pccheck_device::PersistentDevice;
+use pccheck_device::{fnv1a, ExtentTable, PersistentDevice};
 use pccheck_gpu::{Gpu, StateDigest};
 use pccheck_telemetry::{FlightEventKind, Phase, Telemetry};
 use pccheck_util::SimDuration;
 
 use crate::error::PccheckError;
-use crate::meta::checksum;
+use crate::meta::{checksum, CheckMeta};
 use crate::store::CheckpointStore;
 
 /// A checkpoint loaded back from persistent storage.
@@ -63,6 +63,9 @@ pub struct RecoveryTrace {
     /// Candidates rejected before one verified (0 = the newest committed
     /// checkpoint verified on the first try).
     pub fallbacks: u64,
+    /// Delta links replayed to reconstruct the recovered state (0 when the
+    /// recovered checkpoint was a full one).
+    pub chain_links: u64,
     /// The recovered checkpoint's global counter.
     pub counter: u64,
     /// The recovered checkpoint's iteration.
@@ -74,10 +77,13 @@ pub struct RecoveryTrace {
 /// The persistent iterator of §4.2: reads `CHECK_ADDR`, follows it to the
 /// slot, and verifies the payload against the recorded digest (using the
 /// training-state digest when available, falling back to a raw checksum
-/// comparison for non-state payloads). If the newest committed slot fails
-/// verification, older intact committed slots are tried newest-first —
-/// the paper keeps `N+1` slots precisely so a torn newest checkpoint
-/// degrades to the previous one instead of to data loss.
+/// comparison for non-state payloads). A delta checkpoint is reconstructed
+/// by walking its base pointers to the chain's full root and replaying
+/// every extent table with per-extent digest verification. If the newest
+/// committed slot fails verification (or its delta chain is broken), older
+/// intact committed slots are tried newest-first — the paper keeps `N+1`
+/// slots precisely so a torn newest checkpoint degrades to the previous
+/// one instead of to data loss.
 ///
 /// # Errors
 ///
@@ -127,39 +133,53 @@ pub fn recover_instrumented(
     for meta in &candidates {
         trace.candidates_scanned += 1;
 
-        let load_t0 = Instant::now();
-        let load_start = telemetry.now_nanos();
-        let mut payload = vec![0u8; meta.payload_len as usize];
-        store
-            .device()
-            .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)?;
-        trace.load_nanos += load_t0.elapsed().as_nanos() as u64;
-        telemetry.phase_done(span, Phase::RecoveryLoad, load_start);
+        // Delta candidates reconstruct a full state from base + chain; full
+        // candidates verify their payload in place. Either way `verified`
+        // is `Some((full payload, digest of the full state))` on success.
+        let verified: Option<(Vec<u8>, u64)> = if meta.is_delta() {
+            let replay_t0 = Instant::now();
+            let replay_start = telemetry.now_nanos();
+            let out = replay_delta_chain(&store, meta, &candidates);
+            trace.load_nanos += replay_t0.elapsed().as_nanos() as u64;
+            telemetry.phase_done(span, Phase::DeltaReplay, replay_start);
+            out.map(|(payload, digest, links)| {
+                trace.chain_links = links;
+                (payload, digest)
+            })
+        } else {
+            let load_t0 = Instant::now();
+            let load_start = telemetry.now_nanos();
+            let payload = read_payload(&store, meta)?;
+            trace.load_nanos += load_t0.elapsed().as_nanos() as u64;
+            telemetry.phase_done(span, Phase::RecoveryLoad, load_start);
 
-        let verify_t0 = Instant::now();
-        let verify_start = telemetry.now_nanos();
-        // A payload is acceptable under either digest discipline: the
-        // training-state digest (payload bytes seeded with the iteration)
-        // or the raw FNV checksum used for opaque payloads.
-        let ok = StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
-            || checksum(&payload) == meta.digest;
-        trace.verify_nanos += verify_t0.elapsed().as_nanos() as u64;
-        telemetry.phase_done(span, Phase::RecoveryVerify, verify_start);
+            let verify_t0 = Instant::now();
+            let verify_start = telemetry.now_nanos();
+            // A payload is acceptable under either digest discipline: the
+            // training-state digest (payload bytes seeded with the
+            // iteration) or the raw FNV checksum used for opaque payloads.
+            let ok = StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
+                || checksum(&payload) == meta.digest;
+            trace.verify_nanos += verify_t0.elapsed().as_nanos() as u64;
+            telemetry.phase_done(span, Phase::RecoveryVerify, verify_start);
+            ok.then_some((payload, meta.digest))
+        };
 
-        if !ok {
+        let Some((payload, digest)) = verified else {
             continue;
-        }
+        };
+        let payload_len = payload.len() as u64;
         trace.fallbacks = trace.candidates_scanned - 1;
         trace.counter = meta.counter;
         trace.iteration = meta.iteration;
         trace.total_nanos = t0.elapsed().as_nanos() as u64;
-        telemetry.committed(span, meta.iteration, meta.payload_len);
+        telemetry.committed(span, meta.iteration, payload_len);
         store.flight().record(
             FlightEventKind::RecoveryDone,
             meta.counter,
             meta.slot,
             meta.iteration,
-            meta.payload_len,
+            payload_len,
             trace.fallbacks,
         );
         return Ok((
@@ -167,7 +187,7 @@ pub fn recover_instrumented(
                 iteration: meta.iteration,
                 counter: meta.counter,
                 payload,
-                digest: meta.digest,
+                digest,
             },
             trace,
         ));
@@ -177,6 +197,87 @@ pub fn recover_instrumented(
     Err(PccheckError::CorruptCheckpoint {
         counter: newest_counter,
     })
+}
+
+fn read_payload(store: &CheckpointStore, meta: &CheckMeta) -> Result<Vec<u8>, PccheckError> {
+    let mut payload = vec![0u8; meta.payload_len as usize];
+    store
+        .device()
+        .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)?;
+    Ok(payload)
+}
+
+/// Reconstructs the full state a delta checkpoint represents.
+///
+/// Walks the base pointers from `meta` down to the chain's full root,
+/// verifies the root payload against its own digest, then replays every
+/// delta root→newest: each extent table must match the delta meta's digest
+/// and every packed extent must match its per-extent FNV before the bytes
+/// are patched in. Finally the reconstructed image is verified against the
+/// newest table's `full_digest`. Any gap, torn table, or digest mismatch
+/// returns `None` so the caller falls back to an older candidate.
+///
+/// On success returns `(full payload, full-state digest, links replayed)`.
+fn replay_delta_chain(
+    store: &CheckpointStore,
+    meta: &CheckMeta,
+    candidates: &[CheckMeta],
+) -> Option<(Vec<u8>, u64, u64)> {
+    // Collect the chain newest→root from the committed candidates.
+    let mut chain = vec![*meta];
+    loop {
+        let head = chain.last().expect("chain starts non-empty");
+        let Some(link) = head.delta else { break };
+        if chain.len() > candidates.len() {
+            return None; // cycle or longer than the slot count can hold
+        }
+        let base = candidates
+            .iter()
+            .find(|c| c.counter == link.base_counter && c.slot == link.base_slot)?;
+        chain.push(*base);
+    }
+
+    // The root must be a full checkpoint that verifies on its own.
+    let root = chain.last().expect("chain ends at a root");
+    let mut state = read_payload(store, root).ok()?;
+    let root_ok = StateDigest::of_payload(&state, root.iteration).0 == root.digest
+        || checksum(&state) == root.digest;
+    if !root_ok {
+        return None;
+    }
+
+    // Replay each delta root→newest over the reconstructed image.
+    let mut full_digest = root.digest;
+    for delta in chain.iter().rev().skip(1) {
+        let payload = read_payload(store, delta).ok()?;
+        let table = ExtentTable::decode(&payload).ok()?;
+        let table_len = usize::try_from(table.encoded_len()).ok()?;
+        if checksum(payload.get(..table_len)?) != delta.digest {
+            return None;
+        }
+        if table.full_len != state.len() as u64 {
+            return None;
+        }
+        let mut src = table_len;
+        for rec in &table.extents {
+            let src_end = src.checked_add(rec.len as usize)?;
+            let chunk = payload.get(src..src_end)?;
+            if fnv1a(chunk) != rec.digest {
+                return None;
+            }
+            let dst_start = usize::try_from(rec.offset).ok()?;
+            let dst = state.get_mut(dst_start..dst_start.checked_add(rec.len as usize)?)?;
+            dst.copy_from_slice(chunk);
+            src = src_end;
+        }
+        full_digest = table.full_digest;
+    }
+
+    // The reconstructed image must match the newest delta's full-state
+    // digest under either digest discipline.
+    let ok = StateDigest::of_payload(&state, meta.iteration).0 == full_digest
+        || checksum(&state) == full_digest;
+    ok.then(|| (state, full_digest, chain.len() as u64 - 1))
 }
 
 /// Verifies a recovered payload against a digest computed by
@@ -426,6 +527,102 @@ mod tests {
         assert_eq!(trace.fallbacks, 0);
         assert_eq!(trace.candidates_scanned, 1);
         assert_eq!(trace.iteration, 3);
+    }
+
+    /// Drives `iters` checkpoints through the delta pipeline (first full,
+    /// the rest 10%-sparse deltas) and returns the device, the store, and
+    /// the GPU at its final state.
+    fn delta_chain_setup(iters: u64) -> (Arc<SsdDevice>, Arc<CheckpointStore>, Gpu) {
+        use crate::pipeline::{DeltaPolicy, PersistPipeline, PipelineCtx};
+        use pccheck_device::HostBufferPool;
+
+        let state = TrainingState::synthetic(ByteSize::from_bytes(2048), 7);
+        let gpu = Gpu::new(GpuConfig::fast_for_tests(), state);
+        gpu.update();
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 4) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(
+            CheckpointStore::format(
+                Arc::clone(&ssd) as Arc<dyn PersistentDevice>,
+                gpu.state_size(),
+                4,
+            )
+            .unwrap(),
+        );
+        let pipeline = PersistPipeline::new(Arc::clone(&store))
+            .with_writers(2)
+            .with_staging(HostBufferPool::new(ByteSize::from_bytes(256), 4));
+        let telemetry = Telemetry::disabled();
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span: pccheck_telemetry::SpanId::NONE,
+        };
+        for iter in 1..=iters {
+            if iter > 1 {
+                gpu.update_sparse(0.1);
+            }
+            let guard = gpu.lock_weights_shared_owned();
+            let digest = guard.digest();
+            pipeline
+                .checkpoint_delta(ctx, &guard, iter, digest.0, DeltaPolicy::default())
+                .unwrap();
+        }
+        (ssd, store, gpu)
+    }
+
+    #[test]
+    fn recovery_replays_a_delta_chain() {
+        let (ssd, store, gpu) = delta_chain_setup(3);
+        let head = store.latest_committed().unwrap();
+        assert_eq!(head.delta.unwrap().chain_depth, 2);
+        let digest_final = gpu.digest();
+        drop(store);
+        ssd.crash_now();
+        ssd.recover();
+
+        let telemetry = Telemetry::enabled();
+        let (rec, trace) =
+            recover_instrumented(Arc::clone(&ssd) as Arc<dyn PersistentDevice>, &telemetry)
+                .unwrap();
+        assert_eq!(rec.iteration, 3);
+        assert_eq!(trace.chain_links, 2);
+        assert_eq!(trace.fallbacks, 0);
+        let fresh = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::synthetic(ByteSize::from_bytes(2048), 999),
+        );
+        rec.restore_into(&fresh);
+        assert_eq!(fresh.digest(), digest_final, "bit-identical reconstruction");
+        assert_eq!(fresh.step_count(), 3);
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.phase(Phase::DeltaReplay).count, 1);
+    }
+
+    #[test]
+    fn torn_delta_payload_falls_back_to_its_base() {
+        let (ssd, store, _gpu) = delta_chain_setup(2);
+        let head = store.latest_committed().unwrap();
+        assert!(head.is_delta());
+        // Corrupt the last packed extent byte of the delta payload; the
+        // extent table itself stays intact.
+        let off = store.slot_payload_offset(head.slot) + head.payload_len - 1;
+        let mut b = [0u8; 1];
+        ssd.read_durable_at(off, &mut b).unwrap();
+        b[0] ^= 0xFF;
+        ssd.write_at(off, &b).unwrap();
+        ssd.persist(off, 1).unwrap();
+        drop(store);
+        ssd.crash_now();
+        ssd.recover();
+
+        let (rec, trace) = recover_instrumented(
+            Arc::clone(&ssd) as Arc<dyn PersistentDevice>,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(rec.iteration, 1, "fell back to the full base checkpoint");
+        assert_eq!(trace.fallbacks, 1);
+        assert_eq!(trace.chain_links, 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use pccheck_telemetry::{FlightEventKind, FlightRecorder, FlightRing};
 use pccheck_util::ByteSize;
 
 use crate::error::PccheckError;
-use crate::meta::{CheckMeta, PackedCheckAddr, META_RECORD_SIZE};
+use crate::meta::{CheckMeta, DeltaLink, PackedCheckAddr, META_RECORD_SIZE};
 use crate::queue::SlotQueue;
 
 const STORE_MAGIC: u64 = 0x5043_6368_6543_6B31; // "PCcheCk1"
@@ -252,11 +252,18 @@ impl CheckpointStore {
         // slot scan if the record is torn or its payload fails validation.
         let committed = Self::find_committed(device.as_ref(), slots, slot_size)?;
 
+        // The committed checkpoint's slot stays leased — and if it is a
+        // delta, so does every slot on its chain down to the full root:
+        // recycling any of them would make the committed state
+        // unrecoverable.
+        let pinned: Vec<u32> = committed
+            .as_ref()
+            .map(|m| Self::chain_slots_static(device.as_ref(), slots, slot_size, m.slot, m.counter))
+            .unwrap_or_default();
         let mut max_counter = 0;
         let mut free: Vec<u32> = Vec::new();
-        let committed_slot = committed.as_ref().map(|m| m.slot);
         for s in 0..slots {
-            if Some(s) != committed_slot {
+            if !pinned.contains(&s) {
                 free.push(s);
             }
         }
@@ -350,6 +357,57 @@ impl CheckpointStore {
 
     fn slot_meta_offset_static(slot: u32, slot_size: ByteSize) -> u64 {
         SLOTS_OFFSET + u64::from(slot) * (META_RECORD_SIZE + slot_size.as_u64())
+    }
+
+    /// The slots a checkpoint occupies: its own, plus — when it is a delta
+    /// — every slot on the base chain down to the full root. Walks the
+    /// durable slot records, stopping (leniently) at the first record that
+    /// fails to decode or disagrees with the expected (slot, counter), and
+    /// guards against pointer cycles; the head slot is always included.
+    fn chain_slots_static(
+        device: &dyn PersistentDevice,
+        slots: u32,
+        slot_size: ByteSize,
+        head_slot: u32,
+        head_counter: u64,
+    ) -> Vec<u32> {
+        let mut chain = vec![head_slot];
+        let mut expect = (head_slot, head_counter);
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        loop {
+            let (s, c) = expect;
+            if device
+                .read_durable_at(Self::slot_meta_offset_static(s, slot_size), &mut rec)
+                .is_err()
+            {
+                break;
+            }
+            let Some(meta) = CheckMeta::decode(&rec) else {
+                break;
+            };
+            if meta.slot != s || meta.counter != c {
+                break;
+            }
+            let Some(link) = meta.delta else {
+                break;
+            };
+            if chain.contains(&link.base_slot) || chain.len() as u32 >= slots {
+                break;
+            }
+            chain.push(link.base_slot);
+            expect = (link.base_slot, link.base_counter);
+        }
+        chain
+    }
+
+    fn chain_slots(&self, head_slot: u32, head_counter: u64) -> Vec<u32> {
+        Self::chain_slots_static(
+            self.device.as_ref(),
+            self.num_slots,
+            self.slot_size,
+            head_slot,
+            head_counter,
+        )
     }
 
     /// The underlying device.
@@ -475,12 +533,46 @@ impl CheckpointStore {
         payload_len: u64,
         digest: u64,
     ) -> Result<CommitOutcome, PccheckError> {
+        self.commit_with_delta(lease, iteration, payload_len, digest, None)
+    }
+
+    /// Commits a checkpoint whose payload is a *delta* over the checkpoint
+    /// named by `delta` (extent table + packed dirty bytes; see the
+    /// pipeline's `copy_delta`). Identical to [`commit`](Self::commit)
+    /// except that, on success, every slot on the base chain stays pinned
+    /// out of the free queue — the committed state is only recoverable
+    /// through the whole chain. Pinned slots are released the next time a
+    /// full checkpoint (or a delta on a different chain) commits.
+    ///
+    /// Delta commits assume the serial checkpoint discipline: the base must
+    /// be the latest committed checkpoint, with no concurrent commit racing
+    /// this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] for a `delta` link with
+    /// `base_counter == 0` (reserved to mean "full"); propagates device
+    /// errors.
+    pub fn commit_with_delta(
+        &self,
+        lease: SlotLease,
+        iteration: u64,
+        payload_len: u64,
+        digest: u64,
+        delta: Option<DeltaLink>,
+    ) -> Result<CommitOutcome, PccheckError> {
+        if delta.is_some_and(|l| l.base_counter == 0) {
+            return Err(PccheckError::InvalidConfig(
+                "delta link base_counter 0 is reserved for full checkpoints".into(),
+            ));
+        }
         let meta = CheckMeta {
             counter: lease.counter,
             slot: lease.slot,
             iteration,
             payload_len,
             digest,
+            delta,
         };
         // Lines 16-18: persist the checkpoint's own record before
         // publishing it (BARRIER(cur_check)).
@@ -508,12 +600,25 @@ impl CheckpointStore {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    // Success: persist CHECK_ADDR, free the displaced slot.
+                    // Success: persist CHECK_ADDR, free the displaced
+                    // slot(s) — for a displaced delta chain, every chain
+                    // slot that the new checkpoint does not itself depend
+                    // on.
                     self.persist_check_addr()?;
                     if !last.is_none() {
-                        // Spin through transient fulls: a concurrent
-                        // dequeuer may be mid-recycle on the target cell.
-                        self.free_slots.enqueue_blocking(last.slot());
+                        let pinned = if meta.is_delta() {
+                            self.chain_slots(lease.slot, lease.counter)
+                        } else {
+                            vec![lease.slot]
+                        };
+                        for displaced in self.chain_slots(last.slot(), last.counter()) {
+                            if !pinned.contains(&displaced) {
+                                // Spin through transient fulls: a concurrent
+                                // dequeuer may be mid-recycle on the target
+                                // cell.
+                                self.free_slots.enqueue_blocking(displaced);
+                            }
+                        }
                     }
                     return Ok(CommitOutcome::Committed);
                 }
@@ -929,6 +1034,7 @@ mod tests {
             iteration: 2,
             payload_len: 3,
             digest: 0,
+            delta: None,
         };
         let off = st.slot_meta_offset(lease.slot);
         dev.write_at(off, &meta.encode()).unwrap();
@@ -1051,6 +1157,107 @@ mod tests {
             b"abc"
         );
         assert_eq!(view.flight_base(), st.slot_meta_offset(2) + 64 + 64);
+    }
+
+    fn delta_checkpoint(st: &CheckpointStore, iter: u64, payload: &[u8]) -> CommitOutcome {
+        let base = st.latest_committed().expect("delta needs a committed base");
+        let depth = base.delta.map_or(0, |l| l.chain_depth);
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let digest = crate::meta::checksum(payload);
+        st.commit_with_delta(
+            lease,
+            iter,
+            payload.len() as u64,
+            digest,
+            Some(DeltaLink {
+                base_counter: base.counter,
+                base_slot: base.slot,
+                chain_depth: depth + 1,
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delta_commit_pins_the_chain_until_a_full_checkpoint() {
+        let st = store(64, 4);
+        full_checkpoint(&st, 1, b"base");
+        assert_eq!(st.free_slot_count(), 3);
+        assert_eq!(delta_checkpoint(&st, 2, b"d1"), CommitOutcome::Committed);
+        // Base + delta both pinned.
+        assert_eq!(st.free_slot_count(), 2);
+        assert_eq!(delta_checkpoint(&st, 3, b"d2"), CommitOutcome::Committed);
+        assert_eq!(st.free_slot_count(), 1);
+        let head = st.latest_committed().unwrap();
+        assert_eq!(head.iteration, 3);
+        assert_eq!(head.delta.unwrap().chain_depth, 2);
+        // A full checkpoint releases the whole displaced chain.
+        full_checkpoint(&st, 4, b"full");
+        assert_eq!(st.free_slot_count(), 3);
+        assert!(!st.latest_committed().unwrap().is_delta());
+    }
+
+    #[test]
+    fn delta_commit_rejects_reserved_base_counter() {
+        let st = store(64, 3);
+        full_checkpoint(&st, 1, b"base");
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, b"d").unwrap();
+        st.persist_payload(&lease, 0, 1).unwrap();
+        let err = st.commit_with_delta(
+            lease,
+            2,
+            1,
+            0,
+            Some(DeltaLink {
+                base_counter: 0,
+                base_slot: 0,
+                chain_depth: 1,
+            }),
+        );
+        assert!(matches!(err, Err(PccheckError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn open_pins_the_committed_delta_chain() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 4);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        {
+            let st =
+                CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 4).unwrap();
+            full_checkpoint(&st, 1, b"base");
+            delta_checkpoint(&st, 2, b"d1");
+            delta_checkpoint(&st, 3, b"d2");
+        }
+        dev.crash_now();
+        dev.recover();
+        let st = CheckpointStore::open(dev).unwrap();
+        let head = st.latest_committed().unwrap();
+        assert_eq!(head.iteration, 3);
+        assert_eq!(head.delta.unwrap().chain_depth, 2);
+        // Only the one slot outside the 3-slot chain is free.
+        assert_eq!(st.free_slot_count(), 1);
+        let lease = st.begin_checkpoint();
+        let chain: Vec<u32> = {
+            let mut c = vec![head.slot];
+            let mut link = head.delta;
+            while let Some(l) = link {
+                c.push(l.base_slot);
+                let hist = st.history().unwrap();
+                link = hist
+                    .iter()
+                    .find(|m| m.counter == l.base_counter)
+                    .and_then(|m| m.delta);
+            }
+            c
+        };
+        assert!(
+            !chain.contains(&lease.slot),
+            "no chain slot is ever leased out"
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum DeviceError {
     },
     /// The network peer is unreachable (remote node failed).
     PeerUnavailable,
+    /// A delta slot's extent table failed validation (bad magic, an
+    /// impossible extent count, or a checksum mismatch from a torn write).
+    CorruptExtentTable,
 }
 
 impl fmt::Display for DeviceError {
@@ -47,6 +50,9 @@ impl fmt::Display for DeviceError {
                 "requested buffer of {requested} bytes exceeds pool chunk size {chunk}"
             ),
             DeviceError::PeerUnavailable => write!(f, "network peer is unavailable"),
+            DeviceError::CorruptExtentTable => {
+                write!(f, "delta checkpoint extent table failed validation")
+            }
         }
     }
 }
@@ -74,6 +80,9 @@ mod tests {
         }
         .to_string()
         .contains("chunk"));
+        assert!(DeviceError::CorruptExtentTable
+            .to_string()
+            .contains("extent table"));
     }
 
     #[test]

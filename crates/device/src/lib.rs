@@ -46,6 +46,7 @@ pub mod composite;
 pub mod device;
 pub mod dram;
 pub mod error;
+pub mod extent;
 pub mod file;
 pub mod network;
 pub mod pmem;
@@ -58,6 +59,7 @@ pub use device::{
 };
 pub use dram::{HostBuffer, HostBufferPool};
 pub use error::DeviceError;
+pub use extent::{fnv1a, fnv1a_fold, ExtentRecord, ExtentTable, FNV_SEED};
 pub use file::FileDevice;
 pub use network::{NetworkConfig, NetworkLink, RemoteMemory};
 pub use pmem::{PmemDevice, PmemWriteMode};

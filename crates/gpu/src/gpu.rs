@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use pccheck_util::ByteSize;
 
@@ -71,6 +71,11 @@ struct GpuInner {
     config: GpuConfig,
     state: Arc<RwLock<TrainingState>>,
     engine: CopyEngine,
+    /// Byte ranges (serialized-payload coordinates) mutated since the last
+    /// snapshot guard drained them. Updates record here while holding the
+    /// state write lock; guards drain under the read lock, so the set a
+    /// snapshot captures is exactly what changed since the previous one.
+    dirty: Mutex<Vec<(u64, u64)>>,
 }
 
 impl Gpu {
@@ -87,11 +92,15 @@ impl Gpu {
             config.memory
         );
         let engine = CopyEngine::new(config.copy.clone());
+        // A never-checkpointed state is entirely dirty: the first snapshot
+        // must capture every byte.
+        let full = (0, state.size().as_u64());
         Gpu {
             inner: Arc::new(GpuInner {
                 config,
                 state: Arc::new(RwLock::new(state)),
                 engine,
+                dirty: Mutex::new(vec![full]),
             }),
         }
     }
@@ -114,7 +123,30 @@ impl Gpu {
     /// Applies one update step (the `U` phase). Blocks while any snapshot
     /// copy holds the weights, reproducing the Figure 6 stall.
     pub fn update(&self) {
-        self.inner.state.write().step();
+        let mut state = self.inner.state.write();
+        state.step();
+        let size = state.size().as_u64();
+        self.inner.dirty.lock().push((0, size));
+    }
+
+    /// Applies one *sparse* update step: only the trailing
+    /// `update_fraction` of each tensor mutates (see
+    /// [`TrainingState::step_sparse`]), and the mutated ranges are recorded
+    /// in the dirty tracker so the next snapshot can persist a delta.
+    pub fn update_sparse(&self, update_fraction: f64) {
+        let mut state = self.inner.state.write();
+        let ranges = state.step_sparse(update_fraction);
+        self.inner.dirty.lock().extend(ranges);
+    }
+
+    /// Marks the entire state dirty again — call after abandoning a
+    /// snapshot whose drained dirty set never reached a committed
+    /// checkpoint (a failed or aborted delta attempt), so the next
+    /// snapshot captures everything.
+    pub fn mark_all_dirty(&self) {
+        let state = self.inner.state.read();
+        let size = state.size().as_u64();
+        self.inner.dirty.lock().push((0, size));
     }
 
     /// Runs `f` with read access to the weights.
@@ -125,9 +157,12 @@ impl Gpu {
     /// Acquires shared (read) access to the weights for a checkpoint copy.
     /// While any [`WeightsGuard`] is alive, [`update`](Self::update) blocks.
     pub fn lock_weights_shared(&self) -> WeightsGuard<'_> {
+        let state = self.inner.state.read();
+        let dirty = self.drain_dirty();
         WeightsGuard {
-            state: self.inner.state.read(),
+            state,
             engine: &self.inner.engine,
+            dirty,
         }
     }
 
@@ -137,10 +172,26 @@ impl Gpu {
     /// proceeds with the next iteration's compute phase — exactly PCcheck's
     /// overlap of `C` with `T` (Figure 6).
     pub fn lock_weights_shared_owned(&self) -> OwnedWeightsGuard {
+        let state = RwLock::read_arc(&self.inner.state);
+        let dirty = self.drain_dirty();
         OwnedWeightsGuard {
-            state: RwLock::read_arc(&self.inner.state),
+            state,
             gpu: self.clone(),
+            dirty,
         }
+    }
+
+    /// Drains the dirty tracker into a merged, sorted range set. Called
+    /// under the state read lock so no update can interleave: updates need
+    /// the write lock, and the tracker is only pushed to from there.
+    ///
+    /// Note the drain makes snapshots consume the dirty set: delta
+    /// checkpointing assumes one snapshot at a time reaches a commit (the
+    /// engine's serial checkpoint discipline). A concurrent second guard
+    /// would see an empty set; per-extent digests at recovery catch any
+    /// misuse.
+    fn drain_dirty(&self) -> Vec<(u64, u64)> {
+        merge_ranges(std::mem::take(&mut *self.inner.dirty.lock()))
     }
 
     /// Restores the training state from a recovered checkpoint payload.
@@ -152,6 +203,9 @@ impl Gpu {
         let mut state = self.inner.state.write();
         let layout = state.layout();
         *state = TrainingState::restore(&layout, payload, step);
+        // The restored state has no committed base on the new timeline.
+        let size = state.size().as_u64();
+        *self.inner.dirty.lock() = vec![(0, size)];
     }
 
     /// Digest of the current state (for verification).
@@ -165,11 +219,31 @@ impl Gpu {
     }
 }
 
+/// Merges a set of `(offset, len)` byte ranges: sorts by offset and
+/// coalesces overlapping or adjacent ranges into a minimal sorted set.
+/// Zero-length ranges are dropped.
+pub fn merge_ranges(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.retain(|&(_, len)| len > 0);
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (off, len) in ranges {
+        match out.last_mut() {
+            Some((last_off, last_len)) if off <= *last_off + *last_len => {
+                let end = (off + len).max(*last_off + *last_len);
+                *last_len = end - *last_off;
+            }
+            _ => out.push((off, len)),
+        }
+    }
+    out
+}
+
 /// Shared access to the GPU weights for the duration of a snapshot copy.
 #[derive(Debug)]
 pub struct WeightsGuard<'a> {
     state: parking_lot::RwLockReadGuard<'a, TrainingState>,
     engine: &'a CopyEngine,
+    dirty: Vec<(u64, u64)>,
 }
 
 impl WeightsGuard<'_> {
@@ -199,6 +273,12 @@ impl WeightsGuard<'_> {
         self.state.serialize_range(offset, dst);
         self.engine.meter(ByteSize::from_bytes(dst.len() as u64));
     }
+
+    /// The byte ranges mutated since the previous snapshot (merged,
+    /// sorted) — what a delta checkpoint of this snapshot must persist.
+    pub fn dirty_ranges(&self) -> Vec<(u64, u64)> {
+        self.dirty.clone()
+    }
 }
 
 /// Owned, `Send` variant of [`WeightsGuard`] for background copier threads.
@@ -209,6 +289,7 @@ impl WeightsGuard<'_> {
 pub struct OwnedWeightsGuard {
     state: parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, TrainingState>,
     gpu: Gpu,
+    dirty: Vec<(u64, u64)>,
 }
 
 impl OwnedWeightsGuard {
@@ -239,6 +320,12 @@ impl OwnedWeightsGuard {
             .copy_engine()
             .meter(ByteSize::from_bytes(dst.len() as u64));
     }
+
+    /// The byte ranges mutated since the previous snapshot (merged,
+    /// sorted) — what a delta checkpoint of this snapshot must persist.
+    pub fn dirty_ranges(&self) -> Vec<(u64, u64)> {
+        self.dirty.clone()
+    }
 }
 
 /// A read-locked snapshot of GPU state that a persist pipeline can drain in
@@ -261,6 +348,13 @@ pub trait SnapshotSource: Sync {
     /// Copies the serialized byte range `[offset, offset+dst.len())` into
     /// host memory through the GPU's copy engine (PCIe-throttled).
     fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]);
+
+    /// The byte ranges mutated since the previous snapshot, merged and
+    /// sorted by offset. Sources without dirty tracking report the whole
+    /// state dirty, which makes delta paths degrade to full checkpoints.
+    fn dirty_ranges(&self) -> Vec<(u64, u64)> {
+        vec![(0, self.size().as_u64())]
+    }
 }
 
 impl SnapshotSource for WeightsGuard<'_> {
@@ -279,6 +373,10 @@ impl SnapshotSource for WeightsGuard<'_> {
     fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
         WeightsGuard::copy_range_to_host(self, offset, dst)
     }
+
+    fn dirty_ranges(&self) -> Vec<(u64, u64)> {
+        WeightsGuard::dirty_ranges(self)
+    }
 }
 
 impl SnapshotSource for OwnedWeightsGuard {
@@ -296,6 +394,10 @@ impl SnapshotSource for OwnedWeightsGuard {
 
     fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
         OwnedWeightsGuard::copy_range_to_host(self, offset, dst)
+    }
+
+    fn dirty_ranges(&self) -> Vec<(u64, u64)> {
+        OwnedWeightsGuard::dirty_ranges(self)
     }
 }
 
@@ -402,6 +504,98 @@ mod tests {
             copy: CopyEngineConfig::fast_for_tests(),
         };
         Gpu::new(cfg, TrainingState::synthetic(ByteSize::from_bytes(200), 1));
+    }
+
+    #[test]
+    fn merge_ranges_coalesces_overlaps_and_adjacency() {
+        assert_eq!(merge_ranges(vec![]), vec![]);
+        assert_eq!(merge_ranges(vec![(5, 0), (3, 0)]), vec![]);
+        assert_eq!(
+            merge_ranges(vec![(10, 5), (0, 4), (14, 2), (4, 2)]),
+            vec![(0, 6), (10, 6)]
+        );
+        // Containment and duplicates.
+        assert_eq!(
+            merge_ranges(vec![(0, 100), (10, 5), (0, 100)]),
+            vec![(0, 100)]
+        );
+    }
+
+    #[test]
+    fn fresh_gpu_reports_everything_dirty() {
+        let g = gpu(300, 20);
+        let guard = g.lock_weights_shared();
+        assert_eq!(guard.dirty_ranges(), vec![(0, 300)]);
+    }
+
+    #[test]
+    fn snapshot_drains_the_dirty_tracker() {
+        let g = gpu(300, 21);
+        drop(g.lock_weights_shared()); // consume the initial full-dirty set
+        g.update_sparse(0.1);
+        let guard = g.lock_weights_shared();
+        let dirty = guard.dirty_ranges();
+        let total: u64 = dirty.iter().map(|(_, l)| l).sum();
+        assert!(total >= 30 && total < 40, "~10% of 300, got {total}");
+        drop(guard);
+        // Nothing mutated since: the next snapshot sees an empty set.
+        assert!(g.lock_weights_shared().dirty_ranges().is_empty());
+    }
+
+    #[test]
+    fn dense_update_marks_everything_dirty_again() {
+        let g = gpu(300, 22);
+        drop(g.lock_weights_shared());
+        g.update_sparse(0.01);
+        g.update();
+        assert_eq!(g.lock_weights_shared().dirty_ranges(), vec![(0, 300)]);
+    }
+
+    #[test]
+    fn mark_all_dirty_rearms_after_abandoned_snapshot() {
+        let g = gpu(300, 23);
+        drop(g.lock_weights_shared()); // drained, but "checkpoint failed"
+        g.mark_all_dirty();
+        assert_eq!(g.lock_weights_shared().dirty_ranges(), vec![(0, 300)]);
+    }
+
+    #[test]
+    fn restore_resets_dirty_to_full() {
+        let g = gpu(300, 24);
+        g.update();
+        let payload = {
+            let guard = g.lock_weights_shared();
+            let mut buf = vec![0u8; 300];
+            guard.copy_range_to_host(0, &mut buf);
+            buf
+        };
+        g.restore(&payload, 1);
+        assert_eq!(g.lock_weights_shared_owned().dirty_ranges(), vec![(0, 300)]);
+    }
+
+    #[test]
+    fn sparse_update_ranges_cover_the_changed_bytes() {
+        let g = gpu(999, 25);
+        drop(g.lock_weights_shared());
+        let mut before = vec![0u8; 999];
+        g.lock_weights_shared().copy_range_to_host(0, &mut before);
+        g.mark_all_dirty(); // the copy above drained; re-arm is irrelevant here
+        drop(g.lock_weights_shared()); // drain again so only the sparse step counts
+        g.update_sparse(0.25);
+        let guard = g.lock_weights_shared_owned();
+        let mut after = vec![0u8; 999];
+        guard.copy_range_to_host(0, &mut after);
+        let dirty = guard.dirty_ranges();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                assert!(
+                    dirty
+                        .iter()
+                        .any(|&(off, len)| (i as u64) >= off && (i as u64) < off + len),
+                    "changed byte {i} not covered by dirty ranges"
+                );
+            }
+        }
     }
 
     #[test]

@@ -77,8 +77,19 @@ impl Tensor {
     /// distinct contents (a torn or stale checkpoint cannot masquerade as a
     /// fresh one).
     pub fn step(&mut self, step: u64) {
+        self.step_suffix(step, 0);
+    }
+
+    /// Applies the optimizer-step transform only to `data[start..]` — the
+    /// sparse-update path: the leading `start` bytes act as a frozen prefix
+    /// (frozen layers / untouched embedding rows) and keep their contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` exceeds the tensor size.
+    pub fn step_suffix(&mut self, step: u64, start: usize) {
         let delta = (step as u8).wrapping_mul(2).wrapping_add(1); // odd => bijective
-        for b in &mut self.data {
+        for b in &mut self.data[start..] {
             *b = b.wrapping_add(delta).rotate_left(1);
         }
     }
@@ -180,6 +191,34 @@ impl TrainingState {
         for t in &mut self.tensors {
             t.step(step);
         }
+    }
+
+    /// Applies one *sparse* update step: each tensor mutates only its
+    /// trailing `update_fraction` of bytes (a frozen-prefix workload —
+    /// frozen backbone layers, LoRA adapters, hot embedding rows), and the
+    /// mutated ranges are returned in serialized-payload coordinates so a
+    /// dirty-extent tracker can record exactly what changed.
+    ///
+    /// `update_fraction` is clamped to `[0, 1]`; at `1.0` this is
+    /// byte-for-byte identical to [`step`](Self::step). The step counter
+    /// advances regardless, so digests still distinguish iterations.
+    pub fn step_sparse(&mut self, update_fraction: f64) -> Vec<(u64, u64)> {
+        let f = update_fraction.clamp(0.0, 1.0);
+        self.step += 1;
+        let step = self.step;
+        let mut ranges = Vec::with_capacity(self.tensors.len());
+        let mut t_start = 0u64;
+        for t in &mut self.tensors {
+            let len = t.data.len();
+            let dirty = (((len as f64) * f).ceil() as usize).min(len);
+            if dirty > 0 {
+                let start = len - dirty;
+                t.step_suffix(step, start);
+                ranges.push((t_start + start as u64, dirty as u64));
+            }
+            t_start += len as u64;
+        }
+        ranges
     }
 
     /// Digest over the step counter and all tensor bytes.
@@ -371,6 +410,55 @@ mod tests {
         let s = small_state(7);
         let mut buf = vec![0u8; 10];
         s.serialize_into(&mut buf);
+    }
+
+    #[test]
+    fn sparse_step_at_full_fraction_matches_dense_step() {
+        let mut dense = small_state(11);
+        let mut sparse = small_state(11);
+        dense.step();
+        let ranges = sparse.step_sparse(1.0);
+        assert_eq!(sparse.digest(), dense.digest());
+        // One whole-tensor range per tensor.
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges.iter().map(|(_, l)| l).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn sparse_step_mutates_exactly_the_reported_ranges() {
+        let mut s = small_state(12);
+        let mut before = vec![0u8; s.size().as_usize()];
+        s.serialize_into(&mut before);
+        let ranges = s.step_sparse(0.1);
+        let mut after = vec![0u8; s.size().as_usize()];
+        s.serialize_into(&mut after);
+        let dirty: u64 = ranges.iter().map(|(_, l)| l).sum();
+        assert!(dirty >= 30 && dirty < 40, "~10% of 300 bytes, got {dirty}");
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            let in_range = ranges
+                .iter()
+                .any(|&(off, len)| (i as u64) >= off && (i as u64) < off + len);
+            if !in_range {
+                assert_eq!(b, a, "byte {i} outside dirty ranges changed");
+            } else {
+                // The odd-delta transform never maps a byte to itself.
+                assert_ne!(b, a, "byte {i} inside dirty ranges unchanged");
+            }
+        }
+        assert_eq!(s.step_count(), 1);
+    }
+
+    #[test]
+    fn sparse_step_at_zero_fraction_touches_nothing_but_the_counter() {
+        let mut s = small_state(13);
+        let mut before = vec![0u8; 300];
+        s.serialize_into(&mut before);
+        let ranges = s.step_sparse(0.0);
+        assert!(ranges.is_empty());
+        let mut after = vec![0u8; 300];
+        s.serialize_into(&mut after);
+        assert_eq!(before, after);
+        assert_eq!(s.step_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Extension: incremental delta checkpointing sparsity × chain-length sweep.
+use pccheck_harness::{ext_delta, result_path};
+
+fn main() -> std::io::Result<()> {
+    let rows = ext_delta::run();
+    println!("Extension — delta checkpointing: persist bytes vs sparsity and chain length");
+    println!(
+        "{:>9} {:>10} {:>12} {:>11} {:>12} {:>12} {:>10}",
+        "sparsity",
+        "max_chain",
+        "checkpoints",
+        "full_bytes",
+        "delta_bytes",
+        "saved_ratio",
+        "fallbacks"
+    );
+    for r in &rows {
+        println!(
+            "{:>9.2} {:>10} {:>12} {:>11} {:>12} {:>12.2} {:>10}",
+            r.sparsity,
+            r.max_chain,
+            r.checkpoints,
+            r.full_bytes,
+            r.delta_bytes,
+            r.bytes_saved_ratio,
+            r.full_fallbacks
+        );
+    }
+    let path = result_path("ext_delta.csv");
+    ext_delta::write_csv(&rows, std::fs::File::create(&path)?)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

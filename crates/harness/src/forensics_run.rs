@@ -9,7 +9,10 @@
 //! * during the payload `msync` (the [`SsdDevice`] persist fuse fires
 //!   mid-call, so the range never becomes durable),
 //! * between payload persist and commit (payload durable, never published),
-//! * after commit (the checkpoint is the recovery target).
+//! * after commit (the checkpoint is the recovery target),
+//! * mid delta chain (a delta checkpoint committed on the baseline, a
+//!   second delta stranded before its meta record — recovery must replay
+//!   the committed chain).
 //!
 //! Each scenario drives the [`CheckpointStore`] directly, emitting the
 //! same flight records the engine does, crashes, audits the frozen
@@ -20,9 +23,12 @@
 use std::sync::Arc;
 
 use pccheck::{
-    recover_instrumented, CheckpointStore, PccheckError, RecoveredCheckpoint, RecoveryTrace,
+    recover_instrumented, CheckpointStore, DeltaLink, PccheckError, RecoveredCheckpoint,
+    RecoveryTrace,
 };
-use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice, StripedDevice};
+use pccheck_device::{
+    fnv1a, DeviceConfig, ExtentRecord, ExtentTable, PersistentDevice, SsdDevice, StripedDevice,
+};
 use pccheck_gpu::StateDigest;
 use pccheck_monitor::ForensicReport;
 use pccheck_telemetry::{FlightEventKind, Telemetry};
@@ -39,15 +45,20 @@ pub enum CrashPoint {
     BetweenPersistAndCommit,
     /// After the commit completed; the checkpoint must be recovered.
     AfterCommit,
+    /// Mid delta chain: one delta committed on the baseline, a second
+    /// delta's payload durable but its meta record never written —
+    /// recovery must replay the committed base + delta.
+    DeltaChain,
 }
 
 impl CrashPoint {
     /// Every crash point, in protocol order.
-    pub const ALL: [CrashPoint; 4] = [
+    pub const ALL: [CrashPoint; 5] = [
         CrashPoint::DuringCopy,
         CrashPoint::DuringPersist,
         CrashPoint::BetweenPersistAndCommit,
         CrashPoint::AfterCommit,
+        CrashPoint::DeltaChain,
     ];
 
     /// Stable name (accepted by [`CrashPoint::from_name`] and pccheckctl).
@@ -57,6 +68,7 @@ impl CrashPoint {
             CrashPoint::DuringPersist => "during-persist",
             CrashPoint::BetweenPersistAndCommit => "between-persist-and-commit",
             CrashPoint::AfterCommit => "after-commit",
+            CrashPoint::DeltaChain => "delta-chain",
         }
     }
 
@@ -150,6 +162,92 @@ pub fn synthetic_payload(iteration: u64, len: u64) -> Vec<u8> {
         .collect()
 }
 
+/// `base` with each `(offset, len)` range overwritten by deterministic
+/// bytes seeded from `iteration` — a sparse mutation of the full state.
+pub fn sparse_payload(base: &[u8], iteration: u64, ranges: &[(u64, u64)]) -> Vec<u8> {
+    let mut full = base.to_vec();
+    for &(off, len) in ranges {
+        for i in off..off + len {
+            full[i as usize] = (iteration as u8).wrapping_mul(37).wrapping_add(i as u8);
+        }
+    }
+    full
+}
+
+/// Serializes a delta payload for `full`: an extent table (with per-extent
+/// FNV digests and `full`'s state digest) followed by the packed dirty
+/// bytes. Returns `(payload, table length)`.
+fn build_delta_payload(full: &[u8], iteration: u64, ranges: &[(u64, u64)]) -> (Vec<u8>, u64) {
+    let extents: Vec<ExtentRecord> = ranges
+        .iter()
+        .map(|&(off, len)| ExtentRecord {
+            offset: off,
+            len,
+            digest: fnv1a(&full[off as usize..(off + len) as usize]),
+        })
+        .collect();
+    let table = ExtentTable {
+        full_len: full.len() as u64,
+        full_digest: StateDigest::of_payload(full, iteration).0,
+        extents,
+    };
+    let mut payload = table.encode();
+    let table_len = payload.len() as u64;
+    for &(off, len) in ranges {
+        payload.extend_from_slice(&full[off as usize..(off + len) as usize]);
+    }
+    (payload, table_len)
+}
+
+/// Commits a delta checkpoint of `full` over the latest committed base,
+/// persisting only `ranges` behind an extent table and chaining via a
+/// [`DeltaLink`]. Emits the engine's flight records. Returns the
+/// checkpoint's counter.
+///
+/// # Errors
+///
+/// [`PccheckError::NoCheckpoint`] when the store has no committed base;
+/// otherwise propagates device/store errors.
+pub fn commit_delta_checkpoint(
+    store: &CheckpointStore,
+    iteration: u64,
+    full: &[u8],
+    ranges: &[(u64, u64)],
+) -> Result<u64, PccheckError> {
+    let base = store.latest_committed().ok_or(PccheckError::NoCheckpoint)?;
+    let depth = base.delta.map_or(0, |l| l.chain_depth);
+    let (payload, table_len) = build_delta_payload(full, iteration, ranges);
+    let lease = store.begin_checkpoint();
+    let counter = lease.counter;
+    let len = payload.len() as u64;
+    store.write_payload(&lease, 0, &payload)?;
+    store
+        .flight()
+        .record(FlightEventKind::CopyDone, counter, lease.slot, 0, len, 0);
+    store.persist_payload(&lease, 0, len)?;
+    store.flight().record(
+        FlightEventKind::PayloadPersisted,
+        counter,
+        lease.slot,
+        iteration,
+        len,
+        0,
+    );
+    let digest = fnv1a(&payload[..table_len as usize]);
+    store.commit_with_delta(
+        lease,
+        iteration,
+        len,
+        digest,
+        Some(DeltaLink {
+            base_counter: base.counter,
+            base_slot: base.slot,
+            chain_depth: depth + 1,
+        }),
+    )?;
+    Ok(counter)
+}
+
 /// Commits one checkpoint through the store, emitting the same flight
 /// records the engine does. Returns the checkpoint's counter.
 ///
@@ -220,6 +318,41 @@ pub fn drive_to_crash_point(
         store.commit(lease, iteration, len, digest)?;
         return Ok((counter, slot));
     }
+    if point == CrashPoint::DeltaChain {
+        // A delta committed halfway between the baseline and the crash
+        // iteration, then a second delta stranded with its payload durable
+        // but no meta record — the crash strands it exactly like a process
+        // dying between persist and commit.
+        let base = store.latest_committed().ok_or(PccheckError::NoCheckpoint)?;
+        let len = payload.len() as u64;
+        let base_payload = synthetic_payload(base.iteration, len);
+        let mid = base.iteration + iteration.saturating_sub(base.iteration) / 2;
+        let ranges = [(0u64, len / 8), (len / 2, len / 8)];
+        let full_mid = sparse_payload(&base_payload, mid, &ranges);
+        commit_delta_checkpoint(store, mid, &full_mid, &ranges)?;
+
+        let ranges2 = [(len / 4, len / 8)];
+        let full_crash = sparse_payload(&full_mid, iteration, &ranges2);
+        let (delta_payload, _) = build_delta_payload(&full_crash, iteration, &ranges2);
+        let lease = store.begin_checkpoint();
+        let (counter, slot) = (lease.counter, lease.slot);
+        let dlen = delta_payload.len() as u64;
+        store.write_payload(&lease, 0, &delta_payload)?;
+        store
+            .flight()
+            .record(FlightEventKind::CopyDone, counter, slot, 0, dlen, 0);
+        store.persist_payload(&lease, 0, dlen)?;
+        store.flight().record(
+            FlightEventKind::PayloadPersisted,
+            counter,
+            slot,
+            iteration,
+            dlen,
+            0,
+        );
+        std::mem::forget(lease);
+        return Ok((counter, slot));
+    }
     let lease = store.begin_checkpoint();
     let (counter, slot) = (lease.counter, lease.slot);
     let len = payload.len() as u64;
@@ -250,7 +383,7 @@ pub fn drive_to_crash_point(
                 0,
             );
         }
-        CrashPoint::AfterCommit => unreachable!("handled above"),
+        CrashPoint::AfterCommit | CrashPoint::DeltaChain => unreachable!("handled above"),
     }
     // The lease is deliberately leaked: the crash strands the in-flight
     // slot, exactly like a process dying mid-checkpoint.
@@ -412,6 +545,26 @@ mod tests {
     }
 
     #[test]
+    fn crash_mid_delta_chain_recovers_by_replaying_the_chain() {
+        let run = scenario(CrashPoint::DeltaChain);
+        assert!(run.report.is_clean(), "{}", run.report.render());
+        assert_eq!(run.crashed_counter, 3, "the stranded second delta");
+        assert_eq!(run.recovered.counter, 2, "the committed delta survives");
+        assert_eq!(run.recovered.iteration, 150);
+        assert_eq!(run.trace.chain_links, 1, "one delta replayed on the base");
+        // The reconstructed state is the sparse mutation of the baseline.
+        let base = synthetic_payload(100, 4 * 1024);
+        let expected = sparse_payload(&base, 150, &[(0, 512), (2048, 512)]);
+        assert_eq!(run.recovered.payload, expected);
+        assert_eq!(
+            run.report.expected_recovery.map(|m| m.counter),
+            Some(run.recovered.counter),
+            "forensic prediction matches chain replay"
+        );
+        assert!(run.report.expected_recovery.is_some_and(|m| m.is_delta()));
+    }
+
+    #[test]
     fn recovery_trace_measures_every_phase() {
         let run = scenario(CrashPoint::DuringPersist);
         assert!(run.trace.total_nanos > 0);
@@ -425,13 +578,20 @@ mod tests {
         for point in CrashPoint::ALL {
             let run = run_crash_scenario(point, &ForensicsRunConfig::striped(2)).unwrap();
             assert!(run.report.is_clean(), "{point}: {}", run.report.render());
-            if point == CrashPoint::AfterCommit {
-                assert_eq!(run.recovered.counter, 2, "{point}");
-                assert_eq!(run.recovered.iteration, 200, "{point}");
-                assert_eq!(run.recovered.payload, synthetic_payload(200, 4 * 1024));
-            } else {
-                assert_eq!(run.recovered.counter, 1, "{point}: baseline survives");
-                assert_eq!(run.recovered.iteration, 100, "{point}");
+            match point {
+                CrashPoint::AfterCommit => {
+                    assert_eq!(run.recovered.counter, 2, "{point}");
+                    assert_eq!(run.recovered.iteration, 200, "{point}");
+                    assert_eq!(run.recovered.payload, synthetic_payload(200, 4 * 1024));
+                }
+                CrashPoint::DeltaChain => {
+                    assert_eq!(run.recovered.counter, 2, "{point}: delta survives");
+                    assert_eq!(run.recovered.iteration, 150, "{point}");
+                }
+                _ => {
+                    assert_eq!(run.recovered.counter, 1, "{point}: baseline survives");
+                    assert_eq!(run.recovered.iteration, 100, "{point}");
+                }
             }
             assert_eq!(
                 run.report.expected_recovery.map(|m| m.counter),

@@ -20,7 +20,13 @@
 //!    (`CHECK_ADDR` persists *before* the ring's `Commit` record, so the
 //!    ring can never be ahead of the durable pointer).
 //! 5. **Committed slots are intact** — the payload of every slot holding
-//!    a complete checkpoint verifies against its recorded digest.
+//!    a complete checkpoint verifies against its recorded digest (for a
+//!    delta slot: the extent table at the head of the payload).
+//! 6. **Delta chains are whole** — when the recovery target is a delta
+//!    checkpoint, every base pointer lands on a slot still holding that
+//!    base (superseded bases stay pinned until their dependents retire),
+//!    every base committed per the ring, and replaying the chain
+//!    reconstructs a state matching the newest table's full digest.
 //!
 //! A report that violates any invariant means either real corruption or a
 //! bug in the checkpointing protocol — `pccheckctl forensics` exits
@@ -30,8 +36,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use pccheck::{PccheckError, RawStoreView};
-use pccheck_device::PersistentDevice;
+use pccheck::{CheckMeta, PccheckError, RawStoreView};
+use pccheck_device::{fnv1a, ExtentTable, PersistentDevice};
 use pccheck_gpu::StateDigest;
 use pccheck_telemetry::{FlightEventKind, FlightRecord, FlightRing};
 
@@ -125,12 +131,34 @@ pub enum InvariantViolation {
         /// Newest committed counter per the ring.
         newest: u64,
     },
-    /// The expected recovery target's payload fails digest verification.
+    /// The expected recovery target's payload fails digest verification
+    /// (for a delta target: replaying its chain cannot reconstruct a state
+    /// matching the recorded full digest).
     TornCommittedSlot {
         /// Slot of the torn checkpoint.
         slot: u32,
         /// Its counter.
         counter: u64,
+    },
+    /// A delta checkpoint in the recovery target's chain points at a base
+    /// whose slot no longer holds that base — the chain has a gap, so the
+    /// pinning rule (bases survive until every dependent retires) broke.
+    DeltaChainGap {
+        /// The delta checkpoint whose base pointer dangles.
+        counter: u64,
+        /// The base counter it expected.
+        base_counter: u64,
+        /// The slot that should hold the base.
+        base_slot: u32,
+    },
+    /// A base in the recovery target's delta chain never committed per the
+    /// flight ring (the chain depends on a checkpoint the protocol knows
+    /// was in flight or failed).
+    DeltaBaseNotCommitted {
+        /// The delta checkpoint depending on the dubious base.
+        counter: u64,
+        /// The base that never committed.
+        base_counter: u64,
     },
 }
 
@@ -165,6 +193,26 @@ impl std::fmt::Display for InvariantViolation {
                 write!(
                     f,
                     "committed checkpoint {counter} in slot {slot} fails digest verification"
+                )
+            }
+            InvariantViolation::DeltaChainGap {
+                counter,
+                base_counter,
+                base_slot,
+            } => {
+                write!(
+                    f,
+                    "delta checkpoint {counter} points at base {base_counter} \
+                     but slot {base_slot} no longer holds it"
+                )
+            }
+            InvariantViolation::DeltaBaseNotCommitted {
+                counter,
+                base_counter,
+            } => {
+                write!(
+                    f,
+                    "delta checkpoint {counter} chains onto base {base_counter} that never committed"
                 )
             }
         }
@@ -409,13 +457,18 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
     }
 
     // Invariant 5 + payload_valid: verify slot payloads against digests.
+    // A delta slot's digest covers the extent table at the payload head.
     for slot in 0..view.slots {
         let Some(meta) = view.slot_meta[slot as usize] else {
             continue;
         };
         let payload = view.read_slot_payload(device.as_ref(), slot)?;
-        let valid = StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
-            || pccheck_raw_checksum(&payload) == meta.digest;
+        let valid = if meta.is_delta() {
+            delta_table_valid(&payload, meta.digest)
+        } else {
+            StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
+                || pccheck_raw_checksum(&payload) == meta.digest
+        };
         if let Some(CheckpointVerdict::Committed { payload_valid, .. }) =
             checkpoints.get_mut(&meta.counter)
         {
@@ -437,6 +490,18 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
                 counter: meta.counter,
             });
         }
+    }
+
+    // Invariant 6: a delta recovery target's chain must be whole, built on
+    // committed bases, and replayable to the recorded full-state digest.
+    if let Some(target) = expected_recovery.filter(|m| m.is_delta()) {
+        audit_delta_chain(
+            device.as_ref(),
+            &view,
+            &target,
+            &checkpoints,
+            &mut violations,
+        )?;
     }
 
     Ok(ForensicReport {
@@ -463,6 +528,124 @@ fn bump_phase(
             *phase = to;
         }
     }
+}
+
+/// Whether a delta payload's extent table decodes and matches the slot
+/// meta's digest (which covers the serialized table only).
+fn delta_table_valid(payload: &[u8], digest: u64) -> bool {
+    let Ok(table) = ExtentTable::decode(payload) else {
+        return false;
+    };
+    let Ok(table_len) = usize::try_from(table.encoded_len()) else {
+        return false;
+    };
+    payload
+        .get(..table_len)
+        .is_some_and(|t| pccheck_raw_checksum(t) == digest)
+}
+
+/// Walks and replays the recovery target's delta chain, pushing a
+/// violation for each broken promise: a dangling base pointer
+/// ([`InvariantViolation::DeltaChainGap`]), a base the ring says never
+/// committed ([`InvariantViolation::DeltaBaseNotCommitted`]), or a replay
+/// that cannot reproduce the recorded full-state digest
+/// ([`InvariantViolation::TornCommittedSlot`]).
+fn audit_delta_chain(
+    device: &dyn PersistentDevice,
+    view: &RawStoreView,
+    target: &CheckMeta,
+    checkpoints: &BTreeMap<u64, CheckpointVerdict>,
+    violations: &mut Vec<InvariantViolation>,
+) -> Result<(), PccheckError> {
+    let mut chain = vec![*target];
+    loop {
+        let head = *chain.last().expect("chain starts non-empty");
+        let Some(link) = head.delta else { break };
+        let base = view
+            .slot_meta
+            .get(link.base_slot as usize)
+            .copied()
+            .flatten()
+            .filter(|m| m.counter == link.base_counter && m.slot == link.base_slot);
+        let Some(base) = base else {
+            violations.push(InvariantViolation::DeltaChainGap {
+                counter: head.counter,
+                base_counter: link.base_counter,
+                base_slot: link.base_slot,
+            });
+            return Ok(());
+        };
+        if matches!(
+            checkpoints.get(&base.counter),
+            Some(CheckpointVerdict::InFlight { .. }) | Some(CheckpointVerdict::Failed)
+        ) {
+            violations.push(InvariantViolation::DeltaBaseNotCommitted {
+                counter: head.counter,
+                base_counter: base.counter,
+            });
+        }
+        if chain.len() as u32 > view.slots {
+            break; // cycle guard: longer than the store can hold
+        }
+        chain.push(base);
+    }
+    if replay_chain(device, view, &chain).is_none() {
+        violations.push(InvariantViolation::TornCommittedSlot {
+            slot: target.slot,
+            counter: target.counter,
+        });
+    }
+    Ok(())
+}
+
+/// Replays a delta chain (newest→root order in `chain`) into the full
+/// state it represents, verifying every digest along the way. `None` on
+/// any mismatch.
+fn replay_chain(
+    device: &dyn PersistentDevice,
+    view: &RawStoreView,
+    chain: &[CheckMeta],
+) -> Option<Vec<u8>> {
+    let root = chain.last()?;
+    if root.is_delta() {
+        return None; // the cycle guard bailed before reaching a full root
+    }
+    let mut state = view.read_slot_payload(device, root.slot).ok()?;
+    let root_ok = StateDigest::of_payload(&state, root.iteration).0 == root.digest
+        || pccheck_raw_checksum(&state) == root.digest;
+    if !root_ok {
+        return None;
+    }
+    let mut full_digest = root.digest;
+    let mut final_iter = root.iteration;
+    for delta in chain.iter().rev().skip(1) {
+        let payload = view.read_slot_payload(device, delta.slot).ok()?;
+        let table = ExtentTable::decode(&payload).ok()?;
+        let table_len = usize::try_from(table.encoded_len()).ok()?;
+        if pccheck_raw_checksum(payload.get(..table_len)?) != delta.digest {
+            return None;
+        }
+        if table.full_len != state.len() as u64 {
+            return None;
+        }
+        let mut src = table_len;
+        for rec in &table.extents {
+            let src_end = src.checked_add(rec.len as usize)?;
+            let chunk = payload.get(src..src_end)?;
+            if fnv1a(chunk) != rec.digest {
+                return None;
+            }
+            let dst_start = usize::try_from(rec.offset).ok()?;
+            let dst = state.get_mut(dst_start..dst_start.checked_add(rec.len as usize)?)?;
+            dst.copy_from_slice(chunk);
+            src = src_end;
+        }
+        full_digest = table.full_digest;
+        final_iter = delta.iteration;
+    }
+    let ok = StateDigest::of_payload(&state, final_iter).0 == full_digest
+        || pccheck_raw_checksum(&state) == full_digest;
+    ok.then_some(state)
 }
 
 /// FNV-1a over raw payload bytes — the same checksum `pccheck::meta` uses
@@ -509,6 +692,161 @@ mod tests {
                 .unwrap(),
             CommitOutcome::Committed
         );
+    }
+
+    /// Commits a delta checkpoint of `full` over the latest committed
+    /// base, persisting only `ranges` behind an extent table.
+    fn commit_delta_one(st: &CheckpointStore, iter: u64, full: &[u8], ranges: &[(u64, u64)]) {
+        use pccheck::DeltaLink;
+        use pccheck_device::ExtentRecord;
+
+        let base = st.latest_committed().unwrap();
+        let depth = base.delta.map_or(0, |l| l.chain_depth);
+        let extents: Vec<ExtentRecord> = ranges
+            .iter()
+            .map(|&(off, len)| ExtentRecord {
+                offset: off,
+                len,
+                digest: fnv1a(&full[off as usize..(off + len) as usize]),
+            })
+            .collect();
+        let table = ExtentTable {
+            full_len: full.len() as u64,
+            full_digest: pccheck_raw_checksum(full),
+            extents,
+        };
+        let table_bytes = table.encode();
+        let mut payload = table_bytes.clone();
+        for &(off, len) in ranges {
+            payload.extend_from_slice(&full[off as usize..(off + len) as usize]);
+        }
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, &payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let link = DeltaLink {
+            base_counter: base.counter,
+            base_slot: base.slot,
+            chain_depth: depth + 1,
+        };
+        assert_eq!(
+            st.commit_with_delta(
+                lease,
+                iter,
+                payload.len() as u64,
+                pccheck_raw_checksum(&table_bytes),
+                Some(link),
+            )
+            .unwrap(),
+            CommitOutcome::Committed
+        );
+    }
+
+    #[test]
+    fn delta_chain_audits_clean() {
+        let (dev, st) = flight_store(4, 64);
+        let mut full = vec![7u8; 64];
+        commit_one(&st, 1, &full);
+        full[8..16].copy_from_slice(&[1u8; 8]);
+        commit_delta_one(&st, 2, &full, &[(8, 8)]);
+        full[40..44].copy_from_slice(&[2u8; 4]);
+        commit_delta_one(&st, 3, &full, &[(40, 4)]);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let target = report.expected_recovery.unwrap();
+        assert_eq!(target.iteration, 3);
+        assert_eq!(target.delta.unwrap().chain_depth, 2);
+        assert!(matches!(
+            report.checkpoints[&3],
+            CheckpointVerdict::Committed {
+                payload_valid: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn delta_chain_gap_is_flagged() {
+        let (dev, st) = flight_store(4, 64);
+        let full = vec![9u8; 64];
+        commit_one(&st, 1, &full);
+        let base = st.latest_committed().unwrap();
+        // Fabricate a delta whose base pointer dangles: right counter,
+        // wrong slot.
+        let lease = st.begin_checkpoint();
+        let table = ExtentTable {
+            full_len: 64,
+            full_digest: pccheck_raw_checksum(&full),
+            extents: vec![],
+        };
+        let bytes = table.encode();
+        st.write_payload(&lease, 0, &bytes).unwrap();
+        st.persist_payload(&lease, 0, bytes.len() as u64).unwrap();
+        let wrong_slot = (base.slot + 1) % 4;
+        st.commit_with_delta(
+            lease,
+            2,
+            bytes.len() as u64,
+            pccheck_raw_checksum(&bytes),
+            Some(pccheck::DeltaLink {
+                base_counter: base.counter,
+                base_slot: wrong_slot,
+                chain_depth: 1,
+            }),
+        )
+        .unwrap();
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            InvariantViolation::DeltaChainGap {
+                counter: 2,
+                base_counter: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn delta_base_that_never_committed_is_flagged() {
+        let (dev, st) = flight_store(4, 64);
+        let mut full = vec![3u8; 64];
+        commit_one(&st, 1, &full);
+        // Fabricate a ring record claiming checkpoint 1 failed: the chain
+        // now depends on a base the protocol disowned.
+        st.flight().record(K::Failed, 1, 0, 1, 64, 0);
+        full[0..4].copy_from_slice(&[5u8; 4]);
+        commit_delta_one(&st, 2, &full, &[(0, 4)]);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            InvariantViolation::DeltaBaseNotCommitted {
+                counter: 2,
+                base_counter: 1,
+            }
+        )));
+    }
+
+    #[test]
+    fn torn_delta_chain_replay_is_flagged() {
+        let (dev, st) = flight_store(4, 64);
+        let mut full = vec![11u8; 64];
+        commit_one(&st, 1, &full);
+        full[16..24].copy_from_slice(&[13u8; 8]);
+        commit_delta_one(&st, 2, &full, &[(16, 8)]);
+        // Corrupt a packed extent byte (the table stays intact, so the
+        // per-slot digest check passes and only chain replay catches it).
+        let target = st.latest_committed().unwrap();
+        let off = st.slot_payload_offset(target.slot) + target.payload_len - 1;
+        dev.write_at(off, &[0xEE]).unwrap();
+        dev.persist(off, 1).unwrap();
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::TornCommittedSlot { counter: 2, .. })));
     }
 
     #[test]
@@ -654,8 +992,7 @@ mod tests {
         // A small stripe forces the header, CHECK_ADDR, slot metadata, and
         // flight ring to interleave across both members, so RawStoreView's
         // durable reads must reassemble every structure from extents.
-        let cap =
-            CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(64), 3, 64);
+        let cap = CheckpointStore::required_capacity_with_flight(ByteSize::from_bytes(64), 3, 64);
         let members: Vec<Arc<dyn PersistentDevice>> = (0..2)
             .map(|_| {
                 Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)))
@@ -664,13 +1001,9 @@ mod tests {
             .collect();
         let dev: Arc<dyn PersistentDevice> =
             Arc::new(StripedDevice::new(members, ByteSize::from_bytes(256)));
-        let st = CheckpointStore::format_with_flight(
-            Arc::clone(&dev),
-            ByteSize::from_bytes(64),
-            3,
-            64,
-        )
-        .unwrap();
+        let st =
+            CheckpointStore::format_with_flight(Arc::clone(&dev), ByteSize::from_bytes(64), 3, 64)
+                .unwrap();
         for i in 1..=3 {
             commit_one(&st, i, format!("s{i}").as_bytes());
         }

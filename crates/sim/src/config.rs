@@ -221,7 +221,8 @@ impl SimConfig {
     /// `storage_bandwidth` stays per-member so hardware profiles keep
     /// their calibrated single-device numbers.
     pub fn effective_storage_bandwidth(&self) -> Bandwidth {
-        self.storage_bandwidth.scaled(self.stripe_ways.max(1) as f64)
+        self.storage_bandwidth
+            .scaled(self.stripe_ways.max(1) as f64)
     }
 
     /// The per-writer-thread bandwidth cap for this media (none for the

@@ -52,12 +52,18 @@ pub enum Phase {
     RecoveryLoad,
     /// Recovery: digest verification of a candidate payload.
     RecoveryVerify,
+    /// Delta checkpoint: building and persisting the dirty-extent table
+    /// that maps a sparse payload back onto the full state.
+    DeltaMap,
+    /// Recovery: replaying a delta chain (base payload + per-extent
+    /// patches) into a full state image.
+    DeltaReplay,
 }
 
 impl Phase {
     /// All phases, in lifecycle order (checkpoint phases first, then the
-    /// post-crash recovery-path phases).
-    pub const ALL: [Phase; 7] = [
+    /// post-crash recovery-path phases, then the delta-checkpoint phases).
+    pub const ALL: [Phase; 9] = [
         Phase::TicketWait,
         Phase::GpuCopy,
         Phase::Persist,
@@ -65,6 +71,8 @@ impl Phase {
         Phase::RecoveryScan,
         Phase::RecoveryLoad,
         Phase::RecoveryVerify,
+        Phase::DeltaMap,
+        Phase::DeltaReplay,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -77,6 +85,8 @@ impl Phase {
             Phase::RecoveryScan => "recovery_scan",
             Phase::RecoveryLoad => "recovery_load",
             Phase::RecoveryVerify => "recovery_verify",
+            Phase::DeltaMap => "delta_map",
+            Phase::DeltaReplay => "delta_replay",
         }
     }
 
@@ -90,6 +100,8 @@ impl Phase {
             Phase::RecoveryScan => 4,
             Phase::RecoveryLoad => 5,
             Phase::RecoveryVerify => 6,
+            Phase::DeltaMap => 7,
+            Phase::DeltaReplay => 8,
         }
     }
 }
@@ -241,6 +253,8 @@ mod tests {
                 "recovery_scan",
                 "recovery_load",
                 "recovery_verify",
+                "delta_map",
+                "delta_replay",
             ]
         );
         for (i, p) in Phase::ALL.iter().enumerate() {

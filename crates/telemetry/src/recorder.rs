@@ -85,6 +85,8 @@ pub struct MemoryRecorder {
     device_queues: [Gauge; MAX_TRACKED_DEVICES],
     gpu_copy_bytes: AtomicU64,
     persist_chunk_bytes: AtomicU64,
+    dirty_ratio_permille: Gauge,
+    delta_bytes_saved: AtomicU64,
 }
 
 impl Default for MemoryRecorder {
@@ -110,6 +112,8 @@ impl MemoryRecorder {
             device_queues: std::array::from_fn(|_| Gauge::default()),
             gpu_copy_bytes: AtomicU64::new(0),
             persist_chunk_bytes: AtomicU64::new(0),
+            dirty_ratio_permille: Gauge::default(),
+            delta_bytes_saved: AtomicU64::new(0),
         }
     }
 
@@ -156,6 +160,9 @@ impl MemoryRecorder {
             queue_depth_peak: self.queue_depth.peak(),
             gpu_copy_bytes: self.gpu_copy_bytes.load(Ordering::Acquire),
             persist_chunk_bytes: self.persist_chunk_bytes.load(Ordering::Acquire),
+            dirty_ratio_permille: self.dirty_ratio_permille.current(),
+            dirty_ratio_permille_peak: self.dirty_ratio_permille.peak(),
+            delta_bytes_saved: self.delta_bytes_saved.load(Ordering::Acquire),
             window_nanos: self.now_nanos(),
         }
     }
@@ -190,6 +197,14 @@ pub struct TelemetrySnapshot {
     pub gpu_copy_bytes: u64,
     /// Bytes moved by the DRAM→device persist phase.
     pub persist_chunk_bytes: u64,
+    /// Last observed dirty-byte ratio of a delta checkpoint, in permille
+    /// (dirty bytes / full state bytes × 1000).
+    pub dirty_ratio_permille: u64,
+    /// High-water mark of the dirty-ratio gauge.
+    pub dirty_ratio_permille_peak: u64,
+    /// Total payload bytes the delta path avoided persisting versus full
+    /// checkpoints of the same iterations.
+    pub delta_bytes_saved: u64,
     /// Nanoseconds since the recorder's epoch.
     pub window_nanos: u64,
 }
@@ -455,6 +470,22 @@ impl Telemetry {
         }
     }
 
+    /// Updates the delta-checkpoint dirty-ratio gauge (dirty bytes / full
+    /// state bytes, in permille).
+    pub fn gauge_dirty_ratio(&self, permille: u64) {
+        if let Some(r) = &self.inner {
+            r.dirty_ratio_permille.set(permille);
+        }
+    }
+
+    /// Adds `bytes` to the running total of payload bytes the delta path
+    /// avoided persisting.
+    pub fn add_delta_bytes_saved(&self, bytes: u64) {
+        if let Some(r) = &self.inner {
+            r.delta_bytes_saved.fetch_add(bytes, Ordering::Release);
+        }
+    }
+
     /// All events merged into one timestamp-ordered timeline (empty when
     /// disabled).
     pub fn events(&self) -> Vec<Event> {
@@ -593,6 +624,24 @@ mod tests {
         d.stage_write(1);
         d.stage_persist(1);
         d.gauge_device_queue(0, 1);
+        assert!(d.snapshot().is_none());
+    }
+
+    #[test]
+    fn delta_metrics_roll_up() {
+        let t = Telemetry::enabled();
+        t.gauge_dirty_ratio(100);
+        t.gauge_dirty_ratio(40);
+        t.add_delta_bytes_saved(900);
+        t.add_delta_bytes_saved(100);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.dirty_ratio_permille, 40);
+        assert_eq!(snap.dirty_ratio_permille_peak, 100);
+        assert_eq!(snap.delta_bytes_saved, 1000);
+
+        let d = Telemetry::disabled();
+        d.gauge_dirty_ratio(1);
+        d.add_delta_bytes_saved(1);
         assert!(d.snapshot().is_none());
     }
 

@@ -137,9 +137,13 @@ fn cmd_info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("history:");
     for meta in store.history()? {
+        let kind = match meta.delta {
+            Some(link) => format!("delta->c{} depth {}", link.base_counter, link.chain_depth),
+            None => "full".to_string(),
+        };
         println!(
-            "  counter {:>4} iteration {:>6} {:>10} bytes digest {:016x}",
-            meta.counter, meta.iteration, meta.payload_len, meta.digest
+            "  counter {:>4} iteration {:>6} {:>10} bytes digest {:016x} {}",
+            meta.counter, meta.iteration, meta.payload_len, meta.digest, kind
         );
     }
     Ok(())

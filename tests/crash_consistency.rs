@@ -234,6 +234,28 @@ fn forensic_verdicts_match_actual_recovery_at_every_crash_point() {
                 );
                 assert_eq!(run.recovered.counter, run.crashed_counter);
             }
+            CrashPoint::DeltaChain => {
+                // The stranded second delta died with its payload durable
+                // but no meta, and recovery must land on the committed
+                // *delta* head — replayed through its chain.
+                assert!(
+                    matches!(
+                        verdict,
+                        CheckpointVerdict::InFlight {
+                            phase: InFlightPhase::Persisted,
+                            ..
+                        }
+                    ),
+                    "{point}: {verdict:?}"
+                );
+                assert!(
+                    run.report
+                        .expected_recovery
+                        .as_ref()
+                        .is_some_and(|m| m.is_delta()),
+                    "{point}: recovery target must be a delta checkpoint"
+                );
+            }
         }
     }
 }

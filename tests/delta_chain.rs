@@ -1,0 +1,114 @@
+//! Cross-validation of the delta checkpoint path: the same training run
+//! checkpointed as a base + delta chain on one store and as plain full
+//! checkpoints on another must recover to *bit-identical* state, verified
+//! both by direct comparison and by `pccheck_monitor::diff` over the
+//! tensor layout.
+
+use std::sync::Arc;
+
+use pccheck::{recovery, CheckpointStore, DeltaOutcome, DeltaPolicy, PersistPipeline, PipelineCtx};
+use pccheck_device::{DeviceConfig, HostBufferPool, PersistentDevice, SsdDevice};
+use pccheck_gpu::{Gpu, GpuConfig, TrainingState};
+use pccheck_telemetry::{SpanId, Telemetry};
+use pccheck_util::ByteSize;
+
+const STATE: u64 = 8 * 1024;
+const MAX_CHAIN: u32 = 3;
+
+fn store_on(slots: u32) -> (Arc<SsdDevice>, Arc<CheckpointStore>) {
+    let size = ByteSize::from_bytes(STATE);
+    let cap = CheckpointStore::required_capacity(size, slots) + ByteSize::from_kb(4);
+    let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let dev: Arc<dyn PersistentDevice> = ssd.clone();
+    let store = Arc::new(CheckpointStore::format(dev, size, slots).expect("format"));
+    (ssd, store)
+}
+
+fn pipeline_for(store: &Arc<CheckpointStore>) -> PersistPipeline {
+    PersistPipeline::new(Arc::clone(store))
+        .with_writers(2)
+        .with_staging(HostBufferPool::new(ByteSize::from_bytes(512), 8))
+}
+
+#[test]
+fn delta_chain_restore_is_bit_identical_to_full_checkpoints() {
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE), 11),
+    );
+    gpu.update();
+
+    // Store A takes base + chained deltas; store B takes a plain full
+    // checkpoint of the very same weights at every iteration.
+    let (ssd_a, store_a) = store_on(MAX_CHAIN + 2);
+    let (ssd_b, store_b) = store_on(2);
+    let pipe_a = pipeline_for(&store_a);
+    let pipe_b = pipeline_for(&store_b);
+    let telemetry = Telemetry::disabled();
+    let ctx = PipelineCtx {
+        telemetry: &telemetry,
+        span: SpanId::NONE,
+    };
+    let policy = DeltaPolicy {
+        max_dirty_ratio: 0.5,
+        max_chain: MAX_CHAIN,
+    };
+
+    let mut saw_delta = false;
+    for iter in 1..=4u64 {
+        if iter > 1 {
+            gpu.update_sparse(0.10);
+        }
+        let guard = gpu.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let total = guard.size();
+
+        let (_, kind) = pipe_a
+            .checkpoint_delta(ctx, &guard, iter, digest.0, policy)
+            .expect("delta checkpoint");
+        saw_delta |= matches!(kind, DeltaOutcome::Delta { .. });
+
+        let lease = pipe_b.lease(ctx);
+        let persist_start = pipe_b
+            .copy_streamed(ctx, &guard, &lease, total)
+            .expect("full copy");
+        drop(guard);
+        pipe_b
+            .seal(ctx, &lease, iter, total, persist_start)
+            .expect("seal");
+        pipe_b
+            .commit(ctx, lease, iter, total.as_u64(), digest.0)
+            .expect("commit");
+    }
+    assert!(saw_delta, "the sparse run must exercise the delta path");
+    let head = store_a.latest_committed().expect("head");
+    let link = head.delta.expect("head of store A is a delta");
+    assert!(link.chain_depth >= 1);
+
+    drop(pipe_a);
+    drop(pipe_b);
+    let rec_a = recovery::recover(ssd_a).expect("store A recoverable");
+    let rec_b = recovery::recover(ssd_b).expect("store B recoverable");
+
+    assert_eq!(rec_a.iteration, 4);
+    assert_eq!(rec_b.iteration, 4);
+    assert_eq!(
+        rec_a.payload, rec_b.payload,
+        "delta-chain replay must reproduce the full checkpoint byte for byte"
+    );
+
+    // The forensic differ over the tensor layout agrees: zero changed bytes
+    // in every tensor.
+    let layout = gpu.with_weights(|w| w.layout());
+    let report = pccheck_monitor::diff(&rec_a.payload, &rec_b.payload, &layout);
+    assert_eq!(report.changed_bytes, 0, "diff report: {report:?}");
+
+    // And both restores load back into a GPU that matches the live weights.
+    let live = gpu.with_weights(|w| w.digest());
+    let restored = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE), 99),
+    );
+    restored.restore(&rec_a.payload, rec_a.iteration);
+    assert_eq!(restored.with_weights(|w| w.digest()), live);
+}
