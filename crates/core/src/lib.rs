@@ -22,6 +22,9 @@
 //! * [`engine`] — [`PcCheckEngine`]: the orchestrator + persistent manager
 //!   implementing [`pccheck_gpu::Checkpointer`].
 //! * [`recovery`] — post-crash recovery and the §4.2 recovery-time models.
+//! * [`restore`] — [`RestorePipeline`]: the multi-reader restore path that
+//!   mirrors the persist pipeline, overlapping chunk reads with
+//!   verification and streaming verified bytes back to the GPU.
 //! * [`tuner`] — the §3.4 configuration tool (equations (1)–(3)).
 //! * [`footprint`] — Table 1's memory/storage footprint formulas.
 //! * [`distributed`] — multi-node checkpoint-ID agreement (§3.1/§4.1).
@@ -70,6 +73,7 @@ pub mod meta;
 pub mod pipeline;
 pub mod queue;
 pub mod recovery;
+pub mod restore;
 pub mod store;
 pub mod tuner;
 
@@ -83,6 +87,10 @@ pub use pipeline::{
 };
 pub use recovery::{
     recover, recover_instrumented, RecoveredCheckpoint, RecoveryModel, RecoveryTrace, Strategy,
+};
+pub use restore::{
+    recover_instrumented_with, recover_into_gpu, LayerCache, RestoreOptions, RestorePipeline,
+    RestoreSink,
 };
 pub use store::{CheckpointStore, CommitOutcome, RawStoreView};
 pub use tuner::{AdaptiveTuner, Tuner, TunerInputs, TunerRecommendation};

@@ -19,13 +19,18 @@
 //!
 //! [`PersistentDevice::queue_depths`]: pccheck_device::PersistentDevice::queue_depths
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use pccheck_device::{fnv1a_fold, ExtentRecord, ExtentTable, HostBuffer, HostBufferPool, FNV_SEED};
+use pccheck_device::{
+    chunk_count, chunk_digest, fnv1a_fold, ChunkDigestTable, ExtentRecord, ExtentTable,
+    HostBuffer,
+    HostBufferPool, FNV_SEED,
+};
 use pccheck_gpu::{merge_ranges, SnapshotSource};
 use pccheck_telemetry::{FlightEventKind, Phase, SpanId, Telemetry};
 use pccheck_util::ByteSize;
@@ -124,6 +129,17 @@ pub struct PipelineCtx<'a> {
     pub span: SpanId,
 }
 
+/// Per-chunk digests collected while a full payload streamed through the
+/// copy paths, parked until [`PersistPipeline::commit`] can bind them to
+/// the commit's digest and write the slot's [`ChunkDigestTable`].
+#[derive(Debug)]
+struct PendingDigests {
+    counter: u64,
+    chunk_len: u64,
+    payload_len: u64,
+    digests: Vec<u64>,
+}
+
 /// The shared chunk-scheduled I/O layer over a [`CheckpointStore`].
 ///
 /// Cloning is cheap: clones share the store and the DRAM staging pool, so
@@ -134,6 +150,9 @@ pub struct PersistPipeline {
     pool: Option<HostBufferPool>,
     writers: usize,
     fence: FenceMode,
+    /// Per-slot digests awaiting commit, shared across clones so a
+    /// background committer sees what the copier collected.
+    pending_digests: Arc<Mutex<HashMap<u32, PendingDigests>>>,
 }
 
 impl PersistPipeline {
@@ -145,7 +164,55 @@ impl PersistPipeline {
             pool: None,
             writers: 1,
             fence: FenceMode::PerWriter,
+            pending_digests: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Whether a full payload of `total` bytes cut into `chunk`-byte
+    /// chunks fits the store's per-slot digest-table capacity.
+    fn digest_table_fits(&self, total: ByteSize, chunk: ByteSize) -> bool {
+        let cap = self.store.digest_chunks() as usize;
+        cap > 0 && chunk_count(total.as_u64(), chunk.as_u64()) <= cap
+    }
+
+    /// Parks the chunk digests a copy path collected for `lease`'s slot.
+    fn park_digests(&self, lease: &SlotLease, chunk_len: u64, total: ByteSize, digests: Vec<u64>) {
+        self.pending_digests.lock().insert(
+            lease.slot,
+            PendingDigests {
+                counter: lease.counter,
+                chunk_len,
+                payload_len: total.as_u64(),
+                digests,
+            },
+        );
+    }
+
+    /// Writes the slot's per-chunk digest table from digests parked by the
+    /// copy path, binding them to the commit's `digest`. Stale leftovers
+    /// (different counter or payload length — an earlier aborted attempt
+    /// on the same slot) are silently discarded.
+    fn flush_digest_table(
+        &self,
+        lease: &SlotLease,
+        payload_len: u64,
+        digest: u64,
+    ) -> Result<(), PccheckError> {
+        let Some(p) = self.pending_digests.lock().remove(&lease.slot) else {
+            return Ok(());
+        };
+        if p.counter != lease.counter || p.payload_len != payload_len {
+            return Ok(());
+        }
+        let table = ChunkDigestTable {
+            chunk_len: p.chunk_len,
+            payload_len,
+            counter: lease.counter,
+            payload_digest: digest,
+            digests: p.digests,
+        };
+        self.store.write_digest_table(lease.slot, &table)?;
+        Ok(())
     }
 
     /// Sets the number of parallel writer threads (`p` in the paper).
@@ -286,15 +353,22 @@ impl PersistPipeline {
         // Stage all chunks (blocks on the pool if DRAM is scarce).
         let copy_start = ctx.telemetry.now_nanos();
         let chunk = pool.chunk_size();
+        let mut chunk_digests = self.digest_table_fits(total, chunk).then(Vec::new);
         let mut staged = Vec::new();
         let mut off = 0u64;
         while off < total.as_u64() {
             let n = chunk.as_u64().min(total.as_u64() - off) as usize;
             let mut buf = pool.acquire();
             src.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+            if let Some(d) = chunk_digests.as_mut() {
+                d.push(chunk_digest(&buf.as_slice()[..n]));
+            }
             ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
             staged.push((off, n, buf));
             off += n as u64;
+        }
+        if let Some(digests) = chunk_digests {
+            self.park_digests(lease, chunk.as_u64(), total, digests);
         }
         ctx.telemetry
             .phase_done(ctx.span, Phase::GpuCopy, copy_start);
@@ -380,13 +454,18 @@ impl PersistPipeline {
                 });
             }
             drop(rx);
-            // Producer: GPU→DRAM chunk copies.
+            // Producer: GPU→DRAM chunk copies. Per-chunk digests fold in
+            // here, where the bytes are already hot in cache.
             let chunk = pool.chunk_size();
+            let mut chunk_digests = self.digest_table_fits(total, chunk).then(Vec::new);
             let mut off = 0u64;
             while off < total.as_u64() && !abort.load(Ordering::Acquire) {
                 let n = chunk.as_u64().min(total.as_u64() - off) as usize;
                 let mut buf = pool.acquire();
                 src.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+                if let Some(d) = chunk_digests.as_mut() {
+                    d.push(chunk_digest(&buf.as_slice()[..n]));
+                }
                 ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
                 tx.send((off, n, buf)).expect("writers outlive producer");
                 off += n as u64;
@@ -401,6 +480,9 @@ impl PersistPipeline {
                     total.as_u64(),
                     0,
                 );
+                if let Some(digests) = chunk_digests {
+                    self.park_digests(lease, chunk.as_u64(), total, digests);
+                }
             }
             drop(tx); // writers drain and exit
         })
@@ -617,6 +699,9 @@ impl PersistPipeline {
         link: DeltaLink,
     ) -> Result<CommitOutcome, PccheckError> {
         let commit_start = ctx.telemetry.now_nanos();
+        // Delta payloads carry per-extent digests in their extent table
+        // already; any digests parked for this slot are stale leftovers.
+        self.pending_digests.lock().remove(&lease.slot);
         let outcome =
             self.store
                 .commit_with_delta(lease, iteration, payload_len, payload_digest, Some(link));
@@ -822,6 +907,10 @@ impl PersistPipeline {
         digest: u64,
     ) -> Result<CommitOutcome, PccheckError> {
         let commit_start = ctx.telemetry.now_nanos();
+        // The digest table persists before the commit barrier so a reader
+        // that observes the commit also observes the table (or a torn one
+        // it will detect and ignore).
+        self.flush_digest_table(&lease, payload_len, digest)?;
         let outcome = self.store.commit(lease, iteration, payload_len, digest);
         ctx.telemetry
             .phase_done(ctx.span, Phase::Commit, commit_start);
@@ -1125,6 +1214,75 @@ mod tests {
         }
         // full, delta, delta, full, delta, delta, full.
         assert_eq!(kinds, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn streamed_copy_records_a_chunk_digest_table() {
+        let g = gpu(8192, 41);
+        g.update();
+        let pool = HostBufferPool::new(ByteSize::from_kb(4), 4);
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 3))
+            .with_writers(2)
+            .with_staging(pool);
+        let telemetry = Telemetry::disabled();
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span: SpanId::NONE,
+        };
+        let guard = g.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let total = guard.size();
+        let lease = pipeline.lease(ctx);
+        let slot = lease.slot;
+        let start = pipeline.copy_streamed(ctx, &guard, &lease, total).unwrap();
+        drop(guard);
+        pipeline.seal(ctx, &lease, 1, total, start).unwrap();
+        pipeline
+            .commit(ctx, lease, 1, total.as_u64(), digest.0)
+            .unwrap();
+        let store = pipeline.store();
+        let meta = store.latest_committed().unwrap();
+        assert_eq!(meta.slot, slot);
+        let table = store
+            .read_digest_table(&meta)
+            .expect("streamed full checkpoints record a digest table");
+        assert_eq!(table.chunk_len, 4096);
+        assert_eq!(table.digests.len(), 2);
+        assert_eq!(table.payload_digest, meta.digest);
+        let payload = store.read_checkpoint(&meta).unwrap();
+        for i in 0..table.digests.len() {
+            let (off, len) = table.chunk_range(i);
+            assert!(table.verify_chunk(i, &payload[off as usize..(off + len) as usize]));
+        }
+    }
+
+    #[test]
+    fn chunks_finer_than_the_digest_region_skip_the_table() {
+        // 900-byte state → capacity for 1 chunk digest, but the pool chunks
+        // at 128 bytes (8 chunks): the table must be skipped, not mangled.
+        let g = gpu(900, 43);
+        g.update();
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 8);
+        let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 3))
+            .with_writers(2)
+            .with_staging(pool);
+        let telemetry = Telemetry::disabled();
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span: SpanId::NONE,
+        };
+        let guard = g.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let total = guard.size();
+        let lease = pipeline.lease(ctx);
+        let start = pipeline.copy_streamed(ctx, &guard, &lease, total).unwrap();
+        drop(guard);
+        pipeline.seal(ctx, &lease, 1, total, start).unwrap();
+        pipeline
+            .commit(ctx, lease, 1, total.as_u64(), digest.0)
+            .unwrap();
+        let meta = pipeline.store().latest_committed().unwrap();
+        assert!(pipeline.store().read_digest_table(&meta).is_none());
     }
 
     #[test]

@@ -8,16 +8,15 @@
 //! measured first-class figure rather than only a model.
 
 use std::sync::Arc;
-use std::time::Instant;
 
-use pccheck_device::{fnv1a, ExtentTable, PersistentDevice};
-use pccheck_gpu::{Gpu, StateDigest};
-use pccheck_telemetry::{FlightEventKind, Phase, Telemetry};
+use pccheck_device::PersistentDevice;
+use pccheck_gpu::Gpu;
+use pccheck_telemetry::Telemetry;
 use pccheck_util::SimDuration;
 
 use crate::error::PccheckError;
-use crate::meta::{checksum, CheckMeta};
-use crate::store::CheckpointStore;
+use crate::meta::checksum;
+use crate::restore::RestoreOptions;
 
 /// A checkpoint loaded back from persistent storage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,16 +73,19 @@ pub struct RecoveryTrace {
 
 /// Loads and verifies the latest committed checkpoint from `device`.
 ///
-/// The persistent iterator of §4.2: reads `CHECK_ADDR`, follows it to the
-/// slot, and verifies the payload against the recorded digest (using the
-/// training-state digest when available, falling back to a raw checksum
-/// comparison for non-state payloads). A delta checkpoint is reconstructed
-/// by walking its base pointers to the chain's full root and replaying
-/// every extent table with per-extent digest verification. If the newest
-/// committed slot fails verification (or its delta chain is broken), older
-/// intact committed slots are tried newest-first — the paper keeps `N+1`
-/// slots precisely so a torn newest checkpoint degrades to the previous
-/// one instead of to data loss.
+/// The persistent iterator of §4.2, rebuilt on the parallel
+/// [`RestorePipeline`](crate::restore::RestorePipeline): candidates are
+/// verified newest-first, payload reads fan out across
+/// [`RestoreOptions::default`]'s readers, and verification overlaps the
+/// reads (per-chunk when the slot carries a digest table, as an
+/// order-preserving fold otherwise). A delta checkpoint is reconstructed
+/// by fetching its chain layers in parallel and replaying every extent
+/// table with per-extent digest verification; verified layers are cached
+/// across candidates within the pass. If the newest committed slot fails
+/// verification — digest mismatch, broken chain, *or a device read
+/// fault* — older intact committed slots are tried newest-first: the
+/// paper keeps `N+1` slots precisely so a torn newest checkpoint degrades
+/// to the previous one instead of to data loss.
 ///
 /// # Errors
 ///
@@ -96,9 +98,13 @@ pub fn recover(device: Arc<dyn PersistentDevice>) -> Result<RecoveredCheckpoint,
 }
 
 /// [`recover`] with recovery-path instrumentation: phase spans on
-/// `telemetry` (scan / load / verify), a [`RecoveryTrace`] of measured
+/// `telemetry` (scan / load / verify plus the restore pipeline's
+/// read/verify/upload stages), a [`RecoveryTrace`] of measured
 /// nanoseconds, and `RecoveryStart`/`RecoveryDone` records on the store's
 /// persistent flight ring when one is present.
+///
+/// Reader parallelism comes from [`RestoreOptions::default`]; use
+/// [`crate::restore::recover_instrumented_with`] to choose it explicitly.
 ///
 /// # Errors
 ///
@@ -107,177 +113,7 @@ pub fn recover_instrumented(
     device: Arc<dyn PersistentDevice>,
     telemetry: &Telemetry,
 ) -> Result<(RecoveredCheckpoint, RecoveryTrace), PccheckError> {
-    let t0 = Instant::now();
-    let span = telemetry.span_requested("recovery", 0, 0);
-    let scan_start = telemetry.now_nanos();
-
-    let store = CheckpointStore::open(device)?;
-    store.flight().record_run(FlightEventKind::RecoveryStart, 0);
-    // Candidates: every slot holding a complete checkpoint, newest first.
-    // `latest_committed` is always the last history entry when present.
-    let mut candidates = store.history()?;
-    candidates.reverse();
-
-    let mut trace = RecoveryTrace {
-        scan_nanos: t0.elapsed().as_nanos() as u64,
-        ..RecoveryTrace::default()
-    };
-    telemetry.phase_done(span, Phase::RecoveryScan, scan_start);
-
-    if candidates.is_empty() {
-        telemetry.failed(span, "no committed checkpoint");
-        return Err(PccheckError::NoCheckpoint);
-    }
-    let newest_counter = candidates[0].counter;
-
-    for meta in &candidates {
-        trace.candidates_scanned += 1;
-
-        // Delta candidates reconstruct a full state from base + chain; full
-        // candidates verify their payload in place. Either way `verified`
-        // is `Some((full payload, digest of the full state))` on success.
-        let verified: Option<(Vec<u8>, u64)> = if meta.is_delta() {
-            let replay_t0 = Instant::now();
-            let replay_start = telemetry.now_nanos();
-            let out = replay_delta_chain(&store, meta, &candidates);
-            trace.load_nanos += replay_t0.elapsed().as_nanos() as u64;
-            telemetry.phase_done(span, Phase::DeltaReplay, replay_start);
-            out.map(|(payload, digest, links)| {
-                trace.chain_links = links;
-                (payload, digest)
-            })
-        } else {
-            let load_t0 = Instant::now();
-            let load_start = telemetry.now_nanos();
-            let payload = read_payload(&store, meta)?;
-            trace.load_nanos += load_t0.elapsed().as_nanos() as u64;
-            telemetry.phase_done(span, Phase::RecoveryLoad, load_start);
-
-            let verify_t0 = Instant::now();
-            let verify_start = telemetry.now_nanos();
-            // A payload is acceptable under either digest discipline: the
-            // training-state digest (payload bytes seeded with the
-            // iteration) or the raw FNV checksum used for opaque payloads.
-            let ok = StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
-                || checksum(&payload) == meta.digest;
-            trace.verify_nanos += verify_t0.elapsed().as_nanos() as u64;
-            telemetry.phase_done(span, Phase::RecoveryVerify, verify_start);
-            ok.then_some((payload, meta.digest))
-        };
-
-        let Some((payload, digest)) = verified else {
-            continue;
-        };
-        let payload_len = payload.len() as u64;
-        trace.fallbacks = trace.candidates_scanned - 1;
-        trace.counter = meta.counter;
-        trace.iteration = meta.iteration;
-        trace.total_nanos = t0.elapsed().as_nanos() as u64;
-        telemetry.committed(span, meta.iteration, payload_len);
-        store.flight().record(
-            FlightEventKind::RecoveryDone,
-            meta.counter,
-            meta.slot,
-            meta.iteration,
-            payload_len,
-            trace.fallbacks,
-        );
-        return Ok((
-            RecoveredCheckpoint {
-                iteration: meta.iteration,
-                counter: meta.counter,
-                payload,
-                digest,
-            },
-            trace,
-        ));
-    }
-
-    telemetry.failed(span, "no slot passed digest verification");
-    Err(PccheckError::CorruptCheckpoint {
-        counter: newest_counter,
-    })
-}
-
-fn read_payload(store: &CheckpointStore, meta: &CheckMeta) -> Result<Vec<u8>, PccheckError> {
-    let mut payload = vec![0u8; meta.payload_len as usize];
-    store
-        .device()
-        .read_durable_at(store.slot_payload_offset(meta.slot), &mut payload)?;
-    Ok(payload)
-}
-
-/// Reconstructs the full state a delta checkpoint represents.
-///
-/// Walks the base pointers from `meta` down to the chain's full root,
-/// verifies the root payload against its own digest, then replays every
-/// delta root→newest: each extent table must match the delta meta's digest
-/// and every packed extent must match its per-extent FNV before the bytes
-/// are patched in. Finally the reconstructed image is verified against the
-/// newest table's `full_digest`. Any gap, torn table, or digest mismatch
-/// returns `None` so the caller falls back to an older candidate.
-///
-/// On success returns `(full payload, full-state digest, links replayed)`.
-fn replay_delta_chain(
-    store: &CheckpointStore,
-    meta: &CheckMeta,
-    candidates: &[CheckMeta],
-) -> Option<(Vec<u8>, u64, u64)> {
-    // Collect the chain newest→root from the committed candidates.
-    let mut chain = vec![*meta];
-    loop {
-        let head = chain.last().expect("chain starts non-empty");
-        let Some(link) = head.delta else { break };
-        if chain.len() > candidates.len() {
-            return None; // cycle or longer than the slot count can hold
-        }
-        let base = candidates
-            .iter()
-            .find(|c| c.counter == link.base_counter && c.slot == link.base_slot)?;
-        chain.push(*base);
-    }
-
-    // The root must be a full checkpoint that verifies on its own.
-    let root = chain.last().expect("chain ends at a root");
-    let mut state = read_payload(store, root).ok()?;
-    let root_ok = StateDigest::of_payload(&state, root.iteration).0 == root.digest
-        || checksum(&state) == root.digest;
-    if !root_ok {
-        return None;
-    }
-
-    // Replay each delta root→newest over the reconstructed image.
-    let mut full_digest = root.digest;
-    for delta in chain.iter().rev().skip(1) {
-        let payload = read_payload(store, delta).ok()?;
-        let table = ExtentTable::decode(&payload).ok()?;
-        let table_len = usize::try_from(table.encoded_len()).ok()?;
-        if checksum(payload.get(..table_len)?) != delta.digest {
-            return None;
-        }
-        if table.full_len != state.len() as u64 {
-            return None;
-        }
-        let mut src = table_len;
-        for rec in &table.extents {
-            let src_end = src.checked_add(rec.len as usize)?;
-            let chunk = payload.get(src..src_end)?;
-            if fnv1a(chunk) != rec.digest {
-                return None;
-            }
-            let dst_start = usize::try_from(rec.offset).ok()?;
-            let dst = state.get_mut(dst_start..dst_start.checked_add(rec.len as usize)?)?;
-            dst.copy_from_slice(chunk);
-            src = src_end;
-        }
-        full_digest = table.full_digest;
-    }
-
-    // The reconstructed image must match the newest delta's full-state
-    // digest under either digest discipline.
-    let ok = StateDigest::of_payload(&state, meta.iteration).0 == full_digest
-        || checksum(&state) == full_digest;
-    ok.then(|| (state, full_digest, chain.len() as u64 - 1))
+    crate::restore::recover_instrumented_with(device, telemetry, RestoreOptions::default())
 }
 
 /// Verifies a recovered payload against a digest computed by
@@ -388,10 +224,12 @@ mod tests {
     use super::*;
     use pccheck_device::{DeviceConfig, SsdDevice};
     use pccheck_gpu::{GpuConfig, TrainingState};
+    use pccheck_telemetry::Phase;
     use pccheck_util::ByteSize;
 
     use crate::config::PcCheckConfig;
     use crate::engine::PcCheckEngine;
+    use crate::store::CheckpointStore;
     use pccheck_gpu::Checkpointer;
 
     #[test]

@@ -18,7 +18,17 @@
 //! | flight ring        |  optional crash-safe telemetry ring
 //! | (header + records) |  (`flight_records` > 0)
 //! +--------------------+
+//! | digest tables      |  optional per-slot per-chunk digest tables
+//! | (slots · stride)   |  (`digest_chunks` > 0; advisory, CRC-protected)
+//! +--------------------+
 //! ```
+//!
+//! The digest region holds one fixed-stride [`ChunkDigestTable`] per slot,
+//! written after the payload persists but bound to a specific commit by
+//! `(counter, payload_digest)` — a stale or torn table is detected and
+//! ignored, dropping recovery back to the legacy whole-payload digests.
+//! Stores formatted before this region existed read `digest_chunks == 0`
+//! from the header and behave exactly as before.
 //!
 //! With `N` allowed concurrent checkpoints the store holds `N+1` slots —
 //! the `(N+1)·m` storage footprint of Table 1 — guaranteeing one fully
@@ -48,7 +58,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use pccheck_device::PersistentDevice;
+use pccheck_device::{ChunkDigestTable, PersistentDevice};
 use pccheck_telemetry::{FlightEventKind, FlightRecorder, FlightRing};
 use pccheck_util::ByteSize;
 
@@ -60,6 +70,12 @@ const STORE_MAGIC: u64 = 0x5043_6368_6543_6B31; // "PCcheCk1"
 const HEADER_SIZE: u64 = 64;
 const CHECK_ADDR_OFFSET: u64 = HEADER_SIZE;
 const SLOTS_OFFSET: u64 = HEADER_SIZE + META_RECORD_SIZE;
+
+/// The finest chunk granularity the per-slot digest region is provisioned
+/// for: a slot of `s` bytes gets room for `ceil(s / 4096)` chunk digests,
+/// a fixed ~0.2% capacity overhead. Pipelines chunking finer than this on
+/// a given payload simply skip the table (legacy verification applies).
+const DIGEST_CHUNK_GRAIN: u64 = 4096;
 
 /// Outcome of a commit attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +128,12 @@ pub struct CheckpointStore {
     /// ring after the slots (disabled when the store was formatted with
     /// `flight_records = 0`).
     flight: FlightRecorder,
+    /// Flight-ring capacity in records (0 = no ring); part of the geometry
+    /// because the digest region starts after the ring.
+    flight_records: u32,
+    /// Per-slot digest-table capacity in chunk digests (0 = the store was
+    /// formatted without a digest region).
+    digest_chunks: u32,
 }
 
 impl CheckpointStore {
@@ -130,11 +152,37 @@ impl CheckpointStore {
     ) -> ByteSize {
         let slots_end = ByteSize::from_bytes(SLOTS_OFFSET)
             + (ByteSize::from_bytes(META_RECORD_SIZE) + slot_size) * u64::from(slots);
-        if flight_records == 0 {
+        let with_flight = if flight_records == 0 {
             slots_end
         } else {
             slots_end + ByteSize::from_bytes(FlightRing::required_capacity(flight_records))
-        }
+        };
+        let digest_chunks = Self::default_digest_chunks(slot_size);
+        with_flight
+            + ByteSize::from_bytes(
+                ChunkDigestTable::encoded_len_for(digest_chunks as usize) * u64::from(slots),
+            )
+    }
+
+    /// Chunk-digest capacity the default format provisions per slot:
+    /// enough for [`DIGEST_CHUNK_GRAIN`]-byte chunks over a full slot.
+    fn default_digest_chunks(slot_size: ByteSize) -> u32 {
+        slot_size
+            .as_u64()
+            .div_ceil(DIGEST_CHUNK_GRAIN)
+            .min(u64::from(u32::MAX)) as u32
+    }
+
+    /// Device offset where the per-slot digest tables start for this
+    /// geometry — after the flight ring (or after the slots when there is
+    /// no ring), so both older regions keep their offsets.
+    fn digest_base_static(slot_size: ByteSize, slots: u32, flight_records: u32) -> u64 {
+        Self::flight_base_static(slot_size, slots)
+            + if flight_records == 0 {
+                0
+            } else {
+                FlightRing::required_capacity(flight_records)
+            }
     }
 
     /// Device offset where the flight ring starts for this geometry — right
@@ -193,11 +241,13 @@ impl CheckpointStore {
             )));
         }
         // Write the store header.
+        let digest_chunks = Self::default_digest_chunks(slot_size);
         let mut header = [0u8; HEADER_SIZE as usize];
         header[0..8].copy_from_slice(&STORE_MAGIC.to_le_bytes());
         header[8..12].copy_from_slice(&slots.to_le_bytes());
         header[12..20].copy_from_slice(&slot_size.as_u64().to_le_bytes());
         header[20..24].copy_from_slice(&flight_records.to_le_bytes());
+        header[24..28].copy_from_slice(&digest_chunks.to_le_bytes());
         device.write_at(0, &header)?;
         // Zero the CHECK_ADDR record (no committed checkpoint).
         device.write_at(CHECK_ADDR_OFFSET, &[0u8; META_RECORD_SIZE as usize])?;
@@ -222,6 +272,8 @@ impl CheckpointStore {
             free_slots: (0..slots).collect(),
             check_addr_io: Mutex::new(0),
             flight,
+            flight_records,
+            digest_chunks,
         })
     }
 
@@ -247,6 +299,9 @@ impl CheckpointStore {
         let slot_size =
             ByteSize::from_bytes(u64::from_le_bytes(header[12..20].try_into().expect("len")));
         let flight_records = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
+        // Stores formatted before the digest region existed carry zeros
+        // here: the feature reads as "off" and nothing else changes.
+        let digest_chunks = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
 
         // Find the committed checkpoint: trust CHECK_ADDR, fall back to a
         // slot scan if the record is torn or its payload fails validation.
@@ -299,6 +354,8 @@ impl CheckpointStore {
             free_slots: free.into_iter().collect(),
             check_addr_io: Mutex::new(max_counter),
             flight,
+            flight_records,
+            digest_chunks,
         })
     }
 
@@ -441,6 +498,66 @@ impl CheckpointStore {
     /// Device offset of `slot`'s payload.
     pub fn slot_payload_offset(&self, slot: u32) -> u64 {
         self.slot_meta_offset(slot) + META_RECORD_SIZE
+    }
+
+    /// Per-slot digest-table capacity in chunk digests (0 = the store has
+    /// no digest region).
+    pub fn digest_chunks(&self) -> u32 {
+        self.digest_chunks
+    }
+
+    /// Device offset of `slot`'s per-chunk digest table, or `None` when
+    /// the store has no digest region.
+    pub fn slot_digest_offset(&self, slot: u32) -> Option<u64> {
+        if self.digest_chunks == 0 {
+            return None;
+        }
+        let base =
+            Self::digest_base_static(self.slot_size, self.num_slots, self.flight_records);
+        let stride = ChunkDigestTable::encoded_len_for(self.digest_chunks as usize);
+        Some(base + u64::from(slot) * stride)
+    }
+
+    /// Writes and persists `slot`'s per-chunk digest table. Returns
+    /// `Ok(false)` without touching the device when the store has no
+    /// digest region or the table exceeds the per-slot capacity — the
+    /// table is advisory, so skipping it is never an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn write_digest_table(
+        &self,
+        slot: u32,
+        table: &ChunkDigestTable,
+    ) -> Result<bool, PccheckError> {
+        let Some(off) = self.slot_digest_offset(slot) else {
+            return Ok(false);
+        };
+        if table.digests.len() > self.digest_chunks as usize {
+            return Ok(false);
+        }
+        let bytes = table.encode();
+        self.device.write_at(off, &bytes)?;
+        self.device.persist(off, bytes.len() as u64)?;
+        Ok(true)
+    }
+
+    /// Reads the per-chunk digest table for the committed checkpoint
+    /// `meta`, returning it only if it decodes *and* is bound to exactly
+    /// this commit (matching counter, payload digest, and payload length).
+    /// Any mismatch — including a torn or recycled table — yields `None`,
+    /// which callers treat as "verify the legacy way".
+    pub fn read_digest_table(&self, meta: &CheckMeta) -> Option<ChunkDigestTable> {
+        let off = self.slot_digest_offset(meta.slot)?;
+        let stride = ChunkDigestTable::encoded_len_for(self.digest_chunks as usize);
+        let mut buf = vec![0u8; stride as usize];
+        self.device.read_durable_at(off, &mut buf).ok()?;
+        let table = ChunkDigestTable::decode(&buf).ok()?;
+        (table.counter == meta.counter
+            && table.payload_digest == meta.digest
+            && table.payload_len == meta.payload_len)
+            .then_some(table)
     }
 
     /// The in-memory view of the latest committed checkpoint.
@@ -1258,6 +1375,61 @@ mod tests {
             !chain.contains(&lease.slot),
             "no chain slot is ever leased out"
         );
+    }
+
+    #[test]
+    fn digest_table_round_trips_and_binds_to_commit() {
+        let st = store(8192, 3); // cap = ceil(8192/4096) = 2 chunk digests
+        assert_eq!(st.digest_chunks(), 2);
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        let digest = crate::meta::checksum(&payload);
+        let lease = st.begin_checkpoint();
+        let slot = lease.slot;
+        st.write_payload(&lease, 0, &payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let table = ChunkDigestTable::build(&payload, 4096, lease.counter, digest);
+        assert!(st.write_digest_table(slot, &table).unwrap());
+        st.commit(lease, 1, payload.len() as u64, digest).unwrap();
+        let meta = st.latest_committed().unwrap();
+        let read = st.read_digest_table(&meta).unwrap();
+        assert_eq!(read, table);
+        for i in 0..read.digests.len() {
+            let (off, len) = read.chunk_range(i);
+            assert!(read.verify_chunk(i, &payload[off as usize..(off + len) as usize]));
+        }
+        // A table from a different commit is rejected.
+        let mut stale = meta;
+        stale.counter += 1;
+        assert!(st.read_digest_table(&stale).is_none());
+        // A table bigger than the provisioned capacity is skipped, not
+        // truncated.
+        let fine = ChunkDigestTable::build(&payload, 256, meta.counter, digest);
+        assert!(!st.write_digest_table(slot, &fine).unwrap());
+        assert_eq!(st.read_digest_table(&meta).unwrap(), table);
+    }
+
+    #[test]
+    fn legacy_header_without_digest_region_reads_as_feature_off() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        {
+            let st =
+                CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+            full_checkpoint(&st, 4, b"legacy");
+        }
+        // Rewrite the header the way a pre-digest-region format would have:
+        // bytes 24..28 zeroed.
+        dev.write_at(24, &[0u8; 4]).unwrap();
+        dev.persist(24, 4).unwrap();
+        let st = CheckpointStore::open(dev).unwrap();
+        assert_eq!(st.digest_chunks(), 0);
+        assert!(st.slot_digest_offset(0).is_none());
+        let meta = st.latest_committed().unwrap();
+        assert_eq!(meta.iteration, 4);
+        assert!(st.read_digest_table(&meta).is_none());
+        let table = ChunkDigestTable::build(b"legacy", 4096, meta.counter, meta.digest);
+        assert!(!st.write_digest_table(meta.slot, &table).unwrap());
     }
 
     #[test]

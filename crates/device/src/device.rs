@@ -79,6 +79,8 @@ pub struct DeviceStats {
     bytes_written: AtomicU64,
     bytes_persisted: AtomicU64,
     persist_ops: AtomicU64,
+    bytes_read: AtomicU64,
+    read_ops: AtomicU64,
     crashes: AtomicU64,
     queue_depth: AtomicU64,
     peak_queue_depth: AtomicU64,
@@ -87,6 +89,11 @@ pub struct DeviceStats {
 impl DeviceStats {
     pub(crate) fn record_write(&self, n: u64) {
         self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_persist(&self, n: u64) {
@@ -121,6 +128,16 @@ impl DeviceStats {
     /// Number of persist (msync/fence) operations.
     pub fn persist_ops(&self) -> u64 {
         self.persist_ops.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes returned by durable reads (the recovery path).
+    pub fn bytes_read(&self) -> ByteSize {
+        ByteSize::from_bytes(self.bytes_read.load(Ordering::Relaxed))
+    }
+
+    /// Number of durable read operations served.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops.load(Ordering::Relaxed)
     }
 
     /// Number of injected crashes.
@@ -313,10 +330,14 @@ mod tests {
         stats.record_write(10);
         stats.record_write(5);
         stats.record_persist(15);
+        stats.record_read(7);
+        stats.record_read(3);
         stats.record_crash();
         assert_eq!(stats.bytes_written().as_u64(), 15);
         assert_eq!(stats.bytes_persisted().as_u64(), 15);
         assert_eq!(stats.persist_ops(), 1);
+        assert_eq!(stats.bytes_read().as_u64(), 10);
+        assert_eq!(stats.read_ops(), 2);
         assert_eq!(stats.crashes(), 1);
     }
 

@@ -31,6 +31,18 @@ pub enum DeviceError {
     /// A delta slot's extent table failed validation (bad magic, an
     /// impossible extent count, or a checksum mismatch from a torn write).
     CorruptExtentTable,
+    /// A slot's per-chunk digest table failed validation (bad magic,
+    /// inconsistent geometry, or a checksum mismatch from a torn write).
+    /// Recovery treats this as "no table": it falls back to the legacy
+    /// whole-payload digest, never to trusting a torn table.
+    CorruptDigestTable,
+    /// A read failed at the media level (an unreadable sector / injected
+    /// read fault). Unlike [`Crashed`](Self::Crashed) the device stays up;
+    /// only the faulted range is unreadable.
+    ReadFault {
+        /// First byte of the unreadable range.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -52,6 +64,12 @@ impl fmt::Display for DeviceError {
             DeviceError::PeerUnavailable => write!(f, "network peer is unavailable"),
             DeviceError::CorruptExtentTable => {
                 write!(f, "delta checkpoint extent table failed validation")
+            }
+            DeviceError::CorruptDigestTable => {
+                write!(f, "per-chunk digest table failed validation")
+            }
+            DeviceError::ReadFault { offset } => {
+                write!(f, "media read fault at offset {offset}")
             }
         }
     }
@@ -83,6 +101,12 @@ mod tests {
         assert!(DeviceError::CorruptExtentTable
             .to_string()
             .contains("extent table"));
+        assert!(DeviceError::ReadFault { offset: 77 }
+            .to_string()
+            .contains("77"));
+        assert!(DeviceError::CorruptDigestTable
+            .to_string()
+            .contains("digest table"));
     }
 
     #[test]

@@ -49,12 +49,19 @@ pub struct SsdDevice {
     config: DeviceConfig,
     state: RwLock<SsdState>,
     bucket: Arc<TokenBucket>,
+    /// Reads draw from their own bucket (same media rate), so a parallel
+    /// restore competes for read bandwidth without starving writers.
+    read_bucket: Arc<TokenBucket>,
     stats: DeviceStats,
     crash_policy: CrashPolicy,
     /// Crash-injection fuse: `-1` is disarmed; `n >= 0` means `n` more
     /// `persist` calls succeed and the one after that crashes the device
     /// *before* taking effect (its range is lost like any unsynced data).
     armed_persists: AtomicI64,
+    /// Injected unreadable media range (`offset`, `len`); empty when no
+    /// fault is armed. Durable reads overlapping it fail with
+    /// [`DeviceError::ReadFault`].
+    read_fault: RwLock<Option<(u64, u64)>>,
 }
 
 impl SsdDevice {
@@ -67,15 +74,18 @@ impl SsdDevice {
     /// Creates an SSD with an explicit crash policy (adversarial testing).
     pub fn with_crash_policy(config: DeviceConfig, crash_policy: CrashPolicy) -> Self {
         let bucket = Arc::new(TokenBucket::new(config.write_bandwidth));
+        let read_bucket = Arc::new(TokenBucket::new(config.write_bandwidth));
         SsdDevice {
             state: RwLock::new(SsdState {
                 region: MemRegion::new(config.capacity),
                 crashed: false,
             }),
             bucket,
+            read_bucket,
             stats: DeviceStats::default(),
             crash_policy,
             armed_persists: AtomicI64::new(-1),
+            read_fault: RwLock::new(None),
             config,
         }
     }
@@ -93,6 +103,29 @@ impl SsdDevice {
     /// Disarms a previously armed persist-crash fuse.
     pub fn disarm_crash(&self) {
         self.armed_persists.store(-1, Ordering::Relaxed);
+    }
+
+    /// Marks `[offset, offset+len)` as unreadable media: any durable read
+    /// overlapping the range fails with [`DeviceError::ReadFault`] until
+    /// [`clear_read_fault`](Self::clear_read_fault). Models a latent sector
+    /// error discovered during recovery — the device stays up, writes still
+    /// land, only the faulted bytes are lost.
+    pub fn arm_read_fault_at(&self, offset: u64, len: u64) {
+        *self.read_fault.write() = Some((offset, len));
+    }
+
+    /// Clears a previously injected read fault.
+    pub fn clear_read_fault(&self) {
+        *self.read_fault.write() = None;
+    }
+
+    fn check_read_fault(&self, offset: u64, len: u64) -> Result<()> {
+        if let Some((f_off, f_len)) = *self.read_fault.read() {
+            if offset < f_off + f_len && f_off < offset + len {
+                return Err(DeviceError::ReadFault { offset: f_off });
+            }
+        }
+        Ok(())
     }
 
     /// The device configuration.
@@ -159,13 +192,23 @@ impl PersistentDevice for SsdDevice {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_read_fault(offset, buf.len() as u64)?;
         let state = self.state.read();
         Self::check_alive(state.crashed)?;
         state.region.read(offset, buf)
     }
 
     fn read_durable_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.state.read().region.read_durable(offset, buf)
+        let _ticket = self.submit();
+        self.check_read_fault(offset, buf.len() as u64)?;
+        if self.config.throttled {
+            // Block outside the state lock, like writes do.
+            self.read_bucket
+                .acquire(ByteSize::from_bytes(buf.len() as u64));
+        }
+        self.state.read().region.read_durable(offset, buf)?;
+        self.stats.record_read(buf.len() as u64);
+        Ok(())
     }
 
     fn crash_now(&self) {
@@ -351,6 +394,47 @@ mod tests {
         ssd.persist(0, 8).unwrap();
         assert_eq!(ssd.stats().queue_depth(), 0);
         assert_eq!(ssd.queue_depths(), vec![0]);
+    }
+
+    #[test]
+    fn read_fault_hits_overlapping_durable_reads_only() {
+        let ssd = fast(1024);
+        ssd.write_at(0, &[0x5A; 256]).unwrap();
+        ssd.persist(0, 256).unwrap();
+        ssd.arm_read_fault_at(100, 50);
+        let mut buf = [0u8; 32];
+        assert_eq!(
+            ssd.read_durable_at(90, &mut buf),
+            Err(DeviceError::ReadFault { offset: 100 })
+        );
+        assert_eq!(
+            ssd.read_durable_at(120, &mut buf),
+            Err(DeviceError::ReadFault { offset: 100 })
+        );
+        // Disjoint ranges still read fine, and writes are unaffected.
+        ssd.read_durable_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0x5A; 32]);
+        ssd.read_durable_at(150, &mut buf).unwrap();
+        ssd.write_at(100, &[1; 8]).unwrap();
+        ssd.clear_read_fault();
+        ssd.read_durable_at(100, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn durable_reads_are_throttled_and_counted() {
+        let cfg = DeviceConfig {
+            capacity: ByteSize::from_mb_u64(8),
+            write_bandwidth: Bandwidth::from_mb_per_sec(20.0),
+            throttled: true,
+        };
+        let ssd = SsdDevice::new(cfg);
+        let mut buf = vec![0u8; 4 * 1024 * 1024];
+        let start = Instant::now();
+        ssd.read_durable_at(0, &mut buf).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        assert!(secs > 0.1, "4MB at 20MB/s must take ~0.2s, took {secs}s");
+        assert_eq!(ssd.stats().bytes_read().as_u64(), buf.len() as u64);
+        assert_eq!(ssd.stats().read_ops(), 1);
     }
 
     #[test]

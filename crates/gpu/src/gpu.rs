@@ -208,6 +208,32 @@ impl Gpu {
         *self.inner.dirty.lock() = vec![(0, size)];
     }
 
+    /// Begins a streaming restore of `total` serialized bytes.
+    ///
+    /// The returned [`RestoreTarget`] accepts verified payload chunks in
+    /// any order (concurrently, from multiple uploader threads) and swaps
+    /// the assembled state in atomically on
+    /// [`finish`](RestoreTarget::finish). Until then the live state is
+    /// untouched, so a restore that is abandoned midway (chunk verification
+    /// failed, fell back to an older candidate) leaves the GPU exactly as
+    /// it was — just drop the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` does not match the current layout's size (the
+    /// same invariant [`restore`](Self::restore) enforces, surfaced early).
+    pub fn begin_restore(&self, total: ByteSize) -> RestoreTarget {
+        assert_eq!(
+            total,
+            self.state_size(),
+            "restore payload size must match the training-state layout"
+        );
+        RestoreTarget {
+            gpu: self.clone(),
+            staging: Mutex::new(vec![0u8; total.as_usize()]),
+        }
+    }
+
     /// Digest of the current state (for verification).
     pub fn digest(&self) -> StateDigest {
         self.inner.state.read().digest()
@@ -236,6 +262,61 @@ pub fn merge_ranges(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
         }
     }
     out
+}
+
+/// An in-progress streaming restore (see [`Gpu::begin_restore`]).
+///
+/// Chunks land in a DRAM staging image; [`finish`](Self::finish) performs
+/// the atomic state swap. Writes are metered through the GPU copy engine so
+/// restore uploads contend for the same PCIe bandwidth as snapshot copies.
+#[derive(Debug)]
+pub struct RestoreTarget {
+    gpu: Gpu,
+    staging: Mutex<Vec<u8>>,
+}
+
+impl RestoreTarget {
+    /// Total size of the payload being restored.
+    pub fn total(&self) -> ByteSize {
+        ByteSize::from_bytes(self.staging.lock().len() as u64)
+    }
+
+    /// Places one verified chunk at `offset` in the staging image. Safe to
+    /// call from multiple threads; chunks may arrive in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk extends past the payload size.
+    pub fn write_chunk(&self, offset: u64, data: &[u8]) {
+        {
+            let mut staging = self.staging.lock();
+            let start = usize::try_from(offset).expect("chunk offset fits in memory");
+            let end = start
+                .checked_add(data.len())
+                .filter(|&e| e <= staging.len())
+                .expect("restore chunk exceeds payload size");
+            staging[start..end].copy_from_slice(data);
+        }
+        // Meter outside the lock: the PCIe throttle must not serialize
+        // concurrent uploaders any more than the bus itself would.
+        self.gpu
+            .copy_engine()
+            .meter(ByteSize::from_bytes(data.len() as u64));
+    }
+
+    /// Completes the restore: swaps the staged image in as the live
+    /// training state at `step`.
+    ///
+    /// The caller is responsible for having verified every chunk — the
+    /// target itself performs no digest checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged payload does not match the current layout.
+    pub fn finish(self, step: u64) {
+        let staging = self.staging.into_inner();
+        self.gpu.restore(&staging, step);
+    }
 }
 
 /// Shared access to the GPU weights for the duration of a snapshot copy.
@@ -596,6 +677,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn streaming_restore_matches_direct_restore() {
+        let g = gpu(1000, 30);
+        for _ in 0..3 {
+            g.update();
+        }
+        let digest = g.digest();
+        let payload = {
+            let guard = g.lock_weights_shared();
+            let mut buf = vec![0u8; 1000];
+            guard.copy_range_to_host(0, &mut buf);
+            buf
+        };
+        g.update();
+        assert_ne!(g.digest(), digest);
+
+        // Stream the payload back out of order, from two threads.
+        let target = Arc::new(g.begin_restore(ByteSize::from_bytes(1000)));
+        std::thread::scope(|s| {
+            for reader in 0..2usize {
+                let target = Arc::clone(&target);
+                let payload = &payload;
+                s.spawn(move || {
+                    let mut off = reader * 128;
+                    while off < 1000 {
+                        let end = (off + 128).min(1000);
+                        target.write_chunk(off as u64, &payload[off..end]);
+                        off += 256;
+                    }
+                });
+            }
+        });
+        // Live state untouched until finish.
+        assert_eq!(g.step_count(), 4);
+        Arc::into_inner(target).unwrap().finish(3);
+        assert_eq!(g.digest(), digest);
+        assert_eq!(g.step_count(), 3);
+        assert_eq!(g.lock_weights_shared().dirty_ranges(), vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn abandoned_streaming_restore_leaves_state_alone() {
+        let g = gpu(300, 31);
+        g.update();
+        let digest = g.digest();
+        let target = g.begin_restore(ByteSize::from_bytes(300));
+        target.write_chunk(0, &[0xAB; 128]);
+        drop(target); // verification failed elsewhere; abandon
+        assert_eq!(g.digest(), digest);
+        assert_eq!(g.step_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore chunk exceeds payload size")]
+    fn oversized_restore_chunk_rejected() {
+        let g = gpu(300, 32);
+        let target = g.begin_restore(ByteSize::from_bytes(300));
+        target.write_chunk(200, &[0u8; 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the training-state layout")]
+    fn mis_sized_restore_rejected_up_front() {
+        let g = gpu(300, 33);
+        let _ = g.begin_restore(ByteSize::from_bytes(299));
     }
 
     #[test]

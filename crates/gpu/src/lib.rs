@@ -45,7 +45,9 @@ pub mod training;
 
 pub use checkpoint::{CheckpointOutcome, Checkpointer, NullCheckpointer};
 pub use copy::{CopyEngine, CopyEngineConfig, CopyPath};
-pub use gpu::{merge_ranges, Gpu, GpuConfig, OwnedWeightsGuard, SnapshotSource, WeightsGuard};
+pub use gpu::{
+    merge_ranges, Gpu, GpuConfig, OwnedWeightsGuard, RestoreTarget, SnapshotSource, WeightsGuard,
+};
 pub use models::{GpuKind, ModelSpec, ModelZoo, SparseModelSpec};
 pub use tensor::{StateDigest, Tensor, TrainingState};
 pub use training::{TrainingLoop, TrainingReport};

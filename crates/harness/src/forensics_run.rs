@@ -23,11 +23,12 @@
 use std::sync::Arc;
 
 use pccheck::{
-    recover_instrumented, CheckpointStore, DeltaLink, PccheckError, RecoveredCheckpoint,
-    RecoveryTrace,
+    recover_instrumented_with, CheckpointStore, DeltaLink, PccheckError, RecoveredCheckpoint,
+    RecoveryTrace, RestoreOptions,
 };
 use pccheck_device::{
     fnv1a, DeviceConfig, ExtentRecord, ExtentTable, PersistentDevice, SsdDevice, StripedDevice,
+    TieredDevice,
 };
 use pccheck_gpu::StateDigest;
 use pccheck_monitor::ForensicReport;
@@ -95,6 +96,12 @@ pub enum DeviceTopology {
         /// Number of stripe members.
         ways: u32,
     },
+    /// A [`TieredDevice`]: a hot tier holding the slot region with the
+    /// flight ring and digest tables spilling to a second SSD. The crash
+    /// fires the *tier member's* fuse; the composite powers off the whole
+    /// device when the member persist fails, exactly like a shared power
+    /// domain.
+    Tiered,
 }
 
 /// Geometry of a crash scenario.
@@ -132,6 +139,14 @@ impl ForensicsRunConfig {
     pub fn striped(ways: u32) -> Self {
         ForensicsRunConfig {
             topology: DeviceTopology::Striped { ways },
+            ..Self::default()
+        }
+    }
+
+    /// The default geometry on a hot-tier + spill device pair.
+    pub fn tiered() -> Self {
+        ForensicsRunConfig {
+            topology: DeviceTopology::Tiered,
             ..Self::default()
         }
     }
@@ -403,6 +418,21 @@ pub fn run_crash_scenario(
     point: CrashPoint,
     cfg: &ForensicsRunConfig,
 ) -> Result<ForensicsRun, PccheckError> {
+    run_crash_scenario_with(point, cfg, RestoreOptions::default())
+}
+
+/// [`run_crash_scenario`] with explicit recovery [`RestoreOptions`] —
+/// `readers: 1` reproduces the sequential restore path, the default runs
+/// the parallel one, so tests can assert both recover bit-identically.
+///
+/// # Errors
+///
+/// Same as [`run_crash_scenario`].
+pub fn run_crash_scenario_with(
+    point: CrashPoint,
+    cfg: &ForensicsRunConfig,
+    options: RestoreOptions,
+) -> Result<ForensicsRun, PccheckError> {
     let state = ByteSize::from_bytes(cfg.state_bytes);
     let cap = CheckpointStore::required_capacity_with_flight(state, cfg.slots, cfg.flight_records)
         + ByteSize::from_kb(4);
@@ -424,6 +454,20 @@ pub fn run_crash_scenario(
             let array = Arc::new(StripedDevice::new(members, ByteSize::from_kb(1)));
             let fuse = Arc::clone(&array);
             (array, Box::new(move |n| fuse.arm_crash_after_persists(n)))
+        }
+        DeviceTopology::Tiered => {
+            // The tier covers the header + slot region (where the fatal
+            // payload persist lands); the flight ring and digest tables
+            // spill over the boundary to the second SSD.
+            let tier_cap = CheckpointStore::required_capacity(state, cfg.slots);
+            let tier = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(tier_cap)));
+            let spill = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+            let fuse = Arc::clone(&tier);
+            let tiered = Arc::new(TieredDevice::new(
+                tier as Arc<dyn PersistentDevice>,
+                spill as Arc<dyn PersistentDevice>,
+            ));
+            (tiered, Box::new(move |n| fuse.arm_crash_after_persists(n)))
         }
     };
     let store = CheckpointStore::format_with_flight(
@@ -454,7 +498,8 @@ pub fn run_crash_scenario(
 
     let report = pccheck_monitor::audit(Arc::clone(&device))?;
     device.recover();
-    let (recovered, trace) = recover_instrumented(Arc::clone(&device), &Telemetry::disabled())?;
+    let (recovered, trace) =
+        recover_instrumented_with(Arc::clone(&device), &Telemetry::disabled(), options)?;
     Ok(ForensicsRun {
         crash_point: point,
         device,
@@ -598,6 +643,82 @@ mod tests {
                 Some(run.recovered.counter),
                 "{point}: forensic prediction matches recovery"
             );
+        }
+    }
+
+    #[test]
+    fn tiered_store_survives_every_crash_point() {
+        for point in CrashPoint::ALL {
+            let run = run_crash_scenario(point, &ForensicsRunConfig::tiered()).unwrap();
+            assert!(run.report.is_clean(), "{point}: {}", run.report.render());
+            match point {
+                CrashPoint::AfterCommit => {
+                    assert_eq!(run.recovered.counter, 2, "{point}");
+                    assert_eq!(run.recovered.payload, synthetic_payload(200, 4 * 1024));
+                }
+                CrashPoint::DeltaChain => {
+                    assert_eq!(run.recovered.counter, 2, "{point}: delta survives");
+                    assert_eq!(run.recovered.iteration, 150, "{point}");
+                }
+                _ => {
+                    assert_eq!(run.recovered.counter, 1, "{point}: baseline survives");
+                }
+            }
+            assert_eq!(
+                run.report.expected_recovery.map(|m| m.counter),
+                Some(run.recovered.counter),
+                "{point}: forensic prediction matches recovery"
+            );
+        }
+    }
+
+    /// The tentpole cross-check: on every topology and at every crash
+    /// point, the parallel restore path (4 readers) must recover the same
+    /// checkpoint, bit for bit, as the sequential one (1 reader) — and the
+    /// forensic auditor must bless the store either way.
+    #[test]
+    fn parallel_restore_is_bit_identical_to_sequential_at_every_crash_point() {
+        let topologies = [
+            ForensicsRunConfig::striped(2),
+            ForensicsRunConfig::tiered(),
+        ];
+        for cfg in &topologies {
+            for point in CrashPoint::ALL {
+                let parallel = run_crash_scenario_with(
+                    point,
+                    cfg,
+                    RestoreOptions {
+                        readers: 4,
+                        probe: 2,
+                    },
+                )
+                .unwrap();
+                assert!(
+                    parallel.report.is_clean(),
+                    "{point}/{:?}: {}",
+                    cfg.topology,
+                    parallel.report.render()
+                );
+                // Re-run recovery sequentially on the same recovered store
+                // image and compare everything that matters.
+                let (sequential, seq_trace) = recover_instrumented_with(
+                    Arc::clone(&parallel.device),
+                    &Telemetry::disabled(),
+                    RestoreOptions {
+                        readers: 1,
+                        probe: 1,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    parallel.recovered.payload, sequential.payload,
+                    "{point}/{:?}: parallel and sequential restores diverge",
+                    cfg.topology
+                );
+                assert_eq!(parallel.recovered.counter, sequential.counter);
+                assert_eq!(parallel.recovered.iteration, sequential.iteration);
+                assert_eq!(parallel.trace.chain_links, seq_trace.chain_links);
+            }
         }
     }
 

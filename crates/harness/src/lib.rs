@@ -9,6 +9,7 @@
 pub mod ext_delta;
 pub mod ext_h100;
 pub mod ext_jit;
+pub mod ext_restore;
 pub mod ext_striping;
 pub mod fig10_pmem;
 pub mod fig11_persist_micro;

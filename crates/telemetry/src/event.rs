@@ -58,12 +58,19 @@ pub enum Phase {
     /// Recovery: replaying a delta chain (base payload + per-extent
     /// patches) into a full state image.
     DeltaReplay,
+    /// Parallel restore: one reader's device→DRAM chunk fetch leg.
+    RestoreRead,
+    /// Parallel restore: per-chunk (or legacy whole-payload) digest
+    /// verification, overlapped with the reads.
+    RestoreVerify,
+    /// Parallel restore: streaming verified chunks into GPU memory.
+    RestoreUpload,
 }
 
 impl Phase {
     /// All phases, in lifecycle order (checkpoint phases first, then the
     /// post-crash recovery-path phases, then the delta-checkpoint phases).
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 12] = [
         Phase::TicketWait,
         Phase::GpuCopy,
         Phase::Persist,
@@ -73,6 +80,9 @@ impl Phase {
         Phase::RecoveryVerify,
         Phase::DeltaMap,
         Phase::DeltaReplay,
+        Phase::RestoreRead,
+        Phase::RestoreVerify,
+        Phase::RestoreUpload,
     ];
 
     /// Stable lowercase name used by the exporters.
@@ -87,6 +97,9 @@ impl Phase {
             Phase::RecoveryVerify => "recovery_verify",
             Phase::DeltaMap => "delta_map",
             Phase::DeltaReplay => "delta_replay",
+            Phase::RestoreRead => "restore_read",
+            Phase::RestoreVerify => "restore_verify",
+            Phase::RestoreUpload => "restore_upload",
         }
     }
 
@@ -102,6 +115,9 @@ impl Phase {
             Phase::RecoveryVerify => 6,
             Phase::DeltaMap => 7,
             Phase::DeltaReplay => 8,
+            Phase::RestoreRead => 9,
+            Phase::RestoreVerify => 10,
+            Phase::RestoreUpload => 11,
         }
     }
 }
@@ -255,6 +271,9 @@ mod tests {
                 "recovery_verify",
                 "delta_map",
                 "delta_replay",
+                "restore_read",
+                "restore_verify",
+                "restore_upload",
             ]
         );
         for (i, p) in Phase::ALL.iter().enumerate() {

@@ -125,6 +125,7 @@ pub fn render_summary(snapshot: &TelemetrySnapshot, accounting: &RunAccounting) 
     for (name, s) in [
         ("dev-write", &snapshot.write_stage),
         ("dev-persist", &snapshot.persist_stage),
+        ("dev-read", &snapshot.read_stage),
     ] {
         if s.count == 0 {
             continue;

@@ -26,8 +26,10 @@ const SHARDS: usize = 8;
 
 /// How many devices the per-device queue-depth gauges can track. Composite
 /// devices report the controller at index 0 and members after it; indices
-/// beyond this limit are silently dropped.
-pub const MAX_TRACKED_DEVICES: usize = 4;
+/// beyond this limit are silently dropped. Sized for a 4-way stripe plus
+/// its controller with headroom, so restore fan-out across a wide stripe
+/// stays observable per member.
+pub const MAX_TRACKED_DEVICES: usize = 8;
 
 static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
 
@@ -79,12 +81,14 @@ pub struct MemoryRecorder {
     stall_hist: LatencyHistogram,
     write_stage_hist: LatencyHistogram,
     persist_stage_hist: LatencyHistogram,
+    read_stage_hist: LatencyHistogram,
     counters: CheckpointCounters,
     in_flight: Gauge,
     queue_depth: Gauge,
     device_queues: [Gauge; MAX_TRACKED_DEVICES],
     gpu_copy_bytes: AtomicU64,
     persist_chunk_bytes: AtomicU64,
+    restore_chunk_bytes: AtomicU64,
     dirty_ratio_permille: Gauge,
     delta_bytes_saved: AtomicU64,
 }
@@ -106,12 +110,14 @@ impl MemoryRecorder {
             stall_hist: LatencyHistogram::new(),
             write_stage_hist: LatencyHistogram::new(),
             persist_stage_hist: LatencyHistogram::new(),
+            read_stage_hist: LatencyHistogram::new(),
             counters: CheckpointCounters::new(),
             in_flight: Gauge::default(),
             queue_depth: Gauge::default(),
             device_queues: std::array::from_fn(|_| Gauge::default()),
             gpu_copy_bytes: AtomicU64::new(0),
             persist_chunk_bytes: AtomicU64::new(0),
+            restore_chunk_bytes: AtomicU64::new(0),
             dirty_ratio_permille: Gauge::default(),
             delta_bytes_saved: AtomicU64::new(0),
         }
@@ -152,6 +158,7 @@ impl MemoryRecorder {
             stall: self.stall_hist.summary(),
             write_stage: self.write_stage_hist.summary(),
             persist_stage: self.persist_stage_hist.summary(),
+            read_stage: self.read_stage_hist.summary(),
             device_queue_depth: std::array::from_fn(|i| self.device_queues[i].current()),
             device_queue_peak: std::array::from_fn(|i| self.device_queues[i].peak()),
             in_flight: self.in_flight.current(),
@@ -160,6 +167,7 @@ impl MemoryRecorder {
             queue_depth_peak: self.queue_depth.peak(),
             gpu_copy_bytes: self.gpu_copy_bytes.load(Ordering::Acquire),
             persist_chunk_bytes: self.persist_chunk_bytes.load(Ordering::Acquire),
+            restore_chunk_bytes: self.restore_chunk_bytes.load(Ordering::Acquire),
             dirty_ratio_permille: self.dirty_ratio_permille.current(),
             dirty_ratio_permille_peak: self.dirty_ratio_permille.peak(),
             delta_bytes_saved: self.delta_bytes_saved.load(Ordering::Acquire),
@@ -181,6 +189,9 @@ pub struct TelemetrySnapshot {
     pub write_stage: HistogramSummary,
     /// Per-chunk device-persist latency (the fence leg of the pipeline).
     pub persist_stage: HistogramSummary,
+    /// Per-chunk device-read latency (the `read_durable_at` leg of the
+    /// restore pipeline).
+    pub read_stage: HistogramSummary,
     /// Last observed submission-queue depth per tracked device.
     pub device_queue_depth: [u64; MAX_TRACKED_DEVICES],
     /// High-water mark of the submission-queue depth per tracked device.
@@ -197,6 +208,8 @@ pub struct TelemetrySnapshot {
     pub gpu_copy_bytes: u64,
     /// Bytes moved by the DRAM→device persist phase.
     pub persist_chunk_bytes: u64,
+    /// Bytes moved by the device→DRAM restore-read phase.
+    pub restore_chunk_bytes: u64,
     /// Last observed dirty-byte ratio of a delta checkpoint, in permille
     /// (dirty bytes / full state bytes × 1000).
     pub dirty_ratio_permille: u64,
@@ -343,6 +356,9 @@ impl Telemetry {
             Phase::Persist => {
                 r.persist_chunk_bytes.fetch_add(len, Ordering::Release);
             }
+            Phase::RestoreRead => {
+                r.restore_chunk_bytes.fetch_add(len, Ordering::Release);
+            }
             _ => {}
         }
         r.push(Event {
@@ -467,6 +483,14 @@ impl Telemetry {
     pub fn stage_persist(&self, nanos: u64) {
         if let Some(r) = &self.inner {
             r.persist_stage_hist.record(nanos);
+        }
+    }
+
+    /// Feeds one per-chunk device-read latency sample into the restore
+    /// pipeline's read-stage histogram.
+    pub fn stage_read(&self, nanos: u64) {
+        if let Some(r) = &self.inner {
+            r.read_stage_hist.record(nanos);
         }
     }
 
@@ -608,6 +632,8 @@ mod tests {
         t.stage_write(100);
         t.stage_write(300);
         t.stage_persist(50);
+        t.stage_read(25);
+        t.stage_read(75);
         t.gauge_device_queue(0, 3);
         t.gauge_device_queue(0, 1);
         t.gauge_device_queue(2, 7);
@@ -616,13 +642,16 @@ mod tests {
         assert_eq!(snap.write_stage.count, 2);
         assert_eq!(snap.write_stage.sum_nanos, 400);
         assert_eq!(snap.persist_stage.count, 1);
-        assert_eq!(snap.device_queue_depth, [1, 0, 7, 0]);
-        assert_eq!(snap.device_queue_peak, [3, 0, 7, 0]);
+        assert_eq!(snap.read_stage.count, 2);
+        assert_eq!(snap.read_stage.sum_nanos, 100);
+        assert_eq!(snap.device_queue_depth, [1, 0, 7, 0, 0, 0, 0, 0]);
+        assert_eq!(snap.device_queue_peak, [3, 0, 7, 0, 0, 0, 0, 0]);
 
         // Disabled handles stay inert.
         let d = Telemetry::disabled();
         d.stage_write(1);
         d.stage_persist(1);
+        d.stage_read(1);
         d.gauge_device_queue(0, 1);
         assert!(d.snapshot().is_none());
     }

@@ -31,14 +31,14 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use pccheck::{recovery, CheckpointStore, PcCheckConfig, PcCheckEngine};
+use pccheck::{recover_instrumented_with, recovery, CheckpointStore, PcCheckConfig, PcCheckEngine, RestoreOptions};
 use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice, StripedDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_harness::forensics_run::{
     commit_checkpoint, drive_to_crash_point, synthetic_payload, CrashPoint,
 };
 use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig, STRATEGIES};
-use pccheck_telemetry::{chrome_trace, json_lines, render_summary};
+use pccheck_telemetry::{chrome_trace, json_lines, render_summary, Telemetry};
 use pccheck_util::ByteSize;
 
 /// Demo geometry: a 1 MB training state, N=2 concurrent checkpoints.
@@ -51,14 +51,18 @@ const CRASH_STATE_BYTES: u64 = 64 * 1024;
 const CRASH_FLIGHT_RECORDS: u32 = 128;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: pccheckctl <demo|info|recover> <store-file> [iterations]");
+    eprintln!("usage: pccheckctl demo <store-file> [iterations]");
+    eprintln!("       pccheckctl info <store-file>");
+    eprintln!("       pccheckctl recover <store-file> [readers]");
     eprintln!("       pccheckctl telemetry <out-dir> [strategy]");
     eprintln!("       pccheckctl crashdemo <store-file> [crash-point]");
     eprintln!("       pccheckctl forensics <store-file>");
     eprintln!("       pccheckctl device <store-file> [stripe-ways]");
     eprintln!("  demo       create the store and run a checkpointed training demo");
     eprintln!("  info       print the store header and checkpoint history");
-    eprintln!("  recover    load the latest committed checkpoint and verify it");
+    eprintln!("  recover    load the latest committed checkpoint through the parallel");
+    eprintln!("             restore pipeline ([readers] threads, default 4) and print");
+    eprintln!("             the per-phase recovery trace");
     eprintln!(
         "  telemetry  run an instrumented training run ({}) and write",
         STRATEGIES.join("|")
@@ -149,19 +153,38 @@ fn cmd_info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_recover(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_recover(path: &str, readers: usize) -> Result<(), Box<dyn std::error::Error>> {
     let device: Arc<dyn PersistentDevice> = Arc::new(FileDevice::open(path, device_config())?);
-    let rec = recovery::recover(device)?;
+    let options = RestoreOptions {
+        readers,
+        ..RestoreOptions::default()
+    };
+    let telemetry = Telemetry::disabled();
+    let (rec, trace) = recover_instrumented_with(device, &telemetry, options)?;
     // Rebuild the state and verify the digest end to end (the demo always
     // uses the same layout, derived from the state size).
     let layout = TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED).layout();
     recovery::verify_against_state(&rec, &layout)?;
     println!(
-        "recovered iteration {} ({} bytes), digest verified: {:016x}",
+        "recovered iteration {} ({} bytes) with {readers} reader(s), digest verified: {:016x}",
         rec.iteration,
         rec.payload.len(),
         rec.digest
     );
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    println!(
+        "  scan   {:>9.3} ms  ({} candidate(s), {} fallback(s))",
+        ms(trace.scan_nanos),
+        trace.candidates_scanned,
+        trace.fallbacks
+    );
+    println!(
+        "  load   {:>9.3} ms  ({} delta link(s) replayed)",
+        ms(trace.load_nanos),
+        trace.chain_links
+    );
+    println!("  verify {:>9.3} ms", ms(trace.verify_nanos));
+    println!("  total  {:>9.3} ms", ms(trace.total_nanos));
     // Prove the state is usable: restore and advance one step.
     let gpu = Gpu::new(
         GpuConfig::fast_for_tests(),
@@ -313,7 +336,13 @@ fn main() -> ExitCode {
     let result = match cmd {
         "demo" => cmd_demo(path, iterations),
         "info" => cmd_info(path),
-        "recover" => cmd_recover(path),
+        "recover" => cmd_recover(
+            path,
+            args.get(3)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(4)
+                .max(1),
+        ),
         "telemetry" => cmd_telemetry(path, args.get(3).map_or("pccheck", |s| s.as_str())),
         "crashdemo" => cmd_crashdemo(
             path,

@@ -1,0 +1,164 @@
+//! Cross-validation of the parallel restore pipeline: recovering the same
+//! device with four readers and with one reader must produce bit-identical
+//! checkpoints — for plain full checkpoints (digest-table path) and for
+//! base + delta chains (parallel layer fetch + extent replay).
+
+use std::sync::Arc;
+
+use pccheck::{
+    recover_instrumented_with, recovery, CheckpointStore, DeltaOutcome, DeltaPolicy,
+    PersistPipeline, PipelineCtx, RestoreOptions,
+};
+use pccheck_device::{DeviceConfig, HostBufferPool, PersistentDevice, SsdDevice};
+use pccheck_gpu::{Gpu, GpuConfig, TrainingState};
+use pccheck_telemetry::{SpanId, Telemetry};
+use pccheck_util::ByteSize;
+
+const STATE: u64 = 8 * 1024;
+const MAX_CHAIN: u32 = 3;
+
+fn store_on(slots: u32) -> (Arc<SsdDevice>, Arc<CheckpointStore>) {
+    let size = ByteSize::from_bytes(STATE);
+    let cap = CheckpointStore::required_capacity(size, slots) + ByteSize::from_kb(4);
+    let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let dev: Arc<dyn PersistentDevice> = ssd.clone();
+    let store = Arc::new(CheckpointStore::format(dev, size, slots).expect("format"));
+    (ssd, store)
+}
+
+fn pipeline_for(store: &Arc<CheckpointStore>) -> PersistPipeline {
+    PersistPipeline::new(Arc::clone(store))
+        .with_writers(2)
+        .with_staging(HostBufferPool::new(ByteSize::from_bytes(512), 8))
+}
+
+fn sequential() -> RestoreOptions {
+    RestoreOptions {
+        readers: 1,
+        probe: 1,
+    }
+}
+
+fn parallel() -> RestoreOptions {
+    RestoreOptions {
+        readers: 4,
+        probe: 2,
+    }
+}
+
+#[test]
+fn parallel_and_sequential_recovery_agree_on_full_checkpoints() {
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE), 17),
+    );
+    gpu.update();
+
+    let (ssd, store) = store_on(2);
+    let pipe = pipeline_for(&store);
+    let telemetry = Telemetry::disabled();
+    let ctx = PipelineCtx {
+        telemetry: &telemetry,
+        span: SpanId::NONE,
+    };
+    for iter in 1..=3u64 {
+        if iter > 1 {
+            gpu.update();
+        }
+        let guard = gpu.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let total = guard.size();
+        let lease = pipe.lease(ctx);
+        let persist_start = pipe
+            .copy_streamed(ctx, &guard, &lease, total)
+            .expect("full copy");
+        drop(guard);
+        pipe.seal(ctx, &lease, iter, total, persist_start)
+            .expect("seal");
+        pipe.commit(ctx, lease, iter, total.as_u64(), digest.0)
+            .expect("commit");
+    }
+    drop(pipe);
+
+    let dev: Arc<dyn PersistentDevice> = ssd.clone();
+    let (par, par_trace) =
+        recover_instrumented_with(Arc::clone(&dev), &telemetry, parallel()).expect("parallel");
+    let (seq, seq_trace) =
+        recover_instrumented_with(dev, &telemetry, sequential()).expect("sequential");
+
+    assert_eq!(par.iteration, 3);
+    assert_eq!(par.iteration, seq.iteration);
+    assert_eq!(par.counter, seq.counter);
+    assert_eq!(par.digest, seq.digest);
+    assert_eq!(
+        par.payload, seq.payload,
+        "reader fan-out must not change a single byte"
+    );
+    assert_eq!(par_trace.chain_links, 0);
+    assert_eq!(par_trace.chain_links, seq_trace.chain_links);
+
+    // The pre-pipeline entry point agrees too.
+    let baseline = recovery::recover(ssd).expect("plain recover");
+    assert_eq!(baseline.payload, par.payload);
+}
+
+#[test]
+fn parallel_and_sequential_recovery_agree_on_delta_chains() {
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE), 23),
+    );
+    gpu.update();
+
+    let (ssd, store) = store_on(MAX_CHAIN + 2);
+    let pipe = pipeline_for(&store);
+    let telemetry = Telemetry::disabled();
+    let ctx = PipelineCtx {
+        telemetry: &telemetry,
+        span: SpanId::NONE,
+    };
+    let policy = DeltaPolicy {
+        max_dirty_ratio: 0.5,
+        max_chain: MAX_CHAIN,
+    };
+
+    let mut saw_delta = false;
+    for iter in 1..=4u64 {
+        if iter > 1 {
+            gpu.update_sparse(0.10);
+        }
+        let guard = gpu.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let (_, kind) = pipe
+            .checkpoint_delta(ctx, &guard, iter, digest.0, policy)
+            .expect("delta checkpoint");
+        drop(guard);
+        saw_delta |= matches!(kind, DeltaOutcome::Delta { .. });
+    }
+    assert!(saw_delta, "the sparse run must exercise the delta path");
+    drop(pipe);
+
+    let dev: Arc<dyn PersistentDevice> = ssd.clone();
+    let (par, par_trace) =
+        recover_instrumented_with(Arc::clone(&dev), &telemetry, parallel()).expect("parallel");
+    let (seq, seq_trace) =
+        recover_instrumented_with(dev, &telemetry, sequential()).expect("sequential");
+
+    assert_eq!(par.iteration, 4);
+    assert!(par_trace.chain_links >= 1, "head must be a delta");
+    assert_eq!(par_trace.chain_links, seq_trace.chain_links);
+    assert_eq!(par.counter, seq.counter);
+    assert_eq!(
+        par.payload, seq.payload,
+        "parallel delta replay must reproduce the sequential bytes"
+    );
+
+    // Both land on a GPU identical to the live weights.
+    let live = gpu.with_weights(|w| w.digest());
+    let restored = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE), 99),
+    );
+    restored.restore(&par.payload, par.iteration);
+    assert_eq!(restored.with_weights(|w| w.digest()), live);
+}
