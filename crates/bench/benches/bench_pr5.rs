@@ -14,7 +14,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pccheck::{recover_instrumented_with, RestoreOptions};
-use pccheck_harness::ext_restore::{committed_store, measure_store, MEMBER_MB_PER_SEC, STRIPE_UNIT};
+use pccheck_harness::ext_restore::{
+    committed_store, measure_store, MEMBER_MB_PER_SEC, STRIPE_UNIT,
+};
 use pccheck_telemetry::Telemetry;
 use pccheck_util::ByteSize;
 

@@ -27,8 +27,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use pccheck_device::{
-    chunk_count, chunk_digest, fnv1a_fold, ChunkDigestTable, ExtentRecord, ExtentTable,
-    HostBuffer,
+    chunk_count, chunk_digest, fnv1a_fold, ChunkDigestTable, ExtentRecord, ExtentTable, HostBuffer,
     HostBufferPool, FNV_SEED,
 };
 use pccheck_gpu::{merge_ranges, SnapshotSource};
@@ -389,12 +388,24 @@ impl PersistPipeline {
                 let staged = &staged;
                 let results = &results;
                 s.spawn(move |_| {
+                    let actor_start = ctx.telemetry.now_nanos();
+                    let mut actor_bytes = 0u64;
                     for (off, n, buf) in staged.iter().skip(w).step_by(p) {
                         if let Err(e) =
                             self.write_and_fence_chunk(ctx, lease, *off, &buf.as_slice()[..*n])
                         {
                             results.lock().push(e);
+                        } else {
+                            actor_bytes += *n as u64;
                         }
+                    }
+                    if actor_bytes > 0 && ctx.telemetry.is_enabled() {
+                        ctx.telemetry.actor_span(
+                            ctx.span,
+                            &format!("writer-{w}"),
+                            actor_start,
+                            actor_bytes,
+                        );
                     }
                 });
             }
@@ -435,21 +446,33 @@ impl PersistPipeline {
         // on a full pool) and the producer stops copying and enqueueing.
         let abort = AtomicBool::new(false);
         crossbeam::thread::scope(|s| {
-            for _ in 0..p {
+            for w in 0..p {
                 let rx = rx.clone();
                 let results = &results;
                 let abort = &abort;
                 s.spawn(move |_| {
+                    let actor_start = ctx.telemetry.now_nanos();
+                    let mut actor_bytes = 0u64;
                     while let Ok((off, n, buf)) = rx.recv() {
                         if !abort.load(Ordering::Acquire) {
-                            if let Err(e) =
-                                self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
+                            match self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
                             {
-                                results.lock().push(e);
-                                abort.store(true, Ordering::Release);
+                                Ok(()) => actor_bytes += n as u64,
+                                Err(e) => {
+                                    results.lock().push(e);
+                                    abort.store(true, Ordering::Release);
+                                }
                             }
                         }
                         drop(buf); // free the DRAM chunk for the producer
+                    }
+                    if actor_bytes > 0 && ctx.telemetry.is_enabled() {
+                        ctx.telemetry.actor_span(
+                            ctx.span,
+                            &format!("writer-{w}"),
+                            actor_start,
+                            actor_bytes,
+                        );
                     }
                 });
             }
@@ -585,21 +608,33 @@ impl PersistPipeline {
         let abort = AtomicBool::new(false);
         let mut extent_digests: Vec<u64> = Vec::with_capacity(dirty.len());
         crossbeam::thread::scope(|s| {
-            for _ in 0..p {
+            for w in 0..p {
                 let rx = rx.clone();
                 let results = &results;
                 let abort = &abort;
                 s.spawn(move |_| {
+                    let actor_start = ctx.telemetry.now_nanos();
+                    let mut actor_bytes = 0u64;
                     while let Ok((off, n, buf)) = rx.recv() {
                         if !abort.load(Ordering::Acquire) {
-                            if let Err(e) =
-                                self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
+                            match self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
                             {
-                                results.lock().push(e);
-                                abort.store(true, Ordering::Release);
+                                Ok(()) => actor_bytes += n as u64,
+                                Err(e) => {
+                                    results.lock().push(e);
+                                    abort.store(true, Ordering::Release);
+                                }
                             }
                         }
                         drop(buf);
+                    }
+                    if actor_bytes > 0 && ctx.telemetry.is_enabled() {
+                        ctx.telemetry.actor_span(
+                            ctx.span,
+                            &format!("writer-{w}"),
+                            actor_start,
+                            actor_bytes,
+                        );
                     }
                 });
             }
@@ -1006,6 +1041,61 @@ mod tests {
             assert_eq!(snap.persist_chunk_bytes, 900);
             assert_eq!(snap.write_stage.count, 8);
             assert_eq!(snap.persist_stage.count, 8);
+        }
+    }
+
+    #[test]
+    fn chunk_copy_paths_emit_writer_actor_spans() {
+        for streamed in [false, true] {
+            let g = gpu(900, 47);
+            g.update();
+            let pool = HostBufferPool::new(ByteSize::from_bytes(128), 8);
+            let pipeline = PersistPipeline::new(ssd_store(g.state_size(), 3))
+                .with_writers(2)
+                .with_staging(pool);
+            let telemetry = Telemetry::enabled();
+            let span = telemetry.span_requested("test", 1, 900);
+            let ctx = PipelineCtx {
+                telemetry: &telemetry,
+                span,
+            };
+            let guard = g.lock_weights_shared_owned();
+            let total = guard.size();
+            let lease = pipeline.lease(ctx);
+            let persist_start = if streamed {
+                pipeline.copy_streamed(ctx, &guard, &lease, total).unwrap()
+            } else {
+                pipeline.copy_staged(ctx, &guard, &lease, total).unwrap()
+            };
+            drop(guard);
+            pipeline.seal(ctx, &lease, 1, total, persist_start).unwrap();
+
+            let spans: Vec<(String, u64)> = telemetry
+                .events()
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    pccheck_telemetry::EventKind::ActorSpan { actor, bytes, .. }
+                        if e.span == span =>
+                    {
+                        Some((actor.clone(), *bytes))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let total_bytes: u64 = spans.iter().map(|(_, b)| b).sum();
+            assert_eq!(
+                total_bytes, 900,
+                "writer spans account for every chunk (streamed={streamed})"
+            );
+            assert!(
+                spans.iter().all(|(a, _)| a.starts_with("writer-")),
+                "streamed={streamed}: {spans:?}"
+            );
+            if !streamed {
+                // Round-robin distribution guarantees both writers worked.
+                assert!(spans.iter().any(|(a, _)| a == "writer-0"));
+                assert!(spans.iter().any(|(a, _)| a == "writer-1"));
+            }
         }
     }
 

@@ -36,8 +36,8 @@ use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
 use pccheck_device::{
-    fnv1a, fnv1a_fold, ChunkDigestTable, ExtentTable, HostBuffer, HostBufferPool,
-    PersistentDevice, FNV_SEED,
+    fnv1a, fnv1a_fold, ChunkDigestTable, ExtentTable, HostBuffer, HostBufferPool, PersistentDevice,
+    FNV_SEED,
 };
 use pccheck_gpu::{Gpu, RestoreTarget};
 use pccheck_telemetry::{FlightEventKind, Phase, Telemetry};
@@ -364,10 +364,11 @@ impl RestorePipeline {
         }
 
         std::thread::scope(|s| {
-            for (first, run) in runs {
+            for (r, (first, run)) in runs.into_iter().enumerate() {
                 let failed = &failed;
                 let verify_nanos = &verify_nanos;
                 s.spawn(move || {
+                    let actor_start = ctx.telemetry.now_nanos();
                     let (run_base, _) = table.chunk_range(first);
                     let mut done = 0usize;
                     for i in first.. {
@@ -390,6 +391,14 @@ impl RestorePipeline {
                         }
                         done += n;
                         debug_assert_eq!(off, run_base + (done as u64 - n as u64));
+                    }
+                    if done > 0 && ctx.telemetry.is_enabled() {
+                        ctx.telemetry.actor_span(
+                            ctx.span,
+                            &format!("reader-{r}"),
+                            actor_start,
+                            done as u64,
+                        );
                     }
                 });
             }
@@ -422,42 +431,55 @@ impl RestorePipeline {
         let upload_nanos = AtomicU64::new(0);
 
         std::thread::scope(|s| {
-            for _ in 0..readers {
+            for r in 0..readers {
                 let next = &next;
                 let failed = &failed;
                 let verify_nanos = &verify_nanos;
                 let upload_nanos = &upload_nanos;
                 let pool = &pool;
-                s.spawn(move || loop {
-                    if failed.load(Ordering::Acquire) {
-                        break;
+                s.spawn(move || {
+                    let actor_start = ctx.telemetry.now_nanos();
+                    let mut actor_bytes = 0u64;
+                    loop {
+                        if failed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Acquire scratch *before* claiming an index so the
+                        // lowest in-flight chunk always owns a buffer.
+                        let mut buf = pool.acquire();
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let (off, len) = table.chunk_range(i);
+                        let n = usize::try_from(len).expect("chunk fits");
+                        let data = &mut buf.as_mut_slice()[..n];
+                        if self.read_chunk(ctx, base + off, off, data).is_err() {
+                            failed.store(true, Ordering::Release);
+                            break;
+                        }
+                        let v0 = Instant::now();
+                        let ok = table.verify_chunk(i, data);
+                        verify_nanos.fetch_add(v0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        if !ok {
+                            failed.store(true, Ordering::Release);
+                            break;
+                        }
+                        let u0 = Instant::now();
+                        sink.put(off, data);
+                        upload_nanos.fetch_add(u0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        ctx.telemetry
+                            .chunk(ctx.span, Phase::RestoreUpload, off, len);
+                        actor_bytes += len;
                     }
-                    // Acquire scratch *before* claiming an index so the
-                    // lowest in-flight chunk always owns a buffer.
-                    let mut buf = pool.acquire();
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
+                    if actor_bytes > 0 && ctx.telemetry.is_enabled() {
+                        ctx.telemetry.actor_span(
+                            ctx.span,
+                            &format!("reader-{r}"),
+                            actor_start,
+                            actor_bytes,
+                        );
                     }
-                    let (off, len) = table.chunk_range(i);
-                    let n = usize::try_from(len).expect("chunk fits");
-                    let data = &mut buf.as_mut_slice()[..n];
-                    if self.read_chunk(ctx, base + off, off, data).is_err() {
-                        failed.store(true, Ordering::Release);
-                        break;
-                    }
-                    let v0 = Instant::now();
-                    let ok = table.verify_chunk(i, data);
-                    verify_nanos.fetch_add(v0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    if !ok {
-                        failed.store(true, Ordering::Release);
-                        break;
-                    }
-                    let u0 = Instant::now();
-                    sink.put(off, data);
-                    upload_nanos.fetch_add(u0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    ctx.telemetry
-                        .chunk(ctx.span, Phase::RestoreUpload, off, len);
                 });
             }
         });
@@ -496,34 +518,47 @@ impl RestorePipeline {
             let next = AtomicUsize::new(0);
             let (tx, rx) = bounded::<(usize, usize, HostBuffer)>(pool.total_chunks());
             std::thread::scope(|s| {
-                for _ in 0..readers {
+                for r in 0..readers {
                     let tx = tx.clone();
                     let next = &next;
                     let failed = &failed;
                     let pool = &pool;
-                    s.spawn(move || loop {
-                        if failed.load(Ordering::Acquire) {
-                            break;
+                    s.spawn(move || {
+                        let actor_start = ctx.telemetry.now_nanos();
+                        let mut actor_bytes = 0u64;
+                        loop {
+                            if failed.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // Acquire before claiming: the lowest unfolded
+                            // chunk always holds a buffer, so the verifier can
+                            // always make progress and return buffers.
+                            let mut buf = pool.acquire();
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            let off = i as u64 * chunk;
+                            let n = usize::try_from(chunk.min(total - off)).expect("chunk fits");
+                            if self
+                                .read_chunk(ctx, base + off, off, &mut buf.as_mut_slice()[..n])
+                                .is_err()
+                            {
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                            if tx.send((i, n, buf)).is_err() {
+                                break;
+                            }
+                            actor_bytes += n as u64;
                         }
-                        // Acquire before claiming: the lowest unfolded
-                        // chunk always holds a buffer, so the verifier can
-                        // always make progress and return buffers.
-                        let mut buf = pool.acquire();
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        let off = i as u64 * chunk;
-                        let n = usize::try_from(chunk.min(total - off)).expect("chunk fits");
-                        if self
-                            .read_chunk(ctx, base + off, off, &mut buf.as_mut_slice()[..n])
-                            .is_err()
-                        {
-                            failed.store(true, Ordering::Release);
-                            break;
-                        }
-                        if tx.send((i, n, buf)).is_err() {
-                            break;
+                        if actor_bytes > 0 && ctx.telemetry.is_enabled() {
+                            ctx.telemetry.actor_span(
+                                ctx.span,
+                                &format!("reader-{r}"),
+                                actor_start,
+                                actor_bytes,
+                            );
                         }
                     });
                 }
@@ -942,7 +977,11 @@ mod tests {
     /// Drives `iters` full checkpoints of a synthetic GPU state through the
     /// persist pipeline (which writes per-chunk digest tables), returning
     /// the device, the store, and the GPU at its final state.
-    fn gpu_store(iters: u64, bytes: u64, chunk: u64) -> (Arc<SsdDevice>, Arc<CheckpointStore>, Gpu) {
+    fn gpu_store(
+        iters: u64,
+        bytes: u64,
+        chunk: u64,
+    ) -> (Arc<SsdDevice>, Arc<CheckpointStore>, Gpu) {
         use pccheck_device::HostBufferPool;
 
         let state = TrainingState::synthetic(ByteSize::from_bytes(bytes), 7);
@@ -970,8 +1009,12 @@ mod tests {
             let lease = pipeline.lease(ctx);
             let persist_start = pipeline.copy_streamed(ctx, &guard, &lease, total).unwrap();
             drop(guard);
-            pipeline.seal(ctx, &lease, iter, total, persist_start).unwrap();
-            pipeline.commit(ctx, lease, iter, total.as_u64(), digest).unwrap();
+            pipeline
+                .seal(ctx, &lease, iter, total, persist_start)
+                .unwrap();
+            pipeline
+                .commit(ctx, lease, iter, total.as_u64(), digest)
+                .unwrap();
         }
         (ssd, store, gpu)
     }
@@ -996,6 +1039,39 @@ mod tests {
             .unwrap();
         assert_eq!(seq, payloads[1]);
         assert_eq!(par, payloads[1], "parallel read is bit-identical");
+    }
+
+    #[test]
+    fn parallel_fetch_emits_reader_actor_spans() {
+        // 4 chunks, 4 readers → one run per reader, 4 KiB each.
+        let (_ssd, store, _payloads) = raw_store(1, 16 * 1024, 4096, true);
+        let meta = store.latest_committed().unwrap();
+        let telemetry = Telemetry::enabled();
+        let span = telemetry.span_requested("restore", 1, meta.payload_len);
+        let got = RestorePipeline::new(Arc::clone(&store))
+            .with_readers(4)
+            .fetch_verified(
+                PipelineCtx {
+                    telemetry: &telemetry,
+                    span,
+                },
+                &meta,
+            );
+        assert!(got.is_some());
+        let spans: Vec<(String, u64)> = telemetry
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                pccheck_telemetry::EventKind::ActorSpan { actor, bytes, .. } if e.span == span => {
+                    Some((actor.clone(), *bytes))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 4, "one actor span per reader run: {spans:?}");
+        assert!(spans.iter().all(|(a, _)| a.starts_with("reader-")));
+        let total: u64 = spans.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 16 * 1024, "reader spans account for every byte");
     }
 
     #[test]
@@ -1103,7 +1179,10 @@ mod tests {
             RestoreOptions::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, PccheckError::CorruptCheckpoint { counter: 2 }));
+        assert!(matches!(
+            err,
+            PccheckError::CorruptCheckpoint { counter: 2 }
+        ));
     }
 
     /// Satellite: the layer cache must prevent any device re-reads when the

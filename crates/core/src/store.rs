@@ -512,8 +512,7 @@ impl CheckpointStore {
         if self.digest_chunks == 0 {
             return None;
         }
-        let base =
-            Self::digest_base_static(self.slot_size, self.num_slots, self.flight_records);
+        let base = Self::digest_base_static(self.slot_size, self.num_slots, self.flight_records);
         let stride = ChunkDigestTable::encoded_len_for(self.digest_chunks as usize);
         Some(base + u64::from(slot) * stride)
     }

@@ -25,13 +25,15 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use pccheck_util::{Bandwidth, ByteSize};
 
 use crate::device::{DeviceStats, DeviceStatsReport, PersistentDevice};
 use crate::error::DeviceError;
+use crate::observer::{IoObserver, MemberIoOp};
 use crate::Result;
 
 /// Default per-member submission-queue bound for composites.
@@ -127,6 +129,8 @@ pub struct StripedDevice {
     /// `-1` disarmed; `n >= 0` means `n` more persists succeed and the next
     /// one powers the whole array off before its range lands anywhere.
     armed_persists: Mutex<i64>,
+    /// Optional per-member I/O observer (telemetry actor lanes).
+    observer: RwLock<Option<Arc<dyn IoObserver>>>,
 }
 
 impl StripedDevice {
@@ -159,6 +163,7 @@ impl StripedDevice {
             stats: DeviceStats::default(),
             crashed: AtomicBool::new(false),
             armed_persists: Mutex::new(-1),
+            observer: RwLock::new(None),
             members,
         }
     }
@@ -194,6 +199,19 @@ impl StripedDevice {
     /// Disarms a previously armed persist-crash fuse.
     pub fn disarm_crash(&self) {
         *self.armed_persists.lock() = -1;
+    }
+
+    /// Registers an [`IoObserver`] that receives one callback per
+    /// member-level operation, labeled `stripe-{i}` to match
+    /// [`stats_report`](PersistentDevice::stats_report).
+    pub fn set_io_observer(&self, observer: Arc<dyn IoObserver>) {
+        *self.observer.write() = Some(observer);
+    }
+
+    fn observe(&self, member: usize, op: MemberIoOp, bytes: u64, dur_nanos: u64) {
+        if let Some(obs) = self.observer.read().as_ref() {
+            obs.member_io(&format!("stripe-{member}"), op, bytes, dur_nanos);
+        }
     }
 
     /// Returns `true` while the array is powered off.
@@ -274,7 +292,17 @@ impl PersistentDevice for StripedDevice {
         for ext in self.extents(offset, data.len() as u64) {
             let chunk = &data[ext.buf_offset..ext.buf_offset + ext.len as usize];
             self.gates[ext.member].run(self.queue_limit, || {
-                self.members[ext.member].write_at(ext.member_offset, chunk)
+                let begin = Instant::now();
+                let result = self.members[ext.member].write_at(ext.member_offset, chunk);
+                if result.is_ok() {
+                    self.observe(
+                        ext.member,
+                        MemberIoOp::Write,
+                        ext.len,
+                        begin.elapsed().as_nanos() as u64,
+                    );
+                }
+                result
             })?;
         }
         self.stats.record_write(data.len() as u64);
@@ -298,7 +326,17 @@ impl PersistentDevice for StripedDevice {
         }
         for ext in self.extents(offset, len) {
             let result = self.gates[ext.member].run(self.queue_limit, || {
-                self.members[ext.member].persist(ext.member_offset, ext.len)
+                let begin = Instant::now();
+                let result = self.members[ext.member].persist(ext.member_offset, ext.len);
+                if result.is_ok() {
+                    self.observe(
+                        ext.member,
+                        MemberIoOp::Persist,
+                        ext.len,
+                        begin.elapsed().as_nanos() as u64,
+                    );
+                }
+                result
             });
             if let Err(e) = result {
                 // A member died mid-fan-out (e.g. its own fuse fired):
@@ -344,7 +382,18 @@ impl PersistentDevice for StripedDevice {
             for (member, work) in per_member.into_iter().enumerate() {
                 for (off, chunk) in work {
                     self.gates[member].run(self.queue_limit, || {
-                        self.members[member].read_durable_at(off, chunk)
+                        let begin = Instant::now();
+                        let chunk_len = chunk.len() as u64;
+                        let result = self.members[member].read_durable_at(off, chunk);
+                        if result.is_ok() {
+                            self.observe(
+                                member,
+                                MemberIoOp::Read,
+                                chunk_len,
+                                begin.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        result
                     })?;
                 }
             }
@@ -358,7 +407,18 @@ impl PersistentDevice for StripedDevice {
                     handles.push(s.spawn(move || {
                         for (off, chunk) in work {
                             self.gates[member].run(self.queue_limit, || {
-                                self.members[member].read_durable_at(off, chunk)
+                                let begin = Instant::now();
+                                let chunk_len = chunk.len() as u64;
+                                let result = self.members[member].read_durable_at(off, chunk);
+                                if result.is_ok() {
+                                    self.observe(
+                                        member,
+                                        MemberIoOp::Read,
+                                        chunk_len,
+                                        begin.elapsed().as_nanos() as u64,
+                                    );
+                                }
+                                result
                             })?;
                         }
                         Ok(())
@@ -427,6 +487,8 @@ pub struct TieredDevice {
     queue_limit: u64,
     stats: DeviceStats,
     crashed: AtomicBool,
+    /// Optional per-member I/O observer (telemetry actor lanes).
+    observer: RwLock<Option<Arc<dyn IoObserver>>>,
 }
 
 impl TieredDevice {
@@ -441,6 +503,7 @@ impl TieredDevice {
             queue_limit: DEFAULT_MEMBER_QUEUE_DEPTH,
             stats: DeviceStats::default(),
             crashed: AtomicBool::new(false),
+            observer: RwLock::new(None),
         }
     }
 
@@ -458,6 +521,20 @@ impl TieredDevice {
     /// Bytes served by the hot tier (the spill boundary).
     pub fn tier_capacity(&self) -> ByteSize {
         ByteSize::from_bytes(self.tier_cap)
+    }
+
+    /// Registers an [`IoObserver`] that receives one callback per
+    /// member-level operation, labeled `tier` / `spill` to match
+    /// [`stats_report`](PersistentDevice::stats_report).
+    pub fn set_io_observer(&self, observer: Arc<dyn IoObserver>) {
+        *self.observer.write() = Some(observer);
+    }
+
+    fn observe(&self, member: usize, op: MemberIoOp, bytes: u64, dur_nanos: u64) {
+        if let Some(obs) = self.observer.read().as_ref() {
+            let label = if member == 0 { "tier" } else { "spill" };
+            obs.member_io(label, op, bytes, dur_nanos);
+        }
     }
 
     /// Returns `true` while the device is powered off.
@@ -539,11 +616,25 @@ impl PersistentDevice for TieredDevice {
         let (tier_part, spill_part) = self.split(offset, data.len() as u64);
         if let Some((off, buf_off, len)) = tier_part {
             let chunk = &data[buf_off..buf_off + len as usize];
-            self.gates[0].run(self.queue_limit, || self.tier.write_at(off, chunk))?;
+            self.gates[0].run(self.queue_limit, || {
+                let begin = Instant::now();
+                let result = self.tier.write_at(off, chunk);
+                if result.is_ok() {
+                    self.observe(0, MemberIoOp::Write, len, begin.elapsed().as_nanos() as u64);
+                }
+                result
+            })?;
         }
         if let Some((off, buf_off, len)) = spill_part {
             let chunk = &data[buf_off..buf_off + len as usize];
-            self.gates[1].run(self.queue_limit, || self.spill.write_at(off, chunk))?;
+            self.gates[1].run(self.queue_limit, || {
+                let begin = Instant::now();
+                let result = self.spill.write_at(off, chunk);
+                if result.is_ok() {
+                    self.observe(1, MemberIoOp::Write, len, begin.elapsed().as_nanos() as u64);
+                }
+                result
+            })?;
         }
         self.stats.record_write(data.len() as u64);
         Ok(())
@@ -555,16 +646,37 @@ impl PersistentDevice for TieredDevice {
         self.check_alive()?;
         let (tier_part, spill_part) = self.split(offset, len);
         if let Some((off, _, part_len)) = tier_part {
-            if let Err(e) = self.gates[0].run(self.queue_limit, || self.tier.persist(off, part_len))
-            {
+            if let Err(e) = self.gates[0].run(self.queue_limit, || {
+                let begin = Instant::now();
+                let result = self.tier.persist(off, part_len);
+                if result.is_ok() {
+                    self.observe(
+                        0,
+                        MemberIoOp::Persist,
+                        part_len,
+                        begin.elapsed().as_nanos() as u64,
+                    );
+                }
+                result
+            }) {
                 self.power_off();
                 return Err(e);
             }
         }
         if let Some((off, _, part_len)) = spill_part {
-            if let Err(e) =
-                self.gates[1].run(self.queue_limit, || self.spill.persist(off, part_len))
-            {
+            if let Err(e) = self.gates[1].run(self.queue_limit, || {
+                let begin = Instant::now();
+                let result = self.spill.persist(off, part_len);
+                if result.is_ok() {
+                    self.observe(
+                        1,
+                        MemberIoOp::Persist,
+                        part_len,
+                        begin.elapsed().as_nanos() as u64,
+                    );
+                }
+                result
+            }) {
                 self.power_off();
                 return Err(e);
             }
@@ -601,25 +713,60 @@ impl PersistentDevice for TieredDevice {
                 std::thread::scope(|s| {
                     let spill_read = s.spawn(|| {
                         self.gates[1].run(self.queue_limit, || {
-                            self.spill.read_durable_at(s_off, spill_buf)
+                            let begin = Instant::now();
+                            let spill_len = spill_buf.len() as u64;
+                            let result = self.spill.read_durable_at(s_off, spill_buf);
+                            if result.is_ok() {
+                                self.observe(
+                                    1,
+                                    MemberIoOp::Read,
+                                    spill_len,
+                                    begin.elapsed().as_nanos() as u64,
+                                );
+                            }
+                            result
                         })
                     });
-                    let tier_result = self.gates[0]
-                        .run(self.queue_limit, || self.tier.read_durable_at(t_off, tier_buf));
+                    let tier_result = self.gates[0].run(self.queue_limit, || {
+                        let begin = Instant::now();
+                        let tier_len = tier_buf.len() as u64;
+                        let result = self.tier.read_durable_at(t_off, tier_buf);
+                        if result.is_ok() {
+                            self.observe(
+                                0,
+                                MemberIoOp::Read,
+                                tier_len,
+                                begin.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        result
+                    });
                     let spill_result = spill_read.join().expect("spill reader panicked");
                     tier_result.and(spill_result)
                 })?;
             }
             (Some((off, buf_off, len)), None) => {
                 self.gates[0].run(self.queue_limit, || {
-                    self.tier
-                        .read_durable_at(off, &mut buf[buf_off..buf_off + len as usize])
+                    let begin = Instant::now();
+                    let result = self
+                        .tier
+                        .read_durable_at(off, &mut buf[buf_off..buf_off + len as usize]);
+                    if result.is_ok() {
+                        self.observe(0, MemberIoOp::Read, len, begin.elapsed().as_nanos() as u64);
+                    }
+                    result
                 })?;
             }
             (None, Some((off, buf_off, len))) => {
                 self.gates[1].run(self.queue_limit, || {
-                    self.spill
-                        .read_durable_at(off, &mut buf[buf_off..buf_off + len as usize])
+                    let begin = Instant::now();
+                    let result = self
+                        .spill
+                        .read_durable_at(off, &mut buf[buf_off..buf_off + len as usize]);
+                    if result.is_ok() {
+                        self.observe(1, MemberIoOp::Read, len, begin.elapsed().as_nanos() as u64);
+                    }
+                    result
                 })?;
             }
             (None, None) => {}
@@ -917,6 +1064,70 @@ mod tests {
         assert_eq!(report[1].name, "tier");
         assert_eq!(report[2].name, "spill");
         assert_eq!(dev.queue_depths().len(), 3);
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingObserver {
+        calls: Mutex<Vec<(String, MemberIoOp, u64)>>,
+    }
+
+    impl IoObserver for CountingObserver {
+        fn member_io(&self, member: &str, op: MemberIoOp, bytes: u64, _dur_nanos: u64) {
+            self.calls.lock().push((member.to_string(), op, bytes));
+        }
+    }
+
+    #[test]
+    fn striped_io_observer_sees_every_member_leg() {
+        let (array, _, _) = stripe2(4096, 64);
+        let obs = Arc::new(CountingObserver::default());
+        array.set_io_observer(obs.clone());
+        array.write_at(0, &[0xAA; 128]).unwrap(); // one stripe per member
+        array.persist(0, 128).unwrap();
+        let mut buf = [0u8; 128];
+        array.read_durable_at(0, &mut buf).unwrap();
+
+        let calls = obs.calls.lock();
+        let writes: Vec<_> = calls.iter().filter(|c| c.1 == MemberIoOp::Write).collect();
+        assert_eq!(writes.len(), 2);
+        assert!(writes.iter().any(|c| c.0 == "stripe-0" && c.2 == 64));
+        assert!(writes.iter().any(|c| c.0 == "stripe-1" && c.2 == 64));
+        assert_eq!(
+            calls.iter().filter(|c| c.1 == MemberIoOp::Persist).count(),
+            2
+        );
+        let read_bytes: u64 = calls
+            .iter()
+            .filter(|c| c.1 == MemberIoOp::Read)
+            .map(|c| c.2)
+            .sum();
+        assert_eq!(read_bytes, 128, "fan-out read reports every member leg");
+    }
+
+    #[test]
+    fn tiered_io_observer_labels_tier_and_spill() {
+        let (dev, _, _) = tiered(256, 4096);
+        let obs = Arc::new(CountingObserver::default());
+        dev.set_io_observer(obs.clone());
+        dev.write_at(200, &[1u8; 112]).unwrap(); // 56 bytes tier, 56 spill
+        dev.persist(200, 112).unwrap();
+        let mut buf = [0u8; 112];
+        dev.read_durable_at(200, &mut buf).unwrap();
+
+        let calls = obs.calls.lock();
+        assert!(calls
+            .iter()
+            .any(|c| c.0 == "tier" && c.1 == MemberIoOp::Write && c.2 == 56));
+        assert!(calls
+            .iter()
+            .any(|c| c.0 == "spill" && c.1 == MemberIoOp::Write && c.2 == 56));
+        assert!(calls
+            .iter()
+            .any(|c| c.0 == "tier" && c.1 == MemberIoOp::Persist));
+        assert!(calls
+            .iter()
+            .any(|c| c.0 == "spill" && c.1 == MemberIoOp::Read));
+        assert_eq!(MemberIoOp::Read.name(), "read");
     }
 
     #[test]

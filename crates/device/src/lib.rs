@@ -50,6 +50,7 @@ pub mod error;
 pub mod extent;
 pub mod file;
 pub mod network;
+pub mod observer;
 pub mod pmem;
 pub mod region;
 pub mod ssd;
@@ -64,6 +65,7 @@ pub use error::DeviceError;
 pub use extent::{chunk_digest, fnv1a, fnv1a_fold, ExtentRecord, ExtentTable, FNV_SEED};
 pub use file::FileDevice;
 pub use network::{NetworkConfig, NetworkLink, RemoteMemory};
+pub use observer::{IoObserver, MemberIoOp};
 pub use pmem::{PmemDevice, PmemWriteMode};
 pub use region::{CrashPolicy, MemRegion};
 pub use ssd::SsdDevice;

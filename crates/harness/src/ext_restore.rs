@@ -113,8 +113,7 @@ pub fn committed_store(size: ByteSize, ways: u32) -> Arc<CheckpointStore> {
     } else {
         // Each member holds its 1/ways share plus slack for rounding to
         // whole stripe units.
-        let member_cap =
-            ByteSize::from_bytes(cap.as_u64() / u64::from(ways) + 2 * STRIPE_UNIT);
+        let member_cap = ByteSize::from_bytes(cap.as_u64() / u64::from(ways) + 2 * STRIPE_UNIT);
         let members = (0..ways)
             .map(|_| Arc::new(SsdDevice::new(throttled(member_cap))) as Arc<dyn PersistentDevice>)
             .collect();
@@ -213,7 +212,10 @@ pub fn run() -> Vec<ExtRestoreRow> {
 ///
 /// Returns any I/O error.
 pub fn write_csv<W: std::io::Write>(rows: &[ExtRestoreRow], out: W) -> std::io::Result<()> {
-    let mut w = CsvWriter::new(out, &["size_mb", "ways", "readers", "restore_secs", "speedup"]);
+    let mut w = CsvWriter::new(
+        out,
+        &["size_mb", "ways", "readers", "restore_secs", "speedup"],
+    );
     for r in rows {
         w.row(&[
             &format_args!("{:.1}", r.size.as_mb()),

@@ -678,10 +678,7 @@ mod tests {
     /// forensic auditor must bless the store either way.
     #[test]
     fn parallel_restore_is_bit_identical_to_sequential_at_every_crash_point() {
-        let topologies = [
-            ForensicsRunConfig::striped(2),
-            ForensicsRunConfig::tiered(),
-        ];
+        let topologies = [ForensicsRunConfig::striped(2), ForensicsRunConfig::tiered()];
         for cfg in &topologies {
             for point in CrashPoint::ALL {
                 let parallel = run_crash_scenario_with(

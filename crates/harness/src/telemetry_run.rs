@@ -10,7 +10,10 @@
 
 use std::sync::Arc;
 
-use pccheck::{CheckpointStore, PcCheckConfig, PcCheckEngine, PccheckError};
+use pccheck::{
+    recover_instrumented, CheckpointStore, PcCheckConfig, PcCheckEngine, PccheckError,
+    RecoveryTrace,
+};
 use pccheck_baselines::{
     CheckFreqCheckpointer, GeminiCheckpointer, GpmCheckpointer, TraditionalCheckpointer,
 };
@@ -34,6 +37,11 @@ pub struct InstrumentedRunConfig {
     pub max_concurrent: usize,
     /// Synthetic-state seed.
     pub seed: u64,
+    /// After training, run the recovery path against the same device and
+    /// record its trace (PCcheck only — the baselines keep their own
+    /// store formats). Off by default because recovery opens its own
+    /// span and shifts the run's requested/committed counters.
+    pub restore_leg: bool,
 }
 
 impl Default for InstrumentedRunConfig {
@@ -45,6 +53,7 @@ impl Default for InstrumentedRunConfig {
             iter_compute: SimDuration::ZERO,
             max_concurrent: 2,
             seed: 7,
+            restore_leg: false,
         }
     }
 }
@@ -61,6 +70,9 @@ pub struct InstrumentedRun {
     pub snapshot: TelemetrySnapshot,
     /// Stall/goodput accounting derived from the event stream.
     pub accounting: RunAccounting,
+    /// Measured recovery trace, when the run included a restore leg
+    /// ([`InstrumentedRunConfig::restore_leg`]).
+    pub recovery: Option<RecoveryTrace>,
     /// The live handle, for exporting the raw events afterwards.
     pub telemetry: Telemetry,
 }
@@ -70,40 +82,54 @@ fn ssd_for(state: ByteSize, slots: u32) -> Arc<dyn PersistentDevice> {
     Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)))
 }
 
+/// A built checkpointer, plus the underlying device when its store
+/// speaks the PCcheck recovery format (used by the optional restore leg).
 fn build_checkpointer(
     strategy: &str,
     cfg: &InstrumentedRunConfig,
     gpu: &Gpu,
     telemetry: &Telemetry,
-) -> Result<Box<dyn Checkpointer>, PccheckError> {
+) -> Result<(Box<dyn Checkpointer>, Option<Arc<dyn PersistentDevice>>), PccheckError> {
     let state = gpu.state_size();
     match strategy {
         "pccheck" => {
+            let device = ssd_for(state, cfg.max_concurrent as u32 + 1);
             let engine = PcCheckEngine::new(
                 PcCheckConfig::builder()
                     .max_concurrent(cfg.max_concurrent)
                     .build()?,
-                ssd_for(state, cfg.max_concurrent as u32 + 1),
+                Arc::clone(&device),
                 state,
             )?
             .with_telemetry(telemetry.clone());
-            Ok(Box::new(engine))
+            Ok((Box::new(engine), Some(device)))
         }
-        "traditional" => Ok(Box::new(
-            TraditionalCheckpointer::new(ssd_for(state, 2), state)?
-                .with_telemetry(telemetry.clone()),
+        "traditional" => Ok((
+            Box::new(
+                TraditionalCheckpointer::new(ssd_for(state, 2), state)?
+                    .with_telemetry(telemetry.clone()),
+            ),
+            None,
         )),
-        "checkfreq" => Ok(Box::new(
-            CheckFreqCheckpointer::new(ssd_for(state, 2), state)?.with_telemetry(telemetry.clone()),
+        "checkfreq" => Ok((
+            Box::new(
+                CheckFreqCheckpointer::new(ssd_for(state, 2), state)?
+                    .with_telemetry(telemetry.clone()),
+            ),
+            None,
         )),
-        "gpm" => Ok(Box::new(
-            GpmCheckpointer::new(ssd_for(state, 2), state)?.with_telemetry(telemetry.clone()),
+        "gpm" => Ok((
+            Box::new(
+                GpmCheckpointer::new(ssd_for(state, 2), state)?.with_telemetry(telemetry.clone()),
+            ),
+            None,
         )),
         "gemini" => {
             let cap = GeminiCheckpointer::required_remote_capacity(state);
             let link = Arc::new(NetworkLink::new(NetworkConfig::fast_for_tests(), cap));
-            Ok(Box::new(
-                GeminiCheckpointer::new(link, state)?.with_telemetry(telemetry.clone()),
+            Ok((
+                Box::new(GeminiCheckpointer::new(link, state)?.with_telemetry(telemetry.clone())),
+                None,
             ))
         }
         other => Err(PccheckError::InvalidConfig(format!(
@@ -131,11 +157,18 @@ pub fn run_instrumented(
         GpuConfig::fast_for_tests(),
         TrainingState::synthetic(ByteSize::from_bytes(cfg.state_bytes), cfg.seed),
     );
-    let ckpt = build_checkpointer(strategy, cfg, &gpu, &telemetry)?;
+    let (ckpt, device) = build_checkpointer(strategy, cfg, &gpu, &telemetry)?;
     let lp = TrainingLoop::new(gpu, cfg.iter_compute)
         .with_interval(cfg.interval)
         .with_telemetry(telemetry.clone());
     let report = lp.run(cfg.iterations, ckpt.as_ref());
+    let recovery = match (cfg.restore_leg, device) {
+        (true, Some(device)) => {
+            let (_recovered, trace) = recover_instrumented(device, &telemetry)?;
+            Some(trace)
+        }
+        _ => None,
+    };
     let accounting = RunAccounting::from_events(&telemetry.events());
     let snapshot = telemetry
         .snapshot()
@@ -145,6 +178,7 @@ pub fn run_instrumented(
         report,
         snapshot,
         accounting,
+        recovery,
         telemetry,
     })
 }
@@ -183,6 +217,27 @@ mod tests {
             assert!(run.snapshot.counters.committed >= 1, "{strategy}");
             assert_eq!(run.snapshot.counters.failed, 0, "{strategy}");
         }
+    }
+
+    #[test]
+    fn restore_leg_appends_recovery_trace() {
+        let cfg = InstrumentedRunConfig {
+            restore_leg: true,
+            ..InstrumentedRunConfig::default()
+        };
+        let run = run_instrumented("pccheck", &cfg).unwrap();
+        let trace = run.recovery.expect("restore leg ran");
+        // The run checkpoints at iterations 5/10/15/20; recovery lands on
+        // the newest committed one.
+        assert_eq!(trace.iteration, 20);
+        assert!(trace.total_nanos > 0);
+        // The recovery span rides the same timeline: one extra requested
+        // span beyond the training run's four.
+        assert_eq!(run.snapshot.counters.requested, 5);
+        // Baselines have no PCcheck store to recover from; the flag is a
+        // quiet no-op there.
+        let run = run_instrumented("traditional", &cfg).unwrap();
+        assert!(run.recovery.is_none());
     }
 
     #[test]

@@ -233,6 +233,9 @@ pub struct ForensicReport {
     /// Ring cells that held data but failed checksum validation (at most
     /// the torn tail under normal operation).
     pub torn_ring_cells: u32,
+    /// Valid cells from an older lap that the scan rejected (a resurrected
+    /// stale record would otherwise forge history).
+    pub stale_ring_cells: u32,
     /// Whether the ring wrapped (history is a suffix of the run).
     pub ring_wrapped: bool,
     /// Peak concurrent in-protocol checkpoints observed in the ring.
@@ -262,9 +265,10 @@ impl ForensicReport {
         let _ = writeln!(out, "forensic audit");
         let _ = writeln!(
             out,
-            "  flight ring: {} records ({} torn cell(s){})",
+            "  flight ring: {} records ({} torn cell(s), {} stale cell(s){})",
             self.ring_records,
             self.torn_ring_cells,
+            self.stale_ring_cells,
             if self.ring_wrapped { ", wrapped" } else { "" }
         );
         match &self.expected_recovery {
@@ -336,18 +340,18 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
     let expected_recovery = view.expected_recovery();
     let concurrency_limit = (view.slots as usize).saturating_sub(1);
 
-    let (records, torn, wrapped) = if view.flight_records > 0 {
+    let (records, torn, stale, wrapped) = if view.flight_records > 0 {
         match FlightRing::scan(device.as_ref(), view.flight_base()) {
             Ok(scan) => {
                 let wrapped = scan.wrapped();
-                (scan.records, scan.torn_cells, wrapped)
+                (scan.records, scan.torn_cells, scan.stale_cells, wrapped)
             }
             // A torn ring header: report it as one torn cell and fall back
             // to metadata-only auditing rather than failing the audit.
-            Err(_) => (Vec::new(), 1, false),
+            Err(_) => (Vec::new(), 1, 0, false),
         }
     } else {
-        (Vec::new(), 0, false)
+        (Vec::new(), 0, 0, false)
     };
 
     let mut checkpoints: BTreeMap<u64, CheckpointVerdict> = BTreeMap::new();
@@ -510,6 +514,7 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
         expected_recovery,
         ring_records: records.len(),
         torn_ring_cells: torn,
+        stale_ring_cells: stale,
         ring_wrapped: wrapped,
         peak_concurrency: peak,
         concurrency_limit,

@@ -20,6 +20,9 @@
 //!   persistent flight ring against the on-device slot metadata,
 //!   classifies every checkpoint (committed / in-flight / superseded /
 //!   failed / torn), and verifies the commit protocol's invariants.
+//! * [`watchdog`] — arms a telemetry [`SloWatchdog`] with the forensic
+//!   auditor as its flight-dump provider, so black-box bundles captured
+//!   on SLO violations include the ring replay.
 //!
 //! # Examples
 //!
@@ -61,8 +64,14 @@ pub mod detector;
 pub mod diff;
 pub mod forensics;
 pub mod inspect;
+pub mod watchdog;
 
 pub use detector::{AnomalyReport, UpdateMagnitudeDetector};
 pub use diff::{diff, DiffReport};
 pub use forensics::{audit, CheckpointVerdict, ForensicReport, InFlightPhase, InvariantViolation};
 pub use inspect::CheckpointInspector;
+pub use watchdog::armed_watchdog;
+
+// Re-export the watchdog family so monitor users can configure and drive
+// an armed watchdog without a separate telemetry import.
+pub use pccheck_telemetry::{SloConfig, SloRule, SloViolation, SloWatchdog, WatchdogHandle};

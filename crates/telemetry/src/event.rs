@@ -205,6 +205,22 @@ pub enum EventKind {
         /// The 1-based iteration just completed.
         iteration: u64,
     },
+    /// One pipeline actor's completed child span: a writer's chunk run, a
+    /// restore reader's fetch/verify leg, or a composite-device member's
+    /// I/O. The event's `span` field is the *parent* checkpoint/restore
+    /// span (`SpanId::NONE` for device-level actors that outlive any one
+    /// span); the Chrome exporter renders each distinct `actor` as its own
+    /// timeline lane under the parent.
+    ActorSpan {
+        /// Stable lane label (`writer-0`, `reader-2`, `stripe-1`, ...).
+        actor: String,
+        /// Span start, nanoseconds on the recorder clock.
+        start_nanos: u64,
+        /// Span duration in nanoseconds.
+        dur_nanos: u64,
+        /// Payload bytes the actor moved during the span (0 if unknown).
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -229,6 +245,7 @@ impl EventKind {
             EventKind::Failed { .. } => "failed",
             EventKind::Anomaly { .. } => "anomaly",
             EventKind::IterationEnd { .. } => "iteration_end",
+            EventKind::ActorSpan { .. } => "actor_span",
         }
     }
 }

@@ -99,6 +99,13 @@ pub fn render_summary(snapshot: &TelemetrySnapshot, accounting: &RunAccounting) 
         snapshot.queue_depth,
         snapshot.queue_depth_peak
     );
+    if snapshot.restore_chunk_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "  restore-read {} (device\u{2192}DRAM chunk fetches)",
+            human_bytes(snapshot.restore_chunk_bytes)
+        );
+    }
     let _ = writeln!(out, "\n== phase latency ==");
     let _ = writeln!(
         out,
@@ -235,6 +242,15 @@ fn kind_fields(kind: &EventKind) -> String {
             json_f64(*ratio)
         ),
         EventKind::IterationEnd { iteration } => format!(",\"iteration\":{iteration}"),
+        EventKind::ActorSpan {
+            actor,
+            start_nanos,
+            dur_nanos,
+            bytes,
+        } => format!(
+            ",\"actor\":\"{}\",\"start_nanos\":{start_nanos},\"dur_nanos\":{dur_nanos},\"bytes\":{bytes}",
+            escape_json(actor)
+        ),
     }
 }
 
@@ -255,8 +271,17 @@ pub fn json_lines(events: &[Event]) -> String {
     out
 }
 
+/// First actor-lane `tid`; actor lanes sit far above span-id tids so
+/// writer/reader/device lanes never collide with a checkpoint span track.
+const ACTOR_TID_BASE: u64 = 900_000;
+
 /// Chrome `trace_event` JSON (`{"traceEvents":[...]}`), loadable in
 /// `chrome://tracing` and Perfetto. Timestamps are microseconds.
+///
+/// Checkpoint spans render one track per span id; hierarchical
+/// [`EventKind::ActorSpan`] children (writers, restore readers, device
+/// members) render on named per-actor lanes starting at
+/// [`ACTOR_TID_BASE`], each carrying its parent span id in `args`.
 pub fn chrome_trace(events: &[Event]) -> String {
     let mut entries: Vec<String> = Vec::with_capacity(events.len() + 1);
     entries.push(
@@ -264,6 +289,23 @@ pub fn chrome_trace(events: &[Event]) -> String {
          \"args\":{\"name\":\"pccheck\"}}"
             .to_string(),
     );
+    // Stable lane per distinct actor, assigned in first-seen order.
+    let mut actor_lanes: Vec<&str> = Vec::new();
+    for e in events {
+        if let EventKind::ActorSpan { actor, .. } = &e.kind {
+            if !actor_lanes.contains(&actor.as_str()) {
+                actor_lanes.push(actor);
+            }
+        }
+    }
+    for (i, actor) in actor_lanes.iter().enumerate() {
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            ACTOR_TID_BASE + i as u64,
+            escape_json(actor)
+        ));
+    }
     for e in events {
         let tid = e.span.0;
         let ts = micros(e.at_nanos);
@@ -293,6 +335,27 @@ pub fn chrome_trace(events: &[Event]) -> String {
             EventKind::Chunk { .. } => {
                 // Chunks are too fine-grained for a trace track; the JSONL
                 // exporter keeps them for bandwidth analysis.
+            }
+            EventKind::ActorSpan {
+                actor,
+                start_nanos,
+                dur_nanos,
+                bytes,
+            } => {
+                let lane = actor_lanes
+                    .iter()
+                    .position(|a| *a == actor.as_str())
+                    .unwrap_or(0) as u64
+                    + ACTOR_TID_BASE;
+                entries.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"actor\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{lane},\
+                     \"args\":{{\"parent_span\":{},\"bytes\":{bytes}}}}}",
+                    escape_json(actor),
+                    json_f64(micros(*start_nanos)),
+                    json_f64(micros(*dur_nanos)),
+                    e.span.0
+                ));
             }
             kind => entries.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\
@@ -372,6 +435,58 @@ mod tests {
         assert!(out.contains("\"ph\":\"C\""));
         // Chunks are deliberately omitted from the trace view.
         assert!(!out.contains("\"name\":\"chunk\""));
+    }
+
+    #[test]
+    fn actor_spans_get_named_chrome_lanes() {
+        let t = Telemetry::enabled();
+        let span = t.span_requested("pccheck", 1, 4096);
+        let s = t.now_nanos();
+        t.actor_span(span, "writer-0", s, 2048);
+        t.actor_span(span, "writer-1", s, 2048);
+        t.actor_span(SpanId::NONE, "stripe-0", s, 1024);
+        t.phase_done(span, Phase::Persist, s);
+        t.committed(span, 1, 4096);
+
+        let out = chrome_trace(&t.events());
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(out.matches(open).count(), out.matches(close).count());
+        }
+        // One thread_name metadata entry per distinct actor, and the
+        // complete events land on those lanes with the parent span id.
+        assert!(out.contains("\"name\":\"thread_name\""));
+        assert!(out.contains("\"name\":\"writer-0\""));
+        assert!(out.contains("\"name\":\"writer-1\""));
+        assert!(out.contains("\"name\":\"stripe-0\""));
+        assert!(out.contains(&format!("\"tid\":{ACTOR_TID_BASE}")));
+        assert!(out.contains(&format!("\"tid\":{}", ACTOR_TID_BASE + 2)));
+        assert!(out.contains(&format!("\"parent_span\":{}", span.0)));
+        assert!(out.contains("\"parent_span\":0"));
+
+        // The JSONL exporter flattens the same fields.
+        let lines = json_lines(&t.events());
+        assert!(lines.contains("\"event\":\"actor_span\""));
+        assert!(lines.contains("\"actor\":\"writer-1\""));
+        assert!(lines.contains("\"bytes\":1024"));
+    }
+
+    #[test]
+    fn summary_reports_restore_bytes() {
+        let t = Telemetry::enabled();
+        let span = t.span_requested("recovery", 0, 4096);
+        let s = t.now_nanos();
+        t.chunk(span, Phase::RestoreRead, 0, 4096);
+        t.phase_done(span, Phase::RestoreRead, s);
+        t.phase_done(span, Phase::RestoreVerify, s);
+        t.phase_done(span, Phase::RestoreUpload, s);
+        t.committed(span, 0, 4096);
+        let snap = t.snapshot().unwrap();
+        let acc = RunAccounting::from_events(&t.events());
+        let text = render_summary(&snap, &acc);
+        assert!(text.contains("restore-read 4.00 KiB"));
+        assert!(text.contains("restore_read"));
+        assert!(text.contains("restore_verify"));
+        assert!(text.contains("restore_upload"));
     }
 
     #[test]

@@ -233,6 +233,13 @@ pub struct RingScan {
     /// under crash-free-append discipline; more under adversarial
     /// cache-line crash policies).
     pub torn_cells: u32,
+    /// Checksum-valid cells rejected because they belonged to a *previous
+    /// lap* of the ring: an adversarial crash dropped a cell's newest
+    /// overwrite while the older record underneath stayed durable. Such a
+    /// record passes CRC and lives in its own cell, but its seq trails the
+    /// ring maximum by a full capacity or more, so splicing it into the
+    /// history would interleave two laps.
+    pub stale_cells: u32,
     /// Ring capacity in records.
     pub capacity: u32,
 }
@@ -390,9 +397,22 @@ impl FlightRing {
             }
         }
         records.sort_by_key(|r| r.seq);
+        // Reject stale laps: the only seqs that can coexist in one coherent
+        // history are the newest capacity-many, `(max_seq - capacity,
+        // max_seq]`. A survivor further back means the cell's newer
+        // overwrite was lost to a crash while the old lap's record stayed
+        // durable — keeping it would splice two laps together.
+        let mut stale = 0u32;
+        if let Some(max_seq) = records.last().map(|r| r.seq) {
+            let keep_from = max_seq.saturating_sub(u64::from(capacity) - 1);
+            let cut = records.partition_point(|r| r.seq < keep_from);
+            stale = cut as u32;
+            records.drain(..cut);
+        }
         Ok(RingScan {
             records,
             torn_cells: torn,
+            stale_cells: stale,
             capacity,
         })
     }
@@ -598,6 +618,32 @@ mod tests {
         assert!(scan.wrapped());
         let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
         assert_eq!(seqs, [7, 8, 9, 10], "newest capacity-many records");
+    }
+
+    #[test]
+    fn scan_rejects_resurrected_stale_lap() {
+        // Adversarial crash shape: a cell's newest overwrite is lost while
+        // the previous lap's record underneath stays durable. Both records
+        // pass CRC and live in their own cell; only the lap window test
+        // can tell them apart.
+        let dev = device(4096);
+        let ring = FlightRing::create(Arc::clone(&dev), 0, 4).unwrap();
+        drop(ring);
+        for seq in [1u64, 8u64] {
+            // seq 1 → cell 1 (old lap), seq 8 → cell 0 (two laps later).
+            let off = FLIGHT_HEADER_SIZE + (seq % 4) * FLIGHT_RECORD_SIZE;
+            dev.write_at(off, &sample(seq).encode()).unwrap();
+            dev.persist(off, FLIGHT_RECORD_SIZE).unwrap();
+        }
+        let scan = FlightRing::scan(dev.as_ref(), 0).unwrap();
+        let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [8], "stale lap must not be spliced into history");
+        assert_eq!(scan.stale_cells, 1);
+        assert_eq!(scan.torn_cells, 0);
+        // Reopening resumes after the true maximum, not the stale record.
+        let ring = FlightRing::open(Arc::clone(&dev), 0).unwrap();
+        ring.append(FlightEventKind::RecoveryStart, 0, u32::MAX, 0, 0, 0);
+        assert_eq!(ring.read_all().unwrap().max_seq(), Some(9));
     }
 
     #[test]

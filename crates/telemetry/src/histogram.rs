@@ -152,20 +152,53 @@ impl LatencyHistogram {
                 continue;
             }
             if seen + c >= rank {
-                // Interpolate within bucket [2^i, 2^(i+1)).
-                let lo = 1u64 << i;
+                // Interpolate within bucket [2^i, 2^(i+1)), bounded by what
+                // the bucket can actually contain: the floor is the exact
+                // min (binds in the min's own bucket), the ceiling is the
+                // bucket's largest representable value — or the exact max,
+                // whichever is smaller. With few samples the tail rank used
+                // to interpolate up to the *next* bucket's lower edge
+                // (frac == 1 → est == hi); clamping to the attainable top
+                // keeps small-n p95/p99 from reporting past the data.
+                let lo = (1u64 << i).max(self.min_nanos());
                 let hi = if i + 1 >= 64 {
                     u64::MAX
                 } else {
-                    1u64 << (i + 1)
+                    (1u64 << (i + 1)) - 1
                 };
+                let top = hi.min(self.max_nanos()).max(lo);
                 let frac = (rank - seen) as f64 / c as f64;
-                let est = lo as f64 + frac * (hi - lo) as f64;
+                let est = lo as f64 + frac * (top - lo) as f64;
                 return (est as u64).clamp(self.min_nanos(), self.max_nanos());
             }
             seen += c;
         }
         self.max_nanos()
+    }
+
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    ///
+    /// This is the raw shape behind [`quantile`](Self::quantile); the
+    /// metrics registry exposes it as Prometheus `le` buckets, and the SLO
+    /// watchdog diffs successive snapshots of it to compute quantiles over
+    /// a rolling window.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`, saturating to
+    /// `u64::MAX` for the last bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub const fn bucket_bound(i: usize) -> u64 {
+        assert!(i < BUCKETS);
+        if i + 1 >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
     }
 
     /// A point-in-time summary (count, min/max, p50/p95/p99).
@@ -257,6 +290,81 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn quantile_out_of_range_panics() {
         LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn small_sample_tail_quantiles_clamp_to_observed_max() {
+        // Regression: whenever the nearest-rank tail rank ceil(q*n) equals
+        // the count — true for every n <= 19 at p95 and n <= 99 at p99 —
+        // the quantile must be the *exact* max, not an interpolation.
+        for n in [1u64, 3, 10, 19] {
+            let h = LatencyHistogram::new();
+            for i in 0..n {
+                h.record(600 + i);
+            }
+            assert_eq!(h.quantile(0.95), h.max_nanos(), "p95 with n={n}");
+            assert_eq!(h.quantile(0.99), h.max_nanos(), "p99 with n={n}");
+        }
+        for n in [50u64, 99] {
+            let h = LatencyHistogram::new();
+            for i in 0..n {
+                h.record(1_000 + i * 7);
+            }
+            assert_eq!(h.quantile(0.99), h.max_nanos(), "p99 with n={n}");
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_inside_the_winning_bucket() {
+        // 24 samples at 600ns (bucket [512, 1024)) and one outlier. The
+        // p95 rank (24) is the last sample of the 600ns bucket: the old
+        // full-bucket interpolation returned 1024 — the *next* bucket's
+        // lower edge. The estimate must stay within the winning bucket.
+        let h = LatencyHistogram::new();
+        for _ in 0..24 {
+            h.record(600);
+        }
+        h.record(40_000);
+        let p95 = h.quantile(0.95);
+        assert!(p95 >= 600 && p95 <= 1023, "p95 = {p95}");
+        // The outlier itself is still reported exactly at the extreme rank.
+        assert_eq!(h.quantile(0.99), 40_000);
+        assert_eq!(h.quantile(1.0), 40_000);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_observed_max() {
+        // Mini property sweep: whatever the shape, no quantile escapes the
+        // observed [min, max] envelope.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let h = LatencyHistogram::new();
+        for _ in 0..37 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000 + 1);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= h.min_nanos() && v <= h.max_nanos(), "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn bucket_counts_expose_raw_shape() {
+        let h = LatencyHistogram::new();
+        h.record(1);
+        h.record(3);
+        h.record(600);
+        h.record(600);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 2);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(LatencyHistogram::bucket_bound(0), 1);
+        assert_eq!(LatencyHistogram::bucket_bound(9), 1023);
+        assert_eq!(LatencyHistogram::bucket_bound(63), u64::MAX);
     }
 
     #[test]

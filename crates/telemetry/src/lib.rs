@@ -47,6 +47,10 @@
 //!   rollback depth, goodput.
 //! * [`export`] — [`render_summary`], [`json_lines`], [`chrome_trace`]
 //!   (Perfetto-loadable).
+//! * [`registry`] — [`MetricsRegistry`], [`MetricsServer`]: live
+//!   Prometheus/JSON exposition over the shared recorder.
+//! * [`watchdog`] — [`SloWatchdog`]: rolling-window SLO evaluation with
+//!   black-box capture on violation.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +79,8 @@ pub mod export;
 pub mod flight;
 pub mod histogram;
 pub mod recorder;
+pub mod registry;
+pub mod watchdog;
 
 pub use accounting::{GoodputEstimate, RunAccounting};
 pub use counters::{CheckpointCounters, CountersSnapshot};
@@ -85,4 +91,12 @@ pub use flight::{
     FLIGHT_RECORD_SIZE,
 };
 pub use histogram::{HistogramSummary, LatencyHistogram};
-pub use recorder::{MemoryRecorder, Telemetry, TelemetrySnapshot, MAX_TRACKED_DEVICES};
+pub use recorder::{
+    MemoryRecorder, Telemetry, TelemetryIoObserver, TelemetrySnapshot, MAX_TRACKED_DEVICES,
+};
+pub use registry::{
+    http_get, validate_prometheus_text, MetricsRegistry, MetricsServer, METRICS_SCHEMA,
+};
+pub use watchdog::{
+    SloConfig, SloRule, SloViolation, SloWatchdog, WatchdogHandle, BLACKBOX_SCHEMA,
+};

@@ -140,6 +140,33 @@ impl MemoryRecorder {
         &self.counters
     }
 
+    /// The latency histogram behind `phase`'s summary, for exposition
+    /// layers (the metrics registry, the SLO watchdog) that need raw
+    /// bucket counts rather than a [`HistogramSummary`].
+    pub fn phase_hist(&self, phase: Phase) -> &LatencyHistogram {
+        &self.phase_hist[phase.index()]
+    }
+
+    /// The training-thread stall histogram (raw buckets).
+    pub fn stall_hist(&self) -> &LatencyHistogram {
+        &self.stall_hist
+    }
+
+    /// The per-chunk device-write-stage histogram (raw buckets).
+    pub fn write_stage_hist(&self) -> &LatencyHistogram {
+        &self.write_stage_hist
+    }
+
+    /// The per-chunk device-persist-stage histogram (raw buckets).
+    pub fn persist_stage_hist(&self) -> &LatencyHistogram {
+        &self.persist_stage_hist
+    }
+
+    /// The per-chunk device-read-stage histogram (raw buckets).
+    pub fn read_stage_hist(&self) -> &LatencyHistogram {
+        &self.read_stage_hist
+    }
+
     /// All recorded events merged into one timeline ordered by timestamp.
     pub fn events(&self) -> Vec<Event> {
         let mut all = Vec::new();
@@ -442,6 +469,28 @@ impl Telemetry {
         });
     }
 
+    /// Records one pipeline actor's completed child span under `parent`:
+    /// a writer's chunk run, a restore reader's fetch leg, or a
+    /// composite-device member's I/O. `start_nanos` comes from
+    /// [`Telemetry::now_nanos`] when the actor began; the duration is
+    /// measured to now. Unlike phase events this also records against
+    /// [`SpanId::NONE`] parents, because device-member actors outlive any
+    /// single checkpoint span.
+    pub fn actor_span(&self, parent: SpanId, actor: &str, start_nanos: u64, bytes: u64) {
+        let Some(r) = &self.inner else { return };
+        let now = r.now_nanos();
+        r.push(Event {
+            span: parent,
+            at_nanos: now,
+            kind: EventKind::ActorSpan {
+                actor: actor.to_string(),
+                start_nanos,
+                dur_nanos: now.saturating_sub(start_nanos),
+                bytes,
+            },
+        });
+    }
+
     /// Records completion of training `iteration` (run-level event; feeds
     /// goodput/rollback accounting).
     pub fn iteration_end(&self, iteration: u64) {
@@ -522,6 +571,45 @@ impl Telemetry {
     /// Point-in-time metrics rollup (`None` when disabled).
     pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
         self.inner.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// Bridges composite-device member I/O into the telemetry stream.
+///
+/// Register on a [`StripedDevice`](pccheck_device::StripedDevice) or
+/// [`TieredDevice`](pccheck_device::TieredDevice) via `set_io_observer`:
+/// every member-level write/persist/read then lands in the timeline as an
+/// [`EventKind::ActorSpan`] under [`SpanId::NONE`] (device members outlive
+/// any single checkpoint span), so the Chrome-trace exporter renders one
+/// lane per member (`stripe-0`, `tier`, `spill`, …).
+#[derive(Debug, Clone)]
+pub struct TelemetryIoObserver {
+    telemetry: Telemetry,
+}
+
+impl TelemetryIoObserver {
+    /// Wraps a telemetry handle; disabled handles make the observer inert.
+    pub fn new(telemetry: Telemetry) -> Self {
+        TelemetryIoObserver { telemetry }
+    }
+}
+
+impl pccheck_device::IoObserver for TelemetryIoObserver {
+    fn member_io(&self, member: &str, _op: pccheck_device::MemberIoOp, bytes: u64, dur_nanos: u64) {
+        let Some(r) = &self.telemetry.inner else {
+            return;
+        };
+        let now = r.now_nanos();
+        r.push(Event {
+            span: SpanId::NONE,
+            at_nanos: now,
+            kind: EventKind::ActorSpan {
+                actor: member.to_string(),
+                start_nanos: now.saturating_sub(dur_nanos),
+                dur_nanos,
+                bytes,
+            },
+        });
     }
 }
 
@@ -672,6 +760,35 @@ mod tests {
         d.gauge_dirty_ratio(1);
         d.add_delta_bytes_saved(1);
         assert!(d.snapshot().is_none());
+    }
+
+    #[test]
+    fn io_observer_bridges_member_io_into_actor_spans() {
+        use pccheck_device::IoObserver as _;
+        let t = Telemetry::enabled();
+        let obs = TelemetryIoObserver::new(t.clone());
+        obs.member_io("stripe-0", pccheck_device::MemberIoOp::Write, 4096, 1000);
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].span, SpanId::NONE);
+        match &events[0].kind {
+            EventKind::ActorSpan {
+                actor,
+                start_nanos,
+                dur_nanos,
+                bytes,
+            } => {
+                assert_eq!(actor, "stripe-0");
+                assert_eq!(*dur_nanos, 1000);
+                assert_eq!(*bytes, 4096);
+                assert_eq!(events[0].at_nanos, start_nanos + dur_nanos);
+            }
+            other => panic!("unexpected event kind {other:?}"),
+        }
+
+        // A disabled handle keeps the observer inert.
+        let inert = TelemetryIoObserver::new(Telemetry::disabled());
+        inert.member_io("tier", pccheck_device::MemberIoOp::Read, 1, 1);
     }
 
     #[test]

@@ -1,0 +1,708 @@
+//! The live metrics registry: on-demand exposition of every counter,
+//! gauge, and histogram a [`Telemetry`] recorder holds.
+//!
+//! PRs 1–5 made the recorder rich but *post-hoc*: the numbers were only
+//! reachable by draining the run and rendering a summary. The registry
+//! closes that gap for the ROADMAP's live consumers (adaptive tuning, the
+//! multi-tenant daemon, peer-health watchdogs): [`MetricsRegistry`]
+//! snapshots the shared recorder on demand into a stable schema and
+//! renders it as Prometheus text exposition ([`prometheus_text`]) or a
+//! single JSON object ([`json`]); [`MetricsServer`] serves both over a
+//! minimal hand-rolled HTTP listener (`GET /metrics`, `GET
+//! /metrics.json`) so `pccheckctl serve` and `examples/metrics_server.rs`
+//! stay dependency-free.
+//!
+//! Metric names are part of the schema: `pccheck_` prefix, `_total`
+//! suffix on monotonic counters, nanosecond histograms with power-of-two
+//! `le` bounds matching [`LatencyHistogram`]'s buckets.
+//!
+//! [`prometheus_text`]: MetricsRegistry::prometheus_text
+//! [`json`]: MetricsRegistry::json
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::event::Phase;
+use crate::histogram::LatencyHistogram;
+use crate::recorder::{Telemetry, TelemetrySnapshot};
+
+/// Schema identifier stamped into the JSON exposition so downstream
+/// scrapers can detect format changes.
+pub const METRICS_SCHEMA: &str = "pccheck.metrics.v1";
+
+/// On-demand exposition over a shared [`Telemetry`] recorder.
+///
+/// Cloning is cheap (the handle inside is an `Arc` clone); a registry
+/// built over a disabled handle renders empty-but-valid documents.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    telemetry: Telemetry,
+}
+
+/// Emits one Prometheus histogram from raw bucket counts: cumulative
+/// `_bucket{le=...}` series (only buckets that move the count, plus
+/// `+Inf`), then `_sum` and `_count`.
+fn prom_histogram(out: &mut String, name: &str, labels: &str, hist: &LatencyHistogram) {
+    let counts = hist.bucket_counts();
+    let total: u64 = counts.iter().sum();
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cum = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        if *c == 0 {
+            continue;
+        }
+        cum += c;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cum}",
+            LatencyHistogram::bucket_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {total}");
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", hist.sum_nanos());
+        let _ = writeln!(out, "{name}_count {total}");
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", hist.sum_nanos());
+        let _ = writeln!(out, "{name}_count{{{labels}}} {total}");
+    }
+}
+
+fn prom_metric(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Serializes one histogram summary as a JSON object (no surrounding key).
+fn json_summary(s: &crate::histogram::HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"sum_nanos\":{},\"min_nanos\":{},\"max_nanos\":{},\
+         \"p50_nanos\":{},\"p95_nanos\":{},\"p99_nanos\":{}}}",
+        s.count, s.sum_nanos, s.min_nanos, s.max_nanos, s.p50_nanos, s.p95_nanos, s.p99_nanos
+    )
+}
+
+impl MetricsRegistry {
+    /// A registry exposing `telemetry`'s shared recorder.
+    pub fn new(telemetry: Telemetry) -> Self {
+        MetricsRegistry { telemetry }
+    }
+
+    /// The handle this registry snapshots.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// One consistent rollup of everything the recorder holds (`None`
+    /// when the handle is disabled).
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.snapshot()
+    }
+
+    /// Prometheus text exposition (format version 0.0.4) of the current
+    /// recorder state. Stable names: `pccheck_*`, `_total` counters,
+    /// nanosecond histograms with power-of-two `le` bounds.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let Some(snap) = self.telemetry.snapshot() else {
+            let _ = writeln!(out, "# pccheck telemetry disabled: no metrics");
+            return out;
+        };
+        let c = &snap.counters;
+        for (name, help, v) in [
+            (
+                "pccheck_checkpoints_requested_total",
+                "Checkpoint requests accepted.",
+                c.requested,
+            ),
+            (
+                "pccheck_checkpoints_committed_total",
+                "Checkpoints that became the latest committed state.",
+                c.committed,
+            ),
+            (
+                "pccheck_checkpoints_superseded_total",
+                "Checkpoints that lost the commit race.",
+                c.superseded,
+            ),
+            (
+                "pccheck_checkpoints_failed_total",
+                "Checkpoints that failed.",
+                c.failed,
+            ),
+            (
+                "pccheck_bytes_persisted_total",
+                "Payload bytes of committed checkpoints.",
+                c.bytes_persisted,
+            ),
+            (
+                "pccheck_gpu_copy_bytes_total",
+                "Bytes moved by the GPU-to-DRAM copy phase.",
+                snap.gpu_copy_bytes,
+            ),
+            (
+                "pccheck_persist_chunk_bytes_total",
+                "Bytes moved by the DRAM-to-device persist phase.",
+                snap.persist_chunk_bytes,
+            ),
+            (
+                "pccheck_restore_chunk_bytes_total",
+                "Bytes moved by the device-to-DRAM restore-read phase.",
+                snap.restore_chunk_bytes,
+            ),
+            (
+                "pccheck_delta_bytes_saved_total",
+                "Payload bytes the delta path avoided persisting.",
+                snap.delta_bytes_saved,
+            ),
+        ] {
+            prom_metric(&mut out, name, "counter", help);
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, help, v) in [
+            (
+                "pccheck_in_flight",
+                "Checkpoints between request and terminal event.",
+                snap.in_flight,
+            ),
+            (
+                "pccheck_in_flight_peak",
+                "High-water mark of concurrent in-flight checkpoints.",
+                snap.in_flight_peak,
+            ),
+            (
+                "pccheck_queue_depth",
+                "Last observed free-slot queue depth.",
+                snap.queue_depth,
+            ),
+            (
+                "pccheck_queue_depth_peak",
+                "High-water mark of the free-slot queue depth.",
+                snap.queue_depth_peak,
+            ),
+            (
+                "pccheck_dirty_ratio_permille",
+                "Last observed delta-checkpoint dirty ratio, permille.",
+                snap.dirty_ratio_permille,
+            ),
+            (
+                "pccheck_window_nanos",
+                "Nanoseconds since the recorder epoch.",
+                snap.window_nanos,
+            ),
+        ] {
+            prom_metric(&mut out, name, "gauge", help);
+            let _ = writeln!(out, "{name} {v}");
+        }
+        prom_metric(
+            &mut out,
+            "pccheck_stall_fraction",
+            "gauge",
+            "Fraction of the window the training thread spent stalled.",
+        );
+        let _ = writeln!(out, "pccheck_stall_fraction {}", snap.stall_fraction());
+        prom_metric(
+            &mut out,
+            "pccheck_device_queue_depth",
+            "gauge",
+            "Last observed submission-queue depth per tracked device.",
+        );
+        for (i, depth) in snap.device_queue_depth.iter().enumerate() {
+            let _ = writeln!(out, "pccheck_device_queue_depth{{device=\"{i}\"}} {depth}");
+        }
+        prom_metric(
+            &mut out,
+            "pccheck_device_queue_peak",
+            "gauge",
+            "High-water submission-queue depth per tracked device.",
+        );
+        for (i, peak) in snap.device_queue_peak.iter().enumerate() {
+            let _ = writeln!(out, "pccheck_device_queue_peak{{device=\"{i}\"}} {peak}");
+        }
+        if let Some(r) = self.telemetry.recorder() {
+            prom_metric(
+                &mut out,
+                "pccheck_phase_latency_nanos",
+                "histogram",
+                "Checkpoint/recovery lifecycle phase latency.",
+            );
+            for phase in Phase::ALL {
+                let hist = r.phase_hist(phase);
+                if hist.count() == 0 {
+                    continue;
+                }
+                prom_histogram(
+                    &mut out,
+                    "pccheck_phase_latency_nanos",
+                    &format!("phase=\"{}\"", phase.name()),
+                    hist,
+                );
+            }
+            for (name, help, hist) in [
+                (
+                    "pccheck_stall_nanos",
+                    "Training-thread stall time per checkpoint() call.",
+                    r.stall_hist(),
+                ),
+                (
+                    "pccheck_dev_write_nanos",
+                    "Per-chunk device write latency.",
+                    r.write_stage_hist(),
+                ),
+                (
+                    "pccheck_dev_persist_nanos",
+                    "Per-chunk device persist (fence) latency.",
+                    r.persist_stage_hist(),
+                ),
+                (
+                    "pccheck_dev_read_nanos",
+                    "Per-chunk device read latency (restore path).",
+                    r.read_stage_hist(),
+                ),
+            ] {
+                if hist.count() == 0 {
+                    continue;
+                }
+                prom_metric(&mut out, name, "histogram", help);
+                prom_histogram(&mut out, name, "", hist);
+            }
+        }
+        out
+    }
+
+    /// The whole snapshot as one JSON object with a stable
+    /// [`METRICS_SCHEMA`] tag (hand-rolled, like every exporter in this
+    /// crate).
+    pub fn json(&self) -> String {
+        let Some(snap) = self.telemetry.snapshot() else {
+            return format!("{{\"schema\":\"{METRICS_SCHEMA}\",\"enabled\":false}}\n");
+        };
+        let c = &snap.counters;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{METRICS_SCHEMA}\",\"enabled\":true,\
+             \"window_nanos\":{},\"counters\":{{\
+             \"requested\":{},\"committed\":{},\"superseded\":{},\
+             \"failed\":{},\"bytes_persisted\":{},\"gpu_copy_bytes\":{},\
+             \"persist_chunk_bytes\":{},\"restore_chunk_bytes\":{},\
+             \"delta_bytes_saved\":{}}},\"gauges\":{{\
+             \"in_flight\":{},\"in_flight_peak\":{},\"queue_depth\":{},\
+             \"queue_depth_peak\":{},\"dirty_ratio_permille\":{},\
+             \"stall_fraction\":{}}}",
+            snap.window_nanos,
+            c.requested,
+            c.committed,
+            c.superseded,
+            c.failed,
+            c.bytes_persisted,
+            snap.gpu_copy_bytes,
+            snap.persist_chunk_bytes,
+            snap.restore_chunk_bytes,
+            snap.delta_bytes_saved,
+            snap.in_flight,
+            snap.in_flight_peak,
+            snap.queue_depth,
+            snap.queue_depth_peak,
+            snap.dirty_ratio_permille,
+            snap.stall_fraction(),
+        );
+        let depths: Vec<String> = snap.device_queue_depth.iter().map(u64::to_string).collect();
+        let peaks: Vec<String> = snap.device_queue_peak.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            ",\"device_queue_depth\":[{}],\"device_queue_peak\":[{}],\"histograms\":{{",
+            depths.join(","),
+            peaks.join(",")
+        );
+        let mut first = true;
+        for phase in Phase::ALL {
+            let s = snap.phase(phase);
+            if s.count == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "{}\"phase_{}\":{}",
+                if first { "" } else { "," },
+                phase.name(),
+                json_summary(s)
+            );
+            first = false;
+        }
+        for (name, s) in [
+            ("stall", &snap.stall),
+            ("dev_write", &snap.write_stage),
+            ("dev_persist", &snap.persist_stage),
+            ("dev_read", &snap.read_stage),
+        ] {
+            if s.count == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "{}\"{}\":{}",
+                if first { "" } else { "," },
+                name,
+                json_summary(s)
+            );
+            first = false;
+        }
+        let _ = writeln!(out, "}}}}");
+        out
+    }
+
+    /// A compact one-screen console view (the `pccheckctl top` refresh
+    /// body): lifecycle counts, stall fraction, hot-phase latencies, and
+    /// queue pressure.
+    pub fn console_view(&self) -> String {
+        let mut out = String::new();
+        let Some(snap) = self.telemetry.snapshot() else {
+            let _ = writeln!(out, "telemetry disabled");
+            return out;
+        };
+        let c = &snap.counters;
+        let _ = writeln!(
+            out,
+            "ckpt req {} ok {} lost {} fail {} | in-flight {}/{} | stall {:.2}%",
+            c.requested,
+            c.committed,
+            c.superseded,
+            c.failed,
+            snap.in_flight,
+            snap.in_flight_peak,
+            snap.stall_fraction() * 100.0
+        );
+        for phase in [
+            Phase::TicketWait,
+            Phase::GpuCopy,
+            Phase::Persist,
+            Phase::Commit,
+        ] {
+            let s = snap.phase(phase);
+            if s.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<11} n={:<6} p50 {:>9}ns p99 {:>9}ns max {:>9}ns",
+                phase.name(),
+                s.count,
+                s.p50_nanos,
+                s.p99_nanos,
+                s.max_nanos
+            );
+        }
+        let peaks: Vec<String> = snap
+            .device_queue_peak
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0)
+            .map(|(i, p)| format!("dev{i}={}/{p}", snap.device_queue_depth[i]))
+            .collect();
+        if !peaks.is_empty() {
+            let _ = writeln!(out, "  queues: {}", peaks.join(" "));
+        }
+        out
+    }
+}
+
+/// A minimal metrics HTTP endpoint over [`std::net::TcpListener`].
+///
+/// Routes: `GET /metrics` (Prometheus text), `GET /metrics.json` (the
+/// registry's JSON document); everything else is 404. One accept loop on
+/// a background thread, one request per connection — deliberately tiny,
+/// for scrapes and `curl`, not for load.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn serve_one(stream: TcpStream, registry: &MetricsRegistry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let response = if method != "GET" {
+        http_response("405 Method Not Allowed", "text/plain", "GET only\n")
+    } else {
+        match path {
+            "/metrics" => http_response(
+                "200 OK",
+                "text/plain; version=0.0.4",
+                &registry.prometheus_text(),
+            ),
+            "/metrics.json" => http_response("200 OK", "application/json", &registry.json()),
+            _ => http_response("404 Not Found", "text/plain", "try /metrics\n"),
+        }
+    };
+    let mut stream = reader.into_inner();
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/listen error as a string.
+    pub fn bind(addr: &str, registry: MetricsRegistry) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| e.to_string())?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(false);
+                        serve_one(stream, &registry);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Fetches `path` from a running [`MetricsServer`] over a plain TCP GET —
+/// the client half of the endpoint, used by `pccheckctl top` in remote
+/// mode and the smoke tests.
+///
+/// # Errors
+///
+/// Returns connect/read errors as strings; the response must be an HTTP
+/// 200 or the status line is returned as the error.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).map_err(|e| e.to_string())?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: pccheck\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err("malformed HTTP response".into());
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(format!("unexpected status: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Validates Prometheus text exposition shape: every non-comment line is
+/// `name[{labels}] value`, histogram `_bucket` series are cumulative and
+/// end with `+Inf`. Returns the number of samples on success.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value on line: {line}"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("bad value {value:?} on line: {line}"))?;
+        let name = name_part.split('{').next().unwrap_or(name_part);
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("bad metric name on line: {line}"));
+        }
+        if name_part.contains('{') && !name_part.ends_with('}') {
+            return Err(format!("unterminated labels on line: {line}"));
+        }
+        if name.ends_with("_bucket") {
+            // Cumulative within one series: the count must not decrease.
+            let series = name_part
+                .split("le=")
+                .next()
+                .unwrap_or(name_part)
+                .to_string();
+            let count = value.parse::<f64>().map_err(|e| e.to_string())? as u64;
+            if let Some((prev_series, prev_count)) = &last_bucket {
+                if *prev_series == series && count < *prev_count {
+                    return Err(format!("non-cumulative buckets at: {line}"));
+                }
+            }
+            last_bucket = Some((series, count));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanId;
+
+    fn active_registry() -> MetricsRegistry {
+        let t = Telemetry::enabled();
+        let span = t.span_requested("pccheck", 1, 4096);
+        let s = t.now_nanos();
+        t.chunk(span, Phase::Persist, 0, 4096);
+        t.phase_done(span, Phase::GpuCopy, s);
+        t.phase_done(span, Phase::Persist, s);
+        t.phase_done(span, Phase::Commit, s);
+        t.stall(span, 1500);
+        t.stage_write(800);
+        t.gauge_device_queue(0, 2);
+        t.committed(span, 1, 4096);
+        t.actor_span(span, "writer-0", s, 4096);
+        MetricsRegistry::new(t)
+    }
+
+    #[test]
+    fn prometheus_text_has_stable_names_and_parses() {
+        let reg = active_registry();
+        let text = reg.prometheus_text();
+        assert!(text.contains("pccheck_checkpoints_requested_total 1"));
+        assert!(text.contains("pccheck_checkpoints_committed_total 1"));
+        assert!(text.contains("pccheck_bytes_persisted_total 4096"));
+        assert!(text.contains("pccheck_persist_chunk_bytes_total 4096"));
+        assert!(text.contains("pccheck_in_flight 0"));
+        assert!(text.contains("pccheck_phase_latency_nanos_bucket{phase=\"persist\""));
+        assert!(text.contains("pccheck_phase_latency_nanos_count{phase=\"commit\"} 1"));
+        assert!(text.contains("pccheck_stall_nanos_sum 1500"));
+        assert!(text.contains("pccheck_dev_write_nanos_count 1"));
+        assert!(text.contains("le=\"+Inf\""));
+        let samples = validate_prometheus_text(&text).expect("exposition parses");
+        assert!(samples > 20, "expected a rich exposition, got {samples}");
+    }
+
+    #[test]
+    fn disabled_registry_renders_valid_documents() {
+        let reg = MetricsRegistry::new(Telemetry::disabled());
+        let text = reg.prometheus_text();
+        assert!(text.starts_with('#'));
+        assert_eq!(validate_prometheus_text(&text), Ok(0));
+        let json = reg.json();
+        assert!(json.contains("\"enabled\":false"));
+        assert!(reg.snapshot().is_none());
+        assert!(reg.console_view().contains("disabled"));
+    }
+
+    #[test]
+    fn json_document_is_balanced_and_tagged() {
+        let reg = active_registry();
+        let json = reg.json();
+        assert!(json.contains(METRICS_SCHEMA));
+        assert!(json.contains("\"requested\":1"));
+        assert!(json.contains("\"phase_persist\":{"));
+        assert!(json.contains("\"stall\":{"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn console_view_shows_lifecycle_and_phases() {
+        let reg = active_registry();
+        let view = reg.console_view();
+        assert!(view.contains("ckpt req 1 ok 1"));
+        assert!(view.contains("persist"));
+        assert!(view.contains("dev0="));
+    }
+
+    #[test]
+    fn server_serves_both_routes() {
+        let reg = active_registry();
+        let server = MetricsServer::bind("127.0.0.1:0", reg).expect("bind");
+        let addr = server.addr();
+        let prom = http_get(addr, "/metrics").expect("prom route");
+        assert!(prom.contains("pccheck_checkpoints_requested_total"));
+        assert!(validate_prometheus_text(&prom).is_ok());
+        let json = http_get(addr, "/metrics.json").expect("json route");
+        assert!(json.contains(METRICS_SCHEMA));
+        assert!(http_get(addr, "/nope").is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_prometheus_text("pccheck_x{broken 1").is_err());
+        assert!(validate_prometheus_text("bad name 1").is_err());
+        assert!(validate_prometheus_text("pccheck_x nope").is_err());
+        assert_eq!(validate_prometheus_text("# only comments\n"), Ok(0));
+        let _ = SpanId::NONE;
+    }
+}

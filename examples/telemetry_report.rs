@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         iter_compute: SimDuration::from_millis(1),
         max_concurrent: 2,
         seed: 42,
+        ..InstrumentedRunConfig::default()
     };
 
     // Full summary for PCcheck, the paper's contribution.

@@ -27,19 +27,36 @@
 //! leaving the file as a power failure would. `forensics` replays the
 //! flight ring against the slot metadata and exits nonzero if any commit-
 //! protocol invariant is violated.
+//!
+//! The live-introspection trio exposes a *running* workload instead of a
+//! finished one: `serve` trains while serving the metrics registry over
+//! HTTP (`GET /metrics`, `GET /metrics.json`), `top` renders a periodic
+//! console view (of its own workload with `self`, or of a remote `serve`
+//! endpoint by address), and `watchdog` drives a deliberately throttled
+//! workload under tight SLOs until the watchdog trips and captures a
+//! black-box bundle — the CI smoke for the whole observability layer.
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use pccheck::{recover_instrumented_with, recovery, CheckpointStore, PcCheckConfig, PcCheckEngine, RestoreOptions};
-use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice, StripedDevice};
+use pccheck::{
+    recover_instrumented_with, recovery, CheckpointStore, PcCheckConfig, PcCheckEngine,
+    RestoreOptions,
+};
+use pccheck_device::{DeviceConfig, FileDevice, PersistentDevice, SsdDevice, StripedDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_harness::forensics_run::{
     commit_checkpoint, drive_to_crash_point, synthetic_payload, CrashPoint,
 };
 use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig, STRATEGIES};
-use pccheck_telemetry::{chrome_trace, json_lines, render_summary, Telemetry};
-use pccheck_util::ByteSize;
+use pccheck_monitor::{armed_watchdog, SloConfig};
+use pccheck_telemetry::{
+    chrome_trace, http_get, json_lines, render_summary, validate_prometheus_text, MetricsRegistry,
+    MetricsServer, Telemetry, TelemetryIoObserver,
+};
+use pccheck_util::{Bandwidth, ByteSize};
 
 /// Demo geometry: a 1 MB training state, N=2 concurrent checkpoints.
 const STATE_BYTES: u64 = 1024 * 1024;
@@ -58,6 +75,9 @@ fn usage() -> ExitCode {
     eprintln!("       pccheckctl crashdemo <store-file> [crash-point]");
     eprintln!("       pccheckctl forensics <store-file>");
     eprintln!("       pccheckctl device <store-file> [stripe-ways]");
+    eprintln!("       pccheckctl serve <addr> [iterations]");
+    eprintln!("       pccheckctl top <addr|self> [refreshes]");
+    eprintln!("       pccheckctl watchdog <out-dir> [iterations]");
     eprintln!("  demo       create the store and run a checkpointed training demo");
     eprintln!("  info       print the store header and checkpoint history");
     eprintln!("  recover    load the latest committed checkpoint through the parallel");
@@ -78,6 +98,14 @@ fn usage() -> ExitCode {
     eprintln!("  device     run a short checkpointed demo against a single file");
     eprintln!("             or a <stripe-ways>-wide RAID-0 of files, then print");
     eprintln!("             per-device I/O stats (each stripe member separately)");
+    eprintln!("  serve      train in-memory while serving GET /metrics (Prometheus");
+    eprintln!("             text) and GET /metrics.json on <addr> (e.g. 127.0.0.1:9464;");
+    eprintln!("             port 0 picks an ephemeral one), then self-scrape + validate");
+    eprintln!("  top        periodic console view: `self` runs its own workload,");
+    eprintln!("             an address polls a running `serve` endpoint remotely");
+    eprintln!("  watchdog   run a throttled workload under tight SLOs; the watchdog");
+    eprintln!("             must trip and capture a black-box bundle into <out-dir>");
+    eprintln!("             (violation.json, metrics, Chrome trace, forensic audit)");
     ExitCode::from(2)
 }
 
@@ -323,6 +351,207 @@ fn cmd_device(path: &str, ways: u32) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_serve(addr: &str, iterations: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry = Telemetry::enabled();
+    let server = MetricsServer::bind(addr, MetricsRegistry::new(telemetry.clone()))?;
+    println!(
+        "serving GET /metrics and GET /metrics.json at http://{}",
+        server.addr()
+    );
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED),
+    );
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent((SLOTS - 1) as usize)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_kb(128))
+            .dram_chunks(8)
+            .build()?,
+        Arc::new(SsdDevice::new(device_config())),
+        gpu.state_size(),
+    )?
+    .with_telemetry(telemetry.clone());
+    let interval = 5u64;
+    println!("training {iterations} iterations, checkpointing every {interval}; scrape away");
+    for iter in 1..=iterations {
+        gpu.update();
+        if iter % interval == 0 {
+            engine.checkpoint(&gpu, iter);
+        }
+        // Leave the scraper a window: this demo is about exposition, not
+        // peak iteration rate.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    engine.drain();
+    let prom = http_get(server.addr(), "/metrics")?;
+    let samples = validate_prometheus_text(&prom)?;
+    println!("final self-scrape: {samples} samples, exposition parses");
+    server.shutdown();
+    Ok(())
+}
+
+fn cmd_top(target: &str, refreshes: u64) -> Result<(), Box<dyn std::error::Error>> {
+    if let Ok(addr) = target.parse::<SocketAddr>() {
+        // Remote mode: poll a running `pccheckctl serve` endpoint.
+        for round in 1..=refreshes {
+            let prom = http_get(addr, "/metrics")?;
+            println!("-- {addr} refresh {round}/{refreshes} --");
+            for line in prom.lines() {
+                if line.starts_with("pccheck_checkpoints_")
+                    || line.starts_with("pccheck_in_flight")
+                    || line.starts_with("pccheck_queue_depth")
+                    || line.starts_with("pccheck_stall_fraction")
+                {
+                    println!("  {line}");
+                }
+            }
+            if round < refreshes {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+        }
+        return Ok(());
+    }
+    if target != "self" {
+        return Err(format!("top target {target:?} is neither an address nor `self`").into());
+    }
+    // Local mode: run a workload on a background thread and render the
+    // registry's console view while it progresses.
+    let telemetry = Telemetry::enabled();
+    let registry = MetricsRegistry::new(telemetry.clone());
+    let worker = {
+        let telemetry = telemetry.clone();
+        std::thread::spawn(move || -> Result<(), pccheck::PccheckError> {
+            let gpu = Gpu::new(
+                GpuConfig::fast_for_tests(),
+                TrainingState::synthetic(ByteSize::from_bytes(STATE_BYTES), SEED),
+            );
+            let engine = PcCheckEngine::new(
+                PcCheckConfig::builder()
+                    .max_concurrent((SLOTS - 1) as usize)
+                    .writer_threads(2)
+                    .chunk_size(ByteSize::from_kb(128))
+                    .dram_chunks(8)
+                    .build()?,
+                Arc::new(SsdDevice::new(device_config())),
+                gpu.state_size(),
+            )?
+            .with_telemetry(telemetry);
+            for iter in 1..=200u64 {
+                gpu.update();
+                if iter % 5 == 0 {
+                    engine.checkpoint(&gpu, iter);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            engine.drain();
+            Ok(())
+        })
+    };
+    for round in 1..=refreshes {
+        std::thread::sleep(Duration::from_millis(300));
+        println!("-- refresh {round}/{refreshes} --");
+        print!("{}", registry.console_view());
+    }
+    worker.join().map_err(|_| "workload thread panicked")??;
+    Ok(())
+}
+
+fn cmd_watchdog(out_dir: &str, iterations: u64) -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately slow 2-way striped store: every checkpoint stalls the
+    // trainer, so a tight stall-fraction SLO must trip. The striped members
+    // also feed the telemetry observer, so the bundle's Chrome trace shows
+    // per-member I/O lanes next to the writer lanes.
+    let state = ByteSize::from_bytes(CRASH_STATE_BYTES);
+    let cap = CheckpointStore::required_capacity(state, 2) + ByteSize::from_kb(4);
+    let member_cfg = DeviceConfig {
+        capacity: cap,
+        write_bandwidth: Bandwidth::from_mb_per_sec(16.0),
+        throttled: true,
+    };
+    let members: Vec<Arc<dyn PersistentDevice>> = (0..2)
+        .map(|_| Arc::new(SsdDevice::new(member_cfg.clone())) as Arc<dyn PersistentDevice>)
+        .collect();
+    let striped = Arc::new(StripedDevice::new(members, ByteSize::from_kb(4)));
+    let telemetry = Telemetry::enabled();
+    striped.set_io_observer(Arc::new(TelemetryIoObserver::new(telemetry.clone())));
+    let device: Arc<dyn PersistentDevice> = striped;
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(state, SEED),
+    );
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(1)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_kb(16))
+            .dram_chunks(4)
+            .build()?,
+        Arc::clone(&device),
+        gpu.state_size(),
+    )?
+    .with_telemetry(telemetry.clone());
+    let wd = armed_watchdog(
+        device,
+        telemetry.clone(),
+        SloConfig {
+            max_stall_fraction: Some(0.05),
+            ..SloConfig::default()
+        },
+        out_dir,
+    );
+    println!(
+        "throttled workload: {iterations} iterations, checkpoint every iteration, SLO stall<=5%"
+    );
+    // Checkpoint back-to-back: with N=1 each call after the first blocks in
+    // the ticket wait — the stall the SLO meters. Interleaving `update()`
+    // would move the blocking into the weights write-lock instead, which is
+    // deliberately not attributed to `checkpoint()`.
+    gpu.update();
+    for iter in 1..=iterations {
+        engine.checkpoint(&gpu, iter);
+    }
+    engine.drain();
+    let violations = wd.check_now();
+    if violations.is_empty() {
+        return Err("watchdog did not fire (expected a stall-fraction violation)".into());
+    }
+    for v in &violations {
+        println!(
+            "violation: {} observed {:.3} > allowed {:.3}",
+            v.rule.name(),
+            v.observed,
+            v.threshold
+        );
+    }
+    let bundle = wd
+        .last_bundle()
+        .ok_or("violation fired but no bundle was captured")?;
+    for file in [
+        "violation.json",
+        "metrics.prom",
+        "metrics.json",
+        "trace.json",
+        "flight.txt",
+    ] {
+        let body = std::fs::read_to_string(bundle.join(file))?;
+        if body.is_empty() {
+            return Err(format!("{file} is empty").into());
+        }
+    }
+    let samples = validate_prometheus_text(&std::fs::read_to_string(bundle.join("metrics.prom"))?)?;
+    let flight = std::fs::read_to_string(bundle.join("flight.txt"))?;
+    if !flight.contains("forensic audit") {
+        return Err("flight.txt is not a forensic audit".into());
+    }
+    println!(
+        "black-box bundle at {} ({samples} metric samples, forensic audit attached)",
+        bundle.display()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (cmd, path) = match (args.get(1), args.get(2)) {
@@ -353,6 +582,25 @@ fn main() -> ExitCode {
         "device" => cmd_device(
             path,
             args.get(3).and_then(|s| s.parse::<u32>().ok()).unwrap_or(1),
+        ),
+        "serve" => cmd_serve(
+            path,
+            args.get(3)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(200),
+        ),
+        "top" => cmd_top(
+            path,
+            args.get(3)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(5)
+                .max(1),
+        ),
+        "watchdog" => cmd_watchdog(
+            path,
+            args.get(3)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(30),
         ),
         _ => return usage(),
     };

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use pccheck_device::{CrashPolicy, DeviceConfig, PersistentDevice, SsdDevice};
-use pccheck_telemetry::{FlightEventKind, FlightRing, FLIGHT_RECORD_SIZE};
+use pccheck_telemetry::{
+    FlightEventKind, FlightRecord, FlightRing, FLIGHT_HEADER_SIZE, FLIGHT_RECORD_SIZE,
+};
 use pccheck_util::ByteSize;
 
 fn ring_device(capacity_records: u32, policy: CrashPolicy) -> Arc<SsdDevice> {
@@ -122,6 +124,124 @@ fn check_partial_wrap_keeps_newest(total: u64, capacity: u32) {
     }
 }
 
+/// Exactly `laps` full laps: `max_seq + 1` is a capacity multiple, so the
+/// lap-window filter's keep range is one whole lap and nothing may be
+/// counted stale or torn.
+fn check_exact_capacity_multiple_wrap(laps: u64, capacity: u32) {
+    let ssd = ring_device(capacity, CrashPolicy::DropUnpersisted);
+    let device: Arc<dyn PersistentDevice> = ssd.clone();
+    let ring = FlightRing::create(Arc::clone(&device), 0, capacity).expect("ring fits");
+    let total = laps * u64::from(capacity);
+    for i in 0..total {
+        ring.append(FlightEventKind::Commit, i + 1, 0, i, 0, 0);
+    }
+    let scan = FlightRing::scan(&*device, 0).expect("scan");
+    assert_eq!(scan.records.len() as u64, u64::from(capacity));
+    assert_eq!(scan.wrapped(), laps > 1);
+    assert_eq!(scan.stale_cells, 0, "a full lap has no stale survivors");
+    assert_eq!(scan.torn_cells, 0);
+    let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+    assert_eq!(
+        seqs,
+        (total - u64::from(capacity)..total).collect::<Vec<u64>>()
+    );
+}
+
+/// Crash exactly at a lap boundary: `laps` full laps persist, then the
+/// overwrite of cell 0 (seq = laps*capacity) dies in its msync. The
+/// surviving cell-0 record trails the ring maximum by exactly
+/// `capacity - 1` — the boundary case the lap-window filter must keep
+/// (it is the oldest in-window record), not reject as stale.
+fn check_lap_boundary_crash_keeps_previous_lap(laps: u64, capacity: u32) {
+    let ssd = ring_device(capacity, CrashPolicy::DropUnpersisted);
+    let device: Arc<dyn PersistentDevice> = ssd.clone();
+    let ring = FlightRing::create(Arc::clone(&device), 0, capacity).expect("ring fits");
+    let total = laps * u64::from(capacity);
+    for i in 0..total {
+        ring.append(FlightEventKind::Commit, i + 1, 0, i, 0, 0);
+    }
+    ssd.arm_crash_after_persists(0);
+    ring.append(FlightEventKind::Commit, total + 1, 0, total, 0, 0);
+    assert!(ssd.is_crashed());
+    let scan = FlightRing::scan(&*device, 0).expect("header survives");
+    assert_eq!(scan.records.len() as u64, u64::from(capacity));
+    assert_eq!(
+        scan.stale_cells, 0,
+        "the boundary survivor is in-window, not stale"
+    );
+    let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+    assert_eq!(
+        seqs,
+        (total - u64::from(capacity)..total).collect::<Vec<u64>>(),
+        "the previous lap is the coherent history"
+    );
+}
+
+/// Plants a checksum-valid record from `lap_gap + 1` laps back (its
+/// cell's newer overwrites all lost) next to a fresh one: the scan must
+/// reject the resurrected record, count it, and reopening must resume
+/// after the true maximum.
+fn check_stale_lap_cell_is_rejected(capacity: u32, cell: u32, lap_gap: u64) {
+    assert!(capacity >= 2 && cell < capacity && lap_gap >= 1);
+    let ssd = ring_device(capacity, CrashPolicy::DropUnpersisted);
+    let device: Arc<dyn PersistentDevice> = ssd.clone();
+    FlightRing::create(Arc::clone(&device), 0, capacity).expect("ring fits");
+    let plant = |seq: u64| {
+        let rec = FlightRecord {
+            seq,
+            kind: FlightEventKind::Commit,
+            counter: seq + 1,
+            slot: 0,
+            iteration: seq,
+            bytes: 0,
+            aux: 0,
+        };
+        let off = FLIGHT_HEADER_SIZE + (seq % u64::from(capacity)) * FLIGHT_RECORD_SIZE;
+        device.write_at(off, &rec.encode()).expect("plant write");
+        device
+            .persist(off, FLIGHT_RECORD_SIZE)
+            .expect("plant persist");
+    };
+    let stale_seq = u64::from(cell); // lap 0
+    let fresh_cell = (cell + 1) % capacity;
+    let fresh_seq = (1 + lap_gap) * u64::from(capacity) + u64::from(fresh_cell);
+    plant(stale_seq);
+    plant(fresh_seq);
+    let scan = FlightRing::scan(&*device, 0).expect("scan");
+    let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, [fresh_seq], "stale lap must not splice into history");
+    assert_eq!(scan.stale_cells, 1);
+    assert_eq!(scan.torn_cells, 0);
+    // Reopening resumes after the true maximum, not the stale record.
+    let ring = FlightRing::open(Arc::clone(&device), 0).expect("reopen");
+    ring.append(FlightEventKind::RecoveryStart, 0, u32::MAX, 0, 0, 0);
+    assert_eq!(
+        ring.read_all().expect("rescan").max_seq(),
+        Some(fresh_seq + 1)
+    );
+}
+
+#[test]
+fn exact_capacity_multiple_grid_keeps_one_whole_lap() {
+    for &capacity in &[2u32, 5, 8] {
+        for &laps in &[1u64, 2, 3, 7] {
+            check_exact_capacity_multiple_wrap(laps, capacity);
+            check_lap_boundary_crash_keeps_previous_lap(laps, capacity);
+        }
+    }
+}
+
+#[test]
+fn stale_lap_grid_rejects_resurrected_cells() {
+    for &capacity in &[2u32, 4, 9] {
+        for cell in [0, capacity / 2, capacity - 1] {
+            for &lap_gap in &[1u64, 2, 5] {
+                check_stale_lap_cell_is_rejected(capacity, cell, lap_gap);
+            }
+        }
+    }
+}
+
 #[test]
 fn fuse_crash_grid_always_yields_valid_prefix() {
     for &capacity in &[4u32, 7, 16] {
@@ -180,5 +300,20 @@ proptest! {
     #[test]
     fn prop_partial_wrap_keeps_newest(total in 1u64..64, capacity in 2u32..16) {
         check_partial_wrap_keeps_newest(total, capacity);
+    }
+
+    #[test]
+    fn prop_exact_capacity_multiple_keeps_one_lap(laps in 1u64..6, capacity in 2u32..16) {
+        check_exact_capacity_multiple_wrap(laps, capacity);
+        check_lap_boundary_crash_keeps_previous_lap(laps, capacity);
+    }
+
+    #[test]
+    fn prop_stale_lap_cell_is_rejected(
+        capacity in 2u32..16,
+        cell_pick in 0u32..1000,
+        lap_gap in 1u64..6,
+    ) {
+        check_stale_lap_cell_is_rejected(capacity, cell_pick % capacity, lap_gap);
     }
 }

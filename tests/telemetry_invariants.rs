@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pccheck::{CheckpointStore, PcCheckConfig, PcCheckEngine};
-use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice};
+use pccheck::{recover_instrumented, CheckpointStore, PcCheckConfig, PcCheckEngine};
+use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice, StripedDevice, TieredDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_telemetry::{EventKind, SpanId, Telemetry};
 use pccheck_util::ByteSize;
@@ -159,6 +159,125 @@ fn concurrent_spans_terminate_exactly_once_with_monotone_phases() {
     assert_eq!(stats.superseded, snap.counters.superseded);
     assert_eq!(stats.failed, 0);
     assert!(snap.counters.committed >= 1, "some checkpoint must commit");
+}
+
+/// Drives racing checkpoint writers and live-store recovery readers
+/// against `device`, then checks that every pressure gauge settles: the
+/// in-flight gauge returns to zero, the device's live submission queues
+/// are empty, and a final quiescent checkpoint re-samples the per-device
+/// queue gauges back to zero.
+fn gauges_drain_to_zero_on(device: Arc<dyn PersistentDevice>, expected_queues: usize) {
+    let size = ByteSize::from_kb(64);
+    let telemetry = Telemetry::enabled();
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(3)
+            .writer_threads(1)
+            .chunk_size(ByteSize::from_kb(16))
+            .dram_chunks(4)
+            .build()
+            .expect("valid config"),
+        Arc::clone(&device),
+        size,
+    )
+    .expect("engine constructs")
+    .with_telemetry(telemetry.clone());
+    let engine = Arc::new(engine);
+
+    // Seed one committed checkpoint so the racing readers always find a
+    // durable candidate.
+    let seed_gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, 77),
+    );
+    seed_gpu.update();
+    engine.checkpoint(&seed_gpu, 1);
+    engine.try_drain().expect("seed checkpoint commits");
+
+    let writers: Vec<_> = (0..2u64)
+        .map(|d| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(ByteSize::from_kb(64), d + 1),
+                );
+                for i in 0..8u64 {
+                    gpu.update();
+                    engine.checkpoint(&gpu, (d + 1) * 1000 + i + 1);
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let device = Arc::clone(&device);
+        let telemetry = telemetry.clone();
+        std::thread::spawn(move || {
+            // Live-store reads race the writers: a candidate overwritten
+            // mid-read falls back to an older one or fails the attempt —
+            // either way the recovery span must still terminate.
+            for _ in 0..3 {
+                let _ = recover_instrumented(Arc::clone(&device), &telemetry);
+            }
+        })
+    };
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    reader.join().expect("reader thread");
+    engine.try_drain().expect("no background errors");
+
+    // One quiescent checkpoint after the drain: its single writer
+    // re-samples every device-queue gauge with the queues idle.
+    seed_gpu.update();
+    engine.checkpoint(&seed_gpu, 9999);
+    engine.try_drain().expect("quiescent checkpoint commits");
+
+    let snap = telemetry.snapshot().expect("telemetry enabled");
+    // 1 seed + 16 raced + 3 recoveries + 1 quiescent, all terminated.
+    assert_eq!(snap.counters.requested, 21);
+    assert_eq!(snap.counters.terminated(), 21);
+    assert_eq!(snap.counters.in_flight(), 0);
+    assert_eq!(snap.in_flight, 0, "in-flight gauge returns to zero");
+    assert!(snap.in_flight_peak >= 1);
+    assert!(snap.queue_depth_peak >= 1, "free-slot gauge saw pressure");
+    let live = device.queue_depths();
+    assert_eq!(live.len(), expected_queues);
+    assert!(live.iter().all(|&d| d == 0), "live queues idle: {live:?}");
+    assert!(
+        snap.device_queue_depth.iter().all(|&d| d == 0),
+        "sampled queue gauges return to zero: {:?}",
+        snap.device_queue_depth
+    );
+}
+
+#[test]
+fn striped_device_gauges_return_to_zero_after_drain() {
+    let cap = CheckpointStore::required_capacity(ByteSize::from_kb(64), 4) + ByteSize::from_kb(4);
+    let members: Vec<Arc<dyn PersistentDevice>> = (0..2)
+        .map(|_| {
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap))) as Arc<dyn PersistentDevice>
+        })
+        .collect();
+    let device: Arc<dyn PersistentDevice> =
+        Arc::new(StripedDevice::new(members, ByteSize::from_kb(16)));
+    // Controller + two stripe members.
+    gauges_drain_to_zero_on(device, 3);
+}
+
+#[test]
+fn tiered_device_gauges_return_to_zero_after_drain() {
+    let cap = CheckpointStore::required_capacity(ByteSize::from_kb(64), 4) + ByteSize::from_kb(4);
+    // A 32 KiB hot tier forces every checkpoint to straddle into spill,
+    // so both member gates see traffic.
+    let tier: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(
+        ByteSize::from_kb(32),
+    )));
+    let spill: Arc<dyn PersistentDevice> =
+        Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let device: Arc<dyn PersistentDevice> = Arc::new(TieredDevice::new(tier, spill));
+    // Controller + tier + spill.
+    gauges_drain_to_zero_on(device, 3);
 }
 
 #[test]
