@@ -342,8 +342,21 @@ impl PcCheckEngine {
         } else {
             pipeline.copy_staged(ctx, &guard, &lease, total)?
         };
-        drop(guard); // weights released (if not already) before the commit CAS
-        pipeline.seal(ctx, &lease, iteration, total, persist_start)?;
+        // Ordering: in per-writer-fence mode all persist work finished with
+        // the copy scope, so seal (and its Persist phase_done) runs before
+        // the guard drop — otherwise the weights handoff and any trainer
+        // step it unblocks land inside the Persist span and skew the
+        // ledger. In deferred mode the guard must drop first: holding the
+        // weights through the whole-payload msync would stall training for
+        // the full fence. Either way the weights are released before the
+        // commit CAS.
+        if pipeline.fence() == FenceMode::PerWriter {
+            pipeline.seal(ctx, &lease, iteration, total, persist_start)?;
+            drop(guard);
+        } else {
+            drop(guard);
+            pipeline.seal(ctx, &lease, iteration, total, persist_start)?;
+        }
         pipeline.commit(ctx, lease, iteration, total.as_u64(), digest.0)
     }
 }

@@ -265,39 +265,43 @@ impl PersistPipeline {
     }
 
     /// Writes one payload chunk, feeding the write-stage histogram and the
-    /// per-device submission-queue gauges.
+    /// per-device submission-queue gauges. Returns the nanoseconds spent in
+    /// the device call (media time, for the writer's queue-wait split).
     fn write_chunk(
         &self,
         ctx: PipelineCtx<'_>,
         lease: &SlotLease,
         offset: u64,
         data: &[u8],
-    ) -> Result<(), PccheckError> {
+    ) -> Result<u64, PccheckError> {
         let start = ctx.telemetry.now_nanos();
         self.store.write_payload(lease, offset, data)?;
+        let mut media = 0;
         if ctx.telemetry.is_enabled() {
-            ctx.telemetry
-                .stage_write(ctx.telemetry.now_nanos().saturating_sub(start));
+            media = ctx.telemetry.now_nanos().saturating_sub(start);
+            ctx.telemetry.stage_write(media);
             self.sample_device_queues(ctx);
         }
-        Ok(())
+        Ok(media)
     }
 
     /// Fences one payload range, feeding the persist-stage histogram.
+    /// Returns the nanoseconds spent in the device call (media time).
     fn persist_chunk(
         &self,
         ctx: PipelineCtx<'_>,
         lease: &SlotLease,
         offset: u64,
         len: u64,
-    ) -> Result<(), PccheckError> {
+    ) -> Result<u64, PccheckError> {
         let start = ctx.telemetry.now_nanos();
         self.store.persist_payload(lease, offset, len)?;
+        let mut media = 0;
         if ctx.telemetry.is_enabled() {
-            ctx.telemetry
-                .stage_persist(ctx.telemetry.now_nanos().saturating_sub(start));
+            media = ctx.telemetry.now_nanos().saturating_sub(start);
+            ctx.telemetry.stage_persist(media);
         }
-        Ok(())
+        Ok(media)
     }
 
     /// Samples the device's submission queues into the per-device gauges.
@@ -321,14 +325,14 @@ impl PersistPipeline {
         lease: &SlotLease,
         offset: u64,
         data: &[u8],
-    ) -> Result<(), PccheckError> {
-        self.write_chunk(ctx, lease, offset, data)?;
+    ) -> Result<u64, PccheckError> {
+        let mut media = self.write_chunk(ctx, lease, offset, data)?;
         if self.fence == FenceMode::PerWriter {
-            self.persist_chunk(ctx, lease, offset, data.len() as u64)?;
+            media += self.persist_chunk(ctx, lease, offset, data.len() as u64)?;
         }
         ctx.telemetry
             .chunk(ctx.span, Phase::Persist, offset, data.len() as u64);
-        Ok(())
+        Ok(media)
     }
 
     /// Non-pipelined copy (Figure 6): stage the entire snapshot in DRAM
@@ -390,21 +394,23 @@ impl PersistPipeline {
                 s.spawn(move |_| {
                     let actor_start = ctx.telemetry.now_nanos();
                     let mut actor_bytes = 0u64;
+                    let mut media_nanos = 0u64;
                     for (off, n, buf) in staged.iter().skip(w).step_by(p) {
-                        if let Err(e) =
-                            self.write_and_fence_chunk(ctx, lease, *off, &buf.as_slice()[..*n])
-                        {
-                            results.lock().push(e);
-                        } else {
-                            actor_bytes += *n as u64;
+                        match self.write_and_fence_chunk(ctx, lease, *off, &buf.as_slice()[..*n]) {
+                            Ok(media) => {
+                                actor_bytes += *n as u64;
+                                media_nanos += media;
+                            }
+                            Err(e) => results.lock().push(e),
                         }
                     }
                     if actor_bytes > 0 && ctx.telemetry.is_enabled() {
-                        ctx.telemetry.actor_span(
+                        ctx.telemetry.actor_span_split(
                             ctx.span,
                             &format!("writer-{w}"),
                             actor_start,
                             actor_bytes,
+                            media_nanos,
                         );
                     }
                 });
@@ -453,11 +459,15 @@ impl PersistPipeline {
                 s.spawn(move |_| {
                     let actor_start = ctx.telemetry.now_nanos();
                     let mut actor_bytes = 0u64;
+                    let mut media_nanos = 0u64;
                     while let Ok((off, n, buf)) = rx.recv() {
                         if !abort.load(Ordering::Acquire) {
                             match self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
                             {
-                                Ok(()) => actor_bytes += n as u64,
+                                Ok(media) => {
+                                    actor_bytes += n as u64;
+                                    media_nanos += media;
+                                }
                                 Err(e) => {
                                     results.lock().push(e);
                                     abort.store(true, Ordering::Release);
@@ -467,11 +477,12 @@ impl PersistPipeline {
                         drop(buf); // free the DRAM chunk for the producer
                     }
                     if actor_bytes > 0 && ctx.telemetry.is_enabled() {
-                        ctx.telemetry.actor_span(
+                        ctx.telemetry.actor_span_split(
                             ctx.span,
                             &format!("writer-{w}"),
                             actor_start,
                             actor_bytes,
+                            media_nanos,
                         );
                     }
                 });
@@ -615,11 +626,15 @@ impl PersistPipeline {
                 s.spawn(move |_| {
                     let actor_start = ctx.telemetry.now_nanos();
                     let mut actor_bytes = 0u64;
+                    let mut media_nanos = 0u64;
                     while let Ok((off, n, buf)) = rx.recv() {
                         if !abort.load(Ordering::Acquire) {
                             match self.write_and_fence_chunk(ctx, lease, off, &buf.as_slice()[..n])
                             {
-                                Ok(()) => actor_bytes += n as u64,
+                                Ok(media) => {
+                                    actor_bytes += n as u64;
+                                    media_nanos += media;
+                                }
                                 Err(e) => {
                                     results.lock().push(e);
                                     abort.store(true, Ordering::Release);
@@ -629,11 +644,12 @@ impl PersistPipeline {
                         drop(buf);
                     }
                     if actor_bytes > 0 && ctx.telemetry.is_enabled() {
-                        ctx.telemetry.actor_span(
+                        ctx.telemetry.actor_span_split(
                             ctx.span,
                             &format!("writer-{w}"),
                             actor_start,
                             actor_bytes,
+                            media_nanos,
                         );
                     }
                 });
@@ -912,8 +928,20 @@ impl PersistPipeline {
         persist_start: u64,
     ) -> Result<(), PccheckError> {
         if self.fence == FenceMode::Deferred {
-            // §4.1 SSD path: one msync covering the whole payload.
-            self.persist_chunk(ctx, lease, 0, total.as_u64())?;
+            // §4.1 SSD path: one msync covering the whole payload. The
+            // drain shows up as a `fence` actor leg so the ledger can tell
+            // "media still flushing" from "device idle" inside Persist.
+            let fence_start = ctx.telemetry.now_nanos();
+            let media = self.persist_chunk(ctx, lease, 0, total.as_u64())?;
+            if ctx.telemetry.is_enabled() {
+                ctx.telemetry.actor_span_split(
+                    ctx.span,
+                    "fence",
+                    fence_start,
+                    total.as_u64(),
+                    media,
+                );
+            }
         }
         self.store.flight().record(
             FlightEventKind::PayloadPersisted,

@@ -228,24 +228,26 @@ impl RestorePipeline {
     }
 
     /// Per-chunk device read with read-stage telemetry, mirroring the
-    /// persist pipeline's `write_chunk`.
+    /// persist pipeline's `write_chunk`. Returns the nanoseconds spent in
+    /// the device call (media time, for the reader's queue-wait split).
     fn read_chunk(
         &self,
         ctx: PipelineCtx<'_>,
         device_off: u64,
         payload_off: u64,
         buf: &mut [u8],
-    ) -> Result<(), PccheckError> {
+    ) -> Result<u64, PccheckError> {
         let start = ctx.telemetry.now_nanos();
         self.store.device().read_durable_at(device_off, buf)?;
+        let mut media = 0;
         if ctx.telemetry.is_enabled() {
-            ctx.telemetry
-                .stage_read(ctx.telemetry.now_nanos().saturating_sub(start));
+            media = ctx.telemetry.now_nanos().saturating_sub(start);
+            ctx.telemetry.stage_read(media);
             self.sample_device_queues(ctx);
         }
         ctx.telemetry
             .chunk(ctx.span, Phase::RestoreRead, payload_off, buf.len() as u64);
-        Ok(())
+        Ok(media)
     }
 
     /// Samples the device's submission queues into the per-device gauges
@@ -371,6 +373,7 @@ impl RestorePipeline {
                     let actor_start = ctx.telemetry.now_nanos();
                     let (run_base, _) = table.chunk_range(first);
                     let mut done = 0usize;
+                    let mut media_nanos = 0u64;
                     for i in first.. {
                         if done >= run.len() || failed.load(Ordering::Acquire) {
                             break;
@@ -378,9 +381,12 @@ impl RestorePipeline {
                         let (off, len) = table.chunk_range(i);
                         let n = usize::try_from(len).expect("chunk fits");
                         let dst = &mut run[done..done + n];
-                        if self.read_chunk(ctx, base + off, off, dst).is_err() {
-                            failed.store(true, Ordering::Release);
-                            break;
+                        match self.read_chunk(ctx, base + off, off, dst) {
+                            Ok(media) => media_nanos += media,
+                            Err(_) => {
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
                         }
                         let v0 = Instant::now();
                         let ok = table.verify_chunk(i, dst);
@@ -393,11 +399,12 @@ impl RestorePipeline {
                         debug_assert_eq!(off, run_base + (done as u64 - n as u64));
                     }
                     if done > 0 && ctx.telemetry.is_enabled() {
-                        ctx.telemetry.actor_span(
+                        ctx.telemetry.actor_span_split(
                             ctx.span,
                             &format!("reader-{r}"),
                             actor_start,
                             done as u64,
+                            media_nanos,
                         );
                     }
                 });
@@ -440,6 +447,7 @@ impl RestorePipeline {
                 s.spawn(move || {
                     let actor_start = ctx.telemetry.now_nanos();
                     let mut actor_bytes = 0u64;
+                    let mut media_nanos = 0u64;
                     loop {
                         if failed.load(Ordering::Acquire) {
                             break;
@@ -454,9 +462,12 @@ impl RestorePipeline {
                         let (off, len) = table.chunk_range(i);
                         let n = usize::try_from(len).expect("chunk fits");
                         let data = &mut buf.as_mut_slice()[..n];
-                        if self.read_chunk(ctx, base + off, off, data).is_err() {
-                            failed.store(true, Ordering::Release);
-                            break;
+                        match self.read_chunk(ctx, base + off, off, data) {
+                            Ok(media) => media_nanos += media,
+                            Err(_) => {
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
                         }
                         let v0 = Instant::now();
                         let ok = table.verify_chunk(i, data);
@@ -473,11 +484,12 @@ impl RestorePipeline {
                         actor_bytes += len;
                     }
                     if actor_bytes > 0 && ctx.telemetry.is_enabled() {
-                        ctx.telemetry.actor_span(
+                        ctx.telemetry.actor_span_split(
                             ctx.span,
                             &format!("reader-{r}"),
                             actor_start,
                             actor_bytes,
+                            media_nanos,
                         );
                     }
                 });
@@ -526,6 +538,7 @@ impl RestorePipeline {
                     s.spawn(move || {
                         let actor_start = ctx.telemetry.now_nanos();
                         let mut actor_bytes = 0u64;
+                        let mut media_nanos = 0u64;
                         loop {
                             if failed.load(Ordering::Acquire) {
                                 break;
@@ -540,12 +553,17 @@ impl RestorePipeline {
                             }
                             let off = i as u64 * chunk;
                             let n = usize::try_from(chunk.min(total - off)).expect("chunk fits");
-                            if self
-                                .read_chunk(ctx, base + off, off, &mut buf.as_mut_slice()[..n])
-                                .is_err()
-                            {
-                                failed.store(true, Ordering::Release);
-                                break;
+                            match self.read_chunk(
+                                ctx,
+                                base + off,
+                                off,
+                                &mut buf.as_mut_slice()[..n],
+                            ) {
+                                Ok(media) => media_nanos += media,
+                                Err(_) => {
+                                    failed.store(true, Ordering::Release);
+                                    break;
+                                }
                             }
                             if tx.send((i, n, buf)).is_err() {
                                 break;
@@ -553,11 +571,12 @@ impl RestorePipeline {
                             actor_bytes += n as u64;
                         }
                         if actor_bytes > 0 && ctx.telemetry.is_enabled() {
-                            ctx.telemetry.actor_span(
+                            ctx.telemetry.actor_span_split(
                                 ctx.span,
                                 &format!("reader-{r}"),
                                 actor_start,
                                 actor_bytes,
+                                media_nanos,
                             );
                         }
                     });

@@ -1,5 +1,5 @@
 //! Extension: incremental delta checkpointing sparsity × chain-length sweep.
-use pccheck_harness::{ext_delta, result_path};
+use pccheck_harness::{ext_delta, profile_run, result_path};
 
 fn main() -> std::io::Result<()> {
     let rows = ext_delta::run();
@@ -29,5 +29,7 @@ fn main() -> std::io::Result<()> {
     let path = result_path("ext_delta.csv");
     ext_delta::write_csv(&rows, std::fs::File::create(&path)?)?;
     println!("wrote {}", path.display());
+    let profile = profile_run::drop_profile("ext_delta")?;
+    println!("dropped profile {}", profile.display());
     Ok(())
 }

@@ -21,6 +21,7 @@ pub mod fig2_goodput_motivation;
 pub mod fig8_throughput;
 pub mod fig9_goodput;
 pub mod forensics_run;
+pub mod profile_run;
 pub mod sweep;
 pub mod tables;
 pub mod telemetry_run;

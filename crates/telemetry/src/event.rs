@@ -220,6 +220,12 @@ pub enum EventKind {
         dur_nanos: u64,
         /// Payload bytes the actor moved during the span (0 if unknown).
         bytes: u64,
+        /// Nanoseconds of `dur_nanos` spent in device I/O calls (write /
+        /// fence / read). The remainder is queue wait: blocking on staged
+        /// chunks, buffer-pool pressure, or scheduling. Actors that cannot
+        /// split their time report `media_nanos == dur_nanos`, so the
+        /// queue-wait estimate is conservative (never over-reported).
+        media_nanos: u64,
     },
 }
 

@@ -15,7 +15,7 @@ use crate::event::{Event, EventKind, Phase};
 use crate::recorder::TelemetrySnapshot;
 
 /// Escapes `s` as JSON string *contents* (no surrounding quotes).
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -34,7 +34,7 @@ fn escape_json(s: &str) -> String {
 }
 
 /// Formats a float as a JSON number (`null` for non-finite values).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -42,12 +42,12 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn micros(nanos: u64) -> f64 {
+pub(crate) fn micros(nanos: u64) -> f64 {
     nanos as f64 / 1000.0
 }
 
 /// Renders nanoseconds compactly for the human summary (`1.234ms`).
-fn human_nanos(nanos: u64) -> String {
+pub(crate) fn human_nanos(nanos: u64) -> String {
     if nanos >= 1_000_000_000 {
         format!("{:.3}s", nanos as f64 / 1e9)
     } else if nanos >= 1_000_000 {
@@ -59,7 +59,7 @@ fn human_nanos(nanos: u64) -> String {
     }
 }
 
-fn human_bytes(bytes: u64) -> String {
+pub(crate) fn human_bytes(bytes: u64) -> String {
     const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
     const MIB: f64 = 1024.0 * 1024.0;
     const KIB: f64 = 1024.0;
@@ -247,8 +247,9 @@ fn kind_fields(kind: &EventKind) -> String {
             start_nanos,
             dur_nanos,
             bytes,
+            media_nanos,
         } => format!(
-            ",\"actor\":\"{}\",\"start_nanos\":{start_nanos},\"dur_nanos\":{dur_nanos},\"bytes\":{bytes}",
+            ",\"actor\":\"{}\",\"start_nanos\":{start_nanos},\"dur_nanos\":{dur_nanos},\"bytes\":{bytes},\"media_nanos\":{media_nanos}",
             escape_json(actor)
         ),
     }
@@ -283,7 +284,15 @@ const ACTOR_TID_BASE: u64 = 900_000;
 /// members) render on named per-actor lanes starting at
 /// [`ACTOR_TID_BASE`], each carrying its parent span id in `args`.
 pub fn chrome_trace(events: &[Event]) -> String {
-    let mut entries: Vec<String> = Vec::with_capacity(events.len() + 1);
+    chrome_trace_with(events, &[])
+}
+
+/// [`chrome_trace`] plus caller-supplied extra trace entries (already
+/// rendered as JSON objects, no trailing comma). The profiler uses this to
+/// annotate critical-path edges on their own lane without the exporter
+/// knowing about ledgers.
+pub fn chrome_trace_with(events: &[Event], extra_entries: &[String]) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(events.len() + extra_entries.len() + 1);
     entries.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
          \"args\":{\"name\":\"pccheck\"}}"
@@ -341,6 +350,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 start_nanos,
                 dur_nanos,
                 bytes,
+                media_nanos,
             } => {
                 let lane = actor_lanes
                     .iter()
@@ -350,11 +360,13 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 entries.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"actor\",\"ph\":\"X\",\
                      \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{lane},\
-                     \"args\":{{\"parent_span\":{},\"bytes\":{bytes}}}}}",
+                     \"args\":{{\"parent_span\":{},\"bytes\":{bytes},\
+                     \"media_nanos\":{media_nanos},\"queue_wait_nanos\":{}}}}}",
                     escape_json(actor),
                     json_f64(micros(*start_nanos)),
                     json_f64(micros(*dur_nanos)),
-                    e.span.0
+                    e.span.0,
+                    dur_nanos.saturating_sub(*media_nanos)
                 ));
             }
             kind => entries.push(format!(
@@ -365,6 +377,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
             )),
         }
     }
+    entries.extend(extra_entries.iter().cloned());
     format!("{{\"traceEvents\":[\n{}\n]}}\n", entries.join(",\n"))
 }
 

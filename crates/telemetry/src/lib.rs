@@ -47,6 +47,9 @@
 //!   rollback depth, goodput.
 //! * [`export`] — [`render_summary`], [`json_lines`], [`chrome_trace`]
 //!   (Perfetto-loadable).
+//! * [`profile`] — [`CommitLedger`], [`RunProfile`], [`ProfileArchive`],
+//!   [`diff_profiles`]: per-commit critical-path ledgers and cross-run
+//!   regression analytics.
 //! * [`registry`] — [`MetricsRegistry`], [`MetricsServer`]: live
 //!   Prometheus/JSON exposition over the shared recorder.
 //! * [`watchdog`] — [`SloWatchdog`]: rolling-window SLO evaluation with
@@ -78,6 +81,7 @@ pub mod event;
 pub mod export;
 pub mod flight;
 pub mod histogram;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod watchdog;
@@ -85,12 +89,17 @@ pub mod watchdog;
 pub use accounting::{GoodputEstimate, RunAccounting};
 pub use counters::{CheckpointCounters, CountersSnapshot};
 pub use event::{Event, EventKind, Phase, SpanId};
-pub use export::{chrome_trace, json_lines, render_summary};
+pub use export::{chrome_trace, chrome_trace_with, json_lines, render_summary};
 pub use flight::{
     FlightEventKind, FlightRecord, FlightRecorder, FlightRing, RingScan, FLIGHT_HEADER_SIZE,
     FLIGHT_RECORD_SIZE,
 };
 pub use histogram::{HistogramSummary, LatencyHistogram};
+pub use profile::{
+    build_ledgers, chrome_trace_annotated, critical_trace_entries, diff_profiles, render_diff,
+    render_profile, ActorProfile, CommitLedger, DiffMode, DiffThresholds, LedgerNode, NodeKind,
+    PhaseDiff, PhaseProfile, ProfileArchive, ProfileDiff, RunProfile, PROFILE_SCHEMA,
+};
 pub use recorder::{
     MemoryRecorder, Telemetry, TelemetryIoObserver, TelemetrySnapshot, MAX_TRACKED_DEVICES,
 };

@@ -479,13 +479,46 @@ impl Telemetry {
     pub fn actor_span(&self, parent: SpanId, actor: &str, start_nanos: u64, bytes: u64) {
         let Some(r) = &self.inner else { return };
         let now = r.now_nanos();
+        let dur = now.saturating_sub(start_nanos);
         r.push(Event {
             span: parent,
             at_nanos: now,
             kind: EventKind::ActorSpan {
                 actor: actor.to_string(),
                 start_nanos,
-                dur_nanos: now.saturating_sub(start_nanos),
+                dur_nanos: dur,
+                // No split reported: attribute everything to media so the
+                // queue-wait estimate stays conservative.
+                media_nanos: dur,
+                bytes,
+            },
+        });
+    }
+
+    /// Like [`Telemetry::actor_span`], but with the actor's time split:
+    /// `media_nanos` is the portion spent inside device I/O calls; the
+    /// rest of the measured duration is queue wait (waiting for staged
+    /// chunks, buffer-pool pressure, scheduling). `media_nanos` is clamped
+    /// to the measured duration.
+    pub fn actor_span_split(
+        &self,
+        parent: SpanId,
+        actor: &str,
+        start_nanos: u64,
+        bytes: u64,
+        media_nanos: u64,
+    ) {
+        let Some(r) = &self.inner else { return };
+        let now = r.now_nanos();
+        let dur = now.saturating_sub(start_nanos);
+        r.push(Event {
+            span: parent,
+            at_nanos: now,
+            kind: EventKind::ActorSpan {
+                actor: actor.to_string(),
+                start_nanos,
+                dur_nanos: dur,
+                media_nanos: media_nanos.min(dur),
                 bytes,
             },
         });
@@ -607,6 +640,8 @@ impl pccheck_device::IoObserver for TelemetryIoObserver {
                 actor: member.to_string(),
                 start_nanos: now.saturating_sub(dur_nanos),
                 dur_nanos,
+                // A member-device leg is pure media time by definition.
+                media_nanos: dur_nanos,
                 bytes,
             },
         });
@@ -777,9 +812,11 @@ mod tests {
                 start_nanos,
                 dur_nanos,
                 bytes,
+                media_nanos,
             } => {
                 assert_eq!(actor, "stripe-0");
                 assert_eq!(*dur_nanos, 1000);
+                assert_eq!(*media_nanos, 1000);
                 assert_eq!(*bytes, 4096);
                 assert_eq!(events[0].at_nanos, start_nanos + dur_nanos);
             }
@@ -789,6 +826,34 @@ mod tests {
         // A disabled handle keeps the observer inert.
         let inert = TelemetryIoObserver::new(Telemetry::disabled());
         inert.member_io("tier", pccheck_device::MemberIoOp::Read, 1, 1);
+    }
+
+    #[test]
+    fn actor_span_split_clamps_media_to_duration() {
+        let t = Telemetry::enabled();
+        let span = t.span_requested("pccheck", 1, 64);
+        let s = t.now_nanos();
+        // A claimed media time far beyond the measured duration is clamped.
+        t.actor_span_split(span, "writer-0", s, 64, u64::MAX);
+        t.committed(span, 1, 64);
+        let media = t
+            .events()
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::ActorSpan {
+                    dur_nanos,
+                    media_nanos,
+                    ..
+                } => Some((*dur_nanos, *media_nanos)),
+                _ => None,
+            })
+            .expect("actor span recorded");
+        assert!(media.1 <= media.0, "media {} > dur {}", media.1, media.0);
+
+        // Disabled handles stay inert.
+        let d = Telemetry::disabled();
+        d.actor_span_split(SpanId::NONE, "writer-0", 0, 1, 1);
+        assert!(d.events().is_empty());
     }
 
     #[test]

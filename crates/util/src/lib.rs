@@ -11,6 +11,8 @@
 //! * [`stats`] — summary statistics (mean/stddev/percentiles) used when
 //!   aggregating repeated experiment runs.
 //! * [`csv`] — a tiny dependency-free CSV writer for experiment output.
+//! * [`json`] — a tiny dependency-free JSON reader (the workspace emits
+//!   JSON by hand; this is the matching parser for artifacts and tests).
 //! * [`rng`] — deterministic seeded RNG construction so every experiment is
 //!   reproducible bit-for-bit.
 //! * [`throttle`] — a token-bucket rate limiter used by the concrete
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod csv;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod throttle;
@@ -36,6 +39,7 @@ pub mod time;
 pub mod units;
 
 pub use csv::CsvWriter;
+pub use json::{JsonError, JsonValue};
 pub use stats::Summary;
 pub use throttle::TokenBucket;
 pub use time::{SimDuration, SimTime};

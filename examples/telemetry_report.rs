@@ -9,10 +9,12 @@
 //! lifecycle (`requested → queued → gpu_copy → persist → commit`), and
 //! the accountant turns both into the Fig. 8 stall fraction and the
 //! Fig. 9 goodput estimate. The PCcheck run's raw events are also written
-//! to `telemetry_report.trace.json` — load it in Perfetto / `chrome://tracing`.
+//! to `results/telemetry_report.trace.json` — with the reconstructed
+//! critical path annotated as its own lane — load it in Perfetto /
+//! `chrome://tracing`.
 
 use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig};
-use pccheck_telemetry::{chrome_trace, render_summary, Phase};
+use pccheck_telemetry::{chrome_trace_annotated, render_summary, Phase};
 use pccheck_util::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,9 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         render_summary(&pccheck_run.snapshot, &pccheck_run.accounting)
     );
     let events = pccheck_run.telemetry.events();
-    std::fs::write("telemetry_report.trace.json", chrome_trace(&events))?;
+    std::fs::create_dir_all("results")?;
+    let trace_path = "results/telemetry_report.trace.json";
+    std::fs::write(trace_path, chrome_trace_annotated(&events))?;
     println!(
-        "\nwrote telemetry_report.trace.json ({} events) — load in Perfetto\n",
+        "\nwrote {trace_path} ({} events + critical-path lane) — load in Perfetto\n",
         events.len()
     );
 

@@ -50,11 +50,13 @@ use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_harness::forensics_run::{
     commit_checkpoint, drive_to_crash_point, synthetic_payload, CrashPoint,
 };
+use pccheck_harness::profile_run::{self, ProfileRunConfig};
 use pccheck_harness::telemetry_run::{run_instrumented, InstrumentedRunConfig, STRATEGIES};
 use pccheck_monitor::{armed_watchdog, SloConfig};
 use pccheck_telemetry::{
-    chrome_trace, http_get, json_lines, render_summary, validate_prometheus_text, MetricsRegistry,
-    MetricsServer, Telemetry, TelemetryIoObserver,
+    chrome_trace, chrome_trace_annotated, diff_profiles, http_get, json_lines, render_diff,
+    render_profile, render_summary, validate_prometheus_text, DiffMode, DiffThresholds,
+    MetricsRegistry, MetricsServer, RunProfile, Telemetry, TelemetryIoObserver,
 };
 use pccheck_util::{Bandwidth, ByteSize};
 
@@ -78,6 +80,8 @@ fn usage() -> ExitCode {
     eprintln!("       pccheckctl serve <addr> [iterations]");
     eprintln!("       pccheckctl top <addr|self> [refreshes]");
     eprintln!("       pccheckctl watchdog <out-dir> [iterations]");
+    eprintln!("       pccheckctl profile <file|run-name> [stripe-ways] [throttle-mb]");
+    eprintln!("       pccheckctl diff <base> <candidate> [abs|shares|both]");
     eprintln!("  demo       create the store and run a checkpointed training demo");
     eprintln!("  info       print the store header and checkpoint history");
     eprintln!("  recover    load the latest committed checkpoint through the parallel");
@@ -106,6 +110,15 @@ fn usage() -> ExitCode {
     eprintln!("  watchdog   run a throttled workload under tight SLOs; the watchdog");
     eprintln!("             must trip and capture a black-box bundle into <out-dir>");
     eprintln!("             (violation.json, metrics, Chrome trace, forensic audit)");
+    eprintln!("  profile    render an archived pccheck.profile.v1 artifact, or run the");
+    eprintln!("             canonical profiled workload under <run-name> (striped");
+    eprintln!("             [stripe-ways] wide, optionally throttled to [throttle-mb]");
+    eprintln!("             MB/s per member), archive it under results/profiles/, and");
+    eprintln!("             print the critical-path top-offenders view");
+    eprintln!("  diff       compare two profiles (paths or archived run names) with");
+    eprintln!("             noise-aware thresholds; abs = median nanoseconds (same");
+    eprintln!("             machine), shares = critical-path shares (cross-machine);");
+    eprintln!("             exits nonzero when a critical-path regression is flagged");
     ExitCode::from(2)
 }
 
@@ -552,6 +565,63 @@ fn cmd_watchdog(out_dir: &str, iterations: u64) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
+/// Loads a profile from a JSON file path, or from the shared archive by
+/// run name when no such file exists.
+fn load_profile(arg: &str) -> Result<RunProfile, Box<dyn std::error::Error>> {
+    if std::path::Path::new(arg).is_file() {
+        return Ok(RunProfile::from_json(&std::fs::read_to_string(arg)?)?);
+    }
+    Ok(profile_run::archive()?.load(arg)?)
+}
+
+fn cmd_profile(
+    target: &str,
+    ways: usize,
+    throttle_mb: Option<f64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if std::path::Path::new(target).is_file() {
+        let profile = RunProfile::from_json(&std::fs::read_to_string(target)?)?;
+        print!("{}", render_profile(&profile));
+        return Ok(());
+    }
+    let cfg = ProfileRunConfig {
+        stripe_ways: ways.max(1),
+        member_mb_per_sec: throttle_mb,
+        ..ProfileRunConfig::default()
+    };
+    let run =
+        profile_run::run_profiled(target, &cfg).map_err(|e| format!("profiled run failed: {e}"))?;
+    let archive = profile_run::archive()?;
+    let path = archive.store(&run.profile)?;
+    let trace_path = archive.dir().join(format!("{target}.trace.json"));
+    std::fs::write(&trace_path, chrome_trace_annotated(&run.telemetry.events()))?;
+    print!("{}", render_profile(&run.profile));
+    println!("archived {}", path.display());
+    println!("annotated trace {}", trace_path.display());
+    Ok(())
+}
+
+fn cmd_diff(base: &str, cand: &str, mode: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let base_profile = load_profile(base)?;
+    let cand_profile = load_profile(cand)?;
+    let modes: Vec<DiffMode> = match mode {
+        "abs" => vec![DiffMode::Absolute],
+        "shares" => vec![DiffMode::Shares],
+        "both" => vec![DiffMode::Absolute, DiffMode::Shares],
+        other => return Err(format!("unknown diff mode {other:?} (abs|shares|both)").into()),
+    };
+    let mut regressed = false;
+    for m in modes {
+        let d = diff_profiles(&base_profile, &cand_profile, m, &DiffThresholds::default());
+        print!("{}", render_diff(&d));
+        regressed |= d.regressed;
+    }
+    if regressed {
+        return Err("critical-path regression flagged".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (cmd, path) = match (args.get(1), args.get(2)) {
@@ -602,6 +672,17 @@ fn main() -> ExitCode {
                 .and_then(|s| s.parse::<u64>().ok())
                 .unwrap_or(30),
         ),
+        "profile" => cmd_profile(
+            path,
+            args.get(3)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(4),
+            args.get(4).and_then(|s| s.parse::<f64>().ok()),
+        ),
+        "diff" => match args.get(3) {
+            Some(cand) => cmd_diff(path, cand, args.get(4).map_or("abs", |s| s.as_str())),
+            None => return usage(),
+        },
         _ => return usage(),
     };
     match result {

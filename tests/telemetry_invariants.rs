@@ -7,13 +7,16 @@
 //! `requested` span terminates exactly once, phase timestamps are
 //! monotone, and the aggregate counters agree with the events.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use pccheck::{recover_instrumented, CheckpointStore, PcCheckConfig, PcCheckEngine};
 use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice, StripedDevice, TieredDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
-use pccheck_telemetry::{EventKind, SpanId, Telemetry};
+use pccheck_telemetry::{
+    chrome_trace_annotated, EventKind, SpanId, Telemetry, TelemetryIoObserver,
+};
+use pccheck_util::json::JsonValue;
 use pccheck_util::ByteSize;
 
 fn engine_with_telemetry(size: ByteSize, max_concurrent: usize) -> (PcCheckEngine, Telemetry) {
@@ -278,6 +281,169 @@ fn tiered_device_gauges_return_to_zero_after_drain() {
     let device: Arc<dyn PersistentDevice> = Arc::new(TieredDevice::new(tier, spill));
     // Controller + tier + spill.
     gauges_drain_to_zero_on(device, 3);
+}
+
+/// The full Chrome-trace exporter output, parsed back with the crate's
+/// own JSON reader rather than spot-checked with substring matches: the
+/// document must be well-formed, every complete (`ph:"X"`) slice must
+/// carry numeric `ts`/`dur`, and every actor-lane slice must be
+/// referentially consistent — its `args.parent_span` names a span that
+/// was actually requested (or 0 for device-member legs attributed after
+/// the fact), its `tid` resolves through a `thread_name` metadata entry
+/// to the same actor name, and its media/queue-wait split sums exactly to
+/// the slice duration. The annotated critical-path lane must likewise
+/// reference only real spans.
+#[test]
+fn chrome_trace_parses_with_actor_lane_referential_integrity() {
+    // A 2-way stripe with the I/O observer attached so all three lane
+    // families appear: per-checkpoint writer legs, per-member device
+    // legs, and the profiler's critical-path annotation lane.
+    let size = ByteSize::from_kb(128);
+    let cap = CheckpointStore::required_capacity(size, 3) + ByteSize::from_kb(4);
+    let members: Vec<Arc<dyn PersistentDevice>> = (0..2)
+        .map(|_| {
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap))) as Arc<dyn PersistentDevice>
+        })
+        .collect();
+    let striped = Arc::new(StripedDevice::new(members, ByteSize::from_kb(4)));
+    let telemetry = Telemetry::enabled();
+    striped.set_io_observer(Arc::new(TelemetryIoObserver::new(telemetry.clone())));
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_kb(16))
+            .dram_chunks(4)
+            .build()
+            .expect("valid config"),
+        striped,
+        size,
+    )
+    .expect("engine constructs")
+    .with_telemetry(telemetry.clone());
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::synthetic(size, 3),
+    );
+    for iter in 1..=6u64 {
+        gpu.update();
+        engine.checkpoint(&gpu, iter);
+    }
+    engine.try_drain().expect("healthy device");
+
+    let events = telemetry.events();
+    let trace = chrome_trace_annotated(&events);
+    let doc = JsonValue::parse(&trace).expect("trace is well-formed JSON");
+    let entries = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!entries.is_empty());
+
+    // Ground truth from the raw stream.
+    let mut spans: HashSet<u64> = HashSet::new();
+    let mut actor_events = 0usize;
+    for e in &events {
+        if matches!(e.kind, EventKind::Requested { .. }) {
+            spans.insert(e.span.0);
+        }
+        if matches!(e.kind, EventKind::ActorSpan { .. }) {
+            actor_events += 1;
+        }
+    }
+    assert!(actor_events > 0, "striped run must emit actor legs");
+
+    // Lane registry from the exporter's thread_name metadata.
+    let mut lanes: HashMap<u64, String> = HashMap::new();
+    for e in entries {
+        if e.get("name").and_then(|v| v.as_str()) == Some("thread_name") {
+            let tid = e.get("tid").and_then(|v| v.as_u64()).expect("metadata tid");
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str())
+                .expect("lane name")
+                .to_string();
+            lanes.insert(tid, name);
+        }
+    }
+
+    let mut actor_entries = 0usize;
+    let mut critical_entries = 0usize;
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(|v| v.as_str())
+            .expect("every entry named");
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every entry has a ph");
+        if ph == "X" {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some(), "X slice ts");
+            let dur = e.get("dur").and_then(|v| v.as_f64()).expect("X slice dur");
+            assert!(dur >= 0.0, "negative slice duration");
+        }
+        match e.get("cat").and_then(|v| v.as_str()) {
+            Some("actor") => {
+                actor_entries += 1;
+                let args = e.get("args").expect("actor slice args");
+                let parent = args
+                    .get("parent_span")
+                    .and_then(|v| v.as_u64())
+                    .expect("parent_span");
+                assert!(
+                    parent == 0 || spans.contains(&parent),
+                    "actor slice {name:?} references unknown span {parent}"
+                );
+                let tid = e.get("tid").and_then(|v| v.as_u64()).expect("actor tid");
+                assert_eq!(
+                    lanes.get(&tid).map(String::as_str),
+                    Some(name),
+                    "actor slice must ride a lane whose metadata names it"
+                );
+                let media = args
+                    .get("media_nanos")
+                    .and_then(|v| v.as_u64())
+                    .expect("media_nanos");
+                let queue = args
+                    .get("queue_wait_nanos")
+                    .and_then(|v| v.as_u64())
+                    .expect("queue_wait_nanos");
+                let dur = e.get("dur").and_then(|v| v.as_f64()).unwrap();
+                let sum_us = (media + queue) as f64 / 1e3;
+                assert!(
+                    (sum_us - dur).abs() < 0.5,
+                    "media+queue ({sum_us} us) must equal slice duration ({dur} us)"
+                );
+            }
+            Some("critical") => {
+                critical_entries += 1;
+                assert!(name.starts_with("crit:"), "critical slice named {name:?}");
+                let parent = e
+                    .get("args")
+                    .and_then(|a| a.get("parent_span"))
+                    .and_then(|v| v.as_u64())
+                    .expect("critical parent_span");
+                assert!(
+                    spans.contains(&parent),
+                    "critical slice references unknown span {parent}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        actor_entries, actor_events,
+        "every ActorSpan event renders exactly one lane slice"
+    );
+    assert!(
+        critical_entries > 0,
+        "annotated trace must carry the critical-path lane"
+    );
+    assert!(lanes.values().any(|l| l.starts_with("writer-")));
+    assert!(lanes.values().any(|l| l.starts_with("stripe-")));
+    assert!(lanes.values().any(|l| l == "critical-path"));
 }
 
 #[test]
