@@ -37,7 +37,7 @@ use pccheck_util::ByteSize;
 use crate::config::PcCheckConfig;
 use crate::error::PccheckError;
 use crate::pipeline::{FenceMode, PersistPipeline, PipelineCtx};
-use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
+use crate::store::{CheckpointStore, CommitOutcome, JobId, SlotLease};
 
 /// Cumulative engine statistics.
 ///
@@ -126,6 +126,10 @@ pub struct PcCheckEngine {
     pipeline: Arc<PersistPipeline>,
     store: Arc<CheckpointStore>,
     pool: HostBufferPool,
+    /// In service mode, the tenant this facade checkpoints for: leases
+    /// come from this job's namespace and commits move its commit
+    /// pointer. `None` = classic single-tenant engine.
+    job: Option<JobId>,
     in_flight: Arc<InFlight>,
     stats: Arc<EngineStats>,
     telemetry: Telemetry,
@@ -206,6 +210,7 @@ impl PcCheckEngine {
             pipeline: Arc::new(pipeline),
             store,
             pool,
+            job: None,
             in_flight: Arc::new(InFlight::default()),
             stats: Arc::new(EngineStats::default()),
             telemetry: Telemetry::disabled(),
@@ -213,6 +218,74 @@ impl PcCheckEngine {
             last_committed: Arc::new(Mutex::new(last)),
             workers: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Creates a per-job facade over a *shared* pipeline (service mode):
+    /// the store, staging pool, writer pool, and QoS arbiter all belong
+    /// to the daemon; this engine only schedules `job`'s checkpoints over
+    /// them. Leases draw from `job`'s namespace and `last_committed`
+    /// starts from that namespace's recovered head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if the configuration is
+    /// invalid, the pipeline has no staging pool, the store is not
+    /// multi-tenant, `job` has no namespace, or the namespace has fewer
+    /// than `N+1` slots.
+    pub fn with_shared(
+        config: PcCheckConfig,
+        pipeline: Arc<PersistPipeline>,
+        job: JobId,
+    ) -> Result<Self, PccheckError> {
+        config.validate()?;
+        let store = Arc::clone(pipeline.store());
+        if !store.is_multi_tenant() {
+            return Err(PccheckError::InvalidConfig(
+                "with_shared needs a service-mode (multi-tenant) store".into(),
+            ));
+        }
+        let Some(pool) = pipeline.staging_pool().cloned() else {
+            return Err(PccheckError::InvalidConfig(
+                "with_shared needs a pipeline with a staging pool attached".into(),
+            ));
+        };
+        let ns = store
+            .namespaces()
+            .into_iter()
+            .find(|d| d.job == job)
+            .ok_or_else(|| {
+                PccheckError::InvalidConfig(format!("job {job} has no namespace in this store"))
+            })?;
+        if (ns.slot_count as usize) < config.max_concurrent + 1 {
+            return Err(PccheckError::InvalidConfig(format!(
+                "job {job}'s namespace has {} slots but N={} needs {}",
+                ns.slot_count,
+                config.max_concurrent,
+                config.max_concurrent + 1
+            )));
+        }
+        let last = store.latest_committed_job(job)?.map(|m| CheckpointOutcome {
+            iteration: m.iteration,
+            digest: m.state_digest(),
+        });
+        Ok(PcCheckEngine {
+            config,
+            pipeline,
+            store,
+            pool,
+            job: Some(job),
+            in_flight: Arc::new(InFlight::default()),
+            stats: Arc::new(EngineStats::default()),
+            telemetry: Telemetry::disabled(),
+            first_error: Arc::new(Mutex::new(None)),
+            last_committed: Arc::new(Mutex::new(last)),
+            workers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The job this facade checkpoints for (service mode), if any.
+    pub fn job(&self) -> Option<JobId> {
+        self.job
     }
 
     /// The engine configuration.
@@ -297,11 +370,12 @@ impl PcCheckEngine {
         config: &PcCheckConfig,
         ctx: PipelineCtx<'_>,
         guard: OwnedWeightsGuard,
+        job: Option<JobId>,
         iteration: u64,
         digest: pccheck_gpu::StateDigest,
     ) -> Result<CommitOutcome, PccheckError> {
         let total = guard.size();
-        let lease = pipeline.lease(ctx);
+        let lease = pipeline.lease_for(ctx, job)?;
         let (counter, slot) = (lease.counter, lease.slot);
         let result = Self::run_leased(
             pipeline, config, ctx, guard, lease, iteration, digest, total,
@@ -390,13 +464,15 @@ impl Checkpointer for PcCheckEngine {
         let first_error = Arc::clone(&self.first_error);
         let last = Arc::clone(&self.last_committed);
         let total_bytes = guard.size().as_u64();
+        let job = self.job;
         let handle = std::thread::spawn(move || {
             let digest = guard.digest();
             let ctx = PipelineCtx {
                 telemetry: &telemetry,
                 span,
             };
-            let result = Self::run_checkpoint(&pipeline, &config, ctx, guard, iteration, digest);
+            let result =
+                Self::run_checkpoint(&pipeline, &config, ctx, guard, job, iteration, digest);
             match result {
                 Ok(CommitOutcome::Committed) => {
                     stats.counters.incr_committed(total_bytes);
@@ -833,6 +909,74 @@ mod tests {
         done_rx
             .recv_timeout(std::time::Duration::from_secs(10))
             .expect("lost wakeup: an acquirer or drainer never woke");
+    }
+
+    #[test]
+    fn shared_facades_checkpoint_independent_jobs() {
+        use crate::qos::{QosArbiter, QosConfig};
+
+        let state = ByteSize::from_bytes(600);
+        let cap =
+            CheckpointStore::required_capacity_service(state, 8, 64, 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(CheckpointStore::format_service(device, state, 8, 64, 4).unwrap());
+        store.allocate_namespace(1, 4).unwrap();
+        store.allocate_namespace(2, 4).unwrap();
+        let qos = Arc::new(QosArbiter::new(QosConfig::default()));
+        qos.register_job(1, 1);
+        qos.register_job(2, 1);
+        let pool = HostBufferPool::new(ByteSize::from_bytes(64), 16);
+        let pipeline = Arc::new(
+            PersistPipeline::new(Arc::clone(&store))
+                .with_writers(2)
+                .with_staging(pool)
+                .with_qos(Arc::clone(&qos)),
+        );
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(64))
+            .dram_chunks(16)
+            .build()
+            .unwrap();
+        let e1 = PcCheckEngine::with_shared(config.clone(), Arc::clone(&pipeline), 1).unwrap();
+        let e2 = PcCheckEngine::with_shared(config.clone(), Arc::clone(&pipeline), 2).unwrap();
+        assert_eq!(e1.job(), Some(1));
+
+        let g1 = tiny_gpu(600, 21);
+        let g2 = tiny_gpu(600, 22);
+        for iter in 1..=6u64 {
+            g1.update();
+            g2.update();
+            e1.checkpoint(&g1, iter);
+            e2.checkpoint(&g2, 100 + iter);
+        }
+        e1.drain();
+        e2.drain();
+        assert_eq!(e1.last_committed().unwrap().iteration, 6);
+        assert_eq!(e2.last_committed().unwrap().iteration, 106);
+        // The store's per-namespace heads agree with the facades.
+        assert_eq!(store.latest_committed_job(1).unwrap().unwrap().iteration, 6);
+        assert_eq!(
+            store.latest_committed_job(2).unwrap().unwrap().iteration,
+            106
+        );
+        // Both jobs' chunk writes were metered by the shared arbiter.
+        let shares = qos.shares();
+        assert!(shares.iter().find(|s| s.0 == 1).unwrap().1 >= 600);
+        assert!(shares.iter().find(|s| s.0 == 2).unwrap().1 >= 600);
+
+        // A new facade over the same pipeline resumes from the namespace
+        // head, exactly like a restarted tenant reattaching to the daemon.
+        let e1b = PcCheckEngine::with_shared(config.clone(), Arc::clone(&pipeline), 1).unwrap();
+        assert_eq!(e1b.last_committed().unwrap().iteration, 6);
+
+        // Unknown job and missing namespaces are rejected at build time.
+        assert!(matches!(
+            PcCheckEngine::with_shared(config, Arc::clone(&pipeline), 99),
+            Err(PccheckError::InvalidConfig(_))
+        ));
     }
 
     #[test]

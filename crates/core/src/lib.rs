@@ -71,6 +71,7 @@ pub mod error;
 pub mod footprint;
 pub mod meta;
 pub mod pipeline;
+pub mod qos;
 pub mod queue;
 pub mod recovery;
 pub mod restore;
@@ -80,17 +81,20 @@ pub mod tuner;
 pub use config::{PcCheckConfig, PcCheckConfigBuilder};
 pub use engine::{EngineStats, PcCheckEngine};
 pub use error::PccheckError;
+pub use meta::NamespaceDesc;
 pub use meta::{CheckMeta, DeltaLink};
 pub use pipeline::{
     DeltaOutcome, DeltaPlan, DeltaPolicy, FenceMode, PersistPipeline, PipelineCtx,
     KERNEL_COPY_CHUNK,
 };
+pub use qos::{QosArbiter, QosConfig, QosGrant};
 pub use recovery::{
-    recover, recover_instrumented, RecoveredCheckpoint, RecoveryModel, RecoveryTrace, Strategy,
+    recover, recover_instrumented, recover_job, RecoveredCheckpoint, RecoveryModel, RecoveryTrace,
+    Strategy,
 };
 pub use restore::{
     recover_instrumented_with, recover_into_gpu, LayerCache, RestoreOptions, RestorePipeline,
     RestoreSink,
 };
-pub use store::{CheckpointStore, CommitOutcome, RawStoreView};
+pub use store::{CheckpointStore, CommitOutcome, JobId, RawStoreView};
 pub use tuner::{AdaptiveTuner, Tuner, TunerInputs, TunerRecommendation};

@@ -111,6 +111,68 @@ impl CheckMeta {
     }
 }
 
+/// Serialized size of a namespace descriptor: one cache line.
+pub const NS_DESC_SIZE: u64 = 64;
+
+const NS_MAGIC: u32 = 0x5043_4E53; // "PCNS"
+
+/// Descriptor of one per-job slot namespace in a multi-tenant store.
+///
+/// A service-mode store carves its slot array into contiguous per-job
+/// ranges; each range is described by one of these 64-byte records in the
+/// namespace directory at the tail of the device. Like [`CheckMeta`], the
+/// record carries a checksum so a torn directory write is detected and the
+/// entry treated as unallocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NamespaceDesc {
+    /// The tenant this namespace belongs to.
+    pub job: u64,
+    /// First slot of the contiguous range.
+    pub slot_start: u32,
+    /// Number of slots in the range (`N+1` for `N` concurrent checkpoints).
+    pub slot_count: u32,
+}
+
+impl NamespaceDesc {
+    /// The half-open slot range this namespace owns.
+    pub fn slot_range(&self) -> std::ops::Range<u32> {
+        self.slot_start..self.slot_start + self.slot_count
+    }
+
+    /// Serializes to a 64-byte record with magic and checksum.
+    pub fn encode(&self) -> [u8; NS_DESC_SIZE as usize] {
+        let mut buf = [0u8; NS_DESC_SIZE as usize];
+        buf[0..4].copy_from_slice(&NS_MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.slot_start.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.slot_count.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.job.to_le_bytes());
+        let crc = checksum(&buf[0..24]);
+        buf[24..32].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a record, returning `None` if the magic or checksum is wrong
+    /// (free directory entry, torn write, or corruption).
+    pub fn decode(buf: &[u8]) -> Option<NamespaceDesc> {
+        if buf.len() < NS_DESC_SIZE as usize {
+            return None;
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        if magic != NS_MAGIC {
+            return None;
+        }
+        let stored_crc = u64::from_le_bytes(buf[24..32].try_into().ok()?);
+        if checksum(&buf[0..24]) != stored_crc {
+            return None;
+        }
+        Some(NamespaceDesc {
+            slot_start: u32::from_le_bytes(buf[4..8].try_into().ok()?),
+            slot_count: u32::from_le_bytes(buf[8..12].try_into().ok()?),
+            job: u64::from_le_bytes(buf[16..24].try_into().ok()?),
+        })
+    }
+}
+
 /// The in-memory `CHECK_ADDR` word: (counter, slot) packed into a `u64` so a
 /// single CAS can swing the "latest committed checkpoint" pointer
 /// (Listing 1, line 20).
@@ -238,6 +300,22 @@ mod tests {
     #[test]
     fn decode_rejects_short_buffer() {
         assert_eq!(CheckMeta::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn namespace_desc_round_trips_and_rejects_corruption() {
+        let d = NamespaceDesc {
+            job: 7,
+            slot_start: 12,
+            slot_count: 4,
+        };
+        let buf = d.encode();
+        assert_eq!(NamespaceDesc::decode(&buf), Some(d));
+        assert_eq!(NamespaceDesc::decode(&[0u8; 64]), None, "free entry");
+        let mut torn = buf;
+        torn[5] ^= 1;
+        assert_eq!(NamespaceDesc::decode(&torn), None);
+        assert_eq!(NamespaceDesc::decode(&buf[..32]), None, "short buffer");
     }
 
     #[test]

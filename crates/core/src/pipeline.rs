@@ -36,7 +36,8 @@ use pccheck_util::ByteSize;
 
 use crate::error::PccheckError;
 use crate::meta::DeltaLink;
-use crate::store::{CheckpointStore, CommitOutcome, SlotLease};
+use crate::qos::QosArbiter;
+use crate::store::{CheckpointStore, CommitOutcome, JobId, SlotLease};
 
 /// Tile size for the GPU-kernel write-through loop (kernel grids move data
 /// in bounded tiles; GPM's SSD/PMEM adaptation).
@@ -149,6 +150,9 @@ pub struct PersistPipeline {
     pool: Option<HostBufferPool>,
     writers: usize,
     fence: FenceMode,
+    /// Bandwidth arbiter gating writer-pool leases when several jobs
+    /// multiplex this pipeline (service mode). `None` = no arbitration.
+    qos: Option<Arc<QosArbiter>>,
     /// Per-slot digests awaiting commit, shared across clones so a
     /// background committer sees what the copier collected.
     pending_digests: Arc<Mutex<HashMap<u32, PendingDigests>>>,
@@ -163,6 +167,7 @@ impl PersistPipeline {
             pool: None,
             writers: 1,
             fence: FenceMode::PerWriter,
+            qos: None,
             pending_digests: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -234,6 +239,20 @@ impl PersistPipeline {
         self
     }
 
+    /// Attaches the bandwidth QoS arbiter: every chunk write first
+    /// acquires a byte-metered grant on behalf of the lease's job, so
+    /// concurrent jobs share the writer pool in weighted-deficit
+    /// round-robin order instead of device-queue arrival order.
+    pub fn with_qos(mut self, qos: Arc<QosArbiter>) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
+    /// The attached QoS arbiter, when one is installed.
+    pub fn qos(&self) -> Option<&Arc<QosArbiter>> {
+        self.qos.as_ref()
+    }
+
     /// The underlying store.
     pub fn store(&self) -> &Arc<CheckpointStore> {
         &self.store
@@ -256,12 +275,40 @@ impl PersistPipeline {
     }
 
     /// Leases a free slot and refreshes the queue-depth gauges.
+    ///
+    /// Single-tenant stores only; on a multi-tenant (service-mode) store
+    /// use [`lease_for`](Self::lease_for) with the job id.
     pub fn lease(&self, ctx: PipelineCtx<'_>) -> SlotLease {
         let lease = self.store.begin_checkpoint();
         ctx.telemetry
             .gauge_queue_depth(self.store.free_slot_count() as u64);
         self.sample_device_queues(ctx);
         lease
+    }
+
+    /// Leases a free slot from `job`'s namespace (or the global pool when
+    /// `job` is `None`) and refreshes the queue-depth gauges with that
+    /// job's free-slot count.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `job` names no namespace in the store.
+    pub fn lease_for(
+        &self,
+        ctx: PipelineCtx<'_>,
+        job: Option<JobId>,
+    ) -> Result<SlotLease, PccheckError> {
+        let lease = match job {
+            Some(j) => self.store.begin_checkpoint_job(j)?,
+            None => self.store.begin_checkpoint(),
+        };
+        let free = match job {
+            Some(j) => self.store.free_slot_count_job(j)?,
+            None => self.store.free_slot_count(),
+        };
+        ctx.telemetry.gauge_queue_depth(free as u64);
+        self.sample_device_queues(ctx);
+        Ok(lease)
     }
 
     /// Writes one payload chunk, feeding the write-stage histogram and the
@@ -304,14 +351,22 @@ impl PersistPipeline {
         Ok(media)
     }
 
-    /// Samples the device's submission queues into the per-device gauges.
-    /// Composite devices report the controller at index 0 and each member
-    /// after it.
+    /// Samples the device's submission queues into the per-device gauges
+    /// and, when a QoS arbiter is attached, feeds the summed depth into
+    /// its backpressure cap. Composite devices report the controller at
+    /// index 0 and each member after it.
     fn sample_device_queues(&self, ctx: PipelineCtx<'_>) {
+        if self.qos.is_none() && !ctx.telemetry.is_enabled() {
+            return;
+        }
+        let depths = self.store.device().queue_depths();
+        if let Some(q) = &self.qos {
+            q.observe_queue_depth(depths.iter().copied().sum());
+        }
         if !ctx.telemetry.is_enabled() {
             return;
         }
-        for (i, depth) in self.store.device().queue_depths().iter().enumerate() {
+        for (i, depth) in depths.iter().enumerate() {
             ctx.telemetry.gauge_device_queue(i, *depth);
         }
     }
@@ -326,6 +381,13 @@ impl PersistPipeline {
         offset: u64,
         data: &[u8],
     ) -> Result<u64, PccheckError> {
+        // Held across write + fence: the grant is the writer-pool lease
+        // the WDRR arbiter schedules. Legacy (non-namespaced) leases in a
+        // QoS pipeline charge job 0.
+        let _grant = self
+            .qos
+            .as_ref()
+            .map(|q| q.acquire(lease.job().unwrap_or(0), data.len() as u64));
         let mut media = self.write_chunk(ctx, lease, offset, data)?;
         if self.fence == FenceMode::PerWriter {
             media += self.persist_chunk(ctx, lease, offset, data.len() as u64)?;
@@ -582,7 +644,9 @@ impl PersistPipeline {
         };
         ctx.telemetry.gauge_dirty_ratio((ratio * 1000.0) as u64);
 
-        let base = self.store.latest_committed();
+        // Delta chains are per-tenant: a namespaced lease bases on its own
+        // namespace's head, never on another job's checkpoint.
+        let base = self.store.latest_committed_for(lease);
         let plan_delta = match &base {
             None => None,
             Some(base) => {
@@ -1401,6 +1465,162 @@ mod tests {
             .unwrap();
         let meta = pipeline.store().latest_committed().unwrap();
         assert!(pipeline.store().read_digest_table(&meta).is_none());
+    }
+
+    #[test]
+    fn multi_job_leases_route_through_qos_and_namespaces() {
+        use crate::qos::{QosArbiter, QosConfig};
+
+        let state = ByteSize::from_bytes(900);
+        let cap = CheckpointStore::required_capacity_service(state, 8, 0, 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(CheckpointStore::format_service(device, state, 8, 0, 4).unwrap());
+        store.allocate_namespace(1, 3).unwrap();
+        store.allocate_namespace(2, 3).unwrap();
+        let qos = Arc::new(QosArbiter::new(QosConfig::default()));
+        qos.register_job(1, 1);
+        qos.register_job(2, 1);
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 8);
+        let pipeline = PersistPipeline::new(store)
+            .with_writers(2)
+            .with_staging(pool)
+            .with_qos(Arc::clone(&qos));
+        let telemetry = Telemetry::disabled();
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span: SpanId::NONE,
+        };
+        for (job, seed, iter) in [(1u64, 5u64, 10u64), (2, 6, 20)] {
+            let g = gpu(900, seed);
+            g.update();
+            let guard = g.lock_weights_shared_owned();
+            let digest = guard.digest();
+            let total = guard.size();
+            let lease = pipeline.lease_for(ctx, Some(job)).unwrap();
+            assert_eq!(lease.job(), Some(job));
+            let start = pipeline.copy_streamed(ctx, &guard, &lease, total).unwrap();
+            drop(guard);
+            pipeline.seal(ctx, &lease, iter, total, start).unwrap();
+            let out = pipeline
+                .commit(ctx, lease, iter, total.as_u64(), digest.0)
+                .unwrap();
+            assert_eq!(out, CommitOutcome::Committed);
+        }
+        // Each job committed into its own namespace...
+        let store = pipeline.store();
+        assert_eq!(
+            store.latest_committed_job(1).unwrap().unwrap().iteration,
+            10
+        );
+        assert_eq!(
+            store.latest_committed_job(2).unwrap().unwrap().iteration,
+            20
+        );
+        // ...and every chunk write was metered by the arbiter.
+        let shares = qos.shares();
+        assert_eq!(shares.iter().find(|s| s.0 == 1).unwrap().1, 900);
+        assert_eq!(shares.iter().find(|s| s.0 == 2).unwrap().1, 900);
+        // An unknown job is rejected at lease time.
+        assert!(pipeline.lease_for(ctx, Some(99)).is_err());
+    }
+
+    #[test]
+    fn delta_chains_stay_inside_their_namespace() {
+        // Job 1 commits iteration 1 (full) then a sparse update; job 2
+        // commits nothing. Job 2's first delta attempt must fall back to
+        // full (no base IN ITS NAMESPACE) even though job 1's head exists.
+        let state = ByteSize::from_bytes(1024);
+        let cap = CheckpointStore::required_capacity_service(state, 8, 0, 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(CheckpointStore::format_service(device, state, 8, 0, 4).unwrap());
+        store.allocate_namespace(1, 4).unwrap();
+        store.allocate_namespace(2, 4).unwrap();
+        let pool = HostBufferPool::new(ByteSize::from_bytes(128), 4);
+        let pipeline = PersistPipeline::new(store)
+            .with_writers(2)
+            .with_staging(pool);
+        let telemetry = Telemetry::disabled();
+        let ctx = PipelineCtx {
+            telemetry: &telemetry,
+            span: SpanId::NONE,
+        };
+        let policy = DeltaPolicy::default();
+
+        let g1 = gpu(1024, 51);
+        g1.update();
+        for iter in 1..=2u64 {
+            let guard = g1.lock_weights_shared_owned();
+            let digest = guard.digest();
+            let total = guard.size();
+            let lease = pipeline.lease_for(ctx, Some(1)).unwrap();
+            let plan = pipeline
+                .copy_delta(ctx, &guard, &lease, total, digest.0, policy)
+                .unwrap();
+            drop(guard);
+            match plan {
+                DeltaPlan::Full { persist_start } => {
+                    assert_eq!(iter, 1, "first commit has no base");
+                    pipeline
+                        .seal(ctx, &lease, iter, total, persist_start)
+                        .unwrap();
+                    pipeline
+                        .commit(ctx, lease, iter, total.as_u64(), digest.0)
+                        .unwrap();
+                }
+                DeltaPlan::Delta {
+                    persist_start,
+                    payload_len,
+                    payload_digest,
+                    link,
+                    ..
+                } => {
+                    assert_eq!(iter, 2, "sparse update chains on the job's own base");
+                    pipeline
+                        .seal(
+                            ctx,
+                            &lease,
+                            iter,
+                            ByteSize::from_bytes(payload_len),
+                            persist_start,
+                        )
+                        .unwrap();
+                    pipeline
+                        .commit_delta(ctx, lease, iter, payload_len, payload_digest, link)
+                        .unwrap();
+                }
+            }
+            g1.update_sparse(0.1);
+        }
+        assert_eq!(
+            pipeline
+                .store()
+                .latest_committed_job(1)
+                .unwrap()
+                .unwrap()
+                .delta
+                .unwrap()
+                .chain_depth,
+            1
+        );
+
+        // Job 2, sparse dirty set but empty namespace: must plan Full.
+        let g2 = gpu(1024, 52);
+        g2.update();
+        g2.update_sparse(0.1);
+        let guard = g2.lock_weights_shared_owned();
+        let digest = guard.digest();
+        let total = guard.size();
+        let lease = pipeline.lease_for(ctx, Some(2)).unwrap();
+        let plan = pipeline
+            .copy_delta(ctx, &guard, &lease, total, digest.0, policy)
+            .unwrap();
+        drop(guard);
+        assert!(
+            matches!(plan, DeltaPlan::Full { .. }),
+            "job 2 has no base in its namespace: {plan:?}"
+        );
     }
 
     #[test]

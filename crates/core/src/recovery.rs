@@ -97,6 +97,29 @@ pub fn recover(device: Arc<dyn PersistentDevice>) -> Result<RecoveredCheckpoint,
     recover_instrumented(device, &Telemetry::disabled()).map(|(r, _)| r)
 }
 
+/// [`recover`] scoped to one tenant of a multi-tenant (service-mode)
+/// store: only `job`'s namespace slots are candidates, so a torn newest
+/// checkpoint falls back within the job's own history and never onto
+/// another tenant's state.
+///
+/// # Errors
+///
+/// Same as [`recover`], plus [`PccheckError::InvalidConfig`] when the
+/// device does not hold a multi-tenant store.
+/// [`PccheckError::NoCheckpoint`] means *this job* has no committed
+/// checkpoint, even if other namespaces do.
+pub fn recover_job(
+    device: Arc<dyn PersistentDevice>,
+    job: crate::store::JobId,
+) -> Result<RecoveredCheckpoint, PccheckError> {
+    let options = RestoreOptions {
+        job: Some(job),
+        ..RestoreOptions::default()
+    };
+    crate::restore::recover_instrumented_with(device, &Telemetry::disabled(), options)
+        .map(|(r, _)| r)
+}
+
 /// [`recover`] with recovery-path instrumentation: phase spans on
 /// `telemetry` (scan / load / verify plus the restore pipeline's
 /// read/verify/upload stages), a [`RecoveryTrace`] of measured
@@ -332,6 +355,71 @@ mod tests {
         assert!(snap.phase(Phase::RecoveryScan).count >= 1);
         assert!(snap.phase(Phase::RecoveryLoad).count >= 2);
         assert!(snap.phase(Phase::RecoveryVerify).count >= 2);
+    }
+
+    #[test]
+    fn job_scoped_recovery_never_crosses_namespaces() {
+        // Two tenants in one service store. Job 1 commits iters 1..=2,
+        // job 2 commits iter 7 (globally newest). Then job 1's newest
+        // payload is torn.
+        let slot = ByteSize::from_bytes(64);
+        let cap = CheckpointStore::required_capacity_service(slot, 6, 0, 4) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format_service(Arc::clone(&dev), slot, 6, 0, 4).unwrap();
+        st.allocate_namespace(1, 3).unwrap();
+        st.allocate_namespace(2, 3).unwrap();
+        let mut commit = |job: u64, iter: u64| {
+            let payload = format!("job{job}-iter{iter}");
+            let lease = st.begin_checkpoint_job(job).unwrap();
+            st.write_payload(&lease, 0, payload.as_bytes()).unwrap();
+            st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+            st.commit(
+                lease,
+                iter,
+                payload.len() as u64,
+                checksum(payload.as_bytes()),
+            )
+            .unwrap();
+        };
+        commit(1, 1);
+        commit(1, 2);
+        commit(2, 7);
+        let newest_job1 = st.latest_committed_job(1).unwrap().unwrap();
+        let off = st.slot_payload_offset(newest_job1.slot);
+        dev.write_at(off, b"XX").unwrap();
+        dev.persist(off, 2).unwrap();
+        drop(st);
+
+        // Job 1 falls back to its own iter 1 — not to job 2's newer
+        // checkpoint, which is a different tenant's state.
+        let rec = recover_job(Arc::clone(&dev), 1).unwrap();
+        assert_eq!(rec.iteration, 1);
+        assert_eq!(rec.payload, b"job1-iter1");
+        // Job 2 recovers its own head untouched by job 1's corruption.
+        let rec = recover_job(Arc::clone(&dev), 2).unwrap();
+        assert_eq!(rec.iteration, 7);
+        assert_eq!(rec.payload, b"job2-iter7");
+        // A job with no namespace has no checkpoint.
+        assert_eq!(
+            recover_job(Arc::clone(&dev), 99),
+            Err(PccheckError::NoCheckpoint)
+        );
+        // Unscoped recovery still picks the globally newest commit.
+        assert_eq!(recover(dev).unwrap().iteration, 7);
+    }
+
+    #[test]
+    fn job_scoped_recovery_rejects_single_tenant_stores() {
+        let cap =
+            CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        committed_store(Arc::clone(&dev), 1);
+        assert!(matches!(
+            recover_job(dev, 1),
+            Err(PccheckError::InvalidConfig(_))
+        ));
     }
 
     #[test]

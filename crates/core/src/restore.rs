@@ -60,6 +60,11 @@ pub struct RestoreOptions {
     /// How many of the newest candidates have their digest tables probed
     /// concurrently before the first payload fetch starts.
     pub probe: usize,
+    /// On a multi-tenant (service-mode) store, recover only this job's
+    /// namespace: candidates outside its slot range are never considered,
+    /// so one tenant's torn checkpoint can never fall back onto another
+    /// tenant's state. `None` recovers the newest checkpoint store-wide.
+    pub job: Option<crate::store::JobId>,
 }
 
 impl Default for RestoreOptions {
@@ -67,6 +72,7 @@ impl Default for RestoreOptions {
         RestoreOptions {
             readers: 4,
             probe: 2,
+            job: None,
         }
     }
 }
@@ -827,7 +833,16 @@ fn recover_core(
     let store = Arc::new(CheckpointStore::open(device)?);
     store.flight().record_run(FlightEventKind::RecoveryStart, 0);
     // Candidates: every slot holding a complete checkpoint, newest first.
+    // With a job filter, only that namespace's slots are candidates.
     let mut candidates = store.history()?;
+    if let Some(job) = options.job {
+        if !store.is_multi_tenant() {
+            return Err(PccheckError::InvalidConfig(
+                "job-scoped recovery needs a multi-tenant store".into(),
+            ));
+        }
+        candidates.retain(|m| store.namespace_of_slot(m.slot) == Some(job));
+    }
     candidates.reverse();
     let pipeline = RestorePipeline::new(Arc::clone(&store)).with_readers(options.readers);
     pipeline.probe(&candidates, options.probe);

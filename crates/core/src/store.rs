@@ -21,6 +21,9 @@
 //! | digest tables      |  optional per-slot per-chunk digest tables
 //! | (slots · stride)   |  (`digest_chunks` > 0; advisory, CRC-protected)
 //! +--------------------+
+//! | namespace directory|  optional multi-tenant directory
+//! | (max_ns · 128B)    |  (`max_namespaces` > 0; descriptor + per-job
+//! +--------------------+   CHECK_ADDR record per entry)
 //! ```
 //!
 //! The digest region holds one fixed-stride [`ChunkDigestTable`] per slot,
@@ -52,24 +55,48 @@
 //! The invariant maintained: the slot referenced by the durable
 //! `CHECK_ADDR` is never in the free queue, so no concurrent checkpoint
 //! can overwrite the latest committed state.
+//!
+//! # Multi-tenant namespaces
+//!
+//! A *service-mode* store (formatted via
+//! [`CheckpointStore::format_service`]) additionally carves its slot array
+//! into contiguous per-job **namespaces**. Each namespace owns a private
+//! free-slot queue and a private `CHECK_ADDR` (in memory and on device, in
+//! the directory at the tail of the layout), so the full Listing 1 commit
+//! protocol runs independently per tenant: jobs never race each other's
+//! CAS, never lease each other's slots, and recover independently. The
+//! global counter stays store-wide, keeping every checkpoint's counter
+//! unique across tenants (forensics and the flight ring rely on that).
+//! Legacy stores carry `max_namespaces == 0` in the header and behave
+//! exactly as before.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use pccheck_device::{ChunkDigestTable, PersistentDevice};
 use pccheck_telemetry::{FlightEventKind, FlightRecorder, FlightRing};
 use pccheck_util::ByteSize;
 
 use crate::error::PccheckError;
-use crate::meta::{CheckMeta, DeltaLink, PackedCheckAddr, META_RECORD_SIZE};
+use crate::meta::{
+    CheckMeta, DeltaLink, NamespaceDesc, PackedCheckAddr, META_RECORD_SIZE, NS_DESC_SIZE,
+};
 use crate::queue::SlotQueue;
+
+/// Identifier of a tenant job in a multi-tenant store (matches the sim's
+/// fluid-model job ids so fairness oracles line up).
+pub type JobId = u64;
 
 const STORE_MAGIC: u64 = 0x5043_6368_6543_6B31; // "PCcheCk1"
 const HEADER_SIZE: u64 = 64;
 const CHECK_ADDR_OFFSET: u64 = HEADER_SIZE;
 const SLOTS_OFFSET: u64 = HEADER_SIZE + META_RECORD_SIZE;
+
+/// Stride of one namespace-directory entry: the 64-byte descriptor
+/// followed by that namespace's own 64-byte CHECK_ADDR record.
+const NS_ENTRY_SIZE: u64 = NS_DESC_SIZE + META_RECORD_SIZE;
 
 /// The finest chunk granularity the per-slot digest region is provisioned
 /// for: a slot of `s` bytes gets room for `ceil(s / 4096)` chunk digests,
@@ -105,6 +132,43 @@ pub struct SlotLease {
     /// The `CHECK_ADDR` observed before the counter was taken (Listing 1
     /// line 3) — the CAS baseline.
     last_check: PackedCheckAddr,
+    /// The namespace the lease was drawn from (`None` on a legacy
+    /// single-tenant store): commit routes its CAS, durable CHECK_ADDR
+    /// write, and slot recycling through this namespace's private state.
+    ns: Option<Arc<Namespace>>,
+}
+
+impl SlotLease {
+    /// The tenant this lease belongs to, or `None` on a legacy store.
+    pub fn job(&self) -> Option<JobId> {
+        self.ns.as_ref().map(|n| n.desc.job)
+    }
+}
+
+/// One tenant's slice of a service-mode store: a contiguous slot range
+/// with its own free queue and commit pointer.
+#[derive(Debug)]
+pub(crate) struct Namespace {
+    desc: NamespaceDesc,
+    /// This namespace's in-memory CHECK_ADDR (packed counter+slot).
+    check_addr: AtomicU64,
+    free_slots: SlotQueue,
+    /// Serializes write+persist of this namespace's durable CHECK_ADDR
+    /// record (same role as the store-wide `check_addr_io`).
+    check_addr_io: Mutex<u64>,
+    /// Device offset of this namespace's directory entry (descriptor at
+    /// +0, CHECK_ADDR record at +[`NS_DESC_SIZE`]).
+    dir_offset: u64,
+}
+
+impl Namespace {
+    fn check_rec_offset(&self) -> u64 {
+        self.dir_offset + NS_DESC_SIZE
+    }
+
+    fn slot_range(&self) -> std::ops::Range<u32> {
+        self.desc.slot_start..self.desc.slot_start + self.desc.slot_count
+    }
 }
 
 /// The persistent checkpoint store.
@@ -134,6 +198,14 @@ pub struct CheckpointStore {
     /// Per-slot digest-table capacity in chunk digests (0 = the store was
     /// formatted without a digest region).
     digest_chunks: u32,
+    /// Directory capacity in namespaces (0 = legacy single-tenant store).
+    max_namespaces: u32,
+    /// Allocated namespaces, in directory order. Appended under the write
+    /// lock by [`allocate_namespace`](Self::allocate_namespace); the hot
+    /// commit path never takes this lock (the lease carries its `Arc`).
+    namespaces: RwLock<Vec<Arc<Namespace>>>,
+    /// Next unallocated slot (service mode's bump allocator).
+    next_free_slot: AtomicU32,
 }
 
 impl CheckpointStore {
@@ -162,6 +234,41 @@ impl CheckpointStore {
             + ByteSize::from_bytes(
                 ChunkDigestTable::encoded_len_for(digest_chunks as usize) * u64::from(slots),
             )
+    }
+
+    /// Bytes of device space a multi-tenant store needs: the legacy layout
+    /// plus a namespace directory of `max_namespaces` 128-byte entries.
+    pub fn required_capacity_service(
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+        max_namespaces: u32,
+    ) -> ByteSize {
+        Self::required_capacity_with_flight(slot_size, slots, flight_records)
+            + ByteSize::from_bytes(NS_ENTRY_SIZE * u64::from(max_namespaces))
+    }
+
+    /// Device offset where the namespace directory starts for this
+    /// geometry — after the digest region, so every older region keeps its
+    /// offset. `digest_chunks` is the header's value (0 on stores without
+    /// a digest region).
+    fn ns_dir_base_static(
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+        digest_chunks: u32,
+    ) -> u64 {
+        Self::digest_base_static(slot_size, slots, flight_records)
+            + ChunkDigestTable::encoded_len_for(digest_chunks as usize) * u64::from(slots)
+    }
+
+    fn ns_dir_base(&self) -> u64 {
+        Self::ns_dir_base_static(
+            self.slot_size,
+            self.num_slots,
+            self.flight_records,
+            self.digest_chunks,
+        )
     }
 
     /// Chunk-digest capacity the default format provisions per slot:
@@ -222,6 +329,42 @@ impl CheckpointStore {
         slots: u32,
         flight_records: u32,
     ) -> Result<Self, PccheckError> {
+        Self::format_inner(device, slot_size, slots, flight_records, 0)
+    }
+
+    /// Formats a *multi-tenant* store: `slots` slots shared by up to
+    /// `max_namespaces` per-job namespaces (allocated later via
+    /// [`allocate_namespace`](Self::allocate_namespace)). No slot is
+    /// usable until a namespace claims it — service-mode stores have no
+    /// store-wide free queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] if geometry is invalid,
+    /// `max_namespaces == 0`, or the device is too small; propagates
+    /// device errors.
+    pub fn format_service(
+        device: Arc<dyn PersistentDevice>,
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+        max_namespaces: u32,
+    ) -> Result<Self, PccheckError> {
+        if max_namespaces == 0 {
+            return Err(PccheckError::InvalidConfig(
+                "service store needs max_namespaces >= 1 (use format for single-tenant)".into(),
+            ));
+        }
+        Self::format_inner(device, slot_size, slots, flight_records, max_namespaces)
+    }
+
+    fn format_inner(
+        device: Arc<dyn PersistentDevice>,
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+        max_namespaces: u32,
+    ) -> Result<Self, PccheckError> {
         if slots < 2 {
             return Err(PccheckError::InvalidConfig(
                 "store needs at least 2 slots (N>=1 concurrent + 1 committed)".into(),
@@ -232,7 +375,8 @@ impl CheckpointStore {
                 "slot size must be nonzero".into(),
             ));
         }
-        let needed = Self::required_capacity_with_flight(slot_size, slots, flight_records);
+        let needed =
+            Self::required_capacity_service(slot_size, slots, flight_records, max_namespaces);
         if needed > device.capacity() {
             return Err(PccheckError::InvalidConfig(format!(
                 "device capacity {} < required {}",
@@ -248,10 +392,18 @@ impl CheckpointStore {
         header[12..20].copy_from_slice(&slot_size.as_u64().to_le_bytes());
         header[20..24].copy_from_slice(&flight_records.to_le_bytes());
         header[24..28].copy_from_slice(&digest_chunks.to_le_bytes());
+        header[28..32].copy_from_slice(&max_namespaces.to_le_bytes());
         device.write_at(0, &header)?;
         // Zero the CHECK_ADDR record (no committed checkpoint).
         device.write_at(CHECK_ADDR_OFFSET, &[0u8; META_RECORD_SIZE as usize])?;
         device.persist(0, SLOTS_OFFSET)?;
+        if max_namespaces > 0 {
+            // Zero the directory: every entry reads as unallocated.
+            let base = Self::ns_dir_base_static(slot_size, slots, flight_records, digest_chunks);
+            let zeros = vec![0u8; (NS_ENTRY_SIZE * u64::from(max_namespaces)) as usize];
+            device.write_at(base, &zeros)?;
+            device.persist(base, zeros.len() as u64)?;
+        }
 
         let flight = if flight_records > 0 {
             let base = Self::flight_base_static(slot_size, slots);
@@ -263,17 +415,27 @@ impl CheckpointStore {
         };
         flight.record_run(FlightEventKind::RunStart, 0);
 
+        let service = max_namespaces > 0;
         Ok(CheckpointStore {
             device,
             slot_size,
             num_slots: slots,
             global_counter: AtomicU64::new(1),
             check_addr: AtomicU64::new(0),
-            free_slots: (0..slots).collect(),
+            // Service mode: no store-wide pool — slots belong to
+            // namespaces. The queue stays empty forever.
+            free_slots: if service {
+                SlotQueue::with_capacity(1)
+            } else {
+                (0..slots).collect()
+            },
             check_addr_io: Mutex::new(0),
             flight,
             flight_records,
             digest_chunks,
+            max_namespaces,
+            namespaces: RwLock::new(Vec::new()),
+            next_free_slot: AtomicU32::new(if service { 0 } else { slots }),
         })
     }
 
@@ -302,10 +464,97 @@ impl CheckpointStore {
         // Stores formatted before the digest region existed carry zeros
         // here: the feature reads as "off" and nothing else changes.
         let digest_chunks = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
+        // Likewise for stores formatted before multi-tenancy existed.
+        let max_namespaces = u32::from_le_bytes(header[28..32].try_into().expect("slice len"));
+
+        // Reattach the flight ring, resuming sequence numbers past the
+        // crash survivors. A torn ring header downgrades to a disabled
+        // recorder rather than failing recovery: forensics are
+        // best-effort, the checkpoints are not.
+        let flight = if flight_records > 0 {
+            let base = Self::flight_base_static(slot_size, slots);
+            match FlightRing::open(Arc::clone(&device), base) {
+                Ok(ring) => FlightRecorder::new(Arc::new(ring)),
+                Err(_) => FlightRecorder::disabled(),
+            }
+        } else {
+            FlightRecorder::disabled()
+        };
+
+        if max_namespaces > 0 {
+            // Service mode: rebuild each namespace independently — its own
+            // committed checkpoint, pinned chain, and free range.
+            let dir_base =
+                Self::ns_dir_base_static(slot_size, slots, flight_records, digest_chunks);
+            let mut namespaces: Vec<Arc<Namespace>> = Vec::new();
+            let mut max_counter = 0u64;
+            let mut next_free_slot = 0u32;
+            let mut desc_buf = [0u8; NS_DESC_SIZE as usize];
+            for i in 0..max_namespaces {
+                let dir_offset = dir_base + u64::from(i) * NS_ENTRY_SIZE;
+                device.read_durable_at(dir_offset, &mut desc_buf)?;
+                let Some(desc) = NamespaceDesc::decode(&desc_buf) else {
+                    continue; // unallocated (or torn mid-allocate: no data yet)
+                };
+                if desc.slot_start + desc.slot_count > slots || desc.slot_count == 0 {
+                    continue; // corrupt descriptor: treat as unallocated
+                }
+                let range = desc.slot_start..desc.slot_start + desc.slot_count;
+                let committed = Self::find_committed_range(
+                    device.as_ref(),
+                    slot_size,
+                    range.clone(),
+                    dir_offset + NS_DESC_SIZE,
+                )?;
+                let pinned: Vec<u32> = committed
+                    .as_ref()
+                    .map(|m| {
+                        Self::chain_slots_static(
+                            device.as_ref(),
+                            slots,
+                            slot_size,
+                            m.slot,
+                            m.counter,
+                        )
+                    })
+                    .unwrap_or_default();
+                let free: Vec<u32> = range.clone().filter(|s| !pinned.contains(s)).collect();
+                let ns_counter = committed.as_ref().map_or(0, |m| m.counter);
+                max_counter = max_counter.max(ns_counter);
+                next_free_slot = next_free_slot.max(desc.slot_start + desc.slot_count);
+                let check_addr = committed
+                    .as_ref()
+                    .map(|m| PackedCheckAddr::pack(m.counter, m.slot))
+                    .unwrap_or(crate::meta::CHECK_ADDR_NONE);
+                namespaces.push(Arc::new(Namespace {
+                    desc,
+                    check_addr: AtomicU64::new(check_addr.0),
+                    free_slots: free.into_iter().collect(),
+                    check_addr_io: Mutex::new(ns_counter),
+                    dir_offset,
+                }));
+            }
+            return Ok(CheckpointStore {
+                device,
+                slot_size,
+                num_slots: slots,
+                global_counter: AtomicU64::new(max_counter + 1),
+                check_addr: AtomicU64::new(0),
+                free_slots: SlotQueue::with_capacity(1),
+                check_addr_io: Mutex::new(0),
+                flight,
+                flight_records,
+                digest_chunks,
+                max_namespaces,
+                namespaces: RwLock::new(namespaces),
+                next_free_slot: AtomicU32::new(next_free_slot),
+            });
+        }
 
         // Find the committed checkpoint: trust CHECK_ADDR, fall back to a
         // slot scan if the record is torn or its payload fails validation.
-        let committed = Self::find_committed(device.as_ref(), slots, slot_size)?;
+        let committed =
+            Self::find_committed_range(device.as_ref(), slot_size, 0..slots, CHECK_ADDR_OFFSET)?;
 
         // The committed checkpoint's slot stays leased — and if it is a
         // delta, so does every slot on its chain down to the full root:
@@ -331,20 +580,6 @@ impl CheckpointStore {
             .map(|m| PackedCheckAddr::pack(m.counter, m.slot))
             .unwrap_or(crate::meta::CHECK_ADDR_NONE);
 
-        // Reattach the flight ring, resuming sequence numbers past the
-        // crash survivors. A torn ring header downgrades to a disabled
-        // recorder rather than failing recovery: forensics are
-        // best-effort, the checkpoints are not.
-        let flight = if flight_records > 0 {
-            let base = Self::flight_base_static(slot_size, slots);
-            match FlightRing::open(Arc::clone(&device), base) {
-                Ok(ring) => FlightRecorder::new(Arc::new(ring)),
-                Err(_) => FlightRecorder::disabled(),
-            }
-        } else {
-            FlightRecorder::disabled()
-        };
-
         Ok(CheckpointStore {
             device,
             slot_size,
@@ -356,19 +591,26 @@ impl CheckpointStore {
             flight,
             flight_records,
             digest_chunks,
+            max_namespaces: 0,
+            namespaces: RwLock::new(Vec::new()),
+            next_free_slot: AtomicU32::new(slots),
         })
     }
 
-    fn find_committed(
+    /// Finds the committed checkpoint within a slot range: trusts the
+    /// CHECK_ADDR record at `check_rec_offset`, falls back to scanning the
+    /// range's slots if the record is torn or fails validation.
+    fn find_committed_range(
         device: &dyn PersistentDevice,
-        slots: u32,
         slot_size: ByteSize,
+        range: std::ops::Range<u32>,
+        check_rec_offset: u64,
     ) -> Result<Option<CheckMeta>, PccheckError> {
         let mut rec = [0u8; META_RECORD_SIZE as usize];
-        device.read_durable_at(CHECK_ADDR_OFFSET, &mut rec)?;
+        device.read_durable_at(check_rec_offset, &mut rec)?;
         let mut best: Option<CheckMeta> = None;
         if let Some(meta) = CheckMeta::decode(&rec) {
-            if Self::validate_slot(device, &meta, slots, slot_size)? {
+            if Self::validate_slot(device, &meta, range.clone(), slot_size)? {
                 best = Some(meta);
             }
         }
@@ -379,12 +621,12 @@ impl CheckpointStore {
         // mid-overwrite always carries a counter below the durable
         // CHECK_ADDR (commit persists CHECK_ADDR before freeing the
         // displaced slot), so taking the max counter is safe.
-        for s in 0..slots {
+        for s in range.clone() {
             let off = Self::slot_meta_offset_static(s, slot_size);
             device.read_durable_at(off, &mut rec)?;
             if let Some(meta) = CheckMeta::decode(&rec) {
                 if meta.slot == s
-                    && Self::validate_slot(device, &meta, slots, slot_size)?
+                    && Self::validate_slot(device, &meta, range.clone(), slot_size)?
                     && best.map_or(true, |b| meta.counter > b.counter)
                 {
                     best = Some(meta);
@@ -397,10 +639,10 @@ impl CheckpointStore {
     fn validate_slot(
         device: &dyn PersistentDevice,
         meta: &CheckMeta,
-        slots: u32,
+        range: std::ops::Range<u32>,
         slot_size: ByteSize,
     ) -> Result<bool, PccheckError> {
-        if meta.slot >= slots || ByteSize::from_bytes(meta.payload_len) > slot_size {
+        if !range.contains(&meta.slot) || ByteSize::from_bytes(meta.payload_len) > slot_size {
             return Ok(false);
         }
         // Check the slot's own meta record matches the commit record.
@@ -559,9 +801,46 @@ impl CheckpointStore {
             .then_some(table)
     }
 
-    /// The in-memory view of the latest committed checkpoint.
+    /// The in-memory view of the latest committed checkpoint. On a
+    /// multi-tenant store this is the newest commit across *all*
+    /// namespaces (diagnostics; per-job code wants
+    /// [`latest_committed_job`](Self::latest_committed_job)).
     pub fn latest_committed(&self) -> Option<CheckMeta> {
-        let packed = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
+        if self.max_namespaces > 0 {
+            return self
+                .namespaces
+                .read()
+                .iter()
+                .filter_map(|ns| self.resolve_check_addr(&ns.check_addr))
+                .max_by_key(|m| m.counter);
+        }
+        self.resolve_check_addr(&self.check_addr)
+    }
+
+    /// The latest committed checkpoint in `job`'s namespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] when the store is not
+    /// multi-tenant or `job` has no namespace.
+    pub fn latest_committed_job(&self, job: JobId) -> Result<Option<CheckMeta>, PccheckError> {
+        let ns = self.namespace_for(job)?;
+        Ok(self.resolve_check_addr(&ns.check_addr))
+    }
+
+    /// The latest committed checkpoint visible to `lease` — the lease's
+    /// namespace on a multi-tenant store, the global pointer otherwise.
+    /// This is what delta planning must use as its base: another job's
+    /// newer commit is not a valid delta base for this job.
+    pub fn latest_committed_for(&self, lease: &SlotLease) -> Option<CheckMeta> {
+        match lease.ns.as_deref() {
+            Some(ns) => self.resolve_check_addr(&ns.check_addr),
+            None => self.resolve_check_addr(&self.check_addr),
+        }
+    }
+
+    fn resolve_check_addr(&self, check_addr: &AtomicU64) -> Option<CheckMeta> {
+        let packed = PackedCheckAddr(check_addr.load(Ordering::Acquire));
         if packed.is_none() {
             return None;
         }
@@ -577,7 +856,17 @@ impl CheckpointStore {
     /// Begins a checkpoint: samples `CHECK_ADDR`, takes a counter, and
     /// dequeues a free slot (Listing 1, lines 3–11). Spins while all slots
     /// are occupied by in-flight checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-tenant (service-mode) store: every checkpoint
+    /// there belongs to a job — use
+    /// [`begin_checkpoint_job`](Self::begin_checkpoint_job).
     pub fn begin_checkpoint(&self) -> SlotLease {
+        assert!(
+            self.max_namespaces == 0,
+            "begin_checkpoint on a multi-tenant store: use begin_checkpoint_job(job)"
+        );
         // Line 3: sample the last committed checkpoint *before* taking the
         // counter — this makes our eventual CAS legal (§4.1).
         let last_check = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
@@ -591,7 +880,124 @@ impl CheckpointStore {
             counter,
             slot,
             last_check,
+            ns: None,
         }
+    }
+
+    /// Begins a checkpoint in `job`'s namespace. The commit protocol is
+    /// Listing 1 verbatim, except that `CHECK_ADDR` and the free-slot
+    /// queue are the *namespace's* — jobs contend only on the global
+    /// counter (which stays globally unique and monotone, so cross-job
+    /// interleavings remain totally ordered in the flight ring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] when the store is not
+    /// multi-tenant or `job` has no namespace.
+    pub fn begin_checkpoint_job(&self, job: JobId) -> Result<SlotLease, PccheckError> {
+        let ns = self.namespace_for(job)?;
+        let last_check = PackedCheckAddr(ns.check_addr.load(Ordering::Acquire));
+        let counter = self.global_counter.fetch_add(1, Ordering::AcqRel);
+        let slot = ns.free_slots.dequeue_blocking();
+        self.flight
+            .record(FlightEventKind::Begin, counter, slot, 0, 0, last_check.0);
+        Ok(SlotLease {
+            counter,
+            slot,
+            last_check,
+            ns: Some(ns),
+        })
+    }
+
+    /// Looks up `job`'s namespace handle.
+    fn namespace_for(&self, job: JobId) -> Result<Arc<Namespace>, PccheckError> {
+        if self.max_namespaces == 0 {
+            return Err(PccheckError::InvalidConfig(
+                "store is not multi-tenant (formatted without namespaces)".into(),
+            ));
+        }
+        self.namespaces
+            .read()
+            .iter()
+            .find(|ns| ns.desc.job == job)
+            .cloned()
+            .ok_or_else(|| {
+                PccheckError::InvalidConfig(format!("job {job} has no namespace in this store"))
+            })
+    }
+
+    /// Carves a fresh slot namespace for `job` out of the store's
+    /// unallocated slot budget and persists its directory entry. Slots are
+    /// handed out contiguously in allocation order; a namespace lives for
+    /// the store's lifetime (no reclamation — the daemon's admission
+    /// control sizes the budget up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] when the store is not
+    /// multi-tenant, `slot_count < 2` (N+1 needs at least 1+1),
+    /// `job` already owns a namespace, the directory is full, or the slot
+    /// budget is exhausted; propagates device errors.
+    pub fn allocate_namespace(
+        &self,
+        job: JobId,
+        slot_count: u32,
+    ) -> Result<NamespaceDesc, PccheckError> {
+        if self.max_namespaces == 0 {
+            return Err(PccheckError::InvalidConfig(
+                "store is not multi-tenant (formatted without namespaces)".into(),
+            ));
+        }
+        if slot_count < 2 {
+            return Err(PccheckError::InvalidConfig(format!(
+                "namespace needs at least 2 slots (N+1 with N >= 1), got {slot_count}"
+            )));
+        }
+        let mut namespaces = self.namespaces.write();
+        if namespaces.iter().any(|ns| ns.desc.job == job) {
+            return Err(PccheckError::InvalidConfig(format!(
+                "job {job} already owns a namespace"
+            )));
+        }
+        if namespaces.len() as u32 >= self.max_namespaces {
+            return Err(PccheckError::InvalidConfig(format!(
+                "namespace directory full ({} of {})",
+                namespaces.len(),
+                self.max_namespaces
+            )));
+        }
+        let slot_start = self.next_free_slot.load(Ordering::Acquire);
+        if slot_start + slot_count > self.num_slots {
+            return Err(PccheckError::InvalidConfig(format!(
+                "slot budget exhausted: {slot_count} requested, {} of {} remain",
+                self.num_slots - slot_start,
+                self.num_slots
+            )));
+        }
+        let desc = NamespaceDesc {
+            job,
+            slot_start,
+            slot_count,
+        };
+        // Persist descriptor + a zeroed per-namespace CHECK_ADDR record
+        // before exposing the namespace: a crash mid-allocate leaves either
+        // no entry (decode fails on the torn descriptor) or a complete,
+        // empty namespace — never a half-initialized one.
+        let dir_offset = self.ns_dir_base() + namespaces.len() as u64 * NS_ENTRY_SIZE;
+        let mut entry = [0u8; NS_ENTRY_SIZE as usize];
+        entry[..NS_DESC_SIZE as usize].copy_from_slice(&desc.encode());
+        self.device.write_at(dir_offset, &entry)?;
+        self.device.persist(dir_offset, NS_ENTRY_SIZE)?;
+        self.next_free_slot
+            .store(slot_start + slot_count, Ordering::Release);
+        namespaces.push(Arc::new(Namespace {
+            desc,
+            check_addr: AtomicU64::new(crate::meta::CHECK_ADDR_NONE.0),
+            free_slots: (slot_start..slot_start + slot_count).collect(),
+            check_addr_io: Mutex::new(0),
+            dir_offset,
+        }));
+        Ok(desc)
     }
 
     /// Writes a payload chunk into the leased slot at `chunk_offset` within
@@ -705,22 +1111,24 @@ impl CheckpointStore {
             digest,
         );
 
+        // Namespace routing: a job lease CASes its namespace's CHECK_ADDR
+        // and recycles into its namespace's free queue; the protocol itself
+        // is unchanged.
+        let ns = lease.ns.as_deref();
+        let check_addr = ns.map_or(&self.check_addr, |n| &n.check_addr);
+        let free_slots = ns.map_or(&self.free_slots, |n| &n.free_slots);
+
         let ours = PackedCheckAddr::pack(lease.counter, lease.slot);
         let mut last = lease.last_check;
         // Lines 19-34: the CAS loop.
         loop {
-            match self.check_addr.compare_exchange(
-                last.0,
-                ours.0,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match check_addr.compare_exchange(last.0, ours.0, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     // Success: persist CHECK_ADDR, free the displaced
                     // slot(s) — for a displaced delta chain, every chain
                     // slot that the new checkpoint does not itself depend
                     // on.
-                    self.persist_check_addr()?;
+                    self.persist_check_addr_for(ns)?;
                     if !last.is_none() {
                         let pinned = if meta.is_delta() {
                             self.chain_slots(lease.slot, lease.counter)
@@ -732,7 +1140,7 @@ impl CheckpointStore {
                                 // Spin through transient fulls: a concurrent
                                 // dequeuer may be mid-recycle on the target
                                 // cell.
-                                self.free_slots.enqueue_blocking(displaced);
+                                free_slots.enqueue_blocking(displaced);
                             }
                         }
                     }
@@ -747,7 +1155,7 @@ impl CheckpointStore {
                     }
                     // A newer checkpoint won. Help persist CHECK_ADDR, then
                     // recycle our own slot — our data is obsolete.
-                    self.persist_check_addr()?;
+                    self.persist_check_addr_for(ns)?;
                     self.flight.record(
                         FlightEventKind::Superseded,
                         lease.counter,
@@ -756,7 +1164,7 @@ impl CheckpointStore {
                         payload_len,
                         current.counter(),
                     );
-                    self.free_slots.enqueue_blocking(lease.slot);
+                    free_slots.enqueue_blocking(lease.slot);
                     return Ok(CommitOutcome::SupersededBy {
                         counter: current.counter(),
                     });
@@ -767,10 +1175,17 @@ impl CheckpointStore {
 
     /// Write-back of the shared `CHECK_ADDR` location (the BARRIER on
     /// CHECK_ADDR): persists the *current* value of the pointer, skipping
-    /// the write if an equal-or-newer value was already persisted.
-    fn persist_check_addr(&self) -> Result<(), PccheckError> {
-        let mut last_persisted = self.check_addr_io.lock();
-        let current = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
+    /// the write if an equal-or-newer value was already persisted. With a
+    /// namespace, the pointer is the namespace's directory check record and
+    /// the I/O lock, skip counter, and flight monotonicity are all
+    /// per-namespace.
+    fn persist_check_addr_for(&self, ns: Option<&Namespace>) -> Result<(), PccheckError> {
+        let (check_addr, io_lock, rec_offset) = match ns {
+            Some(n) => (&n.check_addr, &n.check_addr_io, n.check_rec_offset()),
+            None => (&self.check_addr, &self.check_addr_io, CHECK_ADDR_OFFSET),
+        };
+        let mut last_persisted = io_lock.lock();
+        let current = PackedCheckAddr(check_addr.load(Ordering::Acquire));
         if current.counter() <= *last_persisted {
             return Ok(()); // a newer record is already durable
         }
@@ -779,8 +1194,8 @@ impl CheckpointStore {
         let mut rec = [0u8; META_RECORD_SIZE as usize];
         self.device
             .read_durable_at(self.slot_meta_offset(current.slot()), &mut rec)?;
-        self.device.write_at(CHECK_ADDR_OFFSET, &rec)?;
-        self.device.persist(CHECK_ADDR_OFFSET, META_RECORD_SIZE)?;
+        self.device.write_at(rec_offset, &rec)?;
+        self.device.persist(rec_offset, META_RECORD_SIZE)?;
         *last_persisted = current.counter();
         // Witness the durable publication while still holding the I/O
         // lock: Commit flight records are therefore appended in exactly
@@ -800,9 +1215,66 @@ impl CheckpointStore {
         Ok(())
     }
 
-    /// Number of slots currently in the free queue (diagnostics).
+    /// Number of slots currently in the free queue (diagnostics). On a
+    /// multi-tenant store, the sum across namespaces (unallocated slots
+    /// are not counted — they belong to no queue yet).
     pub fn free_slot_count(&self) -> usize {
+        if self.max_namespaces > 0 {
+            return self
+                .namespaces
+                .read()
+                .iter()
+                .map(|ns| ns.free_slots.len())
+                .sum();
+        }
         self.free_slots.len()
+    }
+
+    /// Number of free slots in `job`'s namespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] when the store is not
+    /// multi-tenant or `job` has no namespace.
+    pub fn free_slot_count_job(&self, job: JobId) -> Result<usize, PccheckError> {
+        Ok(self.namespace_for(job)?.free_slots.len())
+    }
+
+    /// Whether this store was formatted for multi-tenant (service-mode)
+    /// operation.
+    pub fn is_multi_tenant(&self) -> bool {
+        self.max_namespaces > 0
+    }
+
+    /// Namespace directory capacity (0 on a single-tenant store).
+    pub fn max_namespaces(&self) -> u32 {
+        self.max_namespaces
+    }
+
+    /// Snapshot of the allocated namespace descriptors, in allocation
+    /// order.
+    pub fn namespaces(&self) -> Vec<NamespaceDesc> {
+        self.namespaces.read().iter().map(|ns| ns.desc).collect()
+    }
+
+    /// The job whose namespace owns `slot`, or `None` for unallocated
+    /// slots / single-tenant stores.
+    pub fn namespace_of_slot(&self, slot: u32) -> Option<JobId> {
+        self.namespaces
+            .read()
+            .iter()
+            .find(|ns| ns.slot_range().contains(&slot))
+            .map(|ns| ns.desc.job)
+    }
+
+    /// Slots not yet carved into any namespace (the admission budget
+    /// remaining). Equals `num_slots` minus allocated ranges; 0 on a
+    /// single-tenant store.
+    pub fn unallocated_slots(&self) -> u32 {
+        if self.max_namespaces == 0 {
+            return 0;
+        }
+        self.num_slots - self.next_free_slot.load(Ordering::Acquire)
     }
 
     /// Every slot currently holding a *complete* checkpoint (valid durable
@@ -875,11 +1347,27 @@ pub struct RawStoreView {
     pub slot_size: ByteSize,
     /// Flight-ring capacity in records (0 = no ring).
     pub flight_records: u32,
+    /// Namespace directory capacity (0 = single-tenant store).
+    pub max_namespaces: u32,
     /// The durable `CHECK_ADDR` record, if it decodes.
     pub check_addr: Option<CheckMeta>,
     /// Each slot's durable meta record, if it decodes and names its own
     /// slot (`slot_meta[s]` is `None` for empty/torn/mis-slotted records).
     pub slot_meta: Vec<Option<CheckMeta>>,
+    /// Allocated namespaces, in directory order (empty on single-tenant
+    /// stores).
+    pub namespaces: Vec<RawNamespace>,
+}
+
+/// One namespace's durable directory state, as seen by the forensic
+/// auditor.
+#[derive(Debug, Clone)]
+pub struct RawNamespace {
+    /// The namespace descriptor (job, slot range).
+    pub desc: NamespaceDesc,
+    /// The namespace's durable check record, if it decodes and names a
+    /// slot inside the namespace's own range.
+    pub check_addr: Option<CheckMeta>,
 }
 
 impl RawStoreView {
@@ -902,6 +1390,8 @@ impl RawStoreView {
         let slot_size =
             ByteSize::from_bytes(u64::from_le_bytes(header[12..20].try_into().expect("len")));
         let flight_records = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
+        let digest_chunks = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
+        let max_namespaces = u32::from_le_bytes(header[28..32].try_into().expect("slice len"));
 
         let mut rec = [0u8; META_RECORD_SIZE as usize];
         device.read_durable_at(CHECK_ADDR_OFFSET, &mut rec)?;
@@ -919,12 +1409,39 @@ impl RawStoreView {
             );
         }
 
+        let mut namespaces = Vec::new();
+        if max_namespaces > 0 {
+            let dir_base = CheckpointStore::ns_dir_base_static(
+                slot_size,
+                slots,
+                flight_records,
+                digest_chunks,
+            );
+            let mut desc_buf = [0u8; NS_DESC_SIZE as usize];
+            for i in 0..max_namespaces {
+                let entry_off = dir_base + u64::from(i) * NS_ENTRY_SIZE;
+                device.read_durable_at(entry_off, &mut desc_buf)?;
+                let Some(desc) = NamespaceDesc::decode(&desc_buf) else {
+                    continue;
+                };
+                if desc.slot_start + desc.slot_count > slots || desc.slot_count == 0 {
+                    continue;
+                }
+                device.read_durable_at(entry_off + NS_DESC_SIZE, &mut rec)?;
+                let range = desc.slot_start..desc.slot_start + desc.slot_count;
+                let check_addr = CheckMeta::decode(&rec).filter(|m| range.contains(&m.slot));
+                namespaces.push(RawNamespace { desc, check_addr });
+            }
+        }
+
         Ok(RawStoreView {
             slots,
             slot_size,
             flight_records,
+            max_namespaces,
             check_addr,
             slot_meta,
+            namespaces,
         })
     }
 
@@ -944,15 +1461,55 @@ impl RawStoreView {
     /// checkpoint among a slot-consistent `CHECK_ADDR` and the valid slot
     /// records.
     pub fn expected_recovery(&self) -> Option<CheckMeta> {
+        if self.max_namespaces > 0 {
+            // Service mode: recovery is per-namespace; the global answer is
+            // the newest across them (diagnostics only).
+            return self
+                .namespaces
+                .iter()
+                .filter_map(|ns| self.expected_recovery_for(ns.desc.job))
+                .max_by_key(|m| m.counter);
+        }
+        Self::best_of(self.check_addr.as_ref(), &self.slot_meta, 0..self.slots)
+    }
+
+    /// The checkpoint recovery would restore for `job`'s namespace — the
+    /// same max-counter scan as [`expected_recovery`](Self::expected_recovery)
+    /// but confined to the namespace's slot range and its own check record.
+    /// `None` when the job has no namespace or nothing committed.
+    pub fn expected_recovery_for(&self, job: u64) -> Option<CheckMeta> {
+        let ns = self.namespaces.iter().find(|ns| ns.desc.job == job)?;
+        let range = ns.desc.slot_start..ns.desc.slot_start + ns.desc.slot_count;
+        Self::best_of(ns.check_addr.as_ref(), &self.slot_meta, range)
+    }
+
+    /// The job whose namespace owns `slot`, or `None` for unallocated
+    /// slots / single-tenant stores.
+    pub fn namespace_of_slot(&self, slot: u32) -> Option<u64> {
+        self.namespaces
+            .iter()
+            .find(|ns| {
+                (ns.desc.slot_start..ns.desc.slot_start + ns.desc.slot_count).contains(&slot)
+            })
+            .map(|ns| ns.desc.job)
+    }
+
+    fn best_of(
+        check_addr: Option<&CheckMeta>,
+        slot_meta: &[Option<CheckMeta>],
+        range: std::ops::Range<u32>,
+    ) -> Option<CheckMeta> {
         let mut best: Option<CheckMeta> = None;
-        if let Some(ca) = &self.check_addr {
-            if self.slot_meta.get(ca.slot as usize) == Some(&Some(*ca)) {
+        if let Some(ca) = check_addr {
+            if range.contains(&ca.slot) && slot_meta.get(ca.slot as usize) == Some(&Some(*ca)) {
                 best = Some(*ca);
             }
         }
-        for meta in self.slot_meta.iter().flatten() {
-            if best.map_or(true, |b| meta.counter > b.counter) {
-                best = Some(*meta);
+        for s in range {
+            if let Some(meta) = slot_meta.get(s as usize).copied().flatten() {
+                if best.map_or(true, |b| meta.counter > b.counter) {
+                    best = Some(meta);
+                }
             }
         }
         best
@@ -1460,5 +2017,211 @@ mod tests {
             .read_durable_at(st.slot_payload_offset(meta.slot), &mut buf)
             .unwrap();
         assert_eq!(u64::from_le_bytes(buf), meta.iteration);
+    }
+
+    // ------------------------------------------------- service mode
+
+    fn service_store(slot_size: u64, slots: u32, max_ns: u32) -> CheckpointStore {
+        let cap = CheckpointStore::required_capacity_service(
+            ByteSize::from_bytes(slot_size),
+            slots,
+            0,
+            max_ns,
+        );
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        CheckpointStore::format_service(dev, ByteSize::from_bytes(slot_size), slots, 0, max_ns)
+            .unwrap()
+    }
+
+    fn job_checkpoint(
+        st: &CheckpointStore,
+        job: JobId,
+        iter: u64,
+        payload: &[u8],
+    ) -> CommitOutcome {
+        let lease = st.begin_checkpoint_job(job).unwrap();
+        st.write_payload(&lease, 0, payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let digest = crate::meta::checksum(payload);
+        st.commit(lease, iter, payload.len() as u64, digest)
+            .unwrap()
+    }
+
+    #[test]
+    fn service_format_allocate_and_isolate_jobs() {
+        let st = service_store(128, 8, 4);
+        assert!(st.is_multi_tenant());
+        assert_eq!(st.unallocated_slots(), 8);
+        let a = st.allocate_namespace(1, 3).unwrap();
+        let b = st.allocate_namespace(2, 3).unwrap();
+        assert_eq!((a.slot_start, a.slot_count), (0, 3));
+        assert_eq!((b.slot_start, b.slot_count), (3, 3));
+        assert_eq!(st.unallocated_slots(), 2);
+        assert_eq!(st.namespace_of_slot(1), Some(1));
+        assert_eq!(st.namespace_of_slot(4), Some(2));
+        assert_eq!(st.namespace_of_slot(7), None);
+
+        // Commits in one namespace are invisible to the other.
+        assert_eq!(
+            job_checkpoint(&st, 1, 5, b"job1-a"),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            job_checkpoint(&st, 2, 9, b"job2-a"),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            job_checkpoint(&st, 1, 6, b"job1-b"),
+            CommitOutcome::Committed
+        );
+        let m1 = st.latest_committed_job(1).unwrap().unwrap();
+        let m2 = st.latest_committed_job(2).unwrap().unwrap();
+        assert_eq!(m1.iteration, 6);
+        assert_eq!(m2.iteration, 9);
+        assert!(a.slot_range().contains(&m1.slot));
+        assert!(b.slot_range().contains(&m2.slot));
+        // Global counters are unique across jobs.
+        assert_ne!(m1.counter, m2.counter);
+        // Per-job free accounting: one slot pinned per job.
+        assert_eq!(st.free_slot_count_job(1).unwrap(), 2);
+        assert_eq!(st.free_slot_count_job(2).unwrap(), 2);
+    }
+
+    #[test]
+    fn service_admission_rejections() {
+        let st = service_store(128, 6, 2);
+        st.allocate_namespace(7, 4).unwrap();
+        // Duplicate job.
+        assert!(st.allocate_namespace(7, 2).is_err());
+        // Over the slot budget (only 2 remain).
+        assert!(st.allocate_namespace(8, 3).is_err());
+        // Too few slots.
+        assert!(st.allocate_namespace(8, 1).is_err());
+        // Fits exactly.
+        st.allocate_namespace(8, 2).unwrap();
+        // Directory full.
+        assert!(st.allocate_namespace(9, 2).is_err());
+        // Unknown job cannot begin.
+        assert!(st.begin_checkpoint_job(99).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-tenant")]
+    fn service_rejects_legacy_begin() {
+        let st = service_store(128, 4, 2);
+        st.allocate_namespace(1, 2).unwrap();
+        let _ = st.begin_checkpoint();
+    }
+
+    #[test]
+    fn service_reopen_recovers_every_namespace() {
+        let slot_size = 128u64;
+        let cap =
+            CheckpointStore::required_capacity_service(ByteSize::from_bytes(slot_size), 8, 0, 4);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let dev: Arc<dyn PersistentDevice> = ssd.clone();
+        let st = CheckpointStore::format_service(
+            Arc::clone(&dev),
+            ByteSize::from_bytes(slot_size),
+            8,
+            0,
+            4,
+        )
+        .unwrap();
+        st.allocate_namespace(1, 3).unwrap();
+        st.allocate_namespace(2, 3).unwrap();
+        job_checkpoint(&st, 1, 10, b"one-10");
+        job_checkpoint(&st, 2, 20, b"two-20");
+        job_checkpoint(&st, 1, 11, b"one-11");
+        let c1 = st.latest_committed_job(1).unwrap().unwrap().counter;
+        drop(st);
+
+        let st2 = CheckpointStore::open(dev).unwrap();
+        assert!(st2.is_multi_tenant());
+        assert_eq!(st2.namespaces().len(), 2);
+        let m1 = st2.latest_committed_job(1).unwrap().unwrap();
+        let m2 = st2.latest_committed_job(2).unwrap().unwrap();
+        assert_eq!(m1.iteration, 11);
+        assert_eq!(m2.iteration, 20);
+        // Payloads reload intact through the namespaced metadata.
+        assert_eq!(st2.read_checkpoint(&m1).unwrap(), b"one-11");
+        assert_eq!(st2.read_checkpoint(&m2).unwrap(), b"two-20");
+        // The resumed global counter is past every namespace's commits.
+        let lease = st2.begin_checkpoint_job(2).unwrap();
+        assert!(lease.counter > c1);
+        assert!(lease.counter > m2.counter);
+        // Committed slots stayed pinned; the rest of each range is free.
+        assert_eq!(st2.free_slot_count_job(1).unwrap(), 2);
+        assert_eq!(st2.free_slot_count_job(2).unwrap(), 1); // one leased now
+    }
+
+    #[test]
+    fn service_crash_mid_commit_keeps_namespaces_independent() {
+        let slot_size = 128u64;
+        let cap =
+            CheckpointStore::required_capacity_service(ByteSize::from_bytes(slot_size), 6, 0, 2);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let dev: Arc<dyn PersistentDevice> = ssd.clone();
+        let st = CheckpointStore::format_service(
+            Arc::clone(&dev),
+            ByteSize::from_bytes(slot_size),
+            6,
+            0,
+            2,
+        )
+        .unwrap();
+        st.allocate_namespace(1, 3).unwrap();
+        st.allocate_namespace(2, 3).unwrap();
+        job_checkpoint(&st, 1, 10, b"one-10");
+        job_checkpoint(&st, 2, 20, b"two-20");
+        // Job 1 writes but crashes before its meta persists: the volatile
+        // overlay (unpersisted writes) is torn away.
+        let lease = st.begin_checkpoint_job(1).unwrap();
+        st.write_payload(&lease, 0, b"one-11-torn").unwrap();
+        ssd.crash_now();
+        ssd.recover();
+        drop(st);
+
+        let st2 = CheckpointStore::open(dev).unwrap();
+        // Job 1 recovers its previous commit; job 2 is untouched.
+        assert_eq!(st2.latest_committed_job(1).unwrap().unwrap().iteration, 10);
+        assert_eq!(st2.latest_committed_job(2).unwrap().unwrap().iteration, 20);
+        // The torn slot returned to job 1's free queue.
+        assert_eq!(st2.free_slot_count_job(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn service_raw_view_expected_recovery_per_job() {
+        let st = service_store(128, 8, 4);
+        st.allocate_namespace(5, 4).unwrap();
+        st.allocate_namespace(6, 4).unwrap();
+        job_checkpoint(&st, 5, 100, b"five");
+        job_checkpoint(&st, 6, 200, b"six");
+        job_checkpoint(&st, 5, 101, b"five2");
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert_eq!(view.max_namespaces, 4);
+        assert_eq!(view.namespaces.len(), 2);
+        assert_eq!(view.expected_recovery_for(5).unwrap().iteration, 101);
+        assert_eq!(view.expected_recovery_for(6).unwrap().iteration, 200);
+        assert!(view.expected_recovery_for(7).is_none());
+        assert_eq!(view.namespace_of_slot(0), Some(5));
+        assert_eq!(view.namespace_of_slot(4), Some(6));
+        // The global diagnostic view picks the newest across namespaces.
+        assert_eq!(view.expected_recovery().unwrap().iteration, 101);
+    }
+
+    #[test]
+    fn legacy_header_reads_as_single_tenant() {
+        let st = store(256, 3);
+        full_checkpoint(&st, 4, b"legacy");
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert_eq!(view.max_namespaces, 0);
+        assert!(view.namespaces.is_empty());
+        assert!(!st.is_multi_tenant());
+        assert_eq!(st.unallocated_slots(), 0);
+        assert!(st.allocate_namespace(1, 2).is_err());
+        assert!(st.begin_checkpoint_job(1).is_err());
+        assert!(st.latest_committed_job(1).is_err());
     }
 }

@@ -1,7 +1,8 @@
-//! Loom model checks for the engine's two hand-rolled synchronization
+//! Loom model checks for the engine's three hand-rolled synchronization
 //! protocols: the `InFlight` ticket gate (Mutex + Condvar with a shared
-//! wait queue) and the store's free-slot recycle queue (Vyukov bounded
-//! MPMC cells).
+//! wait queue), the store's free-slot recycle queue (Vyukov bounded
+//! MPMC cells), and the QoS lease arbiter's cap + deficit protocol
+//! (`qos::QosArbiter`).
 //!
 //! These run only under `--cfg loom`, with the `loom` dev-dependency
 //! enabled in `crates/core/Cargo.toml` (it is commented out there because
@@ -221,6 +222,130 @@ fn free_slot_dequeue_grants_unique_ownership() {
         got.sort_unstable();
         assert_eq!(got, vec![10, 20], "each dequeuer owns a distinct slot");
         assert_eq!(q.dequeue(), None);
+    });
+}
+
+/// Mirror of `qos::QosArbiter`'s blocking core: WDRR deficit accounts
+/// and an outstanding-lease cap whose waiters sleep on a condvar and
+/// are woken by grant release. The deficit top-up loop runs entirely
+/// under the mutex (it never sleeps), so the model keeps it verbatim;
+/// the schedules loom must cover are the cap handoffs.
+struct QosModel {
+    state: Mutex<QosModelState>,
+    cond: Condvar,
+    quantum: u64,
+    cap: usize,
+}
+
+struct QosModelState {
+    /// `(deficit, weight)` per job, ring order.
+    jobs: Vec<(u64, u64)>,
+    ring_cursor: usize,
+    outstanding: usize,
+}
+
+impl QosModel {
+    fn new(weights: &[u64], quantum: u64, cap: usize) -> Self {
+        QosModel {
+            state: Mutex::new(QosModelState {
+                jobs: weights.iter().map(|&w| (0, w)).collect(),
+                ring_cursor: 0,
+                outstanding: 0,
+            }),
+            cond: Condvar::new(),
+            quantum,
+            cap,
+        }
+    }
+
+    fn acquire(&self, job: usize, bytes: u64) {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.outstanding < self.cap {
+                if s.jobs[job].0 >= bytes {
+                    s.jobs[job].0 -= bytes;
+                    s.outstanding += 1;
+                    return;
+                }
+                // Deficit top-up: credit the next ring job and re-check
+                // without sleeping, exactly as the real arbiter does.
+                let n = s.jobs.len();
+                let cur = s.ring_cursor % n;
+                s.ring_cursor = (cur + 1) % n;
+                let (deficit, weight) = s.jobs[cur];
+                let credit = weight * self.quantum;
+                s.jobs[cur].0 = (deficit + credit).min((2 * credit).max(bytes));
+                continue;
+            }
+            s = self.cond.wait(s).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.outstanding -= 1;
+        drop(s);
+        // The property under test: `notify_all`, not `notify_one` — with
+        // several cap-blocked jobs, a single notification can land on a
+        // waiter whose deficit the ring has not credited yet; it would
+        // re-check, top up a *different* job, and everyone else sleeps.
+        self.cond.notify_all();
+    }
+}
+
+/// Cap handoff under contention: one lease outstanding, two more jobs
+/// blocked on the cap. Every interleaving of the release and the two
+/// waiters must terminate with all three grants served and the cap
+/// never exceeded.
+#[test]
+fn qos_cap_release_wakes_blocked_lease_waiters() {
+    loom::model(|| {
+        let arb = Arc::new(QosModel::new(&[1, 1, 1], 1024, 1));
+        arb.acquire(0, 1024);
+
+        let waiters: Vec<_> = [1usize, 2]
+            .into_iter()
+            .map(|job| {
+                let arb = Arc::clone(&arb);
+                thread::spawn(move || {
+                    arb.acquire(job, 1024);
+                    arb.release();
+                })
+            })
+            .collect();
+
+        arb.release();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        let s = arb.state.lock().unwrap();
+        assert_eq!(s.outstanding, 0, "every grant released");
+    });
+}
+
+/// Deficit ring progress under concurrency: two jobs whose first chunk
+/// exceeds one quantum race through the arbiter. The top-up loop runs
+/// under the lock, so loom checks that no interleaving of the lock
+/// handoffs can strand a requester with an uncredited account.
+#[test]
+fn qos_deficit_topup_serves_concurrent_jobs() {
+    loom::model(|| {
+        let arb = Arc::new(QosModel::new(&[1, 2], 512, 2));
+        let threads: Vec<_> = [(0usize, 1024u64), (1, 2048)]
+            .into_iter()
+            .map(|(job, bytes)| {
+                let arb = Arc::clone(&arb);
+                thread::spawn(move || {
+                    arb.acquire(job, bytes);
+                    arb.release();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = arb.state.lock().unwrap();
+        assert_eq!(s.outstanding, 0);
     });
 }
 

@@ -1,0 +1,720 @@
+//! The daemon proper: shared resources, job lifecycle, per-job metrics.
+//!
+//! One [`Daemon`] owns, for its whole lifetime:
+//!
+//! * a `stripe_ways`-wide [`StripedDevice`] of simulated SSDs,
+//! * one service-mode [`CheckpointStore`] over it (per-job namespaces),
+//! * one shared [`PersistPipeline`] (writer pool + staging pool),
+//! * one [`QosArbiter`] scheduling writer-pool bandwidth across jobs,
+//! * one [`MetricsRegistry`] with a `job="<name>"` label per tenant.
+//!
+//! Jobs arrive via [`Daemon::submit`], pass [`admission`](crate::admission),
+//! get a namespace plus a [`PcCheckEngine`] facade, and train on a
+//! background worker until their iteration budget runs out or
+//! [`Daemon::drain`] stops them. Drained state stays recoverable: the
+//! namespace directory is append-only, exactly like the on-disk layout.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use pccheck::{
+    CheckpointStore, PcCheckConfig, PcCheckEngine, PccheckError, PersistPipeline, QosArbiter,
+    QosConfig,
+};
+use pccheck_device::{DeviceConfig, HostBufferPool, PersistentDevice, SsdDevice, StripedDevice};
+use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+use pccheck_monitor::ForensicReport;
+use pccheck_telemetry::{MetricsRegistry, Telemetry, TelemetryIoObserver};
+use pccheck_util::ByteSize;
+
+use crate::admission::{self, Admission, SystemParams};
+
+/// One tenant's submission: its checkpoint geometry, §3.4 user
+/// constraints, and the synthetic workload the daemon drives for it.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique job name (the `job` metrics label).
+    pub name: String,
+    /// Checkpoint size `m` (must fit one store slot).
+    pub state: ByteSize,
+    /// Requested concurrent checkpoints `N` (clamped by admission).
+    pub max_concurrent: usize,
+    /// Tenant storage budget `S` for the §3.4 bound.
+    pub storage_budget: ByteSize,
+    /// QoS weight (relative bandwidth share under contention).
+    pub weight: u64,
+    /// Checkpoint every this many iterations.
+    pub interval: u64,
+    /// Total training iterations the sim worker runs.
+    pub iterations: u64,
+    /// Simulated compute time per iteration. Zero means the worker
+    /// trains flat-out (a saturating tenant); nonzero paces the
+    /// checkpoint cadence the way real iteration time does.
+    pub pacing: std::time::Duration,
+}
+
+impl JobSpec {
+    /// A small sim-backed job: 64 KiB state, N=2, a 4-slot budget, unit
+    /// weight, checkpointing every other iteration for 20 iterations.
+    pub fn sim(name: &str) -> Self {
+        JobSpec {
+            name: name.to_string(),
+            state: ByteSize::from_kb(64),
+            max_concurrent: 2,
+            storage_budget: ByteSize::from_kb(256),
+            weight: 1,
+            interval: 2,
+            iterations: 20,
+            pacing: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for store capacity (FIFO).
+    Queued,
+    /// Admitted; the sim worker is training.
+    Running,
+    /// Worker finished or drained; checkpoints remain recoverable.
+    Drained,
+}
+
+impl JobState {
+    /// Lower-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Drained => "drained",
+        }
+    }
+}
+
+/// One row of `pccheckctl job list` / the control endpoint's `/jobs`.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Namespace id in the shared store (0 while queued).
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Granted concurrency `N` (0 while queued).
+    pub concurrent: usize,
+    /// Checkpoints committed so far.
+    pub committed: u64,
+    /// Payload bytes persisted so far.
+    pub bytes_persisted: u64,
+    /// This job's fraction of all QoS-served bytes (0 when the arbiter
+    /// has served nothing yet).
+    pub qos_share: f64,
+    /// Latest committed iteration, if any.
+    pub last_iteration: Option<u64>,
+}
+
+/// Outcome of [`Daemon::submit`].
+#[derive(Debug, Clone)]
+pub enum SubmitOutcome {
+    /// Running now, under this namespace id.
+    Admitted(JobStatus),
+    /// Waiting for capacity.
+    Queued(String),
+}
+
+/// Daemon-wide geometry and model parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Payload capacity of one slot (max tenant checkpoint size).
+    pub slot_size: ByteSize,
+    /// Total slots shared by all namespaces.
+    pub total_slots: u32,
+    /// Namespace directory capacity (max jobs over the store lifetime).
+    pub max_jobs: u32,
+    /// Flight-recorder ring entries.
+    pub flight_records: u32,
+    /// RAID-0 width of the shared device.
+    pub stripe_ways: usize,
+    /// Shared writer-pool width.
+    pub writer_threads: usize,
+    /// Pipeline chunk size.
+    pub chunk_size: ByteSize,
+    /// Shared staging-pool chunks.
+    pub dram_chunks: usize,
+    /// QoS arbiter tuning.
+    pub qos: QosConfig,
+    /// System parameters for per-tenant admission math.
+    pub system: SystemParams,
+}
+
+impl DaemonConfig {
+    /// The CI/smoke geometry: a 4-way stripe, 64 KiB slots, room for 16
+    /// jobs of N=2 each.
+    pub fn sim_default() -> Self {
+        DaemonConfig {
+            slot_size: ByteSize::from_kb(64),
+            total_slots: 48,
+            max_jobs: 16,
+            flight_records: 512,
+            stripe_ways: 4,
+            writer_threads: 4,
+            chunk_size: ByteSize::from_kb(16),
+            dram_chunks: 16,
+            qos: QosConfig::default(),
+            system: SystemParams::default(),
+        }
+    }
+}
+
+struct JobEntry {
+    id: u64,
+    spec: JobSpec,
+    state: JobState,
+    concurrent: usize,
+    engine: Option<Arc<PcCheckEngine>>,
+    telemetry: Telemetry,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<Result<(), PccheckError>>>,
+}
+
+#[derive(Default)]
+struct DaemonState {
+    jobs: Vec<JobEntry>,
+    pending: VecDeque<JobSpec>,
+    next_id: u64,
+}
+
+/// The long-running multi-tenant checkpoint service.
+pub struct Daemon {
+    config: DaemonConfig,
+    device: Arc<dyn PersistentDevice>,
+    store: Arc<CheckpointStore>,
+    pipeline: Arc<PersistPipeline>,
+    qos: Arc<QosArbiter>,
+    registry: MetricsRegistry,
+    state: Mutex<DaemonState>,
+    quit: AtomicBool,
+}
+
+impl Daemon {
+    /// Formats a fresh service-mode store over a `stripe_ways`-wide
+    /// simulated stripe and stands up the shared pipeline, staging pool,
+    /// QoS arbiter, and metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store formatting errors (e.g., an undersized device).
+    pub fn new(config: DaemonConfig) -> Result<Self, PccheckError> {
+        let total_cap = CheckpointStore::required_capacity_service(
+            config.slot_size,
+            config.total_slots,
+            config.flight_records,
+            config.max_jobs,
+        ) + ByteSize::from_kb(64);
+        let ways = config.stripe_ways.max(1);
+        let member_cap =
+            ByteSize::from_bytes(total_cap.as_u64() / ways as u64) + ByteSize::from_kb(64);
+        let root = Telemetry::enabled();
+        let device: Arc<dyn PersistentDevice> = if ways == 1 {
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(total_cap)))
+        } else {
+            let members: Vec<Arc<dyn PersistentDevice>> = (0..ways)
+                .map(|_| {
+                    Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(member_cap)))
+                        as Arc<dyn PersistentDevice>
+                })
+                .collect();
+            let striped = Arc::new(StripedDevice::new(members, ByteSize::from_kb(16)));
+            striped.set_io_observer(Arc::new(TelemetryIoObserver::new(root.clone())));
+            striped
+        };
+        let store = Arc::new(CheckpointStore::format_service(
+            Arc::clone(&device),
+            config.slot_size,
+            config.total_slots,
+            config.flight_records,
+            config.max_jobs,
+        )?);
+        let qos = Arc::new(QosArbiter::new(config.qos.clone()));
+        let pool = HostBufferPool::new(config.chunk_size, config.dram_chunks);
+        let pipeline = Arc::new(
+            PersistPipeline::new(Arc::clone(&store))
+                .with_writers(config.writer_threads)
+                .with_staging(pool)
+                .with_qos(Arc::clone(&qos)),
+        );
+        let registry = MetricsRegistry::new(root);
+        Ok(Daemon {
+            config,
+            device,
+            store,
+            pipeline,
+            qos,
+            registry,
+            state: Mutex::new(DaemonState::default()),
+            quit: AtomicBool::new(false),
+        })
+    }
+
+    /// Asks the serve loop to exit (the control endpoint's `/shutdown`).
+    pub fn request_quit(&self) {
+        self.quit.store(true, Ordering::Release);
+    }
+
+    /// Whether [`request_quit`](Self::request_quit) has been called.
+    pub fn quit_requested(&self) -> bool {
+        self.quit.load(Ordering::Acquire)
+    }
+
+    /// The shared metrics registry (serve it with
+    /// [`MetricsServer`](pccheck_telemetry::MetricsServer)).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<CheckpointStore> {
+        &self.store
+    }
+
+    /// The shared QoS arbiter.
+    pub fn qos(&self) -> &Arc<QosArbiter> {
+        &self.qos
+    }
+
+    /// The shared device (for audits and stats).
+    pub fn device(&self) -> &Arc<dyn PersistentDevice> {
+        &self.device
+    }
+
+    fn free_capacity(&self) -> (u32, u32) {
+        let allocated: u32 = self.store.namespaces().iter().map(|d| d.slot_count).sum();
+        let free_slots = self.store.num_slots().saturating_sub(allocated);
+        let free_ns = self
+            .config
+            .max_jobs
+            .saturating_sub(self.store.namespaces().len() as u32);
+        (free_slots, free_ns)
+    }
+
+    /// Submits a job: runs §3.4 admission, allocates its namespace, and
+    /// starts its sim-backed training worker. Jobs the store cannot hold
+    /// *right now* queue FIFO; jobs that can never fit are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PccheckError::InvalidConfig`] for rejected jobs and
+    /// duplicate names.
+    pub fn submit(&self, spec: JobSpec) -> Result<SubmitOutcome, PccheckError> {
+        {
+            let state = self.state.lock();
+            if state.jobs.iter().any(|j| j.spec.name == spec.name)
+                || state.pending.iter().any(|p| p.name == spec.name)
+            {
+                return Err(PccheckError::InvalidConfig(format!(
+                    "job name {:?} already submitted",
+                    spec.name
+                )));
+            }
+        }
+        let (free_slots, free_ns) = self.free_capacity();
+        match admission::decide(
+            &spec,
+            self.store.slot_size(),
+            free_slots,
+            free_ns,
+            &self.config.system,
+        ) {
+            Admission::Rejected(reason) => Err(PccheckError::InvalidConfig(format!(
+                "job {:?} rejected: {reason}",
+                spec.name
+            ))),
+            Admission::Queued(reason) => {
+                self.state.lock().pending.push_back(spec);
+                Ok(SubmitOutcome::Queued(reason))
+            }
+            Admission::Admitted { concurrent, slots } => {
+                let status = self.start_job(spec, concurrent, slots)?;
+                Ok(SubmitOutcome::Admitted(status))
+            }
+        }
+    }
+
+    fn start_job(
+        &self,
+        spec: JobSpec,
+        concurrent: usize,
+        slots: u32,
+    ) -> Result<JobStatus, PccheckError> {
+        let id = {
+            let mut state = self.state.lock();
+            state.next_id += 1;
+            state.next_id
+        };
+        self.store.allocate_namespace(id, slots)?;
+        self.qos.register_job(id, spec.weight.max(1));
+        let telemetry = Telemetry::enabled();
+        self.registry.register_job(&spec.name, telemetry.clone());
+        let engine = Arc::new(
+            PcCheckEngine::with_shared(
+                PcCheckConfig::builder()
+                    .max_concurrent(concurrent)
+                    .writer_threads(self.config.writer_threads)
+                    .chunk_size(self.config.chunk_size)
+                    .dram_chunks(self.config.dram_chunks)
+                    .build()?,
+                Arc::clone(&self.pipeline),
+                id,
+            )?
+            .with_telemetry(telemetry.clone()),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let spec = spec.clone();
+            std::thread::spawn(move || -> Result<(), PccheckError> {
+                let gpu = Gpu::new(
+                    GpuConfig::fast_for_tests(),
+                    TrainingState::synthetic(spec.state, id),
+                );
+                for iter in 1..=spec.iterations {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if !spec.pacing.is_zero() {
+                        std::thread::sleep(spec.pacing);
+                    }
+                    gpu.update();
+                    if spec.interval > 0 && iter % spec.interval == 0 {
+                        engine.checkpoint(&gpu, iter);
+                    }
+                }
+                engine.try_drain()
+            })
+        };
+        let status = JobStatus {
+            id,
+            name: spec.name.clone(),
+            state: JobState::Running,
+            concurrent,
+            committed: 0,
+            bytes_persisted: 0,
+            qos_share: 0.0,
+            last_iteration: None,
+        };
+        self.state.lock().jobs.push(JobEntry {
+            id,
+            spec,
+            state: JobState::Running,
+            concurrent,
+            engine: Some(engine),
+            telemetry,
+            stop,
+            worker: Some(worker),
+        });
+        Ok(status)
+    }
+
+    /// Stops `name`'s worker, drains its in-flight checkpoints, and
+    /// marks it [`JobState::Drained`]. Idempotent for drained jobs. Then
+    /// retries queued submissions against the freed *runtime* capacity
+    /// (directory entries are append-only, so a queued job only starts
+    /// if unallocated slots remain).
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and worker errors surface as [`PccheckError`].
+    pub fn drain(&self, name: &str) -> Result<(), PccheckError> {
+        let (stop, worker) = {
+            let mut state = self.state.lock();
+            // A queued job drains by leaving the queue.
+            if let Some(pos) = state.pending.iter().position(|p| p.name == name) {
+                state.pending.remove(pos);
+                return Ok(());
+            }
+            let entry = state
+                .jobs
+                .iter_mut()
+                .find(|j| j.spec.name == name)
+                .ok_or_else(|| PccheckError::InvalidConfig(format!("no job named {name:?}")))?;
+            entry.state = JobState::Drained;
+            (Arc::clone(&entry.stop), entry.worker.take())
+        };
+        stop.store(true, Ordering::Release);
+        if let Some(handle) = worker {
+            handle
+                .join()
+                .map_err(|_| PccheckError::InvalidConfig("job worker panicked".into()))??;
+        }
+        self.admit_pending();
+        Ok(())
+    }
+
+    /// Waits for every running worker to finish its iteration budget and
+    /// drain. Unlike [`drain`](Self::drain) this does not interrupt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker error.
+    pub fn join_all(&self) -> Result<(), PccheckError> {
+        loop {
+            let worker = {
+                let mut state = self.state.lock();
+                let Some(entry) = state.jobs.iter_mut().find(|j| j.worker.is_some()) else {
+                    break;
+                };
+                entry.state = JobState::Drained;
+                entry.worker.take()
+            };
+            if let Some(handle) = worker {
+                handle
+                    .join()
+                    .map_err(|_| PccheckError::InvalidConfig("job worker panicked".into()))??;
+            }
+        }
+        self.admit_pending();
+        Ok(())
+    }
+
+    fn admit_pending(&self) {
+        loop {
+            let Some(spec) = self.state.lock().pending.pop_front() else {
+                return;
+            };
+            let (free_slots, free_ns) = self.free_capacity();
+            match admission::decide(
+                &spec,
+                self.store.slot_size(),
+                free_slots,
+                free_ns,
+                &self.config.system,
+            ) {
+                Admission::Admitted { concurrent, slots } => {
+                    if self.start_job(spec, concurrent, slots).is_err() {
+                        return;
+                    }
+                }
+                _ => {
+                    // Still no room: put it back at the head and stop
+                    // (FIFO — later jobs must not jump the queue).
+                    self.state.lock().pending.push_front(spec);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A consistent status row per job (running, drained, and queued).
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        let shares = self.qos.shares();
+        let total_share: u64 = shares.iter().map(|(_, b)| *b).sum();
+        let share_of = |id: u64| -> f64 {
+            if total_share == 0 {
+                return 0.0;
+            }
+            shares
+                .iter()
+                .find(|(j, _)| *j == id)
+                .map_or(0.0, |(_, b)| *b as f64 / total_share as f64)
+        };
+        let state = self.state.lock();
+        let mut rows: Vec<JobStatus> = state
+            .jobs
+            .iter()
+            .map(|j| {
+                let (committed, bytes, last_iteration) = match &j.engine {
+                    Some(e) => (
+                        e.stats().committed(),
+                        e.stats().bytes_persisted(),
+                        e.last_committed().map(|o| o.iteration),
+                    ),
+                    None => (0, 0, None),
+                };
+                JobStatus {
+                    id: j.id,
+                    name: j.spec.name.clone(),
+                    state: j.state,
+                    concurrent: j.concurrent,
+                    committed,
+                    bytes_persisted: bytes,
+                    qos_share: share_of(j.id),
+                    last_iteration,
+                }
+            })
+            .collect();
+        rows.extend(state.pending.iter().map(|p| JobStatus {
+            id: 0,
+            name: p.name.clone(),
+            state: JobState::Queued,
+            concurrent: 0,
+            committed: 0,
+            bytes_persisted: 0,
+            qos_share: 0.0,
+            last_iteration: None,
+        }));
+        rows
+    }
+
+    /// The per-job telemetry handle, for tests and expositions.
+    pub fn job_telemetry(&self, name: &str) -> Option<Telemetry> {
+        self.state
+            .lock()
+            .jobs
+            .iter()
+            .find(|j| j.spec.name == name)
+            .map(|j| j.telemetry.clone())
+    }
+
+    /// Drains everything and audits the shared store's commit-protocol
+    /// invariants — the forensics gate a clean shutdown must pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker and audit errors.
+    pub fn shutdown(&self) -> Result<ForensicReport, PccheckError> {
+        let names: Vec<String> = self
+            .state
+            .lock()
+            .jobs
+            .iter()
+            .filter(|j| j.worker.is_some())
+            .map(|j| j.spec.name.clone())
+            .collect();
+        for name in names {
+            self.drain(&name)?;
+        }
+        self.state.lock().pending.clear();
+        pccheck_monitor::audit(Arc::clone(&self.device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_sim_jobs_share_one_store_and_all_commit() {
+        let daemon = Daemon::new(DaemonConfig::sim_default()).unwrap();
+        for i in 0..4 {
+            let outcome = daemon.submit(JobSpec::sim(&format!("job-{i}"))).unwrap();
+            assert!(matches!(outcome, SubmitOutcome::Admitted(_)));
+        }
+        daemon.join_all().unwrap();
+        let rows = daemon.jobs();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.state, JobState::Drained);
+            assert!(row.committed >= 1, "job {} never committed", row.name);
+            assert!(row.bytes_persisted > 0);
+            assert_eq!(row.last_iteration, Some(20));
+        }
+        // Every tenant shows up in the shared exposition under its label.
+        let text = daemon.registry().prometheus_text();
+        for i in 0..4 {
+            assert!(text.contains(&format!("{{job=\"job-{i}\"}}")));
+        }
+        let report = daemon.shutdown().unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn tiny_shared_staging_pool_is_arbitrated_across_racing_jobs() {
+        // Four engine facades share ONE two-chunk staging pool, so pool
+        // exhaustion is the steady state while all four train at once.
+        // Every job must still finish (no lost wakeups, nobody starved),
+        // and the pool must never over-grant or leak chunks.
+        let config = DaemonConfig {
+            dram_chunks: 2,
+            ..DaemonConfig::sim_default()
+        };
+        let daemon = Daemon::new(config).unwrap();
+        for i in 0..4 {
+            daemon.submit(JobSpec::sim(&format!("racer-{i}"))).unwrap();
+        }
+        daemon.join_all().unwrap();
+        let pool = daemon.pipeline.staging_pool().expect("daemon stages");
+        assert!(
+            pool.peak_outstanding() <= 2,
+            "pool over-granted: {} chunks live at peak",
+            pool.peak_outstanding()
+        );
+        assert_eq!(pool.available(), 2, "staging chunks leaked");
+        for row in daemon.jobs() {
+            assert!(row.committed >= 1, "job {} starved", row.name);
+        }
+        let report = daemon.shutdown().unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn duplicate_names_and_hopeless_budgets_are_rejected() {
+        let daemon = Daemon::new(DaemonConfig::sim_default()).unwrap();
+        daemon.submit(JobSpec::sim("a")).unwrap();
+        assert!(daemon.submit(JobSpec::sim("a")).is_err());
+        let hopeless = JobSpec {
+            storage_budget: ByteSize::from_kb(64),
+            ..JobSpec::sim("b")
+        };
+        assert!(daemon.submit(hopeless).is_err());
+        daemon.join_all().unwrap();
+    }
+
+    #[test]
+    fn jobs_queue_when_slots_run_out_and_drain_reaps_the_queue() {
+        let config = DaemonConfig {
+            total_slots: 7,
+            max_jobs: 4,
+            ..DaemonConfig::sim_default()
+        };
+        let daemon = Daemon::new(config).unwrap();
+        // Two N=2 jobs take 3 slots each; the third job's 3 do not fit
+        // the single remaining slot.
+        daemon.submit(JobSpec::sim("a")).unwrap();
+        daemon.submit(JobSpec::sim("b")).unwrap();
+        let outcome = daemon.submit(JobSpec::sim("c")).unwrap();
+        assert!(matches!(outcome, SubmitOutcome::Queued(_)), "{outcome:?}");
+        let rows = daemon.jobs();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().filter(|r| r.state == JobState::Queued).count(),
+            1
+        );
+        // Draining the queued job just removes it from the queue.
+        daemon.drain("c").unwrap();
+        assert_eq!(daemon.jobs().len(), 2);
+        daemon.join_all().unwrap();
+        let report = daemon.shutdown().unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn drain_interrupts_a_running_job_and_keeps_its_checkpoints() {
+        let spec = JobSpec {
+            iterations: 1_000_000,
+            interval: 1,
+            ..JobSpec::sim("long")
+        };
+        let daemon = Daemon::new(DaemonConfig::sim_default()).unwrap();
+        daemon.submit(spec).unwrap();
+        // Let it commit something, then cut it short.
+        loop {
+            let rows = daemon.jobs();
+            if rows[0].committed >= 2 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        daemon.drain("long").unwrap();
+        let rows = daemon.jobs();
+        assert_eq!(rows[0].state, JobState::Drained);
+        assert!(rows[0].committed >= 2);
+        assert!(rows[0].last_iteration.is_some());
+        let report = daemon.shutdown().unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+}

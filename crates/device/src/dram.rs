@@ -322,4 +322,77 @@ mod tests {
         assert_eq!(pool.available(), 2);
         assert_eq!(pool.peak_outstanding(), 2, "never exceeded the pool size");
     }
+
+    #[test]
+    fn trickled_releases_wake_every_blocked_waiter() {
+        // The lost-wakeup shape: k waiters blocked on an exhausted pool,
+        // then k one-at-a-time releases. Each drop notifies exactly one
+        // waiter; if any notification were consumed without a handoff
+        // (or fired before the waiter queued), some waiter would sleep
+        // forever and the join below would hang the test.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+
+        let pool = HostBufferPool::new(ByteSize::from_bytes(32), 4);
+        let held: Vec<_> = (0..4).map(|_| pool.acquire()).collect();
+        let blocked = Arc::new(Barrier::new(5));
+        let woken = Arc::new(AtomicUsize::new(0));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                let blocked = Arc::clone(&blocked);
+                let woken = Arc::clone(&woken);
+                std::thread::spawn(move || {
+                    blocked.wait();
+                    let buf = pool.acquire();
+                    woken.fetch_add(1, Ordering::SeqCst);
+                    drop(buf);
+                })
+            })
+            .collect();
+        blocked.wait();
+        // Give the waiters a beat to actually park on the condvar, then
+        // trickle the buffers back one by one.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for buf in held {
+            drop(buf);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn four_jobs_racing_for_one_chunk_all_finish_their_quota() {
+        // Fair-wakeup check in the form that matters for the daemon:
+        // four "jobs" (engine facades) share one chunk of staging DRAM.
+        // Completion of every quota proves no waiter is starved by the
+        // wakeup order; the holders gauge proves exclusivity.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let pool = HostBufferPool::new(ByteSize::from_bytes(64), 1);
+        let holders = Arc::new(AtomicUsize::new(0));
+        crossbeam::thread::scope(|s| {
+            for job in 0..4u8 {
+                let pool = pool.clone();
+                let holders = Arc::clone(&holders);
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        let mut buf = pool.acquire();
+                        assert_eq!(holders.fetch_add(1, Ordering::SeqCst), 0);
+                        buf.as_mut_slice()[0] = job.wrapping_mul(67).wrapping_add(i);
+                        holders.fetch_sub(1, Ordering::SeqCst);
+                        drop(buf);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.peak_outstanding(), 1);
+    }
 }

@@ -687,6 +687,7 @@ mod tests {
                     RestoreOptions {
                         readers: 4,
                         probe: 2,
+                        job: None,
                     },
                 )
                 .unwrap();
@@ -704,6 +705,7 @@ mod tests {
                     RestoreOptions {
                         readers: 1,
                         probe: 1,
+                        job: None,
                     },
                 )
                 .unwrap();

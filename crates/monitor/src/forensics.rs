@@ -9,10 +9,15 @@
 //! the invariants the commit protocol of Listing 1 promises:
 //!
 //! 1. **Commit counters strictly monotone** — the durable `CHECK_ADDR`
-//!    only ever advances.
+//!    only ever advances. On a multi-tenant (service-mode) store each
+//!    namespace has its own `CHECK_ADDR`, so monotonicity is judged *per
+//!    namespace*: jobs draw counters from one global sequence but commit
+//!    independently, so cross-job commit order legitimately interleaves.
 //! 2. **Bounded concurrency** — never more than `slots − 1` checkpoints
 //!    between `Begin` and a terminal event (one slot always holds the
-//!    latest committed state).
+//!    latest committed state). Service stores allow `slots` total: each
+//!    namespace independently keeps one slot for its committed state, and
+//!    the bound per job is enforced by its namespace's free queue.
 //! 3. **Commit preceded by persist** — a `Commit` record requires the
 //!    checkpoint's `MetaPersisted` barrier earlier in the ring.
 //! 4. **Recovery restores the newest commit** — the checkpoint the store
@@ -240,8 +245,13 @@ pub struct ForensicReport {
     pub ring_wrapped: bool,
     /// Peak concurrent in-protocol checkpoints observed in the ring.
     pub peak_concurrency: usize,
-    /// `slots − 1`: the store's concurrency bound.
+    /// The store's concurrency bound: `slots − 1` single-tenant, `slots`
+    /// on a service store (each namespace pins its own committed slot).
     pub concurrency_limit: usize,
+    /// Per-namespace expected recovery heads on a service store:
+    /// `(job, head)` for every allocated namespace, in directory order.
+    /// Empty on single-tenant stores.
+    pub namespace_recovery: Vec<(u64, Option<pccheck::CheckMeta>)>,
 }
 
 impl ForensicReport {
@@ -281,6 +291,20 @@ impl ForensicReport {
             }
             None => {
                 let _ = writeln!(out, "  expected recovery: none (no committed checkpoint)");
+            }
+        }
+        for (job, head) in &self.namespace_recovery {
+            match head {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "    job {job}: counter {} (iteration {}, slot {})",
+                        m.counter, m.iteration, m.slot
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    job {job}: no committed checkpoint");
+                }
             }
         }
         let _ = writeln!(
@@ -338,7 +362,21 @@ impl ForensicReport {
 pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, PccheckError> {
     let view = RawStoreView::load(device.as_ref())?;
     let expected_recovery = view.expected_recovery();
-    let concurrency_limit = (view.slots as usize).saturating_sub(1);
+    let service = view.max_namespaces > 0;
+    // Single-tenant: one slot always holds the committed state, so at most
+    // slots−1 checkpoints are in protocol. Service mode: every namespace
+    // pins its own committed slot and sizes its own window, so the
+    // store-wide bound is simply the slot count.
+    let concurrency_limit = if service {
+        view.slots as usize
+    } else {
+        (view.slots as usize).saturating_sub(1)
+    };
+    let namespace_recovery: Vec<(u64, Option<CheckMeta>)> = view
+        .namespaces
+        .iter()
+        .map(|ns| (ns.desc.job, view.expected_recovery_for(ns.desc.job)))
+        .collect();
 
     let (records, torn, stale, wrapped) = if view.flight_records > 0 {
         match FlightRing::scan(device.as_ref(), view.flight_base()) {
@@ -359,9 +397,18 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
 
     // --- Replay the ring in sequence order. ---------------------------
     // Track per-counter progress and the set of checkpoints currently
-    // between Begin and a terminal event.
-    let mut last_commit: Option<u64> = None;
-    let mut newest_ring_commit: u64 = 0;
+    // between Begin and a terminal event. Commit-order invariants are
+    // partitioned by namespace on a service store (key = owning job;
+    // `None` = the single-tenant store or a slot outside any namespace).
+    let ns_of = |slot: u32| -> Option<u64> {
+        if service {
+            view.namespace_of_slot(slot)
+        } else {
+            None
+        }
+    };
+    let mut last_commit: BTreeMap<Option<u64>, u64> = BTreeMap::new();
+    let mut newest_ring_commit: BTreeMap<Option<u64>, u64> = BTreeMap::new();
     let mut active: BTreeMap<u64, (InFlightPhase, u32)> = BTreeMap::new();
     let mut peak = 0usize;
     let mut meta_persisted: Vec<u64> = Vec::new();
@@ -386,7 +433,8 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
                 meta_persisted.push(rec.counter);
             }
             FlightEventKind::Commit => {
-                if let Some(prev) = last_commit {
+                let ns = ns_of(rec.slot);
+                if let Some(&prev) = last_commit.get(&ns) {
                     if rec.counter <= prev {
                         violations.push(InvariantViolation::CommitNotMonotone {
                             prev,
@@ -394,8 +442,9 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
                         });
                     }
                 }
-                last_commit = Some(rec.counter);
-                newest_ring_commit = newest_ring_commit.max(rec.counter);
+                last_commit.insert(ns, rec.counter);
+                let newest = newest_ring_commit.entry(ns).or_insert(0);
+                *newest = (*newest).max(rec.counter);
                 // Invariant 3: the barrier must precede the commit. Only
                 // judgeable when the ring still holds the checkpoint's
                 // window (its Begin wasn't lost to wrap).
@@ -450,18 +499,31 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
     // --- Cross-check the ring against the durable metadata. -----------
     // Invariant 4: CHECK_ADDR persists before the ring's Commit record,
     // so recovery can never restore something older than a ring commit.
-    if newest_ring_commit > 0 {
-        let recovered = expected_recovery.map_or(0, |m| m.counter);
-        if recovered < newest_ring_commit {
-            violations.push(InvariantViolation::RecoveredNotNewest {
-                recovered,
-                newest: newest_ring_commit,
-            });
+    // Judged per namespace: each tenant's durable pointer must cover its
+    // own ring commits.
+    for (&ns, &newest) in &newest_ring_commit {
+        if newest == 0 {
+            continue;
+        }
+        let recovered = match ns {
+            Some(job) => view.expected_recovery_for(job).map_or(0, |m| m.counter),
+            None => expected_recovery.map_or(0, |m| m.counter),
+        };
+        if recovered < newest {
+            violations.push(InvariantViolation::RecoveredNotNewest { recovered, newest });
         }
     }
 
     // Invariant 5 + payload_valid: verify slot payloads against digests.
     // A delta slot's digest covers the extent table at the payload head.
+    // On a service store every namespace's recovery head is a target —
+    // one tenant's torn head is a violation even when another tenant
+    // holds the globally newest commit.
+    let recovery_targets: Vec<CheckMeta> = if service {
+        namespace_recovery.iter().filter_map(|(_, m)| *m).collect()
+    } else {
+        expected_recovery.into_iter().collect()
+    };
     for slot in 0..view.slots {
         let Some(meta) = view.slot_meta[slot as usize] else {
             continue;
@@ -488,7 +550,7 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
                 },
             );
         }
-        if !valid && expected_recovery.map_or(false, |m| m.counter == meta.counter) {
+        if !valid && recovery_targets.iter().any(|m| m.counter == meta.counter) {
             violations.push(InvariantViolation::TornCommittedSlot {
                 slot,
                 counter: meta.counter,
@@ -498,11 +560,12 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
 
     // Invariant 6: a delta recovery target's chain must be whole, built on
     // committed bases, and replayable to the recorded full-state digest.
-    if let Some(target) = expected_recovery.filter(|m| m.is_delta()) {
+    // Every tenant's head is audited on a service store.
+    for target in recovery_targets.iter().filter(|m| m.is_delta()) {
         audit_delta_chain(
             device.as_ref(),
             &view,
-            &target,
+            target,
             &checkpoints,
             &mut violations,
         )?;
@@ -518,6 +581,7 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
         ring_wrapped: wrapped,
         peak_concurrency: peak,
         concurrency_limit,
+        namespace_recovery,
     })
 }
 
@@ -981,6 +1045,114 @@ mod tests {
             v,
             InvariantViolation::CommitNotMonotone { prev: 2, next: 1 }
         )));
+    }
+
+    fn service_flight_store(
+        slots: u32,
+        ring: u32,
+        max_ns: u32,
+    ) -> (Arc<dyn PersistentDevice>, CheckpointStore) {
+        let cap = CheckpointStore::required_capacity_service(
+            ByteSize::from_bytes(64),
+            slots,
+            ring,
+            max_ns,
+        ) + ByteSize::from_kb(1);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format_service(
+            Arc::clone(&dev),
+            ByteSize::from_bytes(64),
+            slots,
+            ring,
+            max_ns,
+        )
+        .unwrap();
+        (dev, st)
+    }
+
+    fn commit_job(st: &CheckpointStore, job: u64, iter: u64, payload: &[u8]) {
+        let lease = st.begin_checkpoint_job(job).unwrap();
+        st.write_payload(&lease, 0, payload).unwrap();
+        st.persist_payload(&lease, 0, payload.len() as u64).unwrap();
+        let digest = pccheck_raw_checksum(payload);
+        assert_eq!(
+            st.commit(lease, iter, payload.len() as u64, digest)
+                .unwrap(),
+            CommitOutcome::Committed
+        );
+    }
+
+    #[test]
+    fn interleaved_tenant_commits_audit_clean() {
+        // Jobs lease counters from one global sequence but commit out of
+        // global order; under the single-tenant monotonicity rule this
+        // interleaving would be a false CommitNotMonotone. The namespace-
+        // partitioned auditor must accept it.
+        let (dev, st) = service_flight_store(6, 64, 4);
+        st.allocate_namespace(1, 3).unwrap();
+        st.allocate_namespace(2, 3).unwrap();
+        // Lease job 1 first (lower counter), commit it after job 2.
+        let lease1 = st.begin_checkpoint_job(1).unwrap();
+        commit_job(&st, 2, 7, b"job2-a");
+        st.write_payload(&lease1, 0, b"job1-a").unwrap();
+        st.persist_payload(&lease1, 0, 6).unwrap();
+        st.commit(lease1, 3, 6, pccheck_raw_checksum(b"job1-a"))
+            .unwrap();
+        commit_job(&st, 2, 8, b"job2-b");
+        commit_job(&st, 1, 4, b"job1-b");
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.concurrency_limit, 6, "service bound is `slots`");
+        let heads: BTreeMap<u64, u64> = report
+            .namespace_recovery
+            .iter()
+            .filter_map(|(job, m)| m.map(|m| (*job, m.iteration)))
+            .collect();
+        assert_eq!(heads[&1], 4);
+        assert_eq!(heads[&2], 8);
+        assert!(report.render().contains("job 1"));
+    }
+
+    #[test]
+    fn torn_tenant_head_is_flagged_even_when_not_globally_newest() {
+        let (dev, st) = service_flight_store(6, 64, 4);
+        st.allocate_namespace(1, 3).unwrap();
+        st.allocate_namespace(2, 3).unwrap();
+        commit_job(&st, 1, 1, b"job1-a");
+        commit_job(&st, 2, 9, b"job2-a"); // globally newest commit
+                                          // Tear job 1's head payload: the global expected recovery is job
+                                          // 2's intact head, but job 1's tenant-visible recovery is torn.
+        let head = st.latest_committed_job(1).unwrap().unwrap();
+        let off = st.slot_payload_offset(head.slot);
+        dev.write_at(off, b"WRONG").unwrap();
+        dev.persist(off, 5).unwrap();
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.violations.iter().any(
+            |v| matches!(v, InvariantViolation::TornCommittedSlot { counter, .. } if *counter == head.counter)
+        ), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn tenant_check_addr_behind_ring_commit_is_flagged() {
+        let (dev, st) = service_flight_store(6, 64, 4);
+        st.allocate_namespace(1, 3).unwrap();
+        commit_job(&st, 1, 1, b"one");
+        // Fabricate a ring Commit for a counter job 1's durable pointer
+        // never reached: per-namespace invariant 4 must trip.
+        let lease = st.begin_checkpoint_job(1).unwrap();
+        st.flight()
+            .record(K::MetaPersisted, lease.counter, lease.slot, 2, 3, 0);
+        st.flight()
+            .record(K::Commit, lease.counter, lease.slot, 2, 3, 0);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, InvariantViolation::RecoveredNotNewest { .. })));
     }
 
     #[test]

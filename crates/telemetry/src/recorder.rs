@@ -802,6 +802,11 @@ mod tests {
         use pccheck_device::IoObserver as _;
         let t = Telemetry::enabled();
         let obs = TelemetryIoObserver::new(t.clone());
+        // `start_nanos = now - dur` saturates at the recorder epoch; spin
+        // past it so a fast scheduler can't clamp the reconstructed span.
+        while t.now_nanos() < 1000 {
+            std::hint::spin_loop();
+        }
         obs.member_io("stripe-0", pccheck_device::MemberIoOp::Write, 4096, 1000);
         let events = t.events();
         assert_eq!(events.len(), 1);

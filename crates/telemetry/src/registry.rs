@@ -21,9 +21,9 @@
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::event::Phase;
@@ -38,9 +38,29 @@ pub const METRICS_SCHEMA: &str = "pccheck.metrics.v1";
 ///
 /// Cloning is cheap (the handle inside is an `Arc` clone); a registry
 /// built over a disabled handle renders empty-but-valid documents.
+///
+/// A multi-tenant service additionally registers one recorder per job
+/// ([`register_job`]): every counter/gauge family then also carries
+/// `job="<name>"`-labelled series, the JSON document gains a `"jobs"`
+/// object, and [`console_view`] renders one row per job. The job list is
+/// shared across clones, so a [`MetricsServer`] sees jobs submitted
+/// after it was bound.
+///
+/// [`register_job`]: MetricsRegistry::register_job
+/// [`console_view`]: MetricsRegistry::console_view
 #[derive(Debug, Clone)]
 pub struct MetricsRegistry {
     telemetry: Telemetry,
+    jobs: Arc<Mutex<Vec<(String, Telemetry)>>>,
+}
+
+/// Escapes a label value for Prometheus text exposition (`\`, `"`, and
+/// newlines; the only characters the format requires escaping).
+fn prom_label_escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Emits one Prometheus histogram from raw bucket counts: cumulative
@@ -89,12 +109,52 @@ fn json_summary(s: &crate::histogram::HistogramSummary) -> String {
 impl MetricsRegistry {
     /// A registry exposing `telemetry`'s shared recorder.
     pub fn new(telemetry: Telemetry) -> Self {
-        MetricsRegistry { telemetry }
+        MetricsRegistry {
+            telemetry,
+            jobs: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// The handle this registry snapshots.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Registers (or replaces) a per-job recorder under `name`. Every
+    /// exposition then carries `job="<name>"`-labelled series alongside
+    /// the aggregate. Shared across clones of this registry.
+    pub fn register_job(&self, name: impl Into<String>, telemetry: Telemetry) {
+        let name = name.into();
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(slot) = jobs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = telemetry;
+        } else {
+            jobs.push((name, telemetry));
+        }
+    }
+
+    /// Removes a per-job recorder; returns whether it was registered.
+    pub fn deregister_job(&self, name: &str) -> bool {
+        let mut jobs = self.jobs.lock().unwrap();
+        let before = jobs.len();
+        jobs.retain(|(n, _)| n != name);
+        jobs.len() != before
+    }
+
+    /// The per-job handles currently registered, in registration order.
+    pub fn jobs(&self) -> Vec<(String, Telemetry)> {
+        self.jobs.lock().unwrap().clone()
+    }
+
+    /// One consistent per-job rollup: registered jobs whose handles are
+    /// enabled, each with a fresh snapshot.
+    fn jobs_snapshot(&self) -> Vec<(String, TelemetrySnapshot)> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|(name, t)| t.snapshot().map(|s| (name.clone(), s)))
+            .collect()
     }
 
     /// One consistent rollup of everything the recorder holds (`None`
@@ -112,91 +172,112 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# pccheck telemetry disabled: no metrics");
             return out;
         };
-        let c = &snap.counters;
-        for (name, help, v) in [
+        let jobs = self.jobs_snapshot();
+        // Family-major: HELP/TYPE once, then the aggregate series, then
+        // one `job`-labelled series per registered tenant.
+        type Sel = fn(&TelemetrySnapshot) -> u64;
+        let counters: [(&str, &str, Sel); 9] = [
             (
                 "pccheck_checkpoints_requested_total",
                 "Checkpoint requests accepted.",
-                c.requested,
+                |s: &TelemetrySnapshot| s.counters.requested,
             ),
             (
                 "pccheck_checkpoints_committed_total",
                 "Checkpoints that became the latest committed state.",
-                c.committed,
+                |s| s.counters.committed,
             ),
             (
                 "pccheck_checkpoints_superseded_total",
                 "Checkpoints that lost the commit race.",
-                c.superseded,
+                |s| s.counters.superseded,
             ),
             (
                 "pccheck_checkpoints_failed_total",
                 "Checkpoints that failed.",
-                c.failed,
+                |s| s.counters.failed,
             ),
             (
                 "pccheck_bytes_persisted_total",
                 "Payload bytes of committed checkpoints.",
-                c.bytes_persisted,
+                |s| s.counters.bytes_persisted,
             ),
             (
                 "pccheck_gpu_copy_bytes_total",
                 "Bytes moved by the GPU-to-DRAM copy phase.",
-                snap.gpu_copy_bytes,
+                |s| s.gpu_copy_bytes,
             ),
             (
                 "pccheck_persist_chunk_bytes_total",
                 "Bytes moved by the DRAM-to-device persist phase.",
-                snap.persist_chunk_bytes,
+                |s| s.persist_chunk_bytes,
             ),
             (
                 "pccheck_restore_chunk_bytes_total",
                 "Bytes moved by the device-to-DRAM restore-read phase.",
-                snap.restore_chunk_bytes,
+                |s| s.restore_chunk_bytes,
             ),
             (
                 "pccheck_delta_bytes_saved_total",
                 "Payload bytes the delta path avoided persisting.",
-                snap.delta_bytes_saved,
+                |s| s.delta_bytes_saved,
             ),
-        ] {
+        ];
+        for (name, help, sel) in counters {
             prom_metric(&mut out, name, "counter", help);
-            let _ = writeln!(out, "{name} {v}");
+            let _ = writeln!(out, "{name} {}", sel(&snap));
+            for (job, js) in &jobs {
+                let _ = writeln!(
+                    out,
+                    "{name}{{job=\"{}\"}} {}",
+                    prom_label_escape(job),
+                    sel(js)
+                );
+            }
         }
-        for (name, help, v) in [
+        let gauges: [(&str, &str, Sel); 6] = [
             (
                 "pccheck_in_flight",
                 "Checkpoints between request and terminal event.",
-                snap.in_flight,
+                |s: &TelemetrySnapshot| s.in_flight,
             ),
             (
                 "pccheck_in_flight_peak",
                 "High-water mark of concurrent in-flight checkpoints.",
-                snap.in_flight_peak,
+                |s| s.in_flight_peak,
             ),
             (
                 "pccheck_queue_depth",
                 "Last observed free-slot queue depth.",
-                snap.queue_depth,
+                |s| s.queue_depth,
             ),
             (
                 "pccheck_queue_depth_peak",
                 "High-water mark of the free-slot queue depth.",
-                snap.queue_depth_peak,
+                |s| s.queue_depth_peak,
             ),
             (
                 "pccheck_dirty_ratio_permille",
                 "Last observed delta-checkpoint dirty ratio, permille.",
-                snap.dirty_ratio_permille,
+                |s| s.dirty_ratio_permille,
             ),
             (
                 "pccheck_window_nanos",
                 "Nanoseconds since the recorder epoch.",
-                snap.window_nanos,
+                |s| s.window_nanos,
             ),
-        ] {
+        ];
+        for (name, help, sel) in gauges {
             prom_metric(&mut out, name, "gauge", help);
-            let _ = writeln!(out, "{name} {v}");
+            let _ = writeln!(out, "{name} {}", sel(&snap));
+            for (job, js) in &jobs {
+                let _ = writeln!(
+                    out,
+                    "{name}{{job=\"{}\"}} {}",
+                    prom_label_escape(job),
+                    sel(js)
+                );
+            }
         }
         prom_metric(
             &mut out,
@@ -205,6 +286,14 @@ impl MetricsRegistry {
             "Fraction of the window the training thread spent stalled.",
         );
         let _ = writeln!(out, "pccheck_stall_fraction {}", snap.stall_fraction());
+        for (job, js) in &jobs {
+            let _ = writeln!(
+                out,
+                "pccheck_stall_fraction{{job=\"{}\"}} {}",
+                prom_label_escape(job),
+                js.stall_fraction()
+            );
+        }
         prom_metric(
             &mut out,
             "pccheck_device_queue_depth",
@@ -241,6 +330,25 @@ impl MetricsRegistry {
                     &format!("phase=\"{}\"", phase.name()),
                     hist,
                 );
+            }
+            for (job, t) in self.jobs.lock().unwrap().iter() {
+                let Some(jr) = t.recorder() else { continue };
+                for phase in Phase::ALL {
+                    let hist = jr.phase_hist(phase);
+                    if hist.count() == 0 {
+                        continue;
+                    }
+                    prom_histogram(
+                        &mut out,
+                        "pccheck_phase_latency_nanos",
+                        &format!(
+                            "phase=\"{}\",job=\"{}\"",
+                            phase.name(),
+                            prom_label_escape(job)
+                        ),
+                        hist,
+                    );
+                }
             }
             for (name, help, hist) in [
                 (
@@ -352,7 +460,37 @@ impl MetricsRegistry {
             );
             first = false;
         }
-        let _ = writeln!(out, "}}}}");
+        let _ = write!(out, "}}");
+        let jobs = self.jobs_snapshot();
+        if !jobs.is_empty() {
+            let total: u64 = jobs.iter().map(|(_, s)| s.counters.bytes_persisted).sum();
+            let _ = write!(out, ",\"jobs\":{{");
+            for (i, (name, s)) in jobs.iter().enumerate() {
+                let share = if total > 0 {
+                    s.counters.bytes_persisted as f64 / total as f64
+                } else {
+                    0.0
+                };
+                let _ = write!(
+                    out,
+                    "{}\"{}\":{{\"requested\":{},\"committed\":{},\
+                     \"superseded\":{},\"failed\":{},\"bytes_persisted\":{},\
+                     \"stall_fraction\":{},\"commit_p99_nanos\":{},\"share\":{}}}",
+                    if i == 0 { "" } else { "," },
+                    prom_label_escape(name),
+                    s.counters.requested,
+                    s.counters.committed,
+                    s.counters.superseded,
+                    s.counters.failed,
+                    s.counters.bytes_persisted,
+                    s.stall_fraction(),
+                    s.phase(Phase::Commit).p99_nanos,
+                    share,
+                );
+            }
+            let _ = write!(out, "}}");
+        }
+        let _ = writeln!(out, "}}");
         out
     }
 
@@ -406,6 +544,34 @@ impl MetricsRegistry {
             .collect();
         if !peaks.is_empty() {
             let _ = writeln!(out, "  queues: {}", peaks.join(" "));
+        }
+        let jobs = self.jobs_snapshot();
+        if !jobs.is_empty() {
+            // Share = this job's fraction of all committed payload bytes —
+            // the realized QoS bandwidth split across tenants.
+            let total: u64 = jobs.iter().map(|(_, s)| s.counters.bytes_persisted).sum();
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>6} {:>12} {:>8} {:>14} {:>6}",
+                "job", "ok", "commit-p99", "stall", "bytes", "share"
+            );
+            for (name, s) in &jobs {
+                let share = if total > 0 {
+                    100.0 * s.counters.bytes_persisted as f64 / total as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:>6} {:>10}ns {:>7.2}% {:>14} {:>5.1}%",
+                    name,
+                    s.counters.committed,
+                    s.phase(Phase::Commit).p99_nanos,
+                    s.stall_fraction() * 100.0,
+                    s.counters.bytes_persisted,
+                    share
+                );
+            }
         }
         out
     }
@@ -468,6 +634,14 @@ fn serve_one(stream: TcpStream, registry: &MetricsRegistry) {
     let mut stream = reader.into_inner();
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
+    // Half-close and wait (bounded by the read timeout) for the client's
+    // EOF so the *client* closes first and TIME_WAIT lands on its side.
+    // Otherwise a daemon restart can hit EADDRINUSE: the kernel refuses
+    // to rebind a listening port while a server-side TIME_WAIT socket
+    // from the previous incarnation still holds it.
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut sink = [0u8; 256];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 impl MetricsServer {
@@ -545,23 +719,94 @@ pub fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
             format!("GET {path} HTTP/1.1\r\nHost: pccheck\r\nConnection: close\r\n\r\n").as_bytes(),
         )
         .map_err(|e| e.to_string())?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| e.to_string())?;
-    let Some((head, body)) = response.split_once("\r\n\r\n") else {
-        return Err("malformed HTTP response".into());
-    };
-    let status = head.lines().next().unwrap_or("");
+    // Read headers line-by-line, then exactly `Content-Length` body bytes,
+    // and close promptly — the server half-closes after responding and
+    // waits for our FIN, so the client must not linger until timeout.
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status = head.lines().next().unwrap_or("").to_string();
     if !status.contains("200") {
         return Err(format!("unexpected status: {status}"));
     }
-    Ok(body.to_string())
+    let content_length = head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.eq_ignore_ascii_case("content-length")
+            .then(|| v.trim().parse::<usize>().ok())?
+    });
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf).map_err(|e| e.to_string())?;
+            String::from_utf8(buf).map_err(|e| e.to_string())?
+        }
+        None => {
+            let mut rest = String::new();
+            reader
+                .read_to_string(&mut rest)
+                .map_err(|e| e.to_string())?;
+            rest
+        }
+    };
+    Ok(body)
+}
+
+/// Validates one `{...}` label body: comma-separated `name="value"`
+/// pairs, label names matching `[a-zA-Z_][a-zA-Z0-9_]*`, values quoted
+/// with `\\`/`\"`/`\n` escapes.
+fn validate_labels(body: &str) -> Result<(), String> {
+    let mut chars = body.chars();
+    loop {
+        let mut key = String::new();
+        let mut next = chars.next();
+        while let Some(c) = next {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            next = chars.next();
+        }
+        if next.is_none() {
+            return Err(format!("label {key:?} has no value"));
+        }
+        if key.is_empty()
+            || key.chars().next().is_some_and(|c| c.is_ascii_digit())
+            || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(format!("bad label name {key:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value is not quoted"));
+        }
+        loop {
+            match chars.next() {
+                Some('\\') => {
+                    chars.next();
+                }
+                Some('"') => break,
+                Some(_) => {}
+                None => return Err(format!("label {key} value is unterminated")),
+            }
+        }
+        match chars.next() {
+            None => return Ok(()),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected {c:?} after label {key}")),
+        }
+    }
 }
 
 /// Validates Prometheus text exposition shape: every non-comment line is
-/// `name[{labels}] value`, histogram `_bucket` series are cumulative and
-/// end with `+Inf`. Returns the number of samples on success.
+/// `name[{labels}] value` with well-formed labels (quoted values, legal
+/// label names), histogram `_bucket` series are cumulative and end with
+/// `+Inf`. Returns the number of samples on success.
 ///
 /// # Errors
 ///
@@ -587,8 +832,11 @@ pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
         {
             return Err(format!("bad metric name on line: {line}"));
         }
-        if name_part.contains('{') && !name_part.ends_with('}') {
-            return Err(format!("unterminated labels on line: {line}"));
+        if let Some((_, rest)) = name_part.split_once('{') {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels on line: {line}"))?;
+            validate_labels(body).map_err(|e| format!("{e} on line: {line}"))?;
         }
         if name.ends_with("_bucket") {
             // Cumulative within one series: the count must not decrease.
@@ -704,5 +952,101 @@ mod tests {
         assert!(validate_prometheus_text("pccheck_x nope").is_err());
         assert_eq!(validate_prometheus_text("# only comments\n"), Ok(0));
         let _ = SpanId::NONE;
+    }
+
+    #[test]
+    fn validator_checks_label_well_formedness() {
+        assert_eq!(validate_prometheus_text("pccheck_x{job=\"a\"} 1"), Ok(1));
+        assert_eq!(
+            validate_prometheus_text("pccheck_x{phase=\"commit\",job=\"a b\"} 1"),
+            Ok(1)
+        );
+        // Escaped quote inside a value is legal.
+        assert_eq!(
+            validate_prometheus_text("pccheck_x{job=\"a\\\"b\"} 1"),
+            Ok(1)
+        );
+        // Unquoted value, bad label name, missing value, trailing junk.
+        assert!(validate_prometheus_text("pccheck_x{job=a} 1").is_err());
+        assert!(validate_prometheus_text("pccheck_x{1job=\"a\"} 1").is_err());
+        assert!(validate_prometheus_text("pccheck_x{job-id=\"a\"} 1").is_err());
+        assert!(validate_prometheus_text("pccheck_x{job} 1").is_err());
+        assert!(validate_prometheus_text("pccheck_x{job=\"a\"extra} 1").is_err());
+        assert!(validate_prometheus_text("pccheck_x{job=\"a} 1").is_err());
+    }
+
+    fn job_registry() -> MetricsRegistry {
+        let reg = active_registry();
+        for (name, iters) in [("alpha", 2u64), ("beta", 3u64)] {
+            let t = Telemetry::enabled();
+            for i in 1..=iters {
+                let span = t.span_requested(name, i, 1024);
+                let s = t.now_nanos();
+                t.phase_done(span, Phase::Commit, s);
+                t.stall(span, 100);
+                t.committed(span, i, 1024);
+            }
+            reg.register_job(name, t);
+        }
+        reg
+    }
+
+    #[test]
+    fn job_labels_appear_in_prometheus_and_json() {
+        let reg = job_registry();
+        let text = reg.prometheus_text();
+        assert!(text.contains("pccheck_checkpoints_committed_total{job=\"alpha\"} 2"));
+        assert!(text.contains("pccheck_checkpoints_committed_total{job=\"beta\"} 3"));
+        assert!(text.contains("pccheck_bytes_persisted_total{job=\"beta\"} 3072"));
+        assert!(text.contains("pccheck_stall_fraction{job=\"alpha\"}"));
+        assert!(text.contains("phase=\"commit\",job=\"alpha\""));
+        validate_prometheus_text(&text).expect("job-labelled exposition parses");
+        let json = reg.json();
+        assert!(json.contains("\"jobs\":{\"alpha\":{"));
+        assert!(json.contains("\"beta\":{\"requested\":3"));
+        assert!(json.contains("\"share\":0.6"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn console_view_renders_per_job_rows() {
+        let reg = job_registry();
+        let view = reg.console_view();
+        assert!(view.contains("job"), "{view}");
+        assert!(view.contains("alpha"));
+        assert!(view.contains("beta"));
+        assert!(view.contains("share"));
+        assert!(reg.deregister_job("beta"));
+        assert!(!reg.deregister_job("beta"));
+        assert!(!reg.console_view().contains("beta"));
+    }
+
+    #[test]
+    fn jobs_registered_after_clone_are_visible_to_the_clone() {
+        let reg = active_registry();
+        let clone = reg.clone();
+        reg.register_job("late", Telemetry::enabled());
+        assert_eq!(clone.jobs().len(), 1, "job list is shared across clones");
+        assert!(clone.prometheus_text().contains("{job=\"late\"}"));
+    }
+
+    #[test]
+    fn shutdown_releases_port_for_immediate_rebind() {
+        let reg = active_registry();
+        let server = MetricsServer::bind("127.0.0.1:0", reg.clone()).expect("bind");
+        let addr = server.addr();
+        let _ = http_get(addr, "/metrics").expect("scrape");
+        server.shutdown();
+        // Without the client-closes-first handshake in `serve_one`, the
+        // scraped connection leaves a server-side TIME_WAIT socket and
+        // this immediate rebind of the same port fails with EADDRINUSE.
+        let server2 = MetricsServer::bind(&addr.to_string(), reg)
+            .expect("immediate rebind of the same port after shutdown");
+        assert_eq!(server2.addr(), addr);
+        let body = http_get(addr, "/metrics.json").expect("scrape after rebind");
+        assert!(body.contains(METRICS_SCHEMA));
+        server2.shutdown();
     }
 }

@@ -82,6 +82,10 @@ fn usage() -> ExitCode {
     eprintln!("       pccheckctl watchdog <out-dir> [iterations]");
     eprintln!("       pccheckctl profile <file|run-name> [stripe-ways] [throttle-mb]");
     eprintln!("       pccheckctl diff <base> <candidate> [abs|shares|both]");
+    eprintln!("       pccheckctl job submit <ctl-addr> <name> [key=value ...]");
+    eprintln!("       pccheckctl job list <ctl-addr>");
+    eprintln!("       pccheckctl job drain <ctl-addr> <name>");
+    eprintln!("       pccheckctl job shutdown <ctl-addr>");
     eprintln!("  demo       create the store and run a checkpointed training demo");
     eprintln!("  info       print the store header and checkpoint history");
     eprintln!("  recover    load the latest committed checkpoint through the parallel");
@@ -119,6 +123,10 @@ fn usage() -> ExitCode {
     eprintln!("             noise-aware thresholds; abs = median nanoseconds (same");
     eprintln!("             machine), shares = critical-path shares (cross-machine);");
     eprintln!("             exits nonzero when a critical-path regression is flagged");
+    eprintln!("  job        drive a running pccheckd over its control endpoint:");
+    eprintln!("             submit (optional keys: state_kb n weight budget_kb iters");
+    eprintln!("             interval), list (one row per tenant with commit count,");
+    eprintln!("             bytes persisted, QoS share), drain (stop + drain a job)");
     ExitCode::from(2)
 }
 
@@ -601,6 +609,83 @@ fn cmd_profile(
     Ok(())
 }
 
+/// Pulls `"key":value` (string or number) out of one hand-rolled JSON
+/// object — enough for the daemon's fixed status schema, no parser dep.
+fn json_field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let rest = &obj[obj.find(&tag)? + tag.len()..];
+    if let Some(s) = rest.strip_prefix('"') {
+        s.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+fn cmd_job(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let sub = args
+        .get(2)
+        .map(String::as_str)
+        .ok_or("job needs a subcommand")?;
+    let addr: SocketAddr = args
+        .get(3)
+        .ok_or("job needs the daemon's control address")?
+        .parse()?;
+    match sub {
+        "list" => {
+            let body = http_get(addr, "/jobs")?;
+            println!(
+                "{:<14} {:>4} {:<8} {:>3} {:>9} {:>14} {:>7}",
+                "job", "id", "state", "N", "commits", "bytes", "share"
+            );
+            // The daemon emits a flat array of flat objects; split on the
+            // object boundary rather than pulling in a JSON parser.
+            for obj in body.trim_matches(['[', ']', '\n']).split("},{") {
+                if obj.trim().is_empty() {
+                    continue;
+                }
+                println!(
+                    "{:<14} {:>4} {:<8} {:>3} {:>9} {:>14} {:>7}",
+                    json_field(obj, "name").unwrap_or("?"),
+                    json_field(obj, "id").unwrap_or("?"),
+                    json_field(obj, "state").unwrap_or("?"),
+                    json_field(obj, "concurrent").unwrap_or("?"),
+                    json_field(obj, "committed").unwrap_or("?"),
+                    json_field(obj, "bytes_persisted").unwrap_or("?"),
+                    json_field(obj, "qos_share").unwrap_or("?"),
+                );
+            }
+            Ok(())
+        }
+        "submit" => {
+            let name = args.get(4).ok_or("submit needs a job name")?;
+            let mut query = format!("/submit?name={name}");
+            for kv in &args[5..] {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got {kv:?}"))?;
+                query.push_str(&format!("&{k}={v}"));
+            }
+            let body = http_get(addr, &query)?;
+            println!("{}", body.trim());
+            Ok(())
+        }
+        "drain" => {
+            let name = args.get(4).ok_or("drain needs a job name")?;
+            let body = http_get(addr, &format!("/drain?name={name}"))?;
+            println!("{}", body.trim());
+            Ok(())
+        }
+        "shutdown" => {
+            let body = http_get(addr, "/shutdown")?;
+            println!("{}", body.trim());
+            Ok(())
+        }
+        other => {
+            Err(format!("unknown job subcommand {other:?} (submit|list|drain|shutdown)").into())
+        }
+    }
+}
+
 fn cmd_diff(base: &str, cand: &str, mode: &str) -> Result<(), Box<dyn std::error::Error>> {
     let base_profile = load_profile(base)?;
     let cand_profile = load_profile(cand)?;
@@ -683,6 +768,7 @@ fn main() -> ExitCode {
             Some(cand) => cmd_diff(path, cand, args.get(4).map_or("abs", |s| s.as_str())),
             None => return usage(),
         },
+        "job" => cmd_job(&args),
         _ => return usage(),
     };
     match result {

@@ -1,0 +1,170 @@
+//! `pccheckd` — run the multi-tenant checkpoint service.
+//!
+//! ```bash
+//! pccheckd smoke [jobs]                        # CI self-test, default 4 jobs
+//! pccheckd serve <metrics-addr> <ctl-addr> [jobs]
+//! ```
+//!
+//! `serve` stands up the shared store (a 4-way simulated stripe), seeds
+//! `[jobs]` sim-backed tenants, and serves two endpoints until every job
+//! drains: the metrics registry (`GET /metrics`, `GET /metrics.json`,
+//! every family with per-`job` labelled series) on `<metrics-addr>` and
+//! the control plane (`GET /jobs`, `/submit`, `/drain` — the surface
+//! `pccheckctl job` talks to) on `<ctl-addr>`. On shutdown it audits the
+//! shared store's commit-protocol invariants and exits nonzero if any
+//! tenant's namespace is inconsistent.
+//!
+//! `smoke` is the same lifecycle against ephemeral ports, self-scraping
+//! and asserting everything a CI gate needs: per-job counters present
+//! and nonzero, QoS shares accounted, forensics clean.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pccheck_daemon::{ControlServer, Daemon, DaemonConfig};
+use pccheck_telemetry::{http_get, validate_prometheus_text, MetricsServer};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pccheckd smoke [jobs]");
+    eprintln!("       pccheckd serve <metrics-addr> <ctl-addr> [jobs]");
+    eprintln!("  smoke  run the full service lifecycle against ephemeral ports:");
+    eprintln!("         submit sim jobs over the control endpoint, scrape and");
+    eprintln!("         validate per-job metrics, drain, audit; nonzero on any");
+    eprintln!("         failed assertion (the CI daemon-smoke gate)");
+    eprintln!("  serve  run the service on fixed addresses until the seeded");
+    eprintln!("         jobs (default 4) drain; scrape /metrics meanwhile and");
+    eprintln!("         drive it with `pccheckctl job <cmd> <ctl-addr> ...`");
+    ExitCode::from(2)
+}
+
+/// Extracts the value of the exposition line starting with `needle `.
+fn sample_value(prom: &str, needle: &str) -> Option<f64> {
+    prom.lines()
+        .find(|l| l.starts_with(needle) && l.as_bytes().get(needle.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+fn run_service(
+    metrics_addr: &str,
+    ctl_addr: &str,
+    jobs: usize,
+    verbose: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let daemon = Arc::new(Daemon::new(DaemonConfig::sim_default())?);
+    let metrics = MetricsServer::bind(metrics_addr, daemon.registry().clone())?;
+    let control = ControlServer::bind(ctl_addr, Arc::clone(&daemon))?;
+    println!("metrics  http://{}", metrics.addr());
+    println!("control  http://{}", control.addr());
+
+    // Seed the tenants through the real control plane, unequal weights so
+    // the QoS arbiter has something to arbitrate.
+    for i in 0..jobs {
+        let body = http_get(
+            control.addr(),
+            &format!(
+                "/submit?name=smoke-{i}&iters=20&interval=2&weight={}",
+                i + 1
+            ),
+        )?;
+        if !body.contains("\"state\":\"running\"") {
+            return Err(format!("job smoke-{i} did not start: {body}").into());
+        }
+        if verbose {
+            println!("submitted smoke-{i}: {}", body.trim());
+        }
+    }
+    if verbose {
+        // Stay up for remote `pccheckctl job` interaction until asked to
+        // leave (`pccheckctl job shutdown <ctl-addr>`), then run the
+        // shutdown gates below.
+        println!("serving until GET /shutdown on the control endpoint");
+        while !daemon.quit_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+    daemon.join_all()?;
+
+    // Gate 1: the exposition parses and carries nonzero per-job counters.
+    let prom = http_get(metrics.addr(), "/metrics")?;
+    let samples = validate_prometheus_text(&prom)?;
+    for i in 0..jobs {
+        let needle = format!("pccheck_checkpoints_committed_total{{job=\"smoke-{i}\"}}");
+        match sample_value(&prom, &needle) {
+            Some(v) if v >= 1.0 => {}
+            other => return Err(format!("{needle}: expected >= 1 commit, got {other:?}").into()),
+        }
+        let bytes = format!("pccheck_bytes_persisted_total{{job=\"smoke-{i}\"}}");
+        match sample_value(&prom, &bytes) {
+            Some(v) if v > 0.0 => {}
+            other => return Err(format!("{bytes}: expected > 0, got {other:?}").into()),
+        }
+    }
+    println!("metrics: {samples} samples, per-job counters present for {jobs} job(s)");
+
+    // Gate 2: the control plane agrees and QoS shares are accounted.
+    let list = http_get(control.addr(), "/jobs")?;
+    for i in 0..jobs {
+        if !list.contains(&format!("\"name\":\"smoke-{i}\"")) {
+            return Err(format!("/jobs is missing smoke-{i}: {list}").into());
+        }
+    }
+    let shares = daemon.qos().shares();
+    if jobs > 1 && shares.iter().filter(|(_, b)| *b > 0).count() < jobs {
+        return Err(format!("QoS served-byte shares incomplete: {shares:?}").into());
+    }
+    for i in 0..jobs {
+        http_get(control.addr(), &format!("/drain?name=smoke-{i}"))?;
+    }
+
+    // Gate 3: forensics-clean shutdown of the shared store.
+    let report = daemon.shutdown()?;
+    if !report.is_clean() {
+        eprint!("{}", report.render());
+        return Err(format!("{} invariant violation(s)", report.violations.len()).into());
+    }
+    println!(
+        "forensics clean: {} namespace(s) audited, concurrency bound {}",
+        report.namespace_recovery.len(),
+        report.concurrency_limit
+    );
+    metrics.shutdown();
+    control.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("smoke") => {
+            let jobs = args
+                .get(2)
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(4)
+                .clamp(1, 16);
+            run_service("127.0.0.1:0", "127.0.0.1:0", jobs, false)
+        }
+        Some("serve") => match (args.get(2), args.get(3)) {
+            (Some(m), Some(c)) => {
+                let jobs = args
+                    .get(4)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .unwrap_or(4)
+                    .clamp(1, 16);
+                run_service(m, c, jobs, true)
+            }
+            _ => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => {
+            println!("pccheckd: all gates passed");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pccheckd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -36,6 +36,7 @@ fn sequential() -> RestoreOptions {
     RestoreOptions {
         readers: 1,
         probe: 1,
+        job: None,
     }
 }
 
@@ -43,6 +44,7 @@ fn parallel() -> RestoreOptions {
     RestoreOptions {
         readers: 4,
         probe: 2,
+        job: None,
     }
 }
 
