@@ -13,7 +13,11 @@
 //!    non-pipelined mode stages the full checkpoint first),
 //! 4. persists the payload (per-writer fences on PMEM, or one deferred
 //!    `msync` on SSD when `single_sync` is set),
-//! 5. runs the store's CAS commit protocol and recycles the displaced slot.
+//! 5. runs the store's lock-free commit protocol — atomic meta publish,
+//!    durable `Committed` state-word write, `fetch_max` head advance — and
+//!    recycles the displaced slot through the lock-free slot queue. No
+//!    mutex is held anywhere on this path, so `N` checkpointers commit
+//!    concurrently without serializing on metadata.
 //!
 //! All of this happens on background threads; the training loop's
 //! `checkpoint()` call returns as soon as the ticket and the weights lock

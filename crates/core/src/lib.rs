@@ -82,7 +82,7 @@ pub use config::{PcCheckConfig, PcCheckConfigBuilder};
 pub use engine::{EngineStats, PcCheckEngine};
 pub use error::PccheckError;
 pub use meta::NamespaceDesc;
-pub use meta::{CheckMeta, DeltaLink};
+pub use meta::{CheckMeta, DeltaLink, SlotState, SLOT_STATE_SIZE};
 pub use pipeline::{
     DeltaOutcome, DeltaPlan, DeltaPolicy, FenceMode, PersistPipeline, PipelineCtx,
     KERNEL_COPY_CHUNK,
@@ -96,5 +96,5 @@ pub use restore::{
     recover_instrumented_with, recover_into_gpu, LayerCache, RestoreOptions, RestorePipeline,
     RestoreSink,
 };
-pub use store::{CheckpointStore, CommitOutcome, JobId, RawStoreView};
+pub use store::{CheckpointStore, CommitOutcome, JobId, RawStoreView, SlotOutcome};
 pub use tuner::{AdaptiveTuner, Tuner, TunerInputs, TunerRecommendation};

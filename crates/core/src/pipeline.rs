@@ -4,7 +4,9 @@
 //! and the traditional/CheckFreq/GPM baselines — moves checkpoint bytes
 //! through the same four mechanical stages: slice the snapshot into
 //! chunks, write each chunk into a leased slot, fence it durable, and run
-//! the store's CAS commit. What *differs* between strategies is pure
+//! the store's lock-free commit (meta publish → durable `Committed`
+//! state word → `fetch_max` head advance — never a mutex across device
+//! I/O). What *differs* between strategies is pure
 //! scheduling policy: when the training thread stalls, how many
 //! concurrency tickets exist, whether the copier runs inline or on a
 //! background thread, and whether fences are issued per writer (PMEM) or
@@ -1020,7 +1022,11 @@ impl PersistPipeline {
         Ok(())
     }
 
-    /// Runs the store's CAS commit and closes the `Commit` phase.
+    /// Runs the store's lock-free commit — meta publish, durable
+    /// `Committed` state-word write, `fetch_max` head advance — and
+    /// closes the `Commit` phase. Concurrent callers never serialize on
+    /// a lock here; losers of the head race surface as
+    /// [`CommitOutcome::SupersededBy`].
     ///
     /// # Errors
     ///

@@ -369,7 +369,7 @@ mod tests {
         let st = CheckpointStore::format_service(Arc::clone(&dev), slot, 6, 0, 4).unwrap();
         st.allocate_namespace(1, 3).unwrap();
         st.allocate_namespace(2, 3).unwrap();
-        let mut commit = |job: u64, iter: u64| {
+        let commit = |job: u64, iter: u64| {
             let payload = format!("job{job}-iter{iter}");
             let lease = st.begin_checkpoint_job(job).unwrap();
             st.write_payload(&lease, 0, payload.as_bytes()).unwrap();

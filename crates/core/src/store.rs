@@ -24,6 +24,9 @@
 //! | namespace directory|  optional multi-tenant directory
 //! | (max_ns · 128B)    |  (`max_namespaces` > 0; descriptor + per-job
 //! +--------------------+   CHECK_ADDR record per entry)
+//! | slot state words   |  optional per-slot commit-state records
+//! | (slots · 64B)      |  (header flag at bytes 32..36; the lattice
+//! +--------------------+   Free → Claimed{c} → Committed{c})
 //! ```
 //!
 //! The digest region holds one fixed-stride [`ChunkDigestTable`] per slot,
@@ -37,24 +40,51 @@
 //! the `(N+1)·m` storage footprint of Table 1 — guaranteeing one fully
 //! persisted checkpoint exists at all times once the first commit lands.
 //!
-//! # Commit protocol (Listing 1)
+//! # Commit protocol (Listing 1, lock-free)
 //!
 //! 1. read the current `CHECK_ADDR` (`last_check`),
 //! 2. `atomic_add` the global counter → `curr_counter`,
 //! 3. dequeue a free slot from the lock-free queue (spinning if none),
+//!    CAS its in-memory state word Free → Claimed{counter}, and publish
+//!    the durable claim word (best-effort),
 //! 4. write + persist the payload (the engine does this with `p` writer
 //!    threads),
 //! 5. write + persist the slot's meta record (`BARRIER(cur_check)`),
 //! 6. CAS the in-memory `CHECK_ADDR` from `last_check` to
 //!    `(curr_counter, slot)`:
-//!    * success → persist `CHECK_ADDR`, enqueue the displaced slot,
-//!    * failure with a newer counter installed → persist `CHECK_ADDR`
-//!      (helping), enqueue *our own* slot (our checkpoint is obsolete),
+//!    * success → publish the durable Committed{counter} state word,
+//!      publish `CHECK_ADDR` (lock-free: device write + `fetch_max`
+//!      watermark), store Free into each displaced slot's in-memory
+//!      word, and enqueue the displaced slot(s),
+//!    * failure with a newer counter installed → publish `CHECK_ADDR`
+//!      (helping), store Free + enqueue *our own* slot (our checkpoint
+//!      is obsolete),
 //!    * failure with an older counter → reload and retry the CAS.
+//!
+//! No step ever holds a mutex — and in particular no mutex is held
+//! across device I/O. The durable `CHECK_ADDR` write is made idempotent
+//! by a `fetch_max` watermark over the last-persisted counter
+//! ([`CommitPointer`]); a racing publisher can at worst re-persist a
+//! *stale* record, which recovery tolerates because the slot scan takes
+//! the max valid counter and a newer commit's slot record is always
+//! durable before its `CHECK_ADDR` publish (see DESIGN §13).
 //!
 //! The invariant maintained: the slot referenced by the durable
 //! `CHECK_ADDR` is never in the free queue, so no concurrent checkpoint
 //! can overwrite the latest committed state.
+//!
+//! # The per-slot commit-state lattice
+//!
+//! Stores formatted by this version additionally carry one durable
+//! [`SlotState`] word per slot (header flag at bytes 32..36). The claim
+//! step publishes Claimed{counter}; the commit winner publishes
+//! Committed{counter}; recycling deliberately leaves the durable word
+//! alone (counters rank claims). After a crash every slot's outcome is
+//! decidable from its state word plus the meta record's CRC —
+//! [`RawStoreView::slot_outcome`] is the decision procedure — which is
+//! what makes the lock-free commit *detectable* in the memento sense.
+//! Legacy stores read the flag as zero and classify from meta CRCs
+//! alone, exactly as before.
 //!
 //! # Multi-tenant namespaces
 //!
@@ -73,7 +103,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use pccheck_device::{ChunkDigestTable, PersistentDevice};
 use pccheck_telemetry::{FlightEventKind, FlightRecorder, FlightRing};
@@ -81,7 +111,8 @@ use pccheck_util::ByteSize;
 
 use crate::error::PccheckError;
 use crate::meta::{
-    CheckMeta, DeltaLink, NamespaceDesc, PackedCheckAddr, META_RECORD_SIZE, NS_DESC_SIZE,
+    CheckMeta, DeltaLink, NamespaceDesc, PackedCheckAddr, SlotState, META_RECORD_SIZE,
+    NS_DESC_SIZE, SLOT_STATE_SIZE,
 };
 use crate::queue::SlotQueue;
 
@@ -145,17 +176,39 @@ impl SlotLease {
     }
 }
 
+/// The pair of atomics behind one `CHECK_ADDR`: the in-memory pointer
+/// the commit CAS swings, and the `fetch_max` watermark of the highest
+/// counter whose durable record has been persisted. The watermark is
+/// what lets concurrent committers publish the durable record without a
+/// lock: a publish is skipped when an equal-or-newer record is already
+/// durable, and racing publishes are resolved by `fetch_max` — the
+/// flight-ring Commit witness is recorded only by the publisher that
+/// actually advanced the watermark.
+#[derive(Debug)]
+struct CommitPointer {
+    /// In-memory CHECK_ADDR (packed counter+slot).
+    addr: AtomicU64,
+    /// Highest counter whose CHECK_ADDR record is known durable.
+    persisted: AtomicU64,
+}
+
+impl CommitPointer {
+    fn new(addr: PackedCheckAddr, persisted_counter: u64) -> Self {
+        CommitPointer {
+            addr: AtomicU64::new(addr.0),
+            persisted: AtomicU64::new(persisted_counter),
+        }
+    }
+}
+
 /// One tenant's slice of a service-mode store: a contiguous slot range
 /// with its own free queue and commit pointer.
 #[derive(Debug)]
 pub(crate) struct Namespace {
     desc: NamespaceDesc,
-    /// This namespace's in-memory CHECK_ADDR (packed counter+slot).
-    check_addr: AtomicU64,
+    /// This namespace's CHECK_ADDR pointer + durable-publish watermark.
+    commit: CommitPointer,
     free_slots: SlotQueue,
-    /// Serializes write+persist of this namespace's durable CHECK_ADDR
-    /// record (same role as the store-wide `check_addr_io`).
-    check_addr_io: Mutex<u64>,
     /// Device offset of this namespace's directory entry (descriptor at
     /// +0, CHECK_ADDR record at +[`NS_DESC_SIZE`]).
     dir_offset: u64,
@@ -173,21 +226,26 @@ impl Namespace {
 
 /// The persistent checkpoint store.
 ///
-/// Thread-safe: any number of checkpoints proceed concurrently; the commit
-/// protocol is lock-free when at most `slots` checkpoints are in flight.
+/// Thread-safe: any number of checkpoints proceed concurrently; the
+/// whole commit protocol — slot claim, meta publish, head advance, slot
+/// recycle — is lock-free, and no mutex is ever held across device I/O.
 #[derive(Debug)]
 pub struct CheckpointStore {
     device: Arc<dyn PersistentDevice>,
     slot_size: ByteSize,
     num_slots: u32,
     global_counter: AtomicU64,
-    /// In-memory CHECK_ADDR (packed counter+slot).
-    check_addr: AtomicU64,
+    /// The store-wide CHECK_ADDR pointer + durable-publish watermark.
+    commit: CommitPointer,
     free_slots: SlotQueue,
-    /// Serializes write+persist of the durable CHECK_ADDR record so a stale
-    /// value can never overwrite a newer persisted one (the hardware analog:
-    /// a cache-line write-back persists the line's *current* content).
-    check_addr_io: Mutex<u64>, // last persisted counter
+    /// In-memory per-slot commit-state words (packed [`SlotState`]), the
+    /// volatile half of the lattice. A dequeued slot is CASed
+    /// Free → Claimed{counter}; every release path stores Free *before*
+    /// enqueueing, so the claim CAS can never lose.
+    slot_states: Vec<AtomicU64>,
+    /// Whether the device carries the durable per-slot state region
+    /// (header flag; false on stores formatted before the lattice).
+    state_words: bool,
     /// Persistent flight recorder appending lifecycle milestones to the
     /// ring after the slots (disabled when the store was formatted with
     /// `flight_records = 0`).
@@ -234,6 +292,7 @@ impl CheckpointStore {
             + ByteSize::from_bytes(
                 ChunkDigestTable::encoded_len_for(digest_chunks as usize) * u64::from(slots),
             )
+            + ByteSize::from_bytes(SLOT_STATE_SIZE * u64::from(slots))
     }
 
     /// Bytes of device space a multi-tenant store needs: the legacy layout
@@ -269,6 +328,34 @@ impl CheckpointStore {
             self.flight_records,
             self.digest_chunks,
         )
+    }
+
+    /// Device offset where the per-slot commit-state region starts for
+    /// this geometry — at the very tail, after the namespace directory,
+    /// so every older region keeps its offset.
+    fn slot_state_base_static(
+        slot_size: ByteSize,
+        slots: u32,
+        flight_records: u32,
+        digest_chunks: u32,
+        max_namespaces: u32,
+    ) -> u64 {
+        Self::ns_dir_base_static(slot_size, slots, flight_records, digest_chunks)
+            + NS_ENTRY_SIZE * u64::from(max_namespaces)
+    }
+
+    /// Device offset of `slot`'s durable commit-state word, or `None`
+    /// when the store was formatted before the lattice existed.
+    pub fn slot_state_offset(&self, slot: u32) -> Option<u64> {
+        self.state_words.then(|| {
+            Self::slot_state_base_static(
+                self.slot_size,
+                self.num_slots,
+                self.flight_records,
+                self.digest_chunks,
+                self.max_namespaces,
+            ) + u64::from(slot) * SLOT_STATE_SIZE
+        })
     }
 
     /// Chunk-digest capacity the default format provisions per slot:
@@ -393,6 +480,9 @@ impl CheckpointStore {
         header[20..24].copy_from_slice(&flight_records.to_le_bytes());
         header[24..28].copy_from_slice(&digest_chunks.to_le_bytes());
         header[28..32].copy_from_slice(&max_namespaces.to_le_bytes());
+        // Bytes 32..36: the per-slot commit-state region exists (stores
+        // formatted before the lattice carry zeros here — feature off).
+        header[32..36].copy_from_slice(&1u32.to_le_bytes());
         device.write_at(0, &header)?;
         // Zero the CHECK_ADDR record (no committed checkpoint).
         device.write_at(CHECK_ADDR_OFFSET, &[0u8; META_RECORD_SIZE as usize])?;
@@ -404,6 +494,22 @@ impl CheckpointStore {
             device.write_at(base, &zeros)?;
             device.persist(base, zeros.len() as u64)?;
         }
+        // Every slot starts with a valid durable Free state word.
+        let state_base = Self::slot_state_base_static(
+            slot_size,
+            slots,
+            flight_records,
+            digest_chunks,
+            max_namespaces,
+        );
+        let free_rec = SlotState::Free.encode();
+        let mut state_region = vec![0u8; (SLOT_STATE_SIZE * u64::from(slots)) as usize];
+        for s in 0..slots as usize {
+            state_region[s * SLOT_STATE_SIZE as usize..(s + 1) * SLOT_STATE_SIZE as usize]
+                .copy_from_slice(&free_rec);
+        }
+        device.write_at(state_base, &state_region)?;
+        device.persist(state_base, state_region.len() as u64)?;
 
         let flight = if flight_records > 0 {
             let base = Self::flight_base_static(slot_size, slots);
@@ -421,7 +527,7 @@ impl CheckpointStore {
             slot_size,
             num_slots: slots,
             global_counter: AtomicU64::new(1),
-            check_addr: AtomicU64::new(0),
+            commit: CommitPointer::new(crate::meta::CHECK_ADDR_NONE, 0),
             // Service mode: no store-wide pool — slots belong to
             // namespaces. The queue stays empty forever.
             free_slots: if service {
@@ -429,7 +535,10 @@ impl CheckpointStore {
             } else {
                 (0..slots).collect()
             },
-            check_addr_io: Mutex::new(0),
+            slot_states: (0..slots)
+                .map(|_| AtomicU64::new(SlotState::Free.pack()))
+                .collect(),
+            state_words: true,
             flight,
             flight_records,
             digest_chunks,
@@ -466,6 +575,9 @@ impl CheckpointStore {
         let digest_chunks = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
         // Likewise for stores formatted before multi-tenancy existed.
         let max_namespaces = u32::from_le_bytes(header[28..32].try_into().expect("slice len"));
+        // ... and for stores formatted before the commit-state lattice.
+        let state_words =
+            u32::from_le_bytes(header[32..36].try_into().expect("slice len")) != 0;
 
         // Reattach the flight ring, resuming sequence numbers past the
         // crash survivors. A torn ring header downgrades to a disabled
@@ -489,6 +601,7 @@ impl CheckpointStore {
             let mut namespaces: Vec<Arc<Namespace>> = Vec::new();
             let mut max_counter = 0u64;
             let mut next_free_slot = 0u32;
+            let mut pinned_all: Vec<u32> = Vec::new();
             let mut desc_buf = [0u8; NS_DESC_SIZE as usize];
             for i in 0..max_namespaces {
                 let dir_offset = dir_base + u64::from(i) * NS_ENTRY_SIZE;
@@ -526,22 +639,25 @@ impl CheckpointStore {
                     .as_ref()
                     .map(|m| PackedCheckAddr::pack(m.counter, m.slot))
                     .unwrap_or(crate::meta::CHECK_ADDR_NONE);
+                pinned_all.extend_from_slice(&pinned);
                 namespaces.push(Arc::new(Namespace {
                     desc,
-                    check_addr: AtomicU64::new(check_addr.0),
+                    commit: CommitPointer::new(check_addr, ns_counter),
                     free_slots: free.into_iter().collect(),
-                    check_addr_io: Mutex::new(ns_counter),
                     dir_offset,
                 }));
             }
+            let slot_states =
+                Self::initial_slot_states(device.as_ref(), slots, slot_size, &pinned_all)?;
             return Ok(CheckpointStore {
                 device,
                 slot_size,
                 num_slots: slots,
                 global_counter: AtomicU64::new(max_counter + 1),
-                check_addr: AtomicU64::new(0),
+                commit: CommitPointer::new(crate::meta::CHECK_ADDR_NONE, 0),
                 free_slots: SlotQueue::with_capacity(1),
-                check_addr_io: Mutex::new(0),
+                slot_states,
+                state_words,
                 flight,
                 flight_records,
                 digest_chunks,
@@ -580,14 +696,16 @@ impl CheckpointStore {
             .map(|m| PackedCheckAddr::pack(m.counter, m.slot))
             .unwrap_or(crate::meta::CHECK_ADDR_NONE);
 
+        let slot_states = Self::initial_slot_states(device.as_ref(), slots, slot_size, &pinned)?;
         Ok(CheckpointStore {
             device,
             slot_size,
             num_slots: slots,
             global_counter: AtomicU64::new(max_counter + 1),
-            check_addr: AtomicU64::new(check_addr.0),
+            commit: CommitPointer::new(check_addr, max_counter),
             free_slots: free.into_iter().collect(),
-            check_addr_io: Mutex::new(max_counter),
+            slot_states,
+            state_words,
             flight,
             flight_records,
             digest_chunks,
@@ -697,6 +815,34 @@ impl CheckpointStore {
             expect = (link.base_slot, link.base_counter);
         }
         chain
+    }
+
+    /// Rebuilds the in-memory slot-state words on reopen: every slot that
+    /// goes back to a free queue starts Free (regardless of its durable
+    /// word, which is a high-water record of past claims); every pinned
+    /// chain slot starts Committed at its own durable meta counter.
+    fn initial_slot_states(
+        device: &dyn PersistentDevice,
+        slots: u32,
+        slot_size: ByteSize,
+        pinned: &[u32],
+    ) -> Result<Vec<AtomicU64>, PccheckError> {
+        let mut states = Vec::with_capacity(slots as usize);
+        let mut rec = [0u8; META_RECORD_SIZE as usize];
+        for s in 0..slots {
+            let state = if pinned.contains(&s) {
+                device.read_durable_at(Self::slot_meta_offset_static(s, slot_size), &mut rec)?;
+                CheckMeta::decode(&rec)
+                    .filter(|m| m.slot == s)
+                    .map_or(SlotState::Free, |m| SlotState::Committed {
+                        counter: m.counter,
+                    })
+            } else {
+                SlotState::Free
+            };
+            states.push(AtomicU64::new(state.pack()));
+        }
+        Ok(states)
     }
 
     fn chain_slots(&self, head_slot: u32, head_counter: u64) -> Vec<u32> {
@@ -811,10 +957,10 @@ impl CheckpointStore {
                 .namespaces
                 .read()
                 .iter()
-                .filter_map(|ns| self.resolve_check_addr(&ns.check_addr))
+                .filter_map(|ns| self.resolve_check_addr(&ns.commit.addr))
                 .max_by_key(|m| m.counter);
         }
-        self.resolve_check_addr(&self.check_addr)
+        self.resolve_check_addr(&self.commit.addr)
     }
 
     /// The latest committed checkpoint in `job`'s namespace.
@@ -825,7 +971,7 @@ impl CheckpointStore {
     /// multi-tenant or `job` has no namespace.
     pub fn latest_committed_job(&self, job: JobId) -> Result<Option<CheckMeta>, PccheckError> {
         let ns = self.namespace_for(job)?;
-        Ok(self.resolve_check_addr(&ns.check_addr))
+        Ok(self.resolve_check_addr(&ns.commit.addr))
     }
 
     /// The latest committed checkpoint visible to `lease` — the lease's
@@ -834,9 +980,74 @@ impl CheckpointStore {
     /// newer commit is not a valid delta base for this job.
     pub fn latest_committed_for(&self, lease: &SlotLease) -> Option<CheckMeta> {
         match lease.ns.as_deref() {
-            Some(ns) => self.resolve_check_addr(&ns.check_addr),
-            None => self.resolve_check_addr(&self.check_addr),
+            Some(ns) => self.resolve_check_addr(&ns.commit.addr),
+            None => self.resolve_check_addr(&self.commit.addr),
         }
+    }
+
+    /// The current in-memory commit-state word of `slot` (diagnostics;
+    /// the durable word may lag — it records high-water claims, not the
+    /// recycle step).
+    pub fn slot_commit_state(&self, slot: u32) -> SlotState {
+        SlotState::unpack(self.slot_states[slot as usize].load(Ordering::Acquire))
+    }
+
+    /// The lattice claim step: CAS the dequeued slot's in-memory word
+    /// Free → Claimed{counter}, then publish the durable claim word.
+    ///
+    /// The dequeue grants exclusive ownership and every release path
+    /// stores Free *before* enqueueing, so the CAS cannot lose — its
+    /// strictness is a protocol assertion, not a spin. The durable
+    /// publish is best-effort: `begin_checkpoint` stays infallible, and a
+    /// lost claim word only downgrades the slot's post-crash
+    /// classification from Claimed to meta-CRC-only (still decidable; a
+    /// device sick enough to fail here fails the very next payload write
+    /// anyway).
+    fn claim_slot(&self, slot: u32, counter: u64) {
+        let claimed = SlotState::Claimed { counter };
+        let won = self.slot_states[slot as usize]
+            .compare_exchange(
+                SlotState::Free.pack(),
+                claimed.pack(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        debug_assert!(won, "dequeued slot {slot} was not Free");
+        if !won {
+            // Defensive: ownership is ours either way; converge the word.
+            self.slot_states[slot as usize].store(claimed.pack(), Ordering::Release);
+        }
+        if let Some(off) = self.slot_state_offset(slot) {
+            let _ = self
+                .device
+                .write_at(off, &claimed.encode())
+                .and_then(|()| self.device.persist(off, SLOT_STATE_SIZE));
+        }
+    }
+
+    /// Publishes the durable Committed word for a commit winner. Failure
+    /// is surfaced (the commit's durability story is already complete —
+    /// the meta record persisted — but a dying device should not report
+    /// a clean commit).
+    fn publish_slot_state(&self, slot: u32, state: SlotState) -> Result<(), PccheckError> {
+        self.slot_states[slot as usize].store(state.pack(), Ordering::Release);
+        if let Some(off) = self.slot_state_offset(slot) {
+            self.device.write_at(off, &state.encode())?;
+            self.device.persist(off, SLOT_STATE_SIZE)?;
+        }
+        Ok(())
+    }
+
+    /// The lattice recycle step: store Free into the in-memory word, then
+    /// enqueue. Order matters — the next claimant's CAS must find Free.
+    /// The durable word is deliberately left alone (history; counters
+    /// rank claims across a slot's lives).
+    fn release_slot(&self, free_slots: &SlotQueue, slot: u32) {
+        self.slot_states[slot as usize].store(SlotState::Free.pack(), Ordering::Release);
+        // Spin through transient fulls: a concurrent dequeuer may be
+        // mid-recycle on the target cell.
+        free_slots.enqueue_blocking(slot);
     }
 
     fn resolve_check_addr(&self, check_addr: &AtomicU64) -> Option<CheckMeta> {
@@ -869,11 +1080,12 @@ impl CheckpointStore {
         );
         // Line 3: sample the last committed checkpoint *before* taking the
         // counter — this makes our eventual CAS legal (§4.1).
-        let last_check = PackedCheckAddr(self.check_addr.load(Ordering::Acquire));
+        let last_check = PackedCheckAddr(self.commit.addr.load(Ordering::Acquire));
         // Line 5: order ourselves among all checkpoints.
         let counter = self.global_counter.fetch_add(1, Ordering::AcqRel);
-        // Lines 8-11: find space.
+        // Lines 8-11: find space, then take the lattice claim step.
         let slot = self.free_slots.dequeue_blocking();
+        self.claim_slot(slot, counter);
         self.flight
             .record(FlightEventKind::Begin, counter, slot, 0, 0, last_check.0);
         SlotLease {
@@ -896,9 +1108,10 @@ impl CheckpointStore {
     /// multi-tenant or `job` has no namespace.
     pub fn begin_checkpoint_job(&self, job: JobId) -> Result<SlotLease, PccheckError> {
         let ns = self.namespace_for(job)?;
-        let last_check = PackedCheckAddr(ns.check_addr.load(Ordering::Acquire));
+        let last_check = PackedCheckAddr(ns.commit.addr.load(Ordering::Acquire));
         let counter = self.global_counter.fetch_add(1, Ordering::AcqRel);
         let slot = ns.free_slots.dequeue_blocking();
+        self.claim_slot(slot, counter);
         self.flight
             .record(FlightEventKind::Begin, counter, slot, 0, 0, last_check.0);
         Ok(SlotLease {
@@ -992,9 +1205,8 @@ impl CheckpointStore {
             .store(slot_start + slot_count, Ordering::Release);
         namespaces.push(Arc::new(Namespace {
             desc,
-            check_addr: AtomicU64::new(crate::meta::CHECK_ADDR_NONE.0),
+            commit: CommitPointer::new(crate::meta::CHECK_ADDR_NONE, 0),
             free_slots: (slot_start..slot_start + slot_count).collect(),
-            check_addr_io: Mutex::new(0),
             dir_offset,
         }));
         Ok(desc)
@@ -1115,7 +1327,7 @@ impl CheckpointStore {
         // and recycles into its namespace's free queue; the protocol itself
         // is unchanged.
         let ns = lease.ns.as_deref();
-        let check_addr = ns.map_or(&self.check_addr, |n| &n.check_addr);
+        let check_addr = ns.map_or(&self.commit.addr, |n| &n.commit.addr);
         let free_slots = ns.map_or(&self.free_slots, |n| &n.free_slots);
 
         let ours = PackedCheckAddr::pack(lease.counter, lease.slot);
@@ -1124,11 +1336,19 @@ impl CheckpointStore {
         loop {
             match check_addr.compare_exchange(last.0, ours.0, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
-                    // Success: persist CHECK_ADDR, free the displaced
-                    // slot(s) — for a displaced delta chain, every chain
-                    // slot that the new checkpoint does not itself depend
-                    // on.
-                    self.persist_check_addr_for(ns)?;
+                    // Success: publish the Committed state word (the meta
+                    // record is already durable, so the lattice ordering
+                    // Claimed → meta persist → Committed holds), publish
+                    // CHECK_ADDR, then free the displaced slot(s) — for a
+                    // displaced delta chain, every chain slot the new
+                    // checkpoint does not itself depend on.
+                    self.publish_slot_state(
+                        lease.slot,
+                        SlotState::Committed {
+                            counter: lease.counter,
+                        },
+                    )?;
+                    self.publish_check_addr(ns)?;
                     if !last.is_none() {
                         let pinned = if meta.is_delta() {
                             self.chain_slots(lease.slot, lease.counter)
@@ -1137,10 +1357,7 @@ impl CheckpointStore {
                         };
                         for displaced in self.chain_slots(last.slot(), last.counter()) {
                             if !pinned.contains(&displaced) {
-                                // Spin through transient fulls: a concurrent
-                                // dequeuer may be mid-recycle on the target
-                                // cell.
-                                free_slots.enqueue_blocking(displaced);
+                                self.release_slot(free_slots, displaced);
                             }
                         }
                     }
@@ -1153,9 +1370,13 @@ impl CheckpointStore {
                         last = current;
                         continue;
                     }
-                    // A newer checkpoint won. Help persist CHECK_ADDR, then
-                    // recycle our own slot — our data is obsolete.
-                    self.persist_check_addr_for(ns)?;
+                    // A newer checkpoint won. Help publish CHECK_ADDR, then
+                    // recycle our own slot — our data is obsolete. The
+                    // durable state word stays Claimed{ours}: with our
+                    // meta durable but a newer counter committed, the
+                    // decision procedure classifies the slot Persisted —
+                    // adoptable only if it were the max, which it is not.
+                    self.publish_check_addr(ns)?;
                     self.flight.record(
                         FlightEventKind::Superseded,
                         lease.counter,
@@ -1164,7 +1385,7 @@ impl CheckpointStore {
                         payload_len,
                         current.counter(),
                     );
-                    free_slots.enqueue_blocking(lease.slot);
+                    self.release_slot(free_slots, lease.slot);
                     return Ok(CommitOutcome::SupersededBy {
                         counter: current.counter(),
                     });
@@ -1174,45 +1395,57 @@ impl CheckpointStore {
     }
 
     /// Write-back of the shared `CHECK_ADDR` location (the BARRIER on
-    /// CHECK_ADDR): persists the *current* value of the pointer, skipping
-    /// the write if an equal-or-newer value was already persisted. With a
-    /// namespace, the pointer is the namespace's directory check record and
-    /// the I/O lock, skip counter, and flight monotonicity are all
-    /// per-namespace.
-    fn persist_check_addr_for(&self, ns: Option<&Namespace>) -> Result<(), PccheckError> {
-        let (check_addr, io_lock, rec_offset) = match ns {
-            Some(n) => (&n.check_addr, &n.check_addr_io, n.check_rec_offset()),
-            None => (&self.check_addr, &self.check_addr_io, CHECK_ADDR_OFFSET),
+    /// CHECK_ADDR), lock-free: persists the *current* value of the
+    /// pointer, skipping the device round-trip entirely when the
+    /// `fetch_max` watermark shows an equal-or-newer record is already
+    /// durable. With a namespace, the pointer, watermark, and record
+    /// offset are all the namespace's own.
+    ///
+    /// Racing publishers may interleave so that an older record lands
+    /// *after* a newer one — harmless, because (a) the newer commit's
+    /// slot record was durable before its publish began, (b) recovery's
+    /// slot scan takes the max valid counter, and (c) a displaced slot is
+    /// only recycled after the newer record persisted, so the stale
+    /// record's slot still validates. The flight-ring Commit witness is
+    /// recorded only by the publisher whose `fetch_max` actually advanced
+    /// the watermark — exactly one witness per counter, though a late
+    /// witness may appear after a newer one (the auditor tolerates the
+    /// inversion while the checkpoint's window is still open).
+    fn publish_check_addr(&self, ns: Option<&Namespace>) -> Result<(), PccheckError> {
+        let (commit, rec_offset) = match ns {
+            Some(n) => (&n.commit, n.check_rec_offset()),
+            None => (&self.commit, CHECK_ADDR_OFFSET),
         };
-        let mut last_persisted = io_lock.lock();
-        let current = PackedCheckAddr(check_addr.load(Ordering::Acquire));
-        if current.counter() <= *last_persisted {
-            return Ok(()); // a newer record is already durable
+        loop {
+            let current = PackedCheckAddr(commit.addr.load(Ordering::Acquire));
+            if current.counter() <= commit.persisted.load(Ordering::Acquire) {
+                return Ok(()); // an equal-or-newer record is already durable
+            }
+            // Re-encode the full meta record for the committed checkpoint
+            // from its slot record (authoritative, already durable).
+            let mut rec = [0u8; META_RECORD_SIZE as usize];
+            self.device
+                .read_durable_at(self.slot_meta_offset(current.slot()), &mut rec)?;
+            self.device.write_at(rec_offset, &rec)?;
+            self.device.persist(rec_offset, META_RECORD_SIZE)?;
+            let prev = commit.persisted.fetch_max(current.counter(), Ordering::AcqRel);
+            if prev < current.counter() {
+                let (iteration, payload_len) = CheckMeta::decode(&rec)
+                    .map(|m| (m.iteration, m.payload_len))
+                    .unwrap_or((0, 0));
+                self.flight.record(
+                    FlightEventKind::Commit,
+                    current.counter(),
+                    current.slot(),
+                    iteration,
+                    payload_len,
+                    0,
+                );
+            }
+            // Loop: if the pointer advanced past what we just persisted,
+            // help publish the newer value; otherwise the watermark check
+            // exits on the next pass.
         }
-        // Re-encode the full meta record for the committed checkpoint from
-        // its slot record (authoritative, already durable).
-        let mut rec = [0u8; META_RECORD_SIZE as usize];
-        self.device
-            .read_durable_at(self.slot_meta_offset(current.slot()), &mut rec)?;
-        self.device.write_at(rec_offset, &rec)?;
-        self.device.persist(rec_offset, META_RECORD_SIZE)?;
-        *last_persisted = current.counter();
-        // Witness the durable publication while still holding the I/O
-        // lock: Commit flight records are therefore appended in exactly
-        // the order counters became durable — strictly monotone,
-        // deduplicated even under helping.
-        let (iteration, payload_len) = CheckMeta::decode(&rec)
-            .map(|m| (m.iteration, m.payload_len))
-            .unwrap_or((0, 0));
-        self.flight.record(
-            FlightEventKind::Commit,
-            current.counter(),
-            current.slot(),
-            iteration,
-            payload_len,
-            0,
-        );
-        Ok(())
     }
 
     /// Number of slots currently in the free queue (diagnostics). On a
@@ -1354,9 +1587,78 @@ pub struct RawStoreView {
     /// Each slot's durable meta record, if it decodes and names its own
     /// slot (`slot_meta[s]` is `None` for empty/torn/mis-slotted records).
     pub slot_meta: Vec<Option<CheckMeta>>,
+    /// Whether the store carries the durable per-slot state region
+    /// (header flag; `false` on stores formatted before the lattice).
+    pub state_words: bool,
+    /// Each slot's durable commit-state word, if the region exists and
+    /// the record decodes (`None` = torn/absent → the decision procedure
+    /// falls back to the meta CRC alone).
+    pub slot_state: Vec<Option<SlotState>>,
     /// Allocated namespaces, in directory order (empty on single-tenant
     /// stores).
     pub namespaces: Vec<RawNamespace>,
+}
+
+/// The post-crash classification of one slot, decided from its durable
+/// state word plus its meta record's CRC alone (the *detectable* half of
+/// the lock-free commit protocol; see DESIGN §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No claim on record and no valid meta: the slot never held data
+    /// (or only unpersisted garbage).
+    Empty,
+    /// Claimed{counter}, and the meta record does not (yet) describe that
+    /// claim: the checkpoint died before its meta barrier. Not
+    /// recoverable, by design.
+    InFlight {
+        /// Counter of the interrupted claim.
+        counter: u64,
+    },
+    /// Claimed{counter} with a valid meta record for exactly that
+    /// counter: the meta barrier completed but the Committed word did not
+    /// land. Recovery may adopt it if it is the max counter — the durable
+    /// meta, not the head publish, is what commits a checkpoint.
+    Persisted {
+        /// Counter of the fully persisted checkpoint.
+        counter: u64,
+    },
+    /// Committed{counter} with a matching valid meta record.
+    Committed {
+        /// Counter of the committed checkpoint.
+        counter: u64,
+    },
+    /// A valid meta record with no live claim on the word (Free, torn, or
+    /// pre-lattice store): an intact checkpoint from a past slot life.
+    Historical {
+        /// Counter from the slot's meta record.
+        counter: u64,
+    },
+    /// Committed{counter} whose meta record is missing or names a
+    /// different counter — unreachable under the protocol's ordering
+    /// (meta persists before the Committed word) and therefore an
+    /// invariant violation.
+    Torn {
+        /// Counter from the durable Committed word.
+        state_counter: u64,
+        /// Counter of the valid-but-mismatched meta record, if any.
+        meta_counter: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for SlotOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotOutcome::Empty => f.write_str("empty"),
+            SlotOutcome::InFlight { counter } => write!(f, "in-flight#{counter}"),
+            SlotOutcome::Persisted { counter } => write!(f, "persisted#{counter}"),
+            SlotOutcome::Committed { counter } => write!(f, "committed#{counter}"),
+            SlotOutcome::Historical { counter } => write!(f, "historical#{counter}"),
+            SlotOutcome::Torn {
+                state_counter,
+                meta_counter,
+            } => write!(f, "TORN#{state_counter}/meta:{meta_counter:?}"),
+        }
+    }
 }
 
 /// One namespace's durable directory state, as seen by the forensic
@@ -1392,6 +1694,7 @@ impl RawStoreView {
         let flight_records = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
         let digest_chunks = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
         let max_namespaces = u32::from_le_bytes(header[28..32].try_into().expect("slice len"));
+        let state_words = u32::from_le_bytes(header[32..36].try_into().expect("slice len")) != 0;
 
         let mut rec = [0u8; META_RECORD_SIZE as usize];
         device.read_durable_at(CHECK_ADDR_OFFSET, &mut rec)?;
@@ -1407,6 +1710,23 @@ impl RawStoreView {
                 CheckMeta::decode(&rec)
                     .filter(|m| m.slot == s && ByteSize::from_bytes(m.payload_len) <= slot_size),
             );
+        }
+
+        let mut slot_state = vec![None; slots as usize];
+        if state_words {
+            let state_base = CheckpointStore::slot_state_base_static(
+                slot_size,
+                slots,
+                flight_records,
+                digest_chunks,
+                max_namespaces,
+            );
+            let mut state_rec = [0u8; SLOT_STATE_SIZE as usize];
+            for (s, cell) in slot_state.iter_mut().enumerate() {
+                device
+                    .read_durable_at(state_base + s as u64 * SLOT_STATE_SIZE, &mut state_rec)?;
+                *cell = SlotState::decode(&state_rec);
+            }
         }
 
         let mut namespaces = Vec::new();
@@ -1441,8 +1761,43 @@ impl RawStoreView {
             max_namespaces,
             check_addr,
             slot_meta,
+            state_words,
+            slot_state,
             namespaces,
         })
+    }
+
+    /// The decision procedure over the commit-state lattice: classifies
+    /// one slot's post-crash outcome from its durable state word plus its
+    /// meta record's CRC — nothing else. Total: every (word, meta)
+    /// combination maps to exactly one [`SlotOutcome`], and only
+    /// [`SlotOutcome::Torn`] is unreachable under the protocol's
+    /// ordering (the auditor flags it as an invariant violation).
+    pub fn slot_outcome(&self, slot: u32) -> SlotOutcome {
+        let meta = self.slot_meta.get(slot as usize).copied().flatten();
+        let state = self.slot_state.get(slot as usize).copied().flatten();
+        match (state, meta) {
+            (None | Some(SlotState::Free), None) => SlotOutcome::Empty,
+            (None | Some(SlotState::Free), Some(m)) => {
+                SlotOutcome::Historical { counter: m.counter }
+            }
+            (Some(SlotState::Claimed { counter }), Some(m)) if m.counter == counter => {
+                SlotOutcome::Persisted { counter }
+            }
+            (Some(SlotState::Claimed { counter }), _) => SlotOutcome::InFlight { counter },
+            (Some(SlotState::Committed { counter }), Some(m)) if m.counter == counter => {
+                SlotOutcome::Committed { counter }
+            }
+            (Some(SlotState::Committed { counter }), meta) => SlotOutcome::Torn {
+                state_counter: counter,
+                meta_counter: meta.map(|m| m.counter),
+            },
+        }
+    }
+
+    /// [`slot_outcome`](Self::slot_outcome) for every slot, in order.
+    pub fn slot_outcomes(&self) -> Vec<SlotOutcome> {
+        (0..self.slots).map(|s| self.slot_outcome(s)).collect()
     }
 
     /// Device offset of `slot`'s payload.
@@ -2223,5 +2578,231 @@ mod tests {
         assert!(st.allocate_namespace(1, 2).is_err());
         assert!(st.begin_checkpoint_job(1).is_err());
         assert!(st.latest_committed_job(1).is_err());
+    }
+
+    #[test]
+    fn state_words_track_the_commit_lattice() {
+        let st = store(64, 3);
+        for s in 0..3 {
+            assert_eq!(st.slot_commit_state(s), SlotState::Free);
+            assert!(st.slot_state_offset(s).is_some());
+        }
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert!(view.state_words);
+        assert!(view.slot_state.iter().all(|s| *s == Some(SlotState::Free)));
+
+        // Claim: Free -> Claimed{counter}, in memory and on the device.
+        let lease = st.begin_checkpoint();
+        let claimed = SlotState::Claimed {
+            counter: lease.counter,
+        };
+        assert_eq!(st.slot_commit_state(lease.slot), claimed);
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert_eq!(view.slot_state[lease.slot as usize], Some(claimed));
+        assert_eq!(
+            view.slot_outcome(lease.slot),
+            SlotOutcome::InFlight {
+                counter: lease.counter
+            }
+        );
+
+        // Commit: Claimed -> Committed{counter}, durably.
+        let (c1_slot, c1) = (lease.slot, lease.counter);
+        st.write_payload(&lease, 0, b"one").unwrap();
+        st.persist_payload(&lease, 0, 3).unwrap();
+        st.commit(lease, 1, 3, crate::meta::checksum(b"one")).unwrap();
+        let committed = SlotState::Committed { counter: c1 };
+        assert_eq!(st.slot_commit_state(c1_slot), committed);
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert_eq!(view.slot_state[c1_slot as usize], Some(committed));
+        assert_eq!(
+            view.slot_outcome(c1_slot),
+            SlotOutcome::Committed { counter: c1 }
+        );
+
+        // Displacement recycles the slot in memory but never rewrites the
+        // durable word: the high-water record keeps the slot decidable as
+        // a (stale but valid) committed checkpoint until it is re-claimed.
+        let out2 = full_checkpoint(&st, 2, b"two");
+        assert_eq!(out2, CommitOutcome::Committed);
+        assert_eq!(st.slot_commit_state(c1_slot), SlotState::Free);
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert_eq!(view.slot_state[c1_slot as usize], Some(committed));
+        assert_eq!(
+            view.slot_outcome(c1_slot),
+            SlotOutcome::Committed { counter: c1 }
+        );
+
+        // Re-claiming the displaced slot overwrites the durable word; the
+        // stale meta no longer matches, so the slot reads as in-flight.
+        let mut lease3 = st.begin_checkpoint();
+        if lease3.slot != c1_slot {
+            // Two free slots: keep drawing until the displaced one comes up.
+            let other = lease3;
+            lease3 = st.begin_checkpoint();
+            st.commit(other, 3, 0, crate::meta::checksum(b"")).unwrap();
+        }
+        assert_eq!(lease3.slot, c1_slot, "displaced slot recycles via queue");
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        assert_eq!(
+            view.slot_outcome(c1_slot),
+            SlotOutcome::InFlight {
+                counter: lease3.counter
+            }
+        );
+        st.commit(lease3, 4, 0, crate::meta::checksum(b"")).unwrap();
+    }
+
+    #[test]
+    fn legacy_header_without_state_region_reads_as_feature_off() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        {
+            let st =
+                CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+            full_checkpoint(&st, 4, b"legacy");
+        }
+        // Rewrite the header the way a pre-lattice format would have:
+        // bytes 32..36 zeroed.
+        dev.write_at(32, &[0u8; 4]).unwrap();
+        dev.persist(32, 4).unwrap();
+        let st = CheckpointStore::open(Arc::clone(&dev)).unwrap();
+        assert!(st.slot_state_offset(0).is_none());
+        let meta = st.latest_committed().unwrap();
+        assert_eq!(meta.iteration, 4);
+        // Commits still work; the in-memory lattice runs without the
+        // durable mirror.
+        full_checkpoint(&st, 5, b"newer");
+        assert_eq!(st.latest_committed().unwrap().iteration, 5);
+        // The decision procedure degrades to meta-CRC-only verdicts.
+        let view = RawStoreView::load(dev.as_ref()).unwrap();
+        assert!(!view.state_words);
+        assert!(view.slot_state.iter().all(Option::is_none));
+        let outcomes = view.slot_outcomes();
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, SlotOutcome::Empty | SlotOutcome::Historical { .. })));
+        assert!(outcomes
+            .iter()
+            .any(|o| matches!(o, SlotOutcome::Historical { .. })));
+    }
+
+    #[test]
+    fn crash_between_claim_and_meta_publish_is_decidable() {
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let (committed_slot, committed_ctr, leased_slot, leased_ctr);
+        {
+            let st =
+                CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+            full_checkpoint(&st, 1, b"one");
+            let prev = st.latest_committed().unwrap();
+            (committed_slot, committed_ctr) = (prev.slot, prev.counter);
+            // Claim a slot (state word goes durable) and crash before any
+            // meta is written for it.
+            let lease = st.begin_checkpoint();
+            (leased_slot, leased_ctr) = (lease.slot, lease.counter);
+            std::mem::forget(lease);
+        }
+        dev.crash_now();
+        dev.recover();
+        let view = RawStoreView::load(dev.as_ref()).unwrap();
+        assert_eq!(
+            view.slot_outcome(leased_slot),
+            SlotOutcome::InFlight {
+                counter: leased_ctr
+            },
+            "claimed-but-unpublished slot is decidably in-flight"
+        );
+        assert_eq!(
+            view.slot_outcome(committed_slot),
+            SlotOutcome::Committed {
+                counter: committed_ctr
+            }
+        );
+        // Recovery discards the in-flight claim and reopens the slot.
+        let st = CheckpointStore::open(dev).unwrap();
+        assert_eq!(st.latest_committed().unwrap().iteration, 1);
+        assert_eq!(st.free_slot_count(), 2);
+        assert_eq!(st.slot_commit_state(leased_slot), SlotState::Free);
+    }
+
+    #[test]
+    fn crash_between_meta_persist_and_committed_word_is_adoptable() {
+        // The window between the meta record persisting and the state
+        // word's Committed CAS: the slot reads as Persisted{c} and the
+        // max-counter recovery scan adopts it.
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+        full_checkpoint(&st, 1, b"one");
+        let lease = st.begin_checkpoint();
+        st.write_payload(&lease, 0, b"two").unwrap();
+        st.persist_payload(&lease, 0, 3).unwrap();
+        let meta = CheckMeta {
+            counter: lease.counter,
+            slot: lease.slot,
+            iteration: 2,
+            payload_len: 3,
+            digest: crate::meta::checksum(b"two"),
+            delta: None,
+        };
+        let off = st.slot_meta_offset(lease.slot);
+        dev.write_at(off, &meta.encode()).unwrap();
+        dev.persist(off, META_RECORD_SIZE).unwrap();
+        let (slot, counter) = (lease.slot, lease.counter);
+        std::mem::forget(lease);
+        dev.crash_now();
+        dev.recover();
+        let view = RawStoreView::load(dev.as_ref()).unwrap();
+        assert_eq!(
+            view.slot_outcome(slot),
+            SlotOutcome::Persisted { counter },
+            "meta persisted before the Committed word: adoptable"
+        );
+        let st2 = CheckpointStore::open(dev).unwrap();
+        assert_eq!(st2.latest_committed().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn racing_commits_never_produce_torn_outcomes() {
+        let st = Arc::new(store(64, 6)); // N=5
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let st = Arc::clone(&st);
+                s.spawn(move |_| {
+                    for i in 0..30u64 {
+                        let iter = t * 1000 + i;
+                        let payload = iter.to_le_bytes();
+                        let lease = st.begin_checkpoint();
+                        st.write_payload(&lease, 0, &payload).unwrap();
+                        st.persist_payload(&lease, 0, 8).unwrap();
+                        st.commit(lease, iter, 8, 0).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Every slot's durable record decides to a lattice point; the Torn
+        // verdict is unreachable while the protocol's ordering holds.
+        let view = RawStoreView::load(st.device().as_ref()).unwrap();
+        for (s, outcome) in view.slot_outcomes().into_iter().enumerate() {
+            assert!(
+                !matches!(outcome, SlotOutcome::Torn { .. }),
+                "slot {s} reads torn: {outcome:?}"
+            );
+        }
+        // The winner is decidably committed, at the head the store reports.
+        let head = st.latest_committed().unwrap();
+        assert_eq!(
+            view.slot_outcome(head.slot),
+            SlotOutcome::Committed {
+                counter: head.counter
+            }
+        );
+        assert_eq!(st.free_slot_count(), 5);
     }
 }

@@ -1,8 +1,10 @@
-//! Loom model checks for the engine's three hand-rolled synchronization
+//! Loom model checks for the engine's hand-rolled synchronization
 //! protocols: the `InFlight` ticket gate (Mutex + Condvar with a shared
 //! wait queue), the store's free-slot recycle queue (Vyukov bounded
-//! MPMC cells), and the QoS lease arbiter's cap + deficit protocol
-//! (`qos::QosArbiter`).
+//! MPMC cells), the QoS lease arbiter's cap + deficit protocol
+//! (`qos::QosArbiter`), and the lock-free persistent commit protocol's
+//! claim → publish → recycle lattice (`store::CheckpointStore`,
+//! DESIGN §13).
 //!
 //! These run only under `--cfg loom`, with the `loom` dev-dependency
 //! enabled in `crates/core/Cargo.toml` (it is commented out there because
@@ -390,5 +392,225 @@ fn free_slot_recycle_survives_wraparound_races() {
         let mut all: Vec<usize> = taken.into_iter().chain(remaining).collect();
         all.sort_unstable();
         assert_eq!(all, vec![1, 2], "recycling neither loses nor duplicates");
+    });
+}
+
+/// Mirror of the lock-free persistent commit protocol for one slot
+/// (`store::claim_slot` / `commit`'s publish path / `release_slot`):
+///
+/// * `state` is the packed per-slot word, `counter << 2 | tag` — exactly
+///   `meta::SlotState::pack`.
+/// * `meta` models the slot's durable meta record: the stored counter, or
+///   0 for "no valid record" (a CRC failure and an absent record decide
+///   identically, so one cell captures both).
+/// * `head` is the CHECK_ADDR watermark, advanced by `fetch_max` — never
+///   a lock, never a CAS loop that can be displaced backwards.
+///
+/// The ordering under test is the protocol's one fence requirement: the
+/// meta record is published (Release) *before* the state word's Committed
+/// store (Release), so any auditor that reads the word with Acquire and
+/// sees Committed{c} must also see meta == c. That is what makes the
+/// `Torn` lattice point unreachable — and every crash decidable.
+struct CommitSlotModel {
+    state: AtomicUsize,
+    meta: AtomicUsize,
+    head: AtomicUsize,
+}
+
+const TAG_FREE: usize = 0;
+const TAG_CLAIMED: usize = 1;
+const TAG_COMMITTED: usize = 2;
+
+fn pack(tag: usize, counter: usize) -> usize {
+    (counter << 2) | tag
+}
+
+/// The auditor's decision procedure over one slot — the loom twin of
+/// `RawStoreView::slot_outcome`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotDecision {
+    Empty,
+    Historical(usize),
+    InFlight(usize),
+    Persisted(usize),
+    Committed(usize),
+    Torn { state: usize, meta: usize },
+}
+
+fn decide(state: usize, meta: usize) -> SlotDecision {
+    let (tag, c) = (state & 3, state >> 2);
+    match tag {
+        TAG_FREE if meta == 0 => SlotDecision::Empty,
+        TAG_FREE => SlotDecision::Historical(meta),
+        TAG_CLAIMED if meta == c => SlotDecision::Persisted(c),
+        TAG_CLAIMED => SlotDecision::InFlight(c),
+        TAG_COMMITTED if meta == c => SlotDecision::Committed(c),
+        _ => SlotDecision::Torn { state: c, meta },
+    }
+}
+
+impl CommitSlotModel {
+    fn new() -> Self {
+        CommitSlotModel {
+            state: AtomicUsize::new(pack(TAG_FREE, 0)),
+            meta: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// `store::claim_slot`'s CAS: Free → Claimed{counter}. Returns whether
+    /// this checkpointer won the slot.
+    fn try_claim(&self, counter: usize) -> bool {
+        self.state
+            .compare_exchange(
+                pack(TAG_FREE, 0),
+                pack(TAG_CLAIMED, counter),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// The commit win path: meta publish (Release) → Committed word
+    /// (Release) → head advance (`fetch_max`).
+    fn commit(&self, counter: usize) {
+        self.meta.store(counter, Ordering::Release);
+        self.state
+            .store(pack(TAG_COMMITTED, counter), Ordering::Release);
+        self.head.fetch_max(counter, Ordering::AcqRel);
+    }
+
+    /// `store::release_slot`: the in-memory word returns to Free before
+    /// the slot re-enters the queue (the durable high-water record keeps
+    /// the last value — this model's `meta` plays that role for audits).
+    fn release(&self) {
+        self.state.store(pack(TAG_FREE, 0), Ordering::Release);
+    }
+
+    fn audit(&self) -> SlotDecision {
+        let state = self.state.load(Ordering::Acquire);
+        let meta = self.meta.load(Ordering::Acquire);
+        decide(state, meta)
+    }
+}
+
+/// Two checkpointers race one free slot. Exactly one claim CAS wins, and
+/// a concurrent auditor — sampling at every interleaving point loom can
+/// construct — never reads the unreachable Torn lattice point.
+#[test]
+fn commit_claim_race_has_one_winner_and_no_torn_audit() {
+    loom::model(|| {
+        let slot = Arc::new(CommitSlotModel::new());
+        let winners = Arc::new(AtomicUsize::new(0));
+
+        let checkpointers: Vec<_> = [1usize, 2]
+            .into_iter()
+            .map(|counter| {
+                let slot = Arc::clone(&slot);
+                let winners = Arc::clone(&winners);
+                thread::spawn(move || {
+                    if slot.try_claim(counter) {
+                        winners.fetch_add(1, Ordering::SeqCst);
+                        slot.commit(counter);
+                    }
+                })
+            })
+            .collect();
+        let auditor = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let decision = slot.audit();
+                assert!(
+                    !matches!(decision, SlotDecision::Torn { .. }),
+                    "auditor read the unreachable lattice point: {decision:?}"
+                );
+            })
+        };
+
+        for t in checkpointers {
+            t.join().unwrap();
+        }
+        auditor.join().unwrap();
+        assert_eq!(winners.load(Ordering::SeqCst), 1, "one claim CAS wins");
+        let final_decision = slot.audit();
+        let head = slot.head.load(Ordering::Acquire);
+        assert!(
+            matches!(final_decision, SlotDecision::Committed(c) if c == head),
+            "winner committed at the head the watermark records: {final_decision:?} vs {head}"
+        );
+    });
+}
+
+/// A crash between the claim CAS and the meta publish: the checkpointer
+/// simply stops after claiming. In every interleaving the auditor decides
+/// the slot — Empty before the CAS lands, InFlight{c} after — and never
+/// mistakes the claim for a commit.
+#[test]
+fn crash_between_claim_cas_and_meta_publish_is_decidable() {
+    loom::model(|| {
+        let slot = Arc::new(CommitSlotModel::new());
+        let crasher = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                assert!(slot.try_claim(1), "uncontended claim always wins");
+                // Crash: no meta publish, no Committed word, nothing.
+            })
+        };
+        let decision = slot.audit();
+        assert!(
+            matches!(decision, SlotDecision::Empty | SlotDecision::InFlight(1)),
+            "mid-claim audit must decide Empty or InFlight: {decision:?}"
+        );
+        crasher.join().unwrap();
+        assert_eq!(
+            slot.audit(),
+            SlotDecision::InFlight(1),
+            "post-crash audit decides the claim from the state word alone"
+        );
+        assert_eq!(slot.head.load(Ordering::Acquire), 0, "head never advanced");
+    });
+}
+
+/// The full claim → commit → recycle → re-claim cycle: checkpointer 1
+/// commits and releases the slot; checkpointer 2 re-claims it while an
+/// auditor samples concurrently. The second claim only succeeds after the
+/// release's Free store, ownership is never shared, and the head
+/// watermark is monotone across the recycle.
+#[test]
+fn commit_recycle_handoff_stays_decidable_and_monotone() {
+    loom::model(|| {
+        let slot = Arc::new(CommitSlotModel::new());
+        assert!(slot.try_claim(1), "first claim is uncontended at start");
+        let second = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                // Spin-claim as `begin_checkpoint` does via the queue: the
+                // slot becomes claimable only after the release.
+                let mut claimed = slot.try_claim(2);
+                while !claimed {
+                    loom::thread::yield_now();
+                    claimed = slot.try_claim(2);
+                }
+                slot.commit(2);
+            })
+        };
+        let auditor = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let decision = slot.audit();
+                assert!(
+                    !matches!(decision, SlotDecision::Torn { .. }),
+                    "recycle window leaked a torn read: {decision:?}"
+                );
+            })
+        };
+
+        slot.commit(1);
+        slot.release();
+
+        second.join().unwrap();
+        auditor.join().unwrap();
+        assert_eq!(slot.audit(), SlotDecision::Committed(2));
+        assert_eq!(slot.head.load(Ordering::Acquire), 2, "fetch_max is monotone");
     });
 }

@@ -5,6 +5,8 @@
 //! commit protocol (Listing 1) so the forensic verdicts in
 //! [`pccheck_monitor::forensics`] can be asserted deterministically:
 //!
+//! * between the slot claim and any subsequent write (only the durable
+//!   per-slot state word witnesses the checkpoint),
 //! * during the GPU→storage copy (payload half-written, nothing durable),
 //! * during the payload `msync` (the [`SsdDevice`] persist fuse fires
 //!   mid-call, so the range never becomes durable),
@@ -22,9 +24,10 @@
 
 use std::sync::Arc;
 
+use pccheck::store::SlotLease;
 use pccheck::{
-    recover_instrumented_with, CheckpointStore, DeltaLink, PccheckError, RecoveredCheckpoint,
-    RecoveryTrace, RestoreOptions,
+    recover_instrumented_with, CheckMeta, CheckpointStore, DeltaLink, JobId, PccheckError,
+    RecoveredCheckpoint, RecoveryTrace, RestoreOptions,
 };
 use pccheck_device::{
     fnv1a, DeviceConfig, ExtentRecord, ExtentTable, PersistentDevice, SsdDevice, StripedDevice,
@@ -38,6 +41,11 @@ use pccheck_util::ByteSize;
 /// A protocol step at which the crash is injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashPoint {
+    /// Between the slot claim and any payload/meta write: the slot's
+    /// durable state word says `Claimed{counter}` but no other trace of
+    /// the checkpoint exists — the state-word lattice alone must decide
+    /// the slot as in-flight (detectable recovery, DESIGN §13).
+    ClaimPublish,
     /// Mid GPU→storage copy: the payload is half-written and unpersisted.
     DuringCopy,
     /// During the payload `msync`: the persist call itself crashes.
@@ -54,7 +62,8 @@ pub enum CrashPoint {
 
 impl CrashPoint {
     /// Every crash point, in protocol order.
-    pub const ALL: [CrashPoint; 5] = [
+    pub const ALL: [CrashPoint; 6] = [
+        CrashPoint::ClaimPublish,
         CrashPoint::DuringCopy,
         CrashPoint::DuringPersist,
         CrashPoint::BetweenPersistAndCommit,
@@ -65,6 +74,7 @@ impl CrashPoint {
     /// Stable name (accepted by [`CrashPoint::from_name`] and pccheckctl).
     pub fn name(&self) -> &'static str {
         match self {
+            CrashPoint::ClaimPublish => "claim-publish",
             CrashPoint::DuringCopy => "during-copy",
             CrashPoint::DuringPersist => "during-persist",
             CrashPoint::BetweenPersistAndCommit => "between-persist-and-commit",
@@ -214,6 +224,37 @@ fn build_delta_payload(full: &[u8], iteration: u64, ranges: &[(u64, u64)]) -> (V
     (payload, table_len)
 }
 
+/// Which commit domain a driven checkpoint runs in: the legacy
+/// store-global free queue + `CHECK_ADDR`, or one tenant's namespace on
+/// a service-mode store. Every crash-drive helper below comes in both
+/// flavors so the same six crash points exercise flat *and* multi-tenant
+/// formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Legacy single-tenant store: `begin_checkpoint` /
+    /// `latest_committed`.
+    Global,
+    /// One namespace of a service-mode store: `begin_checkpoint_job` /
+    /// `latest_committed_job`.
+    Job(JobId),
+}
+
+impl Scope {
+    fn begin(self, store: &CheckpointStore) -> Result<SlotLease, PccheckError> {
+        match self {
+            Scope::Global => Ok(store.begin_checkpoint()),
+            Scope::Job(job) => store.begin_checkpoint_job(job),
+        }
+    }
+
+    fn latest(self, store: &CheckpointStore) -> Result<Option<CheckMeta>, PccheckError> {
+        match self {
+            Scope::Global => Ok(store.latest_committed()),
+            Scope::Job(job) => store.latest_committed_job(job),
+        }
+    }
+}
+
 /// Commits a delta checkpoint of `full` over the latest committed base,
 /// persisting only `ranges` behind an extent table and chaining via a
 /// [`DeltaLink`]. Emits the engine's flight records. Returns the
@@ -229,10 +270,26 @@ pub fn commit_delta_checkpoint(
     full: &[u8],
     ranges: &[(u64, u64)],
 ) -> Result<u64, PccheckError> {
-    let base = store.latest_committed().ok_or(PccheckError::NoCheckpoint)?;
+    commit_delta_checkpoint_scoped(store, Scope::Global, iteration, full, ranges)
+}
+
+/// [`commit_delta_checkpoint`] in an explicit [`Scope`] — the namespace
+/// variant drives one tenant's delta chain on a service-mode store.
+///
+/// # Errors
+///
+/// Same as [`commit_delta_checkpoint`].
+pub fn commit_delta_checkpoint_scoped(
+    store: &CheckpointStore,
+    scope: Scope,
+    iteration: u64,
+    full: &[u8],
+    ranges: &[(u64, u64)],
+) -> Result<u64, PccheckError> {
+    let base = scope.latest(store)?.ok_or(PccheckError::NoCheckpoint)?;
     let depth = base.delta.map_or(0, |l| l.chain_depth);
     let (payload, table_len) = build_delta_payload(full, iteration, ranges);
-    let lease = store.begin_checkpoint();
+    let lease = scope.begin(store)?;
     let counter = lease.counter;
     let len = payload.len() as u64;
     store.write_payload(&lease, 0, &payload)?;
@@ -274,7 +331,23 @@ pub fn commit_checkpoint(
     iteration: u64,
     payload: &[u8],
 ) -> Result<u64, PccheckError> {
-    let lease = store.begin_checkpoint();
+    commit_checkpoint_scoped(store, Scope::Global, iteration, payload)
+}
+
+/// [`commit_checkpoint`] in an explicit [`Scope`] — the namespace
+/// variant commits through one tenant's private free queue and
+/// `CHECK_ADDR` on a service-mode store.
+///
+/// # Errors
+///
+/// Propagates device/store errors.
+pub fn commit_checkpoint_scoped(
+    store: &CheckpointStore,
+    scope: Scope,
+    iteration: u64,
+    payload: &[u8],
+) -> Result<u64, PccheckError> {
+    let lease = scope.begin(store)?;
     let counter = lease.counter;
     let len = payload.len() as u64;
     store.write_payload(&lease, 0, payload)?;
@@ -311,8 +384,25 @@ pub fn drive_to_crash_point(
     iteration: u64,
     payload: &[u8],
 ) -> Result<(u64, u32), PccheckError> {
+    drive_to_crash_point_scoped(store, Scope::Global, point, iteration, payload)
+}
+
+/// [`drive_to_crash_point`] in an explicit [`Scope`] — the namespace
+/// variant strands one tenant's in-flight checkpoint on a service-mode
+/// store while the other tenants' committed state stays untouched.
+///
+/// # Errors
+///
+/// Same as [`drive_to_crash_point`].
+pub fn drive_to_crash_point_scoped(
+    store: &CheckpointStore,
+    scope: Scope,
+    point: CrashPoint,
+    iteration: u64,
+    payload: &[u8],
+) -> Result<(u64, u32), PccheckError> {
     if point == CrashPoint::AfterCommit {
-        let lease = store.begin_checkpoint();
+        let lease = scope.begin(store)?;
         let slot = lease.slot;
         let counter = lease.counter;
         let len = payload.len() as u64;
@@ -338,18 +428,18 @@ pub fn drive_to_crash_point(
         // iteration, then a second delta stranded with its payload durable
         // but no meta record — the crash strands it exactly like a process
         // dying between persist and commit.
-        let base = store.latest_committed().ok_or(PccheckError::NoCheckpoint)?;
+        let base = scope.latest(store)?.ok_or(PccheckError::NoCheckpoint)?;
         let len = payload.len() as u64;
         let base_payload = synthetic_payload(base.iteration, len);
         let mid = base.iteration + iteration.saturating_sub(base.iteration) / 2;
         let ranges = [(0u64, len / 8), (len / 2, len / 8)];
         let full_mid = sparse_payload(&base_payload, mid, &ranges);
-        commit_delta_checkpoint(store, mid, &full_mid, &ranges)?;
+        commit_delta_checkpoint_scoped(store, scope, mid, &full_mid, &ranges)?;
 
         let ranges2 = [(len / 4, len / 8)];
         let full_crash = sparse_payload(&full_mid, iteration, &ranges2);
         let (delta_payload, _) = build_delta_payload(&full_crash, iteration, &ranges2);
-        let lease = store.begin_checkpoint();
+        let lease = scope.begin(store)?;
         let (counter, slot) = (lease.counter, lease.slot);
         let dlen = delta_payload.len() as u64;
         store.write_payload(&lease, 0, &delta_payload)?;
@@ -368,10 +458,15 @@ pub fn drive_to_crash_point(
         std::mem::forget(lease);
         return Ok((counter, slot));
     }
-    let lease = store.begin_checkpoint();
+    let lease = scope.begin(store)?;
     let (counter, slot) = (lease.counter, lease.slot);
     let len = payload.len() as u64;
     match point {
+        CrashPoint::ClaimPublish => {
+            // Nothing: the claim already published the slot's durable
+            // state word inside `begin_checkpoint`; the crash lands before
+            // a single payload or meta byte follows it.
+        }
         CrashPoint::DuringCopy => {
             // Half the payload lands in the page cache; no CopyDone yet.
             store.write_payload(&lease, 0, &payload[..payload.len() / 2])?;
@@ -527,6 +622,29 @@ mod tests {
                 run.crashed_counter
             ),
         }
+    }
+
+    #[test]
+    fn crash_between_claim_and_publish_is_decidable_from_the_state_word() {
+        let run = scenario(CrashPoint::ClaimPublish);
+        assert!(run.report.is_clean(), "{}", run.report.render());
+        assert_eq!(in_flight_phase(&run), InFlightPhase::Begun);
+        assert_eq!(run.recovered.counter, 1, "baseline survives");
+        assert_eq!(
+            run.report.expected_recovery.map(|m| m.counter),
+            Some(run.recovered.counter)
+        );
+        // The slot's durable state word alone classifies the claim.
+        let in_flight: Vec<_> = run
+            .report
+            .slot_outcomes
+            .iter()
+            .filter_map(|o| match o {
+                pccheck::SlotOutcome::InFlight { counter } => Some(*counter),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(in_flight, vec![run.crashed_counter]);
     }
 
     #[test]

@@ -8,11 +8,17 @@
 //! committed, in flight at some phase, superseded, failed — and it checks
 //! the invariants the commit protocol of Listing 1 promises:
 //!
-//! 1. **Commit counters strictly monotone** — the durable `CHECK_ADDR`
-//!    only ever advances. On a multi-tenant (service-mode) store each
-//!    namespace has its own `CHECK_ADDR`, so monotonicity is judged *per
-//!    namespace*: jobs draw counters from one global sequence but commit
-//!    independently, so cross-job commit order legitimately interleaves.
+//! 1. **Commit counters effectively monotone** — the durable `CHECK_ADDR`
+//!    only ever advances (`fetch_max`). On a multi-tenant (service-mode)
+//!    store each namespace has its own `CHECK_ADDR`, so monotonicity is
+//!    judged *per namespace*: jobs draw counters from one global sequence
+//!    but commit independently, so cross-job commit order legitimately
+//!    interleaves. Within a namespace the lock-free publish path can log
+//!    two racing winners' `Commit` records slightly out of counter order
+//!    (each thread records its own watermark advance after the
+//!    `fetch_max`), so an inversion is only a violation when the stale
+//!    record's checkpoint has no open window in the ring — a closed or
+//!    absent window means the record was fabricated, not raced.
 //! 2. **Bounded concurrency** — never more than `slots − 1` checkpoints
 //!    between `Begin` and a terminal event (one slot always holds the
 //!    latest committed state). Service stores allow `slots` total: each
@@ -41,7 +47,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use pccheck::{CheckMeta, PccheckError, RawStoreView};
+use pccheck::{CheckMeta, PccheckError, RawStoreView, SlotOutcome};
 use pccheck_device::{fnv1a, ExtentTable, PersistentDevice};
 use pccheck_gpu::StateDigest;
 use pccheck_telemetry::{FlightEventKind, FlightRecord, FlightRing};
@@ -165,6 +171,19 @@ pub enum InvariantViolation {
         /// The base that never committed.
         base_counter: u64,
     },
+    /// A slot's durable state word says `Committed{c}` but its meta record
+    /// does not carry counter `c`. The commit protocol persists the meta
+    /// record *before* the Committed word, so this point of the lattice is
+    /// unreachable — seeing it means lost writes or a protocol bug (see
+    /// DESIGN §13).
+    StateLatticeViolation {
+        /// The torn slot.
+        slot: u32,
+        /// Counter in the durable state word.
+        state_counter: u64,
+        /// Counter in the slot's meta record (`None` = no valid record).
+        meta_counter: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for InvariantViolation {
@@ -220,6 +239,20 @@ impl std::fmt::Display for InvariantViolation {
                     "delta checkpoint {counter} chains onto base {base_counter} that never committed"
                 )
             }
+            InvariantViolation::StateLatticeViolation {
+                slot,
+                state_counter,
+                meta_counter,
+            } => {
+                write!(
+                    f,
+                    "slot {slot} state word says committed#{state_counter} but its meta record {}",
+                    match meta_counter {
+                        Some(c) => format!("carries counter {c}"),
+                        None => "does not decode".to_string(),
+                    }
+                )
+            }
         }
     }
 }
@@ -252,6 +285,11 @@ pub struct ForensicReport {
     /// `(job, head)` for every allocated namespace, in directory order.
     /// Empty on single-tenant stores.
     pub namespace_recovery: Vec<(u64, Option<pccheck::CheckMeta>)>,
+    /// Each slot's post-crash classification, decided from its durable
+    /// state word + meta CRC alone (the detectable-recovery lattice; all
+    /// [`SlotOutcome::Empty`] on stores formatted before the state-word
+    /// region existed).
+    pub slot_outcomes: Vec<SlotOutcome>,
 }
 
 impl ForensicReport {
@@ -312,6 +350,12 @@ impl ForensicReport {
             "  peak concurrency: {} (limit {})",
             self.peak_concurrency, self.concurrency_limit
         );
+        if !self.slot_outcomes.is_empty() {
+            let _ = writeln!(out, "  slot lattice:");
+            for (slot, outcome) in self.slot_outcomes.iter().enumerate() {
+                let _ = writeln!(out, "    slot {slot:<3} {outcome}");
+            }
+        }
         let _ = writeln!(out, "  checkpoints:");
         for (counter, verdict) in &self.checkpoints {
             let line = match verdict {
@@ -435,14 +479,21 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
             FlightEventKind::Commit => {
                 let ns = ns_of(rec.slot);
                 if let Some(&prev) = last_commit.get(&ns) {
-                    if rec.counter <= prev {
+                    // The lock-free publish path lets two racing winners
+                    // log their Commit records out of counter order (each
+                    // records its own `fetch_max` advance); that benign
+                    // inversion always has the stale counter's window
+                    // still open. An inversion for a closed (or absent)
+                    // window can only be a fabricated or replayed record.
+                    if rec.counter <= prev && !active.contains_key(&rec.counter) {
                         violations.push(InvariantViolation::CommitNotMonotone {
                             prev,
                             next: rec.counter,
                         });
                     }
                 }
-                last_commit.insert(ns, rec.counter);
+                let watermark = last_commit.entry(ns).or_insert(0);
+                *watermark = (*watermark).max(rec.counter);
                 let newest = newest_ring_commit.entry(ns).or_insert(0);
                 *newest = (*newest).max(rec.counter);
                 // Invariant 3: the barrier must precede the commit. Only
@@ -558,6 +609,41 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
         }
     }
 
+    // Invariant 7: the per-slot commit-state lattice. Every slot's durable
+    // state word + meta CRC must decide to a reachable lattice point; the
+    // Torn point (Committed word over a mismatched meta) is unreachable
+    // because the protocol persists the meta record before the Committed
+    // word. Claimed words whose checkpoints the ring no longer witnesses
+    // (wrapped, or a ring-less store) are synthesized as in-flight — the
+    // state word alone is enough to decide them (detectable recovery).
+    let slot_outcomes = view.slot_outcomes();
+    for (slot, outcome) in slot_outcomes.iter().enumerate() {
+        match *outcome {
+            SlotOutcome::Torn {
+                state_counter,
+                meta_counter,
+            } => {
+                violations.push(InvariantViolation::StateLatticeViolation {
+                    slot: slot as u32,
+                    state_counter,
+                    meta_counter,
+                });
+            }
+            SlotOutcome::InFlight { counter } | SlotOutcome::Persisted { counter } => {
+                checkpoints.entry(counter).or_insert(CheckpointVerdict::InFlight {
+                    phase: if matches!(outcome, SlotOutcome::Persisted { .. }) {
+                        InFlightPhase::MetaPersisted
+                    } else {
+                        InFlightPhase::Begun
+                    },
+                    slot: slot as u32,
+                });
+            }
+            SlotOutcome::Empty | SlotOutcome::Historical { .. } | SlotOutcome::Committed { .. } => {
+            }
+        }
+    }
+
     // Invariant 6: a delta recovery target's chain must be whole, built on
     // committed bases, and replayable to the recorded full-state digest.
     // Every tenant's head is audited on a service store.
@@ -582,6 +668,7 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
         peak_concurrency: peak,
         concurrency_limit,
         namespace_recovery,
+        slot_outcomes,
     })
 }
 
@@ -1035,8 +1122,10 @@ mod tests {
         let (dev, st) = flight_store(4, 64);
         commit_one(&st, 1, b"a");
         commit_one(&st, 2, b"b");
-        // Fabricate an out-of-order Commit record (protocol would never
-        // write this thanks to the check_addr_io lock).
+        // Fabricate an out-of-order Commit record for a checkpoint whose
+        // window already closed: the fetch_max watermark records exactly
+        // one Commit per counter, so a second record for counter 1 cannot
+        // be a benign race — its window is gone from `active`.
         st.flight().record(K::MetaPersisted, 1, 0, 1, 1, 0);
         st.flight().record(K::Commit, 1, 0, 1, 1, 0);
         dev.crash_now();
@@ -1045,6 +1134,117 @@ mod tests {
             v,
             InvariantViolation::CommitNotMonotone { prev: 2, next: 1 }
         )));
+    }
+
+    #[test]
+    fn racing_winner_commit_inversion_is_tolerated() {
+        // Two checkpointers win the watermark in counter order but log
+        // their Commit records inverted (the lock-free publish path allows
+        // this: each thread records its own fetch_max advance). Both
+        // windows are open when the stale record lands, so the auditor
+        // must not flag a false CommitNotMonotone.
+        let (dev, st) = flight_store(4, 64);
+        let lease_a = st.begin_checkpoint();
+        let lease_b = st.begin_checkpoint();
+        for (lease, payload) in [(&lease_a, b"aa"), (&lease_b, b"bb")] {
+            st.write_payload(lease, 0, payload).unwrap();
+            st.persist_payload(lease, 0, 2).unwrap();
+        }
+        let (ca, sa) = (lease_a.counter, lease_a.slot);
+        let (cb, sb) = (lease_b.counter, lease_b.slot);
+        // Replay what the device would hold: both metas persisted, then
+        // the Commit records land newer-first.
+        for (lease, iter) in [(lease_a, 1u64), (lease_b, 2u64)] {
+            let meta = pccheck::CheckMeta {
+                counter: lease.counter,
+                slot: lease.slot,
+                iteration: iter,
+                payload_len: 2,
+                digest: pccheck_raw_checksum(if iter == 1 { b"aa" } else { b"bb" }),
+                delta: None,
+            };
+            let off = st.slot_meta_offset(lease.slot);
+            dev.write_at(off, &meta.encode()).unwrap();
+            dev.persist(off, pccheck::meta::META_RECORD_SIZE).unwrap();
+            std::mem::forget(lease);
+        }
+        // (No durable CHECK_ADDR write needed: the max-counter slot scan
+        // already resolves recovery to the newer winner.)
+        st.flight().record(K::MetaPersisted, ca, sa, 1, 2, 0);
+        st.flight().record(K::MetaPersisted, cb, sb, 2, 2, 0);
+        st.flight().record(K::Commit, cb, sb, 2, 2, 0);
+        st.flight().record(K::Commit, ca, sa, 1, 2, 0);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, InvariantViolation::CommitNotMonotone { .. })),
+            "benign inversion flagged: {:?}",
+            report.violations
+        );
+        assert!(matches!(
+            report.checkpoints[&cb],
+            CheckpointVerdict::Committed { .. }
+        ));
+    }
+
+    #[test]
+    fn torn_state_word_is_a_lattice_violation() {
+        let (dev, st) = flight_store(3, 64);
+        commit_one(&st, 1, b"one");
+        let head = st.latest_committed().unwrap();
+        // Forge the unreachable lattice point: a Committed state word over
+        // a meta record carrying a different counter.
+        let forged = pccheck::SlotState::Committed {
+            counter: head.counter + 10,
+        };
+        let off = st.slot_state_offset(head.slot).unwrap();
+        dev.write_at(off, &forged.encode()).unwrap();
+        dev.persist(off, pccheck::SLOT_STATE_SIZE).unwrap();
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            InvariantViolation::StateLatticeViolation {
+                state_counter,
+                meta_counter: Some(mc),
+                ..
+            } if *state_counter == head.counter + 10 && *mc == head.counter
+        )));
+        assert!(report.render().contains("state word"));
+    }
+
+    #[test]
+    fn claimed_slot_on_ringless_store_is_synthesized_in_flight() {
+        // No flight ring: the state word alone must make the in-flight
+        // claim decidable (the detectable half of the protocol).
+        let cap = CheckpointStore::required_capacity(ByteSize::from_bytes(64), 3);
+        let dev: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let st = CheckpointStore::format(Arc::clone(&dev), ByteSize::from_bytes(64), 3).unwrap();
+        commit_one(&st, 1, b"one");
+        let lease = st.begin_checkpoint();
+        let (counter, slot) = (lease.counter, lease.slot);
+        std::mem::forget(lease);
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.in_flight(), vec![counter]);
+        assert_eq!(
+            report.checkpoints[&counter],
+            CheckpointVerdict::InFlight {
+                phase: InFlightPhase::Begun,
+                slot,
+            }
+        );
+        assert_eq!(
+            report.slot_outcomes[slot as usize],
+            SlotOutcome::InFlight { counter }
+        );
+        assert!(report.render().contains("slot lattice"));
     }
 
     fn service_flight_store(

@@ -87,7 +87,8 @@ fn usage() -> ExitCode {
     eprintln!("       pccheckctl job drain <ctl-addr> <name>");
     eprintln!("       pccheckctl job shutdown <ctl-addr>");
     eprintln!("  demo       create the store and run a checkpointed training demo");
-    eprintln!("  info       print the store header and checkpoint history");
+    eprintln!("  info       print the store header, checkpoint history, and the");
+    eprintln!("             per-slot commit-state lattice (free/claimed/committed)");
     eprintln!("  recover    load the latest committed checkpoint through the parallel");
     eprintln!("             restore pipeline ([readers] threads, default 4) and print");
     eprintln!("             the per-phase recovery trace");
@@ -197,6 +198,24 @@ fn cmd_info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  counter {:>4} iteration {:>6} {:>10} bytes digest {:016x} {}",
             meta.counter, meta.iteration, meta.payload_len, meta.digest, kind
+        );
+    }
+    // The per-slot commit-state lattice the forensic auditor reasons over:
+    // the durable state word (Free/Claimed/Committed + counter) next to
+    // the decision it supports (DESIGN §13).
+    let view = pccheck::RawStoreView::load(store.device().as_ref())?;
+    println!("slots:");
+    for slot in 0..store.num_slots() {
+        let word = match view.slot_state.get(slot as usize).copied().flatten() {
+            Some(state) => state.to_string(),
+            None if view.state_words => "torn/absent".to_string(),
+            None => "-".to_string(),
+        };
+        println!(
+            "  slot {:>3} state {:<14} outcome {}",
+            slot,
+            word,
+            view.slot_outcome(slot)
         );
     }
     Ok(())

@@ -191,6 +191,20 @@ fn forensic_verdicts_match_actual_recovery_at_every_crash_point() {
             .get(&run.crashed_counter)
             .expect("interrupted checkpoint is in the report");
         match point {
+            CrashPoint::ClaimPublish => assert!(
+                // The crash landed between the slot claim and any
+                // subsequent write: the durable state word alone carries
+                // the evidence, and the auditor synthesizes a Begun
+                // in-flight verdict from it.
+                matches!(
+                    verdict,
+                    CheckpointVerdict::InFlight {
+                        phase: InFlightPhase::Begun,
+                        ..
+                    }
+                ),
+                "{point}: {verdict:?}"
+            ),
             CrashPoint::DuringCopy => assert!(
                 matches!(
                     verdict,
