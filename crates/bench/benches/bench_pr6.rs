@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pccheck::{CheckpointStore, PcCheckConfig, PcCheckEngine};
+use pccheck_bench::stats::{bench_json_path, host_cores, median, rel_iqr, NOISE_FLOOR};
 use pccheck_device::{DeviceConfig, SsdDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_telemetry::{
@@ -48,33 +49,6 @@ const REPS: usize = 5;
 const SCRAPE_PERIOD_MS: u64 = 10;
 /// Acceptance ceiling: live exposition may cost at most this fraction.
 const OVERHEAD_CEILING: f64 = 0.02;
-/// Measured overheads with magnitude under this fraction are scheduler
-/// noise, not signal.
-const NOISE_FLOOR: f64 = 0.01;
-
-/// Median of a sample (the run summary statistic — robust to the odd
-/// slow rep, unlike best-of-reps, which systematically under-reports).
-fn median(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    sorted[sorted.len() / 2]
-}
-
-/// Relative inter-quartile range: (q3 - q1) / median. The run-to-run
-/// noise of one arm, as a fraction of its typical value — the finest
-/// overhead this host can actually resolve.
-fn rel_iqr(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = sorted.len();
-    let (q1, q3) = (sorted[n / 4], sorted[n - 1 - n / 4]);
-    let med = sorted[n / 2];
-    if med > 0.0 {
-        (q3 - q1) / med
-    } else {
-        0.0
-    }
-}
 
 /// One full training run; returns (wall seconds, scrapes served).
 fn run_once(live: bool) -> (f64, u64) {
@@ -194,9 +168,7 @@ fn main() {
     // the exposition thread time-shares the only core with the trainer,
     // so its cost is governed by the scheduler, not by this code path —
     // report the number but don't gate on it.
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = host_cores();
     let gate_enforced = cores >= 2;
     let pass = !gate_enforced || overhead <= effective_ceiling;
     let verdict = if overhead.abs() < noise {
@@ -248,10 +220,7 @@ fn main() {
          \"pass\": {pass}}}\n}}"
     );
 
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| format!("{d}/../.."))
-        .unwrap_or_else(|_| ".".into());
-    let path = format!("{root}/BENCH_pr6.json");
+    let path = bench_json_path("BENCH_pr6.json");
     std::fs::write(&path, &json).expect("write BENCH_pr6.json");
     println!("[bench_pr6] wrote {path}");
 

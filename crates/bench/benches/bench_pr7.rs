@@ -26,6 +26,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use pccheck_bench::stats::{bench_json_path, median, rel_iqr, NOISE_FLOOR};
 use pccheck_harness::profile_run::{archive, run_profiled, ProfileRunConfig};
 use pccheck_telemetry::{build_ledgers, diff_profiles, DiffMode, DiffThresholds, RunProfile};
 
@@ -33,8 +34,6 @@ use pccheck_telemetry::{build_ledgers, diff_profiles, DiffMode, DiffThresholds, 
 const REPS: usize = 5;
 /// Acceptance ceiling on the profiler pipeline's overhead.
 const OVERHEAD_CEILING: f64 = 0.02;
-/// Overheads with magnitude under this fraction are scheduler noise.
-const NOISE_FLOOR: f64 = 0.01;
 /// Acceptance floor on median persist coverage (leg-sum within 10% of the
 /// parent Persist span).
 const COVERAGE_FLOOR: f64 = 0.9;
@@ -42,28 +41,6 @@ const COVERAGE_FLOOR: f64 = 0.9;
 /// (~16 ms persist per commit) that the contrast dwarfs scheduler noise
 /// on loaded or single-core hosts.
 const THROTTLE_MB_PER_SEC: f64 = 4.0;
-
-fn median(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    sorted[sorted.len() / 2]
-}
-
-/// Relative inter-quartile range: (q3 - q1) / median. The run-to-run
-/// noise of one arm, as a fraction of its typical value — the finest
-/// overhead this host can actually resolve.
-fn rel_iqr(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = sorted.len();
-    let (q1, q3) = (sorted[n / 4], sorted[n - 1 - n / 4]);
-    let med = sorted[n / 2];
-    if med > 0.0 {
-        (q3 - q1) / med
-    } else {
-        0.0
-    }
-}
 
 fn main() {
     let cfg = ProfileRunConfig::default();
@@ -215,10 +192,7 @@ fn main() {
          \"pass\": {pass}}}\n}}"
     );
 
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| format!("{d}/../.."))
-        .unwrap_or_else(|_| ".".into());
-    let path = format!("{root}/BENCH_pr7.json");
+    let path = bench_json_path("BENCH_pr7.json");
     std::fs::write(&path, &json).expect("write BENCH_pr7.json");
     println!("[bench_pr7] wrote {path}");
 

@@ -32,6 +32,7 @@ use pccheck::{
     recovery, CheckpointStore, PcCheckConfig, PcCheckEngine, PccheckError, PersistPipeline,
     QosArbiter, QosConfig,
 };
+use pccheck_bench::stats::{bench_json_path, host_cores, median, rel_iqr};
 use pccheck_daemon::{Daemon, DaemonConfig, JobSpec};
 use pccheck_device::{DeviceConfig, HostBufferPool, PersistentDevice, SsdDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
@@ -120,26 +121,6 @@ fn fluid_p99(jobs: usize) -> f64 {
             sorted[idx.min(sorted.len() - 1)]
         })
         .fold(0.0f64, f64::max)
-}
-
-fn median(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    sorted[sorted.len() / 2]
-}
-
-/// Relative inter-quartile range — the finest ratio this host resolves.
-fn rel_iqr(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let n = sorted.len();
-    let (q1, q3) = (sorted[n / 4], sorted[n - 1 - n / 4]);
-    let med = sorted[n / 2];
-    if med > 0.0 {
-        (q3 - q1) / med
-    } else {
-        0.0
-    }
 }
 
 /// One scaling rep: run `jobs` staggered sim tenants to completion on a
@@ -430,9 +411,7 @@ fn main() {
     // CPU run-queue delay (16 worker threads time-sharing the cores),
     // not stripe arbitration — report but don't gate (the bench_pr6
     // convention for host-resolution-limited wall-clock gates).
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = host_cores();
     let wall_gate_enforced = cores >= *arms.last().unwrap();
     println!(
         "  wall-clock p99 medians: 1 job {:.3} ms, 16 jobs {:.3} ms -> ratio {:.2}x \
@@ -529,10 +508,7 @@ fn main() {
          \"share_tolerance\": {SHARE_TOLERANCE}, \"pass\": {pass}}}\n}}"
     );
 
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| format!("{d}/../.."))
-        .unwrap_or_else(|_| ".".into());
-    let path = format!("{root}/BENCH_pr8.json");
+    let path = bench_json_path("BENCH_pr8.json");
     std::fs::write(&path, &json).expect("write BENCH_pr8.json");
     println!("[bench_pr8] wrote {path}");
 

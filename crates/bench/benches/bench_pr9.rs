@@ -43,6 +43,7 @@ use pccheck_harness::forensics_run::{
     commit_checkpoint_scoped, drive_to_crash_point_scoped, run_crash_scenario, synthetic_payload,
     CrashPoint, ForensicsRunConfig, Scope,
 };
+use pccheck_bench::stats::{bench_json_path, host_cores, median};
 use pccheck_util::ByteSize;
 
 /// Checkpoint payload: small on purpose, so the commit path dominates.
@@ -70,12 +71,6 @@ const FREE_SERIAL: f64 = META_REC;
 const SCALING_FLOOR: f64 = 1.5;
 /// N=8 lock-free must beat N=8 locked by this factor.
 const VS_LOCKED_FLOOR: f64 = 1.2;
-
-fn median(v: &[f64]) -> f64 {
-    let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    sorted[sorted.len() / 2]
-}
 
 /// One throughput rep: `n` threads each commit [`OPS`] checkpoints
 /// through a fresh flat store. `locked` adds the bench-local mutex
@@ -245,9 +240,7 @@ fn namespace_crash_case(point: CrashPoint) -> Result<bool, PccheckError> {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = host_cores();
     println!(
         "[bench_pr9] lock-free commit path: {PAYLOAD} B payloads, {OPS} commits/thread, \
          arms {ARMS:?}, {REPS} reps, {cores} cores"
@@ -368,10 +361,7 @@ fn main() {
          \"pass\": {pass}}}\n}}"
     );
 
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| format!("{d}/../.."))
-        .unwrap_or_else(|_| ".".into());
-    let path = format!("{root}/BENCH_pr9.json");
+    let path = bench_json_path("BENCH_pr9.json");
     std::fs::write(&path, &json).expect("write BENCH_pr9.json");
     println!("[bench_pr9] wrote {path}");
 

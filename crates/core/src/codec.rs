@@ -1,0 +1,862 @@
+//! Persist-path chunk codec: entropy-gated LZ compression, content-defined
+//! dedup, and the chunk-framing slot format that carries both.
+//!
+//! # Frame layout
+//!
+//! A framed slot's payload is `[frame table][packed physical chunks]`. The
+//! table comes first — exactly like the delta path's extent table — so
+//! recovery can classify a slot from its payload prefix alone: `XTB1` means
+//! extent delta, [`FRAME_MAGIC`] means framed, anything else is a legacy
+//! raw payload. The table header binds the frame to its commit (checkpoint
+//! counter), names the logical (uncompressed) payload length and the
+//! end-to-end digest of the reconstructed state, and is sealed by a folded
+//! FNV-1a CRC over header + records so a torn table write is detected
+//! before any chunk is trusted.
+//!
+//! Each [`FrameRecord`] describes one logical chunk, in logical order:
+//!
+//! - [`ChunkEncoding::Raw`] — stored verbatim at `phys_off..+phys_len` in
+//!   the packed region (`phys_len == logical_len`).
+//! - [`ChunkEncoding::Lz`] — stored LZ-compressed (`phys_len <
+//!   logical_len`); see the block format below.
+//! - [`ChunkEncoding::DedupSelf`] — byte-identical to an *earlier*
+//!   materialized chunk of this same frame; stores only its index.
+//! - [`ChunkEncoding::DedupBase`] — byte-identical to a materialized chunk
+//!   of the base checkpoint named by the commit's [`DeltaLink`]; the link
+//!   pins the base exactly like a delta chain does, so the referenced
+//!   bytes cannot be recycled while this checkpoint is live.
+//!
+//! Every record carries the [`chunk_digest`] content address of its
+//! logical bytes: restore verifies each chunk as it materializes, so a
+//! stale or torn reference is detected (and the candidate discarded) —
+//! never silently accepted.
+//!
+//! # LZ block format
+//!
+//! A dependency-free LZ77 byte stream in the LZ4 style: each sequence is
+//! `token | literal-run | literals | offset(2B LE) | match-run`, where the
+//! token's high nibble is the literal count and the low nibble the match
+//! length minus [`MIN_MATCH`], both extended by 255-continuation bytes
+//! when they saturate at 15. The final sequence is literals-only. Matches
+//! reference a 64 KiB window. The compressor is greedy over a 4-byte
+//! hash table — built for persist-path throughput, not ratio.
+//!
+//! # Entropy gate
+//!
+//! Compressing dense fp16/fp32 noise wastes CPU for zero gain, so
+//! [`compress_gated`] first estimates Shannon entropy over a sampled 4 KiB
+//! byte histogram and skips the compressor entirely above
+//! [`ENTROPY_SKIP_BITS`] bits/byte. A compressed chunk is kept only when
+//! it actually saves ≥ 1/16 of the logical bytes; otherwise the chunk
+//! stays raw and restore never pays a decompress.
+//!
+//! # Dedup index lifetime
+//!
+//! The [`DedupIndex`] holds one *generation* per job: the content
+//! addresses of the **materialized** (Raw/Lz) chunks of that job's latest
+//! framed commit. Installing the next commit's generation evicts the
+//! previous one wholesale, so a reference produced by a lookup is always
+//! depth-≤1: it points at bytes physically present in the immediate base
+//! checkpoint, never at a chain of references. Entries are capped per
+//! generation; overflow chunks simply stay materialized.
+
+use std::collections::HashMap;
+
+use pccheck_util::fnv::{chunk_digest, fnv1a, fnv1a_fold, FNV_SEED};
+
+/// Frame table magic: ASCII `PCFRAME1` (little-endian `u64`).
+pub const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"PCFRAME1");
+
+/// Encoded frame header size: magic, count, version, counter,
+/// `logical_len`, `full_digest`.
+pub const FRAME_HEADER: usize = 40;
+
+/// Encoded size of one [`FrameRecord`].
+pub const FRAME_RECORD_SIZE: usize = 40;
+
+/// Frame format version.
+pub const FRAME_VERSION: u32 = 1;
+
+/// Shortest match the LZ coder emits.
+pub const MIN_MATCH: usize = 4;
+
+/// LZ match window (2-byte offsets).
+const MAX_OFFSET: usize = 65_535;
+
+/// Sampled-entropy threshold (bits/byte) above which compression is
+/// skipped outright: dense random bytes sit at ~8.0, text and sparse
+/// tensors well below 7.
+pub const ENTROPY_SKIP_BITS: f64 = 7.2;
+
+/// A kept compressed chunk must save at least `logical/16` bytes.
+const MIN_GAIN_SHIFT: u32 = 4;
+
+/// How one logical chunk is stored in the frame's packed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkEncoding {
+    /// Verbatim bytes at `phys_off..+phys_len`.
+    Raw,
+    /// LZ-compressed bytes at `phys_off..+phys_len`.
+    Lz,
+    /// Byte-identical to an earlier materialized chunk of this frame.
+    DedupSelf,
+    /// Byte-identical to a materialized chunk of the base checkpoint
+    /// named by the commit's `DeltaLink`.
+    DedupBase,
+}
+
+impl ChunkEncoding {
+    fn to_u32(self) -> u32 {
+        match self {
+            ChunkEncoding::Raw => 0,
+            ChunkEncoding::Lz => 1,
+            ChunkEncoding::DedupSelf => 2,
+            ChunkEncoding::DedupBase => 3,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<ChunkEncoding> {
+        match v {
+            0 => Some(ChunkEncoding::Raw),
+            1 => Some(ChunkEncoding::Lz),
+            2 => Some(ChunkEncoding::DedupSelf),
+            3 => Some(ChunkEncoding::DedupBase),
+            _ => None,
+        }
+    }
+
+    /// Whether the chunk's bytes are physically present in this frame.
+    pub fn is_materialized(self) -> bool {
+        matches!(self, ChunkEncoding::Raw | ChunkEncoding::Lz)
+    }
+}
+
+/// One logical chunk's entry in a [`FrameTable`].
+///
+/// Field meaning depends on `kind`:
+///
+/// | kind       | `aux`             | `a`            | `b`                  |
+/// |------------|-------------------|----------------|----------------------|
+/// | Raw / Lz   | 0                 | phys offset    | phys len             |
+/// | DedupSelf  | referenced index  | 0              | 0                    |
+/// | DedupBase  | base slot         | base counter   | base logical offset  |
+///
+/// Physical offsets are relative to the start of the packed region (the
+/// byte right after the encoded table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// Storage class of this chunk.
+    pub kind: ChunkEncoding,
+    /// Kind-dependent 32-bit field (see table above).
+    pub aux: u32,
+    /// Length of the chunk's logical (uncompressed) bytes.
+    pub logical_len: u64,
+    /// Kind-dependent field (see table above).
+    pub a: u64,
+    /// Kind-dependent field (see table above).
+    pub b: u64,
+    /// [`chunk_digest`] content address of the logical bytes.
+    pub digest: u64,
+}
+
+/// The frame table at the head of a framed slot's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameTable {
+    /// Checkpoint counter this frame belongs to (binds table to commit).
+    pub counter: u64,
+    /// Total logical payload length the records reconstruct.
+    pub logical_len: u64,
+    /// End-to-end digest of the reconstructed logical payload, in the
+    /// same discipline the commit's caller used (state or raw FNV).
+    pub full_digest: u64,
+    /// Per-chunk records in logical order.
+    pub records: Vec<FrameRecord>,
+}
+
+impl FrameTable {
+    /// Encoded size of a table holding `count` records.
+    pub fn encoded_len_for(count: usize) -> u64 {
+        (FRAME_HEADER + count * FRAME_RECORD_SIZE + 8) as u64
+    }
+
+    /// Encoded size of this table.
+    pub fn encoded_len(&self) -> u64 {
+        Self::encoded_len_for(self.records.len())
+    }
+
+    /// Bytes of packed physical chunk data the records reference.
+    pub fn packed_len(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_materialized())
+            .map(|r| r.a + r.b)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total slot payload footprint: table + packed region.
+    pub fn physical_len(&self) -> u64 {
+        self.encoded_len() + self.packed_len()
+    }
+
+    /// Sum of the logical lengths of deduplicated (non-materialized)
+    /// chunks — the bytes dedup saved.
+    pub fn dedup_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| !r.kind.is_materialized())
+            .map(|r| r.logical_len)
+            .sum()
+    }
+
+    /// Whether any record references the base checkpoint (the commit must
+    /// then carry a `DeltaLink` pinning it).
+    pub fn references_base(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.kind == ChunkEncoding::DedupBase)
+    }
+
+    /// Serializes the table: header, records, trailing FNV-1a CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.counter.to_le_bytes());
+        out.extend_from_slice(&self.logical_len.to_le_bytes());
+        out.extend_from_slice(&self.full_digest.to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.kind.to_u32().to_le_bytes());
+            out.extend_from_slice(&r.aux.to_le_bytes());
+            out.extend_from_slice(&r.logical_len.to_le_bytes());
+            out.extend_from_slice(&r.a.to_le_bytes());
+            out.extend_from_slice(&r.b.to_le_bytes());
+            out.extend_from_slice(&r.digest.to_le_bytes());
+        }
+        let crc = fnv1a(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a table from the head of `buf` (trailing packed bytes are
+    /// ignored). `None` on bad magic, impossible count, CRC mismatch, an
+    /// unknown record kind, a self-reference that is not a backward
+    /// pointer at a materialized chunk, or records whose logical lengths
+    /// do not sum to `logical_len` — the advisory-table discipline:
+    /// callers fall back rather than trust a damaged frame.
+    pub fn decode(buf: &[u8]) -> Option<FrameTable> {
+        if buf.len() < FRAME_HEADER + 8 {
+            return None;
+        }
+        if u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) != FRAME_MAGIC {
+            return None;
+        }
+        let count = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+        if u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) != FRAME_VERSION {
+            return None;
+        }
+        let table_len = Self::encoded_len_for(count) as usize;
+        if table_len > buf.len() {
+            return None;
+        }
+        let crc_off = table_len - 8;
+        let stored = u64::from_le_bytes(buf[crc_off..table_len].try_into().expect("8 bytes"));
+        if fnv1a(&buf[..crc_off]) != stored {
+            return None;
+        }
+        let counter = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let logical_len = u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes"));
+        let full_digest = u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes"));
+        let mut records = Vec::with_capacity(count);
+        let mut off = FRAME_HEADER;
+        let mut logical_sum = 0u64;
+        for i in 0..count {
+            let kind = ChunkEncoding::from_u32(u32::from_le_bytes(
+                buf[off..off + 4].try_into().expect("4 bytes"),
+            ))?;
+            let aux = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("4 bytes"));
+            let r = FrameRecord {
+                kind,
+                aux,
+                logical_len: u64::from_le_bytes(buf[off + 8..off + 16].try_into().expect("8")),
+                a: u64::from_le_bytes(buf[off + 16..off + 24].try_into().expect("8")),
+                b: u64::from_le_bytes(buf[off + 24..off + 32].try_into().expect("8")),
+                digest: u64::from_le_bytes(buf[off + 32..off + 40].try_into().expect("8")),
+            };
+            if kind == ChunkEncoding::DedupSelf {
+                let target = aux as usize;
+                if target >= i {
+                    return None;
+                }
+                let t: &FrameRecord = &records[target];
+                if !t.kind.is_materialized() || t.logical_len != r.logical_len {
+                    return None;
+                }
+            }
+            logical_sum = logical_sum.checked_add(r.logical_len)?;
+            records.push(r);
+            off += FRAME_RECORD_SIZE;
+        }
+        if logical_sum != logical_len {
+            return None;
+        }
+        Some(FrameTable {
+            counter,
+            logical_len,
+            full_digest,
+            records,
+        })
+    }
+}
+
+/// Estimates Shannon entropy (bits/byte) from an evenly strided sample of
+/// at most 4 KiB.
+pub fn entropy_estimate(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let stride = (data.len() / 4096).max(1);
+    let mut hist = [0u32; 256];
+    let mut n = 0u32;
+    let mut i = 0;
+    while i < data.len() {
+        hist[data[i] as usize] += 1;
+        n += 1;
+        i += stride;
+    }
+    let n = f64::from(n);
+    let mut bits = 0.0;
+    for &c in &hist {
+        if c > 0 {
+            let p = f64::from(c) / n;
+            bits -= p * p.log2();
+        }
+    }
+    bits
+}
+
+/// Compresses `src`, or `None` when the result would not be worth keeping.
+///
+/// `None` means "store raw": the sampled entropy exceeded
+/// [`ENTROPY_SKIP_BITS`], the input was shorter than a match, or the
+/// compressed form failed the minimum-gain bar (≥ 1/16 smaller).
+pub fn compress_gated(src: &[u8]) -> Option<Vec<u8>> {
+    if src.len() < MIN_MATCH * 2 || entropy_estimate(src) > ENTROPY_SKIP_BITS {
+        return None;
+    }
+    let limit = src.len() - (src.len() >> MIN_GAIN_SHIFT);
+    lz_compress_limit(src, limit)
+}
+
+/// Greedy LZ compression of `src`; `None` when the output would reach
+/// `limit` bytes (not worth keeping).
+fn lz_compress_limit(src: &[u8], limit: usize) -> Option<Vec<u8>> {
+    const HASH_BITS: u32 = 13;
+    let mut table = [0usize; 1 << HASH_BITS]; // position + 1; 0 = empty
+    let hash = |w: u32| -> usize { (w.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize };
+    let word_at = |i: usize| -> u32 {
+        u32::from_le_bytes(src[i..i + 4].try_into().expect("4-byte window"))
+    };
+
+    let mut out = Vec::with_capacity(limit.min(src.len()));
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    // Leave a 4-byte tail so `word_at` never reads past the end.
+    let search_end = src.len().saturating_sub(MIN_MATCH);
+    while i < search_end {
+        let w = word_at(i);
+        let h = hash(w);
+        let cand = table[h];
+        table[h] = i + 1;
+        let matched = cand > 0 && {
+            let c = cand - 1;
+            i - c <= MAX_OFFSET && word_at(c) == w
+        };
+        if !matched {
+            i += 1;
+            continue;
+        }
+        let c = cand - 1;
+        // Extend the match forward.
+        let mut mlen = MIN_MATCH;
+        while i + mlen < src.len() && src[c + mlen] == src[i + mlen] {
+            mlen += 1;
+        }
+        emit_sequence(&mut out, &src[lit_start..i], (i - c) as u16, mlen);
+        if out.len() >= limit {
+            return None;
+        }
+        i += mlen;
+        lit_start = i;
+    }
+    emit_literals_only(&mut out, &src[lit_start..]);
+    (out.len() < limit).then_some(out)
+}
+
+fn write_run(out: &mut Vec<u8>, mut run: usize) {
+    while run >= 255 {
+        out.push(255);
+        run -= 255;
+    }
+    out.push(run as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
+    let lit_nib = literals.len().min(15) as u8;
+    let m = match_len - MIN_MATCH;
+    let m_nib = m.min(15) as u8;
+    out.push((lit_nib << 4) | m_nib);
+    if lit_nib == 15 {
+        write_run(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    if m_nib == 15 {
+        write_run(out, m - 15);
+    }
+}
+
+fn emit_literals_only(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_nib = literals.len().min(15) as u8;
+    out.push(lit_nib << 4); // match nibble 0 + no offset = terminal
+    if lit_nib == 15 {
+        write_run(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// Decompresses an LZ block produced by this module into exactly
+/// `logical_len` bytes. `None` on any malformed input (truncated stream,
+/// out-of-window offset, wrong output length) — restore treats that as a
+/// corrupt chunk and fails the candidate.
+pub fn lz_decompress(src: &[u8], logical_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(logical_len);
+    let mut i = 0usize;
+    loop {
+        let token = *src.get(i)?;
+        i += 1;
+        let mut lit = usize::from(token >> 4);
+        if lit == 15 {
+            loop {
+                let b = *src.get(i)?;
+                i += 1;
+                lit += usize::from(b);
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if i + lit > src.len() {
+            return None;
+        }
+        out.extend_from_slice(&src[i..i + lit]);
+        i += lit;
+        if i == src.len() {
+            // Terminal literals-only sequence (match nibble must be 0).
+            if token & 0x0F != 0 {
+                return None;
+            }
+            break;
+        }
+        if i + 2 > src.len() {
+            return None;
+        }
+        let offset = usize::from(u16::from_le_bytes(
+            src[i..i + 2].try_into().expect("2 bytes"),
+        ));
+        i += 2;
+        if offset == 0 || offset > out.len() {
+            return None;
+        }
+        let mut mlen = usize::from(token & 0x0F);
+        if mlen == 15 {
+            loop {
+                let b = *src.get(i)?;
+                i += 1;
+                mlen += usize::from(b);
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        mlen += MIN_MATCH;
+        // Overlapping copy: byte-by-byte on purpose (offset < mlen is the
+        // run-length case).
+        let start = out.len() - offset;
+        for k in 0..mlen {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > logical_len {
+            return None;
+        }
+    }
+    (out.len() == logical_len).then_some(out)
+}
+
+/// Where a deduplicated chunk's materialized bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupHit {
+    /// Checkpoint counter of the generation the entry belongs to.
+    pub counter: u64,
+    /// Slot holding the materialized bytes.
+    pub slot: u32,
+    /// Logical byte offset of the chunk within that checkpoint's payload.
+    pub logical_off: u64,
+    /// Chunk length.
+    pub len: u64,
+}
+
+#[derive(Debug, Default)]
+struct Generation {
+    counter: u64,
+    slot: u32,
+    by_digest: HashMap<u64, (u64, u64)>, // digest -> (logical_off, len)
+}
+
+/// Content-addressed index over the *materialized* chunks of each job's
+/// latest framed commit.
+///
+/// One generation per job: installing a new commit's chunks evicts the
+/// prior generation wholesale, which is exactly the lifetime the depth-≤1
+/// reference rule needs — a lookup can only ever name bytes physically
+/// present in the current base checkpoint. Jobs are keyed by their id
+/// (`u64::MAX` stands for the single-tenant "no job" namespace) so
+/// multi-tenant stores never dedup across namespaces.
+#[derive(Debug, Default)]
+pub struct DedupIndex {
+    generations: HashMap<u64, Generation>,
+    /// Max entries kept per generation; overflow chunks stay materialized.
+    cap: usize,
+}
+
+/// Default per-generation entry cap.
+pub const DEDUP_DEFAULT_CAP: usize = 8192;
+
+impl DedupIndex {
+    /// An index bounded to `cap` entries per job generation.
+    pub fn with_capacity(cap: usize) -> DedupIndex {
+        DedupIndex {
+            generations: HashMap::new(),
+            cap,
+        }
+    }
+
+    fn job_key(job: Option<u64>) -> u64 {
+        job.unwrap_or(u64::MAX)
+    }
+
+    /// Replaces `job`'s generation with the materialized chunks of the
+    /// just-committed checkpoint `counter` in `slot`. `chunks` yields
+    /// `(digest, logical_off, len)` per materialized chunk.
+    pub fn install(
+        &mut self,
+        job: Option<u64>,
+        counter: u64,
+        slot: u32,
+        chunks: impl IntoIterator<Item = (u64, u64, u64)>,
+    ) {
+        let cap = if self.cap == 0 {
+            DEDUP_DEFAULT_CAP
+        } else {
+            self.cap
+        };
+        let mut by_digest = HashMap::new();
+        for (digest, off, len) in chunks {
+            if by_digest.len() >= cap {
+                break;
+            }
+            by_digest.entry(digest).or_insert((off, len));
+        }
+        self.generations.insert(
+            Self::job_key(job),
+            Generation {
+                counter,
+                slot,
+                by_digest,
+            },
+        );
+    }
+
+    /// Looks up a chunk by content address, only answering from `job`'s
+    /// generation when it is exactly checkpoint `base_counter` — a lookup
+    /// against any other generation would reference bytes the commit's
+    /// `DeltaLink` does not pin.
+    pub fn lookup(&self, job: Option<u64>, base_counter: u64, digest: u64, len: u64) -> Option<DedupHit> {
+        let g = self.generations.get(&Self::job_key(job))?;
+        if g.counter != base_counter {
+            return None;
+        }
+        let &(logical_off, entry_len) = g.by_digest.get(&digest)?;
+        (entry_len == len).then_some(DedupHit {
+            counter: g.counter,
+            slot: g.slot,
+            logical_off,
+            len,
+        })
+    }
+
+    /// The checkpoint counter of `job`'s current generation, if any.
+    pub fn generation_counter(&self, job: Option<u64>) -> Option<u64> {
+        self.generations
+            .get(&Self::job_key(job))
+            .map(|g| g.counter)
+    }
+
+    /// Drops `job`'s generation (e.g., its namespace was released).
+    pub fn evict_job(&mut self, job: Option<u64>) {
+        self.generations.remove(&Self::job_key(job));
+    }
+
+    /// Drops every generation.
+    pub fn clear(&mut self) {
+        self.generations.clear();
+    }
+}
+
+/// Builds the digest every framed restore verifies the reconstructed
+/// payload against: the state discipline (`FNV_SEED ^ iteration` fold)
+/// or the raw checksum — the same dual acceptance the legacy paths use.
+pub fn payload_digest_matches(state: &[u8], iteration: u64, full_digest: u64) -> bool {
+    fnv1a_fold(FNV_SEED ^ iteration, state) == full_digest || fnv1a(state) == full_digest
+}
+
+/// Convenience: the content address of a chunk (re-exported so persist and
+/// restore provably share one digest).
+pub fn content_address(chunk: &[u8]) -> u64 {
+    chunk_digest(chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_table() -> FrameTable {
+        FrameTable {
+            counter: 42,
+            logical_len: 300,
+            full_digest: 0xfeed_face_dead_beef,
+            records: vec![
+                FrameRecord {
+                    kind: ChunkEncoding::Raw,
+                    aux: 0,
+                    logical_len: 100,
+                    a: 0,
+                    b: 100,
+                    digest: 11,
+                },
+                FrameRecord {
+                    kind: ChunkEncoding::Lz,
+                    aux: 0,
+                    logical_len: 100,
+                    a: 100,
+                    b: 40,
+                    digest: 22,
+                },
+                FrameRecord {
+                    kind: ChunkEncoding::DedupSelf,
+                    aux: 0,
+                    logical_len: 100,
+                    a: 0,
+                    b: 0,
+                    digest: 11,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn frame_encode_decode_round_trip() {
+        let t = sample_table();
+        let buf = t.encode();
+        assert_eq!(buf.len() as u64, t.encoded_len());
+        assert_eq!(FrameTable::decode(&buf).unwrap(), t);
+        assert_eq!(t.packed_len(), 140);
+        assert_eq!(t.physical_len(), t.encoded_len() + 140);
+        assert_eq!(t.dedup_bytes(), 100);
+        assert!(!t.references_base());
+    }
+
+    #[test]
+    fn frame_decode_ignores_trailing_packed_bytes() {
+        let t = sample_table();
+        let mut buf = t.encode();
+        buf.extend_from_slice(&[0x5A; 140]);
+        assert_eq!(FrameTable::decode(&buf).unwrap(), t);
+    }
+
+    #[test]
+    fn frame_decode_rejects_any_single_bitflip() {
+        let good = sample_table().encode();
+        for pos in 0..good.len() {
+            let mut buf = good.clone();
+            buf[pos] ^= 0x08;
+            assert!(
+                FrameTable::decode(&buf).is_none(),
+                "bitflip at {pos} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_decode_rejects_forward_self_reference() {
+        let mut t = sample_table();
+        t.records[2].aux = 2; // self-reference (not a backward pointer)
+        assert!(FrameTable::decode(&t.encode()).is_none());
+        t.records[2].aux = 5; // forward/out-of-range
+        assert!(FrameTable::decode(&t.encode()).is_none());
+    }
+
+    #[test]
+    fn frame_decode_rejects_logical_len_mismatch() {
+        let mut t = sample_table();
+        t.logical_len = 299;
+        assert!(FrameTable::decode(&t.encode()).is_none());
+    }
+
+    #[test]
+    fn frame_decode_rejects_impossible_count() {
+        let mut buf = sample_table().encode();
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(FrameTable::decode(&buf).is_none());
+    }
+
+    #[test]
+    fn lz_round_trips_compressible_data() {
+        let mut src = Vec::new();
+        for i in 0..4096u32 {
+            src.push((i % 7) as u8);
+        }
+        let comp = compress_gated(&src).expect("repetitive data compresses");
+        assert!(comp.len() < src.len() / 2);
+        assert_eq!(lz_decompress(&comp, src.len()).unwrap(), src);
+    }
+
+    #[test]
+    fn lz_skips_incompressible_data() {
+        let mut src = vec![0u8; 4096];
+        pccheck_util::rng::fill_deterministic(&mut src, 99);
+        assert!(compress_gated(&src).is_none());
+    }
+
+    #[test]
+    fn entropy_gate_orders_payload_classes() {
+        let zeros = vec![0u8; 4096];
+        let mut noise = vec![0u8; 4096];
+        pccheck_util::rng::fill_deterministic(&mut noise, 3);
+        assert!(entropy_estimate(&zeros) < 0.1);
+        assert!(entropy_estimate(&noise) > ENTROPY_SKIP_BITS);
+    }
+
+    #[test]
+    fn lz_decompress_rejects_truncation_and_bad_offsets() {
+        let src = vec![7u8; 600];
+        let comp = compress_gated(&src).unwrap();
+        for cut in 1..comp.len() {
+            // Any strict prefix either fails outright or yields the wrong
+            // length; never a silent wrong answer.
+            if let Some(out) = lz_decompress(&comp[..cut], src.len()) {
+                assert_eq!(out, src);
+            }
+        }
+        // A match before any literals (offset into an empty window).
+        assert!(lz_decompress(&[0x01, 0x01, 0x00], 5).is_none());
+    }
+
+    #[test]
+    fn dedup_index_answers_only_current_generation() {
+        let mut idx = DedupIndex::default();
+        idx.install(None, 7, 2, vec![(111, 0, 64), (222, 64, 64)]);
+        assert_eq!(
+            idx.lookup(None, 7, 111, 64),
+            Some(DedupHit {
+                counter: 7,
+                slot: 2,
+                logical_off: 0,
+                len: 64
+            })
+        );
+        // Wrong base counter: the caller's link would not pin gen 7.
+        assert!(idx.lookup(None, 6, 111, 64).is_none());
+        // Length mismatch is a digest collision, not a hit.
+        assert!(idx.lookup(None, 7, 111, 32).is_none());
+        // Installing the next generation evicts the old one.
+        idx.install(None, 8, 0, vec![(333, 0, 64)]);
+        assert!(idx.lookup(None, 8, 111, 64).is_none());
+        assert_eq!(idx.lookup(None, 8, 333, 64).unwrap().slot, 0);
+        assert_eq!(idx.generation_counter(None), Some(8));
+    }
+
+    #[test]
+    fn dedup_index_is_per_job() {
+        let mut idx = DedupIndex::default();
+        idx.install(Some(1), 5, 0, vec![(42, 0, 128)]);
+        idx.install(Some(2), 9, 1, vec![(42, 0, 128)]);
+        assert_eq!(idx.lookup(Some(1), 5, 42, 128).unwrap().counter, 5);
+        assert_eq!(idx.lookup(Some(2), 9, 42, 128).unwrap().counter, 9);
+        assert!(idx.lookup(Some(3), 5, 42, 128).is_none());
+        idx.evict_job(Some(1));
+        assert!(idx.lookup(Some(1), 5, 42, 128).is_none());
+        assert!(idx.lookup(Some(2), 9, 42, 128).is_some());
+    }
+
+    #[test]
+    fn dedup_index_caps_generation_size() {
+        let mut idx = DedupIndex::with_capacity(2);
+        idx.install(None, 1, 0, vec![(1, 0, 8), (2, 8, 8), (3, 16, 8)]);
+        assert!(idx.lookup(None, 1, 1, 8).is_some());
+        assert!(idx.lookup(None, 1, 2, 8).is_some());
+        assert!(idx.lookup(None, 1, 3, 8).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn lz_round_trips_arbitrary_bytes(src in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            // Bypass the gates: force a compression attempt with no limit,
+            // and require exact reconstruction whenever one is produced.
+            if let Some(comp) = lz_compress_limit(&src, usize::MAX) {
+                prop_assert_eq!(lz_decompress(&comp, src.len()).unwrap(), src);
+            }
+        }
+
+        #[test]
+        fn lz_round_trips_low_entropy_bytes(
+            src in proptest::collection::vec(0u8..4, 64..2048)
+        ) {
+            let comp = compress_gated(&src);
+            if let Some(comp) = comp {
+                prop_assert!(comp.len() < src.len());
+                prop_assert_eq!(lz_decompress(&comp, src.len()).unwrap(), src);
+            }
+        }
+
+        #[test]
+        fn frame_round_trips_arbitrary_raw_geometry(
+            lens in proptest::collection::vec(1u64..10_000, 1..40),
+            counter in 1u64..1_000_000,
+        ) {
+            let mut records = Vec::new();
+            let mut phys = 0u64;
+            for (i, &len) in lens.iter().enumerate() {
+                records.push(FrameRecord {
+                    kind: ChunkEncoding::Raw,
+                    aux: 0,
+                    logical_len: len,
+                    a: phys,
+                    b: len,
+                    digest: (i as u64) * 31 + 7,
+                });
+                phys += len;
+            }
+            let t = FrameTable {
+                counter,
+                logical_len: lens.iter().sum(),
+                full_digest: counter ^ 0xABCD,
+                records,
+            };
+            prop_assert_eq!(FrameTable::decode(&t.encode()).unwrap(), t);
+        }
+    }
+}

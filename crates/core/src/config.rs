@@ -51,6 +51,19 @@ pub struct PcCheckConfig {
     /// no space, so existing capacity-sized stores are unaffected.
     #[serde(default)]
     pub flight_records: u32,
+    /// Whether checkpoints go through the chunk codec (content-defined
+    /// compression + dedup framing). Off by default: legacy stores and
+    /// callers see byte-for-byte the pre-codec persist path.
+    #[serde(default)]
+    pub codec: bool,
+    /// Steer the persist path with a [`PersistController`] every this
+    /// many checkpoint requests (`0`, the default, disables adaptation).
+    /// Requires telemetry to be attached; with telemetry disabled the
+    /// controller never sees a snapshot and the knobs stay put.
+    ///
+    /// [`PersistController`]: crate::tuner::PersistController
+    #[serde(default)]
+    pub adaptive_interval: u64,
 }
 
 impl PcCheckConfig {
@@ -104,6 +117,8 @@ impl Default for PcCheckConfig {
             pipelined: true,
             single_sync: false,
             flight_records: 0,
+            codec: false,
+            adaptive_interval: 0,
         }
     }
 }
@@ -158,6 +173,19 @@ impl PcCheckConfigBuilder {
         self
     }
 
+    /// Enables the chunk codec (compression + dedup framing).
+    pub fn codec(mut self, on: bool) -> Self {
+        self.config.codec = on;
+        self
+    }
+
+    /// Steers the persist path adaptively every `requests` checkpoints
+    /// (`0` disables the controller).
+    pub fn adaptive_interval(mut self, requests: u64) -> Self {
+        self.config.adaptive_interval = requests;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -194,6 +222,8 @@ mod tests {
             .pipelined(false)
             .single_sync(true)
             .flight_records(256)
+            .codec(true)
+            .adaptive_interval(16)
             .build()
             .unwrap();
         assert_eq!(cfg.max_concurrent, 4);
@@ -203,6 +233,8 @@ mod tests {
         assert!(!cfg.pipelined);
         assert!(cfg.single_sync);
         assert_eq!(cfg.flight_records, 256);
+        assert!(cfg.codec);
+        assert_eq!(cfg.adaptive_interval, 16);
         assert_eq!(cfg.dram_bytes(), ByteSize::from_mb_u64(1000));
     }
 

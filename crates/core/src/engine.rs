@@ -40,8 +40,9 @@ use pccheck_util::ByteSize;
 
 use crate::config::PcCheckConfig;
 use crate::error::PccheckError;
-use crate::pipeline::{FenceMode, PersistPipeline, PipelineCtx};
+use crate::pipeline::{DeltaPolicy, FenceMode, PersistPipeline, PipelineCtx};
 use crate::store::{CheckpointStore, CommitOutcome, JobId, SlotLease};
+use crate::tuner::{ControllerConfig, ControllerSignals, PersistController};
 
 /// Cumulative engine statistics.
 ///
@@ -140,6 +141,18 @@ pub struct PcCheckEngine {
     first_error: Arc<Mutex<Option<PccheckError>>>,
     last_committed: Arc<Mutex<Option<CheckpointOutcome>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The adaptive persist-path controller (present when
+    /// `config.adaptive_interval > 0`); steered from the training thread
+    /// every `adaptive_interval` requests.
+    controller: Mutex<Option<PersistController>>,
+    /// Delta policy the framed path persists under — the controller's
+    /// latest decision, or the default when no controller runs.
+    delta_policy: Arc<Mutex<DeltaPolicy>>,
+    /// Whether THIS engine's checkpoints use the codec. Distinct from the
+    /// pipeline's global switch so service-mode tenants sharing one
+    /// pipeline opt in (and re-tune) independently: a checkpoint frames
+    /// only when both this flag and the pipeline's switch are on.
+    codec_active: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl PcCheckEngine {
@@ -204,11 +217,14 @@ impl PcCheckEngine {
         let pipeline = PersistPipeline::new(Arc::clone(&store))
             .with_writers(config.writer_threads)
             .with_fence(fence)
-            .with_staging(pool.clone());
+            .with_staging(pool.clone())
+            .with_codec(config.codec);
         let last = store.latest_committed().map(|m| CheckpointOutcome {
             iteration: m.iteration,
             digest: m.state_digest(),
         });
+        let controller = Self::build_controller(&config);
+        let codec_active = config.codec;
         Ok(PcCheckEngine {
             config,
             pipeline: Arc::new(pipeline),
@@ -221,7 +237,27 @@ impl PcCheckEngine {
             first_error: Arc::new(Mutex::new(None)),
             last_committed: Arc::new(Mutex::new(last)),
             workers: Mutex::new(Vec::new()),
+            controller: Mutex::new(controller),
+            delta_policy: Arc::new(Mutex::new(DeltaPolicy::default())),
+            codec_active: Arc::new(std::sync::atomic::AtomicBool::new(codec_active)),
         })
+    }
+
+    /// Builds the adaptive controller when the config asks for one,
+    /// seeded from the configured writer count and codec state.
+    fn build_controller(config: &PcCheckConfig) -> Option<PersistController> {
+        if config.adaptive_interval == 0 {
+            return None;
+        }
+        let mut cc = ControllerConfig::default();
+        // The controller may not lower p below 1 nor raise it past the
+        // larger of its default ceiling and the configured start.
+        cc.max_writers = cc.max_writers.max(config.writer_threads);
+        Some(PersistController::new(
+            cc,
+            config.writer_threads.max(1),
+            config.codec,
+        ))
     }
 
     /// Creates a per-job facade over a *shared* pipeline (service mode):
@@ -272,6 +308,8 @@ impl PcCheckEngine {
             iteration: m.iteration,
             digest: m.state_digest(),
         });
+        let controller = Self::build_controller(&config);
+        let codec_active = config.codec;
         Ok(PcCheckEngine {
             config,
             pipeline,
@@ -284,6 +322,13 @@ impl PcCheckEngine {
             first_error: Arc::new(Mutex::new(None)),
             last_committed: Arc::new(Mutex::new(last)),
             workers: Mutex::new(Vec::new()),
+            // Service mode: the controller runs in per-job observe mode —
+            // it retunes this tenant's codec and delta policy but never
+            // writes the shared pipeline's writer count or codec switch
+            // (those belong to the daemon).
+            controller: Mutex::new(controller),
+            delta_policy: Arc::new(Mutex::new(DeltaPolicy::default())),
+            codec_active: Arc::new(std::sync::atomic::AtomicBool::new(codec_active)),
         })
     }
 
@@ -368,7 +413,58 @@ impl PcCheckEngine {
         &self.pipeline
     }
 
+    /// A snapshot of the adaptive controller's state, when one runs.
+    pub fn controller_state(&self) -> Option<PersistController> {
+        self.controller.lock().clone()
+    }
+
+    /// The delta policy the framed path currently persists under.
+    pub fn delta_policy(&self) -> DeltaPolicy {
+        *self.delta_policy.lock()
+    }
+
+    /// Whether this engine's checkpoints currently use the chunk codec
+    /// (the config flag, possibly overridden by the controller).
+    pub fn codec_active(&self) -> bool {
+        self.codec_active.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Runs one controller interval if the config asks for adaptation,
+    /// telemetry is live, and `adaptive_interval` requests have elapsed
+    /// since the last one. Called on the training thread — the tick is a
+    /// snapshot read plus integer arithmetic, far below one iteration.
+    ///
+    /// Single-tenant engines own their pipeline, so the decision is
+    /// applied to its writer count and codec switch. Service-mode facades
+    /// share the daemon's pipeline: the tick is pure and the decision
+    /// only moves this job's own knobs (codec use, delta policy).
+    fn maybe_steer(&self) {
+        if self.config.adaptive_interval == 0 {
+            return;
+        }
+        let requested = self.stats.counters.requested();
+        if requested == 0 || requested % self.config.adaptive_interval != 0 {
+            return;
+        }
+        let Some(snapshot) = self.telemetry.snapshot() else {
+            return;
+        };
+        let mut slot = self.controller.lock();
+        let Some(controller) = slot.as_mut() else {
+            return;
+        };
+        let decision = if self.job.is_none() {
+            controller.steer(&snapshot, &self.pipeline)
+        } else {
+            controller.tick(ControllerSignals::from_snapshot(&snapshot))
+        };
+        *self.delta_policy.lock() = decision.delta_policy;
+        self.codec_active
+            .store(decision.codec_enabled, std::sync::atomic::Ordering::Release);
+    }
+
     /// Body of one checkpoint, run on a background worker thread.
+    #[allow(clippy::too_many_arguments)]
     fn run_checkpoint(
         pipeline: &PersistPipeline,
         config: &PcCheckConfig,
@@ -377,12 +473,23 @@ impl PcCheckEngine {
         job: Option<JobId>,
         iteration: u64,
         digest: pccheck_gpu::StateDigest,
+        delta_policy: DeltaPolicy,
+        use_codec: bool,
     ) -> Result<CommitOutcome, PccheckError> {
         let total = guard.size();
         let lease = pipeline.lease_for(ctx, job)?;
         let (counter, slot) = (lease.counter, lease.slot);
         let result = Self::run_leased(
-            pipeline, config, ctx, guard, lease, iteration, digest, total,
+            pipeline,
+            config,
+            ctx,
+            guard,
+            lease,
+            iteration,
+            digest,
+            total,
+            delta_policy,
+            use_codec,
         );
         if result.is_err() {
             // A failed checkpoint leaves its Begin record unterminated on
@@ -414,7 +521,29 @@ impl PcCheckEngine {
         iteration: u64,
         digest: pccheck_gpu::StateDigest,
         total: ByteSize,
+        delta_policy: DeltaPolicy,
+        use_codec: bool,
     ) -> Result<CommitOutcome, PccheckError> {
+        // Codec path: stage, classify (compress / self-dedup / base-dedup),
+        // and pack into a framed payload. `copy_framed` declines — and we
+        // stream raw below — when the pool can't stage the snapshot or the
+        // frame wouldn't shrink it, so this branch never loses to the
+        // legacy path on incompressible data beyond the decline probe.
+        if use_codec && pipeline.codec_enabled() {
+            if let Some(plan) =
+                pipeline.copy_framed(ctx, &guard, &lease, total, digest.0, delta_policy)?
+            {
+                let sealed = ByteSize::from_bytes(plan.payload_len);
+                if pipeline.fence() == FenceMode::PerWriter {
+                    pipeline.seal(ctx, &lease, iteration, sealed, plan.persist_start)?;
+                    drop(guard);
+                } else {
+                    drop(guard);
+                    pipeline.seal(ctx, &lease, iteration, sealed, plan.persist_start)?;
+                }
+                return pipeline.commit_framed(ctx, lease, iteration, &plan);
+            }
+        }
         let persist_start = if config.pipelined {
             pipeline.copy_streamed(ctx, &guard, &lease, total)?
         } else {
@@ -445,6 +574,7 @@ impl Checkpointer for PcCheckEngine {
     /// runs on a background worker.
     fn checkpoint(&self, gpu: &Gpu, iteration: u64) {
         self.reap_finished_workers();
+        self.maybe_steer();
         let stall_start = self.telemetry.now_nanos();
         let span = self
             .telemetry
@@ -469,14 +599,27 @@ impl Checkpointer for PcCheckEngine {
         let last = Arc::clone(&self.last_committed);
         let total_bytes = guard.size().as_u64();
         let job = self.job;
+        let delta_policy = *self.delta_policy.lock();
+        let use_codec = self
+            .codec_active
+            .load(std::sync::atomic::Ordering::Acquire);
         let handle = std::thread::spawn(move || {
             let digest = guard.digest();
             let ctx = PipelineCtx {
                 telemetry: &telemetry,
                 span,
             };
-            let result =
-                Self::run_checkpoint(&pipeline, &config, ctx, guard, job, iteration, digest);
+            let result = Self::run_checkpoint(
+                &pipeline,
+                &config,
+                ctx,
+                guard,
+                job,
+                iteration,
+                digest,
+                delta_policy,
+                use_codec,
+            );
             match result {
                 Ok(CommitOutcome::Committed) => {
                     stats.counters.incr_committed(total_bytes);
@@ -981,6 +1124,147 @@ mod tests {
             PcCheckEngine::with_shared(config, Arc::clone(&pipeline), 99),
             Err(PccheckError::InvalidConfig(_))
         ));
+    }
+
+    /// A GPU whose state is a 32-byte block tiled to `size`: highly
+    /// compressible and self-redundant, and it stays that way across
+    /// updates (the step transform is position-independent).
+    fn compressible_gpu(size: u64, seed: u64) -> Gpu {
+        Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::compressible(ByteSize::from_bytes(size), seed, 32),
+        )
+    }
+
+    #[test]
+    fn codec_engine_commits_framed_and_recovers_bit_identical() {
+        // End to end through the engine: compressible weights, codec on.
+        let gpu = compressible_gpu(4096, 11);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(256))
+            .dram_chunks(16)
+            .codec(true)
+            .build()
+            .unwrap();
+        let telemetry = Telemetry::enabled();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size())
+            .unwrap()
+            .with_telemetry(telemetry.clone());
+        assert!(engine.pipeline().codec_enabled());
+        for iter in 1..=4 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        assert_eq!(engine.last_committed().unwrap().iteration, 4);
+        // Recovery reproduces the live GPU state exactly.
+        let recovered =
+            crate::recovery::recover(Arc::clone(engine.store().device())).unwrap();
+        assert_eq!(recovered.iteration, 4);
+        let layout = gpu.with_weights(|s| s.layout());
+        let restored = TrainingState::restore(&layout, &recovered.payload, recovered.iteration);
+        assert_eq!(restored.digest(), gpu.digest());
+        // Synthetic weights are quantized ramps — highly compressible, so
+        // the codec must have saved bytes by the fourth checkpoint.
+        let snap = telemetry.snapshot().unwrap();
+        assert!(
+            snap.codec_bytes_saved > 0 || snap.dedup_chunks > 0,
+            "codec earned nothing on compressible synthetic state"
+        );
+    }
+
+    #[test]
+    fn codec_engine_survives_crash_and_recovery() {
+        let gpu = compressible_gpu(2048, 12);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 4) + ByteSize::from_kb(1);
+        let ssd = Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let device: Arc<dyn PersistentDevice> = ssd.clone();
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(256))
+            .dram_chunks(16)
+            .codec(true)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size()).unwrap();
+        for iter in 1..=3 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        ssd.crash_now();
+        ssd.recover();
+        let recovered = crate::recovery::recover(ssd).unwrap();
+        assert_eq!(recovered.iteration, 3);
+        let layout = gpu.with_weights(|s| s.layout());
+        let restored = TrainingState::restore(&layout, &recovered.payload, recovered.iteration);
+        assert_eq!(restored.digest(), gpu.digest(), "framed payload survived crash");
+    }
+
+    #[test]
+    fn adaptive_engine_ticks_its_controller() {
+        let gpu = tiny_gpu(1024, 13);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(128))
+            .dram_chunks(16)
+            .codec(true)
+            .adaptive_interval(2)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size())
+            .unwrap()
+            .with_telemetry(Telemetry::enabled());
+        assert_eq!(engine.controller_state().unwrap().ticks(), 0);
+        for iter in 1..=8 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        let ctrl = engine.controller_state().unwrap();
+        // Steered on requests 2, 4, 6, 8 (the tick *before* those requests
+        // ran, so at least 3 intervals landed).
+        assert!(ctrl.ticks() >= 3, "got {} ticks", ctrl.ticks());
+        // The controller's settings are what the pipeline runs.
+        assert_eq!(engine.pipeline().writers(), ctrl.writers());
+        assert_eq!(engine.pipeline().codec_enabled(), ctrl.codec_enabled());
+        assert_eq!(engine.last_committed().unwrap().iteration, 8);
+    }
+
+    #[test]
+    fn adaptive_engine_without_telemetry_keeps_knobs_put() {
+        let gpu = tiny_gpu(512, 14);
+        let cap = CheckpointStore::required_capacity(gpu.state_size(), 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(3)
+            .chunk_size(ByteSize::from_bytes(128))
+            .dram_chunks(16)
+            .adaptive_interval(1)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, device, gpu.state_size()).unwrap();
+        for iter in 1..=4 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+        }
+        engine.drain();
+        // No telemetry snapshots → no controller intervals → config knobs.
+        assert_eq!(engine.controller_state().unwrap().ticks(), 0);
+        assert_eq!(engine.pipeline().writers(), 3);
+        assert_eq!(engine.delta_policy(), crate::pipeline::DeltaPolicy::default());
     }
 
     #[test]

@@ -64,6 +64,7 @@
 //! # }
 //! ```
 
+pub mod codec;
 pub mod config;
 pub mod distributed;
 pub mod engine;
@@ -78,14 +79,17 @@ pub mod restore;
 pub mod store;
 pub mod tuner;
 
+pub use codec::{
+    compress_gated, lz_decompress, ChunkEncoding, DedupIndex, FrameRecord, FrameTable, FRAME_MAGIC,
+};
 pub use config::{PcCheckConfig, PcCheckConfigBuilder};
 pub use engine::{EngineStats, PcCheckEngine};
 pub use error::PccheckError;
 pub use meta::NamespaceDesc;
 pub use meta::{CheckMeta, DeltaLink, SlotState, SLOT_STATE_SIZE};
 pub use pipeline::{
-    DeltaOutcome, DeltaPlan, DeltaPolicy, FenceMode, PersistPipeline, PipelineCtx,
-    KERNEL_COPY_CHUNK,
+    DeltaOutcome, DeltaPlan, DeltaPolicy, FenceMode, FramedOutcome, FramedPlan, PersistPipeline,
+    PipelineCtx, KERNEL_COPY_CHUNK,
 };
 pub use qos::{QosArbiter, QosConfig, QosGrant};
 pub use recovery::{
@@ -97,4 +101,7 @@ pub use restore::{
     RestoreSink,
 };
 pub use store::{CheckpointStore, CommitOutcome, JobId, RawStoreView, SlotOutcome};
-pub use tuner::{AdaptiveTuner, Tuner, TunerInputs, TunerRecommendation};
+pub use tuner::{
+    AdaptiveTuner, ControllerAction, ControllerConfig, ControllerDecision, ControllerSignals,
+    PersistController, TierHint, Tuner, TunerInputs, TunerRecommendation,
+};

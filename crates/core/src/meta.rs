@@ -348,17 +348,13 @@ impl PackedCheckAddr {
 
 /// FNV-1a over `data` (the record checksum).
 pub(crate) fn checksum(data: &[u8]) -> u64 {
-    checksum_fold(0xcbf2_9ce4_8422_2325, data)
+    pccheck_util::fnv::fnv1a(data)
 }
 
 /// Continues an FNV-1a checksum from hash state `h` over `data`, so a
 /// record checksum can skip over its own CRC field.
-pub(crate) fn checksum_fold(mut h: u64, data: &[u8]) -> u64 {
-    for b in data {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+pub(crate) fn checksum_fold(h: u64, data: &[u8]) -> u64 {
+    pccheck_util::fnv::fnv1a_fold(h, data)
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 //! [`PersistentDevice::queue_depths`]: pccheck_device::PersistentDevice::queue_depths
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -36,6 +36,7 @@ use pccheck_gpu::{merge_ranges, SnapshotSource};
 use pccheck_telemetry::{FlightEventKind, Phase, SpanId, Telemetry};
 use pccheck_util::ByteSize;
 
+use crate::codec::{compress_gated, ChunkEncoding, DedupIndex, FrameRecord, FrameTable};
 use crate::error::PccheckError;
 use crate::meta::DeltaLink;
 use crate::qos::QosArbiter;
@@ -122,6 +123,23 @@ pub enum DeltaOutcome {
     Full,
 }
 
+/// Rolled-up outcome of [`PersistPipeline::checkpoint_framed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramedOutcome {
+    /// A framed payload (frame table + packed chunks) was persisted.
+    Framed {
+        /// Physical bytes in the slot (table + packed chunks).
+        payload_len: u64,
+        /// Bytes the codec avoided persisting.
+        saved_bytes: u64,
+        /// Chunks stored as dedup references.
+        dedup_chunks: u64,
+    },
+    /// The codec saved nothing (or was inapplicable) and the payload was
+    /// streamed raw.
+    Raw,
+}
+
 /// Telemetry context for one checkpoint's trip through the pipeline.
 #[derive(Clone, Copy)]
 pub struct PipelineCtx<'a> {
@@ -150,7 +168,10 @@ struct PendingDigests {
 pub struct PersistPipeline {
     store: Arc<CheckpointStore>,
     pool: Option<HostBufferPool>,
-    writers: usize,
+    /// Writer-pool width (`p` in the paper). Atomic and shared across
+    /// clones so the online controller can retune it between checkpoints
+    /// without rebuilding the pipeline.
+    writers: Arc<AtomicUsize>,
     fence: FenceMode,
     /// Bandwidth arbiter gating writer-pool leases when several jobs
     /// multiplex this pipeline (service mode). `None` = no arbitration.
@@ -158,6 +179,42 @@ pub struct PersistPipeline {
     /// Per-slot digests awaiting commit, shared across clones so a
     /// background committer sees what the copier collected.
     pending_digests: Arc<Mutex<HashMap<u32, PendingDigests>>>,
+    /// Chunk codec + dedup state, shared across clones (the controller
+    /// toggles `enabled`; the dedup index survives across checkpoints).
+    codec: Arc<CodecState>,
+}
+
+/// Shared chunk-codec state: the on/off switch the controller flips and
+/// the content-addressed dedup index over each job's latest framed commit.
+#[derive(Debug, Default)]
+struct CodecState {
+    enabled: AtomicBool,
+    dedup: Mutex<DedupIndex>,
+}
+
+/// What [`PersistPipeline::copy_framed`] persisted and what
+/// [`PersistPipeline::commit_framed`] must bind to the commit record.
+#[derive(Debug, Clone)]
+pub struct FramedPlan {
+    /// Persist-phase start timestamp for the caller's `seal`.
+    pub persist_start: u64,
+    /// Physical bytes in the slot (frame table + packed chunks).
+    pub payload_len: u64,
+    /// Checksum of the serialized frame table (the framed slot's meta
+    /// digest, mirroring the delta path's table-checksum discipline).
+    pub payload_digest: u64,
+    /// Back-pointer pinning the base checkpoint, present iff any chunk
+    /// deduplicated against it.
+    pub link: Option<DeltaLink>,
+    /// Logical (uncompressed) payload length.
+    pub logical_len: u64,
+    /// Bytes the codec avoided persisting (`logical - physical`).
+    pub saved_bytes: u64,
+    /// Chunks stored as dedup references instead of materialized bytes.
+    pub dedup_chunks: u64,
+    /// The frame table as persisted (commit installs the next dedup
+    /// generation from its materialized records).
+    pub table: FrameTable,
 }
 
 impl PersistPipeline {
@@ -167,10 +224,11 @@ impl PersistPipeline {
         PersistPipeline {
             store,
             pool: None,
-            writers: 1,
+            writers: Arc::new(AtomicUsize::new(1)),
             fence: FenceMode::PerWriter,
             qos: None,
             pending_digests: Arc::new(Mutex::new(HashMap::new())),
+            codec: Arc::new(CodecState::default()),
         }
     }
 
@@ -222,9 +280,41 @@ impl PersistPipeline {
     }
 
     /// Sets the number of parallel writer threads (`p` in the paper).
-    pub fn with_writers(mut self, writers: usize) -> Self {
-        self.writers = writers;
+    pub fn with_writers(self, writers: usize) -> Self {
+        self.set_writers(writers);
         self
+    }
+
+    /// Retunes the writer-pool width online; takes effect on the next
+    /// copy call (in-flight checkpoints keep the width they started with).
+    pub fn set_writers(&self, writers: usize) {
+        self.writers.store(writers.max(1), Ordering::Release);
+    }
+
+    /// The current writer-pool width.
+    pub fn writers(&self) -> usize {
+        self.writers.load(Ordering::Acquire)
+    }
+
+    /// Enables or disables the chunk codec at build time.
+    pub fn with_codec(self, enabled: bool) -> Self {
+        self.set_codec_enabled(enabled);
+        self
+    }
+
+    /// Flips the chunk codec online (the controller's switch). Disabling
+    /// also drops the dedup index: re-enabling starts from a cold index
+    /// rather than trusting generations whose age is unknown.
+    pub fn set_codec_enabled(&self, enabled: bool) {
+        let was = self.codec.enabled.swap(enabled, Ordering::AcqRel);
+        if was && !enabled {
+            self.codec.dedup.lock().clear();
+        }
+    }
+
+    /// Whether the chunk codec is currently enabled.
+    pub fn codec_enabled(&self) -> bool {
+        self.codec.enabled.load(Ordering::Acquire)
     }
 
     /// Sets the fence mode.
@@ -449,7 +539,7 @@ impl PersistPipeline {
         );
         // Persist with p writers, chunks distributed round-robin.
         let persist_start = ctx.telemetry.now_nanos();
-        let p = self.writers;
+        let p = self.writers();
         let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
         crossbeam::thread::scope(|s| {
             for w in 0..p {
@@ -508,7 +598,7 @@ impl PersistPipeline {
         type Job = (u64, usize, HostBuffer);
         let pool = self.pool();
         let start = ctx.telemetry.now_nanos();
-        let p = self.writers;
+        let p = self.writers();
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(pool.total_chunks());
         let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
         // First device error aborts the stream: writers stop issuing I/O
@@ -591,6 +681,32 @@ impl PersistPipeline {
         Ok(start)
     }
 
+    /// The logical state length a committed checkpoint represents,
+    /// regardless of how it is stored: a framed payload answers from its
+    /// frame header, an extent delta from its table's `full_len`, and a
+    /// legacy full checkpoint is its own logical image. 0 when the head
+    /// is unreadable (the caller's size check then forces a full
+    /// fallback).
+    fn base_logical_len(&self, base: &crate::meta::CheckMeta) -> u64 {
+        let off = self.store.slot_payload_offset(base.slot);
+        if base.payload_len >= crate::codec::FRAME_HEADER as u64 {
+            let mut head = [0u8; crate::codec::FRAME_HEADER];
+            if self.store.device().read_durable_at(off, &mut head).is_ok()
+                && u64::from_le_bytes(head[..8].try_into().expect("8 bytes"))
+                    == crate::codec::FRAME_MAGIC
+            {
+                return u64::from_le_bytes(head[24..32].try_into().expect("8 bytes"));
+            }
+        }
+        if base.delta.is_some() {
+            self.read_extent_table(base.slot, base.payload_len)
+                .map(|t| t.full_len)
+                .unwrap_or(0)
+        } else {
+            base.payload_len
+        }
+    }
+
     /// Reads and authenticates the extent table at the head of a delta
     /// slot's payload.
     fn read_extent_table(&self, slot: u32, payload_len: u64) -> Result<ExtentTable, PccheckError> {
@@ -653,14 +769,7 @@ impl PersistPipeline {
             None => None,
             Some(base) => {
                 let base_depth = base.delta.map_or(0, |l| l.chain_depth);
-                let base_full_len = if let Some(link) = base.delta {
-                    debug_assert!(link.base_counter != 0);
-                    self.read_extent_table(base.slot, base.payload_len)
-                        .map(|t| t.full_len)
-                        .unwrap_or(0)
-                } else {
-                    base.payload_len
-                };
+                let base_full_len = self.base_logical_len(base);
                 let table_len = ExtentTable::encoded_len_for(dirty.len());
                 let fits = table_len + dirty_bytes < total.as_u64()
                     && table_len + dirty_bytes <= self.store.slot_size().as_u64();
@@ -678,7 +787,7 @@ impl PersistPipeline {
 
         let pool = self.pool();
         let start = ctx.telemetry.now_nanos();
-        let p = self.writers;
+        let p = self.writers();
         type Job = (u64, usize, HostBuffer);
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(pool.total_chunks());
         let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
@@ -872,6 +981,366 @@ impl PersistPipeline {
                         payload_len,
                         dirty_bytes,
                         chain_depth: link.chain_depth,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Codec copy: stages the snapshot, content-addresses every chunk,
+    /// deduplicates byte-identical chunks (within this frame and against
+    /// the latest committed checkpoint's frame), entropy-gate-compresses
+    /// the rest, and persists `[frame table][packed chunks]` into the
+    /// leased slot. The table is written *last* so a torn frame is never
+    /// mistaken for a complete one — the same ordering discipline as the
+    /// delta path's extent table.
+    ///
+    /// Returns `Ok(None)` — persisting nothing — when the codec path is
+    /// inapplicable or unprofitable: the staging pool cannot hold the
+    /// whole snapshot at once, the physical payload would not be smaller
+    /// than the raw one, or it would overflow the slot. The caller then
+    /// falls back to a raw copy path; the slot is untouched.
+    ///
+    /// `full_digest` is the digest of the complete logical state (what
+    /// [`commit`](Self::commit) would be given on the raw path); restore
+    /// verifies the reconstructed payload against it end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error any writer hit.
+    pub fn copy_framed(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        lease: &SlotLease,
+        total: ByteSize,
+        full_digest: u64,
+        policy: DeltaPolicy,
+    ) -> Result<Option<FramedPlan>, PccheckError> {
+        let pool = self.pool();
+        let chunk = pool.chunk_size();
+        let n_chunks = chunk_count(total.as_u64(), chunk.as_u64());
+        // The codec stages the whole snapshot (dedup needs every chunk's
+        // content address before any byte is packed); a pool smaller than
+        // the snapshot would deadlock on `acquire`.
+        if n_chunks == 0 || pool.total_chunks() < n_chunks {
+            return Ok(None);
+        }
+
+        // Stage all chunks, folding each content address while the bytes
+        // are hot in cache.
+        let copy_start = ctx.telemetry.now_nanos();
+        let mut staged: Vec<(u64, usize, HostBuffer, u64)> = Vec::with_capacity(n_chunks);
+        let mut off = 0u64;
+        while off < total.as_u64() {
+            let n = chunk.as_u64().min(total.as_u64() - off) as usize;
+            let mut buf = pool.acquire();
+            src.copy_range_to_host(off, &mut buf.as_mut_slice()[..n]);
+            let digest = chunk_digest(&buf.as_slice()[..n]);
+            ctx.telemetry.chunk(ctx.span, Phase::GpuCopy, off, n as u64);
+            staged.push((off, n, buf, digest));
+            off += n as u64;
+        }
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::GpuCopy, copy_start);
+        self.store.flight().record(
+            FlightEventKind::CopyDone,
+            lease.counter,
+            lease.slot,
+            0,
+            total.as_u64(),
+            0,
+        );
+
+        // Cross-checkpoint dedup bases on the job's latest committed
+        // checkpoint, bounded by the same chain policy as deltas: every
+        // base reference pins the base's slot via a `DeltaLink`.
+        let base = self.store.latest_committed_for(lease);
+        let cross = base.as_ref().and_then(|b| {
+            let base_depth = b.delta.map_or(0, |l| l.chain_depth);
+            (base_depth + 1 <= policy.max_chain).then_some((b.counter, b.slot, base_depth))
+        });
+
+        let persist_start = ctx.telemetry.now_nanos();
+
+        // Classify every chunk: self-dedup (byte compare — exact), then
+        // base dedup (content address against the pinned generation), then
+        // materialize.
+        let mut records: Vec<FrameRecord> = Vec::with_capacity(staged.len());
+        let mut self_seen: HashMap<u64, usize> = HashMap::new();
+        let mut materialized: Vec<usize> = Vec::new();
+        {
+            let dedup = self.codec.dedup.lock();
+            for (i, (_, n, buf, digest)) in staged.iter().enumerate() {
+                if let Some(&j) = self_seen.get(digest) {
+                    let (_, jn, jbuf, _) = &staged[j];
+                    if jn == n && jbuf.as_slice()[..*jn] == buf.as_slice()[..*n] {
+                        records.push(FrameRecord {
+                            kind: ChunkEncoding::DedupSelf,
+                            aux: j as u32,
+                            logical_len: *n as u64,
+                            a: 0,
+                            b: 0,
+                            digest: *digest,
+                        });
+                        continue;
+                    }
+                }
+                if let Some((base_counter, _, _)) = cross {
+                    if let Some(hit) =
+                        dedup.lookup(lease.job(), base_counter, *digest, *n as u64)
+                    {
+                        records.push(FrameRecord {
+                            kind: ChunkEncoding::DedupBase,
+                            aux: hit.slot,
+                            logical_len: *n as u64,
+                            a: hit.counter,
+                            b: hit.logical_off,
+                            digest: *digest,
+                        });
+                        continue;
+                    }
+                }
+                self_seen.entry(*digest).or_insert(i);
+                materialized.push(i);
+                // Placeholder; phys offset/len assigned after compression.
+                records.push(FrameRecord {
+                    kind: ChunkEncoding::Raw,
+                    aux: 0,
+                    logical_len: *n as u64,
+                    a: 0,
+                    b: 0,
+                    digest: *digest,
+                });
+            }
+        }
+
+        // Compress materialized chunks with the writer pool's parallelism
+        // (compression is the CPU-bound stage; the entropy gate keeps
+        // dense payloads cheap).
+        let p = self.writers();
+        let compressed: Mutex<HashMap<usize, Vec<u8>>> = Mutex::new(HashMap::new());
+        crossbeam::thread::scope(|s| {
+            for w in 0..p {
+                let materialized = &materialized;
+                let staged = &staged;
+                let compressed = &compressed;
+                s.spawn(move |_| {
+                    for &i in materialized.iter().skip(w).step_by(p) {
+                        let (_, n, buf, _) = &staged[i];
+                        if let Some(c) = compress_gated(&buf.as_slice()[..*n]) {
+                            compressed.lock().insert(i, c);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("codec compression thread panicked");
+        let mut compressed = compressed.into_inner();
+
+        // Pack materialized chunks back to back after the table.
+        let mut phys = 0u64;
+        for &i in &materialized {
+            let n = staged[i].1;
+            let (kind, len) = match compressed.get(&i) {
+                Some(c) if c.len() < n => (ChunkEncoding::Lz, c.len() as u64),
+                _ => {
+                    compressed.remove(&i);
+                    (ChunkEncoding::Raw, n as u64)
+                }
+            };
+            records[i].kind = kind;
+            records[i].a = phys;
+            records[i].b = len;
+            phys += len;
+        }
+
+        let table_len = FrameTable::encoded_len_for(records.len());
+        let physical = table_len + phys;
+        if physical >= total.as_u64() || physical > self.store.slot_size().as_u64() {
+            // Nothing written yet: the caller streams the payload raw.
+            return Ok(None);
+        }
+
+        // Persist the packed chunks with p writers, round-robin — then the
+        // table, last.
+        let jobs: Vec<(u64, usize)> = materialized
+            .iter()
+            .filter(|&&i| records[i].kind.is_materialized())
+            .map(|&i| (table_len + records[i].a, i))
+            .collect();
+        let results: Mutex<Vec<PccheckError>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for w in 0..p {
+                let jobs = &jobs;
+                let staged = &staged;
+                let records = &records;
+                let compressed = &compressed;
+                let results = &results;
+                s.spawn(move |_| {
+                    let actor_start = ctx.telemetry.now_nanos();
+                    let mut actor_bytes = 0u64;
+                    let mut media_nanos = 0u64;
+                    for (dst, i) in jobs.iter().skip(w).step_by(p) {
+                        let data: &[u8] = match compressed.get(i) {
+                            Some(c) => c,
+                            None => &staged[*i].2.as_slice()[..staged[*i].1],
+                        };
+                        debug_assert_eq!(data.len() as u64, records[*i].b);
+                        match self.write_and_fence_chunk(ctx, lease, *dst, data) {
+                            Ok(media) => {
+                                actor_bytes += data.len() as u64;
+                                media_nanos += media;
+                            }
+                            Err(e) => results.lock().push(e),
+                        }
+                    }
+                    if actor_bytes > 0 && ctx.telemetry.is_enabled() {
+                        ctx.telemetry.actor_span_split(
+                            ctx.span,
+                            &format!("writer-{w}"),
+                            actor_start,
+                            actor_bytes,
+                            media_nanos,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("codec writer thread panicked");
+        drop(staged); // chunks return to the pool
+        if let Some(e) = results.into_inner().into_iter().next() {
+            return Err(e);
+        }
+
+        let table = FrameTable {
+            counter: lease.counter,
+            logical_len: total.as_u64(),
+            full_digest,
+            records,
+        };
+        let table_bytes = table.encode();
+        debug_assert_eq!(table_bytes.len() as u64, table_len);
+        self.write_and_fence_chunk(ctx, lease, 0, &table_bytes)?;
+
+        let dedup_chunks = table
+            .records
+            .iter()
+            .filter(|r| !r.kind.is_materialized())
+            .count() as u64;
+        let saved_bytes = total.as_u64() - physical;
+        ctx.telemetry.add_codec_bytes_saved(saved_bytes);
+        ctx.telemetry.add_dedup_chunks(dedup_chunks);
+        ctx.telemetry
+            .gauge_compression_ratio(physical * 1000 / total.as_u64().max(1));
+
+        let link = table.references_base().then(|| {
+            let (base_counter, base_slot, base_depth) =
+                cross.expect("base references require a dedup base");
+            DeltaLink {
+                base_counter,
+                base_slot,
+                chain_depth: base_depth + 1,
+            }
+        });
+        Ok(Some(FramedPlan {
+            persist_start,
+            payload_len: physical,
+            payload_digest: crate::meta::checksum(&table_bytes),
+            link,
+            logical_len: total.as_u64(),
+            saved_bytes,
+            dedup_chunks,
+            table,
+        }))
+    }
+
+    /// Runs the store's delta-aware CAS commit for a framed payload and,
+    /// on success, installs the frame's materialized chunks as the job's
+    /// next dedup generation. Pairs with [`copy_framed`](Self::copy_framed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn commit_framed(
+        &self,
+        ctx: PipelineCtx<'_>,
+        lease: SlotLease,
+        iteration: u64,
+        plan: &FramedPlan,
+    ) -> Result<CommitOutcome, PccheckError> {
+        let commit_start = ctx.telemetry.now_nanos();
+        let job = lease.job();
+        let slot = lease.slot;
+        let counter = lease.counter;
+        // Framed payloads carry per-chunk digests in the frame table;
+        // digests parked by a copy path are stale leftovers.
+        self.pending_digests.lock().remove(&slot);
+        let outcome = self.store.commit_with_delta(
+            lease,
+            iteration,
+            plan.payload_len,
+            plan.payload_digest,
+            plan.link,
+        )?;
+        if outcome == CommitOutcome::Committed {
+            // Only materialized (Raw/Lz) chunks enter the generation, so a
+            // future DedupBase reference always resolves in one hop —
+            // chains of indirection never form.
+            let mut chunks = Vec::new();
+            let mut logical_off = 0u64;
+            for r in &plan.table.records {
+                if r.kind.is_materialized() {
+                    chunks.push((r.digest, logical_off, r.logical_len));
+                }
+                logical_off += r.logical_len;
+            }
+            self.codec.dedup.lock().install(job, counter, slot, chunks);
+        }
+        ctx.telemetry
+            .phase_done(ctx.span, Phase::Commit, commit_start);
+        Ok(outcome)
+    }
+
+    /// One-call codec checkpoint: lease → [`copy_framed`](Self::copy_framed)
+    /// → `seal` → commit, falling back to the raw streamed path when the
+    /// codec declines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn checkpoint_framed(
+        &self,
+        ctx: PipelineCtx<'_>,
+        src: &dyn SnapshotSource,
+        iteration: u64,
+        full_digest: u64,
+        policy: DeltaPolicy,
+    ) -> Result<(CommitOutcome, FramedOutcome), PccheckError> {
+        let total = src.size();
+        let lease = self.lease(ctx);
+        match self.copy_framed(ctx, src, &lease, total, full_digest, policy)? {
+            None => {
+                let persist_start = self.copy_streamed(ctx, src, &lease, total)?;
+                self.seal(ctx, &lease, iteration, total, persist_start)?;
+                let out = self.commit(ctx, lease, iteration, total.as_u64(), full_digest)?;
+                Ok((out, FramedOutcome::Raw))
+            }
+            Some(plan) => {
+                self.seal(
+                    ctx,
+                    &lease,
+                    iteration,
+                    ByteSize::from_bytes(plan.payload_len),
+                    plan.persist_start,
+                )?;
+                let out = self.commit_framed(ctx, lease, iteration, &plan)?;
+                Ok((
+                    out,
+                    FramedOutcome::Framed {
+                        payload_len: plan.payload_len,
+                        saved_bytes: plan.saved_bytes,
+                        dedup_chunks: plan.dedup_chunks,
                     },
                 ))
             }
@@ -1656,5 +2125,264 @@ mod tests {
         assert_eq!(snap.gpu_copy_bytes, 300);
         assert_eq!(snap.persist_chunk_bytes, 300);
         assert_eq!(snap.persist_stage.count, 1);
+    }
+
+    /// In-memory snapshot source with controllable content, for codec
+    /// tests (synthetic GPU states are RNG-filled, i.e. incompressible).
+    struct VecSource {
+        data: Vec<u8>,
+        step: u64,
+    }
+
+    impl pccheck_gpu::SnapshotSource for VecSource {
+        fn size(&self) -> ByteSize {
+            ByteSize::from_bytes(self.data.len() as u64)
+        }
+        fn step_count(&self) -> u64 {
+            self.step
+        }
+        fn digest(&self) -> pccheck_gpu::StateDigest {
+            pccheck_gpu::StateDigest::of_payload(&self.data, self.step)
+        }
+        fn copy_range_to_host(&self, offset: u64, dst: &mut [u8]) {
+            let s = offset as usize;
+            dst.copy_from_slice(&self.data[s..s + dst.len()]);
+        }
+    }
+
+    /// Store + framed pipeline over a fresh SSD, returning the device too
+    /// so tests can crash/recover it.
+    fn framed_rig(
+        state_bytes: u64,
+        chunk: u64,
+        pool_chunks: usize,
+    ) -> (Arc<dyn PersistentDevice>, PersistPipeline) {
+        let state = ByteSize::from_bytes(state_bytes);
+        let cap = CheckpointStore::required_capacity(state, 4) + ByteSize::from_kb(1);
+        let device: Arc<dyn PersistentDevice> =
+            Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+        let store = Arc::new(CheckpointStore::format(Arc::clone(&device), state, 4).unwrap());
+        let pipeline = PersistPipeline::new(store)
+            .with_writers(2)
+            .with_staging(HostBufferPool::new(ByteSize::from_bytes(chunk), pool_chunks))
+            .with_codec(true);
+        (device, pipeline)
+    }
+
+    fn test_ctx(telemetry: &Telemetry) -> PipelineCtx<'_> {
+        PipelineCtx {
+            telemetry,
+            span: pccheck_telemetry::SpanId::NONE,
+        }
+    }
+
+    #[test]
+    fn framed_checkpoint_compresses_and_recovers_bit_identical() {
+        let (device, pipeline) = framed_rig(4096, 256, 16);
+        // Compressible: long runs with mild variation.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i / 192) as u8).collect();
+        let src = VecSource {
+            data: data.clone(),
+            step: 1,
+        };
+        let telemetry = Telemetry::enabled();
+        let ctx = test_ctx(&telemetry);
+        let digest = pccheck_gpu::SnapshotSource::digest(&src).0;
+        let (commit, outcome) = pipeline
+            .checkpoint_framed(ctx, &src, 1, digest, DeltaPolicy::default())
+            .unwrap();
+        assert_eq!(commit, CommitOutcome::Committed);
+        let FramedOutcome::Framed {
+            payload_len,
+            saved_bytes,
+            ..
+        } = outcome
+        else {
+            panic!("compressible payload must persist framed, got {outcome:?}");
+        };
+        assert!(payload_len < 4096, "physical {payload_len} < logical");
+        assert_eq!(saved_bytes, 4096 - payload_len);
+        let meta = pipeline.store().latest_committed().unwrap();
+        assert_eq!(meta.payload_len, payload_len, "commit records physical bytes");
+        let snap = telemetry.snapshot().unwrap();
+        assert_eq!(snap.codec_bytes_saved, saved_bytes);
+        assert!(snap.compression_ratio_permille < 1000);
+
+        let rec = crate::recovery::recover(device).unwrap();
+        assert_eq!(rec.iteration, 1);
+        assert_eq!(rec.payload, data, "restore decodes the frame bit-identically");
+    }
+
+    #[test]
+    fn framed_self_dedup_collapses_repeated_chunks() {
+        let (device, pipeline) = framed_rig(4096, 256, 16);
+        // 16 chunks, but only 2 distinct contents → 14 self-dedup refs.
+        // Use incompressible chunk bodies so dedup (not LZ) does the work.
+        let mut chunk_a = vec![0u8; 256];
+        let mut chunk_b = vec![0u8; 256];
+        pccheck_util::rng::fill_deterministic(&mut chunk_a, 11);
+        pccheck_util::rng::fill_deterministic(&mut chunk_b, 22);
+        let mut data = Vec::new();
+        for i in 0..16 {
+            data.extend_from_slice(if i % 2 == 0 { &chunk_a } else { &chunk_b });
+        }
+        let src = VecSource {
+            data: data.clone(),
+            step: 1,
+        };
+        let telemetry = Telemetry::disabled();
+        let ctx = test_ctx(&telemetry);
+        let digest = pccheck_gpu::SnapshotSource::digest(&src).0;
+        let (_, outcome) = pipeline
+            .checkpoint_framed(ctx, &src, 1, digest, DeltaPolicy::default())
+            .unwrap();
+        let FramedOutcome::Framed { dedup_chunks, payload_len, .. } = outcome else {
+            panic!("repeated chunks must persist framed, got {outcome:?}");
+        };
+        assert_eq!(dedup_chunks, 14, "2 materialized + 14 self-references");
+        // 688-byte table + two 256-byte materialized chunks.
+        assert!(payload_len < 4096 / 2, "physical {payload_len} collapsed");
+        let rec = crate::recovery::recover(device).unwrap();
+        assert_eq!(rec.payload, data);
+    }
+
+    #[test]
+    fn framed_base_dedup_links_and_recovers_across_checkpoints() {
+        let (device, pipeline) = framed_rig(4096, 256, 16);
+        let mut data = vec![0u8; 4096];
+        pccheck_util::rng::fill_deterministic(&mut data, 7);
+        let telemetry = Telemetry::disabled();
+        let ctx = test_ctx(&telemetry);
+
+        let src1 = VecSource {
+            data: data.clone(),
+            step: 1,
+        };
+        let d1 = pccheck_gpu::SnapshotSource::digest(&src1).0;
+        let (_, o1) = pipeline
+            .checkpoint_framed(ctx, &src1, 1, d1, DeltaPolicy::default())
+            .unwrap();
+        // Incompressible and nothing to dedup against: the first
+        // checkpoint streams raw (all-Raw framing would only add a table).
+        assert_eq!(o1, FramedOutcome::Raw);
+
+        // Second checkpoint: mutate one chunk; with a raw base there is no
+        // installed generation, still raw.
+        data[300] ^= 0xA5;
+        let src2 = VecSource {
+            data: data.clone(),
+            step: 2,
+        };
+        let d2 = pccheck_gpu::SnapshotSource::digest(&src2).0;
+        let (_, o2) = pipeline
+            .checkpoint_framed(ctx, &src2, 2, d2, DeltaPolicy::default())
+            .unwrap();
+        assert_eq!(o2, FramedOutcome::Raw, "no generation installed yet");
+
+        // Seed a framed generation: make the payload self-redundant once.
+        let half: Vec<u8> = data[..2048].to_vec();
+        let mut doubled = half.clone();
+        doubled.extend_from_slice(&half);
+        let src3 = VecSource {
+            data: doubled.clone(),
+            step: 3,
+        };
+        let d3 = pccheck_gpu::SnapshotSource::digest(&src3).0;
+        let (_, o3) = pipeline
+            .checkpoint_framed(ctx, &src3, 3, d3, DeltaPolicy::default())
+            .unwrap();
+        assert!(
+            matches!(o3, FramedOutcome::Framed { .. }),
+            "self-redundant payload frames: {o3:?}"
+        );
+
+        // Fourth: nearly identical to the third → base dedup kicks in.
+        let mut data4 = doubled.clone();
+        data4[100] ^= 0x5A;
+        let src4 = VecSource {
+            data: data4.clone(),
+            step: 4,
+        };
+        let d4 = pccheck_gpu::SnapshotSource::digest(&src4).0;
+        let (commit, o4) = pipeline
+            .checkpoint_framed(ctx, &src4, 4, d4, DeltaPolicy::default())
+            .unwrap();
+        assert_eq!(commit, CommitOutcome::Committed);
+        let FramedOutcome::Framed { dedup_chunks, payload_len, .. } = o4 else {
+            panic!("near-duplicate of a framed base must frame, got {o4:?}");
+        };
+        assert!(dedup_chunks >= 14, "most chunks deduplicate: {dedup_chunks}");
+        assert!(payload_len < 1024, "tiny physical payload: {payload_len}");
+        let meta = pipeline.store().latest_committed().unwrap();
+        assert!(meta.is_delta(), "base references pin the base via a link");
+        assert_eq!(meta.delta.unwrap().base_counter, 3);
+
+        // Newest recovers through the base-reference resolution path.
+        let rec = crate::recovery::recover(device).unwrap();
+        assert_eq!(rec.iteration, 4);
+        assert_eq!(rec.payload, data4);
+    }
+
+    #[test]
+    fn framed_declines_incompressible_dense_payloads() {
+        let (_device, pipeline) = framed_rig(4096, 256, 16);
+        let mut data = vec![0u8; 4096];
+        pccheck_util::rng::fill_deterministic(&mut data, 99);
+        let src = VecSource { data, step: 1 };
+        let telemetry = Telemetry::disabled();
+        let ctx = test_ctx(&telemetry);
+        let digest = pccheck_gpu::SnapshotSource::digest(&src).0;
+        let (commit, outcome) = pipeline
+            .checkpoint_framed(ctx, &src, 1, digest, DeltaPolicy::default())
+            .unwrap();
+        assert_eq!(commit, CommitOutcome::Committed);
+        assert_eq!(outcome, FramedOutcome::Raw, "dense payloads stream raw");
+        let meta = pipeline.store().latest_committed().unwrap();
+        assert_eq!(meta.payload_len, 4096, "raw fallback commits legacy shape");
+    }
+
+    #[test]
+    fn framed_declines_when_pool_cannot_stage_the_snapshot() {
+        // 16 chunks needed, pool holds 4: the codec must decline rather
+        // than deadlock on the staging pool.
+        let (_device, pipeline) = framed_rig(4096, 256, 4);
+        let data: Vec<u8> = (0..4096u32).map(|i| (i / 192) as u8).collect();
+        let src = VecSource { data, step: 1 };
+        let telemetry = Telemetry::disabled();
+        let ctx = test_ctx(&telemetry);
+        let digest = pccheck_gpu::SnapshotSource::digest(&src).0;
+        let (commit, outcome) = pipeline
+            .checkpoint_framed(ctx, &src, 1, digest, DeltaPolicy::default())
+            .unwrap();
+        assert_eq!(commit, CommitOutcome::Committed);
+        assert_eq!(outcome, FramedOutcome::Raw);
+    }
+
+    #[test]
+    fn disabling_codec_clears_dedup_generations() {
+        let (_device, pipeline) = framed_rig(4096, 256, 16);
+        let mut data = vec![0u8; 4096];
+        pccheck_util::rng::fill_deterministic(&mut data[..2048], 7);
+        let tail = data[..2048].to_vec();
+        data[2048..].copy_from_slice(&tail);
+        let src = VecSource {
+            data: data.clone(),
+            step: 1,
+        };
+        let telemetry = Telemetry::disabled();
+        let ctx = test_ctx(&telemetry);
+        let digest = pccheck_gpu::SnapshotSource::digest(&src).0;
+        let (_, o) = pipeline
+            .checkpoint_framed(ctx, &src, 1, digest, DeltaPolicy::default())
+            .unwrap();
+        assert!(matches!(o, FramedOutcome::Framed { .. }));
+        assert!(pipeline.codec.dedup.lock().generation_counter(None).is_some());
+        pipeline.set_codec_enabled(false);
+        assert!(
+            pipeline.codec.dedup.lock().generation_counter(None).is_none(),
+            "disable drops generations; re-enable starts cold"
+        );
+        pipeline.set_codec_enabled(true);
+        assert!(pipeline.codec.dedup.lock().generation_counter(None).is_none());
     }
 }

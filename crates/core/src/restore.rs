@@ -36,13 +36,14 @@ use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
 use pccheck_device::{
-    fnv1a, fnv1a_fold, ChunkDigestTable, ExtentTable, HostBuffer, HostBufferPool, PersistentDevice,
-    FNV_SEED,
+    chunk_digest, fnv1a, fnv1a_fold, ChunkDigestTable, ExtentTable, HostBuffer, HostBufferPool,
+    PersistentDevice, FNV_SEED,
 };
 use pccheck_gpu::{Gpu, RestoreTarget};
 use pccheck_telemetry::{FlightEventKind, Phase, Telemetry};
 use pccheck_util::ByteSize;
 
+use crate::codec::{lz_decompress, payload_digest_matches, ChunkEncoding, FrameTable, FRAME_MAGIC};
 use crate::error::PccheckError;
 use crate::meta::{checksum, CheckMeta};
 use crate::pipeline::PipelineCtx;
@@ -99,8 +100,10 @@ impl RestoreSink for RestoreTarget {
 /// cannot change mid-pass, so retrying is wasted I/O.
 #[derive(Debug, Default)]
 pub struct LayerCache {
-    /// Verified full payloads (delta-chain roots).
-    full: HashMap<(u64, u32), Option<Arc<Vec<u8>>>>,
+    /// Verified full payloads (delta-chain roots) with the full-state
+    /// digest they verified against (for legacy roots that is the meta
+    /// digest; for framed roots, the frame's end-to-end digest).
+    full: HashMap<(u64, u32), Option<(Arc<Vec<u8>>, u64)>>,
     /// Verified delta payloads: decoded extent table + raw slot payload
     /// with every per-extent digest already checked.
     delta: HashMap<(u64, u32), Option<Arc<(ExtentTable, Vec<u8>)>>>,
@@ -129,6 +132,10 @@ pub struct RestorePipeline {
     /// Digest tables probed ahead of the fetches, keyed `(counter, slot)`.
     /// A present `None` means "probed, no usable table" — don't re-read.
     tables: Arc<Mutex<HashMap<(u64, u32), Option<ChunkDigestTable>>>>,
+    /// Memoized payload-head classification (framed or not), keyed
+    /// `(counter, slot)` — chain walks re-ask per candidate and the device
+    /// contents cannot change mid-pass.
+    framed: Arc<Mutex<HashMap<(u64, u32), bool>>>,
 }
 
 impl RestorePipeline {
@@ -140,6 +147,7 @@ impl RestorePipeline {
             chunk: ByteSize::from_bytes(DEFAULT_READ_CHUNK),
             pool: None,
             tables: Arc::new(Mutex::new(HashMap::new())),
+            framed: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -616,6 +624,110 @@ impl RestorePipeline {
         }
     }
 
+    /// Whether `meta`'s payload begins with a chunk-frame table (the codec
+    /// persist path). Unreadable heads count as not framed — the candidate
+    /// then fails verification on whichever path it is routed to.
+    pub fn is_framed(&self, meta: &CheckMeta) -> bool {
+        if meta.payload_len < 8 {
+            return false;
+        }
+        let key = (meta.counter, meta.slot);
+        if let Some(&f) = self.framed.lock().get(&key) {
+            return f;
+        }
+        let mut head = [0u8; 8];
+        let f = self
+            .store
+            .device()
+            .read_durable_at(self.store.slot_payload_offset(meta.slot), &mut head)
+            .is_ok()
+            && u64::from_le_bytes(head) == FRAME_MAGIC;
+        self.framed.lock().insert(key, f);
+        f
+    }
+
+    /// Reads, decodes, and fully materializes a framed (codec) payload:
+    /// decompresses LZ chunks, copies self-dedup references, and resolves
+    /// base-dedup references with one read into the base checkpoint named
+    /// by each record (found among `candidates`). Every chunk re-verifies
+    /// its content address and the reconstructed payload verifies against
+    /// the frame's end-to-end digest.
+    ///
+    /// Returns `(logical payload, full-state digest)`; `None` on any torn
+    /// table, failed read, or digest mismatch — the caller falls back to
+    /// an older candidate, like every other verification failure.
+    pub fn fetch_framed(
+        &self,
+        ctx: PipelineCtx<'_>,
+        meta: &CheckMeta,
+        candidates: &[CheckMeta],
+    ) -> Option<(Vec<u8>, u64)> {
+        let slot_base = self.store.slot_payload_offset(meta.slot);
+        let mut payload = vec![0u8; usize::try_from(meta.payload_len).ok()?];
+        self.read_chunk(ctx, slot_base, 0, &mut payload).ok()?;
+        let table = FrameTable::decode(&payload)?;
+        let table_len = usize::try_from(table.encoded_len()).ok()?;
+        // The commit's digest is the table checksum: binds frame to meta.
+        if checksum(payload.get(..table_len)?) != meta.digest || table.counter != meta.counter {
+            return None;
+        }
+        let packed = payload.get(table_len..)?;
+
+        let mut out = vec![0u8; usize::try_from(table.logical_len).ok()?];
+        // Base payloads read once per referenced checkpoint, not per chunk.
+        let mut bases: HashMap<(u64, u32), Option<(CheckMeta, Vec<u8>)>> = HashMap::new();
+        let mut offsets = Vec::with_capacity(table.records.len());
+        let mut off = 0usize;
+        for r in &table.records {
+            offsets.push(off);
+            let n = usize::try_from(r.logical_len).ok()?;
+            match r.kind {
+                ChunkEncoding::Raw => {
+                    let end = usize::try_from(r.a.checked_add(r.b)?).ok()?;
+                    let src = packed.get(usize::try_from(r.a).ok()?..end)?;
+                    out.get_mut(off..off + n)?.copy_from_slice(src);
+                }
+                ChunkEncoding::Lz => {
+                    let end = usize::try_from(r.a.checked_add(r.b)?).ok()?;
+                    let src = packed.get(usize::try_from(r.a).ok()?..end)?;
+                    let decoded = lz_decompress(src, n)?;
+                    out.get_mut(off..off + n)?.copy_from_slice(&decoded);
+                }
+                ChunkEncoding::DedupSelf => {
+                    // Decode validated aux as a backward materialized
+                    // reference of equal logical length.
+                    let j = offsets[r.aux as usize];
+                    out.copy_within(j..j + n, off);
+                }
+                ChunkEncoding::DedupBase => {
+                    let key = (r.a, r.aux);
+                    let entry = bases.entry(key).or_insert_with(|| {
+                        let base = candidates
+                            .iter()
+                            .find(|c| c.counter == r.a && c.slot == r.aux)?;
+                        let mut buf = vec![0u8; usize::try_from(base.payload_len).ok()?];
+                        self.read_chunk(ctx, self.store.slot_payload_offset(base.slot), 0, &mut buf)
+                            .ok()?;
+                        Some((*base, buf))
+                    });
+                    let (base_meta, base_payload) = entry.as_ref()?;
+                    let chunk =
+                        resolve_base_chunk(base_meta, base_payload, r.digest, r.b, r.logical_len)?;
+                    out.get_mut(off..off + n)?.copy_from_slice(&chunk);
+                }
+            }
+            // Every chunk re-verifies its content address regardless of how
+            // it was resolved — a stale or colliding base reference fails
+            // here, never silently corrupts.
+            if chunk_digest(out.get(off..off + n)?) != r.digest {
+                return None;
+            }
+            off += n;
+        }
+        payload_digest_matches(&out, meta.iteration, table.full_digest)
+            .then_some((out, table.full_digest))
+    }
+
     /// Reconstructs the full state a delta candidate represents, fetching
     /// every uncached chain layer in parallel and reusing `cache` across
     /// candidates within one recovery pass.
@@ -638,10 +750,17 @@ impl RestorePipeline {
         candidates: &[CheckMeta],
         cache: &mut LayerCache,
     ) -> Option<(Vec<u8>, u64, u64)> {
-        // Collect the chain newest→root from the committed candidates.
+        // Collect the chain newest→root from the committed candidates. A
+        // framed (codec) layer ends the walk: it materializes the complete
+        // logical state on its own (resolving its base references with
+        // direct slot reads), so it serves as the chain's root even when
+        // its commit carries a link.
         let mut chain = vec![*meta];
         loop {
             let head = chain.last().expect("chain starts non-empty");
+            if self.is_framed(head) {
+                break;
+            }
             let Some(link) = head.delta else { break };
             if chain.len() > candidates.len() {
                 return None; // cycle or longer than the slot count can hold
@@ -673,7 +792,13 @@ impl RestorePipeline {
                 });
             }
             if !cache.full.contains_key(&root_key) {
-                let payload = self.fetch_verified(ctx, &root).map(Arc::new);
+                let payload = if self.is_framed(&root) {
+                    self.fetch_framed(ctx, &root, candidates)
+                        .map(|(p, fd)| (Arc::new(p), fd))
+                } else {
+                    self.fetch_verified(ctx, &root)
+                        .map(|p| (Arc::new(p), root.digest))
+                };
                 cache.full.insert(root_key, payload);
             }
         });
@@ -682,8 +807,9 @@ impl RestorePipeline {
         }
 
         // Replay root→newest over a copy of the verified root image.
-        let mut state = (**cache.full.get(&root_key)?.as_ref()?).clone();
-        let mut full_digest = root.digest;
+        let (root_payload, root_digest) = cache.full.get(&root_key)?.as_ref()?;
+        let mut state = (**root_payload).clone();
+        let mut full_digest = *root_digest;
         for delta in chain.iter().rev().skip(1) {
             let layer = Arc::clone(cache.delta.get(&(delta.counter, delta.slot))?.as_ref()?);
             let (table, payload) = &*layer;
@@ -770,6 +896,49 @@ impl RestorePipeline {
                 .all(|(rec, &off)| fnv1a(&payload[off..off + rec.len as usize]) == rec.digest)
         };
         ok.then(|| Arc::new((table, payload)))
+    }
+}
+
+/// Resolves one base-dedup reference from the base checkpoint's raw slot
+/// payload: a framed base answers from the materialized record matching
+/// the reference's content address; a legacy full base answers the logical
+/// byte range directly. Extent-delta bases are never valid dedup targets
+/// (the persist path only installs materialized framed chunks), so they
+/// resolve to `None`.
+fn resolve_base_chunk(
+    base: &CheckMeta,
+    payload: &[u8],
+    digest: u64,
+    logical_off: u64,
+    len: u64,
+) -> Option<Vec<u8>> {
+    let n = usize::try_from(len).ok()?;
+    let framed =
+        payload.len() >= 8 && u64::from_le_bytes(payload[..8].try_into().ok()?) == FRAME_MAGIC;
+    if framed {
+        let table = FrameTable::decode(payload)?;
+        let table_len = usize::try_from(table.encoded_len()).ok()?;
+        if checksum(payload.get(..table_len)?) != base.digest {
+            return None;
+        }
+        let packed = payload.get(table_len..)?;
+        let rec = table
+            .records
+            .iter()
+            .find(|r| r.kind.is_materialized() && r.digest == digest && r.logical_len == len)?;
+        let end = usize::try_from(rec.a.checked_add(rec.b)?).ok()?;
+        let src = packed.get(usize::try_from(rec.a).ok()?..end)?;
+        match rec.kind {
+            ChunkEncoding::Raw => Some(src.to_vec()),
+            ChunkEncoding::Lz => lz_decompress(src, n),
+            _ => None,
+        }
+    } else if base.delta.is_none() {
+        // Legacy full checkpoint: logical bytes are the physical payload.
+        let start = usize::try_from(logical_off).ok()?;
+        Some(payload.get(start..start.checked_add(n)?)?.to_vec())
+    } else {
+        None
     }
 }
 
@@ -866,7 +1035,30 @@ fn recover_core(
         // `verified` is `Some((Some(payload) | None-if-streamed, digest))`
         // on success; any failure — torn payload, bad digest, *or a device
         // read fault* — rejects only this candidate and falls back.
-        let verified: Option<(Option<Vec<u8>>, u64)> = if meta.is_delta() {
+        let verified: Option<(Option<Vec<u8>>, u64)> = if pipeline.is_framed(meta) {
+            // Framed (codec) payload: decode, decompress, resolve dedup
+            // references, and verify end to end — whether or not the
+            // commit carries a base link.
+            let load_t0 = Instant::now();
+            let load_start = telemetry.now_nanos();
+            let out = pipeline.fetch_framed(ctx, meta, &candidates);
+            trace.load_nanos += load_t0.elapsed().as_nanos() as u64;
+            telemetry.phase_done(span, Phase::RecoveryLoad, load_start);
+            telemetry.phase_done(span, Phase::RecoveryVerify, load_start);
+            out.map(|(payload, digest)| {
+                trace.chain_links = meta.delta.map_or(0, |_| 1);
+                let payload = match gpu {
+                    Some(gpu) => {
+                        let upload_start = telemetry.now_nanos();
+                        gpu.restore(&payload, meta.iteration);
+                        telemetry.phase_done(span, Phase::RestoreUpload, upload_start);
+                        None
+                    }
+                    None => Some(payload),
+                };
+                (payload, digest)
+            })
+        } else if meta.is_delta() {
             let replay_t0 = Instant::now();
             let replay_start = telemetry.now_nanos();
             let out = pipeline.replay_delta_chain(ctx, meta, &candidates, &mut cache);

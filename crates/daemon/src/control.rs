@@ -6,8 +6,10 @@
 //!
 //! * `/jobs` — one status object per job (running, drained, queued).
 //! * `/submit?name=<n>[&state_kb=..][&n=..][&weight=..][&budget_kb=..]`
-//!   `[&iters=..][&interval=..][&pacing_us=..]` — submit a sim-backed
-//!   job.
+//!   `[&iters=..][&interval=..][&pacing_us=..][&codec=1][&adaptive=..]`
+//!   `[&period=..]` — submit a sim-backed job (`codec=1` requests the
+//!   chunk codec, `adaptive=N` re-tunes every N checkpoints, `period=P`
+//!   trains on a P-byte-tiled compressible state).
 //! * `/drain?name=<n>` — stop and drain a job (or unqueue it).
 //! * `/shutdown` — ask the daemon's serve loop to exit.
 
@@ -30,7 +32,7 @@ fn status_json(s: &JobStatus) -> String {
     format!(
         "{{\"id\":{},\"name\":\"{}\",\"state\":\"{}\",\"concurrent\":{},\
          \"committed\":{},\"bytes_persisted\":{},\"qos_share\":{:.4},\
-         \"last_iteration\":{}}}",
+         \"last_iteration\":{},\"codec\":{}}}",
         s.id,
         json_escape(&s.name),
         s.state.name(),
@@ -40,6 +42,7 @@ fn status_json(s: &JobStatus) -> String {
         s.qos_share,
         s.last_iteration
             .map_or("null".to_string(), |i| i.to_string()),
+        s.codec,
     )
 }
 
@@ -83,6 +86,9 @@ fn spec_from_query(params: &[(&str, &str)]) -> Result<JobSpec, String> {
     spec.iterations = parse_u64("iters", spec.iterations)?;
     spec.interval = parse_u64("interval", spec.interval)?;
     spec.pacing = std::time::Duration::from_micros(parse_u64("pacing_us", 0)?);
+    spec.codec = parse_u64("codec", 0)? != 0;
+    spec.adaptive_interval = parse_u64("adaptive", 0)?;
+    spec.compress_period = parse_u64("period", 0)? as usize;
     Ok(spec)
 }
 
@@ -279,6 +285,9 @@ mod tests {
             ("budget_kb", "512"),
             ("iters", "9"),
             ("interval", "3"),
+            ("codec", "1"),
+            ("adaptive", "8"),
+            ("period", "64"),
         ];
         let spec = spec_from_query(&params).unwrap();
         assert_eq!(spec.state, ByteSize::from_kb(32));
@@ -287,6 +296,10 @@ mod tests {
         assert_eq!(spec.storage_budget, ByteSize::from_kb(512));
         assert_eq!(spec.iterations, 9);
         assert_eq!(spec.interval, 3);
+        assert!(spec.codec);
+        assert_eq!(spec.adaptive_interval, 8);
+        assert_eq!(spec.compress_period, 64);
+        assert!(!spec_from_query(&[("name", "a")]).unwrap().codec);
         assert!(spec_from_query(&[("name", "bad name")]).is_err());
         assert!(spec_from_query(&[("state_kb", "1")]).is_err());
         assert!(spec_from_query(&[("name", "a"), ("n", "x")]).is_err());

@@ -54,6 +54,18 @@ pub struct JobSpec {
     /// trains flat-out (a saturating tenant); nonzero paces the
     /// checkpoint cadence the way real iteration time does.
     pub pacing: std::time::Duration,
+    /// Whether this tenant asks for the chunk codec (compression +
+    /// dedup framing). Granted only if the operator's
+    /// [`SystemParams::allow_codec`] also permits it.
+    pub codec: bool,
+    /// Per-job controller cadence: re-tune this tenant's persist path
+    /// every this many checkpoint requests (`0` disables adaptation).
+    pub adaptive_interval: u64,
+    /// When nonzero, the sim worker trains on a *compressible* state
+    /// built from tiled `compress_period`-byte blocks instead of the
+    /// default incompressible RNG fill — the knob that makes the codec
+    /// worth granting.
+    pub compress_period: usize,
 }
 
 impl JobSpec {
@@ -69,6 +81,9 @@ impl JobSpec {
             interval: 2,
             iterations: 20,
             pacing: std::time::Duration::ZERO,
+            codec: false,
+            adaptive_interval: 0,
+            compress_period: 0,
         }
     }
 }
@@ -115,6 +130,9 @@ pub struct JobStatus {
     pub qos_share: f64,
     /// Latest committed iteration, if any.
     pub last_iteration: Option<u64>,
+    /// Whether the chunk codec was granted at admission (false while
+    /// queued).
+    pub codec: bool,
 }
 
 /// Outcome of [`Daemon::submit`].
@@ -145,6 +163,9 @@ pub struct DaemonConfig {
     pub chunk_size: ByteSize,
     /// Shared staging-pool chunks.
     pub dram_chunks: usize,
+    /// Whether the shared pipeline stands up codec infrastructure at
+    /// all (per-tenant grants still gate each job's framed path).
+    pub codec: bool,
     /// QoS arbiter tuning.
     pub qos: QosConfig,
     /// System parameters for per-tenant admission math.
@@ -164,6 +185,7 @@ impl DaemonConfig {
             writer_threads: 4,
             chunk_size: ByteSize::from_kb(16),
             dram_chunks: 16,
+            codec: true,
             qos: QosConfig::default(),
             system: SystemParams::default(),
         }
@@ -175,6 +197,7 @@ struct JobEntry {
     spec: JobSpec,
     state: JobState,
     concurrent: usize,
+    codec: bool,
     engine: Option<Arc<PcCheckEngine>>,
     telemetry: Telemetry,
     stop: Arc<AtomicBool>,
@@ -245,6 +268,7 @@ impl Daemon {
             PersistPipeline::new(Arc::clone(&store))
                 .with_writers(config.writer_threads)
                 .with_staging(pool)
+                .with_codec(config.codec)
                 .with_qos(Arc::clone(&qos)),
         );
         let registry = MetricsRegistry::new(root);
@@ -337,8 +361,12 @@ impl Daemon {
                 self.state.lock().pending.push_back(spec);
                 Ok(SubmitOutcome::Queued(reason))
             }
-            Admission::Admitted { concurrent, slots } => {
-                let status = self.start_job(spec, concurrent, slots)?;
+            Admission::Admitted {
+                concurrent,
+                slots,
+                codec,
+            } => {
+                let status = self.start_job(spec, concurrent, slots, codec)?;
                 Ok(SubmitOutcome::Admitted(status))
             }
         }
@@ -349,7 +377,11 @@ impl Daemon {
         spec: JobSpec,
         concurrent: usize,
         slots: u32,
+        codec: bool,
     ) -> Result<JobStatus, PccheckError> {
+        // The grant is only real if the shared pipeline stood the codec
+        // infrastructure up; a raw daemon serves codec tenants raw.
+        let codec = codec && self.config.codec;
         let id = {
             let mut state = self.state.lock();
             state.next_id += 1;
@@ -366,6 +398,8 @@ impl Daemon {
                     .writer_threads(self.config.writer_threads)
                     .chunk_size(self.config.chunk_size)
                     .dram_chunks(self.config.dram_chunks)
+                    .codec(codec)
+                    .adaptive_interval(spec.adaptive_interval)
                     .build()?,
                 Arc::clone(&self.pipeline),
                 id,
@@ -378,10 +412,12 @@ impl Daemon {
             let stop = Arc::clone(&stop);
             let spec = spec.clone();
             std::thread::spawn(move || -> Result<(), PccheckError> {
-                let gpu = Gpu::new(
-                    GpuConfig::fast_for_tests(),
-                    TrainingState::synthetic(spec.state, id),
-                );
+                let state = if spec.compress_period > 0 {
+                    TrainingState::compressible(spec.state, id, spec.compress_period)
+                } else {
+                    TrainingState::synthetic(spec.state, id)
+                };
+                let gpu = Gpu::new(GpuConfig::fast_for_tests(), state);
                 for iter in 1..=spec.iterations {
                     if stop.load(Ordering::Acquire) {
                         break;
@@ -406,12 +442,14 @@ impl Daemon {
             bytes_persisted: 0,
             qos_share: 0.0,
             last_iteration: None,
+            codec,
         };
         self.state.lock().jobs.push(JobEntry {
             id,
             spec,
             state: JobState::Running,
             concurrent,
+            codec,
             engine: Some(engine),
             telemetry,
             stop,
@@ -494,8 +532,12 @@ impl Daemon {
                 free_ns,
                 &self.config.system,
             ) {
-                Admission::Admitted { concurrent, slots } => {
-                    if self.start_job(spec, concurrent, slots).is_err() {
+                Admission::Admitted {
+                    concurrent,
+                    slots,
+                    codec,
+                } => {
+                    if self.start_job(spec, concurrent, slots, codec).is_err() {
                         return;
                     }
                 }
@@ -544,6 +586,7 @@ impl Daemon {
                     bytes_persisted: bytes,
                     qos_share: share_of(j.id),
                     last_iteration,
+                    codec: j.codec,
                 }
             })
             .collect();
@@ -556,6 +599,7 @@ impl Daemon {
             bytes_persisted: 0,
             qos_share: 0.0,
             last_iteration: None,
+            codec: false,
         }));
         rows
     }
@@ -688,6 +732,45 @@ mod tests {
         daemon.drain("c").unwrap();
         assert_eq!(daemon.jobs().len(), 2);
         daemon.join_all().unwrap();
+        let report = daemon.shutdown().unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn codec_tenant_saves_bytes_while_a_raw_tenant_rides_along() {
+        let daemon = Daemon::new(DaemonConfig::sim_default()).unwrap();
+        // A codec tenant with a highly redundant state (32-byte tiled
+        // blocks) and a raw tenant sharing the same pipeline.
+        let packed = JobSpec {
+            codec: true,
+            compress_period: 32,
+            adaptive_interval: 4,
+            ..JobSpec::sim("packed")
+        };
+        let raw = JobSpec::sim("raw");
+        let SubmitOutcome::Admitted(status) = daemon.submit(packed).unwrap() else {
+            panic!("codec job should admit");
+        };
+        assert!(status.codec, "codec grant should survive admission");
+        daemon.submit(raw).unwrap();
+        daemon.join_all().unwrap();
+        let rows = daemon.jobs();
+        for row in &rows {
+            assert!(row.committed >= 1, "job {} never committed", row.name);
+            assert_eq!(row.codec, row.name == "packed");
+        }
+        // The codec tenant's own telemetry shows framed savings; the raw
+        // tenant's shows none.
+        let packed_t = daemon.job_telemetry("packed").unwrap();
+        let snap = packed_t.snapshot().unwrap();
+        assert!(
+            snap.codec_bytes_saved > 0 || snap.dedup_chunks > 0,
+            "codec tenant saved nothing: {snap:?}"
+        );
+        let raw_t = daemon.job_telemetry("raw").unwrap();
+        let raw_snap = raw_t.snapshot().unwrap();
+        assert_eq!(raw_snap.codec_bytes_saved, 0);
+        assert_eq!(raw_snap.dedup_chunks, 0);
         let report = daemon.shutdown().unwrap();
         assert!(report.is_clean(), "{:?}", report.violations);
     }

@@ -26,42 +26,10 @@ pub const EXTENT_TABLE_HEADER: usize = 24;
 /// Encoded size of one [`ExtentRecord`].
 pub const EXTENT_RECORD_SIZE: usize = 24;
 
-/// FNV-1a seed, shared with the checkpoint metadata checksum.
-pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// Folds `data` into a running FNV-1a state (start from [`FNV_SEED`]).
-pub fn fnv1a_fold(mut h: u64, data: &[u8]) -> u64 {
-    for b in data {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
-
-/// FNV-1a of `data` from the standard seed.
-pub fn fnv1a(data: &[u8]) -> u64 {
-    fnv1a_fold(FNV_SEED, data)
-}
-
-/// Fast per-chunk digest for [`ChunkDigestTable`](crate::ChunkDigestTable)
-/// entries: FNV-style mix folding eight bytes per multiply instead of one.
-///
-/// Restore verifies one digest per in-flight chunk *on the read path*, so
-/// digest throughput bounds how much verification can overlap I/O —
-/// byte-serial FNV-1a (~hundreds of MB/s) would make a multi-reader
-/// restore CPU-bound on small hosts. This variant is ~8× faster and only
-/// ever compared against digests produced by the same function in the
-/// same table, so it needs no compatibility with the whole-payload
-/// FNV-1a disciplines.
-pub fn chunk_digest(data: &[u8]) -> u64 {
-    let mut h = FNV_SEED ^ (data.len() as u64);
-    let words = data.len() / 8;
-    for w in data[..words * 8].chunks_exact(8) {
-        h ^= u64::from_le_bytes(w.try_into().expect("8-byte window"));
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    fnv1a_fold(h, &data[words * 8..])
-}
+// Canonical digest implementations live in `pccheck_util::fnv`; re-export
+// them here so the historical `pccheck_device::{FNV_SEED, fnv1a, ...}`
+// import paths keep working for every downstream crate.
+pub use pccheck_util::fnv::{chunk_digest, fnv1a, fnv1a_fold, FNV_SEED};
 
 /// One dirty range of the full state, with a digest of its packed bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -26,12 +26,10 @@ impl StateDigest {
     /// to verify a candidate payload against its stored digest when only
     /// the flat bytes survive the crash.
     pub fn of_payload(payload: &[u8], step: u64) -> StateDigest {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ step;
-        for b in payload {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        StateDigest(h)
+        StateDigest(pccheck_util::fnv::fnv1a_fold(
+            pccheck_util::fnv::FNV_SEED ^ step,
+            payload,
+        ))
     }
 }
 
@@ -72,6 +70,39 @@ impl Tensor {
         ByteSize::from_bytes(self.data.len() as u64)
     }
 
+    /// Creates a tensor whose contents are one pseudo-random `period`-byte
+    /// block tiled across the whole tensor — redundant (chunk dedup
+    /// collapses aligned repeats) and LZ-compressible (every block after
+    /// the first is a back-reference), with the redundancy knob being the
+    /// period: `period == size` degenerates to [`synthetic`]'s
+    /// incompressible noise. The [`step`] transform maps each byte
+    /// independently of its position, so the tiling — and with it the
+    /// compressibility — survives optimizer updates.
+    ///
+    /// [`synthetic`]: Tensor::synthetic
+    /// [`step`]: Tensor::step
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn compressible(
+        name: impl Into<String>,
+        size: ByteSize,
+        seed: u64,
+        period: usize,
+    ) -> Self {
+        assert!(period > 0, "period must be positive");
+        let name = name.into();
+        let mut data = vec![0u8; size.as_usize()];
+        let p = period.min(data.len().max(1));
+        let mut block = vec![0u8; p];
+        rng::fill_deterministic(&mut block, rng::derive_seed(seed, &name));
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = block[i % p];
+        }
+        Tensor { name, data }
+    }
+
     /// Applies one deterministic "optimizer step" to this tensor: every byte
     /// changes as a function of the step counter, so distinct steps yield
     /// distinct contents (a torn or stale checkpoint cannot masquerade as a
@@ -94,12 +125,8 @@ impl Tensor {
         }
     }
 
-    fn fnv(&self, mut h: u64) -> u64 {
-        for b in &self.data {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        h
+    fn fnv(&self, h: u64) -> u64 {
+        pccheck_util::fnv::fnv1a_fold(h, &self.data)
     }
 }
 
@@ -147,6 +174,26 @@ impl TrainingState {
             Tensor::synthetic("params", shares[0], seed),
             Tensor::synthetic("adam_m", shares[1], seed),
             Tensor::synthetic("adam_v", shares[2], seed),
+        ];
+        TrainingState { tensors, step: 0 }
+    }
+
+    /// Builds a synthetic state like [`synthetic`](TrainingState::synthetic)
+    /// but with [`Tensor::compressible`] contents: each of the three
+    /// optimizer tensors is a `period`-byte block tiled to size. Used by
+    /// the codec benchmarks and the `ext_compress` harness to sweep
+    /// payload compressibility at the engine level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or `period == 0`.
+    pub fn compressible(total: ByteSize, seed: u64, period: usize) -> Self {
+        assert!(!total.is_zero(), "state must be non-empty");
+        let shares = total.split_even(3);
+        let tensors = vec![
+            Tensor::compressible("params", shares[0], seed, period),
+            Tensor::compressible("adam_m", shares[1], seed, period),
+            Tensor::compressible("adam_v", shares[2], seed, period),
         ];
         TrainingState { tensors, step: 0 }
     }
@@ -223,7 +270,7 @@ impl TrainingState {
 
     /// Digest over the step counter and all tensor bytes.
     pub fn digest(&self) -> StateDigest {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.step;
+        let mut h: u64 = pccheck_util::fnv::FNV_SEED ^ self.step;
         for t in &self.tensors {
             h = t.fnv(h);
         }

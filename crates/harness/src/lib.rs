@@ -6,6 +6,7 @@
 //! plots' data. The `pccheck-bench` crate wraps the same entry points as
 //! `cargo bench` targets.
 
+pub mod ext_compress;
 pub mod ext_delta;
 pub mod ext_h100;
 pub mod ext_jit;

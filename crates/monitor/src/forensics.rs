@@ -32,12 +32,19 @@
 //!    ring can never be ahead of the durable pointer).
 //! 5. **Committed slots are intact** — the payload of every slot holding
 //!    a complete checkpoint verifies against its recorded digest (for a
-//!    delta slot: the extent table at the head of the payload).
+//!    delta slot: the extent table at the head of the payload; for a
+//!    chunk-framed codec slot: the frame table, bound to the commit's
+//!    counter).
 //! 6. **Delta chains are whole** — when the recovery target is a delta
 //!    checkpoint, every base pointer lands on a slot still holding that
 //!    base (superseded bases stay pinned until their dependents retire),
 //!    every base committed per the ring, and replaying the chain
-//!    reconstructs a state matching the newest table's full digest.
+//!    reconstructs a state matching the newest table's full digest. A
+//!    chunk-framed layer roots the chain: it materializes the complete
+//!    logical state on its own (decompressing LZ chunks and resolving
+//!    self/base dedup references with re-verified content addresses), so
+//!    the auditor replays the frame exactly the way recovery would —
+//!    including for framed recovery targets with no delta link at all.
 //!
 //! A report that violates any invariant means either real corruption or a
 //! bug in the checkpointing protocol — `pccheckctl forensics` exits
@@ -47,9 +54,13 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use pccheck::{CheckMeta, PccheckError, RawStoreView, SlotOutcome};
+use pccheck::{
+    lz_decompress, CheckMeta, ChunkEncoding, FrameTable, PccheckError, RawStoreView, SlotOutcome,
+    FRAME_MAGIC,
+};
 use pccheck_device::{fnv1a, ExtentTable, PersistentDevice};
 use pccheck_gpu::StateDigest;
+use pccheck_util::fnv::chunk_digest;
 use pccheck_telemetry::{FlightEventKind, FlightRecord, FlightRing};
 
 /// How far an in-flight (never terminated) checkpoint got before the
@@ -580,7 +591,9 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
             continue;
         };
         let payload = view.read_slot_payload(device.as_ref(), slot)?;
-        let valid = if meta.is_delta() {
+        let valid = if is_framed_payload(&payload) {
+            framed_table_valid(&payload, &meta)
+        } else if meta.is_delta() {
             delta_table_valid(&payload, meta.digest)
         } else {
             StateDigest::of_payload(&payload, meta.iteration).0 == meta.digest
@@ -646,7 +659,9 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
 
     // Invariant 6: a delta recovery target's chain must be whole, built on
     // committed bases, and replayable to the recorded full-state digest.
-    // Every tenant's head is audited on a service store.
+    // Every tenant's head is audited on a service store. (A framed target
+    // carrying a delta link roots its own chain and replays as a frame
+    // inside `replay_chain`.)
     for target in recovery_targets.iter().filter(|m| m.is_delta()) {
         audit_delta_chain(
             device.as_ref(),
@@ -655,6 +670,23 @@ pub fn audit(device: Arc<dyn PersistentDevice>) -> Result<ForensicReport, Pcchec
             &checkpoints,
             &mut violations,
         )?;
+    }
+
+    // Invariant 6 for unlinked framed targets: a chunk-framed recovery
+    // head with no delta link still resolves chunks out of other slots
+    // (self/base dedup), so it gets the same deep replay a chain root
+    // does — invariant 5's table check alone would miss a torn packed
+    // region or a vanished dedup base.
+    for target in recovery_targets.iter().filter(|m| !m.is_delta()) {
+        let payload = view.read_slot_payload(device.as_ref(), target.slot)?;
+        if is_framed_payload(&payload)
+            && replay_frame(device.as_ref(), &view, target, &payload).is_none()
+        {
+            violations.push(InvariantViolation::TornCommittedSlot {
+                slot: target.slot,
+                counter: target.counter,
+            });
+        }
     }
 
     Ok(ForensicReport {
@@ -700,6 +732,140 @@ fn delta_table_valid(payload: &[u8], digest: u64) -> bool {
         .is_some_and(|t| pccheck_raw_checksum(t) == digest)
 }
 
+/// Whether a slot payload begins with the chunk-frame magic (the codec
+/// persist path).
+fn is_framed_payload(payload: &[u8]) -> bool {
+    payload.len() >= 8
+        && u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")) == FRAME_MAGIC
+}
+
+/// Shallow framed-slot check for invariant 5: the frame table decodes,
+/// is bound to this commit's counter, and matches the meta digest (which
+/// covers the serialized table, exactly like a delta slot's).
+fn framed_table_valid(payload: &[u8], meta: &CheckMeta) -> bool {
+    let Some(table) = FrameTable::decode(payload) else {
+        return false;
+    };
+    let Ok(table_len) = usize::try_from(table.encoded_len()) else {
+        return false;
+    };
+    table.counter == meta.counter
+        && payload
+            .get(..table_len)
+            .is_some_and(|t| pccheck_raw_checksum(t) == meta.digest)
+}
+
+/// Fully materializes a framed slot the way recovery would: decompresses
+/// LZ chunks, copies self-dedup references, resolves base-dedup
+/// references out of the named base slots, re-verifies every chunk's
+/// content address, and checks the reconstructed payload against the
+/// frame's end-to-end digest. Returns `(logical payload, full digest)`;
+/// `None` on any broken promise.
+fn replay_frame(
+    device: &dyn PersistentDevice,
+    view: &RawStoreView,
+    meta: &CheckMeta,
+    payload: &[u8],
+) -> Option<(Vec<u8>, u64)> {
+    let table = FrameTable::decode(payload)?;
+    let table_len = usize::try_from(table.encoded_len()).ok()?;
+    if table.counter != meta.counter
+        || pccheck_raw_checksum(payload.get(..table_len)?) != meta.digest
+    {
+        return None;
+    }
+    let packed = payload.get(table_len..)?;
+    let mut out = vec![0u8; usize::try_from(table.logical_len).ok()?];
+    // Base payloads read once per referenced checkpoint, not per chunk.
+    let mut bases: BTreeMap<(u64, u32), Option<(CheckMeta, Vec<u8>)>> = BTreeMap::new();
+    let mut offsets = Vec::with_capacity(table.records.len());
+    let mut off = 0usize;
+    for r in &table.records {
+        offsets.push(off);
+        let n = usize::try_from(r.logical_len).ok()?;
+        match r.kind {
+            ChunkEncoding::Raw | ChunkEncoding::Lz => {
+                let end = usize::try_from(r.a.checked_add(r.b)?).ok()?;
+                let src = packed.get(usize::try_from(r.a).ok()?..end)?;
+                if r.kind == ChunkEncoding::Raw {
+                    out.get_mut(off..off + n)?.copy_from_slice(src);
+                } else {
+                    out.get_mut(off..off + n)?
+                        .copy_from_slice(&lz_decompress(src, n)?);
+                }
+            }
+            ChunkEncoding::DedupSelf => {
+                let j = *offsets.get(r.aux as usize)?;
+                out.copy_within(j..j + n, off);
+            }
+            ChunkEncoding::DedupBase => {
+                let entry = bases.entry((r.a, r.aux)).or_insert_with(|| {
+                    let base = view
+                        .slot_meta
+                        .get(r.aux as usize)
+                        .copied()
+                        .flatten()
+                        .filter(|m| m.counter == r.a)?;
+                    let buf = view.read_slot_payload(device, base.slot).ok()?;
+                    Some((base, buf))
+                });
+                let (base_meta, base_payload) = entry.as_ref()?;
+                let chunk = base_chunk(base_meta, base_payload, r.digest, r.b, r.logical_len)?;
+                out.get_mut(off..off + n)?.copy_from_slice(&chunk);
+            }
+        }
+        // Every chunk re-verifies its content address regardless of how
+        // it resolved — a stale or colliding base reference fails here.
+        if chunk_digest(out.get(off..off + n)?) != r.digest {
+            return None;
+        }
+        off += n;
+    }
+    let ok = StateDigest::of_payload(&out, meta.iteration).0 == table.full_digest
+        || pccheck_raw_checksum(&out) == table.full_digest;
+    ok.then_some((out, table.full_digest))
+}
+
+/// Resolves one base-dedup reference from the base checkpoint's raw slot
+/// payload: a framed base answers from the materialized record matching
+/// the reference's content address; a legacy full base answers the
+/// logical byte range directly. Extent-delta bases are never valid dedup
+/// targets.
+fn base_chunk(
+    base: &CheckMeta,
+    payload: &[u8],
+    digest: u64,
+    logical_off: u64,
+    len: u64,
+) -> Option<Vec<u8>> {
+    let n = usize::try_from(len).ok()?;
+    if is_framed_payload(payload) {
+        let table = FrameTable::decode(payload)?;
+        let table_len = usize::try_from(table.encoded_len()).ok()?;
+        if pccheck_raw_checksum(payload.get(..table_len)?) != base.digest {
+            return None;
+        }
+        let packed = payload.get(table_len..)?;
+        let rec = table
+            .records
+            .iter()
+            .find(|r| r.kind.is_materialized() && r.digest == digest && r.logical_len == len)?;
+        let end = usize::try_from(rec.a.checked_add(rec.b)?).ok()?;
+        let src = packed.get(usize::try_from(rec.a).ok()?..end)?;
+        match rec.kind {
+            ChunkEncoding::Raw => Some(src.to_vec()),
+            ChunkEncoding::Lz => lz_decompress(src, n),
+            _ => None,
+        }
+    } else if base.delta.is_none() {
+        // Legacy full checkpoint: logical bytes are the physical payload.
+        let start = usize::try_from(logical_off).ok()?;
+        Some(payload.get(start..start.checked_add(n)?)?.to_vec())
+    } else {
+        None
+    }
+}
+
 /// Walks and replays the recovery target's delta chain, pushing a
 /// violation for each broken promise: a dangling base pointer
 /// ([`InvariantViolation::DeltaChainGap`]), a base the ring says never
@@ -716,6 +882,15 @@ fn audit_delta_chain(
     let mut chain = vec![*target];
     loop {
         let head = *chain.last().expect("chain starts non-empty");
+        // A framed layer is self-contained — it ends the walk even when
+        // its commit carries a link (the link only pins its dedup base).
+        let head_framed = view
+            .read_slot_payload(device, head.slot)
+            .map(|p| is_framed_payload(&p))
+            .unwrap_or(false);
+        if head_framed {
+            break;
+        }
         let Some(link) = head.delta else { break };
         let base = view
             .slot_meta
@@ -763,16 +938,24 @@ fn replay_chain(
     chain: &[CheckMeta],
 ) -> Option<Vec<u8>> {
     let root = chain.last()?;
-    if root.is_delta() {
-        return None; // the cycle guard bailed before reaching a full root
-    }
     let mut state = view.read_slot_payload(device, root.slot).ok()?;
-    let root_ok = StateDigest::of_payload(&state, root.iteration).0 == root.digest
-        || pccheck_raw_checksum(&state) == root.digest;
-    if !root_ok {
-        return None;
-    }
     let mut full_digest = root.digest;
+    if is_framed_payload(&state) {
+        // Framed root: materialize it the way recovery would (the frame
+        // verifies its own table, chunks, and end-to-end digest, which
+        // becomes the chain's running full-state digest).
+        let (replayed, frame_digest) = replay_frame(device, view, root, &state)?;
+        state = replayed;
+        full_digest = frame_digest;
+    } else if root.is_delta() {
+        return None; // the cycle guard bailed before reaching a full root
+    } else {
+        let root_ok = StateDigest::of_payload(&state, root.iteration).0 == root.digest
+            || pccheck_raw_checksum(&state) == root.digest;
+        if !root_ok {
+            return None;
+        }
+    }
     let mut final_iter = root.iteration;
     for delta in chain.iter().rev().skip(1) {
         let payload = view.read_slot_payload(device, delta.slot).ok()?;
@@ -807,12 +990,7 @@ fn replay_chain(
 /// FNV-1a over raw payload bytes — the same checksum `pccheck::meta` uses
 /// for opaque (non-training-state) payload digests.
 fn pccheck_raw_checksum(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    pccheck_util::fnv::fnv1a(data)
 }
 
 #[cfg(test)]
@@ -1353,6 +1531,104 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, InvariantViolation::RecoveredNotNewest { .. })));
+    }
+
+    #[test]
+    fn framed_codec_store_audits_clean() {
+        use pccheck::{PcCheckConfig, PcCheckEngine};
+        use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+        let gpu = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::compressible(ByteSize::from_kb(4), 7, 32),
+        );
+        let dev: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(
+            DeviceConfig::fast_for_tests(ByteSize::from_mb_u64(1)),
+        ));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(256))
+            .dram_chunks(16)
+            .flight_records(128)
+            .codec(true)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, Arc::clone(&dev), gpu.state_size()).unwrap();
+        for iter in 1..=6 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        // The audit only proves something if the codec actually framed.
+        let view = RawStoreView::load(dev.as_ref()).unwrap();
+        let framed = (0..view.slots)
+            .filter(|&s| view.slot_meta[s as usize].is_some())
+            .filter(|&s| {
+                view.read_slot_payload(dev.as_ref(), s)
+                    .is_ok_and(|p| is_framed_payload(&p))
+            })
+            .count();
+        assert!(framed > 0, "no slot framed — codec never engaged");
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn torn_framed_recovery_head_is_flagged() {
+        use pccheck::{PcCheckConfig, PcCheckEngine};
+        use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
+        let gpu = Gpu::new(
+            GpuConfig::fast_for_tests(),
+            TrainingState::compressible(ByteSize::from_kb(4), 11, 32),
+        );
+        let dev: Arc<dyn PersistentDevice> = Arc::new(SsdDevice::new(
+            DeviceConfig::fast_for_tests(ByteSize::from_mb_u64(1)),
+        ));
+        let config = PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(2)
+            .chunk_size(ByteSize::from_bytes(256))
+            .dram_chunks(16)
+            .codec(true)
+            .build()
+            .unwrap();
+        let engine = PcCheckEngine::new(config, Arc::clone(&dev), gpu.state_size()).unwrap();
+        for iter in 1..=4 {
+            gpu.update();
+            engine.checkpoint(&gpu, iter);
+            engine.drain();
+        }
+        let view = RawStoreView::load(dev.as_ref()).unwrap();
+        let head = view
+            .slot_meta
+            .iter()
+            .flatten()
+            .max_by_key(|m| m.counter)
+            .copied()
+            .unwrap();
+        let payload = view.read_slot_payload(dev.as_ref(), head.slot).unwrap();
+        assert!(is_framed_payload(&payload), "newest slot should be framed");
+        // Corrupt one byte of the packed chunk region (past the table, so
+        // the shallow table check still passes): only the deep frame
+        // replay catches it.
+        let table = FrameTable::decode(&payload).unwrap();
+        let corrupt_at = table.encoded_len();
+        let slot_off = view.slot_payload_offset(head.slot) + corrupt_at;
+        let mut byte = [0u8; 1];
+        dev.read_durable_at(slot_off, &mut byte).unwrap();
+        byte[0] ^= 0xFF;
+        dev.write_at(slot_off, &byte).unwrap();
+        dev.persist(slot_off, 1).unwrap();
+        dev.crash_now();
+        let report = audit(Arc::clone(&dev)).unwrap();
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                InvariantViolation::TornCommittedSlot { counter, .. } if *counter == head.counter
+            )),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

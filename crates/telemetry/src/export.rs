@@ -106,6 +106,15 @@ pub fn render_summary(snapshot: &TelemetrySnapshot, accounting: &RunAccounting) 
             human_bytes(snapshot.restore_chunk_bytes)
         );
     }
+    if snapshot.codec_bytes_saved > 0 || snapshot.dedup_chunks > 0 {
+        let _ = writeln!(
+            out,
+            "  codec saved {} ({} dedup chunks, last frame {}\u{2030} of logical)",
+            human_bytes(snapshot.codec_bytes_saved),
+            snapshot.dedup_chunks,
+            snapshot.compression_ratio_permille
+        );
+    }
     let _ = writeln!(out, "\n== phase latency ==");
     let _ = writeln!(
         out,

@@ -43,12 +43,7 @@ const RING_MAGIC: u64 = 0x5043_464C_5452_4731; // "PCFLTRG1"
 /// FNV-1a over `data` — the record checksum, same discipline as the
 /// checkpoint metadata records.
 fn checksum(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    pccheck_util::fnv::fnv1a(data)
 }
 
 /// What a flight record witnesses. Discriminants are part of the on-device

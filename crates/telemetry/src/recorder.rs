@@ -91,6 +91,9 @@ pub struct MemoryRecorder {
     restore_chunk_bytes: AtomicU64,
     dirty_ratio_permille: Gauge,
     delta_bytes_saved: AtomicU64,
+    codec_bytes_saved: AtomicU64,
+    dedup_chunks: AtomicU64,
+    compression_ratio_permille: Gauge,
 }
 
 impl Default for MemoryRecorder {
@@ -120,6 +123,9 @@ impl MemoryRecorder {
             restore_chunk_bytes: AtomicU64::new(0),
             dirty_ratio_permille: Gauge::default(),
             delta_bytes_saved: AtomicU64::new(0),
+            codec_bytes_saved: AtomicU64::new(0),
+            dedup_chunks: AtomicU64::new(0),
+            compression_ratio_permille: Gauge::default(),
         }
     }
 
@@ -198,6 +204,9 @@ impl MemoryRecorder {
             dirty_ratio_permille: self.dirty_ratio_permille.current(),
             dirty_ratio_permille_peak: self.dirty_ratio_permille.peak(),
             delta_bytes_saved: self.delta_bytes_saved.load(Ordering::Acquire),
+            codec_bytes_saved: self.codec_bytes_saved.load(Ordering::Acquire),
+            dedup_chunks: self.dedup_chunks.load(Ordering::Acquire),
+            compression_ratio_permille: self.compression_ratio_permille.current(),
             window_nanos: self.now_nanos(),
         }
     }
@@ -245,6 +254,15 @@ pub struct TelemetrySnapshot {
     /// Total payload bytes the delta path avoided persisting versus full
     /// checkpoints of the same iterations.
     pub delta_bytes_saved: u64,
+    /// Total payload bytes the chunk codec (compression + dedup) avoided
+    /// persisting versus raw payloads of the same checkpoints.
+    pub codec_bytes_saved: u64,
+    /// Chunks persisted as dedup references (within or across
+    /// checkpoints) instead of materialized bytes.
+    pub dedup_chunks: u64,
+    /// Last framed commit's physical/logical payload ratio in permille
+    /// (1000 = stored at full size, lower = smaller).
+    pub compression_ratio_permille: u64,
     /// Nanoseconds since the recorder's epoch.
     pub window_nanos: u64,
 }
@@ -589,6 +607,30 @@ impl Telemetry {
     pub fn add_delta_bytes_saved(&self, bytes: u64) {
         if let Some(r) = &self.inner {
             r.delta_bytes_saved.fetch_add(bytes, Ordering::Release);
+        }
+    }
+
+    /// Adds `bytes` to the running total of payload bytes the chunk codec
+    /// (compression + dedup) avoided persisting.
+    pub fn add_codec_bytes_saved(&self, bytes: u64) {
+        if let Some(r) = &self.inner {
+            r.codec_bytes_saved.fetch_add(bytes, Ordering::Release);
+        }
+    }
+
+    /// Adds `chunks` chunks persisted as dedup references instead of
+    /// materialized bytes.
+    pub fn add_dedup_chunks(&self, chunks: u64) {
+        if let Some(r) = &self.inner {
+            r.dedup_chunks.fetch_add(chunks, Ordering::Release);
+        }
+    }
+
+    /// Updates the framed-commit compression-ratio gauge
+    /// (physical payload bytes / logical bytes, in permille).
+    pub fn gauge_compression_ratio(&self, permille: u64) {
+        if let Some(r) = &self.inner {
+            r.compression_ratio_permille.set(permille);
         }
     }
 

@@ -176,7 +176,7 @@ impl MetricsRegistry {
         // Family-major: HELP/TYPE once, then the aggregate series, then
         // one `job`-labelled series per registered tenant.
         type Sel = fn(&TelemetrySnapshot) -> u64;
-        let counters: [(&str, &str, Sel); 9] = [
+        let counters: [(&str, &str, Sel); 11] = [
             (
                 "pccheck_checkpoints_requested_total",
                 "Checkpoint requests accepted.",
@@ -222,6 +222,16 @@ impl MetricsRegistry {
                 "Payload bytes the delta path avoided persisting.",
                 |s| s.delta_bytes_saved,
             ),
+            (
+                "pccheck_codec_bytes_saved_total",
+                "Payload bytes the chunk codec avoided persisting.",
+                |s| s.codec_bytes_saved,
+            ),
+            (
+                "pccheck_dedup_chunks_total",
+                "Chunks stored as dedup references instead of bytes.",
+                |s| s.dedup_chunks,
+            ),
         ];
         for (name, help, sel) in counters {
             prom_metric(&mut out, name, "counter", help);
@@ -235,7 +245,7 @@ impl MetricsRegistry {
                 );
             }
         }
-        let gauges: [(&str, &str, Sel); 6] = [
+        let gauges: [(&str, &str, Sel); 7] = [
             (
                 "pccheck_in_flight",
                 "Checkpoints between request and terminal event.",
@@ -260,6 +270,11 @@ impl MetricsRegistry {
                 "pccheck_dirty_ratio_permille",
                 "Last observed delta-checkpoint dirty ratio, permille.",
                 |s| s.dirty_ratio_permille,
+            ),
+            (
+                "pccheck_compression_ratio_permille",
+                "Last observed framed physical/logical size ratio, permille.",
+                |s| s.compression_ratio_permille,
             ),
             (
                 "pccheck_window_nanos",
@@ -398,9 +413,11 @@ impl MetricsRegistry {
              \"requested\":{},\"committed\":{},\"superseded\":{},\
              \"failed\":{},\"bytes_persisted\":{},\"gpu_copy_bytes\":{},\
              \"persist_chunk_bytes\":{},\"restore_chunk_bytes\":{},\
-             \"delta_bytes_saved\":{}}},\"gauges\":{{\
+             \"delta_bytes_saved\":{},\"codec_bytes_saved\":{},\
+             \"dedup_chunks\":{}}},\"gauges\":{{\
              \"in_flight\":{},\"in_flight_peak\":{},\"queue_depth\":{},\
              \"queue_depth_peak\":{},\"dirty_ratio_permille\":{},\
+             \"compression_ratio_permille\":{},\
              \"stall_fraction\":{}}}",
             snap.window_nanos,
             c.requested,
@@ -412,11 +429,14 @@ impl MetricsRegistry {
             snap.persist_chunk_bytes,
             snap.restore_chunk_bytes,
             snap.delta_bytes_saved,
+            snap.codec_bytes_saved,
+            snap.dedup_chunks,
             snap.in_flight,
             snap.in_flight_peak,
             snap.queue_depth,
             snap.queue_depth_peak,
             snap.dirty_ratio_permille,
+            snap.compression_ratio_permille,
             snap.stall_fraction(),
         );
         let depths: Vec<String> = snap.device_queue_depth.iter().map(u64::to_string).collect();
@@ -544,6 +564,13 @@ impl MetricsRegistry {
             .collect();
         if !peaks.is_empty() {
             let _ = writeln!(out, "  queues: {}", peaks.join(" "));
+        }
+        if snap.codec_bytes_saved > 0 || snap.dedup_chunks > 0 {
+            let _ = writeln!(
+                out,
+                "  codec: saved {} B, {} dedup chunks, ratio {}‰",
+                snap.codec_bytes_saved, snap.dedup_chunks, snap.compression_ratio_permille
+            );
         }
         let jobs = self.jobs_snapshot();
         if !jobs.is_empty() {
@@ -874,6 +901,9 @@ mod tests {
         t.stall(span, 1500);
         t.stage_write(800);
         t.gauge_device_queue(0, 2);
+        t.add_codec_bytes_saved(1024);
+        t.add_dedup_chunks(3);
+        t.gauge_compression_ratio(750);
         t.committed(span, 1, 4096);
         t.actor_span(span, "writer-0", s, 4096);
         MetricsRegistry::new(t)
@@ -888,6 +918,9 @@ mod tests {
         assert!(text.contains("pccheck_bytes_persisted_total 4096"));
         assert!(text.contains("pccheck_persist_chunk_bytes_total 4096"));
         assert!(text.contains("pccheck_in_flight 0"));
+        assert!(text.contains("pccheck_codec_bytes_saved_total 1024"));
+        assert!(text.contains("pccheck_dedup_chunks_total 3"));
+        assert!(text.contains("pccheck_compression_ratio_permille 750"));
         assert!(text.contains("pccheck_phase_latency_nanos_bucket{phase=\"persist\""));
         assert!(text.contains("pccheck_phase_latency_nanos_count{phase=\"commit\"} 1"));
         assert!(text.contains("pccheck_stall_nanos_sum 1500"));
@@ -915,6 +948,9 @@ mod tests {
         let json = reg.json();
         assert!(json.contains(METRICS_SCHEMA));
         assert!(json.contains("\"requested\":1"));
+        assert!(json.contains("\"codec_bytes_saved\":1024"));
+        assert!(json.contains("\"dedup_chunks\":3"));
+        assert!(json.contains("\"compression_ratio_permille\":750"));
         assert!(json.contains("\"phase_persist\":{"));
         assert!(json.contains("\"stall\":{"));
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -929,6 +965,7 @@ mod tests {
         assert!(view.contains("ckpt req 1 ok 1"));
         assert!(view.contains("persist"));
         assert!(view.contains("dev0="));
+        assert!(view.contains("codec: saved 1024 B"), "{view}");
     }
 
     #[test]

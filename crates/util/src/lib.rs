@@ -31,6 +31,7 @@
 //! ```
 
 pub mod csv;
+pub mod fnv;
 pub mod json;
 pub mod rng;
 pub mod stats;
@@ -39,6 +40,7 @@ pub mod time;
 pub mod units;
 
 pub use csv::CsvWriter;
+pub use fnv::{chunk_digest, fnv1a, fnv1a_fold, FNV_PRIME, FNV_SEED};
 pub use json::{JsonError, JsonValue};
 pub use stats::Summary;
 pub use throttle::TokenBucket;

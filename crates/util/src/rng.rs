@@ -37,11 +37,7 @@ pub fn seeded(seed: u64) -> StdRng {
 /// ```
 pub fn derive_seed(parent: u64, label: &str) -> u64 {
     // FNV-1a over the label, mixed with the parent via splitmix-style finalizer.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in label.as_bytes() {
-        h ^= u64::from(*byte);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
+    let h = crate::fnv::fnv1a(label.as_bytes());
     let mut z = parent ^ h;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -14,7 +14,8 @@ use pccheck::{recover_instrumented, CheckpointStore, PcCheckConfig, PcCheckEngin
 use pccheck_device::{DeviceConfig, PersistentDevice, SsdDevice, StripedDevice, TieredDevice};
 use pccheck_gpu::{Checkpointer, Gpu, GpuConfig, TrainingState};
 use pccheck_telemetry::{
-    chrome_trace_annotated, EventKind, SpanId, Telemetry, TelemetryIoObserver,
+    chrome_trace_annotated, validate_prometheus_text, EventKind, MetricsRegistry, SpanId,
+    Telemetry, TelemetryIoObserver,
 };
 use pccheck_util::json::JsonValue;
 use pccheck_util::ByteSize;
@@ -444,6 +445,124 @@ fn chrome_trace_parses_with_actor_lane_referential_integrity() {
     assert!(lanes.values().any(|l| l.starts_with("writer-")));
     assert!(lanes.values().any(|l| l.starts_with("stripe-")));
     assert!(lanes.values().any(|l| l == "critical-path"));
+}
+
+/// A codec-enabled engine over a compressible state must surface its
+/// savings through the whole exposition path: the raw snapshot
+/// counters, the Prometheus text (which must still validate under the
+/// crate's own parser), and the JSON document — while a raw engine on
+/// the same path reports all three series as zero.
+#[test]
+fn codec_counters_flow_through_the_exposition_path() {
+    let size = ByteSize::from_kb(64);
+    let cap = CheckpointStore::required_capacity(size, 3) + ByteSize::from_kb(4);
+    let device: Arc<dyn PersistentDevice> =
+        Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let telemetry = Telemetry::enabled();
+    let engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(1)
+            .chunk_size(ByteSize::from_kb(16))
+            .dram_chunks(4)
+            .codec(true)
+            .build()
+            .expect("valid config"),
+        device,
+        size,
+    )
+    .expect("engine constructs")
+    .with_telemetry(telemetry.clone());
+    let gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::compressible(size, 5, 32),
+    );
+    for iter in 1..=4u64 {
+        gpu.update();
+        engine.checkpoint(&gpu, iter);
+        engine.try_drain().expect("healthy device");
+    }
+
+    let snap = telemetry.snapshot().expect("telemetry enabled");
+    assert!(
+        snap.codec_bytes_saved > 0,
+        "compressible checkpoints must save bytes (saved {})",
+        snap.codec_bytes_saved
+    );
+    assert!(
+        snap.compression_ratio_permille > 0 && snap.compression_ratio_permille < 1000,
+        "framed physical size must undercut logical: {}\u{2030}",
+        snap.compression_ratio_permille
+    );
+
+    let registry = MetricsRegistry::new(telemetry);
+    let text = registry.prometheus_text();
+    let samples = validate_prometheus_text(&text).expect("exposition parses");
+    assert!(samples > 0);
+    assert!(
+        text.contains(&format!(
+            "pccheck_codec_bytes_saved_total {}",
+            snap.codec_bytes_saved
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("pccheck_dedup_chunks_total {}", snap.dedup_chunks)),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!(
+            "pccheck_compression_ratio_permille {}",
+            snap.compression_ratio_permille
+        )),
+        "{text}"
+    );
+    let json = registry.json();
+    assert!(
+        json.contains(&format!("\"codec_bytes_saved\":{}", snap.codec_bytes_saved)),
+        "{json}"
+    );
+    assert!(json.contains("\"dedup_chunks\":"), "{json}");
+    assert!(
+        json.contains(&format!(
+            "\"compression_ratio_permille\":{}",
+            snap.compression_ratio_permille
+        )),
+        "{json}"
+    );
+
+    // A codec-off engine over the same exposition path reports zeros —
+    // the series exist but never move.
+    let raw_telemetry = Telemetry::enabled();
+    let raw_device: Arc<dyn PersistentDevice> =
+        Arc::new(SsdDevice::new(DeviceConfig::fast_for_tests(cap)));
+    let raw_engine = PcCheckEngine::new(
+        PcCheckConfig::builder()
+            .max_concurrent(2)
+            .writer_threads(1)
+            .chunk_size(ByteSize::from_kb(16))
+            .dram_chunks(4)
+            .build()
+            .expect("valid config"),
+        raw_device,
+        size,
+    )
+    .expect("engine constructs")
+    .with_telemetry(raw_telemetry.clone());
+    let raw_gpu = Gpu::new(
+        GpuConfig::fast_for_tests(),
+        TrainingState::compressible(size, 5, 32),
+    );
+    raw_gpu.update();
+    raw_engine.checkpoint(&raw_gpu, 1);
+    raw_engine.try_drain().expect("healthy device");
+    let raw_snap = raw_telemetry.snapshot().expect("telemetry enabled");
+    assert_eq!(raw_snap.codec_bytes_saved, 0);
+    assert_eq!(raw_snap.dedup_chunks, 0);
+    assert_eq!(raw_snap.compression_ratio_permille, 0);
+    let raw_text = MetricsRegistry::new(raw_telemetry).prometheus_text();
+    validate_prometheus_text(&raw_text).expect("zeroed exposition parses");
+    assert!(raw_text.contains("pccheck_codec_bytes_saved_total 0"), "{raw_text}");
 }
 
 #[test]
